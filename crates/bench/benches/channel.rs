@@ -1,0 +1,58 @@
+//! Reliable-channel throughput: how fast the transport substrate pumps
+//! sequenced, acknowledged messages between two endpoints.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use demos_net::{ChannelConfig, Endpoint, Frame, Phys};
+use demos_types::{MachineId, Time};
+
+/// Zero-latency in-memory "physical layer" delivering frames instantly.
+#[derive(Default)]
+struct Loopback {
+    to_a: Vec<Frame>,
+    to_b: Vec<Frame>,
+}
+
+impl Phys for Loopback {
+    fn transmit(&mut self, _now: Time, _src: MachineId, dst: MachineId, frame: Frame) {
+        if dst == MachineId(0) {
+            self.to_a.push(frame);
+        } else {
+            self.to_b.push(frame);
+        }
+    }
+}
+
+fn pump(n: usize, payload: usize) {
+    let mut a = Endpoint::new(MachineId(0), ChannelConfig::default());
+    let mut b = Endpoint::new(MachineId(1), ChannelConfig::default());
+    let mut phys = Loopback::default();
+    let msg = Bytes::from(vec![7u8; payload]);
+    let mut delivered = 0usize;
+    let mut sent = 0usize;
+    while delivered < n {
+        while sent < n && a.in_flight() < 32 {
+            a.send(Time(0), MachineId(1), msg.clone(), &mut phys);
+            sent += 1;
+        }
+        for f in std::mem::take(&mut phys.to_b) {
+            delivered += b.on_frame(Time(0), MachineId(0), f, &mut phys).len();
+        }
+        for f in std::mem::take(&mut phys.to_a) {
+            a.on_frame(Time(0), MachineId(1), f, &mut phys);
+        }
+    }
+    assert_eq!(delivered, n);
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    for payload in [64usize, 1024] {
+        g.throughput(Throughput::Bytes((1000 * payload) as u64));
+        g.bench_function(format!("pump_1000x{payload}"), |b| b.iter(|| pump(1000, payload)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Delivery-path benchmarks: direct delivery vs delivery through a
+//! forwarding address (the §4 redirection), measured as simulator
+//! wall-clock per delivered ping-pong rally.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use demos_sim::prelude::*;
+use demos_sim::programs::PingPong;
+
+fn pair(chain: u16) -> Cluster {
+    // pa on m0; pb starts on m1 and is optionally migrated down a chain so
+    // pa's link goes stale by `chain` hops. Link updates are what we want
+    // to EXCLUDE here, so the sender link is re-staled by rebuilding pa's
+    // table each iteration — instead we simply measure the first rally
+    // after migration, dominated by the forwarding path.
+    let n = (chain + 3) as usize;
+    let mut cluster = ClusterBuilder::new(n).no_trace().build();
+    let pa = cluster
+        .spawn(MachineId(0), "pingpong", &PingPong::state(200, 10), ImageLayout::default())
+        .unwrap();
+    let pb = cluster
+        .spawn(MachineId(1), "pingpong", &PingPong::state(200, 10), ImageLayout::default())
+        .unwrap();
+    let la = cluster.link_to(pa).unwrap();
+    let lb = cluster.link_to(pb).unwrap();
+    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[0]), vec![lb]).unwrap();
+    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    for d in 0..chain {
+        cluster.migrate(pb, MachineId(2 + d)).unwrap();
+        cluster.run_quiescent(Duration::from_secs(2));
+    }
+    cluster
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delivery");
+    g.sample_size(20);
+    for chain in [0u16, 1, 4] {
+        g.bench_function(format!("rally_200_chain{chain}"), |b| {
+            b.iter_batched(
+                || pair(chain),
+                |mut cluster| {
+                    // Serve the first ball; 200 rallies run to completion.
+                    let pa = ProcessId { creating_machine: MachineId(0), local_uid: 1 };
+                    cluster.post(pa, wl::BALL, bytes::Bytes::new(), vec![]).unwrap();
+                    cluster.run_quiescent(Duration::from_secs(30));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end migration benchmark: simulator wall-clock cost of one full
+//! eight-step migration at several image sizes (the virtual-time costs
+//! are reported by `exp_cost_vs_size`; this measures the harness itself).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use demos_sim::prelude::*;
+
+fn cluster_with_cargo(code_kib: u32) -> (Cluster, ProcessId) {
+    let mut cluster = ClusterBuilder::new(2).no_trace().build();
+    let layout = ImageLayout { code: code_kib * 1024, data: 2048, stack: 1024 };
+    let pid = cluster
+        .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), layout)
+        .unwrap();
+    cluster.run_for(Duration::from_millis(5));
+    (cluster, pid)
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(20);
+    for code_kib in [4u32, 64, 512] {
+        g.bench_function(format!("migrate_{code_kib}KiB"), |b| {
+            b.iter_batched(
+                || cluster_with_cargo(code_kib),
+                |(mut cluster, pid)| {
+                    cluster.migrate(pid, MachineId(1)).unwrap();
+                    cluster.run_quiescent(Duration::from_secs(5));
+                    assert_eq!(cluster.where_is(pid), Some(MachineId(1)));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

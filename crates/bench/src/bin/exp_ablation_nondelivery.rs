@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e8_ablation_nondelivery`.
+fn main() {
+    demos_bench::experiments::e8_ablation_nondelivery();
+}

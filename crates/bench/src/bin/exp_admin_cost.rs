@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e2_admin_cost`.
+fn main() {
+    demos_bench::experiments::e2_admin_cost();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e10_affinity`.
+fn main() {
+    demos_bench::experiments::e10_affinity();
+}

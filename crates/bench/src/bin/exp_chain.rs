@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e7_chain`.
+fn main() {
+    demos_bench::experiments::e7_chain();
+}

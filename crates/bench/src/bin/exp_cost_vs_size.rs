@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e3_cost_vs_size`.
+fn main() {
+    demos_bench::experiments::e3_cost_vs_size();
+}

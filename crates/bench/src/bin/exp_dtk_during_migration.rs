@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e13_dtk_during_migration`.
+fn main() {
+    demos_bench::experiments::e13_dtk_during_migration();
+}

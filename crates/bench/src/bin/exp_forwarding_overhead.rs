@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e4_forwarding_overhead`.
+fn main() {
+    demos_bench::experiments::e4_forwarding_overhead();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e5_link_update`.
+fn main() {
+    demos_bench::experiments::e5_link_update();
+}

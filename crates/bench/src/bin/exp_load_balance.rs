@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e9_load_balance`.
+fn main() {
+    demos_bench::experiments::e9_load_balance();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e12_pending_queue`.
+fn main() {
+    demos_bench::experiments::e12_pending_queue();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e6_server_migration`.
+fn main() {
+    demos_bench::experiments::e6_server_migration();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e11_sinking_ship`.
+fn main() {
+    demos_bench::experiments::e11_sinking_ship();
+}

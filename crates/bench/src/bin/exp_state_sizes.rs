@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e1_state_sizes`.
+fn main() {
+    demos_bench::experiments::e1_state_sizes();
+}

@@ -1,0 +1,6 @@
+//! Run the full experiment suite (E1-E13), printing every table.
+fn main() {
+    println!("DEMOS/MP process-migration reproduction: full experiment suite");
+    println!("(paper: Powell & Miller, 'Process Migration in DEMOS/MP', SOSP 1983)");
+    demos_bench::experiments::run_all();
+}

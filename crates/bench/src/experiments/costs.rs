@@ -1,0 +1,221 @@
+//! Cost experiments: E1 (state sizes), E2 (administrative messages),
+//! E3 (cost vs image size), E12 (pending-queue forwarding).
+
+use crate::{fmt_bytes, measure_migration, section, total_traffic, traffic_delta, Table};
+use demos_sim::boot::{boot_system, spawn_shell, BootConfig};
+use demos_sim::prelude::*;
+use demos_types::proto::{AreaSel, KernelOp, MigrateMsg, MoveDataMsg, RejectReason};
+use demos_types::wire::Wire;
+use demos_types::Link;
+
+/// E1 — resident ≈250 B; swappable ≈600 B scaling with the link table (§6).
+pub fn e1_state_sizes() {
+    section("E1: state sizes vs link-table size (paper: resident ~250 B, swappable ~600 B)");
+    let mut table = Table::new(["links", "resident (B)", "swappable (B)", "image (B)"]);
+    for links in [0usize, 5, 10, 15, 20, 25, 30, 40, 64] {
+        let mut cluster = ClusterBuilder::new(2).build();
+        let pid = cluster
+            .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), ImageLayout::default())
+            .unwrap();
+        for k in 0..links {
+            let target = ProcessId { creating_machine: MachineId(1), local_uid: 100 + k as u32 };
+            cluster
+                .node_mut(MachineId(0))
+                .kernel
+                .install_link(pid, Link::to(target.at(MachineId(1))))
+                .unwrap();
+        }
+        cluster.run_for(Duration::from_millis(5));
+        let m = measure_migration(&mut cluster, pid, MachineId(1));
+        table.row([
+            links.to_string(),
+            m.resident.to_string(),
+            m.swappable.to_string(),
+            m.image.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("Each link adds a fixed 22 bytes to the swappable state; a typical");
+    println!("server-grade table of ~25 links lands near the paper's ~600 bytes.");
+}
+
+/// E2 — the nine administrative messages of §6, counted on the wire.
+pub fn e2_admin_cost() {
+    // Three machines: PM on m2, the migrating process goes m0 → m1, so
+    // every administrative message crosses the network and is counted.
+    let mut cluster = Cluster::mesh(3);
+    let handles = boot_system(
+        &mut cluster,
+        BootConfig { control_machine: MachineId(2), fs_machine: MachineId(2), ..Default::default() },
+    )
+    .unwrap();
+    let script = vec![
+        demos_sysproc::ScriptEntry {
+            delay_us: 1_000,
+            cmd: demos_sysproc::Cmd::Spawn {
+                machine: MachineId(0),
+                program: "cargo".into(),
+                state: demos_sim::programs::Cargo::state(256),
+                layout: ImageLayout::default(),
+            },
+        },
+        demos_sysproc::ScriptEntry {
+            delay_us: 100_000,
+            cmd: demos_sysproc::Cmd::Migrate { nth: 0, dest: MachineId(1) },
+        },
+    ];
+    spawn_shell(&mut cluster, &handles, MachineId(2), &script).unwrap();
+    cluster.run_for(Duration::from_millis(95));
+    let before = total_traffic(&cluster);
+    cluster.run_for(Duration::from_millis(400));
+    let after = total_traffic(&cluster);
+    let d = traffic_delta(&after, &before);
+
+    section("E2: administrative messages of one migration (paper: 9 messages, 6-12 B payloads)");
+    let mut t = Table::new(["category", "messages", "wire bytes"]);
+    t.row([
+        "MigrateRequest (#1, DTK control op)".to_string(),
+        d.kernel_op.msgs.to_string(),
+        d.kernel_op.bytes.to_string(),
+    ]);
+    t.row([
+        "migration protocol (#2,#3,#7,#8,#9)".to_string(),
+        d.migrate.msgs.to_string(),
+        d.migrate.bytes.to_string(),
+    ]);
+    t.row([
+        "state-pull requests (#4,#5,#6)".to_string(),
+        d.md_req.msgs.to_string(),
+        d.md_req.bytes.to_string(),
+    ]);
+    t.row([
+        "TOTAL administrative".to_string(),
+        d.admin().msgs.to_string(),
+        d.admin().bytes.to_string(),
+    ]);
+    t.row([
+        "(state transfer: data packets)".to_string(),
+        d.md_data.msgs.to_string(),
+        d.md_data.bytes.to_string(),
+    ]);
+    t.row([
+        "(state transfer: packet acks)".to_string(),
+        d.md_ack.msgs.to_string(),
+        d.md_ack.bytes.to_string(),
+    ]);
+    t.row([
+        "(state transfer: completion)".to_string(),
+        d.md_done.msgs.to_string(),
+        d.md_done.bytes.to_string(),
+    ]);
+    t.print();
+
+    section("E2b: encoded payload size of each administrative message");
+    let pid = ProcessId { creating_machine: MachineId(0), local_uid: 1 };
+    let samples: Vec<(&str, usize)> = vec![
+        ("#1 MigrateRequest", KernelOp::MigrateRequest { dest: MachineId(1), flags: 0 }.wire_len()),
+        (
+            "#2 Offer",
+            MigrateMsg::Offer { ctx: 1, pid, resident_len: 250, swappable_len: 600, image_len: 14336 }
+                .wire_len(),
+        ),
+        ("#3 Accept", MigrateMsg::Accept { ctx: 1, slot: 1, window: 1024 }.wire_len()),
+        ("#3' Reject", MigrateMsg::Reject { ctx: 1, pid, reason: RejectReason::Policy }.wire_len()),
+        (
+            "#4-#6 ReadReq (each)",
+            MoveDataMsg::ReadReq { op: 1, target: pid, sel: AreaSel::Resident, offset: 0, len: 0 }
+                .wire_len(),
+        ),
+        ("#7 TransferComplete", MigrateMsg::TransferComplete { ctx: 1, received: 15000 }.wire_len()),
+        ("#8 CleanupDone", MigrateMsg::CleanupDone { ctx: 1, forwarded: 0 }.wire_len()),
+        ("#9 Done", MigrateMsg::Done { pid, dest: MachineId(1), status: 0 }.wire_len()),
+    ];
+    let mut t2 = Table::new(["message", "payload bytes"]);
+    for (name, len) in samples {
+        t2.row([name.to_string(), len.to_string()]);
+    }
+    t2.print();
+    println!();
+    println!("Count matches the paper's nine (request + 4 protocol + 3 pulls + done).");
+    println!("Most payloads fall in the paper's 6-12 byte range; Offer (17 B) and the");
+    println!("18-byte pull requests carry full 48-bit pids and 32-bit sizes where the");
+    println!("Z8000 original used 16-bit quantities — see EXPERIMENTS.md.");
+}
+
+/// E3 — migration cost vs image size (§6).
+pub fn e3_cost_vs_size() {
+    section("E3: migration cost vs image size (paper: image overshadows system state)");
+    let mut t = Table::new([
+        "image",
+        "admin msgs",
+        "admin B",
+        "state B",
+        "data pkts",
+        "transfer B",
+        "freeze→restart",
+    ]);
+    for code_kib in [1u32, 4, 16, 64, 256, 1024] {
+        let mut cluster = ClusterBuilder::new(2).build();
+        let layout = ImageLayout { code: code_kib * 1024, data: 2048, stack: 1024 };
+        let pid = cluster
+            .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), layout)
+            .unwrap();
+        cluster.run_for(Duration::from_millis(5));
+        let m = measure_migration(&mut cluster, pid, MachineId(1));
+        let state_bytes = (m.resident + m.swappable) as u64;
+        t.row([
+            fmt_bytes(m.image as u64),
+            m.traffic.admin().msgs.to_string(),
+            m.traffic.admin().bytes.to_string(),
+            state_bytes.to_string(),
+            m.traffic.md_data.msgs.to_string(),
+            fmt_bytes(m.traffic.md_data.bytes),
+            format!("{}", m.duration),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Administrative bytes are constant; total cost tracks the image size,");
+    println!("matching §6: three data moves dominated by code+data for real processes.");
+}
+
+/// E12 — each pending message is forwarded at normal inter-machine cost
+/// (§6 / step 6 of §3.1).
+pub fn e12_pending_queue() {
+    section("E12: pending-queue forwarding cost (paper: each queued message forwarded)");
+    let mut t =
+        Table::new(["queued msgs", "forwarded", "user msgs on wire", "freeze→restart"]);
+    for q in [0usize, 8, 32, 128, 256] {
+        let mut cluster = Cluster::mesh(2);
+        let pid = cluster
+            .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), ImageLayout::default())
+            .unwrap();
+        cluster.run_for(Duration::from_millis(5));
+        cluster.node_mut(MachineId(0)).kernel.suspend(pid);
+        for i in 0..q {
+            cluster
+                .post(pid, demos_types::tags::USER_BASE + 9, bytes::Bytes::from(vec![i as u8; 16]), vec![])
+                .unwrap();
+        }
+        let before = total_traffic(&cluster);
+        let m = measure_migration(&mut cluster, pid, MachineId(1));
+        let d = traffic_delta(&total_traffic(&cluster), &before);
+        let forwarded = cluster
+            .node(MachineId(1))
+            .kernel
+            .process(pid)
+            .map(|p| p.queue.len())
+            .unwrap_or(0);
+        t.row([
+            q.to_string(),
+            forwarded.to_string(),
+            d.user.msgs.to_string(),
+            format!("{}", m.duration),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Step 6 resends every held message with a rewritten location hint; the");
+    println!("cost per message equals any other inter-machine message (§6).");
+}

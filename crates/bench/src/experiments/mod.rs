@@ -1,0 +1,33 @@
+//! The experiment suite: one function per entry of DESIGN.md's index.
+//!
+//! Each function is self-contained (builds its own cluster, prints its
+//! own tables) so the thin binaries under `src/bin/` and the `run_all`
+//! driver can invoke them interchangeably.
+
+mod costs;
+mod forwarding;
+mod policy;
+
+pub use costs::{e1_state_sizes, e2_admin_cost, e3_cost_vs_size, e12_pending_queue};
+pub use forwarding::{
+    e13_dtk_during_migration, e4_forwarding_overhead, e5_link_update, e7_chain,
+    e8_ablation_nondelivery,
+};
+pub use policy::{e10_affinity, e11_sinking_ship, e6_server_migration, e9_load_balance};
+
+/// Run every experiment in order.
+pub fn run_all() {
+    e1_state_sizes();
+    e2_admin_cost();
+    e3_cost_vs_size();
+    e4_forwarding_overhead();
+    e5_link_update();
+    e6_server_migration();
+    e7_chain();
+    e8_ablation_nondelivery();
+    e9_load_balance();
+    e10_affinity();
+    e11_sinking_ship();
+    e12_pending_queue();
+    e13_dtk_during_migration();
+}

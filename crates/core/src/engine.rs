@@ -1,0 +1,652 @@
+//! The migration engine: the eight-step protocol of §3.1.
+//!
+//! One engine instance runs beside each kernel. The *source* side freezes
+//! the process, offers it, serves the destination's state pulls (done by
+//! the kernel's move-data machinery), then forwards pending messages and
+//! leaves the forwarding address. The *destination* side — which "controls
+//! the next part of the migration, up to the forwarding of messages"
+//! (§3.1 step 2) — reserves resources, pulls the three state blobs
+//! (resident, swappable, image: the three data moves of §6), installs the
+//! process, and restarts it after the source confirms cleanup.
+//!
+//! The administrative messages are exactly the nine of DESIGN.md:
+//! `MigrateRequest` (a `DELIVERTOKERNEL` control op), `Offer`,
+//! `Accept`/`Reject`, three `ReadReq`s, `TransferComplete`, `CleanupDone`
+//! and `Done`.
+//!
+//! Autonomy (§3.2) enters through [`AcceptPolicy`]: "the destination
+//! machine may simply refuse to accept any migrations not fitting its
+//! criteria". Timeouts abort half-done migrations and thaw the process at
+//! the source, so a crashed destination cannot wedge a process forever.
+
+use std::collections::BTreeMap;
+
+use demos_kernel::{Kernel, MigrationPhase, Outbox, TraceEvent};
+use demos_net::Phys;
+use demos_types::proto::{AreaSel, KernelOp, MigrateMsg, RejectReason};
+use demos_types::wire::Wire;
+use demos_types::{
+    DemosError, Duration, Link, MachineId, Message, ProcessId, Result, Time,
+};
+
+/// Destination-side acceptance policy (§3.2).
+#[derive(Clone, Copy, Debug)]
+pub enum AcceptPolicy {
+    /// Accept whenever capacity allows (the paper's trusting kernels).
+    Always,
+    /// Refuse all incoming migrations (a closed administrative domain).
+    Never,
+    /// Custom predicate over the offer, e.g. a suspicious domain's
+    /// admission filter.
+    Custom(fn(&OfferInfo) -> bool),
+}
+
+/// What a destination sees when deciding on an offer.
+#[derive(Clone, Copy, Debug)]
+pub struct OfferInfo {
+    /// The process being offered.
+    pub pid: ProcessId,
+    /// Source machine.
+    pub src: MachineId,
+    /// The deciding (destination) machine — lets one policy function
+    /// implement per-domain criteria (§3.2).
+    pub dest: MachineId,
+    /// Resident-state bytes.
+    pub resident_len: u16,
+    /// Swappable-state bytes.
+    pub swappable_len: u16,
+    /// Image bytes.
+    pub image_len: u32,
+}
+
+/// Engine tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationConfig {
+    /// Destination acceptance policy.
+    pub accept: AcceptPolicy,
+    /// Abort an in-flight migration after this long without completion.
+    pub timeout: Duration,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig { accept: AcceptPolicy::Always, timeout: Duration::from_secs(30) }
+    }
+}
+
+/// Counters for the experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Migrations initiated at this machine (as source).
+    pub started: u64,
+    /// Migrations completed with this machine as source.
+    pub completed_out: u64,
+    /// Migrations completed with this machine as destination.
+    pub completed_in: u64,
+    /// Offers rejected by this machine.
+    pub rejected: u64,
+    /// Migrations aborted (timeout or failure), either side.
+    pub aborted: u64,
+    /// Pending messages forwarded during step 6 here.
+    pub pending_forwarded: u64,
+    /// Total state+image bytes received by this machine as destination.
+    pub bytes_received: u64,
+    /// Virtual time spent by completed incoming migrations, summed
+    /// (freeze-to-restart is measured by the harness from traces; this is
+    /// offer-to-restart at the destination).
+    pub total_in_duration: Duration,
+}
+
+/// Transfer stage of an incoming migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    Resident,
+    Swappable,
+    Image,
+}
+
+/// Source-side record of an outgoing migration.
+#[derive(Debug)]
+struct SourceMig {
+    pid: ProcessId,
+    dest: MachineId,
+    started: Time,
+    /// Reply link from the `MigrateRequest`, forwarded inside the offer so
+    /// the destination can send `Done` (message #9).
+    reply: Option<Link>,
+    accepted: bool,
+}
+
+/// Destination-side record of an incoming migration.
+#[derive(Debug)]
+struct DestMig {
+    pid: ProcessId,
+    src: MachineId,
+    src_ctx: u16,
+    slot: u16,
+    started: Time,
+    reply: Option<Link>,
+    stage: Stage,
+    resident: Vec<u8>,
+    swappable: Vec<u8>,
+    received: u64,
+    installed: bool,
+}
+
+/// The per-machine migration engine.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    machine: MachineId,
+    cfg: MigrationConfig,
+    next_ctx: u16,
+    outgoing: BTreeMap<u16, SourceMig>,
+    incoming: BTreeMap<(MachineId, u16), DestMig>,
+    stats: MigrationStats,
+}
+
+/// Cookie layout for kernel pulls: src machine ≪ 32 | ctx ≪ 8 | stage.
+fn cookie(src: MachineId, ctx: u16, stage: Stage) -> u64 {
+    ((src.0 as u64) << 32)
+        | ((ctx as u64) << 8)
+        | match stage {
+            Stage::Resident => 0,
+            Stage::Swappable => 1,
+            Stage::Image => 2,
+        }
+}
+
+fn uncookie(c: u64) -> (MachineId, u16, Stage) {
+    let stage = match c & 0xff {
+        0 => Stage::Resident,
+        1 => Stage::Swappable,
+        _ => Stage::Image,
+    };
+    (MachineId((c >> 32) as u16), ((c >> 8) & 0xffff) as u16, stage)
+}
+
+impl MigrationEngine {
+    /// New engine for `machine`.
+    pub fn new(machine: MachineId, cfg: MigrationConfig) -> Self {
+        MigrationEngine {
+            machine,
+            cfg,
+            next_ctx: 1,
+            outgoing: BTreeMap::new(),
+            incoming: BTreeMap::new(),
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Migrations currently in flight on either side.
+    pub fn in_flight(&self) -> usize {
+        self.outgoing.len() + self.incoming.len()
+    }
+
+    /// Begin migrating local process `pid` to `dest` (steps 1–2). The
+    /// optional `reply` link receives the `Done` notification (#9).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_migration(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        pid: ProcessId,
+        dest: MachineId,
+        reply: Option<Link>,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> Result<()> {
+        if dest == self.machine {
+            return Err(DemosError::MigrationToSelf(pid));
+        }
+        if self.outgoing.values().any(|m| m.pid == pid) {
+            return Err(DemosError::AlreadyMigrating(pid));
+        }
+        // Step 1: freeze. Refuses unknown pids and double migrations.
+        let sizes = kernel.freeze_for_migration(now, pid, phys, out)?;
+        let ctx = self.next_ctx;
+        self.next_ctx = self.next_ctx.wrapping_add(1).max(1);
+        self.outgoing.insert(ctx, SourceMig { pid, dest, started: now, reply, accepted: false });
+        self.stats.started += 1;
+        // Step 2: offer, carrying the reply link so the destination can
+        // notify the requester directly (links are context-independent).
+        let offer = MigrateMsg::Offer {
+            ctx,
+            pid,
+            resident_len: sizes.resident.min(u16::MAX as u32) as u16,
+            swappable_len: sizes.swappable.min(u16::MAX as u32) as u16,
+            image_len: sizes.image,
+        };
+        let links = reply.into_iter().collect();
+        kernel.send_migrate_msg(now, dest, offer.to_bytes(), links, phys, out);
+        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Offered });
+        Ok(())
+    }
+
+    /// Feed one message from the kernel's migration inbox (both the
+    /// kernel-to-kernel `MIGRATE` protocol and `MigrateRequest` control
+    /// ops).
+    pub fn handle(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        msg: Message,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        if msg.header.msg_type == demos_types::tags::KERNEL_OP {
+            if let Ok(KernelOp::MigrateRequest { dest, .. }) = KernelOp::from_bytes(&msg.payload) {
+                let pid = msg.header.dest.pid;
+                let reply = msg.links.first().copied();
+                if let Err(e) =
+                    self.start_migration(now, kernel, pid, dest, reply, phys, out)
+                {
+                    // Notify the requester of the failure, if possible.
+                    if let Some(r) = msg.links.first() {
+                        let done = MigrateMsg::Done { pid, dest, status: reject_status(&e) };
+                        kernel.send_kernel_to(
+                            now,
+                            *r,
+                            demos_types::tags::MIGRATE,
+                            done.to_bytes(),
+                            phys,
+                            out,
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        debug_assert_eq!(msg.header.msg_type, demos_types::tags::MIGRATE);
+        let Ok(m) = MigrateMsg::from_bytes(&msg.payload) else { return };
+        let from = msg.header.src_machine;
+        match m {
+            MigrateMsg::Offer { ctx, pid, resident_len, swappable_len, image_len } => {
+                let reply = msg.links.first().copied();
+                let dest = self.machine;
+                self.on_offer(
+                    now,
+                    kernel,
+                    from,
+                    ctx,
+                    OfferInfo { pid, src: from, dest, resident_len, swappable_len, image_len },
+                    reply,
+                    phys,
+                    out,
+                );
+            }
+            MigrateMsg::Accept { ctx, .. } => {
+                if let Some(mig) = self.outgoing.get_mut(&ctx) {
+                    mig.accepted = true;
+                }
+            }
+            MigrateMsg::Reject { ctx, pid, reason } => {
+                if let Some(mig) = self.outgoing.remove(&ctx) {
+                    debug_assert_eq!(mig.pid, pid);
+                    self.stats.aborted += 1;
+                    kernel.unfreeze(mig.pid, out);
+                    out.trace
+                        .push(TraceEvent::Migration { pid: mig.pid, phase: MigrationPhase::Rejected });
+                    if let Some(r) = mig.reply {
+                        let done = MigrateMsg::Done {
+                            pid: mig.pid,
+                            dest: mig.dest,
+                            status: 1 + reason as u8,
+                        };
+                        kernel.send_kernel_to(
+                            now,
+                            r,
+                            demos_types::tags::MIGRATE,
+                            done.to_bytes(),
+                            phys,
+                            out,
+                        );
+                    }
+                }
+            }
+            MigrateMsg::TransferComplete { ctx, .. } => {
+                // Steps 6–7 at the source.
+                if let Some(mig) = self.outgoing.remove(&ctx) {
+                    match kernel.finish_source_side(now, mig.pid, mig.dest, phys, out) {
+                        Ok(forwarded) => {
+                            self.stats.pending_forwarded += forwarded as u64;
+                            self.stats.completed_out += 1;
+                            let cleanup = MigrateMsg::CleanupDone { ctx, forwarded };
+                            kernel.send_migrate_msg(
+                                now,
+                                mig.dest,
+                                cleanup.to_bytes(),
+                                vec![],
+                                phys,
+                                out,
+                            );
+                        }
+                        Err(_) => {
+                            // Process vanished mid-migration (killed):
+                            // tell the destination to drop its copy.
+                            let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
+                            kernel.send_migrate_msg(now, mig.dest, abort.to_bytes(), vec![], phys, out);
+                            self.stats.aborted += 1;
+                        }
+                    }
+                }
+            }
+            MigrateMsg::CleanupDone { ctx, .. } => {
+                // Step 8 at the destination.
+                if let Some(mig) = self.incoming.remove(&(from, ctx)) {
+                    if kernel.restart_migrated(mig.pid, out).is_ok() {
+                        self.stats.completed_in += 1;
+                        self.stats.total_in_duration += now.since(mig.started);
+                        if let Some(r) = mig.reply {
+                            let done =
+                                MigrateMsg::Done { pid: mig.pid, dest: self.machine, status: 0 };
+                            kernel.send_kernel_to(
+                                now,
+                                r,
+                                demos_types::tags::MIGRATE,
+                                done.to_bytes(),
+                                phys,
+                                out,
+                            );
+                        }
+                    }
+                }
+            }
+            MigrateMsg::Abort { ctx, pid } => {
+                // Source told us (destination) to abandon; or destination
+                // told us (source) it failed mid-transfer.
+                if let Some(mig) = self.incoming.remove(&(from, ctx)) {
+                    kernel.release_reservation(mig.slot);
+                    if mig.installed {
+                        kernel.kill(now, mig.pid, phys, out);
+                    }
+                    self.stats.aborted += 1;
+                    out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Aborted });
+                } else if let Some(mig) = self.outgoing.remove(&ctx) {
+                    kernel.unfreeze(mig.pid, out);
+                    self.stats.aborted += 1;
+                    if let Some(r) = mig.reply {
+                        let done = MigrateMsg::Done { pid: mig.pid, dest: mig.dest, status: 200 };
+                        kernel.send_kernel_to(
+                            now,
+                            r,
+                            demos_types::tags::MIGRATE,
+                            done.to_bytes(),
+                            phys,
+                            out,
+                        );
+                    }
+                }
+            }
+            MigrateMsg::Done { .. } => {
+                // Addressed to the requesting process, not the engine.
+            }
+        }
+    }
+
+    /// Destination side of the offer (steps 3–5 start here).
+    #[allow(clippy::too_many_arguments)]
+    fn on_offer(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        from: MachineId,
+        src_ctx: u16,
+        info: OfferInfo,
+        reply: Option<Link>,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let policy_ok = match self.cfg.accept {
+            AcceptPolicy::Always => true,
+            AcceptPolicy::Never => false,
+            AcceptPolicy::Custom(f) => f(&info),
+        };
+        if !policy_ok {
+            self.stats.rejected += 1;
+            let reject =
+                MigrateMsg::Reject { ctx: src_ctx, pid: info.pid, reason: RejectReason::Policy };
+            kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
+            out.trace.push(TraceEvent::Migration { pid: info.pid, phase: MigrationPhase::Rejected });
+            return;
+        }
+        // Step 3: allocate an (empty) process state — here, a capacity
+        // reservation under the same process identifier.
+        let slot = match kernel.reserve_incoming(info.pid, info.image_len as u64) {
+            Ok(slot) => slot,
+            Err(_) => {
+                self.stats.rejected += 1;
+                let reject = MigrateMsg::Reject {
+                    ctx: src_ctx,
+                    pid: info.pid,
+                    reason: RejectReason::Capacity,
+                };
+                kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
+                out.trace
+                    .push(TraceEvent::Migration { pid: info.pid, phase: MigrationPhase::Rejected });
+                return;
+            }
+        };
+        out.trace.push(TraceEvent::Migration { pid: info.pid, phase: MigrationPhase::Allocated });
+        let accept = MigrateMsg::Accept { ctx: src_ctx, slot, window: 1024 };
+        kernel.send_migrate_msg(now, from, accept.to_bytes(), vec![], phys, out);
+        self.incoming.insert(
+            (from, src_ctx),
+            DestMig {
+                pid: info.pid,
+                src: from,
+                src_ctx,
+                slot,
+                started: now,
+                reply,
+                stage: Stage::Resident,
+                resident: Vec::new(),
+                swappable: Vec::new(),
+                received: 0,
+                installed: false,
+            },
+        );
+        // Step 4 begins: pull the resident state.
+        kernel.start_kernel_pull(
+            now,
+            cookie(from, src_ctx, Stage::Resident),
+            info.pid,
+            from,
+            AreaSel::Resident,
+            phys,
+            out,
+        );
+    }
+
+    /// Feed a completed kernel pull (from [`Outbox::pull_done`]).
+    pub fn on_pull_done(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        done: demos_kernel::KernelPullDone,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let (src, ctx, stage) = uncookie(done.cookie);
+        let Some(mig) = self.incoming.get_mut(&(src, ctx)) else { return };
+        if done.status != 0 {
+            let mig = self.incoming.remove(&(src, ctx)).expect("present");
+            kernel.release_reservation(mig.slot);
+            self.stats.aborted += 1;
+            let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
+            kernel.send_migrate_msg(now, src, abort.to_bytes(), vec![], phys, out);
+            out.trace.push(TraceEvent::Migration { pid: mig.pid, phase: MigrationPhase::Aborted });
+            return;
+        }
+        debug_assert_eq!(mig.stage, stage, "pull completions arrive in order");
+        mig.received += done.data.len() as u64;
+        self.stats.bytes_received += done.data.len() as u64;
+        match stage {
+            Stage::Resident => {
+                mig.resident = done.data;
+                mig.stage = Stage::Swappable;
+                kernel.start_kernel_pull(
+                    now,
+                    cookie(src, ctx, Stage::Swappable),
+                    mig.pid,
+                    src,
+                    AreaSel::Swappable,
+                    phys,
+                    out,
+                );
+            }
+            Stage::Swappable => {
+                mig.swappable = done.data;
+                mig.stage = Stage::Image;
+                out.trace.push(TraceEvent::Migration {
+                    pid: mig.pid,
+                    phase: MigrationPhase::StateTransferred,
+                });
+                kernel.start_kernel_pull(
+                    now,
+                    cookie(src, ctx, Stage::Image),
+                    mig.pid,
+                    src,
+                    AreaSel::Image,
+                    phys,
+                    out,
+                );
+            }
+            Stage::Image => {
+                // Step 5 complete: install.
+                let (pid, slot, resident, swappable) =
+                    (mig.pid, mig.slot, std::mem::take(&mut mig.resident), std::mem::take(&mut mig.swappable));
+                let received = mig.received;
+                match kernel.install_migrated(now, slot, src, &resident, &swappable, &done.data, out)
+                {
+                    Ok(installed_pid) => {
+                        debug_assert_eq!(installed_pid, pid);
+                        let mig = self.incoming.get_mut(&(src, ctx)).expect("present");
+                        mig.installed = true;
+                        let complete =
+                            MigrateMsg::TransferComplete { ctx, received: received as u32 };
+                        kernel.send_migrate_msg(now, src, complete.to_bytes(), vec![], phys, out);
+                    }
+                    Err(_) => {
+                        let mig = self.incoming.remove(&(src, ctx)).expect("present");
+                        kernel.release_reservation(mig.slot);
+                        self.stats.aborted += 1;
+                        let abort = MigrateMsg::Abort { ctx, pid };
+                        kernel.send_migrate_msg(now, src, abort.to_bytes(), vec![], phys, out);
+                        out.trace
+                            .push(TraceEvent::Migration { pid, phase: MigrationPhase::Aborted });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Earliest in-flight migration deadline, for the simulation loop.
+    pub fn next_timeout(&self) -> Option<Time> {
+        let o = self.outgoing.values().map(|m| m.started + self.cfg.timeout).min();
+        let i = self.incoming.values().map(|m| m.started + self.cfg.timeout).min();
+        match (o, i) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Abort migrations that exceeded the timeout (crashed peers).
+    pub fn on_time(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let stale_out: Vec<u16> = self
+            .outgoing
+            .iter()
+            .filter(|(_, m)| now.since(m.started) >= self.cfg.timeout)
+            .map(|(&c, _)| c)
+            .collect();
+        for ctx in stale_out {
+            let mig = self.outgoing.remove(&ctx).expect("listed");
+            self.stats.aborted += 1;
+            kernel.unfreeze(mig.pid, out);
+            let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
+            kernel.send_migrate_msg(now, mig.dest, abort.to_bytes(), vec![], phys, out);
+            if let Some(r) = mig.reply {
+                let done = MigrateMsg::Done { pid: mig.pid, dest: mig.dest, status: 201 };
+                kernel.send_kernel_to(now, r, demos_types::tags::MIGRATE, done.to_bytes(), phys, out);
+            }
+        }
+        let stale_in: Vec<(MachineId, u16)> = self
+            .incoming
+            .iter()
+            .filter(|(_, m)| now.since(m.started) >= self.cfg.timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in stale_in {
+            let mig = self.incoming.remove(&key).expect("listed");
+            kernel.release_reservation(mig.slot);
+            if mig.installed {
+                kernel.kill(now, mig.pid, phys, out);
+            }
+            self.stats.aborted += 1;
+            let abort = MigrateMsg::Abort { ctx: mig.src_ctx, pid: mig.pid };
+            kernel.send_migrate_msg(now, mig.src, abort.to_bytes(), vec![], phys, out);
+            out.trace.push(TraceEvent::Migration { pid: mig.pid, phase: MigrationPhase::Aborted });
+        }
+    }
+}
+
+fn reject_status(e: &DemosError) -> u8 {
+    match e {
+        DemosError::MigrationToSelf(_) => 100,
+        DemosError::AlreadyMigrating(_) => 101,
+        DemosError::NoSuchProcess(_) => 102,
+        DemosError::KernelImmovable(_) => 103,
+        _ => 199,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookie_roundtrip() {
+        for (m, c, s) in [
+            (MachineId(0), 1u16, Stage::Resident),
+            (MachineId(7), 0xffff, Stage::Swappable),
+            (MachineId(u16::MAX), 42, Stage::Image),
+        ] {
+            let (m2, c2, s2) = uncookie(cookie(m, c, s));
+            assert_eq!((m, c, s), (m2, c2, s2));
+        }
+    }
+
+    #[test]
+    fn accept_policy_custom() {
+        fn only_small(info: &OfferInfo) -> bool {
+            info.image_len < 1000
+        }
+        let p = AcceptPolicy::Custom(only_small);
+        let small = OfferInfo {
+            pid: ProcessId { creating_machine: MachineId(0), local_uid: 1 },
+            src: MachineId(0),
+            dest: MachineId(1),
+            resident_len: 250,
+            swappable_len: 600,
+            image_len: 500,
+        };
+        let big = OfferInfo { image_len: 5000, ..small };
+        match p {
+            AcceptPolicy::Custom(f) => {
+                assert!(f(&small));
+                assert!(!f(&big));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

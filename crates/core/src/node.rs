@@ -1,0 +1,138 @@
+//! A node: one machine's kernel plus its migration engine.
+//!
+//! The simulation loop drives [`Node`]s, not bare kernels: every kernel
+//! entry point is wrapped so that migration-protocol messages and
+//! state-transfer completions surfaced in the kernel [`Outbox`] are fed to
+//! the [`MigrationEngine`] before control returns — including any produced
+//! recursively while the engine itself acts on the kernel.
+
+use demos_kernel::{Kernel, KernelConfig, Outbox, Registry};
+use demos_net::{Frame, Phys};
+use demos_types::{Duration, Link, MachineId, Message, ProcessId, Result, Time};
+
+use std::sync::Arc;
+
+use crate::engine::{MigrationConfig, MigrationEngine};
+
+/// One simulated processor: kernel + migration engine.
+pub struct Node {
+    /// The kernel (mechanisms).
+    pub kernel: Kernel,
+    /// The migration engine (protocol).
+    pub engine: MigrationEngine,
+}
+
+impl Node {
+    /// Build a node for `machine`.
+    pub fn new(
+        machine: MachineId,
+        kcfg: KernelConfig,
+        mcfg: MigrationConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
+        Node { kernel: Kernel::new(machine, kcfg, registry), engine: MigrationEngine::new(machine, mcfg) }
+    }
+
+    /// This node's machine id.
+    pub fn machine(&self) -> MachineId {
+        self.kernel.machine()
+    }
+
+    /// Feed engine-bound items out of the outbox until quiescent.
+    /// Each engine action may enqueue further items (e.g. a local
+    /// migration request produces pulls whose completions re-enter here).
+    fn drain(&mut self, now: Time, phys: &mut dyn Phys, out: &mut Outbox) {
+        // Generously bounded: protocol chains are short; a bound turns a
+        // hypothetical livelock into a visible failure.
+        for _ in 0..10_000 {
+            if out.migration_inbox.is_empty() && out.pull_done.is_empty() {
+                return;
+            }
+            let msgs: Vec<Message> = out.migration_inbox.drain(..).collect();
+            let pulls: Vec<demos_kernel::KernelPullDone> = out.pull_done.drain(..).collect();
+            for m in msgs {
+                self.engine.handle(now, &mut self.kernel, m, phys, out);
+            }
+            for p in pulls {
+                self.engine.on_pull_done(now, &mut self.kernel, p, phys, out);
+            }
+        }
+        debug_assert!(false, "migration drain did not quiesce");
+    }
+
+    /// Transport frame arrived.
+    pub fn on_frame(
+        &mut self,
+        now: Time,
+        from: MachineId,
+        frame: Frame,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        self.kernel.on_frame(now, from, frame, phys, out);
+        self.drain(now, phys, out);
+    }
+
+    /// Submit a locally originated message.
+    pub fn submit(&mut self, now: Time, msg: Message, phys: &mut dyn Phys, out: &mut Outbox) {
+        self.kernel.submit(now, msg, phys, out);
+        self.drain(now, phys, out);
+    }
+
+    /// Run one program activation.
+    pub fn run_next(
+        &mut self,
+        now: Time,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> Option<(ProcessId, Duration)> {
+        let r = self.kernel.run_next(now, phys, out);
+        self.drain(now, phys, out);
+        r
+    }
+
+    /// Whether the run queue may hold work.
+    pub fn has_runnable(&self) -> bool {
+        self.kernel.has_runnable()
+    }
+
+    /// Earliest deadline across kernel timers, transport retransmissions
+    /// and migration timeouts.
+    pub fn next_timer_at(&self) -> Option<Time> {
+        match (self.kernel.next_timer_at(), self.engine.next_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fire due deadlines.
+    pub fn on_time(&mut self, now: Time, phys: &mut dyn Phys, out: &mut Outbox) {
+        self.kernel.on_time(now, phys, out);
+        self.engine.on_time(now, &mut self.kernel, phys, out);
+        self.drain(now, phys, out);
+    }
+
+    /// Convenience for harnesses: migrate `pid` to `dest` directly,
+    /// without a process-manager message (the paper's test setup — "the
+    /// decision to move a particular process and the choice of destination
+    /// were arbitrary", §3.1).
+    pub fn migrate(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        dest: MachineId,
+        reply: Option<Link>,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> Result<()> {
+        let r = self.engine.start_migration(now, &mut self.kernel, pid, dest, reply, phys, out);
+        self.drain(now, phys, out);
+        r
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node").field("kernel", &self.kernel).finish()
+    }
+}

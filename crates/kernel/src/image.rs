@@ -1,0 +1,282 @@
+//! Process memory images.
+//!
+//! A DEMOS/MP process (Figure 2-2) consists of the program being executed
+//! together with its data and stack. We cannot ship real machine code
+//! between simulated machines, so an image's *code segment* carries the
+//! program's registered name (plus padding to the declared code size) and
+//! its *data segment* carries the program's serialized state (plus padding
+//! to the declared data size). Migration transfers these exact bytes with
+//! the move-data facility, so transfer cost scales with image size the way
+//! the paper describes (§6: "for non-trivial processes, the size of the
+//! program and data overshadow the size of the system information").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use demos_types::wire::{self, Wire, WireError};
+
+/// Maximum accepted program-name length in a code segment.
+const MAX_NAME: usize = 256;
+/// Maximum accepted serialized program state.
+const MAX_STATE: usize = 16 << 20;
+
+/// Declared segment sizes for a process image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageLayout {
+    /// Code segment bytes (≥ name length + 2).
+    pub code: u32,
+    /// Data segment bytes (≥ serialized state length + 4).
+    pub data: u32,
+    /// Stack segment bytes.
+    pub stack: u32,
+}
+
+impl Default for ImageLayout {
+    fn default() -> Self {
+        // A small utility process of the era: 8 KiB text, 4 KiB data,
+        // 2 KiB stack.
+        ImageLayout { code: 8 * 1024, data: 4 * 1024, stack: 2 * 1024 }
+    }
+}
+
+impl ImageLayout {
+    /// Total image bytes.
+    pub fn total(&self) -> u32 {
+        self.code + self.data + self.stack
+    }
+}
+
+/// The memory of one process: code, data and stack segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessImage {
+    /// Code segment: `[name_len u16][name][zero padding]`.
+    pub code: Vec<u8>,
+    /// Data segment: `[state_len u32][state][zero padding]`.
+    pub data: Vec<u8>,
+    /// Stack segment (simulated; zeroed).
+    pub stack: Vec<u8>,
+}
+
+impl ProcessImage {
+    /// Build an image for program `name` with initial serialized `state`.
+    ///
+    /// Segments are padded (never truncated) to the layout's declared
+    /// sizes, so `total_len() >= layout.total()` and transfer costs track
+    /// the declared process size.
+    pub fn build(name: &str, state: &[u8], layout: ImageLayout) -> Self {
+        let mut code = Vec::with_capacity(layout.code as usize);
+        code.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        code.extend_from_slice(name.as_bytes());
+        if code.len() < layout.code as usize {
+            code.resize(layout.code as usize, 0);
+        }
+        let mut image = ProcessImage { code, data: Vec::new(), stack: vec![0; layout.stack as usize] };
+        image.store_state(state, layout.data as usize);
+        image
+    }
+
+    /// Program name recorded in the code segment.
+    pub fn program_name(&self) -> Result<String, WireError> {
+        let mut buf = Bytes::copy_from_slice(&self.code);
+        if buf.remaining() < 2 {
+            return Err(WireError::Truncated("code segment"));
+        }
+        let len = buf.get_u16() as usize;
+        if len > MAX_NAME || len > buf.remaining() {
+            return Err(WireError::BadLength { what: "program name", len });
+        }
+        let name = buf.split_to(len);
+        String::from_utf8(name.to_vec())
+            .map_err(|_| WireError::BadLength { what: "program name utf8", len })
+    }
+
+    /// Serialized program state recorded in the data segment.
+    pub fn load_state(&self) -> Result<Bytes, WireError> {
+        let mut buf = Bytes::copy_from_slice(&self.data);
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated("data segment"));
+        }
+        let len = buf.get_u32() as usize;
+        if len > MAX_STATE || len > buf.remaining() {
+            return Err(WireError::BadLength { what: "program state", len });
+        }
+        Ok(buf.split_to(len))
+    }
+
+    /// (Re-)store program state into the data segment, preserving at least
+    /// `min_len` bytes of segment (grows if the state outgrew the segment:
+    /// the memory-table side of "definition of memory … if necessary",
+    /// §3.1 step 5).
+    pub fn store_state(&mut self, state: &[u8], min_len: usize) {
+        self.data.clear();
+        self.data.extend_from_slice(&(state.len() as u32).to_be_bytes());
+        self.data.extend_from_slice(state);
+        if self.data.len() < min_len {
+            self.data.resize(min_len, 0);
+        }
+    }
+
+    /// Total image size in bytes — what migration step 5 transfers.
+    pub fn total_len(&self) -> usize {
+        self.code.len() + self.data.len() + self.stack.len()
+    }
+
+    /// Concatenate the segments for a whole-image move-data read
+    /// (step 5 of §3.1 uses one data move for "code, data, and stack").
+    pub fn to_flat(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.total_len());
+        out.extend_from_slice(&(self.code.len() as u32).to_be_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&(self.stack.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.code);
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(&self.stack);
+        out
+    }
+
+    /// Rebuild from [`Self::to_flat`] bytes.
+    pub fn from_flat(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 12 {
+            return Err(WireError::Truncated("image header"));
+        }
+        let code_len = buf.get_u32() as usize;
+        let data_len = buf.get_u32() as usize;
+        let stack_len = buf.get_u32() as usize;
+        if code_len + data_len + stack_len != buf.remaining() {
+            return Err(WireError::BadLength {
+                what: "image segments",
+                len: code_len + data_len + stack_len,
+            });
+        }
+        let code = buf.split_to(code_len).to_vec();
+        let data = buf.split_to(data_len).to_vec();
+        let stack = buf.split_to(stack_len).to_vec();
+        Ok(ProcessImage { code, data, stack })
+    }
+
+    /// Read `len` bytes at `offset` of the *data segment* — the region
+    /// user-level data-area links grant access to (§2.2).
+    pub fn read_data(&self, offset: u32, len: u32) -> Option<&[u8]> {
+        let start = offset as usize;
+        let end = start.checked_add(len as usize)?;
+        self.data.get(start..end)
+    }
+
+    /// Write into the data segment at `offset`.
+    pub fn write_data(&mut self, offset: u32, bytes: &[u8]) -> bool {
+        let start = offset as usize;
+        let Some(end) = start.checked_add(bytes.len()) else { return false };
+        let Some(slice) = self.data.get_mut(start..end) else { return false };
+        slice.copy_from_slice(bytes);
+        true
+    }
+}
+
+/// Convenience: encode an image layout for the memory tables of the
+/// resident state.
+impl Wire for ImageLayout {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.code);
+        buf.put_u32(self.data);
+        buf.put_u32(self.stack);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 12 {
+            return Err(WireError::Truncated("ImageLayout"));
+        }
+        Ok(ImageLayout { code: buf.get_u32(), data: buf.get_u32(), stack: buf.get_u32() })
+    }
+
+    fn wire_len(&self) -> usize {
+        12
+    }
+}
+
+/// Encode a name + state pair as used by spawn requests.
+pub fn encode_spawn_blob(name: &str, state: &[u8]) -> Bytes {
+    let mut buf = BytesMut::new();
+    wire::put_string(&mut buf, name);
+    wire::put_bytes(&mut buf, state);
+    buf.freeze()
+}
+
+/// Decode a spawn blob.
+pub fn decode_spawn_blob(bytes: &Bytes) -> Result<(String, Bytes), WireError> {
+    let mut buf = bytes.clone();
+    let name = wire::get_string(&mut buf, "spawn.name", MAX_NAME)?;
+    let state = wire::get_bytes(&mut buf, "spawn.state", MAX_STATE)?;
+    Ok((name, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_parse() {
+        let img = ProcessImage::build("pingpong", b"state!", ImageLayout::default());
+        assert_eq!(img.program_name().unwrap(), "pingpong");
+        assert_eq!(&img.load_state().unwrap()[..], b"state!");
+        assert_eq!(img.code.len(), 8 * 1024);
+        assert_eq!(img.data.len(), 4 * 1024);
+        assert_eq!(img.stack.len(), 2 * 1024);
+        assert_eq!(img.total_len() as u32, ImageLayout::default().total());
+    }
+
+    #[test]
+    fn state_larger_than_declared_grows_segment() {
+        let layout = ImageLayout { code: 64, data: 8, stack: 0 };
+        let img = ProcessImage::build("p", &[7u8; 100], layout);
+        assert_eq!(&img.load_state().unwrap()[..], &[7u8; 100][..]);
+        assert!(img.data.len() >= 104);
+    }
+
+    #[test]
+    fn restore_state_in_place() {
+        let mut img = ProcessImage::build("p", b"old", ImageLayout::default());
+        img.store_state(b"newer state", img.data.len());
+        assert_eq!(&img.load_state().unwrap()[..], b"newer state");
+        assert_eq!(img.data.len(), 4 * 1024, "declared size preserved");
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let img = ProcessImage::build("prog", b"abc", ImageLayout { code: 100, data: 50, stack: 25 });
+        let flat = img.to_flat();
+        let back = ProcessImage::from_flat(&flat).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(flat.len(), 12 + img.total_len());
+    }
+
+    #[test]
+    fn flat_rejects_bad_lengths() {
+        let img = ProcessImage::build("prog", b"abc", ImageLayout { code: 64, data: 16, stack: 0 });
+        let mut flat = img.to_flat();
+        flat.pop();
+        assert!(ProcessImage::from_flat(&flat).is_err());
+    }
+
+    #[test]
+    fn data_window_access() {
+        let mut img = ProcessImage::build("p", b"", ImageLayout { code: 16, data: 64, stack: 0 });
+        assert!(img.write_data(10, b"hello"));
+        assert_eq!(img.read_data(10, 5).unwrap(), b"hello");
+        assert!(img.read_data(60, 10).is_none(), "out of bounds read");
+        assert!(!img.write_data(u32::MAX, b"x"), "overflow guarded");
+    }
+
+    #[test]
+    fn corrupt_code_segment_is_error() {
+        let img = ProcessImage { code: vec![0xff], data: vec![], stack: vec![] };
+        assert!(img.program_name().is_err());
+        assert!(img.load_state().is_err());
+    }
+
+    #[test]
+    fn spawn_blob_roundtrip() {
+        let blob = encode_spawn_blob("fs", b"\x01\x02");
+        let (name, state) = decode_spawn_blob(&blob).unwrap();
+        assert_eq!(name, "fs");
+        assert_eq!(&state[..], b"\x01\x02");
+    }
+}

@@ -1,0 +1,1546 @@
+//! The per-processor kernel.
+//!
+//! "A copy of the kernel resides on each processor. Although each kernel
+//! independently maintains its own resources …, all kernels cooperate in
+//! providing a location-transparent, reliable, interprocess message
+//! facility" (§2.1).
+//!
+//! [`Kernel`] owns one machine's process table, forwarding-address table,
+//! run queue, transport endpoint and move-data engine. It is driven by the
+//! simulation loop through a narrow surface:
+//!
+//! * [`Kernel::on_frame`] — a transport frame arrived;
+//! * [`Kernel::run_next`] — give the CPU to the next runnable process;
+//! * [`Kernel::on_time`] — fire due timers and retransmissions;
+//! * [`Kernel::submit`] — the message delivery system (also the entry
+//!   point for locally originated messages).
+//!
+//! The delivery system implements §4 directly: a message finds a live
+//! process (enqueue, or kernel receive for `DELIVERTOKERNEL`), an
+//! in-migration process (held on the queue), a *forwarding address*
+//! (rewrite the location hint, resubmit, and send the §5 link-update
+//! by-product), or nothing (non-deliverable notice). Migration policy and
+//! protocol live in `demos-core`; this crate provides the mechanisms the
+//! protocol composes (freeze, serve state, install, finish source side).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use demos_net::{ChannelConfig, Endpoint, Frame, Phys};
+use demos_types::proto::{AreaSel, KernelOp, LinkMaintMsg, MoveDataMsg};
+use demos_types::wire::Wire;
+use demos_types::{
+    tags, DemosError, Duration, Link, LinkIdx, MachineId, Message, MsgFlags, MsgHeader,
+    ProcessAddress, ProcessId, Result, Time,
+};
+
+use crate::image::ImageLayout;
+use crate::movedata::{MdAction, MoveData, MoveDataConfig, PullPurpose};
+use crate::process::{ExecStatus, Process, TimerEntry};
+use crate::program::{local_tags, Ctx, Delivered, Effects, MoveDataReq, Registry};
+use crate::trace::{MigrationPhase, TraceEvent};
+
+/// Kernel tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Maximum resident processes (capacity for migration accept/reject).
+    pub max_processes: usize,
+    /// Total image memory available, bytes.
+    pub mem_capacity: u64,
+    /// Base virtual CPU charged per program activation (context switch +
+    /// minimal handler).
+    pub base_msg_cpu: Duration,
+    /// Move-data streaming parameters.
+    pub movedata: MoveDataConfig,
+    /// Reliable-channel parameters.
+    pub channel: ChannelConfig,
+    /// Forwarding addresses enabled (§4). `false` selects the paper's
+    /// rejected alternative — return messages as non-deliverable — used as
+    /// an ablation (experiment E8).
+    pub forwarding: bool,
+    /// Garbage-collect forwarding addresses via death notices propagated
+    /// backwards along the migration path (§4). The paper left them in
+    /// place ("we have not found it necessary"); both modes are supported.
+    pub gc_forwarding: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            max_processes: 64,
+            mem_capacity: 16 << 20,
+            base_msg_cpu: Duration::from_micros(100),
+            movedata: MoveDataConfig::default(),
+            channel: ChannelConfig::default(),
+            forwarding: true,
+            gc_forwarding: false,
+        }
+    }
+}
+
+/// A forwarding address: "a degenerate process state, whose only contents
+/// are the (last known) machine to which the process was migrated" (§3.1
+/// step 7). `prev` is the backward pointer along the migration path used
+/// for garbage collection (§4); `forwards` is bookkeeping for the
+/// experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForwardEntry {
+    /// Machine the process moved to.
+    pub to: MachineId,
+    /// Machine the process had previously migrated from, if any.
+    pub prev: Option<MachineId>,
+    /// Messages forwarded through this entry.
+    pub forwards: u64,
+}
+
+/// Message/byte counts for one traffic category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgCount {
+    /// Messages transmitted.
+    pub msgs: u64,
+    /// Total wire bytes of those messages.
+    pub bytes: u64,
+}
+
+impl MsgCount {
+    fn add(&mut self, bytes: usize) {
+        self.msgs += 1;
+        self.bytes += bytes as u64;
+    }
+}
+
+/// Remote traffic broken down by protocol category — the classification
+/// §6's cost analysis uses (administrative messages vs. block data
+/// transfers vs. ordinary messages).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficBreakdown {
+    /// Kernel control operations (`KERNEL_OP`, incl. MigrateRequest #1).
+    pub kernel_op: MsgCount,
+    /// Migration protocol messages (#2, #3, #7, #8, #9).
+    pub migrate: MsgCount,
+    /// Move-data read/write requests (#4–#6 for migrations).
+    pub md_req: MsgCount,
+    /// Move-data data packets.
+    pub md_data: MsgCount,
+    /// Move-data acknowledgements.
+    pub md_ack: MsgCount,
+    /// Move-data completion/abort messages.
+    pub md_done: MsgCount,
+    /// Link maintenance (updates, non-deliverable, death notices).
+    pub link_maint: MsgCount,
+    /// Kernel management (process creation).
+    pub mgmt: MsgCount,
+    /// System-server and user messages.
+    pub user: MsgCount,
+}
+
+impl TrafficBreakdown {
+    /// Administrative migration messages: the paper's "9 such messages"
+    /// (request + protocol + the three state-pull requests).
+    pub fn admin(&self) -> MsgCount {
+        MsgCount {
+            msgs: self.kernel_op.msgs + self.migrate.msgs + self.md_req.msgs,
+            bytes: self.kernel_op.bytes + self.migrate.bytes + self.md_req.bytes,
+        }
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, o: &TrafficBreakdown) {
+        for (a, b) in [
+            (&mut self.kernel_op, &o.kernel_op),
+            (&mut self.migrate, &o.migrate),
+            (&mut self.md_req, &o.md_req),
+            (&mut self.md_data, &o.md_data),
+            (&mut self.md_ack, &o.md_ack),
+            (&mut self.md_done, &o.md_done),
+            (&mut self.link_maint, &o.link_maint),
+            (&mut self.mgmt, &o.mgmt),
+            (&mut self.user, &o.user),
+        ] {
+            a.msgs += b.msgs;
+            a.bytes += b.bytes;
+        }
+    }
+}
+
+/// Counters kept by each kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Remote traffic by category.
+    pub traffic: TrafficBreakdown,
+    /// Messages entering the delivery system here.
+    pub submitted: u64,
+    /// Messages enqueued for local processes.
+    pub delivered_local: u64,
+    /// Messages transmitted to another machine.
+    pub transmitted: u64,
+    /// Messages redirected by a forwarding address (§4).
+    pub forwarded: u64,
+    /// Link-update messages sent (§5).
+    pub link_updates_sent: u64,
+    /// Link-update messages applied.
+    pub link_updates_applied: u64,
+    /// Individual links rewritten by updates.
+    pub links_patched: u64,
+    /// Messages that could not be delivered.
+    pub nondeliverable: u64,
+    /// `DELIVERTOKERNEL` messages received by this kernel.
+    pub kernel_received: u64,
+    /// Processes spawned here.
+    pub spawned: u64,
+    /// Processes exited here.
+    pub exited: u64,
+    /// Program activations run.
+    pub activations: u64,
+}
+
+/// Completion of a kernel-purpose move-data pull (migration state
+/// transfer), surfaced to the migration engine.
+#[derive(Debug, Clone)]
+pub struct KernelPullDone {
+    /// Cookie given at [`Kernel::start_kernel_pull`].
+    pub cookie: u64,
+    /// Operation id.
+    pub op: u16,
+    /// The bytes (empty on failure).
+    pub data: Vec<u8>,
+    /// 0 = success.
+    pub status: u8,
+}
+
+/// Side-channel outputs of one kernel invocation, drained by the caller
+/// (the simulation loop / migration engine).
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Trace events (timestamped by the harness).
+    pub trace: Vec<TraceEvent>,
+    /// Messages the kernel does not interpret itself: the migration
+    /// protocol (`MIGRATE` tag) and `MigrateRequest` control ops, consumed
+    /// by the `demos-core` migration engine.
+    pub migration_inbox: Vec<Message>,
+    /// Completions of kernel-purpose move-data pulls.
+    pub pull_done: Vec<KernelPullDone>,
+}
+
+/// Sizes reported in a migration offer (message #2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationSizes {
+    /// Resident (non-swappable) state bytes.
+    pub resident: u32,
+    /// Swappable state bytes.
+    pub swappable: u32,
+    /// Memory image bytes (flattened).
+    pub image: u32,
+    /// Messages pending on the queue at freeze time.
+    pub queued: u16,
+}
+
+/// The per-machine kernel.
+pub struct Kernel {
+    machine: MachineId,
+    cfg: KernelConfig,
+    registry: Arc<Registry>,
+    endpoint: Endpoint,
+    md: MoveData,
+    procs: BTreeMap<ProcessId, Process>,
+    forwarding: BTreeMap<ProcessId, ForwardEntry>,
+    run_queue: VecDeque<ProcessId>,
+    reserved: BTreeMap<u16, u64>,
+    next_slot: u16,
+    next_uid: u32,
+    mem_used: u64,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Create the kernel for `machine`.
+    pub fn new(machine: MachineId, cfg: KernelConfig, registry: Arc<Registry>) -> Self {
+        Kernel {
+            machine,
+            endpoint: Endpoint::new(machine, cfg.channel),
+            md: MoveData::new(cfg.movedata),
+            cfg,
+            registry,
+            procs: BTreeMap::new(),
+            forwarding: BTreeMap::new(),
+            run_queue: VecDeque::new(),
+            reserved: BTreeMap::new(),
+            next_slot: 1,
+            next_uid: 1,
+            mem_used: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// This kernel's machine.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// This kernel's process identity (local uid 0).
+    pub fn kernel_pid(&self) -> ProcessId {
+        ProcessId::kernel_of(self.machine)
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Image memory in use, bytes (including reservations).
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// Resident process count.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Run-queue length (load metric).
+    pub fn runq_len(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    /// Iterate over resident process ids.
+    pub fn pids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.procs.keys().copied()
+    }
+
+    /// Immutable access to a resident process.
+    pub fn process(&self, pid: ProcessId) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable access to a resident process (tests, bootstrap, engine).
+    pub fn process_mut(&mut self, pid: ProcessId) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// The forwarding table (read-only view).
+    pub fn forwarding_table(&self) -> &BTreeMap<ProcessId, ForwardEntry> {
+        &self.forwarding
+    }
+
+    /// Insert a forwarding entry (crash-recovery path; migrations install
+    /// theirs through [`Kernel::finish_source_side`]).
+    pub(crate) fn forwarding_insert(&mut self, pid: ProcessId, to: MachineId) {
+        self.forwarding.insert(pid, ForwardEntry { to, prev: None, forwards: 0 });
+    }
+
+    /// Reset the reliable channel to `peer` (connection re-establishment
+    /// after the peer is revived with fresh sequence numbers).
+    pub fn reset_channel(&mut self, peer: MachineId) {
+        self.endpoint.reset_peer(peer);
+    }
+
+    /// Whether the transport has unacknowledged frames in flight.
+    pub fn transport_quiescent(&self) -> bool {
+        self.endpoint.quiescent()
+    }
+
+    // ------------------------------------------------------------------
+    // Spawning and bootstrap
+    // ------------------------------------------------------------------
+
+    /// Create a process running registered program `name` with initial
+    /// serialized `state`.
+    pub fn spawn(
+        &mut self,
+        now: Time,
+        name: &str,
+        state: &[u8],
+        layout: ImageLayout,
+        privileged: bool,
+        out: &mut Outbox,
+    ) -> Result<ProcessId> {
+        if self.procs.len() >= self.cfg.max_processes {
+            return Err(DemosError::Capacity(self.machine));
+        }
+        let program = self.registry.instantiate(name, state)?;
+        let pid = ProcessId { creating_machine: self.machine, local_uid: self.next_uid };
+        self.next_uid += 1;
+        let proc = Process::new(pid, name, program, layout, privileged, now);
+        let image_len = proc.image.total_len() as u64;
+        if self.mem_used + image_len > self.cfg.mem_capacity {
+            return Err(DemosError::Capacity(self.machine));
+        }
+        self.mem_used += image_len;
+        self.procs.insert(pid, proc);
+        self.stats.spawned += 1;
+        out.trace.push(TraceEvent::Spawned { pid, program: name.to_string() });
+        self.schedule(pid);
+        Ok(pid)
+    }
+
+    /// Install a link value into a process's table (bootstrap: handing the
+    /// first processes their switchboard links, etc.).
+    pub fn install_link(&mut self, pid: ProcessId, link: Link) -> Result<LinkIdx> {
+        let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        Ok(proc.links.insert(link))
+    }
+
+    /// Mint a link to a local process (kernel participates in all link
+    /// operations; used at bootstrap and by `CreateProcess` replies).
+    pub fn mint_link(&self, pid: ProcessId) -> Result<Link> {
+        if !self.procs.contains_key(&pid) {
+            return Err(DemosError::NoSuchProcess(pid));
+        }
+        Ok(Link::to(pid.at(self.machine)))
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, pid: ProcessId) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            if proc.runnable() && !proc.in_runq {
+                proc.in_runq = true;
+                self.run_queue.push_back(pid);
+            }
+        }
+    }
+
+    fn wake(&mut self, pid: ProcessId) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            if proc.status == ExecStatus::Waiting {
+                proc.status = ExecStatus::Ready;
+            }
+        }
+        self.schedule(pid);
+    }
+
+    /// Whether the run queue may contain work (may report a false positive
+    /// for stale entries; `run_next` skips them).
+    pub fn has_runnable(&self) -> bool {
+        !self.run_queue.is_empty()
+    }
+
+    /// Run one program activation: deliver the next queued message (or
+    /// `on_start`) to the next runnable process. Returns the pid and the
+    /// virtual CPU consumed, or `None` if nothing was runnable.
+    pub fn run_next(
+        &mut self,
+        now: Time,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> Option<(ProcessId, Duration)> {
+        loop {
+            let pid = self.run_queue.pop_front()?;
+            let Some(proc) = self.procs.get_mut(&pid) else { continue };
+            proc.in_runq = false;
+            if !proc.runnable() {
+                continue;
+            }
+            // A DELIVERTOKERNEL message held while the process was in
+            // migration (§3.1 step 1) is received by the kernel now that
+            // "normal message receiving can continue" (§2.2) — it never
+            // reaches the program.
+            if proc.started
+                && proc
+                    .queue
+                    .front()
+                    .is_some_and(|m| m.header.flags.contains(MsgFlags::DELIVER_TO_KERNEL))
+            {
+                let msg = proc.queue.pop_front().expect("peeked");
+                let cost = self.cfg.base_msg_cpu.max(Duration::from_micros(1));
+                {
+                    let proc = self.procs.get_mut(&pid).expect("present");
+                    proc.cpu_used += cost;
+                    if proc.queue.is_empty() {
+                        proc.status = ExecStatus::Waiting;
+                    }
+                }
+                self.stats.kernel_received += 1;
+                out.trace.push(TraceEvent::KernelReceived {
+                    pid,
+                    msg_type: msg.header.msg_type,
+                });
+                self.handle_control(now, pid, msg, phys, out);
+                self.schedule(pid);
+                return Some((pid, cost));
+            }
+            self.stats.activations += 1;
+            let mut effects = Effects::default();
+            let mut program = proc.program.take().expect("runnable implies program");
+            let machine = self.machine;
+            if !proc.started {
+                proc.started = true;
+                let mut ctx = Ctx::new(now, pid, machine, &mut proc.links, &mut effects);
+                program.on_start(&mut ctx);
+            } else {
+                let msg = proc.queue.pop_front().expect("runnable implies queued message");
+                proc.msgs_handled += 1;
+                if msg.header.msg_type == local_tags::TIMER {
+                    let token = decode_timer_token(&msg.payload);
+                    let mut ctx = Ctx::new(now, pid, machine, &mut proc.links, &mut effects);
+                    program.on_timer(&mut ctx, token);
+                } else {
+                    let links: Vec<LinkIdx> =
+                        msg.links.iter().map(|l| proc.links.insert(*l)).collect();
+                    let delivered = Delivered {
+                        from: msg.header.src,
+                        msg_type: msg.header.msg_type,
+                        payload: msg.payload,
+                        links,
+                        forwarded: msg.header.flags.contains(MsgFlags::FORWARDED),
+                    };
+                    let mut ctx = Ctx::new(now, pid, machine, &mut proc.links, &mut effects);
+                    program.on_message(&mut ctx, delivered);
+                }
+            }
+            let proc = self.procs.get_mut(&pid).expect("still present");
+            proc.program = Some(program);
+            // Never zero: virtual time must advance per activation or the
+            // event loop could livelock on a zero-cost message cycle.
+            let cost = (self.cfg.base_msg_cpu + effects.cpu).max(Duration::from_micros(1));
+            proc.cpu_used += cost;
+            for (delay, token) in effects.timers.drain(..) {
+                proc.timers.push(TimerEntry { at: now + delay, token });
+            }
+            if !effects.exit {
+                proc.status =
+                    if proc.queue.is_empty() { ExecStatus::Waiting } else { ExecStatus::Ready };
+            }
+            for text in effects.logs.drain(..) {
+                out.trace.push(TraceEvent::Log { pid, text });
+            }
+            for m in effects.sends.drain(..) {
+                self.submit(now, m, phys, out);
+            }
+            for req in effects.movedata.drain(..) {
+                self.start_user_movedata(now, pid, req, phys, out);
+            }
+            if effects.exit {
+                self.kill(now, pid, phys, out);
+            } else {
+                self.schedule(pid);
+            }
+            return Some((pid, cost));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Earliest future deadline this kernel cares about: process timers
+    /// and transport retransmissions.
+    pub fn next_timer_at(&self) -> Option<Time> {
+        let proc_min = self.procs.values().filter_map(|p| p.next_timer()).min();
+        match (proc_min, self.endpoint.next_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fire everything due at or before `now`.
+    pub fn on_time(&mut self, now: Time, phys: &mut dyn Phys, _out: &mut Outbox) {
+        self.endpoint.on_timeout(now, phys);
+        let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        for pid in pids {
+            let due = {
+                let proc = self.procs.get_mut(&pid).expect("listed");
+                proc.take_due_timers(now)
+            };
+            for t in due {
+                let msg = self.synthetic_msg(pid, local_tags::TIMER, encode_timer_token(t.token));
+                self.enqueue_local_quiet(pid, msg);
+                self.wake(pid);
+            }
+        }
+    }
+
+    fn synthetic_msg(&self, pid: ProcessId, msg_type: u16, payload: Bytes) -> Message {
+        Message {
+            header: MsgHeader {
+                dest: pid.at(self.machine),
+                src: self.kernel_pid(),
+                src_machine: self.machine,
+                msg_type,
+                flags: MsgFlags::FROM_KERNEL,
+                hops: 0,
+            },
+            links: vec![],
+            payload,
+        }
+    }
+
+    fn enqueue_local_quiet(&mut self, pid: ProcessId, msg: Message) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            proc.queue.push_back(msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transport
+    // ------------------------------------------------------------------
+
+    /// A frame arrived from the physical network.
+    pub fn on_frame(
+        &mut self,
+        now: Time,
+        from: MachineId,
+        frame: Frame,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let delivered = self.endpoint.on_frame(now, from, frame, phys);
+        for bytes in delivered {
+            match Message::from_bytes(&bytes) {
+                Ok(msg) => self.submit(now, msg, phys, out),
+                Err(e) => {
+                    debug_assert!(false, "undecodable message on reliable channel: {e}");
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, now: Time, to: MachineId, msg: &Message, phys: &mut dyn Phys) {
+        self.stats.transmitted += 1;
+        let size = msg.wire_size();
+        let t = &mut self.stats.traffic;
+        match msg.header.msg_type {
+            tags::KERNEL_OP => t.kernel_op.add(size),
+            tags::MIGRATE => t.migrate.add(size),
+            tags::MOVE_DATA => match msg.payload.first() {
+                Some(1) | Some(2) => t.md_req.add(size),
+                Some(3) => t.md_data.add(size),
+                Some(4) => t.md_ack.add(size),
+                _ => t.md_done.add(size),
+            },
+            tags::LINK_MAINT => t.link_maint.add(size),
+            local_tags::KERNEL_MGMT => t.mgmt.add(size),
+            _ => t.user.add(size),
+        }
+        // Communication accounting for the affinity policy: charge the
+        // *sending* process for traffic that actually leaves the machine.
+        // (A send to a colocated process — even over a stale link — never
+        // reaches the transport, so it never counts as remote.)
+        if !msg.header.flags.contains(MsgFlags::FROM_KERNEL) && msg.header.src_machine == self.machine
+        {
+            if let Some(proc) = self.procs.get_mut(&msg.header.src) {
+                *proc.bytes_sent_to.entry(to).or_insert(0) += msg.wire_size() as u64;
+            }
+        }
+        self.endpoint.send(now, to, msg.to_bytes(), phys);
+    }
+
+    // ------------------------------------------------------------------
+    // The message delivery system (§4)
+    // ------------------------------------------------------------------
+
+    /// Deliver (or route) one message. This is the single entry point for
+    /// messages originated locally *and* arriving from the network.
+    pub fn submit(&mut self, now: Time, mut msg: Message, phys: &mut dyn Phys, out: &mut Outbox) {
+        self.stats.submitted += 1;
+        let dest = msg.header.dest;
+        // 1. Is the destination process resident here (by pid, regardless
+        //    of the — possibly stale — location hint)?
+        if let Some(proc) = self.procs.get(&dest.pid) {
+            let dtk = msg.header.flags.contains(MsgFlags::DELIVER_TO_KERNEL);
+            if dtk && !proc.in_migration {
+                // "On arrival at the destination process's message queue,
+                // the message is received by the kernel" (§2.2).
+                self.stats.kernel_received += 1;
+                out.trace.push(TraceEvent::KernelReceived {
+                    pid: dest.pid,
+                    msg_type: msg.header.msg_type,
+                });
+                self.handle_control(now, dest.pid, msg, phys, out);
+            } else {
+                // Normal delivery — or an in-migration hold: "messages
+                // arriving for the migrating process, including
+                // DELIVERTOKERNEL messages, will be placed on its message
+                // queue" (§3.1 step 1).
+                self.stats.delivered_local += 1;
+                out.trace.push(TraceEvent::Enqueued {
+                    pid: dest.pid,
+                    msg_type: msg.header.msg_type,
+                    forwarded: msg.header.flags.contains(MsgFlags::FORWARDED),
+                    hops: msg.header.hops,
+                });
+                let proc = self.procs.get_mut(&dest.pid).expect("present");
+                proc.queue.push_back(msg);
+                self.wake(dest.pid);
+            }
+            return;
+        }
+        // 2. Kernel-addressed messages.
+        if dest.pid.is_kernel() {
+            if dest.pid.kernel_machine() == Some(self.machine) {
+                self.handle_kernel_msg(now, msg, phys, out);
+            } else if let Some(m) = dest.pid.kernel_machine() {
+                self.transmit(now, m, &msg, phys);
+            }
+            return;
+        }
+        // 3. Not local: route towards the location hint.
+        if dest.last_known_machine != self.machine {
+            self.transmit(now, dest.last_known_machine, &msg, phys);
+            return;
+        }
+        // 4. Addressed here but absent: forwarding address? (§4)
+        if self.cfg.forwarding {
+            if let Some(entry) = self.forwarding.get_mut(&dest.pid) {
+                entry.forwards += 1;
+                let to = entry.to;
+                self.stats.forwarded += 1;
+                out.trace.push(TraceEvent::ForwardedMessage {
+                    pid: dest.pid,
+                    to,
+                    msg_type: msg.header.msg_type,
+                });
+                msg.header.dest = dest.rehomed(to);
+                msg.header.flags = msg.header.flags | MsgFlags::FORWARDED;
+                msg.header.hops = msg.header.hops.saturating_add(1);
+                // §5 by-product: tell the sender's kernel where the process
+                // went so it can patch the sender's links.
+                let sender = msg.header.src;
+                let sender_machine = msg.header.src_machine;
+                let from_kernel = msg.header.flags.contains(MsgFlags::FROM_KERNEL);
+                if !from_kernel && !sender.is_kernel() {
+                    self.stats.link_updates_sent += 1;
+                    out.trace.push(TraceEvent::LinkUpdateSent {
+                        sender,
+                        migrated: dest.pid,
+                        new_machine: to,
+                    });
+                    let update = self.kernel_msg(
+                        ProcessAddress::kernel_of(sender_machine),
+                        tags::LINK_MAINT,
+                        LinkMaintMsg::LinkUpdate { sender, migrated: dest.pid, new_machine: to }
+                            .to_bytes(),
+                        vec![],
+                    );
+                    self.submit(now, update, phys, out);
+                }
+                self.submit(now, msg, phys, out);
+                return;
+            }
+        }
+        // 5. Non-deliverable (dead process — or the ablation mode, §4).
+        self.stats.nondeliverable += 1;
+        out.trace.push(TraceEvent::NonDeliverable { pid: dest.pid, msg_type: msg.header.msg_type });
+        let sender = msg.header.src;
+        if !msg.header.flags.contains(MsgFlags::FROM_KERNEL) && !sender.is_kernel() {
+            let reason = if self.cfg.forwarding { 0 } else { 1 };
+            let notice = Message {
+                header: MsgHeader {
+                    dest: sender.at(msg.header.src_machine),
+                    src: self.kernel_pid(),
+                    src_machine: self.machine,
+                    msg_type: tags::LINK_MAINT,
+                    flags: MsgFlags::DELIVER_TO_KERNEL | MsgFlags::FROM_KERNEL,
+                    hops: 0,
+                },
+                links: vec![],
+                payload: LinkMaintMsg::NonDeliverable {
+                    dest: dest.pid,
+                    msg_type: msg.header.msg_type,
+                    reason,
+                }
+                .to_bytes(),
+            };
+            self.submit(now, notice, phys, out);
+        }
+    }
+
+    /// Build a kernel-originated message.
+    fn kernel_msg(
+        &self,
+        dest: ProcessAddress,
+        msg_type: u16,
+        payload: Bytes,
+        links: Vec<Link>,
+    ) -> Message {
+        Message {
+            header: MsgHeader {
+                dest,
+                src: self.kernel_pid(),
+                src_machine: self.machine,
+                msg_type,
+                flags: MsgFlags::FROM_KERNEL,
+                hops: 0,
+            },
+            links,
+            payload,
+        }
+    }
+
+    /// Send a migration protocol message to another machine's kernel
+    /// (used by the `demos-core` migration engine).
+    pub fn send_migrate_msg(
+        &mut self,
+        now: Time,
+        to: MachineId,
+        payload: Bytes,
+        links: Vec<Link>,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let msg = self.kernel_msg(ProcessAddress::kernel_of(to), tags::MIGRATE, payload, links);
+        self.submit(now, msg, phys, out);
+    }
+
+    /// Send an arbitrary kernel-originated message to a process address
+    /// (used by the migration engine for the `Done` notification, which
+    /// travels over the requester's reply link).
+    pub fn send_kernel_to(
+        &mut self,
+        now: Time,
+        link: Link,
+        msg_type: u16,
+        payload: Bytes,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let mut flags = MsgFlags::FROM_KERNEL;
+        if link.is_dtk() {
+            flags = flags | MsgFlags::DELIVER_TO_KERNEL;
+        }
+        let msg = Message {
+            header: MsgHeader {
+                dest: link.addr,
+                src: self.kernel_pid(),
+                src_machine: self.machine,
+                msg_type,
+                flags,
+                hops: 0,
+            },
+            links: vec![],
+            payload,
+        };
+        self.submit(now, msg, phys, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Control operations (DELIVERTOKERNEL receives, §2.2)
+    // ------------------------------------------------------------------
+
+    fn handle_control(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        msg: Message,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        match msg.header.msg_type {
+            tags::KERNEL_OP => {
+                let Ok(op) = KernelOp::from_bytes(&msg.payload) else { return };
+                match op {
+                    KernelOp::Suspend => self.suspend(pid),
+                    KernelOp::Resume => self.resume(pid),
+                    KernelOp::Kill => self.kill(now, pid, phys, out),
+                    KernelOp::QueryStatus => {
+                        if let Some(reply) = msg.links.first() {
+                            let payload = self.encode_status(pid);
+                            self.send_kernel_to(now, *reply, tags::KERNEL_OP, payload, phys, out);
+                        }
+                    }
+                    KernelOp::MigrateRequest { .. } => {
+                        // Policy and protocol live in the migration engine.
+                        out.migration_inbox.push(msg);
+                    }
+                }
+            }
+            tags::MOVE_DATA => {
+                let Ok(m) = MoveDataMsg::from_bytes(&msg.payload) else { return };
+                self.handle_user_movedata_request(now, pid, &msg, m, phys, out);
+            }
+            tags::LINK_MAINT => {
+                if let Ok(LinkMaintMsg::NonDeliverable { dest, msg_type, reason }) =
+                    LinkMaintMsg::from_bytes(&msg.payload)
+                {
+                    // Mark the sender's links dead and tell the program.
+                    if let Some(proc) = self.procs.get_mut(&pid) {
+                        proc.links.mark_dead(dest);
+                    }
+                    let mut payload = BytesMut::new();
+                    dest.encode(&mut payload);
+                    payload.put_u16(msg_type);
+                    payload.put_u8(reason);
+                    let notice =
+                        self.synthetic_msg(pid, local_tags::NON_DELIVERABLE, payload.freeze());
+                    self.enqueue_local_quiet(pid, notice);
+                    self.wake(pid);
+                }
+            }
+            _ => {
+                // A DELIVERTOKERNEL message with an unknown control tag:
+                // dropped (traced as kernel-received above).
+            }
+        }
+    }
+
+    fn encode_status(&self, pid: ProcessId) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self.procs.get(&pid) {
+            Some(p) => {
+                buf.put_u8(1);
+                buf.put_u8(match p.status {
+                    ExecStatus::Ready => 0,
+                    ExecStatus::Waiting => 1,
+                    ExecStatus::Suspended => 2,
+                });
+                buf.put_u8(p.in_migration as u8);
+                buf.put_u16(p.queue.len() as u16);
+                self.machine.encode(&mut buf);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.freeze()
+    }
+
+    /// Suspend a process (take it off the run queue; messages accumulate).
+    pub fn suspend(&mut self, pid: ProcessId) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            proc.status = ExecStatus::Suspended;
+        }
+    }
+
+    /// Resume a suspended process.
+    pub fn resume(&mut self, pid: ProcessId) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            if proc.status == ExecStatus::Suspended {
+                proc.status =
+                    if proc.queue.is_empty() && proc.started { ExecStatus::Waiting } else { ExecStatus::Ready };
+                self.schedule(pid);
+            }
+        }
+    }
+
+    /// Destroy a process, reclaim its memory, abort its move-data
+    /// operations, and (if enabled) start forwarding-address garbage
+    /// collection along the migration path (§4).
+    pub fn kill(&mut self, now: Time, pid: ProcessId, phys: &mut dyn Phys, out: &mut Outbox) {
+        let Some(proc) = self.procs.remove(&pid) else { return };
+        self.mem_used = self.mem_used.saturating_sub(proc.image.total_len() as u64);
+        self.stats.exited += 1;
+        out.trace.push(TraceEvent::Exited { pid });
+        let actions = self.md.abort_ops_touching(pid);
+        self.apply_md_actions(now, actions, phys, out);
+        if self.cfg.gc_forwarding {
+            if let Some(prev) = proc.migrated_from {
+                let notice = self.kernel_msg(
+                    ProcessAddress::kernel_of(prev),
+                    tags::LINK_MAINT,
+                    LinkMaintMsg::DeathNotice { pid }.to_bytes(),
+                    vec![],
+                );
+                self.submit(now, notice, phys, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel-addressed messages
+    // ------------------------------------------------------------------
+
+    fn handle_kernel_msg(
+        &mut self,
+        now: Time,
+        msg: Message,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        match msg.header.msg_type {
+            tags::MIGRATE => out.migration_inbox.push(msg),
+            tags::MOVE_DATA => {
+                let Ok(m) = MoveDataMsg::from_bytes(&msg.payload) else { return };
+                match m {
+                    MoveDataMsg::ReadReq { op, target, sel, offset, len } => {
+                        self.serve_kernel_read(now, &msg, op, target, sel, offset, len, phys, out);
+                    }
+                    MoveDataMsg::WriteReq { op, .. } => {
+                        // Kernel-addressed writes are not part of any
+                        // protocol we speak; refuse.
+                        let a = self.md.abort_reply(op, msg.header.src_machine, 2);
+                        self.apply_md_actions(now, vec![a], phys, out);
+                    }
+                    other => {
+                        let actions = self.md.on_msg(msg.header.src_machine, other);
+                        self.apply_md_actions(now, actions, phys, out);
+                    }
+                }
+            }
+            tags::LINK_MAINT => {
+                let Ok(m) = LinkMaintMsg::from_bytes(&msg.payload) else { return };
+                match m {
+                    LinkMaintMsg::LinkUpdate { sender, migrated, new_machine } => {
+                        self.stats.link_updates_applied += 1;
+                        if let Some(proc) = self.procs.get_mut(&sender) {
+                            let patched = proc.links.rehome_links_to(migrated, new_machine);
+                            self.stats.links_patched += patched as u64;
+                            out.trace.push(TraceEvent::LinkUpdateApplied {
+                                sender,
+                                migrated,
+                                patched,
+                            });
+                        }
+                    }
+                    LinkMaintMsg::DeathNotice { pid } => {
+                        if let Some(entry) = self.forwarding.remove(&pid) {
+                            out.trace.push(TraceEvent::ForwardingCollected { pid });
+                            if let Some(prev) = entry.prev {
+                                let notice = self.kernel_msg(
+                                    ProcessAddress::kernel_of(prev),
+                                    tags::LINK_MAINT,
+                                    LinkMaintMsg::DeathNotice { pid }.to_bytes(),
+                                    vec![],
+                                );
+                                self.submit(now, notice, phys, out);
+                            }
+                        }
+                    }
+                    LinkMaintMsg::NonDeliverable { .. } => {
+                        // Addressed to a kernel only when the original
+                        // sender was a kernel; our kernel protocols carry
+                        // their own failure handling. Ignore.
+                    }
+                }
+            }
+            local_tags::KERNEL_MGMT => {
+                self.handle_mgmt(now, msg, phys, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_mgmt(&mut self, now: Time, msg: Message, phys: &mut dyn Phys, out: &mut Outbox) {
+        use crate::mgmt::KernelMgmt;
+        let Ok(m) = KernelMgmt::from_bytes(&msg.payload) else { return };
+        if let KernelMgmt::CreateProcess { token, name, state, layout, privileged } = m {
+            let Some(reply) = msg.links.first().copied() else { return };
+            match self.spawn(now, &name, &state, layout, privileged, out) {
+                Ok(pid) => {
+                    let link = Link::to(pid.at(self.machine));
+                    let reply_msg = Message {
+                        header: MsgHeader {
+                            dest: reply.addr,
+                            src: self.kernel_pid(),
+                            src_machine: self.machine,
+                            msg_type: local_tags::KERNEL_MGMT,
+                            flags: MsgFlags::FROM_KERNEL,
+                            hops: 0,
+                        },
+                        links: vec![link],
+                        payload: KernelMgmt::Created { token, pid }.to_bytes(),
+                    };
+                    self.submit(now, reply_msg, phys, out);
+                }
+                Err(e) => {
+                    let reason = match e {
+                        DemosError::Capacity(_) => 0,
+                        DemosError::UnknownProgram(_) => 1,
+                        _ => 2,
+                    };
+                    let reply_msg = Message {
+                        header: MsgHeader {
+                            dest: reply.addr,
+                            src: self.kernel_pid(),
+                            src_machine: self.machine,
+                            msg_type: local_tags::KERNEL_MGMT,
+                            flags: MsgFlags::FROM_KERNEL,
+                            hops: 0,
+                        },
+                        links: vec![],
+                        payload: KernelMgmt::CreateFailed { token, reason }.to_bytes(),
+                    };
+                    self.submit(now, reply_msg, phys, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Move-data plumbing
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn serve_kernel_read(
+        &mut self,
+        now: Time,
+        msg: &Message,
+        op: u16,
+        target: ProcessId,
+        sel: AreaSel,
+        offset: u32,
+        len: u32,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let requester = msg.header.src_machine;
+        let from_kernel = msg.header.flags.contains(MsgFlags::FROM_KERNEL);
+        let actions = match self.read_area(target, sel, offset, len, None, from_kernel) {
+            Ok(data) => self.md.begin_serve(op, requester, data),
+            Err(_) => vec![self.md.abort_reply(op, requester, 2)],
+        };
+        self.apply_md_actions(now, actions, phys, out);
+    }
+
+    /// Read an area of `pid` for a move-data serve. Migration selectors
+    /// require a kernel requester and a frozen process; `LinkArea` is
+    /// validated against `link`.
+    pub fn read_area(
+        &mut self,
+        pid: ProcessId,
+        sel: AreaSel,
+        offset: u32,
+        len: u32,
+        link: Option<&Link>,
+        from_kernel: bool,
+    ) -> Result<Bytes> {
+        let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        match sel {
+            AreaSel::Resident => {
+                if !from_kernel || !proc.in_migration {
+                    return Err(DemosError::Internal("resident read requires migration authority"));
+                }
+                Ok(Bytes::from(proc.serialize_resident()))
+            }
+            AreaSel::Swappable => {
+                if !from_kernel || !proc.in_migration {
+                    return Err(DemosError::Internal("swappable read requires migration authority"));
+                }
+                Ok(Bytes::from(proc.serialize_swappable()))
+            }
+            AreaSel::Image => {
+                if !from_kernel || !proc.in_migration {
+                    return Err(DemosError::Internal("image read requires migration authority"));
+                }
+                Ok(Bytes::from(proc.image.to_flat()))
+            }
+            AreaSel::LinkArea => {
+                let link = link.ok_or(DemosError::Internal("LinkArea read without link"))?;
+                let area = link.area.ok_or(DemosError::AreaOutOfBounds)?;
+                if link.target() != pid
+                    || !link.attrs.contains(demos_types::LinkAttrs::DATA_READ)
+                    || !area.contains_range(offset, len)
+                {
+                    return Err(DemosError::AreaOutOfBounds);
+                }
+                // Serve *live* memory: re-serialize the program state into
+                // the data segment so the reader sees current contents.
+                proc.refresh_image();
+                proc.image
+                    .read_data(offset, len)
+                    .map(Bytes::copy_from_slice)
+                    .ok_or(DemosError::AreaOutOfBounds)
+            }
+        }
+    }
+
+    /// Handle a user-level move-data request that arrived over a
+    /// `DELIVERTOKERNEL` link addressed to `pid` (§2.2).
+    fn handle_user_movedata_request(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        msg: &Message,
+        m: MoveDataMsg,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let requester = msg.header.src_machine;
+        match m {
+            MoveDataMsg::ReadReq { op, sel: AreaSel::LinkArea, offset, len, .. } => {
+                let link = msg.links.first().copied();
+                let actions = match self.read_area(pid, AreaSel::LinkArea, offset, len, link.as_ref(), false)
+                {
+                    Ok(data) => self.md.begin_serve(op, requester, data),
+                    Err(_) => vec![self.md.abort_reply(op, requester, 2)],
+                };
+                self.apply_md_actions(now, actions, phys, out);
+            }
+            MoveDataMsg::WriteReq { op, sel: AreaSel::LinkArea, offset, len, .. } => {
+                let ok = msg.links.first().is_some_and(|link| {
+                    link.target() == pid
+                        && link.attrs.contains(demos_types::LinkAttrs::DATA_WRITE)
+                        && link.area.is_some_and(|a| a.contains_range(offset, len))
+                });
+                let action = if ok {
+                    self.md.accept_push(op, requester, pid, offset, len)
+                } else {
+                    self.md.abort_reply(op, requester, 2)
+                };
+                self.apply_md_actions(now, vec![action], phys, out);
+            }
+            other => {
+                // Data/Ack/Done never travel DTK; a request with a
+                // migration selector over a user link is refused.
+                if let MoveDataMsg::ReadReq { op, .. } | MoveDataMsg::WriteReq { op, .. } = other {
+                    let a = self.md.abort_reply(op, requester, 2);
+                    self.apply_md_actions(now, vec![a], phys, out);
+                }
+            }
+        }
+    }
+
+    /// Start a user-level move-data operation for local process `pid`.
+    fn start_user_movedata(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        req: MoveDataReq,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let fail = |kernel: &mut Kernel, status: u8| {
+            let payload = encode_md_done(req.token, status, 0);
+            let notice = kernel.synthetic_msg(pid, local_tags::MOVE_DATA_DONE, payload);
+            kernel.enqueue_local_quiet(pid, notice);
+            kernel.wake(pid);
+        };
+        let Some(proc) = self.procs.get(&pid) else { return };
+        let Ok(link) = proc.links.get(req.link) else {
+            fail(self, 2);
+            return;
+        };
+        let Some(area) = link.area else {
+            fail(self, 2);
+            return;
+        };
+        let abs = area.offset.saturating_add(req.remote_off);
+        if !area.contains_range(abs, req.len) {
+            fail(self, 2);
+            return;
+        }
+        if req.read {
+            let (_op, readreq) = self.md.start_pull(
+                PullPurpose::ProcessRead { pid, local_off: req.local_off, token: req.token },
+                link.target(),
+                AreaSel::LinkArea,
+                abs,
+                req.len,
+            );
+            let msg = Message {
+                header: MsgHeader {
+                    dest: link.addr,
+                    src: pid,
+                    src_machine: self.machine,
+                    msg_type: tags::MOVE_DATA,
+                    flags: MsgFlags::DELIVER_TO_KERNEL,
+                    hops: 0,
+                },
+                links: vec![link],
+                payload: readreq.to_bytes(),
+            };
+            self.submit(now, msg, phys, out);
+        } else {
+            let Some(proc) = self.procs.get(&pid) else { return };
+            let Some(data) = proc.image.read_data(req.local_off, req.len) else {
+                fail(self, 2);
+                return;
+            };
+            let data = Bytes::copy_from_slice(data);
+            let (_op, writereq) =
+                self.md.start_push((pid, req.token), data, link.target(), AreaSel::LinkArea, abs);
+            let msg = Message {
+                header: MsgHeader {
+                    dest: link.addr,
+                    src: pid,
+                    src_machine: self.machine,
+                    msg_type: tags::MOVE_DATA,
+                    flags: MsgFlags::DELIVER_TO_KERNEL,
+                    hops: 0,
+                },
+                links: vec![link],
+                payload: writereq.to_bytes(),
+            };
+            self.submit(now, msg, phys, out);
+        }
+    }
+
+    /// Carry out actions returned by the move-data engine.
+    fn apply_md_actions(
+        &mut self,
+        now: Time,
+        actions: Vec<MdAction>,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        for a in actions {
+            match a {
+                MdAction::Send { to, msg } => {
+                    let m = self.kernel_msg(
+                        ProcessAddress::kernel_of(to),
+                        tags::MOVE_DATA,
+                        msg.to_bytes(),
+                        vec![],
+                    );
+                    self.submit(now, m, phys, out);
+                }
+                MdAction::WriteProcess { pid, off, bytes } => {
+                    if let Some(proc) = self.procs.get_mut(&pid) {
+                        let ok = proc.image.write_data(off, &bytes);
+                        debug_assert!(ok, "validated window writes must fit");
+                        if let Some(program) = proc.program.as_mut() {
+                            program.on_data_write(off, &bytes);
+                        }
+                    }
+                }
+                MdAction::PullDone { purpose, op, data, status } => match purpose {
+                    PullPurpose::Kernel { cookie } => {
+                        out.trace.push(TraceEvent::MoveDataDone {
+                            op,
+                            bytes: data.len() as u64,
+                            status,
+                        });
+                        out.pull_done.push(KernelPullDone { cookie, op, data, status });
+                    }
+                    PullPurpose::ProcessRead { pid, local_off, token } => {
+                        let mut final_status = status;
+                        let len = data.len() as u32;
+                        if status == 0 {
+                            if let Some(proc) = self.procs.get_mut(&pid) {
+                                if !proc.image.write_data(local_off, &data) {
+                                    final_status = 2;
+                                }
+                            } else {
+                                final_status = 3;
+                            }
+                        }
+                        let payload = encode_md_done(token, final_status, len);
+                        let notice = self.synthetic_msg(pid, local_tags::MOVE_DATA_DONE, payload);
+                        self.enqueue_local_quiet(pid, notice);
+                        self.wake(pid);
+                    }
+                },
+                MdAction::PushDone { pid, token, status, len } => {
+                    let payload = encode_md_done(token, status, len);
+                    let notice = self.synthetic_msg(pid, local_tags::MOVE_DATA_DONE, payload);
+                    self.enqueue_local_quiet(pid, notice);
+                    self.wake(pid);
+                }
+            }
+        }
+    }
+
+    /// Start a kernel-purpose pull (migration state transfer) from
+    /// `source_machine`'s kernel. Completion arrives in
+    /// [`Outbox::pull_done`] with `cookie`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_kernel_pull(
+        &mut self,
+        now: Time,
+        cookie: u64,
+        target: ProcessId,
+        source_machine: MachineId,
+        sel: AreaSel,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> u16 {
+        let (op, readreq) = self.md.start_pull(PullPurpose::Kernel { cookie }, target, sel, 0, 0);
+        let msg = self.kernel_msg(
+            ProcessAddress::kernel_of(source_machine),
+            tags::MOVE_DATA,
+            readreq.to_bytes(),
+            vec![],
+        );
+        self.submit(now, msg, phys, out);
+        op
+    }
+
+    // ------------------------------------------------------------------
+    // Migration mechanisms (composed by the demos-core engine)
+    // ------------------------------------------------------------------
+
+    /// Step 1: remove the process from execution and mark it "in
+    /// migration". Arriving messages (including `DELIVERTOKERNEL` ones)
+    /// are held on its queue. Active move-data operations touching the
+    /// process are aborted (their initiators see an error and may retry).
+    pub fn freeze_for_migration(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> Result<MigrationSizes> {
+        if pid.is_kernel() {
+            return Err(DemosError::KernelImmovable(self.machine));
+        }
+        {
+            let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+            if proc.in_migration {
+                return Err(DemosError::AlreadyMigrating(pid));
+            }
+            proc.in_migration = true;
+            proc.refresh_image();
+        }
+        let actions = self.md.abort_ops_touching(pid);
+        self.apply_md_actions(now, actions, phys, out);
+        let proc = self.procs.get(&pid).expect("present");
+        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Frozen });
+        Ok(MigrationSizes {
+            resident: proc.serialize_resident().len() as u32,
+            swappable: proc.serialize_swappable().len() as u32,
+            image: proc.image.to_flat().len() as u32,
+            queued: proc.queue.len() as u16,
+        })
+    }
+
+    /// Abort a migration: thaw the process at the source.
+    pub fn unfreeze(&mut self, pid: ProcessId, out: &mut Outbox) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            proc.in_migration = false;
+            out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Aborted });
+            self.schedule(pid);
+        }
+    }
+
+    /// Step 3 (destination): reserve capacity for an incoming process.
+    /// Returns a slot id; release with [`Kernel::release_reservation`] on
+    /// failure. Reservations count against memory and process capacity.
+    pub fn reserve_incoming(&mut self, pid: ProcessId, image_len: u64) -> Result<u16> {
+        if self.procs.contains_key(&pid) {
+            return Err(DemosError::AlreadyMigrating(pid));
+        }
+        if self.procs.len() + self.reserved.len() >= self.cfg.max_processes {
+            return Err(DemosError::Capacity(self.machine));
+        }
+        if self.mem_used + image_len > self.cfg.mem_capacity {
+            return Err(DemosError::Capacity(self.machine));
+        }
+        let slot = self.next_slot;
+        self.next_slot = self.next_slot.wrapping_add(1).max(1);
+        self.mem_used += image_len;
+        self.reserved.insert(slot, image_len);
+        Ok(slot)
+    }
+
+    /// Release a reservation made by [`Kernel::reserve_incoming`].
+    pub fn release_reservation(&mut self, slot: u16) {
+        if let Some(bytes) = self.reserved.remove(&slot) {
+            self.mem_used = self.mem_used.saturating_sub(bytes);
+        }
+    }
+
+    /// Steps 4–5 complete (destination): construct the process from the
+    /// three transferred blobs against reservation `slot`. The process is
+    /// *not* yet scheduled; call [`Kernel::restart_migrated`] (step 8)
+    /// once the source has confirmed cleanup.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_migrated(
+        &mut self,
+        now: Time,
+        slot: u16,
+        from: MachineId,
+        resident: &[u8],
+        swappable: &[u8],
+        image_flat: &[u8],
+        out: &mut Outbox,
+    ) -> Result<ProcessId> {
+        let image = crate::image::ProcessImage::from_flat(image_flat).map_err(DemosError::Wire)?;
+        let mut proc = Process::from_migrated(resident, swappable, image).map_err(DemosError::Wire)?;
+        proc.instantiate(&self.registry)?;
+        proc.migrated_from = Some(from);
+        proc.migrations += 1;
+        let pid = proc.pid;
+        // Swap the reservation for the real memory accounting.
+        let reserved = self.reserved.remove(&slot).unwrap_or(0);
+        self.mem_used = self.mem_used.saturating_sub(reserved);
+        self.mem_used += proc.image.total_len() as u64;
+        // The process may have migrated away from here earlier and come
+        // back: drop any stale forwarding address so delivery finds it.
+        self.forwarding.remove(&pid);
+        // Hold execution until step 8.
+        proc.in_migration = true;
+        self.procs.insert(pid, proc);
+        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::ImageTransferred });
+        let _ = now;
+        Ok(pid)
+    }
+
+    /// Step 8 (destination): restart the process "in whatever state it was
+    /// in before being migrated".
+    pub fn restart_migrated(&mut self, pid: ProcessId, out: &mut Outbox) -> Result<()> {
+        let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        proc.in_migration = false;
+        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Restarted });
+        self.schedule(pid);
+        Ok(())
+    }
+
+    /// Steps 6–7 (source): forward every pending message to `dest` with a
+    /// rewritten location hint, remove the process state, reclaim memory,
+    /// and leave a forwarding address. Returns the number of messages
+    /// forwarded.
+    pub fn finish_source_side(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        dest: MachineId,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) -> Result<u16> {
+        let mut proc = self.procs.remove(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        debug_assert!(proc.in_migration, "finish_source_side on unfrozen process");
+        let pending: Vec<Message> = proc.queue.drain(..).collect();
+        let forwarded = pending.len() as u16;
+        // Step 6: "the source kernel changes the location part of the
+        // process address to reflect the new location" and resends.
+        for mut m in pending {
+            m.header.dest = m.header.dest.rehomed(dest);
+            m.header.hops = m.header.hops.saturating_add(1);
+            self.submit(now, m, phys, out);
+        }
+        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::PendingForwarded });
+        // Step 7: reclaim, install the forwarding address.
+        self.mem_used = self.mem_used.saturating_sub(proc.image.total_len() as u64);
+        self.forwarding
+            .insert(pid, ForwardEntry { to: dest, prev: proc.migrated_from, forwards: 0 });
+        out.trace.push(TraceEvent::ForwardingInstalled { pid, to: dest });
+        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::CleanedUp });
+        Ok(forwarded)
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("machine", &self.machine)
+            .field("procs", &self.procs.keys().collect::<Vec<_>>())
+            .field("forwarding", &self.forwarding)
+            .field("runq", &self.run_queue)
+            .finish()
+    }
+}
+
+fn encode_timer_token(token: u64) -> Bytes {
+    Bytes::copy_from_slice(&token.to_be_bytes())
+}
+
+fn decode_timer_token(payload: &Bytes) -> u64 {
+    let mut b = [0u8; 8];
+    if payload.len() == 8 {
+        b.copy_from_slice(payload);
+    }
+    u64::from_be_bytes(b)
+}
+
+/// Encode a `MOVE_DATA_DONE` payload: token, status, length.
+pub fn encode_md_done(token: u16, status: u8, len: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(7);
+    buf.put_u16(token);
+    buf.put_u8(status);
+    buf.put_u32(len);
+    buf.freeze()
+}
+
+/// Decode a `MOVE_DATA_DONE` payload.
+pub fn decode_md_done(payload: &Bytes) -> Option<(u16, u8, u32)> {
+    let mut b = payload.clone();
+    if b.remaining() < 7 {
+        return None;
+    }
+    Some((b.get_u16(), b.get_u8(), b.get_u32()))
+}

@@ -1,0 +1,165 @@
+//! Structured event trace.
+//!
+//! Kernels append [`TraceEvent`]s to their [`crate::Outbox`]; the
+//! simulation harness timestamps and collects them. The experiment
+//! binaries reconstruct every table of the paper's cost analysis from
+//! these events (administrative message counts, forwarding overhead,
+//! link-update convergence, migration step timings).
+
+use demos_types::{MachineId, ProcessId, Time};
+
+/// One traced kernel event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A process was created.
+    Spawned {
+        /// The new process.
+        pid: ProcessId,
+        /// Registered program name.
+        program: String,
+    },
+    /// A process terminated.
+    Exited {
+        /// The process.
+        pid: ProcessId,
+    },
+    /// A message was placed on a local process's queue.
+    Enqueued {
+        /// Receiving process.
+        pid: ProcessId,
+        /// Message type tag.
+        msg_type: u16,
+        /// Whether the message had been forwarded at least once.
+        forwarded: bool,
+        /// Forwarding hops the message took.
+        hops: u8,
+    },
+    /// A message was received by the kernel (`DELIVERTOKERNEL`).
+    KernelReceived {
+        /// Process the message was addressed to.
+        pid: ProcessId,
+        /// Message type tag.
+        msg_type: u16,
+    },
+    /// A message hit a forwarding address and was resubmitted (§4).
+    ForwardedMessage {
+        /// The migrated process the message was chasing.
+        pid: ProcessId,
+        /// Where the forwarding address pointed.
+        to: MachineId,
+        /// Message type tag.
+        msg_type: u16,
+    },
+    /// A link-update message was sent back to a sender's kernel (§5).
+    LinkUpdateSent {
+        /// Whose links will be patched.
+        sender: ProcessId,
+        /// The migrated process.
+        migrated: ProcessId,
+        /// Its new home.
+        new_machine: MachineId,
+    },
+    /// Links were patched on receipt of a link update (§5).
+    LinkUpdateApplied {
+        /// Process whose table was patched.
+        sender: ProcessId,
+        /// The migrated process.
+        migrated: ProcessId,
+        /// Number of links rewritten.
+        patched: usize,
+    },
+    /// A message could not be delivered (no process, no forwarding
+    /// address — or forwarding disabled in the ablation mode, §4).
+    NonDeliverable {
+        /// Destination that does not exist here.
+        pid: ProcessId,
+        /// Message type tag.
+        msg_type: u16,
+    },
+    /// Migration lifecycle marker (steps of §3.1).
+    Migration {
+        /// The migrating process.
+        pid: ProcessId,
+        /// Which step (see [`MigrationPhase`]).
+        phase: MigrationPhase,
+    },
+    /// A forwarding address was installed (step 7).
+    ForwardingInstalled {
+        /// The migrated process.
+        pid: ProcessId,
+        /// Destination it points to.
+        to: MachineId,
+    },
+    /// A forwarding address was garbage-collected after a death notice.
+    ForwardingCollected {
+        /// The dead process.
+        pid: ProcessId,
+    },
+    /// A move-data operation finished.
+    MoveDataDone {
+        /// Operation id.
+        op: u16,
+        /// Bytes moved.
+        bytes: u64,
+        /// 0 = success.
+        status: u8,
+    },
+    /// Free-form program log line.
+    Log {
+        /// The process that logged.
+        pid: ProcessId,
+        /// Message text.
+        text: String,
+    },
+}
+
+/// The phases of the eight-step migration procedure (§3.1), as observed at
+/// either the source or destination kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Step 1 (source): removed from execution, marked "in migration".
+    Frozen,
+    /// Step 2 (source): offer sent to the destination kernel.
+    Offered,
+    /// Step 3 (destination): empty process state allocated.
+    Allocated,
+    /// Destination refused the offer (§3.2).
+    Rejected,
+    /// Step 4 complete (destination): process state transferred.
+    StateTransferred,
+    /// Step 5 complete (destination): memory image transferred.
+    ImageTransferred,
+    /// Step 6 (source): pending messages forwarded.
+    PendingForwarded,
+    /// Step 7 (source): state reclaimed, forwarding address left.
+    CleanedUp,
+    /// Step 8 (destination): process restarted.
+    Restarted,
+    /// Migration abandoned (timeout/crash); process resumed at source.
+    Aborted,
+}
+
+/// A timestamped trace record as stored by the harness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: Time,
+    /// Machine whose kernel emitted it.
+    pub machine: MachineId,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        let pid = ProcessId { creating_machine: MachineId(0), local_uid: 1 };
+        let a = TraceEvent::Migration { pid, phase: MigrationPhase::Frozen };
+        let b = TraceEvent::Migration { pid, phase: MigrationPhase::Frozen };
+        assert_eq!(a, b);
+        assert_ne!(a, TraceEvent::Exited { pid });
+    }
+}

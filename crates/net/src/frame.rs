@@ -1,0 +1,106 @@
+//! Link-level frames.
+//!
+//! The reliable channel exchanges two kinds of frames: `Data` (a sequenced,
+//! encoded [`demos_types::Message`]) and `Ack` (cumulative). Frame overhead
+//! is part of the byte counts the network statistics report, so frames have
+//! a byte-exact encoding like everything else.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use demos_types::wire::{self, Wire, WireError};
+
+/// A link-level frame between two machines.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Frame {
+    /// Sequenced message bytes.
+    Data {
+        /// Channel sequence number (per source-destination pair).
+        seq: u64,
+        /// One encoded [`demos_types::Message`].
+        payload: Bytes,
+    },
+    /// Cumulative acknowledgement: every `Data` with `seq <= cum` has been
+    /// received.
+    Ack {
+        /// Highest in-order sequence received.
+        cum: u64,
+    },
+}
+
+impl Frame {
+    /// Size the physical network charges for this frame.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Frame::Data { payload, .. } => 1 + 8 + 4 + payload.len(),
+            Frame::Ack { .. } => 1 + 8,
+        }
+    }
+
+    /// Whether this is an `Ack`.
+    pub fn is_ack(&self) -> bool {
+        matches!(self, Frame::Ack { .. })
+    }
+}
+
+impl Wire for Frame {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Frame::Data { seq, payload } => {
+                buf.put_u8(1);
+                buf.put_u64(*seq);
+                wire::put_bytes(buf, payload);
+            }
+            Frame::Ack { cum } => {
+                buf.put_u8(2);
+                buf.put_u64(*cum);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 9 {
+            return Err(WireError::Truncated("Frame"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            1 => {
+                let seq = buf.get_u64();
+                let payload = wire::get_bytes(buf, "Frame.payload", 1 << 20)?;
+                Ok(Frame::Data { seq, payload })
+            }
+            2 => Ok(Frame::Ack { cum: buf.get_u64() }),
+            _ => Err(WireError::BadTag { what: "Frame", tag: tag as u16 }),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        self.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_types::wire::roundtrip;
+
+    #[test]
+    fn data_roundtrip() {
+        let f = Frame::Data { seq: 42, payload: Bytes::from_static(b"msg") };
+        assert_eq!(roundtrip(&f).unwrap(), f);
+        assert_eq!(f.wire_size(), f.to_bytes().len());
+        assert!(!f.is_ack());
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let f = Frame::Ack { cum: 7 };
+        assert_eq!(roundtrip(&f).unwrap(), f);
+        assert_eq!(f.wire_size(), 9);
+        assert!(f.is_ack());
+    }
+
+    #[test]
+    fn bad_tag() {
+        let mut b = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(Frame::decode(&mut b).is_err());
+    }
+}

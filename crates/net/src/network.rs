@@ -1,0 +1,274 @@
+//! The simulated physical network.
+//!
+//! [`SimNetwork`] owns a deterministic arrival heap: every transmitted
+//! frame is assigned an arrival time from the topology (fixed latency plus
+//! per-byte cost along the route) and possibly dropped by a seeded coin
+//! flip. The discrete-event loop in `demos-sim` interleaves these arrivals
+//! with kernel-local events.
+//!
+//! The network also keeps the traffic accounting the paper's evaluation is
+//! built on: frames, bytes, and byte·hops (bytes weighted by route length —
+//! the "system-wide communication traffic" that moving a process closer to
+//! its favourite resource is supposed to reduce, §1).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use demos_types::{MachineId, Time};
+
+use crate::frame::Frame;
+use crate::topology::Topology;
+
+/// Where the transport hands frames to the physical layer.
+pub trait Phys {
+    /// Transmit `frame` from `src` towards `dst`, departing at `now`.
+    fn transmit(&mut self, now: Time, src: MachineId, dst: MachineId, frame: Frame);
+}
+
+/// Traffic statistics, cumulative since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the physical layer.
+    pub frames_sent: u64,
+    /// Frames lost (loss probability, crashed endpoint, or partition).
+    pub frames_dropped: u64,
+    /// Frames that reached their destination.
+    pub frames_delivered: u64,
+    /// Data frames sent.
+    pub data_frames: u64,
+    /// Ack frames sent.
+    pub ack_frames: u64,
+    /// Total bytes handed to the physical layer.
+    pub bytes_sent: u64,
+    /// Bytes × route hops, summed over sent frames: total load placed on
+    /// the network fabric.
+    pub byte_hops: u64,
+}
+
+/// One scheduled frame arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Arrival {
+    at: Time,
+    seq: u64,
+    src: MachineId,
+    dst: MachineId,
+    frame: Frame,
+}
+
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic simulated network.
+#[derive(Debug)]
+pub struct SimNetwork {
+    topo: Topology,
+    rng: StdRng,
+    heap: BinaryHeap<Reverse<Arrival>>,
+    seq: u64,
+    stats: NetStats,
+    down: Vec<bool>,
+}
+
+impl SimNetwork {
+    /// Build over `topo`, with all loss decisions drawn from `seed`.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let n = topo.len();
+        SimNetwork {
+            topo,
+            rng: StdRng::seed_from_u64(seed),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stats: NetStats::default(),
+            down: vec![false; n],
+        }
+    }
+
+    /// The topology (for hop counts etc.).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (fault injection); routes recompute on edit.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Mark a machine crashed: every frame to or from it is dropped.
+    pub fn set_down(&mut self, m: MachineId, down: bool) {
+        if let Some(slot) = self.down.get_mut(m.0 as usize) {
+            *slot = down;
+        }
+    }
+
+    /// Whether a machine is marked crashed.
+    pub fn is_down(&self, m: MachineId) -> bool {
+        self.down.get(m.0 as usize).copied().unwrap_or(true)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Earliest pending arrival, if any.
+    pub fn next_arrival_at(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(a)| a.at)
+    }
+
+    /// Pop the earliest arrival if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, MachineId, MachineId, Frame)> {
+        if self.heap.peek().is_some_and(|Reverse(a)| a.at <= now) {
+            let Reverse(a) = self.heap.pop().expect("peeked");
+            // A machine that crashed after the frame departed still loses it.
+            if self.is_down(a.dst) || self.is_down(a.src) {
+                self.stats.frames_dropped += 1;
+                return self.pop_due(now);
+            }
+            self.stats.frames_delivered += 1;
+            Some((a.at, a.src, a.dst, a.frame))
+        } else {
+            None
+        }
+    }
+
+    /// Number of frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl Phys for SimNetwork {
+    fn transmit(&mut self, now: Time, src: MachineId, dst: MachineId, frame: Frame) {
+        let size = frame.wire_size();
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += size as u64;
+        if frame.is_ack() {
+            self.stats.ack_frames += 1;
+        } else {
+            self.stats.data_frames += 1;
+        }
+        if self.is_down(src) || self.is_down(dst) {
+            self.stats.frames_dropped += 1;
+            return;
+        }
+        let Some((transit, loss)) = self.topo.transit(src, dst, size) else {
+            self.stats.frames_dropped += 1;
+            return;
+        };
+        self.stats.byte_hops += (size * self.topo.hops(src, dst)) as u64;
+        if loss > 0.0 && self.rng.gen_bool(loss.min(1.0)) {
+            self.stats.frames_dropped += 1;
+            return;
+        }
+        self.seq += 1;
+        self.heap.push(Reverse(Arrival { at: now + transit, seq: self.seq, src, dst, frame }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::EdgeParams;
+    use bytes::Bytes;
+    use demos_types::Duration;
+
+    fn m(i: u16) -> MachineId {
+        MachineId(i)
+    }
+
+    fn data(seq: u64) -> Frame {
+        Frame::Data { seq, payload: Bytes::from_static(b"payload") }
+    }
+
+    #[test]
+    fn frames_arrive_after_transit() {
+        let topo = Topology::full_mesh(2, EdgeParams { latency: Duration::from_micros(100), ns_per_byte: 0, loss: 0.0 });
+        let mut net = SimNetwork::new(topo, 1);
+        net.transmit(Time(0), m(0), m(1), data(1));
+        assert_eq!(net.next_arrival_at(), Some(Time(100)));
+        assert!(net.pop_due(Time(50)).is_none());
+        let (at, src, dst, f) = net.pop_due(Time(100)).unwrap();
+        assert_eq!((at, src, dst), (Time(100), m(0), m(1)));
+        assert_eq!(f, data(1));
+        assert_eq!(net.stats().frames_delivered, 1);
+    }
+
+    #[test]
+    fn deterministic_ordering_for_simultaneous_arrivals() {
+        let topo = Topology::full_mesh(3, EdgeParams { latency: Duration::from_micros(10), ns_per_byte: 0, loss: 0.0 });
+        let mut net = SimNetwork::new(topo, 1);
+        net.transmit(Time(0), m(1), m(0), data(7));
+        net.transmit(Time(0), m(2), m(0), data(8));
+        // Same arrival instant: transmission order breaks the tie.
+        let (_, src1, _, _) = net.pop_due(Time(10)).unwrap();
+        let (_, src2, _, _) = net.pop_due(Time(10)).unwrap();
+        assert_eq!((src1, src2), (m(1), m(2)));
+    }
+
+    #[test]
+    fn loss_is_seeded_and_counted() {
+        let topo = Topology::full_mesh(2, EdgeParams { latency: Duration::ZERO, ns_per_byte: 0, loss: 0.5 });
+        let mut a = SimNetwork::new(topo.clone(), 42);
+        let mut b = SimNetwork::new(topo, 42);
+        for i in 0..100 {
+            a.transmit(Time(i), m(0), m(1), data(i));
+            b.transmit(Time(i), m(0), m(1), data(i));
+        }
+        assert_eq!(a.stats(), b.stats(), "same seed, same drops");
+        assert!(a.stats().frames_dropped > 10 && a.stats().frames_dropped < 90);
+        assert_eq!(a.stats().frames_sent, 100);
+    }
+
+    #[test]
+    fn crashed_machine_blackholes() {
+        let topo = Topology::full_mesh(2, EdgeParams::fast());
+        let mut net = SimNetwork::new(topo, 1);
+        net.set_down(m(1), true);
+        net.transmit(Time(0), m(0), m(1), data(1));
+        assert_eq!(net.stats().frames_dropped, 1);
+        assert_eq!(net.in_flight(), 0);
+        net.set_down(m(1), false);
+        net.transmit(Time(0), m(0), m(1), data(2));
+        assert_eq!(net.in_flight(), 1);
+    }
+
+    #[test]
+    fn crash_after_departure_still_drops() {
+        let topo = Topology::full_mesh(2, EdgeParams::fast());
+        let mut net = SimNetwork::new(topo, 1);
+        net.transmit(Time(0), m(0), m(1), data(1));
+        net.set_down(m(1), true);
+        assert!(net.pop_due(Time(1_000_000)).is_none());
+        assert_eq!(net.stats().frames_dropped, 1);
+    }
+
+    #[test]
+    fn byte_hops_accounts_route_length() {
+        let topo = Topology::line(3, EdgeParams { latency: Duration::from_micros(1), ns_per_byte: 0, loss: 0.0 });
+        let mut net = SimNetwork::new(topo, 1);
+        let f = data(1);
+        let size = f.wire_size() as u64;
+        net.transmit(Time(0), m(0), m(2), f);
+        assert_eq!(net.stats().byte_hops, size * 2);
+    }
+
+    #[test]
+    fn unreachable_is_dropped() {
+        let topo = Topology::new(2); // no edges
+        let mut net = SimNetwork::new(topo, 1);
+        net.transmit(Time(0), m(0), m(1), data(1));
+        assert_eq!(net.stats().frames_dropped, 1);
+    }
+}

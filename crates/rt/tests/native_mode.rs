@@ -1,0 +1,171 @@
+//! Native-mode tests: the same kernels and migration engine as the
+//! simulator, on real OS threads with real races. Mirrors the scenarios
+//! of `crates/sim/tests/migration_e2e.rs` in wall-clock time.
+
+use demos_kernel::{ImageLayout, KernelConfig, Registry};
+use demos_rt::NativeCluster;
+use demos_types::{Duration as VDuration, LinkAttrs, MachineId, ProcessId};
+use std::time::Duration;
+
+// The workload programs live in demos-sim, which depends on the sim loop;
+// to keep demos-rt substrate-only, tests register a local program.
+struct Pinger {
+    rallies: u64,
+    peer: u32,
+}
+
+impl demos_kernel::Program for Pinger {
+    fn on_message(&mut self, ctx: &mut demos_kernel::Ctx<'_>, msg: demos_kernel::Delivered) {
+        const INIT: u16 = demos_types::tags::USER_BASE;
+        const BALL: u16 = demos_types::tags::USER_BASE + 1;
+        match msg.msg_type {
+            INIT => {
+                if let Some(&peer) = msg.links.first() {
+                    self.peer = peer.0;
+                    if msg.payload.first() == Some(&1) {
+                        let _ = ctx.send(peer, BALL, bytes::Bytes::new(), &[]);
+                    }
+                }
+            }
+            BALL => {
+                self.rallies += 1;
+                ctx.cpu(VDuration::from_micros(10));
+                if self.peer != 0 {
+                    let _ = ctx.send(demos_types::LinkIdx(self.peer), BALL, bytes::Bytes::new(), &[]);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let mut v = self.rallies.to_be_bytes().to_vec();
+        v.extend_from_slice(&self.peer.to_be_bytes());
+        v
+    }
+}
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register("pinger", |state| {
+        let mut rallies = [0u8; 8];
+        let mut peer = [0u8; 4];
+        if state.len() >= 12 {
+            rallies.copy_from_slice(&state[..8]);
+            peer.copy_from_slice(&state[8..12]);
+        }
+        Box::new(Pinger { rallies: u64::from_be_bytes(rallies), peer: u32::from_be_bytes(peer) })
+    });
+    r
+}
+
+fn rallies_of(state: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&state[..8]);
+    u64::from_be_bytes(b)
+}
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+fn wait_until<F: FnMut() -> bool>(mut pred: F, timeout: Duration) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < timeout {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn native_pingpong_and_live_migration() {
+    let cluster = NativeCluster::new(
+        3,
+        registry(),
+        KernelConfig::default(),
+        demos_core::MigrationConfig::default(),
+    );
+    let pa = cluster.spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    let pb = cluster.spawn(m(1), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    // Wire them with real links, then serve the first ball.
+    let la = demos_types::Link { addr: pa.at(m(0)), attrs: LinkAttrs::NONE, area: None };
+    let lb = demos_types::Link { addr: pb.at(m(1)), attrs: LinkAttrs::NONE, area: None };
+    const INIT: u16 = demos_types::tags::USER_BASE;
+    // Bootstrap the passive end first: in native mode the serve's first
+    // ball genuinely races the second INIT command (a real race the
+    // deterministic simulator cannot produce).
+    cluster.post(m(1), pb, INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster.post(m(0), pa, INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+
+    // The rally runs on real threads.
+    assert!(
+        wait_until(
+            || cluster.query_state(m(0), pa).unwrap().is_some_and(|s| rallies_of(&s) > 50),
+            Duration::from_secs(10),
+        ),
+        "rally reached 50 on real threads"
+    );
+
+    // Live migration m1 → m2 while balls fly.
+    cluster.migrate(m(1), pb, m(2)).unwrap();
+    assert!(
+        wait_until(|| cluster.where_is(pb) == Some(m(2)), Duration::from_secs(10)),
+        "pb moved to m2"
+    );
+    // The rally continues after migration.
+    let r1 = rallies_of(&cluster.query_state(m(0), pa).unwrap().unwrap());
+    assert!(
+        wait_until(
+            || {
+                cluster
+                    .query_state(m(0), pa)
+                    .unwrap()
+                    .is_some_and(|s| rallies_of(&s) > r1 + 25)
+            },
+            Duration::from_secs(10),
+        ),
+        "rally continued transparently after native-mode migration"
+    );
+    // Forwarding really happened on the old home.
+    let (stats_m1, _) = cluster.stats(m(1)).unwrap();
+    assert!(stats_m1.forwarded >= 1, "m1 forwarded at least one stale ball");
+    cluster.shutdown();
+}
+
+#[test]
+fn native_migration_chain() {
+    let cluster = NativeCluster::new(
+        4,
+        registry(),
+        KernelConfig::default(),
+        demos_core::MigrationConfig::default(),
+    );
+    let pid = cluster.spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    let mut here = m(0);
+    for dest in [1u16, 2, 3] {
+        cluster.migrate(here, pid, m(dest)).unwrap();
+        assert!(
+            wait_until(|| cluster.where_is(pid) == Some(m(dest)), Duration::from_secs(10)),
+            "hop to m{dest}"
+        );
+        here = m(dest);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn native_spawn_errors_propagate() {
+    let cluster = NativeCluster::new(
+        1,
+        registry(),
+        KernelConfig::default(),
+        demos_core::MigrationConfig::default(),
+    );
+    assert!(cluster.spawn(m(0), "no_such_program", &[], ImageLayout::default()).is_err());
+    let ghost = ProcessId { creating_machine: m(0), local_uid: 99 };
+    assert!(cluster.migrate(m(0), ghost, m(0)).is_err());
+    cluster.shutdown();
+}

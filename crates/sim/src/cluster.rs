@@ -1,0 +1,497 @@
+//! The cluster: a deterministic discrete-event simulation of a
+//! loosely-coupled multiprocessor running one DEMOS/MP node per machine.
+//!
+//! Three event sources interleave on a single virtual clock:
+//!
+//! * **frame arrivals** from the simulated network;
+//! * **kernel deadlines** (process timers, transport retransmissions,
+//!   migration timeouts);
+//! * **CPU completions** — each machine has one CPU; a program activation
+//!   occupies it for the activation's virtual cost (optionally scaled by a
+//!   per-machine degradation factor, used by the sinking-ship experiment).
+//!
+//! All ties break deterministically (machine order, network sequence
+//! numbers), and all randomness in the network is seeded, so a run with
+//! the same configuration replays identically — the property the replay
+//! tests pin with trace fingerprints.
+
+use std::sync::Arc;
+
+use demos_core::{MigrationConfig, Node};
+use demos_kernel::{ImageLayout, KernelConfig, Outbox, Registry};
+use demos_net::{EdgeParams, SimNetwork, Topology};
+use demos_types::{
+    DemosError, Duration, Link, MachineId, Message, MsgFlags, MsgHeader, ProcessId, Result, Time,
+};
+
+use crate::trace::Trace;
+
+/// Cluster construction.
+pub struct ClusterBuilder {
+    topology: Topology,
+    seed: u64,
+    kernel: KernelConfig,
+    migration: MigrationConfig,
+    registry: Registry,
+    trace: bool,
+}
+
+impl ClusterBuilder {
+    /// `n` machines on a full mesh with default edges.
+    pub fn new(n: usize) -> Self {
+        ClusterBuilder {
+            topology: Topology::full_mesh(n, EdgeParams::default()),
+            seed: 42,
+            kernel: KernelConfig::default(),
+            migration: MigrationConfig::default(),
+            registry: crate::programs::registry(),
+            trace: true,
+        }
+    }
+
+    /// Replace the topology (machine count comes from it).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Seed for all simulated randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Kernel configuration applied to every machine.
+    pub fn kernel_config(mut self, cfg: KernelConfig) -> Self {
+        self.kernel = cfg;
+        self
+    }
+
+    /// Migration-engine configuration applied to every machine.
+    pub fn migration_config(mut self, cfg: MigrationConfig) -> Self {
+        self.migration = cfg;
+        self
+    }
+
+    /// Register an additional program.
+    pub fn register<F>(mut self, name: &str, ctor: F) -> Self
+    where
+        F: Fn(&[u8]) -> Box<dyn demos_kernel::Program> + Send + Sync + 'static,
+    {
+        self.registry.register(name, ctor);
+        self
+    }
+
+    /// Disable trace collection (long benchmark runs).
+    pub fn no_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+
+    /// Build the cluster.
+    pub fn build(self) -> Cluster {
+        let n = self.topology.len();
+        let registry = self.registry.into_shared();
+        let nodes = (0..n)
+            .map(|i| {
+                Node::new(MachineId(i as u16), self.kernel, self.migration, Arc::clone(&registry))
+            })
+            .collect();
+        Cluster {
+            now: Time::ZERO,
+            nodes,
+            net: SimNetwork::new(self.topology, self.seed),
+            cpu_busy_until: vec![Time::ZERO; n],
+            cpu_factor: vec![1.0; n],
+            cpu_busy_total: vec![Duration::ZERO; n],
+            crashed: vec![false; n],
+            trace: if self.trace { Trace::enabled() } else { Trace::disabled() },
+            outbox: Outbox::default(),
+            registry,
+        }
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    now: Time,
+    nodes: Vec<Node>,
+    net: SimNetwork,
+    cpu_busy_until: Vec<Time>,
+    cpu_factor: Vec<f64>,
+    cpu_busy_total: Vec<Duration>,
+    crashed: Vec<bool>,
+    trace: Trace,
+    outbox: Outbox,
+    registry: Arc<Registry>,
+}
+
+impl Cluster {
+    /// Shorthand: `n` machines, default everything.
+    pub fn mesh(n: usize) -> Cluster {
+        ClusterBuilder::new(n).build()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The shared program registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, m: MachineId) -> &Node {
+        &self.nodes[m.0 as usize]
+    }
+
+    /// Mutable node access (tests and bootstrap).
+    pub fn node_mut(&mut self, m: MachineId) -> &mut Node {
+        &mut self.nodes[m.0 as usize]
+    }
+
+    /// The network (statistics, topology).
+    pub fn net(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Mutable network access (fault injection).
+    pub fn net_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace (e.g. to clear between experiment phases).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// CPU time consumed by machine `m` so far.
+    pub fn cpu_busy(&self, m: MachineId) -> Duration {
+        self.cpu_busy_total[m.0 as usize]
+    }
+
+    /// Which machine currently hosts `pid`, if any. Processes on crashed
+    /// machines are gone (their state died with the processor).
+    pub fn where_is(&self, pid: ProcessId) -> Option<MachineId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .find(|(i, n)| !self.crashed[*i] && n.kernel.process(pid).is_some())
+            .map(|(_, n)| n.machine())
+    }
+
+    fn drain_outbox(&mut self, machine: MachineId) {
+        let events = std::mem::take(&mut self.outbox.trace);
+        self.trace.extend(self.now, machine, events);
+        debug_assert!(
+            self.outbox.migration_inbox.is_empty() && self.outbox.pull_done.is_empty(),
+            "node must drain engine items"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Bootstrap operations
+    // ------------------------------------------------------------------
+
+    /// Spawn a process on machine `m`.
+    pub fn spawn(
+        &mut self,
+        m: MachineId,
+        program: &str,
+        state: &[u8],
+        layout: ImageLayout,
+    ) -> Result<ProcessId> {
+        self.spawn_opt(m, program, state, layout, false)
+    }
+
+    /// Spawn with the privileged (system-process) flag.
+    pub fn spawn_opt(
+        &mut self,
+        m: MachineId,
+        program: &str,
+        state: &[u8],
+        layout: ImageLayout,
+        privileged: bool,
+    ) -> Result<ProcessId> {
+        let now = self.now;
+        let node = &mut self.nodes[m.0 as usize];
+        let pid = node.kernel.spawn(now, program, state, layout, privileged, &mut self.outbox)?;
+        self.drain_outbox(m);
+        Ok(pid)
+    }
+
+    /// Mint a link to a process wherever it currently lives.
+    pub fn link_to(&self, pid: ProcessId) -> Result<Link> {
+        let m = self.where_is(pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        Ok(Link::to(pid.at(m)))
+    }
+
+    /// Deliver a message to `pid` from "outside" (modelling operator
+    /// input; sent as the hosting machine's kernel).
+    pub fn post(
+        &mut self,
+        pid: ProcessId,
+        msg_type: u16,
+        payload: impl Into<bytes::Bytes>,
+        links: Vec<Link>,
+    ) -> Result<()> {
+        let m = self.where_is(pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let now = self.now;
+        let msg = Message {
+            header: MsgHeader {
+                dest: pid.at(m),
+                src: ProcessId::kernel_of(m),
+                src_machine: m,
+                msg_type,
+                flags: MsgFlags::FROM_KERNEL,
+                hops: 0,
+            },
+            links,
+            payload: payload.into(),
+        };
+        self.nodes[m.0 as usize].submit(now, msg, &mut self.net, &mut self.outbox);
+        self.drain_outbox(m);
+        Ok(())
+    }
+
+    /// Deliver a `DELIVERTOKERNEL` control message to `pid` from outside
+    /// (modelling a system process's control op). Addressed to the given
+    /// machine hint, which may be stale — the message follows forwarding
+    /// addresses like any other (§2.2).
+    pub fn post_dtk(
+        &mut self,
+        pid: ProcessId,
+        hint: MachineId,
+        msg_type: u16,
+        payload: impl Into<bytes::Bytes>,
+    ) -> Result<()> {
+        let now = self.now;
+        let origin = hint.0 as usize % self.nodes.len();
+        let msg = Message {
+            header: MsgHeader {
+                dest: pid.at(hint),
+                src: ProcessId::kernel_of(MachineId(origin as u16)),
+                src_machine: MachineId(origin as u16),
+                msg_type,
+                flags: MsgFlags::FROM_KERNEL | MsgFlags::DELIVER_TO_KERNEL,
+                hops: 0,
+            },
+            links: vec![],
+            payload: payload.into(),
+        };
+        self.nodes[origin].submit(now, msg, &mut self.net, &mut self.outbox);
+        self.drain_outbox(MachineId(origin as u16));
+        Ok(())
+    }
+
+    /// Migrate `pid` to `dest` (harness-driven, like the paper's arbitrary
+    /// test decisions). Returns an error if the process is unknown,
+    /// already migrating, or already there.
+    pub fn migrate(&mut self, pid: ProcessId, dest: MachineId) -> Result<()> {
+        let m = self.where_is(pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let now = self.now;
+        let r = self.nodes[m.0 as usize].migrate(now, pid, dest, None, &mut self.net, &mut self.outbox);
+        self.drain_outbox(m);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Crash machine `m`: its CPU stops, its timers stop, and every frame
+    /// to or from it is dropped.
+    pub fn crash(&mut self, m: MachineId) {
+        self.crashed[m.0 as usize] = true;
+        self.net.set_down(m, true);
+    }
+
+    /// Whether `m` is crashed.
+    pub fn is_crashed(&self, m: MachineId) -> bool {
+        self.crashed[m.0 as usize]
+    }
+
+    /// Revive a crashed machine with a **fresh, empty** kernel (its
+    /// processes and forwarding addresses died with it). Every surviving
+    /// machine's channel to it is reset — connection re-establishment —
+    /// so sequence spaces restart cleanly; whatever they still had queued
+    /// for the dead machine is lost. Recovery of processes is the
+    /// caller's job via [`demos_kernel::Checkpoint`] restore plus
+    /// [`demos_kernel::Kernel::install_forwarding`] here.
+    pub fn revive(&mut self, m: MachineId) {
+        let i = m.0 as usize;
+        if !self.crashed[i] {
+            return;
+        }
+        let node = &self.nodes[i];
+        let kcfg = *node.kernel.config();
+        // Build a brand-new node with the same identity and configuration.
+        let fresh = Node::new(m, kcfg, MigrationConfig::default(), Arc::clone(&self.registry));
+        self.nodes[i] = fresh;
+        self.crashed[i] = false;
+        self.cpu_busy_until[i] = self.now;
+        self.cpu_factor[i] = 1.0;
+        self.net.set_down(m, false);
+        for j in 0..self.nodes.len() {
+            if j != i {
+                self.nodes[j].kernel.reset_channel(m);
+            }
+        }
+    }
+
+    /// Degrade (or restore) machine `m`'s CPU: activation costs are
+    /// multiplied by `factor` (1.0 = healthy). Models the paper's
+    /// "gradual degradation of the processor" failure mode (§1).
+    pub fn degrade(&mut self, m: MachineId, factor: f64) {
+        self.cpu_factor[m.0 as usize] = factor.max(0.0);
+    }
+
+    /// Health of machine `m` as policies see it: 1.0 nominal, the inverse
+    /// of the degradation factor when degraded, 0.0 when crashed.
+    pub fn health(&self, m: MachineId) -> f64 {
+        if self.crashed[m.0 as usize] {
+            return 0.0;
+        }
+        let f = self.cpu_factor[m.0 as usize];
+        if f <= 1.0 {
+            1.0
+        } else {
+            1.0 / f
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    fn scale(cost: Duration, factor: f64) -> Duration {
+        Duration::from_micros(((cost.as_micros() as f64) * factor).ceil() as u64)
+    }
+
+    /// Run every CPU that is free and has work at the current instant.
+    fn run_cpus(&mut self) {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.nodes.len() {
+                if self.crashed[i] || self.cpu_busy_until[i] > self.now {
+                    continue;
+                }
+                if !self.nodes[i].has_runnable() {
+                    continue;
+                }
+                if let Some((_pid, cost)) =
+                    self.nodes[i].run_next(self.now, &mut self.net, &mut self.outbox)
+                {
+                    let scaled = Self::scale(cost, self.cpu_factor[i]).max(Duration::from_micros(1));
+                    self.cpu_busy_until[i] = self.now + scaled;
+                    self.cpu_busy_total[i] += scaled;
+                    progressed = true;
+                }
+                self.drain_outbox(MachineId(i as u16));
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Advance to the next event. Returns `false` when the simulation is
+    /// quiescent (no pending frames, deadlines, or runnable work).
+    pub fn step(&mut self) -> bool {
+        self.run_cpus();
+        // Find the earliest future event.
+        let mut t_next: Option<Time> = self.net.next_arrival_at();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
+            if let Some(t) = node.next_timer_at() {
+                t_next = Some(t_next.map_or(t, |x| x.min(t)));
+            }
+            if node.has_runnable() && self.cpu_busy_until[i] > self.now {
+                let t = self.cpu_busy_until[i];
+                t_next = Some(t_next.map_or(t, |x| x.min(t)));
+            }
+        }
+        let Some(t) = t_next else { return false };
+        if t > self.now {
+            self.now = t;
+        }
+        // Deliver all frames due at or before the new instant.
+        while let Some((_at, src, dst, frame)) = self.net.pop_due(self.now) {
+            if self.crashed[dst.0 as usize] {
+                continue;
+            }
+            let now = self.now;
+            self.nodes[dst.0 as usize].on_frame(now, src, frame, &mut self.net, &mut self.outbox);
+            self.drain_outbox(dst);
+        }
+        // Fire due deadlines.
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            if self.nodes[i].next_timer_at().is_some_and(|t| t <= self.now) {
+                let now = self.now;
+                self.nodes[i].on_time(now, &mut self.net, &mut self.outbox);
+                self.drain_outbox(MachineId(i as u16));
+            }
+        }
+        true
+    }
+
+    /// Run until virtual time `t` (or quiescence, whichever first).
+    pub fn run_until(&mut self, t: Time) {
+        while self.now < t {
+            if !self.step() {
+                return;
+            }
+        }
+        // Execute any work that became runnable exactly at the boundary.
+        self.run_cpus();
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Run until the cluster is quiescent or `limit` virtual time has
+    /// passed; returns the finishing time.
+    pub fn run_quiescent(&mut self, limit: Duration) -> Time {
+        let deadline = self.now + limit;
+        loop {
+            if self.now >= deadline || !self.step() {
+                return self.now;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.now)
+            .field("machines", &self.nodes.len())
+            .field("in_flight_frames", &self.net.in_flight())
+            .finish()
+    }
+}

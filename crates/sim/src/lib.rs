@@ -1,0 +1,47 @@
+//! Deterministic simulation harness for the DEMOS/MP reproduction.
+//!
+//! * [`cluster`] — the discrete-event loop driving one [`demos_core::Node`]
+//!   per machine over the simulated network, with fault injection
+//!   (crash, degradation) and deterministic replay;
+//! * [`programs`] — seeded synthetic workload programs (ping-pong pairs,
+//!   CPU burners, echo servers/clients, pipelines, inert cargo);
+//! * [`balance`] — drives `demos-policy` decision rules against the live
+//!   cluster, playing the process manager's monitoring role;
+//! * [`trace`] — the event log experiments are reconstructed from;
+//! * [`metrics`] — histograms and summary statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod boot;
+pub mod cluster;
+pub mod metrics;
+pub mod programs;
+pub mod report;
+pub mod trace;
+
+pub use balance::{snapshot, PolicyDriver};
+pub use boot::{boot_system, BootConfig, SystemHandles};
+pub use cluster::{Cluster, ClusterBuilder};
+pub use metrics::Histogram;
+pub use report::{migrations_of, render, MigrationReport};
+pub use trace::Trace;
+
+/// Convenience re-exports for harnesses and examples.
+pub mod prelude {
+    pub use crate::balance::{snapshot, PolicyDriver};
+    pub use crate::boot::{boot_system, spawn_fs_clients, spawn_shell, BootConfig, SystemHandles};
+    pub use crate::cluster::{Cluster, ClusterBuilder};
+    pub use crate::metrics::Histogram;
+    pub use crate::programs::{self, wl};
+    pub use crate::trace::Trace;
+    pub use demos_core::{AcceptPolicy, MigrationConfig, Node};
+    pub use demos_kernel::{
+        ExecStatus, ImageLayout, KernelConfig, MigrationPhase, Registry, TraceEvent,
+    };
+    pub use demos_net::{EdgeParams, Topology};
+    pub use demos_types::{
+        tags, Duration, Link, LinkAttrs, MachineId, ProcessId, Time,
+    };
+}

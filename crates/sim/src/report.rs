@@ -1,0 +1,182 @@
+//! Migration reports: reconstruct the eight-step timeline of Figure 3-1
+//! from the event trace, with per-phase durations — the view an operator
+//! (or the process manager's accounting) would want of each migration.
+
+use demos_kernel::{MigrationPhase, TraceEvent};
+use demos_types::{Duration, ProcessId, Time};
+
+use crate::trace::Trace;
+
+/// One reconstructed migration of one process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// The process that moved.
+    pub pid: ProcessId,
+    /// Step 1: removed from execution.
+    pub frozen: Time,
+    /// Step 2: offer sent.
+    pub offered: Option<Time>,
+    /// Step 3: destination allocated the empty state.
+    pub allocated: Option<Time>,
+    /// Step 4 complete: resident + swappable state arrived.
+    pub state_transferred: Option<Time>,
+    /// Step 5 complete: image arrived, process reconstructed.
+    pub image_transferred: Option<Time>,
+    /// Step 6: pending messages forwarded.
+    pub pending_forwarded: Option<Time>,
+    /// Step 7: source cleaned up, forwarding address installed.
+    pub cleaned_up: Option<Time>,
+    /// Step 8: restarted at the destination (`None` for aborted/rejected
+    /// migrations).
+    pub restarted: Option<Time>,
+    /// Whether the migration ended in rejection or abort instead.
+    pub failed: bool,
+}
+
+impl MigrationReport {
+    /// Total freeze-to-restart latency, if the migration completed.
+    pub fn total(&self) -> Option<Duration> {
+        self.restarted.map(|r| r.since(self.frozen))
+    }
+
+    /// Duration of the state+image transfer (allocation → image complete).
+    pub fn transfer(&self) -> Option<Duration> {
+        match (self.allocated, self.image_transferred) {
+            (Some(a), Some(i)) => Some(i.since(a)),
+            _ => None,
+        }
+    }
+
+    /// `(label, at)` rows for rendering, in step order.
+    pub fn rows(&self) -> Vec<(&'static str, Option<Time>)> {
+        vec![
+            ("1 frozen", Some(self.frozen)),
+            ("2 offered", self.offered),
+            ("3 allocated", self.allocated),
+            ("4 state transferred", self.state_transferred),
+            ("5 image transferred", self.image_transferred),
+            ("6 pending forwarded", self.pending_forwarded),
+            ("7 cleaned up", self.cleaned_up),
+            ("8 restarted", self.restarted),
+        ]
+    }
+}
+
+/// Extract every migration of `pid` recorded in the trace, in order.
+pub fn migrations_of(trace: &Trace, pid: ProcessId) -> Vec<MigrationReport> {
+    let mut out: Vec<MigrationReport> = Vec::new();
+    for r in trace.records() {
+        let TraceEvent::Migration { pid: p, phase } = &r.event else { continue };
+        if *p != pid {
+            continue;
+        }
+        match phase {
+            MigrationPhase::Frozen => out.push(MigrationReport {
+                pid,
+                frozen: r.at,
+                offered: None,
+                allocated: None,
+                state_transferred: None,
+                image_transferred: None,
+                pending_forwarded: None,
+                cleaned_up: None,
+                restarted: None,
+                failed: false,
+            }),
+            other => {
+                let Some(cur) = out.last_mut() else { continue };
+                match other {
+                    MigrationPhase::Offered => cur.offered = cur.offered.or(Some(r.at)),
+                    MigrationPhase::Allocated => cur.allocated = cur.allocated.or(Some(r.at)),
+                    MigrationPhase::StateTransferred => {
+                        cur.state_transferred = cur.state_transferred.or(Some(r.at))
+                    }
+                    MigrationPhase::ImageTransferred => {
+                        cur.image_transferred = cur.image_transferred.or(Some(r.at))
+                    }
+                    MigrationPhase::PendingForwarded => {
+                        cur.pending_forwarded = cur.pending_forwarded.or(Some(r.at))
+                    }
+                    MigrationPhase::CleanedUp => cur.cleaned_up = cur.cleaned_up.or(Some(r.at)),
+                    MigrationPhase::Restarted => cur.restarted = cur.restarted.or(Some(r.at)),
+                    MigrationPhase::Rejected | MigrationPhase::Aborted => cur.failed = true,
+                    MigrationPhase::Frozen => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render one report as an indented text timeline.
+pub fn render(report: &MigrationReport) -> String {
+    let mut s = format!("migration of {}:\n", report.pid);
+    for (label, at) in report.rows() {
+        match at {
+            Some(t) => s.push_str(&format!("  {label:<22} {t}\n")),
+            None => s.push_str(&format!("  {label:<22} -\n")),
+        }
+    }
+    if let Some(total) = report.total() {
+        s.push_str(&format!("  total freeze→restart   {total}\n"));
+    }
+    if report.failed {
+        s.push_str("  (rejected/aborted)\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::programs::Cargo;
+    use demos_kernel::ImageLayout;
+    use demos_types::MachineId;
+
+    #[test]
+    fn reconstructs_single_migration() {
+        let mut cluster = Cluster::mesh(2);
+        let pid = cluster
+            .spawn(MachineId(0), "cargo", &Cargo::state(256), ImageLayout::default())
+            .unwrap();
+        cluster.run_for(demos_types::Duration::from_millis(5));
+        cluster.migrate(pid, MachineId(1)).unwrap();
+        cluster.run_for(demos_types::Duration::from_millis(400));
+
+        let reports = migrations_of(cluster.trace(), pid);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert!(!r.failed);
+        // Phases are totally ordered in time.
+        let times: Vec<Time> = r.rows().iter().filter_map(|(_, t)| *t).collect();
+        assert_eq!(times.len(), 8, "all eight steps observed");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "steps in order: {times:?}");
+        assert!(r.total().unwrap() > demos_types::Duration::ZERO);
+        assert!(r.transfer().unwrap() <= r.total().unwrap());
+        let text = render(r);
+        assert!(text.contains("8 restarted"));
+        assert!(text.contains("total freeze→restart"));
+    }
+
+    #[test]
+    fn reconstructs_chains_and_failures() {
+        let mut cluster = crate::cluster::ClusterBuilder::new(3)
+            .migration_config(demos_core::MigrationConfig {
+                accept: demos_core::AcceptPolicy::Never,
+                ..Default::default()
+            })
+            .build();
+        let pid = cluster
+            .spawn(MachineId(0), "cargo", &Cargo::state(64), ImageLayout::default())
+            .unwrap();
+        cluster.run_for(demos_types::Duration::from_millis(5));
+        cluster.migrate(pid, MachineId(1)).unwrap();
+        cluster.run_for(demos_types::Duration::from_millis(400));
+        let reports = migrations_of(cluster.trace(), pid);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].failed, "rejection recorded");
+        assert!(reports[0].restarted.is_none());
+        assert!(render(&reports[0]).contains("(rejected/aborted)"));
+    }
+}

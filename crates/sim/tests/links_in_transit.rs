@@ -1,0 +1,159 @@
+//! §2.4: "Links may be either in some process's link table or in a message
+//! that is enroute to a process." Links riding inside messages that get
+//! held and forwarded by a migration must still work at the destination —
+//! capability passing survives relocation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use demos_kernel::{Carry, Ctx, Delivered, Program};
+use demos_sim::prelude::*;
+use demos_types::LinkIdx;
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+const HANDOFF: u16 = tags::USER_BASE + 20;
+const POKE: u16 = tags::USER_BASE + 21;
+
+/// On HANDOFF (carrying a link), immediately sends POKE over that link.
+#[derive(Default)]
+struct Introducee {
+    pokes_sent: u64,
+}
+
+impl Program for Introducee {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivered) {
+        if msg.msg_type == HANDOFF {
+            if let Some(&link) = msg.links.first() {
+                if ctx.send(link, POKE, Bytes::new(), &[]).is_ok() {
+                    self.pokes_sent += 1;
+                }
+            }
+        }
+    }
+    fn save(&self) -> Vec<u8> {
+        self.pokes_sent.to_be_bytes().to_vec()
+    }
+}
+
+/// Counts POKEs.
+#[derive(Default)]
+struct Target {
+    pokes: u64,
+}
+
+impl Program for Target {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Delivered) {
+        if msg.msg_type == POKE {
+            self.pokes += 1;
+        }
+    }
+    fn save(&self) -> Vec<u8> {
+        self.pokes.to_be_bytes().to_vec()
+    }
+}
+
+/// On GO, sends HANDOFF to the link in slot 0, carrying the link in slot 1.
+#[derive(Default)]
+struct Introducer {
+    to: u32,
+    carried: u32,
+}
+
+const GO: u16 = tags::USER_BASE + 22;
+
+impl Program for Introducer {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivered) {
+        match msg.msg_type {
+            x if x == wl::INIT && msg.links.len() >= 2 => {
+                self.to = msg.links[0].0;
+                self.carried = msg.links[1].0;
+            }
+            x if x == GO => {
+                let _ = ctx.send(
+                    LinkIdx(self.to),
+                    HANDOFF,
+                    Bytes::new(),
+                    &[Carry::Move(LinkIdx(self.carried))],
+                );
+            }
+            _ => {}
+        }
+    }
+    fn save(&self) -> Vec<u8> {
+        let mut b = BytesMut::new();
+        b.put_u32(self.to);
+        b.put_u32(self.carried);
+        b.to_vec()
+    }
+}
+
+fn counter(cluster: &Cluster, pid: ProcessId) -> u64 {
+    let machine = cluster.where_is(pid).unwrap();
+    let s = cluster.node(machine).kernel.process(pid).unwrap().program.as_ref().unwrap().save();
+    let mut b = Bytes::copy_from_slice(&s);
+    b.get_u64()
+}
+
+#[test]
+fn carried_link_survives_hold_and_forward() {
+    let mut cluster = ClusterBuilder::new(4)
+        .register("introducee", |_| Box::<Introducee>::default())
+        .register("target", |_| Box::<Target>::default())
+        .register("introducer", |_| Box::<Introducer>::default())
+        .build();
+
+    // A (introducer, m0) will hand B (introducee, m1) a link to C (target, m2).
+    let a = cluster.spawn(m(0), "introducer", &[0u8; 8], ImageLayout::default()).unwrap();
+    let b = cluster.spawn(m(1), "introducee", &[0u8; 8], ImageLayout::default()).unwrap();
+    let c = cluster.spawn(m(2), "target", &[0u8; 8], ImageLayout::default()).unwrap();
+    let lb = cluster.link_to(b).unwrap();
+    let lc = cluster.link_to(c).unwrap();
+    cluster.post(a, wl::INIT, Bytes::new(), vec![lb, lc]).unwrap();
+    cluster.run_for(Duration::from_millis(20));
+
+    // Freeze B by starting its migration, then fire the handoff so the
+    // HANDOFF message (with the link to C inside) lands on B's in-migration
+    // queue and is forwarded in step 6.
+    cluster.migrate(b, m(3)).unwrap();
+    cluster.post(a, GO, Bytes::new(), vec![]).unwrap();
+    cluster.run_for(Duration::from_millis(600));
+
+    assert_eq!(cluster.where_is(b), Some(m(3)), "B migrated");
+    assert_eq!(counter(&cluster, b), 1, "B received the handoff at its new home and used the link");
+    assert_eq!(counter(&cluster, c), 1, "the carried link worked from the new location");
+}
+
+#[test]
+fn carried_link_to_a_migrated_target_still_resolves() {
+    // The link handed over names C at its OLD machine; C migrates before
+    // the link is ever used. First use is forwarded, then updated.
+    let mut cluster = ClusterBuilder::new(4)
+        .register("introducee", |_| Box::<Introducee>::default())
+        .register("target", |_| Box::<Target>::default())
+        .register("introducer", |_| Box::<Introducer>::default())
+        .build();
+    let a = cluster.spawn(m(0), "introducer", &[0u8; 8], ImageLayout::default()).unwrap();
+    let b = cluster.spawn(m(1), "introducee", &[0u8; 8], ImageLayout::default()).unwrap();
+    let c = cluster.spawn(m(2), "target", &[0u8; 8], ImageLayout::default()).unwrap();
+    let lb = cluster.link_to(b).unwrap();
+    let lc = cluster.link_to(c).unwrap();
+    cluster.post(a, wl::INIT, Bytes::new(), vec![lb, lc]).unwrap();
+    cluster.run_for(Duration::from_millis(20));
+
+    // C moves away; A's stored link (and the one it will hand over) is now
+    // stale. Context independence (§2.1) says it must still work.
+    cluster.migrate(c, m(3)).unwrap();
+    cluster.run_for(Duration::from_millis(500));
+    cluster.post(a, GO, Bytes::new(), vec![]).unwrap();
+    cluster.run_for(Duration::from_millis(300));
+
+    assert_eq!(counter(&cluster, c), 1, "poke reached C at its new home via forwarding");
+    assert!(cluster.trace().forwards_for(c) >= 1);
+    // And B's copy of the link got patched by the update.
+    let bm = cluster.where_is(b).unwrap();
+    let bp = cluster.node(bm).kernel.process(b).unwrap();
+    for (_, l) in bp.links.iter().filter(|(_, l)| l.target() == c) {
+        assert_eq!(l.addr.last_known_machine, m(3));
+    }
+}

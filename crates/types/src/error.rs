@@ -1,0 +1,128 @@
+//! Workspace-wide error type.
+
+use core::fmt;
+
+use crate::ids::{MachineId, ProcessId};
+use crate::link::LinkIdx;
+use crate::wire::WireError;
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = core::result::Result<T, DemosError>;
+
+/// Errors surfaced by kernel calls and the migration machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DemosError {
+    /// The named machine does not exist in the cluster.
+    NoSuchMachine(MachineId),
+    /// No process with this identifier exists at the expected machine.
+    NoSuchProcess(ProcessId),
+    /// A link index was not present in the caller's link table.
+    BadLink(LinkIdx),
+    /// Operation required an attribute the link does not carry.
+    LinkAccess {
+        /// The offending link.
+        link: LinkIdx,
+        /// Human-readable requirement, e.g. `"DATA_READ"`.
+        need: &'static str,
+    },
+    /// A one-shot reply link was used a second time.
+    ReplyLinkConsumed(LinkIdx),
+    /// Move-data range fell outside the granted window.
+    AreaOutOfBounds,
+    /// The process is already migrating and cannot start another migration.
+    AlreadyMigrating(ProcessId),
+    /// Destination refused the migration offer.
+    MigrationRejected(ProcessId),
+    /// Migration was aborted (crash, timeout).
+    MigrationAborted(ProcessId),
+    /// The destination machine equals the source; nothing to do.
+    MigrationToSelf(ProcessId),
+    /// Kernels cannot be migrated, killed or suspended.
+    KernelImmovable(MachineId),
+    /// A message was undeliverable and non-delivery mode returned it.
+    NonDeliverable(ProcessId),
+    /// Message or payload exceeded protocol limits.
+    TooLarge {
+        /// What exceeded its bound.
+        what: &'static str,
+        /// Requested size.
+        len: usize,
+        /// Maximum permitted.
+        max: usize,
+    },
+    /// Per-machine capacity (process slots or memory) exhausted.
+    Capacity(MachineId),
+    /// A wire decode failed.
+    Wire(WireError),
+    /// The registry knows no program by this name.
+    UnknownProgram(String),
+    /// Internal invariant violation (should never happen; kept as an error
+    /// instead of a panic so the simulator can surface it in traces).
+    Internal(&'static str),
+}
+
+impl fmt::Display for DemosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemosError::NoSuchMachine(m) => write!(f, "no such machine {m}"),
+            DemosError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            DemosError::BadLink(l) => write!(f, "invalid link index {l}"),
+            DemosError::LinkAccess { link, need } => {
+                write!(f, "link {link} lacks required attribute {need}")
+            }
+            DemosError::ReplyLinkConsumed(l) => write!(f, "reply link {l} already used"),
+            DemosError::AreaOutOfBounds => write!(f, "move-data range outside granted window"),
+            DemosError::AlreadyMigrating(p) => write!(f, "process {p} is already migrating"),
+            DemosError::MigrationRejected(p) => write!(f, "migration of {p} rejected by destination"),
+            DemosError::MigrationAborted(p) => write!(f, "migration of {p} aborted"),
+            DemosError::MigrationToSelf(p) => write!(f, "process {p} is already on the target machine"),
+            DemosError::KernelImmovable(m) => write!(f, "kernel of {m} cannot be manipulated"),
+            DemosError::NonDeliverable(p) => write!(f, "message to {p} was not deliverable"),
+            DemosError::TooLarge { what, len, max } => {
+                write!(f, "{what} too large: {len} > max {max}")
+            }
+            DemosError::Capacity(m) => write!(f, "machine {m} out of capacity"),
+            DemosError::Wire(e) => write!(f, "wire error: {e}"),
+            DemosError::UnknownProgram(name) => write!(f, "unknown program {name:?}"),
+            DemosError::Internal(what) => write!(f, "internal invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DemosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DemosError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for DemosError {
+    fn from(e: WireError) -> Self {
+        DemosError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DemosError::NoSuchProcess(ProcessId {
+            creating_machine: MachineId(1),
+            local_uid: 3,
+        });
+        assert!(format!("{e}").contains("p1.3"));
+        let e = DemosError::TooLarge { what: "payload", len: 10, max: 5 };
+        assert!(format!("{e}").contains("payload"));
+    }
+
+    #[test]
+    fn wire_error_converts() {
+        let e: DemosError = WireError::Truncated("x").into();
+        assert!(matches!(e, DemosError::Wire(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

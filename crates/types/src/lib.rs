@@ -1,0 +1,40 @@
+//! Core types for the DEMOS/MP reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — machine identifiers, system-wide unique process identifiers
+//!   and the two-part *process address* of Figure 2-1 of the paper
+//!   (`last known machine` + `unique process id`).
+//! * [`time`] — virtual time used by the discrete-event substrate.
+//! * [`wire`] — a small, byte-exact, hand-rolled codec. DEMOS/MP's
+//!   evaluation counts message *bytes*, so every type that crosses the
+//!   simulated network has a deterministic encoding whose length we can
+//!   report honestly (e.g. a forwarding address is exactly 8 bytes, §4).
+//! * [`link`] — links: protected global process addresses with the
+//!   `DELIVERTOKERNEL` attribute and optional data-area windows (§2.1–2.2).
+//! * [`message`] — message headers and messages, including carried links.
+//! * [`proto`] — payloads of kernel control, migration, move-data and
+//!   link-maintenance protocol messages (§3–5).
+//! * [`error`] — error types shared across the workspace.
+//!
+//! Nothing in this crate allocates per-message beyond the payload buffer
+//! itself; headers encode into caller-provided [`bytes::BytesMut`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod link;
+pub mod message;
+pub mod proto;
+pub mod time;
+pub mod wire;
+
+pub use error::{DemosError, Result};
+pub use ids::{MachineId, ProcessAddress, ProcessId, KERNEL_LOCAL_UID};
+pub use link::{DataArea, Link, LinkAttrs, LinkIdx};
+pub use message::{tags, Message, MsgFlags, MsgHeader};
+pub use time::{Duration, Time};
+pub use wire::{Wire, WireError};

@@ -1,0 +1,303 @@
+//! Messages and message headers.
+//!
+//! Every interaction in DEMOS/MP — process-to-process, process-to-server,
+//! kernel-to-kernel — is a message sent over a link (§2.1). A message
+//! carries a typed payload plus zero or more *links* (this is how
+//! capabilities propagate through the system, §2.4).
+//!
+//! The header records both the destination *address* (copied from the link
+//! at send time, so it may carry a stale location hint) and the sender's
+//! identity and current machine. The sender machine is what lets a
+//! forwarding kernel send the link-update message of §5 back to the
+//! sender's kernel.
+
+use core::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::ids::{MachineId, ProcessAddress, ProcessId};
+use crate::link::Link;
+use crate::wire::{Wire, WireError};
+
+/// Well-known message type tags.
+///
+/// Types below [`tags::USER_BASE`] are reserved for the kernel and system
+/// protocols; user programs use `USER_BASE + n`.
+pub mod tags {
+    /// Kernel control operation (payload: [`crate::proto::KernelOp`]);
+    /// always sent over a `DELIVERTOKERNEL` link.
+    pub const KERNEL_OP: u16 = 0x0001;
+    /// Inter-kernel migration protocol (payload: [`crate::proto::MigrateMsg`]).
+    pub const MIGRATE: u16 = 0x0002;
+    /// Move-data facility (payload: [`crate::proto::MoveDataMsg`]).
+    pub const MOVE_DATA: u16 = 0x0003;
+    /// Link maintenance (payload: [`crate::proto::LinkMaintMsg`]):
+    /// link updates, non-deliverable notices, death notices.
+    pub const LINK_MAINT: u16 = 0x0004;
+    /// First tag available to system server processes.
+    pub const SYS_BASE: u16 = 0x0100;
+    /// First tag available to user programs.
+    pub const USER_BASE: u16 = 0x1000;
+}
+
+/// Header flag bits.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsgFlags(pub u16);
+
+impl MsgFlags {
+    /// No flags.
+    pub const NONE: MsgFlags = MsgFlags(0);
+    /// Receive by the kernel at the target process's machine (§2.2).
+    pub const DELIVER_TO_KERNEL: MsgFlags = MsgFlags(1 << 0);
+    /// Message was sent over a one-shot reply link.
+    pub const REPLY: MsgFlags = MsgFlags(1 << 1);
+    /// Message has passed through at least one forwarding address (§4);
+    /// set by the forwarding kernel, used for metrics.
+    pub const FORWARDED: MsgFlags = MsgFlags(1 << 2);
+    /// Sender is a kernel rather than a process.
+    pub const FROM_KERNEL: MsgFlags = MsgFlags(1 << 3);
+
+    /// Union.
+    pub const fn union(self, o: MsgFlags) -> MsgFlags {
+        MsgFlags(self.0 | o.0)
+    }
+
+    /// Test for all bits of `o`.
+    pub const fn contains(self, o: MsgFlags) -> bool {
+        (self.0 & o.0) == o.0
+    }
+}
+
+impl core::ops::BitOr for MsgFlags {
+    type Output = MsgFlags;
+    fn bitor(self, rhs: MsgFlags) -> MsgFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Debug for MsgFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(MsgFlags::DELIVER_TO_KERNEL) {
+            parts.push("DTK");
+        }
+        if self.contains(MsgFlags::REPLY) {
+            parts.push("REPLY");
+        }
+        if self.contains(MsgFlags::FORWARDED) {
+            parts.push("FWD");
+        }
+        if self.contains(MsgFlags::FROM_KERNEL) {
+            parts.push("KERN");
+        }
+        if parts.is_empty() {
+            write!(f, "NONE")
+        } else {
+            write!(f, "{}", parts.join("|"))
+        }
+    }
+}
+
+/// Fixed-size portion of every message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MsgHeader {
+    /// Destination address, copied from the sending link. The location
+    /// hint may be stale; the delivery system resolves it (§4).
+    pub dest: ProcessAddress,
+    /// Sender's immutable process identifier.
+    pub src: ProcessId,
+    /// Machine where the sender resided at send time. Target of the
+    /// link-update message when this message is forwarded (§5).
+    pub src_machine: MachineId,
+    /// Message type tag (see [`tags`]).
+    pub msg_type: u16,
+    /// Flag bits.
+    pub flags: MsgFlags,
+    /// Number of forwarding hops taken so far; incremented by each
+    /// forwarding address the message passes through.
+    pub hops: u8,
+}
+
+impl MsgHeader {
+    /// Encoded size: 8 + 6 + 2 + 2 + 2 + 1 = 21 bytes, plus the
+    /// link-count byte and 4-byte payload length written by
+    /// [`Message::encode`].
+    pub const WIRE_LEN: usize = 21;
+}
+
+impl Wire for MsgHeader {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.dest.encode(buf);
+        self.src.encode(buf);
+        self.src_machine.encode(buf);
+        buf.put_u16(self.msg_type);
+        buf.put_u16(self.flags.0);
+        buf.put_u8(self.hops);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let dest = ProcessAddress::decode(buf)?;
+        let src = ProcessId::decode(buf)?;
+        let src_machine = MachineId::decode(buf)?;
+        if buf.remaining() < 5 {
+            return Err(WireError::Truncated("MsgHeader"));
+        }
+        let msg_type = buf.get_u16();
+        let flags = MsgFlags(buf.get_u16());
+        let hops = buf.get_u8();
+        Ok(MsgHeader { dest, src, src_machine, msg_type, flags, hops })
+    }
+
+    fn wire_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+}
+
+/// Maximum number of links one message may carry.
+pub const MAX_CARRIED_LINKS: usize = 16;
+
+/// Maximum payload of a single message (larger transfers use the move-data
+/// facility, §2.2).
+pub const MAX_PAYLOAD: usize = 8 * 1024;
+
+/// A complete message: header, carried links, payload bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Message {
+    /// Fixed header.
+    pub header: MsgHeader,
+    /// Links travelling inside the message (capability passing, §2.4).
+    pub links: Vec<Link>,
+    /// Typed payload (see [`crate::proto`] for system payloads).
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Total encoded size of this message in bytes: what the simulated
+    /// network charges for it.
+    pub fn wire_size(&self) -> usize {
+        MsgHeader::WIRE_LEN + 1 + 4 + self.links.len() * Link::WIRE_LEN + self.payload.len()
+    }
+
+    /// Payload length in bytes — the quantity §6 reports for the 6–12-byte
+    /// administrative messages.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// First carried link, if any (conventionally the reply link).
+    pub fn reply_link(&self) -> Option<Link> {
+        self.links.first().copied()
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.header.encode(buf);
+        debug_assert!(self.links.len() <= MAX_CARRIED_LINKS);
+        buf.put_u8(self.links.len() as u8);
+        buf.put_u32(self.payload.len() as u32);
+        for l in &self.links {
+            l.encode(buf);
+        }
+        buf.put_slice(&self.payload);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let header = MsgHeader::decode(buf)?;
+        if buf.remaining() < 5 {
+            return Err(WireError::Truncated("Message counts"));
+        }
+        let n_links = buf.get_u8() as usize;
+        let payload_len = buf.get_u32() as usize;
+        if n_links > MAX_CARRIED_LINKS {
+            return Err(WireError::BadLength { what: "Message.links", len: n_links });
+        }
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::BadLength { what: "Message.payload", len: payload_len });
+        }
+        let mut links = Vec::with_capacity(n_links);
+        for _ in 0..n_links {
+            links.push(Link::decode(buf)?);
+        }
+        if buf.remaining() < payload_len {
+            return Err(WireError::Truncated("Message.payload"));
+        }
+        let payload = buf.split_to(payload_len);
+        Ok(Message { header, links, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+    use crate::wire::roundtrip;
+
+    fn header() -> MsgHeader {
+        MsgHeader {
+            dest: ProcessId { creating_machine: MachineId(1), local_uid: 5 }.at(MachineId(2)),
+            src: ProcessId { creating_machine: MachineId(3), local_uid: 9 },
+            src_machine: MachineId(3),
+            msg_type: tags::USER_BASE + 1,
+            flags: MsgFlags::NONE,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header();
+        assert_eq!(h.wire_len(), MsgHeader::WIRE_LEN);
+        assert_eq!(roundtrip(&h).unwrap(), h);
+    }
+
+    #[test]
+    fn message_roundtrip_with_links() {
+        let addr = ProcessId { creating_machine: MachineId(4), local_uid: 2 }.at(MachineId(4));
+        let m = Message {
+            header: header(),
+            links: vec![Link::to(addr).reply(), Link::deliver_to_kernel(addr)],
+            payload: Bytes::from_static(b"hello demos"),
+        };
+        let back = roundtrip(&m).unwrap();
+        assert_eq!(back, m);
+        assert!(back.reply_link().unwrap().is_reply());
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let addr = ProcessId { creating_machine: MachineId(4), local_uid: 2 }.at(MachineId(4));
+        let m = Message {
+            header: header(),
+            links: vec![Link::to(addr)],
+            payload: Bytes::from_static(&[0u8; 100]),
+        };
+        assert_eq!(m.wire_size(), m.to_bytes().len());
+    }
+
+    #[test]
+    fn oversized_payload_rejected_on_decode() {
+        let mut buf = BytesMut::new();
+        header().encode(&mut buf);
+        buf.put_u8(0);
+        buf.put_u32((MAX_PAYLOAD + 1) as u32);
+        let mut b = buf.freeze();
+        assert!(Message::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn too_many_links_rejected_on_decode() {
+        let mut buf = BytesMut::new();
+        header().encode(&mut buf);
+        buf.put_u8((MAX_CARRIED_LINKS + 1) as u8);
+        buf.put_u32(0);
+        let mut b = buf.freeze();
+        assert!(Message::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn flags_debug() {
+        let f = MsgFlags::DELIVER_TO_KERNEL | MsgFlags::FORWARDED;
+        assert_eq!(format!("{f:?}"), "DTK|FWD");
+    }
+}

@@ -1,0 +1,243 @@
+//! Byte-exact wire codec.
+//!
+//! DEMOS/MP's cost evaluation (§6) is denominated in messages and bytes, so
+//! the reproduction encodes everything that crosses the simulated network
+//! through this small hand-rolled codec rather than an opaque serializer.
+//! Every encoding is deterministic and its length is reported by
+//! [`Wire::wire_len`], which lets the benchmark harness account for each
+//! byte the paper counts (8-byte forwarding addresses, 6–12-byte
+//! administrative messages, 250/600-byte state records, …).
+//!
+//! All integers are big-endian. Variable-length fields carry explicit
+//! length prefixes. Decoding never panics: malformed input yields
+//! [`WireError`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use core::fmt;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the named field could be read.
+    Truncated(&'static str),
+    /// A tag/discriminant byte had no corresponding variant.
+    BadTag {
+        /// Type being decoded.
+        what: &'static str,
+        /// Offending tag value.
+        tag: u16,
+    },
+    /// A length prefix exceeded the remaining buffer or a sanity bound.
+    BadLength {
+        /// Type being decoded.
+        what: &'static str,
+        /// Claimed length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated input while decoding {what}"),
+            WireError::BadTag { what, tag } => write!(f, "unknown tag {tag:#x} for {what}"),
+            WireError::BadLength { what, len } => {
+                write!(f, "implausible length {len} while decoding {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Types with a deterministic binary encoding.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decode a value from the front of `buf`, consuming exactly the bytes
+    /// of one encoded value.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Length in bytes that [`Wire::encode`] will append.
+    ///
+    /// The default implementation encodes into a scratch buffer; fixed-size
+    /// types override it with a constant.
+    fn wire_len(&self) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Encode into a fresh, frozen buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode a value that must occupy the *entire* buffer.
+    fn from_bytes(bytes: &Bytes) -> Result<Self, WireError> {
+        let mut b = bytes.clone();
+        let v = Self::decode(&mut b)?;
+        if b.has_remaining() {
+            return Err(WireError::BadLength { what: "trailing bytes", len: b.remaining() });
+        }
+        Ok(v)
+    }
+}
+
+/// Encode then decode a value — test helper used across the workspace.
+pub fn roundtrip<T: Wire>(v: &T) -> Result<T, WireError> {
+    let bytes = v.to_bytes();
+    T::from_bytes(&bytes)
+}
+
+/// Read a length-prefixed (`u32`) byte string bounded by `max`.
+pub fn get_bytes(buf: &mut Bytes, what: &'static str, max: usize) -> Result<Bytes, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated(what));
+    }
+    let len = buf.get_u32() as usize;
+    if len > max || len > buf.remaining() {
+        return Err(WireError::BadLength { what, len });
+    }
+    Ok(buf.split_to(len))
+}
+
+/// Write a length-prefixed (`u32`) byte string.
+pub fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    buf.put_u32(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+/// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8 is *not*
+/// permitted; invalid bytes are an error).
+pub fn get_string(buf: &mut Bytes, what: &'static str, max: usize) -> Result<String, WireError> {
+    let bytes = get_bytes(buf, what, max)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadLength { what, len: bytes.len() })
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated("u8"));
+        }
+        Ok(buf.get_u8())
+    }
+    fn wire_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 2 {
+            return Err(WireError::Truncated("u16"));
+        }
+        Ok(buf.get_u16())
+    }
+    fn wire_len(&self) -> usize {
+        2
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated("u32"));
+        }
+        Ok(buf.get_u32())
+    }
+    fn wire_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated("u64"));
+        }
+        Ok(buf.get_u64())
+    }
+    fn wire_len(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(roundtrip(&0xabu8).unwrap(), 0xab);
+        assert_eq!(roundtrip(&0xabcdu16).unwrap(), 0xabcd);
+        assert_eq!(roundtrip(&0xdead_beefu32).unwrap(), 0xdead_beef);
+        assert_eq!(roundtrip(&0x0123_4567_89ab_cdefu64).unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing() {
+        let mut buf = BytesMut::new();
+        1u16.encode(&mut buf);
+        0u8.encode(&mut buf);
+        let bytes = buf.freeze();
+        assert!(u16::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bytes_helpers_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"hello");
+        put_string(&mut buf, "world");
+        let mut b = buf.freeze();
+        assert_eq!(&get_bytes(&mut b, "t", 1024).unwrap()[..], b"hello");
+        assert_eq!(get_string(&mut b, "t", 1024).unwrap(), "world");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn bytes_helper_bounds() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, &[0u8; 64]);
+        let mut b = buf.freeze();
+        assert!(matches!(get_bytes(&mut b, "t", 32), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn bytes_helper_truncation() {
+        // Length prefix claims more data than present.
+        let mut buf = BytesMut::new();
+        buf.put_u32(100);
+        buf.put_slice(&[1, 2, 3]);
+        let mut b = buf.freeze();
+        assert!(get_bytes(&mut b, "t", 1024).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_error() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut b = buf.freeze();
+        assert!(get_string(&mut b, "t", 16).is_err());
+    }
+}

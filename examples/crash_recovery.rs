@@ -1,0 +1,83 @@
+//! Fault recovery by checkpoint (§1): "If the information necessary to
+//! transport a process is saved in stable storage, it may be possible to
+//! 'migrate' a process from a processor that has crashed to a working
+//! one."
+//!
+//! An echo server is checkpointed, its processor crashes, the checkpoint
+//! is restored on another machine, and the revived processor gets a
+//! recovery forwarding address — after which the client (whose link still
+//! points at the dead machine's address) resumes service transparently.
+//!
+//! Run: `cargo run --example crash_recovery`
+
+use demos_mp::kernel::Outbox;
+use demos_mp::sim::prelude::*;
+use demos_mp::sim::programs::{client_stats, Client, EchoServer, server_served};
+use demos_mp::types::wire::Wire;
+
+fn client_recv(cluster: &Cluster, client: ProcessId) -> u64 {
+    let m = cluster.where_is(client).unwrap();
+    client_stats(&cluster.node(m).kernel.process(client).unwrap().program.as_ref().unwrap().save())
+        .recv
+}
+
+fn main() {
+    println!("DEMOS/MP: migrating a process off a processor that already crashed\n");
+    let mut cluster = Cluster::mesh(3);
+    let server = cluster
+        .spawn(MachineId(0), "echo_server", &EchoServer::state(50), ImageLayout::default())
+        .unwrap();
+    let client = cluster
+        .spawn(MachineId(1), "client", &Client::state(0, 5_000, 32), ImageLayout::default())
+        .unwrap();
+    let link = cluster.link_to(server).unwrap();
+    cluster.post(client, wl::INIT, bytes::Bytes::new(), vec![link]).unwrap();
+    cluster.run_for(Duration::from_millis(200));
+    println!("t={}  server on m0 has replied to {} requests", cluster.now(), client_recv(&cluster, client));
+
+    let now = cluster.now();
+    let ck = cluster.node_mut(MachineId(0)).kernel.checkpoint(now, server).unwrap();
+    let stable = ck.to_bytes();
+    println!(
+        "t={}  checkpoint written to stable storage: {} bytes (resident {} + swappable {} + image {})",
+        cluster.now(),
+        stable.len(),
+        ck.resident.len(),
+        ck.swappable.len(),
+        ck.image.len()
+    );
+    let served_at_ck = {
+        let p = cluster.node(MachineId(0)).kernel.process(server).unwrap();
+        server_served(&p.program.as_ref().unwrap().save())
+    };
+
+    cluster.run_for(Duration::from_millis(100));
+    println!("\n>> m0 crashes!\n");
+    cluster.crash(MachineId(0));
+    cluster.run_for(Duration::from_millis(100));
+    let stalled = client_recv(&cluster, client);
+    println!("t={}  client stalled at {} replies (its link points at a dead machine)", cluster.now(), stalled);
+
+    // Recovery.
+    let ck_back: demos_mp::kernel::Checkpoint = Wire::from_bytes(&stable).unwrap();
+    let now = cluster.now();
+    let mut out = Outbox::default();
+    cluster.node_mut(MachineId(2)).kernel.restore_checkpoint(now, &ck_back, &mut out).unwrap();
+    cluster.revive(MachineId(0));
+    let mut out = Outbox::default();
+    cluster.node_mut(MachineId(0)).kernel.install_forwarding(server, MachineId(2), &mut out);
+    println!(
+        "t={}  checkpoint restored on m2 (rolled back to {} requests served);",
+        cluster.now(),
+        served_at_ck
+    );
+    println!("        m0 revived empty with a recovery forwarding address → m2");
+
+    cluster.run_for(Duration::from_millis(500));
+    println!(
+        "\nt={}  client back in business: {} replies (link patched to {})",
+        cluster.now(),
+        client_recv(&cluster, client),
+        cluster.where_is(server).unwrap()
+    );
+}

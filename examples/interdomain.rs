@@ -1,0 +1,98 @@
+//! Inter-domain migration (§3.2): "the destination processor belongs to a
+//! collection of machines under a different administrative control than
+//! the source processor, and may be suspicious of the source processor and
+//! the incoming process. The destination processor may simply refuse to
+//! accept any migrations not fitting its criteria. The source processor,
+//! once rebuffed, has the option of looking elsewhere."
+//!
+//! Two domains share one network: machines m0–m1 (domain A, open) and
+//! m2–m3 (domain B, which only admits small processes). A big process is
+//! rebuffed by B and placed inside A instead; a small one crosses the
+//! domain boundary; and a process running in B keeps exchanging messages
+//! with its partner in A throughout — links do not care about domains, as
+//! §3.2 observes ("so long as [message delivery] continues to be provided,
+//! the process can continue to run").
+//!
+//! Run: `cargo run --example interdomain`
+
+use demos_mp::core::OfferInfo;
+use demos_mp::sim::prelude::*;
+use demos_mp::sim::programs::{pingpong_rallies, Cargo, PingPong};
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+/// The cluster-wide admission rule: domain A's machines (m0, m1) accept
+/// anything; domain B's machines (m2, m3) refuse images over 16 KiB.
+fn admission(info: &OfferInfo) -> bool {
+    if info.dest.0 <= 1 {
+        true
+    } else {
+        info.image_len < 16 * 1024
+    }
+}
+
+fn main() {
+    println!("DEMOS/MP inter-domain migration (§3.2)\n");
+    // One shared admission function; each engine passes its own machine
+    // as `info.dest`, so the rule is per-domain.
+    let mut cluster = ClusterBuilder::new(4)
+        .migration_config(MigrationConfig {
+            accept: AcceptPolicy::Custom(admission),
+            ..Default::default()
+        })
+        .build();
+
+    println!("domain A = {{m0, m1}} (open)   domain B = {{m2, m3}} (admits <16 KiB only)\n");
+
+    // A big process: B refuses it; A's other machine takes it.
+    let big = cluster
+        .spawn(m(0), "cargo", &Cargo::state(64), ImageLayout { code: 64 * 1024, data: 4096, stack: 2048 })
+        .unwrap();
+    cluster.run_for(Duration::from_millis(5));
+    cluster.migrate(big, m(2)).unwrap();
+    cluster.run_for(Duration::from_millis(400));
+    println!(
+        "big process (68 KiB image): asked to enter domain B → {} (rejections at m2: {})",
+        if cluster.where_is(big) == Some(m(0)) { "REFUSED, stayed in A" } else { "accepted?!" },
+        cluster.node(m(2)).engine.stats().rejected
+    );
+    cluster.migrate(big, m(1)).unwrap();
+    cluster.run_for(Duration::from_millis(400));
+    println!(
+        "  …looked elsewhere: now on {} (inside domain A)",
+        cluster.where_is(big).unwrap()
+    );
+
+    // A small process crosses into B and keeps talking to its partner in A.
+    let pa = cluster
+        .spawn(m(0), "pingpong", &PingPong::state(0, 50), ImageLayout { code: 4096, data: 2048, stack: 1024 })
+        .unwrap();
+    let pb = cluster
+        .spawn(m(1), "pingpong", &PingPong::state(0, 50), ImageLayout { code: 4096, data: 2048, stack: 1024 })
+        .unwrap();
+    let la = cluster.link_to(pa).unwrap();
+    let lb = cluster.link_to(pb).unwrap();
+    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster.run_for(Duration::from_millis(100));
+
+    cluster.migrate(pb, m(3)).unwrap();
+    cluster.run_for(Duration::from_millis(400));
+    let machine = cluster.where_is(pb).unwrap();
+    let r = {
+        let p = cluster.node(machine).kernel.process(pb).unwrap();
+        pingpong_rallies(&p.program.as_ref().unwrap().save())
+    };
+    println!(
+        "\nsmall process (7 KiB image): admitted into domain B, now on {machine}; \
+         cross-domain rally at {r} and counting"
+    );
+    cluster.run_for(Duration::from_millis(300));
+    let r2 = {
+        let p = cluster.node(machine).kernel.process(pb).unwrap();
+        pingpong_rallies(&p.program.as_ref().unwrap().save())
+    };
+    println!("  …{r2} after another 300ms — links don't care about domain borders (§3.2)");
+}

@@ -1,0 +1,103 @@
+//! Native mode: the same kernels on real OS threads (paper §2: DEMOS/MP
+//! ran "on a network of Z8000 microprocessors, as well as in simulation
+//! mode … essentially the same software runs on both systems").
+//!
+//! This example reruns the quickstart scenario — a cross-machine rally
+//! with a live migration — on `demos_rt::NativeCluster`, where frames
+//! genuinely race over crossbeam channels.
+//!
+//! Run: `cargo run --example native_mode`
+
+use demos_mp::kernel::{ImageLayout, KernelConfig, Registry};
+use demos_mp::rt::NativeCluster;
+use demos_mp::types::{Duration as VDuration, LinkAttrs, MachineId};
+use std::time::Duration;
+
+struct Pinger {
+    rallies: u64,
+    peer: u32,
+}
+
+impl demos_mp::kernel::Program for Pinger {
+    fn on_message(&mut self, ctx: &mut demos_mp::kernel::Ctx<'_>, msg: demos_mp::kernel::Delivered) {
+        const INIT: u16 = demos_mp::types::tags::USER_BASE;
+        const BALL: u16 = demos_mp::types::tags::USER_BASE + 1;
+        match msg.msg_type {
+            INIT => {
+                if let Some(&peer) = msg.links.first() {
+                    self.peer = peer.0;
+                    if msg.payload.first() == Some(&1) {
+                        let _ = ctx.send(peer, BALL, bytes::Bytes::new(), &[]);
+                    }
+                }
+            }
+            BALL => {
+                self.rallies += 1;
+                ctx.cpu(VDuration::from_micros(10));
+                if self.peer != 0 {
+                    let _ = ctx.send(demos_mp::types::LinkIdx(self.peer), BALL, bytes::Bytes::new(), &[]);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let mut v = self.rallies.to_be_bytes().to_vec();
+        v.extend_from_slice(&self.peer.to_be_bytes());
+        v
+    }
+}
+
+fn rallies_of(state: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&state[..8]);
+    u64::from_be_bytes(b)
+}
+
+fn main() {
+    println!("DEMOS/MP native mode: real threads, real races\n");
+    let mut registry = Registry::new();
+    registry.register("pinger", |state| {
+        let mut rallies = [0u8; 8];
+        let mut peer = [0u8; 4];
+        if state.len() >= 12 {
+            rallies.copy_from_slice(&state[..8]);
+            peer.copy_from_slice(&state[8..12]);
+        }
+        Box::new(Pinger { rallies: u64::from_be_bytes(rallies), peer: u32::from_be_bytes(peer) })
+    });
+
+    let m = MachineId;
+    let cluster = NativeCluster::new(
+        3,
+        registry,
+        KernelConfig::default(),
+        demos_mp::core::MigrationConfig::default(),
+    );
+    let pa = cluster.spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    let pb = cluster.spawn(m(1), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    let la = demos_mp::types::Link { addr: pa.at(m(0)), attrs: LinkAttrs::NONE, area: None };
+    let lb = demos_mp::types::Link { addr: pb.at(m(1)), attrs: LinkAttrs::NONE, area: None };
+    const INIT: u16 = demos_mp::types::tags::USER_BASE;
+    cluster.post(m(1), pb, INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster.post(m(0), pa, INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+
+    std::thread::sleep(Duration::from_millis(300));
+    let r0 = rallies_of(&cluster.query_state(m(0), pa).unwrap().unwrap());
+    println!("after 300ms of wall-clock: {r0} rallies across machine threads");
+
+    println!("\n>> migrating pb to m2 while the rally runs …");
+    cluster.migrate(m(1), pb, m(2)).unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+
+    println!(
+        "pb now on {:?}; rally at {} (was {r0})",
+        cluster.where_is(pb).unwrap(),
+        rallies_of(&cluster.query_state(m(0), pa).unwrap().unwrap()),
+    );
+    let (s1, _) = cluster.stats(m(1)).unwrap();
+    println!("m1 forwarded {} stale messages and sent {} link updates", s1.forwarded, s1.link_updates_sent);
+    cluster.shutdown();
+    println!("\nall machine threads joined cleanly.");
+}

@@ -1,0 +1,61 @@
+//! Fault recovery by migration (§1): "working processes may be migrated
+//! from a dying processor — like rats leaving a sinking ship — before it
+//! completely fails."
+//!
+//! Machine m0 begins to degrade; the evacuation policy notices its health
+//! and moves every process off; then m0 crashes for good. All four jobs
+//! survive and keep computing.
+//!
+//! Run: `cargo run --example sinking_ship`
+
+use demos_mp::policy::Evacuate;
+use demos_mp::sim::prelude::*;
+use demos_mp::sim::programs::{burner_done, CpuBurner};
+
+fn report(cluster: &Cluster, pids: &[ProcessId], label: &str) {
+    print!("{label}: ");
+    for &pid in pids {
+        match cluster.where_is(pid) {
+            Some(m) => {
+                let done = cluster
+                    .node(m)
+                    .kernel
+                    .process(pid)
+                    .and_then(|p| p.program.as_ref().map(|q| burner_done(&q.save())))
+                    .unwrap_or(0);
+                print!("{pid:?}@{m}({done})  ");
+            }
+            None => print!("{pid:?}: DEAD  "),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("DEMOS/MP: evacuating a dying processor\n");
+    let mut cluster = Cluster::mesh(3);
+    let pids: Vec<ProcessId> = (0..4)
+        .map(|_| {
+            cluster
+                .spawn(MachineId(0), "cpu_burner", &CpuBurner::state(0, 500, 1_000), ImageLayout::default())
+                .unwrap()
+        })
+        .collect();
+    cluster.run_for(Duration::from_millis(200));
+    report(&cluster, &pids, "healthy        ");
+
+    println!("\n>> m0 starts failing: 10x slowdown (health 0.1)\n");
+    cluster.degrade(MachineId(0), 10.0);
+    let mut driver = PolicyDriver::new(Box::new(Evacuate::new(0.5)), Duration::from_millis(50));
+    driver.run(&mut cluster, Duration::from_millis(600));
+    report(&cluster, &pids, "after evacuation");
+    println!("   ({} evacuation orders issued)", driver.orders_issued);
+
+    println!("\n>> m0 crashes completely\n");
+    cluster.crash(MachineId(0));
+    cluster.run_for(Duration::from_secs(1));
+    report(&cluster, &pids, "after the crash ");
+
+    let survivors = pids.iter().filter(|&&p| cluster.where_is(p).is_some()).count();
+    println!("\n{survivors}/4 processes survived the processor failure and kept working.");
+}

@@ -1,0 +1,58 @@
+//! # demos-mp — Process Migration in DEMOS/MP, reproduced in Rust
+//!
+//! A from-scratch reproduction of *Process Migration in DEMOS/MP*
+//! (Michael L. Powell and Barton P. Miller, SOSP 1983): a message-based
+//! distributed operating-system kernel with location-transparent *links*,
+//! plus the paper's contribution — moving a live process between
+//! processors with continuous, transparent message delivery via
+//! *forwarding addresses* and lazy *link updating*.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`types`] | ids, addresses, links, messages, byte-exact wire codec |
+//! | [`net`] | simulated network: topology, routing, reliable channels |
+//! | [`kernel`] | per-processor kernel: processes, delivery, move-data |
+//! | [`core`] | the migration engine (8-step protocol of §3.1) |
+//! | [`sysproc`] | switchboard, process manager, memory scheduler, fs ×4, shell |
+//! | [`policy`] | decision rules: load balance, affinity, evacuation |
+//! | [`sim`] | deterministic discrete-event harness, workloads, metrics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use demos_mp::sim::prelude::*;
+//! use demos_mp::sim::programs::PingPong;
+//!
+//! // Three machines on a full mesh.
+//! let mut cluster = Cluster::mesh(3);
+//!
+//! // Two processes rallying a message back and forth across machines.
+//! let pa = cluster
+//!     .spawn(MachineId(0), "pingpong", &PingPong::state(0, 50), ImageLayout::default())
+//!     .unwrap();
+//! let pb = cluster
+//!     .spawn(MachineId(1), "pingpong", &PingPong::state(0, 50), ImageLayout::default())
+//!     .unwrap();
+//! let (la, lb) = (cluster.link_to(pa).unwrap(), cluster.link_to(pb).unwrap());
+//! cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+//! cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+//! cluster.run_for(Duration::from_millis(100));
+//!
+//! // Migrate one end mid-conversation; the rally continues transparently.
+//! cluster.migrate(pb, MachineId(2)).unwrap();
+//! cluster.run_for(Duration::from_millis(300));
+//! assert_eq!(cluster.where_is(pb), Some(MachineId(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use demos_core as core;
+pub use demos_kernel as kernel;
+pub use demos_net as net;
+pub use demos_policy as policy;
+pub use demos_rt as rt;
+pub use demos_sim as sim;
+pub use demos_sysproc as sysproc;
+pub use demos_types as types;

@@ -1,0 +1,152 @@
+//! Whole-stack scenario test: everything at once, the way the paper's
+//! system actually ran — system processes booted, user processes doing
+//! file I/O and computation, migrations of user *and* system processes
+//! driven through the process manager, with policies running — and the
+//! invariants still hold.
+
+use demos_mp::policy::{Hysteresis, LoadBalance};
+use demos_mp::sim::boot::{boot_system, spawn_fs_clients, spawn_shell, total_client_errors, total_client_ops, BootConfig};
+use demos_mp::sim::prelude::*;
+use demos_mp::sysproc::{shell_stats, Cmd, ScriptEntry};
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+#[test]
+fn kitchen_sink() {
+    let mut cluster = ClusterBuilder::new(5).seed(99).build();
+    let handles = boot_system(
+        &mut cluster,
+        BootConfig { control_machine: m(0), fs_machine: m(1), ..Default::default() },
+    )
+    .unwrap();
+
+    // File-system clients on two machines.
+    let clients = spawn_fs_clients(&mut cluster, &handles, m(2), 2, 2, 2_500, 128, 60).unwrap();
+    let clients2 = spawn_fs_clients(&mut cluster, &handles, m(3), 2, 2, 2_500, 128, 60).unwrap();
+    let all_clients: Vec<ProcessId> = clients.into_iter().chain(clients2).collect();
+
+    // A scripted operator session: spawn burners, migrate one around.
+    let script = vec![
+        ScriptEntry {
+            delay_us: 5_000,
+            cmd: Cmd::Spawn {
+                machine: m(2),
+                program: "cpu_burner".into(),
+                state: demos_mp::sim::programs::CpuBurner::state(0, 700, 1_000),
+                layout: ImageLayout::default(),
+            },
+        },
+        ScriptEntry {
+            delay_us: 5_000,
+            cmd: Cmd::Spawn {
+                machine: m(2),
+                program: "cpu_burner".into(),
+                state: demos_mp::sim::programs::CpuBurner::state(0, 700, 1_000),
+                layout: ImageLayout::default(),
+            },
+        },
+        ScriptEntry { delay_us: 100_000, cmd: Cmd::Migrate { nth: 0, dest: m(4) } },
+        ScriptEntry { delay_us: 200_000, cmd: Cmd::Migrate { nth: 1, dest: m(4) } },
+    ];
+    let shell = spawn_shell(&mut cluster, &handles, m(0), &script).unwrap();
+
+    // A load balancer watching the whole time.
+    let policy = LoadBalance::new(3, Hysteresis::new(Duration::from_millis(100), Duration::from_millis(20)));
+    let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(50));
+
+    // Phase 1: everything runs together.
+    driver.run(&mut cluster, Duration::from_millis(600));
+
+    // Phase 2: migrate the file server while all of it keeps going.
+    cluster.migrate(handles.fs_file, m(4)).unwrap();
+    driver.run(&mut cluster, Duration::from_millis(600));
+
+    // Phase 3: and the switchboard too (a long-lived server with
+    // registered links in its table).
+    cluster.migrate(handles.switchboard, m(2)).unwrap();
+    driver.run(&mut cluster, Duration::from_millis(600));
+
+    // --- Invariants ---
+    // The operator session succeeded end to end.
+    let sm = cluster.where_is(shell).unwrap();
+    let (spawned_ok, spawn_failed, mig_ok, mig_failed) =
+        shell_stats(&cluster.node(sm).kernel.process(shell).unwrap().program.as_ref().unwrap().save());
+    assert_eq!((spawned_ok, spawn_failed), (2, 0));
+    assert_eq!((mig_ok, mig_failed), (2, 0), "both PM-driven migrations acknowledged");
+
+    // The file system kept serving without a single client-visible error.
+    assert!(total_client_ops(&cluster, &all_clients) > 200);
+    assert_eq!(total_client_errors(&cluster, &all_clients), 0);
+    assert_eq!(cluster.where_is(handles.fs_file), Some(m(4)));
+    assert_eq!(cluster.where_is(handles.switchboard), Some(m(2)));
+
+    // The switchboard still answers lookups at its new home via the old
+    // (stale) registration links others hold.
+    use demos_mp::sysproc::{sys, SbMsg};
+    use demos_mp::types::wire::Wire;
+    let probe = cluster
+        .spawn(m(3), "cargo", &demos_mp::sim::programs::Cargo::state(0), ImageLayout::default())
+        .unwrap();
+    let reply = cluster.link_to(probe).unwrap();
+    cluster
+        .post(handles.switchboard, sys::SWITCHBOARD, SbMsg::Lookup { name: "fs".into() }.to_bytes(), vec![reply])
+        .unwrap();
+    cluster.run_for(Duration::from_millis(100));
+    let p = cluster.node(m(3)).kernel.process(probe).unwrap();
+    assert!(
+        p.links.iter().any(|(_, l)| l.target() == handles.fs_file),
+        "switchboard lookup works after its own migration"
+    );
+
+    // No migration state leaked anywhere.
+    for i in 0..5 {
+        assert_eq!(cluster.node(m(i)).engine.in_flight(), 0, "m{i} has no stuck migrations");
+    }
+}
+
+#[test]
+fn interdomain_refusal_and_retry_elsewhere() {
+    // §3.2: "The destination processor may simply refuse to accept any
+    // migrations not fitting its criteria. The source processor, once
+    // rebuffed, has the option of looking elsewhere."
+    fn no_big_images(info: &demos_mp::core::OfferInfo) -> bool {
+        info.image_len < 10_000
+    }
+    let mut cluster = ClusterBuilder::new(3)
+        .migration_config(demos_mp::core::MigrationConfig {
+            accept: demos_mp::core::AcceptPolicy::Custom(no_big_images),
+            ..Default::default()
+        })
+        .build();
+    let big = cluster
+        .spawn(
+            m(0),
+            "cargo",
+            &demos_mp::sim::programs::Cargo::state(64),
+            ImageLayout { code: 64 * 1024, data: 4096, stack: 2048 },
+        )
+        .unwrap();
+    cluster.run_for(Duration::from_millis(5));
+
+    // First attempt: m1 refuses (image too big for its admission filter).
+    cluster.migrate(big, m(1)).unwrap();
+    cluster.run_for(Duration::from_millis(500));
+    assert_eq!(cluster.where_is(big), Some(m(0)), "rebuffed; process resumed at source");
+    assert_eq!(cluster.node(m(1)).engine.stats().rejected, 1);
+
+    // "Looking elsewhere": a small process is accepted fine.
+    let small = cluster
+        .spawn(
+            m(0),
+            "cargo",
+            &demos_mp::sim::programs::Cargo::state(16),
+            ImageLayout { code: 2048, data: 1024, stack: 512 },
+        )
+        .unwrap();
+    cluster.run_for(Duration::from_millis(5));
+    cluster.migrate(small, m(1)).unwrap();
+    cluster.run_for(Duration::from_millis(500));
+    assert_eq!(cluster.where_is(small), Some(m(1)), "small process admitted");
+}

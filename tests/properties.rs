@@ -1,0 +1,162 @@
+//! Property-based tests of the system's core invariants:
+//!
+//! * **exactly-once delivery** — every message sent to a process is
+//!   delivered exactly once, no matter how many times the process
+//!   migrates while the messages are in flight;
+//! * **deterministic replay** — identical configuration and seed yield a
+//!   bit-identical event trace;
+//! * **link-update convergence** — after a migration and a bounded number
+//!   of exchanges, every link in the sender's table points at the
+//!   process's true location;
+//! * **state conservation** — migrating a process any number of times
+//!   never corrupts its serialized program state.
+
+use demos_mp::sim::prelude::*;
+use demos_mp::sim::programs::{cargo_received, Cargo, PingPong};
+use proptest::prelude::*;
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Interleave message posts with migrations; every message must be
+    /// delivered exactly once (held during migration, forwarded after).
+    #[test]
+    fn exactly_once_delivery_under_migration(
+        seed in 0u64..1000,
+        lossy in any::<bool>(),
+        // Each step: Some(dest 0..3) = migrate, None = post a message.
+        steps in proptest::collection::vec(proptest::option::of(0u16..4), 5..40),
+    ) {
+        let loss = if lossy { 0.05 } else { 0.0 };
+        let topo = Topology::full_mesh(
+            4,
+            demos_mp::net::EdgeParams {
+                latency: Duration::from_micros(400),
+                ns_per_byte: 300,
+                loss,
+            },
+        );
+        let mut cluster = ClusterBuilder::new(4).topology(topo).seed(seed).build();
+        let pid = cluster
+            .spawn(m(0), "cargo", &Cargo::state(512), ImageLayout::default())
+            .unwrap();
+        cluster.run_for(Duration::from_millis(5));
+        let mut posted = 0u64;
+        for step in steps {
+            match step {
+                Some(dest) => {
+                    // Migration may legitimately fail (already migrating /
+                    // same machine) — that must not affect delivery.
+                    let _ = cluster.migrate(pid, m(dest));
+                    cluster.run_for(Duration::from_millis(3));
+                }
+                None => {
+                    cluster
+                        .post(pid, tags::USER_BASE + 9, bytes::Bytes::from_static(b"x"), vec![])
+                        .unwrap();
+                    posted += 1;
+                }
+            }
+        }
+        // Drain everything.
+        cluster.run_quiescent(Duration::from_secs(30));
+        let machine = cluster.where_is(pid).expect("process alive");
+        let p = cluster.node(machine).kernel.process(pid).unwrap();
+        prop_assert!(p.queue.is_empty(), "queue drained");
+        let received = cargo_received(&p.program.as_ref().unwrap().save());
+        prop_assert_eq!(received, posted, "every message delivered exactly once");
+    }
+
+    /// Same seed ⇒ identical trace; different seeds with loss ⇒ the runs
+    /// are reproducible independently.
+    #[test]
+    fn deterministic_replay(seed in 0u64..500) {
+        let run = || {
+            let topo = Topology::full_mesh(
+                3,
+                demos_mp::net::EdgeParams {
+                    latency: Duration::from_micros(400),
+                    ns_per_byte: 300,
+                    loss: 0.02,
+                },
+            );
+            let mut cluster = ClusterBuilder::new(3).topology(topo).seed(seed).build();
+            let pa = cluster
+                .spawn(m(0), "pingpong", &PingPong::state(0, 30), ImageLayout::default())
+                .unwrap();
+            let pb = cluster
+                .spawn(m(1), "pingpong", &PingPong::state(0, 30), ImageLayout::default())
+                .unwrap();
+            let la = cluster.link_to(pa).unwrap();
+            let lb = cluster.link_to(pb).unwrap();
+            cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+            cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+            cluster.run_for(Duration::from_millis(30));
+            let _ = cluster.migrate(pb, m(2));
+            cluster.run_for(Duration::from_millis(150));
+            cluster.trace().fingerprint()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// After migration and continued traffic, the peer's links converge to
+    /// the true location, and forwarding stops.
+    #[test]
+    fn link_update_convergence(seed in 0u64..500, dest in 2u16..5) {
+        let mut cluster = ClusterBuilder::new(5).seed(seed).build();
+        let pa = cluster
+            .spawn(m(0), "pingpong", &PingPong::state(0, 40), ImageLayout::default())
+            .unwrap();
+        let pb = cluster
+            .spawn(m(1), "pingpong", &PingPong::state(0, 40), ImageLayout::default())
+            .unwrap();
+        let la = cluster.link_to(pa).unwrap();
+        let lb = cluster.link_to(pb).unwrap();
+        cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+        cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+        cluster.run_for(Duration::from_millis(50));
+        cluster.migrate(pb, m(dest)).unwrap();
+        cluster.run_for(Duration::from_millis(400));
+
+        // Convergence: pa's links to pb all carry the true location.
+        let pa_proc = cluster.node(m(0)).kernel.process(pa).unwrap();
+        for (_, l) in pa_proc.links.iter().filter(|(_, l)| l.target() == pb) {
+            prop_assert_eq!(l.addr.last_known_machine, m(dest));
+        }
+        // Quiescence of forwarding: further traffic takes the direct path.
+        let f1 = cluster.trace().forwards_for(pb);
+        cluster.run_for(Duration::from_millis(200));
+        let f2 = cluster.trace().forwards_for(pb);
+        prop_assert!(f2 - f1 <= 1, "forwarding stopped: {} → {}", f1, f2);
+        // §6: at most 2 messages went over the stale link before update.
+        prop_assert!(f1 <= 2, "stale sends bounded: {}", f1);
+    }
+
+    /// Program state survives arbitrary migration chains bit-for-bit.
+    #[test]
+    fn state_conserved_over_chains(
+        seed in 0u64..500,
+        ballast in 1usize..5000,
+        path in proptest::collection::vec(0u16..4, 1..6),
+    ) {
+        let mut cluster = ClusterBuilder::new(4).seed(seed).build();
+        let pid = cluster
+            .spawn(m(0), "cargo", &Cargo::state(ballast), ImageLayout::default())
+            .unwrap();
+        cluster.run_for(Duration::from_millis(5));
+        for dest in path {
+            let _ = cluster.migrate(pid, m(dest));
+            cluster.run_quiescent(Duration::from_secs(10));
+        }
+        let machine = cluster.where_is(pid).expect("alive");
+        let p = cluster.node(machine).kernel.process(pid).unwrap();
+        let state = p.program.as_ref().unwrap().save();
+        prop_assert_eq!(state.len(), 8 + ballast);
+        prop_assert_eq!(cargo_received(&state), 0);
+        prop_assert!(state[8..].iter().all(|&b| b == 0xA5), "ballast bytes intact");
+    }
+}
