@@ -32,7 +32,13 @@ fn pump(n: usize, payload: usize) {
     let mut sent = 0usize;
     while delivered < n {
         while sent < n && a.in_flight() < 32 {
-            a.send(Time(0), MachineId(1), msg.clone(), &mut phys);
+            a.send(
+                Time(0),
+                MachineId(1),
+                msg.clone(),
+                demos_types::CorrId::NONE,
+                &mut phys,
+            );
             sent += 1;
         }
         for f in std::mem::take(&mut phys.to_b) {
@@ -49,7 +55,9 @@ fn bench_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("channel");
     for payload in [64usize, 1024] {
         g.throughput(Throughput::Bytes((1000 * payload) as u64));
-        g.bench_function(format!("pump_1000x{payload}"), |b| b.iter(|| pump(1000, payload)));
+        g.bench_function(format!("pump_1000x{payload}"), |b| {
+            b.iter(|| pump(1000, payload))
+        });
     }
     g.finish();
 }

@@ -15,15 +15,29 @@ fn pair(chain: u16) -> Cluster {
     let n = (chain + 3) as usize;
     let mut cluster = ClusterBuilder::new(n).no_trace().build();
     let pa = cluster
-        .spawn(MachineId(0), "pingpong", &PingPong::state(200, 10), ImageLayout::default())
+        .spawn(
+            MachineId(0),
+            "pingpong",
+            &PingPong::state(200, 10),
+            ImageLayout::default(),
+        )
         .unwrap();
     let pb = cluster
-        .spawn(MachineId(1), "pingpong", &PingPong::state(200, 10), ImageLayout::default())
+        .spawn(
+            MachineId(1),
+            "pingpong",
+            &PingPong::state(200, 10),
+            ImageLayout::default(),
+        )
         .unwrap();
     let la = cluster.link_to(pa).unwrap();
     let lb = cluster.link_to(pb).unwrap();
-    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[0]), vec![lb]).unwrap();
-    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster
+        .post(pa, wl::INIT, bytes::Bytes::from_static(&[0]), vec![lb])
+        .unwrap();
+    cluster
+        .post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
     for d in 0..chain {
         cluster.migrate(pb, MachineId(2 + d)).unwrap();
         cluster.run_quiescent(Duration::from_secs(2));
@@ -40,8 +54,13 @@ fn bench_forwarding(c: &mut Criterion) {
                 || pair(chain),
                 |mut cluster| {
                     // Serve the first ball; 200 rallies run to completion.
-                    let pa = ProcessId { creating_machine: MachineId(0), local_uid: 1 };
-                    cluster.post(pa, wl::BALL, bytes::Bytes::new(), vec![]).unwrap();
+                    let pa = ProcessId {
+                        creating_machine: MachineId(0),
+                        local_uid: 1,
+                    };
+                    cluster
+                        .post(pa, wl::BALL, bytes::Bytes::new(), vec![])
+                        .unwrap();
                     cluster.run_quiescent(Duration::from_secs(30));
                 },
                 BatchSize::SmallInput,

@@ -7,9 +7,18 @@ use demos_sim::prelude::*;
 
 fn cluster_with_cargo(code_kib: u32) -> (Cluster, ProcessId) {
     let mut cluster = ClusterBuilder::new(2).no_trace().build();
-    let layout = ImageLayout { code: code_kib * 1024, data: 2048, stack: 1024 };
+    let layout = ImageLayout {
+        code: code_kib * 1024,
+        data: 2048,
+        stack: 1024,
+    };
     let pid = cluster
-        .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), layout)
+        .spawn(
+            MachineId(0),
+            "cargo",
+            &demos_sim::programs::Cargo::state(64),
+            layout,
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(5));
     (cluster, pid)

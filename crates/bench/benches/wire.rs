@@ -8,7 +8,10 @@ use demos_types::wire::Wire;
 use demos_types::{Link, MachineId, Message, MsgFlags, MsgHeader, ProcessId};
 
 fn sample_message(payload: usize, links: usize) -> Message {
-    let pid = ProcessId { creating_machine: MachineId(1), local_uid: 7 };
+    let pid = ProcessId {
+        creating_machine: MachineId(1),
+        local_uid: 7,
+    };
     Message {
         header: MsgHeader {
             dest: pid.at(MachineId(2)),
@@ -20,24 +23,34 @@ fn sample_message(payload: usize, links: usize) -> Message {
         },
         links: (0..links).map(|_| Link::to(pid.at(MachineId(2)))).collect(),
         payload: Bytes::from(vec![0xA5u8; payload]),
+        corr: demos_types::CorrId::NONE,
     }
 }
 
 fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
-    for (name, payload, links) in
-        [("small_msg", 16usize, 0usize), ("msg_1k", 1024, 0), ("msg_1k_links", 1024, 4)]
-    {
+    for (name, payload, links) in [
+        ("small_msg", 16usize, 0usize),
+        ("msg_1k", 1024, 0),
+        ("msg_1k_links", 1024, 4),
+    ] {
         let msg = sample_message(payload, links);
         g.bench_function(format!("encode/{name}"), |b| b.iter(|| msg.to_bytes()));
         let bytes = msg.to_bytes();
         g.bench_function(format!("decode/{name}"), |b| {
-            b.iter_batched(|| bytes.clone(), |b| Message::from_bytes(&b).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || bytes.clone(),
+                |b| Message::from_bytes(&b).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
     }
     let offer = MigrateMsg::Offer {
         ctx: 1,
-        pid: ProcessId { creating_machine: MachineId(0), local_uid: 3 },
+        pid: ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: 3,
+        },
         resident_len: 250,
         swappable_len: 600,
         image_len: 65536,

@@ -15,10 +15,18 @@ pub fn e1_state_sizes() {
     for links in [0usize, 5, 10, 15, 20, 25, 30, 40, 64] {
         let mut cluster = ClusterBuilder::new(2).build();
         let pid = cluster
-            .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), ImageLayout::default())
+            .spawn(
+                MachineId(0),
+                "cargo",
+                &demos_sim::programs::Cargo::state(64),
+                ImageLayout::default(),
+            )
             .unwrap();
         for k in 0..links {
-            let target = ProcessId { creating_machine: MachineId(1), local_uid: 100 + k as u32 };
+            let target = ProcessId {
+                creating_machine: MachineId(1),
+                local_uid: 100 + k as u32,
+            };
             cluster
                 .node_mut(MachineId(0))
                 .kernel
@@ -47,7 +55,11 @@ pub fn e2_admin_cost() {
     let mut cluster = Cluster::mesh(3);
     let handles = boot_system(
         &mut cluster,
-        BootConfig { control_machine: MachineId(2), fs_machine: MachineId(2), ..Default::default() },
+        BootConfig {
+            control_machine: MachineId(2),
+            fs_machine: MachineId(2),
+            ..Default::default()
+        },
     )
     .unwrap();
     let script = vec![
@@ -62,7 +74,10 @@ pub fn e2_admin_cost() {
         },
         demos_sysproc::ScriptEntry {
             delay_us: 100_000,
-            cmd: demos_sysproc::Cmd::Migrate { nth: 0, dest: MachineId(1) },
+            cmd: demos_sysproc::Cmd::Migrate {
+                nth: 0,
+                dest: MachineId(1),
+            },
         },
     ];
     spawn_shell(&mut cluster, &handles, MachineId(2), &script).unwrap();
@@ -112,24 +127,84 @@ pub fn e2_admin_cost() {
     t.print();
 
     section("E2b: encoded payload size of each administrative message");
-    let pid = ProcessId { creating_machine: MachineId(0), local_uid: 1 };
+    let pid = ProcessId {
+        creating_machine: MachineId(0),
+        local_uid: 1,
+    };
     let samples: Vec<(&str, usize)> = vec![
-        ("#1 MigrateRequest", KernelOp::MigrateRequest { dest: MachineId(1), flags: 0 }.wire_len()),
+        (
+            "#1 MigrateRequest",
+            KernelOp::MigrateRequest {
+                dest: MachineId(1),
+                flags: 0,
+            }
+            .wire_len(),
+        ),
         (
             "#2 Offer",
-            MigrateMsg::Offer { ctx: 1, pid, resident_len: 250, swappable_len: 600, image_len: 14336 }
-                .wire_len(),
+            MigrateMsg::Offer {
+                ctx: 1,
+                pid,
+                resident_len: 250,
+                swappable_len: 600,
+                image_len: 14336,
+            }
+            .wire_len(),
         ),
-        ("#3 Accept", MigrateMsg::Accept { ctx: 1, slot: 1, window: 1024 }.wire_len()),
-        ("#3' Reject", MigrateMsg::Reject { ctx: 1, pid, reason: RejectReason::Policy }.wire_len()),
+        (
+            "#3 Accept",
+            MigrateMsg::Accept {
+                ctx: 1,
+                slot: 1,
+                window: 1024,
+            }
+            .wire_len(),
+        ),
+        (
+            "#3' Reject",
+            MigrateMsg::Reject {
+                ctx: 1,
+                pid,
+                reason: RejectReason::Policy,
+            }
+            .wire_len(),
+        ),
         (
             "#4-#6 ReadReq (each)",
-            MoveDataMsg::ReadReq { op: 1, target: pid, sel: AreaSel::Resident, offset: 0, len: 0 }
-                .wire_len(),
+            MoveDataMsg::ReadReq {
+                op: 1,
+                target: pid,
+                sel: AreaSel::Resident,
+                offset: 0,
+                len: 0,
+            }
+            .wire_len(),
         ),
-        ("#7 TransferComplete", MigrateMsg::TransferComplete { ctx: 1, received: 15000 }.wire_len()),
-        ("#8 CleanupDone", MigrateMsg::CleanupDone { ctx: 1, forwarded: 0 }.wire_len()),
-        ("#9 Done", MigrateMsg::Done { pid, dest: MachineId(1), status: 0 }.wire_len()),
+        (
+            "#7 TransferComplete",
+            MigrateMsg::TransferComplete {
+                ctx: 1,
+                received: 15000,
+            }
+            .wire_len(),
+        ),
+        (
+            "#8 CleanupDone",
+            MigrateMsg::CleanupDone {
+                ctx: 1,
+                forwarded: 0,
+            }
+            .wire_len(),
+        ),
+        (
+            "#9 Done",
+            MigrateMsg::Done {
+                pid,
+                dest: MachineId(1),
+                status: 0,
+            }
+            .wire_len(),
+        ),
     ];
     let mut t2 = Table::new(["message", "payload bytes"]);
     for (name, len) in samples {
@@ -157,9 +232,18 @@ pub fn e3_cost_vs_size() {
     ]);
     for code_kib in [1u32, 4, 16, 64, 256, 1024] {
         let mut cluster = ClusterBuilder::new(2).build();
-        let layout = ImageLayout { code: code_kib * 1024, data: 2048, stack: 1024 };
+        let layout = ImageLayout {
+            code: code_kib * 1024,
+            data: 2048,
+            stack: 1024,
+        };
         let pid = cluster
-            .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), layout)
+            .spawn(
+                MachineId(0),
+                "cargo",
+                &demos_sim::programs::Cargo::state(64),
+                layout,
+            )
             .unwrap();
         cluster.run_for(Duration::from_millis(5));
         let m = measure_migration(&mut cluster, pid, MachineId(1));
@@ -181,41 +265,80 @@ pub fn e3_cost_vs_size() {
 }
 
 /// E12 — each pending message is forwarded at normal inter-machine cost
-/// (§6 / step 6 of §3.1).
+/// (§6 / step 6 of §3.1). The table is built from the JSON-lines
+/// exporter's output, round-tripped through the parser, exactly as an
+/// out-of-process consumer would see it.
 pub fn e12_pending_queue() {
+    use demos_obs::json::{self, Json};
+
+    /// Sum of user-class messages across the parsed machine lines.
+    fn user_msgs(lines: &[Json]) -> u64 {
+        lines
+            .iter()
+            .flat_map(|l| {
+                l.get("traffic")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+            })
+            .filter(|t| t.str_field("class") == Some("user"))
+            .filter_map(|t| t.u64_field("msgs"))
+            .sum()
+    }
+
     section("E12: pending-queue forwarding cost (paper: each queued message forwarded)");
-    let mut t =
-        Table::new(["queued msgs", "forwarded", "user msgs on wire", "freeze→restart"]);
+    let mut t = Table::new([
+        "queued msgs",
+        "forwarded",
+        "user msgs on wire",
+        "freeze→restart",
+    ]);
+    let mut final_report = String::new();
     for q in [0usize, 8, 32, 128, 256] {
         let mut cluster = Cluster::mesh(2);
         let pid = cluster
-            .spawn(MachineId(0), "cargo", &demos_sim::programs::Cargo::state(64), ImageLayout::default())
+            .spawn(
+                MachineId(0),
+                "cargo",
+                &demos_sim::programs::Cargo::state(64),
+                ImageLayout::default(),
+            )
             .unwrap();
         cluster.run_for(Duration::from_millis(5));
         cluster.node_mut(MachineId(0)).kernel.suspend(pid);
         for i in 0..q {
             cluster
-                .post(pid, demos_types::tags::USER_BASE + 9, bytes::Bytes::from(vec![i as u8; 16]), vec![])
+                .post(
+                    pid,
+                    demos_types::tags::USER_BASE + 9,
+                    bytes::Bytes::from(vec![i as u8; 16]),
+                    vec![],
+                )
                 .unwrap();
         }
-        let before = total_traffic(&cluster);
+        let before = json::parse_lines(&cluster.json_lines()).expect("exporter emits valid JSON");
         let m = measure_migration(&mut cluster, pid, MachineId(1));
-        let d = traffic_delta(&total_traffic(&cluster), &before);
-        let forwarded = cluster
-            .node(MachineId(1))
-            .kernel
-            .process(pid)
-            .map(|p| p.queue.len())
+        let after = json::parse_lines(&cluster.json_lines()).expect("exporter emits valid JSON");
+        // The held messages now sit on the (still suspended) process's
+        // queue at the destination: machine 1's msgq gauge.
+        let forwarded = after
+            .iter()
+            .find(|l| l.u64_field("machine") == Some(1))
+            .and_then(|l| l.u64_field("msgq"))
             .unwrap_or(0);
         t.row([
             q.to_string(),
             forwarded.to_string(),
-            d.user.msgs.to_string(),
+            (user_msgs(&after) - user_msgs(&before)).to_string(),
             format!("{}", m.duration),
         ]);
+        final_report = cluster.report();
     }
     t.print();
     println!();
     println!("Step 6 resends every held message with a rewritten location hint; the");
     println!("cost per message equals any other inter-machine message (§6).");
+    println!();
+    println!("cluster state after the last run (demos-top):");
+    println!("{final_report}");
 }

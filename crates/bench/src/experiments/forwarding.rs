@@ -14,21 +14,29 @@ fn m(i: u16) -> MachineId {
 }
 
 /// Build an echo server on m0 with `k` clients on machines 1..=k.
-fn client_server(
-    cluster: &mut Cluster,
-    k: u16,
-    period_us: u32,
-) -> (ProcessId, Vec<ProcessId>) {
+fn client_server(cluster: &mut Cluster, k: u16, period_us: u32) -> (ProcessId, Vec<ProcessId>) {
     let server = cluster
-        .spawn(m(0), "echo_server", &EchoServer::state(50), ImageLayout::default())
+        .spawn(
+            m(0),
+            "echo_server",
+            &EchoServer::state(50),
+            ImageLayout::default(),
+        )
         .unwrap();
     let mut clients = Vec::new();
     for i in 1..=k {
         let c = cluster
-            .spawn(m(i), "client", &Client::state(0, period_us, 32), ImageLayout::default())
+            .spawn(
+                m(i),
+                "client",
+                &Client::state(0, period_us, 32),
+                ImageLayout::default(),
+            )
             .unwrap();
         let link = cluster.link_to(server).unwrap();
-        cluster.post(c, wl::INIT, bytes::Bytes::new(), vec![link]).unwrap();
+        cluster
+            .post(c, wl::INIT, bytes::Bytes::new(), vec![link])
+            .unwrap();
         clients.push(c);
     }
     (server, clients)
@@ -76,9 +84,18 @@ pub fn e4_forwarding_overhead() {
 /// typically 1 (§6, Fig 5-1).
 pub fn e5_link_update() {
     section("E5: stale sends per link before update (paper: worst 2, typically 1)");
-    let mut t = Table::new(["client period", "clients", "mean stale sends", "max stale sends"]);
-    for (label, period_us) in [("200us (flood)", 200u32), ("1ms", 1_000), ("5ms", 5_000), ("20ms", 20_000)]
-    {
+    let mut t = Table::new([
+        "client period",
+        "clients",
+        "mean stale sends",
+        "max stale sends",
+    ]);
+    for (label, period_us) in [
+        ("200us (flood)", 200u32),
+        ("1ms", 1_000),
+        ("5ms", 5_000),
+        ("20ms", 20_000),
+    ] {
         let k = 6u16;
         let mut cluster = Cluster::mesh(k as usize + 2);
         let (server, clients) = client_server(&mut cluster, k, period_us);
@@ -96,7 +113,12 @@ pub fn e5_link_update() {
         }
         let mean = demos_sim::metrics::mean(counts.iter().copied());
         let max = counts.iter().cloned().fold(0.0f64, f64::max);
-        t.row([label.to_string(), k.to_string(), format!("{mean:.2}"), format!("{max:.0}")]);
+        t.row([
+            label.to_string(),
+            k.to_string(),
+            format!("{mean:.2}"),
+            format!("{max:.0}"),
+        ]);
     }
     t.print();
     println!();
@@ -119,14 +141,27 @@ pub fn e7_chain() {
     for k in [1u16, 2, 4, 8] {
         let n = k as usize + 2;
         let mut cluster = ClusterBuilder::new(n)
-            .kernel_config(KernelConfig { gc_forwarding: true, ..Default::default() })
+            .kernel_config(KernelConfig {
+                gc_forwarding: true,
+                ..Default::default()
+            })
             .build();
         let server = cluster
-            .spawn(m(0), "echo_server", &EchoServer::state(20), ImageLayout::default())
+            .spawn(
+                m(0),
+                "echo_server",
+                &EchoServer::state(20),
+                ImageLayout::default(),
+            )
             .unwrap();
         // A quiet client that will send exactly two requests later.
         let client = cluster
-            .spawn(m(n as u16 - 1), "client", &Client::state(2, 150_000, 16), ImageLayout::default())
+            .spawn(
+                m(n as u16 - 1),
+                "client",
+                &Client::state(2, 150_000, 16),
+                ImageLayout::default(),
+            )
             .unwrap();
         cluster.run_for(Duration::from_millis(10));
         // Chain of migrations m0 → m1 → … → mk, no traffic meanwhile.
@@ -136,7 +171,9 @@ pub fn e7_chain() {
         }
         // Now wire the client with a maximally stale link (hint = m0).
         let stale = demos_types::Link::to(server.at(m(0)));
-        cluster.post(client, wl::INIT, bytes::Bytes::new(), vec![stale]).unwrap();
+        cluster
+            .post(client, wl::INIT, bytes::Bytes::new(), vec![stale])
+            .unwrap();
         cluster.run_for(Duration::from_millis(600));
         // First request chased the whole chain; second went direct.
         let hops: Vec<u8> = cluster
@@ -144,28 +181,52 @@ pub fn e7_chain() {
             .records()
             .iter()
             .filter_map(|r| match &r.event {
-                TraceEvent::Enqueued { pid, msg_type, hops, .. }
-                    if *pid == server && *msg_type == wl::REQ =>
-                {
-                    Some(*hops)
-                }
+                TraceEvent::Enqueued {
+                    pid,
+                    msg_type,
+                    hops,
+                    ..
+                } if *pid == server && *msg_type == wl::REQ => Some(*hops),
                 _ => None,
             })
             .collect();
         let entries: usize = (0..n)
-            .filter(|&i| cluster.node(m(i as u16)).kernel.forwarding_table().contains_key(&server))
+            .filter(|&i| {
+                cluster
+                    .node(m(i as u16))
+                    .kernel
+                    .forwarding_table()
+                    .contains_key(&server)
+            })
             .count();
         // Kill the server: death notices walk the chain backwards (§4).
         let loc = cluster.where_is(server).unwrap();
-        cluster.post_dtk(server, loc, demos_types::tags::KERNEL_OP, KernelOp::Kill.to_bytes()).unwrap();
+        cluster
+            .post_dtk(
+                server,
+                loc,
+                demos_types::tags::KERNEL_OP,
+                KernelOp::Kill.to_bytes(),
+            )
+            .unwrap();
         cluster.run_for(Duration::from_millis(200));
         let after_gc: usize = (0..n)
-            .filter(|&i| cluster.node(m(i as u16)).kernel.forwarding_table().contains_key(&server))
+            .filter(|&i| {
+                cluster
+                    .node(m(i as u16))
+                    .kernel
+                    .forwarding_table()
+                    .contains_key(&server)
+            })
             .count();
         t.row([
             k.to_string(),
-            hops.first().map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
-            hops.get(1).map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
+            hops.first()
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "-".into()),
+            hops.get(1)
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "-".into()),
             entries.to_string(),
             (entries * 8).to_string(),
             after_gc.to_string(),
@@ -192,7 +253,10 @@ pub fn e8_ablation_nondelivery() {
     ]);
     for forwarding in [true, false] {
         let mut cluster = ClusterBuilder::new(4)
-            .kernel_config(KernelConfig { forwarding, ..Default::default() })
+            .kernel_config(KernelConfig {
+                forwarding,
+                ..Default::default()
+            })
             .build();
         let (server, clients) = client_server(&mut cluster, 2, 5_000);
         cluster.run_for(Duration::from_millis(200));
@@ -201,7 +265,15 @@ pub fn e8_ablation_nondelivery() {
             .map(|&c| {
                 let mm = cluster.where_is(c).unwrap();
                 client_stats(
-                    &cluster.node(mm).kernel.process(c).unwrap().program.as_ref().unwrap().save(),
+                    &cluster
+                        .node(mm)
+                        .kernel
+                        .process(c)
+                        .unwrap()
+                        .program
+                        .as_ref()
+                        .unwrap()
+                        .save(),
                 )
                 .recv
             })
@@ -213,14 +285,23 @@ pub fn e8_ablation_nondelivery() {
             .map(|&c| {
                 let mm = cluster.where_is(c).unwrap();
                 client_stats(
-                    &cluster.node(mm).kernel.process(c).unwrap().program.as_ref().unwrap().save(),
+                    &cluster
+                        .node(mm)
+                        .kernel
+                        .process(c)
+                        .unwrap()
+                        .program
+                        .as_ref()
+                        .unwrap()
+                        .save(),
                 )
                 .recv
             })
             .sum::<u64>()
             - before;
-        let nondeliverable: u64 =
-            (0..4).map(|i| cluster.node(m(i)).kernel.stats().nondeliverable).sum();
+        let nondeliverable: u64 = (0..4)
+            .map(|i| cluster.node(m(i)).kernel.stats().nondeliverable)
+            .sum();
         let dead_links: usize = clients
             .iter()
             .map(|&c| {
@@ -234,13 +315,20 @@ pub fn e8_ablation_nondelivery() {
                     .iter()
                     .filter(|(_, l)| {
                         l.target() == server
-                            && l.attrs.contains(<demos_types::LinkAttrs as demos_kernel::LinkAttrsExt>::DEAD)
+                            && l.attrs.contains(
+                                <demos_types::LinkAttrs as demos_kernel::LinkAttrsExt>::DEAD,
+                            )
                     })
                     .count()
             })
             .sum();
         t.row([
-            if forwarding { "forwarding (§4)" } else { "return-to-sender" }.to_string(),
+            if forwarding {
+                "forwarding (§4)"
+            } else {
+                "return-to-sender"
+            }
+            .to_string(),
             before.to_string(),
             after.to_string(),
             nondeliverable.to_string(),
@@ -260,24 +348,46 @@ pub fn e13_dtk_during_migration() {
     section("E13: DELIVERTOKERNEL control op racing a migration (paper: held and forwarded)");
     let mut cluster = Cluster::mesh(2);
     let pid = cluster
-        .spawn(m(0), "cpu_burner", &demos_sim::programs::CpuBurner::state(0, 100, 1_000), ImageLayout { code: 256 * 1024, data: 4096, stack: 2048 })
+        .spawn(
+            m(0),
+            "cpu_burner",
+            &demos_sim::programs::CpuBurner::state(0, 100, 1_000),
+            ImageLayout {
+                code: 256 * 1024,
+                data: 4096,
+                stack: 2048,
+            },
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(20));
     let t0 = cluster.now();
     cluster.migrate(pid, m(1)).unwrap();
     // While the process is in migration, a Suspend control op arrives.
-    cluster.post_dtk(pid, m(0), demos_types::tags::KERNEL_OP, KernelOp::Suspend.to_bytes()).unwrap();
+    cluster
+        .post_dtk(
+            pid,
+            m(0),
+            demos_types::tags::KERNEL_OP,
+            KernelOp::Suspend.to_bytes(),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_millis(500));
 
-    let frozen = cluster.trace().phase_time(pid, MigrationPhase::Frozen, t0).unwrap();
-    let restarted = cluster.trace().phase_time(pid, MigrationPhase::Restarted, t0).unwrap();
+    let frozen = cluster
+        .trace()
+        .phase_time(pid, MigrationPhase::Frozen, t0)
+        .unwrap();
+    let restarted = cluster
+        .trace()
+        .phase_time(pid, MigrationPhase::Restarted, t0)
+        .unwrap();
     let received_at_dest = cluster
         .trace()
         .records()
         .iter()
         .find(|r| {
             r.machine == m(1)
-                && matches!(r.event, TraceEvent::KernelReceived { pid: p, msg_type }
+                && matches!(r.event, TraceEvent::KernelReceived { pid: p, msg_type, .. }
                     if p == pid && msg_type == demos_types::tags::KERNEL_OP)
         })
         .map(|r| r.at);
@@ -285,11 +395,19 @@ pub fn e13_dtk_during_migration() {
 
     let mut t = Table::new(["event", "virtual time"]);
     t.row(["frozen (step 1)".to_string(), format!("{frozen}")]);
-    t.row(["suspend sent while in migration".to_string(), format!("{t0}")]);
-    t.row(["restarted at destination (step 8)".to_string(), format!("{restarted}")]);
+    t.row([
+        "suspend sent while in migration".to_string(),
+        format!("{t0}"),
+    ]);
+    t.row([
+        "restarted at destination (step 8)".to_string(),
+        format!("{restarted}"),
+    ]);
     t.row([
         "suspend received by destination kernel".to_string(),
-        received_at_dest.map(|t| format!("{t}")).unwrap_or_else(|| "-".into()),
+        received_at_dest
+            .map(|t| format!("{t}"))
+            .unwrap_or_else(|| "-".into()),
     ]);
     t.row(["final status".to_string(), format!("{status:?}")]);
     t.print();

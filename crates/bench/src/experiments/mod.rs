@@ -8,7 +8,7 @@ mod costs;
 mod forwarding;
 mod policy;
 
-pub use costs::{e1_state_sizes, e2_admin_cost, e3_cost_vs_size, e12_pending_queue};
+pub use costs::{e12_pending_queue, e1_state_sizes, e2_admin_cost, e3_cost_vs_size};
 pub use forwarding::{
     e13_dtk_during_migration, e4_forwarding_overhead, e5_link_update, e7_chain,
     e8_ablation_nondelivery,

@@ -4,7 +4,9 @@
 
 use crate::{section, Table};
 use demos_policy::{CommAffinity, Evacuate, Hysteresis, LoadBalance};
-use demos_sim::boot::{boot_system, spawn_fs_clients, total_client_errors, total_client_ops, BootConfig};
+use demos_sim::boot::{
+    boot_system, spawn_fs_clients, total_client_errors, total_client_ops, BootConfig,
+};
 use demos_sim::prelude::*;
 use demos_sim::programs::{burner_done, CpuBurner};
 
@@ -28,8 +30,10 @@ pub fn e6_server_migration() {
     for server_case in [true, false] {
         let mut cluster = Cluster::mesh(4);
         let handles = boot_system(&mut cluster, BootConfig::default()).unwrap();
-        let clients1 = spawn_fs_clients(&mut cluster, &handles, m(1), 2, 2, 2_000, 128, 50).unwrap();
-        let clients2 = spawn_fs_clients(&mut cluster, &handles, m(2), 2, 2, 2_000, 128, 50).unwrap();
+        let clients1 =
+            spawn_fs_clients(&mut cluster, &handles, m(1), 2, 2, 2_000, 128, 50).unwrap();
+        let clients2 =
+            spawn_fs_clients(&mut cluster, &handles, m(2), 2, 2, 2_000, 128, 50).unwrap();
         let all: Vec<ProcessId> = clients1.iter().chain(clients2.iter()).copied().collect();
         cluster.run_for(Duration::from_millis(300));
         let before_ops = total_client_ops(&cluster, &all);
@@ -44,31 +48,40 @@ pub fn e6_server_migration() {
             .records()
             .iter()
             .find_map(|r| match r.event {
-                TraceEvent::Migration { pid, phase: MigrationPhase::PendingForwarded } if pid == victim && r.at >= t0 => {
+                TraceEvent::Migration {
+                    pid,
+                    phase: MigrationPhase::PendingForwarded,
+                } if pid == victim && r.at >= t0 => {
                     // Count of step-6 messages comes from the source stats.
                     None::<u64>
                 }
                 _ => None,
             })
             .unwrap_or(0)
-            .max(cluster.node(m(0)).engine.stats().pending_forwarded
-                + cluster.node(m(1)).engine.stats().pending_forwarded
-                + cluster.node(m(2)).engine.stats().pending_forwarded);
+            .max(
+                cluster.node(m(0)).engine.stats().pending_forwarded
+                    + cluster.node(m(1)).engine.stats().pending_forwarded
+                    + cluster.node(m(2)).engine.stats().pending_forwarded,
+            );
         let forwards = cluster.trace().forwards_for(victim) as u64;
         let patched: u64 = cluster
             .trace()
             .records()
             .iter()
             .map(|r| match r.event {
-                TraceEvent::LinkUpdateApplied { migrated, patched, .. } if migrated == victim => {
-                    patched as u64
-                }
+                TraceEvent::LinkUpdateApplied {
+                    migrated, patched, ..
+                } if migrated == victim => patched as u64,
                 _ => 0,
             })
             .sum();
         let after_ops = total_client_ops(&cluster, &all);
         t.row([
-            if server_case { "file server".to_string() } else { "user client".to_string() },
+            if server_case {
+                "file server".to_string()
+            } else {
+                "user client".to_string()
+            },
             pending.to_string(),
             forwards.to_string(),
             patched.to_string(),
@@ -97,7 +110,12 @@ pub fn e9_load_balance() {
         let mut pids: Vec<ProcessId> = (0..8)
             .map(|_| {
                 cluster
-                    .spawn(m(0), "cpu_burner", &CpuBurner::state(0, 900, 1_000), ImageLayout::default())
+                    .spawn(
+                        m(0),
+                        "cpu_burner",
+                        &CpuBurner::state(0, 900, 1_000),
+                        ImageLayout::default(),
+                    )
                     .unwrap()
             })
             .collect();
@@ -148,7 +166,12 @@ pub fn e9_load_balance() {
     };
     let mut t = Table::new(["policy", "iterations done", "migrations", "speedup"]);
     let (base, _) = run(None);
-    t.row(["static (no migration)".to_string(), base.to_string(), "0".into(), "1.00x".into()]);
+    t.row([
+        "static (no migration)".to_string(),
+        base.to_string(),
+        "0".into(),
+        "1.00x".into(),
+    ]);
     for (label, per_pid) in [
         ("balance, hysteresis 500ms", Duration::from_millis(500)),
         ("balance, hysteresis 50ms", Duration::from_millis(50)),
@@ -178,7 +201,12 @@ pub fn e9_load_balance() {
         let pids: Vec<ProcessId> = (0..5)
             .map(|_| {
                 cluster
-                    .spawn(m(0), "cpu_burner", &CpuBurner::state(0, 900, 1_000), ImageLayout::default())
+                    .spawn(
+                        m(0),
+                        "cpu_burner",
+                        &CpuBurner::state(0, 900, 1_000),
+                        ImageLayout::default(),
+                    )
                     .unwrap()
             })
             .collect();
@@ -224,7 +252,11 @@ pub fn e10_affinity() {
         cluster.run_for(Duration::from_millis(300));
         let hops0 = cluster.net().stats().byte_hops;
         if affinity {
-            let policy = CommAffinity::new(1_000, 0.6, Hysteresis::new(Duration::from_secs(1), Duration::ZERO));
+            let policy = CommAffinity::new(
+                1_000,
+                0.6,
+                Hysteresis::new(Duration::from_secs(1), Duration::ZERO),
+            );
             let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(100));
             driver.run(&mut cluster, Duration::from_secs(2));
         } else {
@@ -238,8 +270,18 @@ pub fn e10_affinity() {
     let mut t = Table::new(["policy", "byte*hops", "client ops", "client ends on"]);
     let (hops_static, ops_static, loc_static) = run(false);
     let (hops_aff, ops_aff, loc_aff) = run(true);
-    t.row(["static".to_string(), hops_static.to_string(), ops_static.to_string(), format!("m{loc_static}")]);
-    t.row(["affinity".to_string(), hops_aff.to_string(), ops_aff.to_string(), format!("m{loc_aff}")]);
+    t.row([
+        "static".to_string(),
+        hops_static.to_string(),
+        ops_static.to_string(),
+        format!("m{loc_static}"),
+    ]);
+    t.row([
+        "affinity".to_string(),
+        hops_aff.to_string(),
+        ops_aff.to_string(),
+        format!("m{loc_aff}"),
+    ]);
     t.print();
     println!();
     println!("The affinity policy moves the client next to its file server; network");
@@ -255,21 +297,30 @@ pub fn e11_sinking_ship() {
         let pids: Vec<ProcessId> = (0..4)
             .map(|_| {
                 cluster
-                    .spawn(m(0), "cpu_burner", &CpuBurner::state(0, 500, 1_000), ImageLayout::default())
+                    .spawn(
+                        m(0),
+                        "cpu_burner",
+                        &CpuBurner::state(0, 500, 1_000),
+                        ImageLayout::default(),
+                    )
                     .unwrap()
             })
             .collect();
         cluster.run_for(Duration::from_millis(100));
         cluster.degrade(m(0), 10.0); // the processor begins to die
         if evacuate {
-            let mut driver = PolicyDriver::new(Box::new(Evacuate::new(0.5)), Duration::from_millis(50));
+            let mut driver =
+                PolicyDriver::new(Box::new(Evacuate::new(0.5)), Duration::from_millis(50));
             driver.run(&mut cluster, Duration::from_millis(800));
         } else {
             cluster.run_for(Duration::from_millis(800));
         }
         cluster.crash(m(0)); // …and dies
         cluster.run_for(Duration::from_secs(1));
-        let survivors = pids.iter().filter(|&&p| cluster.where_is(p).is_some()).count();
+        let survivors = pids
+            .iter()
+            .filter(|&&p| cluster.where_is(p).is_some())
+            .count();
         let work: u64 = pids
             .iter()
             .filter_map(|&pid| {
@@ -284,7 +335,11 @@ pub fn e11_sinking_ship() {
     let (s0, w0) = run(false);
     let (s1, w1) = run(true);
     t.row(["no evacuation".to_string(), s0.to_string(), w0.to_string()]);
-    t.row(["evacuate on degradation".to_string(), s1.to_string(), w1.to_string()]);
+    t.row([
+        "evacuate on degradation".to_string(),
+        s1.to_string(),
+        w1.to_string(),
+    ]);
     t.print();
     println!();
     println!("With evacuation every process escapes before the crash and keeps");

@@ -28,7 +28,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringify each cell).
@@ -73,7 +76,10 @@ pub fn total_traffic(cluster: &Cluster) -> TrafficBreakdown {
 /// `a - b` per category (counters are monotonic).
 pub fn traffic_delta(a: &TrafficBreakdown, b: &TrafficBreakdown) -> TrafficBreakdown {
     fn d(x: MsgCount, y: MsgCount) -> MsgCount {
-        MsgCount { msgs: x.msgs - y.msgs, bytes: x.bytes - y.bytes }
+        MsgCount {
+            msgs: x.msgs - y.msgs,
+            bytes: x.bytes - y.bytes,
+        }
     }
     TrafficBreakdown {
         kernel_op: d(a.kernel_op, b.kernel_op),
@@ -125,7 +131,10 @@ pub fn measure_migration(
     // Run until the Restarted phase lands (bounded).
     let mut restarted = None;
     for _ in 0..100_000 {
-        if let Some(t) = cluster.trace().phase_time(pid, MigrationPhase::Restarted, t0) {
+        if let Some(t) = cluster
+            .trace()
+            .phase_time(pid, MigrationPhase::Restarted, t0)
+        {
             restarted = Some(t);
             break;
         }
@@ -134,10 +143,20 @@ pub fn measure_migration(
         }
     }
     let restarted = restarted
-        .or_else(|| cluster.trace().phase_time(pid, MigrationPhase::Restarted, t0))
+        .or_else(|| {
+            cluster
+                .trace()
+                .phase_time(pid, MigrationPhase::Restarted, t0)
+        })
         .expect("migration completed");
     let traffic = traffic_delta(&total_traffic(cluster), &before_traffic);
-    MigrationMeasurement { resident, swappable, image, duration: restarted.since(t0), traffic }
+    MigrationMeasurement {
+        resident,
+        swappable,
+        image,
+        duration: restarted.since(t0),
+        traffic,
+    }
 }
 
 /// Format bytes human-readably.
@@ -187,8 +206,17 @@ mod tests {
         assert!((230..=270).contains(&m.resident), "resident {}", m.resident);
         assert!(m.image > 14_000, "image includes declared segments");
         assert!(m.duration.as_micros() > 0);
-        assert_eq!(m.traffic.migrate.msgs, 4, "Offer, Accept, TransferComplete, CleanupDone");
-        assert_eq!(m.traffic.md_req.msgs, 3, "three state pulls (§3.1 steps 4-5)");
-        assert!(m.traffic.md_data.bytes as u32 > m.image, "image dominates transfer");
+        assert_eq!(
+            m.traffic.migrate.msgs, 4,
+            "Offer, Accept, TransferComplete, CleanupDone"
+        );
+        assert_eq!(
+            m.traffic.md_req.msgs, 3,
+            "three state pulls (§3.1 steps 4-5)"
+        );
+        assert!(
+            m.traffic.md_data.bytes as u32 > m.image,
+            "image dominates transfer"
+        );
     }
 }

@@ -25,9 +25,7 @@ use demos_kernel::{Kernel, MigrationPhase, Outbox, TraceEvent};
 use demos_net::Phys;
 use demos_types::proto::{AreaSel, KernelOp, MigrateMsg, RejectReason};
 use demos_types::wire::Wire;
-use demos_types::{
-    DemosError, Duration, Link, MachineId, Message, ProcessId, Result, Time,
-};
+use demos_types::{DemosError, Duration, Link, MachineId, Message, ProcessId, Result, Time};
 
 /// Destination-side acceptance policy (§3.2).
 #[derive(Clone, Copy, Debug)]
@@ -70,7 +68,10 @@ pub struct MigrationConfig {
 
 impl Default for MigrationConfig {
     fn default() -> Self {
-        MigrationConfig { accept: AcceptPolicy::Always, timeout: Duration::from_secs(30) }
+        MigrationConfig {
+            accept: AcceptPolicy::Always,
+            timeout: Duration::from_secs(30),
+        }
     }
 }
 
@@ -161,7 +162,11 @@ fn uncookie(c: u64) -> (MachineId, u16, Stage) {
         1 => Stage::Swappable,
         _ => Stage::Image,
     };
-    (MachineId((c >> 32) as u16), ((c >> 8) & 0xffff) as u16, stage)
+    (
+        MachineId((c >> 32) as u16),
+        ((c >> 8) & 0xffff) as u16,
+        stage,
+    )
 }
 
 impl MigrationEngine {
@@ -210,7 +215,16 @@ impl MigrationEngine {
         let sizes = kernel.freeze_for_migration(now, pid, phys, out)?;
         let ctx = self.next_ctx;
         self.next_ctx = self.next_ctx.wrapping_add(1).max(1);
-        self.outgoing.insert(ctx, SourceMig { pid, dest, started: now, reply, accepted: false });
+        self.outgoing.insert(
+            ctx,
+            SourceMig {
+                pid,
+                dest,
+                started: now,
+                reply,
+                accepted: false,
+            },
+        );
         self.stats.started += 1;
         // Step 2: offer, carrying the reply link so the destination can
         // notify the requester directly (links are context-independent).
@@ -223,7 +237,10 @@ impl MigrationEngine {
         };
         let links = reply.into_iter().collect();
         kernel.send_migrate_msg(now, dest, offer.to_bytes(), links, phys, out);
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Offered });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Offered,
+        });
         Ok(())
     }
 
@@ -242,12 +259,14 @@ impl MigrationEngine {
             if let Ok(KernelOp::MigrateRequest { dest, .. }) = KernelOp::from_bytes(&msg.payload) {
                 let pid = msg.header.dest.pid;
                 let reply = msg.links.first().copied();
-                if let Err(e) =
-                    self.start_migration(now, kernel, pid, dest, reply, phys, out)
-                {
+                if let Err(e) = self.start_migration(now, kernel, pid, dest, reply, phys, out) {
                     // Notify the requester of the failure, if possible.
                     if let Some(r) = msg.links.first() {
-                        let done = MigrateMsg::Done { pid, dest, status: reject_status(&e) };
+                        let done = MigrateMsg::Done {
+                            pid,
+                            dest,
+                            status: reject_status(&e),
+                        };
                         kernel.send_kernel_to(
                             now,
                             *r,
@@ -262,10 +281,18 @@ impl MigrationEngine {
             return;
         }
         debug_assert_eq!(msg.header.msg_type, demos_types::tags::MIGRATE);
-        let Ok(m) = MigrateMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = MigrateMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         let from = msg.header.src_machine;
         match m {
-            MigrateMsg::Offer { ctx, pid, resident_len, swappable_len, image_len } => {
+            MigrateMsg::Offer {
+                ctx,
+                pid,
+                resident_len,
+                swappable_len,
+                image_len,
+            } => {
                 let reply = msg.links.first().copied();
                 let dest = self.machine;
                 self.on_offer(
@@ -273,7 +300,14 @@ impl MigrationEngine {
                     kernel,
                     from,
                     ctx,
-                    OfferInfo { pid, src: from, dest, resident_len, swappable_len, image_len },
+                    OfferInfo {
+                        pid,
+                        src: from,
+                        dest,
+                        resident_len,
+                        swappable_len,
+                        image_len,
+                    },
                     reply,
                     phys,
                     out,
@@ -289,8 +323,10 @@ impl MigrationEngine {
                     debug_assert_eq!(mig.pid, pid);
                     self.stats.aborted += 1;
                     kernel.unfreeze(mig.pid, out);
-                    out.trace
-                        .push(TraceEvent::Migration { pid: mig.pid, phase: MigrationPhase::Rejected });
+                    out.trace.push(TraceEvent::Migration {
+                        pid: mig.pid,
+                        phase: MigrationPhase::Rejected,
+                    });
                     if let Some(r) = mig.reply {
                         let done = MigrateMsg::Done {
                             pid: mig.pid,
@@ -329,7 +365,14 @@ impl MigrationEngine {
                             // Process vanished mid-migration (killed):
                             // tell the destination to drop its copy.
                             let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
-                            kernel.send_migrate_msg(now, mig.dest, abort.to_bytes(), vec![], phys, out);
+                            kernel.send_migrate_msg(
+                                now,
+                                mig.dest,
+                                abort.to_bytes(),
+                                vec![],
+                                phys,
+                                out,
+                            );
                             self.stats.aborted += 1;
                         }
                     }
@@ -342,8 +385,11 @@ impl MigrationEngine {
                         self.stats.completed_in += 1;
                         self.stats.total_in_duration += now.since(mig.started);
                         if let Some(r) = mig.reply {
-                            let done =
-                                MigrateMsg::Done { pid: mig.pid, dest: self.machine, status: 0 };
+                            let done = MigrateMsg::Done {
+                                pid: mig.pid,
+                                dest: self.machine,
+                                status: 0,
+                            };
                             kernel.send_kernel_to(
                                 now,
                                 r,
@@ -365,12 +411,19 @@ impl MigrationEngine {
                         kernel.kill(now, mig.pid, phys, out);
                     }
                     self.stats.aborted += 1;
-                    out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Aborted });
+                    out.trace.push(TraceEvent::Migration {
+                        pid,
+                        phase: MigrationPhase::Aborted,
+                    });
                 } else if let Some(mig) = self.outgoing.remove(&ctx) {
                     kernel.unfreeze(mig.pid, out);
                     self.stats.aborted += 1;
                     if let Some(r) = mig.reply {
-                        let done = MigrateMsg::Done { pid: mig.pid, dest: mig.dest, status: 200 };
+                        let done = MigrateMsg::Done {
+                            pid: mig.pid,
+                            dest: mig.dest,
+                            status: 200,
+                        };
                         kernel.send_kernel_to(
                             now,
                             r,
@@ -408,10 +461,16 @@ impl MigrationEngine {
         };
         if !policy_ok {
             self.stats.rejected += 1;
-            let reject =
-                MigrateMsg::Reject { ctx: src_ctx, pid: info.pid, reason: RejectReason::Policy };
+            let reject = MigrateMsg::Reject {
+                ctx: src_ctx,
+                pid: info.pid,
+                reason: RejectReason::Policy,
+            };
             kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
-            out.trace.push(TraceEvent::Migration { pid: info.pid, phase: MigrationPhase::Rejected });
+            out.trace.push(TraceEvent::Migration {
+                pid: info.pid,
+                phase: MigrationPhase::Rejected,
+            });
             return;
         }
         // Step 3: allocate an (empty) process state — here, a capacity
@@ -426,13 +485,22 @@ impl MigrationEngine {
                     reason: RejectReason::Capacity,
                 };
                 kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
-                out.trace
-                    .push(TraceEvent::Migration { pid: info.pid, phase: MigrationPhase::Rejected });
+                out.trace.push(TraceEvent::Migration {
+                    pid: info.pid,
+                    phase: MigrationPhase::Rejected,
+                });
                 return;
             }
         };
-        out.trace.push(TraceEvent::Migration { pid: info.pid, phase: MigrationPhase::Allocated });
-        let accept = MigrateMsg::Accept { ctx: src_ctx, slot, window: 1024 };
+        out.trace.push(TraceEvent::Migration {
+            pid: info.pid,
+            phase: MigrationPhase::Allocated,
+        });
+        let accept = MigrateMsg::Accept {
+            ctx: src_ctx,
+            slot,
+            window: 1024,
+        };
         kernel.send_migrate_msg(now, from, accept.to_bytes(), vec![], phys, out);
         self.incoming.insert(
             (from, src_ctx),
@@ -472,14 +540,19 @@ impl MigrationEngine {
         out: &mut Outbox,
     ) {
         let (src, ctx, stage) = uncookie(done.cookie);
-        let Some(mig) = self.incoming.get_mut(&(src, ctx)) else { return };
+        let Some(mig) = self.incoming.get_mut(&(src, ctx)) else {
+            return;
+        };
         if done.status != 0 {
             let mig = self.incoming.remove(&(src, ctx)).expect("present");
             kernel.release_reservation(mig.slot);
             self.stats.aborted += 1;
             let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
             kernel.send_migrate_msg(now, src, abort.to_bytes(), vec![], phys, out);
-            out.trace.push(TraceEvent::Migration { pid: mig.pid, phase: MigrationPhase::Aborted });
+            out.trace.push(TraceEvent::Migration {
+                pid: mig.pid,
+                phase: MigrationPhase::Aborted,
+            });
             return;
         }
         debug_assert_eq!(mig.stage, stage, "pull completions arrive in order");
@@ -518,17 +591,24 @@ impl MigrationEngine {
             }
             Stage::Image => {
                 // Step 5 complete: install.
-                let (pid, slot, resident, swappable) =
-                    (mig.pid, mig.slot, std::mem::take(&mut mig.resident), std::mem::take(&mut mig.swappable));
+                let (pid, slot, resident, swappable) = (
+                    mig.pid,
+                    mig.slot,
+                    std::mem::take(&mut mig.resident),
+                    std::mem::take(&mut mig.swappable),
+                );
                 let received = mig.received;
-                match kernel.install_migrated(now, slot, src, &resident, &swappable, &done.data, out)
+                match kernel
+                    .install_migrated(now, slot, src, &resident, &swappable, &done.data, out)
                 {
                     Ok(installed_pid) => {
                         debug_assert_eq!(installed_pid, pid);
                         let mig = self.incoming.get_mut(&(src, ctx)).expect("present");
                         mig.installed = true;
-                        let complete =
-                            MigrateMsg::TransferComplete { ctx, received: received as u32 };
+                        let complete = MigrateMsg::TransferComplete {
+                            ctx,
+                            received: received as u32,
+                        };
                         kernel.send_migrate_msg(now, src, complete.to_bytes(), vec![], phys, out);
                     }
                     Err(_) => {
@@ -537,8 +617,10 @@ impl MigrationEngine {
                         self.stats.aborted += 1;
                         let abort = MigrateMsg::Abort { ctx, pid };
                         kernel.send_migrate_msg(now, src, abort.to_bytes(), vec![], phys, out);
-                        out.trace
-                            .push(TraceEvent::Migration { pid, phase: MigrationPhase::Aborted });
+                        out.trace.push(TraceEvent::Migration {
+                            pid,
+                            phase: MigrationPhase::Aborted,
+                        });
                     }
                 }
             }
@@ -547,8 +629,16 @@ impl MigrationEngine {
 
     /// Earliest in-flight migration deadline, for the simulation loop.
     pub fn next_timeout(&self) -> Option<Time> {
-        let o = self.outgoing.values().map(|m| m.started + self.cfg.timeout).min();
-        let i = self.incoming.values().map(|m| m.started + self.cfg.timeout).min();
+        let o = self
+            .outgoing
+            .values()
+            .map(|m| m.started + self.cfg.timeout)
+            .min();
+        let i = self
+            .incoming
+            .values()
+            .map(|m| m.started + self.cfg.timeout)
+            .min();
         match (o, i) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -576,8 +666,19 @@ impl MigrationEngine {
             let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
             kernel.send_migrate_msg(now, mig.dest, abort.to_bytes(), vec![], phys, out);
             if let Some(r) = mig.reply {
-                let done = MigrateMsg::Done { pid: mig.pid, dest: mig.dest, status: 201 };
-                kernel.send_kernel_to(now, r, demos_types::tags::MIGRATE, done.to_bytes(), phys, out);
+                let done = MigrateMsg::Done {
+                    pid: mig.pid,
+                    dest: mig.dest,
+                    status: 201,
+                };
+                kernel.send_kernel_to(
+                    now,
+                    r,
+                    demos_types::tags::MIGRATE,
+                    done.to_bytes(),
+                    phys,
+                    out,
+                );
             }
         }
         let stale_in: Vec<(MachineId, u16)> = self
@@ -593,9 +694,15 @@ impl MigrationEngine {
                 kernel.kill(now, mig.pid, phys, out);
             }
             self.stats.aborted += 1;
-            let abort = MigrateMsg::Abort { ctx: mig.src_ctx, pid: mig.pid };
+            let abort = MigrateMsg::Abort {
+                ctx: mig.src_ctx,
+                pid: mig.pid,
+            };
             kernel.send_migrate_msg(now, mig.src, abort.to_bytes(), vec![], phys, out);
-            out.trace.push(TraceEvent::Migration { pid: mig.pid, phase: MigrationPhase::Aborted });
+            out.trace.push(TraceEvent::Migration {
+                pid: mig.pid,
+                phase: MigrationPhase::Aborted,
+            });
         }
     }
 }
@@ -633,14 +740,20 @@ mod tests {
         }
         let p = AcceptPolicy::Custom(only_small);
         let small = OfferInfo {
-            pid: ProcessId { creating_machine: MachineId(0), local_uid: 1 },
+            pid: ProcessId {
+                creating_machine: MachineId(0),
+                local_uid: 1,
+            },
             src: MachineId(0),
             dest: MachineId(1),
             resident_len: 250,
             swappable_len: 600,
             image_len: 500,
         };
-        let big = OfferInfo { image_len: 5000, ..small };
+        let big = OfferInfo {
+            image_len: 5000,
+            ..small
+        };
         match p {
             AcceptPolicy::Custom(f) => {
                 assert!(f(&small));

@@ -30,7 +30,10 @@ impl Node {
         mcfg: MigrationConfig,
         registry: Arc<Registry>,
     ) -> Self {
-        Node { kernel: Kernel::new(machine, kcfg, registry), engine: MigrationEngine::new(machine, mcfg) }
+        Node {
+            kernel: Kernel::new(machine, kcfg, registry),
+            engine: MigrationEngine::new(machine, mcfg),
+        }
     }
 
     /// This node's machine id.
@@ -54,7 +57,8 @@ impl Node {
                 self.engine.handle(now, &mut self.kernel, m, phys, out);
             }
             for p in pulls {
-                self.engine.on_pull_done(now, &mut self.kernel, p, phys, out);
+                self.engine
+                    .on_pull_done(now, &mut self.kernel, p, phys, out);
             }
         }
         debug_assert!(false, "migration drain did not quiesce");
@@ -125,7 +129,9 @@ impl Node {
         phys: &mut dyn Phys,
         out: &mut Outbox,
     ) -> Result<()> {
-        let r = self.engine.start_migration(now, &mut self.kernel, pid, dest, reply, phys, out);
+        let r = self
+            .engine
+            .start_migration(now, &mut self.kernel, pid, dest, reply, phys, out);
         self.drain(now, phys, out);
         r
     }
@@ -133,6 +139,8 @@ impl Node {
 
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node").field("kernel", &self.kernel).finish()
+        f.debug_struct("Node")
+            .field("kernel", &self.kernel)
+            .finish()
     }
 }

@@ -73,7 +73,14 @@ impl Wire for Checkpoint {
         let resident = wire::get_bytes(buf, "Checkpoint.resident", 1 << 16)?.to_vec();
         let swappable = wire::get_bytes(buf, "Checkpoint.swappable", 1 << 20)?.to_vec();
         let image = wire::get_bytes(buf, "Checkpoint.image", 64 << 20)?.to_vec();
-        Ok(Checkpoint { pid, taken_on, taken_at, resident, swappable, image })
+        Ok(Checkpoint {
+            pid,
+            taken_on,
+            taken_at,
+            resident,
+            swappable,
+            image,
+        })
     }
 }
 
@@ -86,7 +93,9 @@ impl Kernel {
             return Err(DemosError::KernelImmovable(self.machine()));
         }
         let machine = self.machine();
-        let proc = self.process_mut(pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let proc = self
+            .process_mut(pid)
+            .ok_or(DemosError::NoSuchProcess(pid))?;
         proc.refresh_image();
         Ok(Checkpoint {
             pid,
@@ -102,11 +111,23 @@ impl Kernel {
     /// already host it). The process resumes from the checkpointed state;
     /// anything that happened after the checkpoint — including queued
     /// messages — is lost, as in a real crash.
-    pub fn restore_checkpoint(&mut self, now: Time, ck: &Checkpoint, out: &mut Outbox) -> Result<ProcessId> {
+    pub fn restore_checkpoint(
+        &mut self,
+        now: Time,
+        ck: &Checkpoint,
+        out: &mut Outbox,
+    ) -> Result<ProcessId> {
         let image = ProcessImage::from_flat(&ck.image).map_err(DemosError::Wire)?;
         let slot = self.reserve_incoming(ck.pid, image.total_len() as u64)?;
-        let pid = match self.install_migrated(now, slot, ck.taken_on, &ck.resident, &ck.swappable, &ck.image, out)
-        {
+        let pid = match self.install_migrated(
+            now,
+            slot,
+            ck.taken_on,
+            &ck.resident,
+            &ck.swappable,
+            &ck.image,
+            out,
+        ) {
             Ok(pid) => pid,
             Err(e) => {
                 self.release_reservation(slot);
@@ -114,7 +135,10 @@ impl Kernel {
             }
         };
         self.restart_migrated(pid, out)?;
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Restarted });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Restarted,
+        });
         Ok(pid)
     }
 
@@ -161,7 +185,16 @@ mod tests {
         let reg = registry();
         let mut k = Kernel::new(MachineId(0), crate::KernelConfig::default(), reg);
         let mut out = Outbox::default();
-        let pid = k.spawn(Time(0), "echo", &7u64.to_be_bytes(), ImageLayout::default(), false, &mut out).unwrap();
+        let pid = k
+            .spawn(
+                Time(0),
+                "echo",
+                &7u64.to_be_bytes(),
+                ImageLayout::default(),
+                false,
+                &mut out,
+            )
+            .unwrap();
         let ck = k.checkpoint(Time(5), pid).unwrap();
         let back = demos_types::wire::roundtrip(&ck).unwrap();
         assert_eq!(back, ck);
@@ -172,16 +205,32 @@ mod tests {
     #[test]
     fn restore_on_another_kernel_preserves_program_state() {
         let reg = registry();
-        let mut a = Kernel::new(MachineId(0), crate::KernelConfig::default(), Arc::clone(&reg));
+        let mut a = Kernel::new(
+            MachineId(0),
+            crate::KernelConfig::default(),
+            Arc::clone(&reg),
+        );
         let mut b = Kernel::new(MachineId(1), crate::KernelConfig::default(), reg);
         let mut out = Outbox::default();
-        let pid = a.spawn(Time(0), "echo", &42u64.to_be_bytes(), ImageLayout::default(), false, &mut out).unwrap();
+        let pid = a
+            .spawn(
+                Time(0),
+                "echo",
+                &42u64.to_be_bytes(),
+                ImageLayout::default(),
+                false,
+                &mut out,
+            )
+            .unwrap();
         let ck = a.checkpoint(Time(1), pid).unwrap();
         // (machine A "crashes" — we simply stop using it.)
         let restored = b.restore_checkpoint(Time(2), &ck, &mut out).unwrap();
         assert_eq!(restored, pid, "identity preserved across crash recovery");
         let p = b.process(pid).unwrap();
-        assert_eq!(p.program.as_ref().unwrap().save(), 42u64.to_be_bytes().to_vec());
+        assert_eq!(
+            p.program.as_ref().unwrap().save(),
+            42u64.to_be_bytes().to_vec()
+        );
         assert!(!p.in_migration);
     }
 
@@ -190,7 +239,16 @@ mod tests {
         let reg = registry();
         let mut a = Kernel::new(MachineId(0), crate::KernelConfig::default(), reg);
         let mut out = Outbox::default();
-        let pid = a.spawn(Time(0), "echo", &[0u8; 8], ImageLayout::default(), false, &mut out).unwrap();
+        let pid = a
+            .spawn(
+                Time(0),
+                "echo",
+                &[0u8; 8],
+                ImageLayout::default(),
+                false,
+                &mut out,
+            )
+            .unwrap();
         let ck = a.checkpoint(Time(1), pid).unwrap();
         // The process still lives here: restoring on the same kernel fails.
         assert!(a.restore_checkpoint(Time(2), &ck, &mut out).is_err());
@@ -200,6 +258,8 @@ mod tests {
     fn kernel_cannot_be_checkpointed() {
         let reg = registry();
         let mut a = Kernel::new(MachineId(0), crate::KernelConfig::default(), reg);
-        assert!(a.checkpoint(Time(0), ProcessId::kernel_of(MachineId(0))).is_err());
+        assert!(a
+            .checkpoint(Time(0), ProcessId::kernel_of(MachineId(0)))
+            .is_err());
     }
 }

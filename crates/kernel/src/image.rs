@@ -33,7 +33,11 @@ impl Default for ImageLayout {
     fn default() -> Self {
         // A small utility process of the era: 8 KiB text, 4 KiB data,
         // 2 KiB stack.
-        ImageLayout { code: 8 * 1024, data: 4 * 1024, stack: 2 * 1024 }
+        ImageLayout {
+            code: 8 * 1024,
+            data: 4 * 1024,
+            stack: 2 * 1024,
+        }
     }
 }
 
@@ -68,7 +72,11 @@ impl ProcessImage {
         if code.len() < layout.code as usize {
             code.resize(layout.code as usize, 0);
         }
-        let mut image = ProcessImage { code, data: Vec::new(), stack: vec![0; layout.stack as usize] };
+        let mut image = ProcessImage {
+            code,
+            data: Vec::new(),
+            stack: vec![0; layout.stack as usize],
+        };
         image.store_state(state, layout.data as usize);
         image
     }
@@ -81,11 +89,16 @@ impl ProcessImage {
         }
         let len = buf.get_u16() as usize;
         if len > MAX_NAME || len > buf.remaining() {
-            return Err(WireError::BadLength { what: "program name", len });
+            return Err(WireError::BadLength {
+                what: "program name",
+                len,
+            });
         }
         let name = buf.split_to(len);
-        String::from_utf8(name.to_vec())
-            .map_err(|_| WireError::BadLength { what: "program name utf8", len })
+        String::from_utf8(name.to_vec()).map_err(|_| WireError::BadLength {
+            what: "program name utf8",
+            len,
+        })
     }
 
     /// Serialized program state recorded in the data segment.
@@ -96,7 +109,10 @@ impl ProcessImage {
         }
         let len = buf.get_u32() as usize;
         if len > MAX_STATE || len > buf.remaining() {
-            return Err(WireError::BadLength { what: "program state", len });
+            return Err(WireError::BadLength {
+                what: "program state",
+                len,
+            });
         }
         Ok(buf.split_to(len))
     }
@@ -107,7 +123,8 @@ impl ProcessImage {
     /// §3.1 step 5).
     pub fn store_state(&mut self, state: &[u8], min_len: usize) {
         self.data.clear();
-        self.data.extend_from_slice(&(state.len() as u32).to_be_bytes());
+        self.data
+            .extend_from_slice(&(state.len() as u32).to_be_bytes());
         self.data.extend_from_slice(state);
         if self.data.len() < min_len {
             self.data.resize(min_len, 0);
@@ -164,8 +181,12 @@ impl ProcessImage {
     /// Write into the data segment at `offset`.
     pub fn write_data(&mut self, offset: u32, bytes: &[u8]) -> bool {
         let start = offset as usize;
-        let Some(end) = start.checked_add(bytes.len()) else { return false };
-        let Some(slice) = self.data.get_mut(start..end) else { return false };
+        let Some(end) = start.checked_add(bytes.len()) else {
+            return false;
+        };
+        let Some(slice) = self.data.get_mut(start..end) else {
+            return false;
+        };
         slice.copy_from_slice(bytes);
         true
     }
@@ -184,7 +205,11 @@ impl Wire for ImageLayout {
         if buf.remaining() < 12 {
             return Err(WireError::Truncated("ImageLayout"));
         }
-        Ok(ImageLayout { code: buf.get_u32(), data: buf.get_u32(), stack: buf.get_u32() })
+        Ok(ImageLayout {
+            code: buf.get_u32(),
+            data: buf.get_u32(),
+            stack: buf.get_u32(),
+        })
     }
 
     fn wire_len(&self) -> usize {
@@ -225,7 +250,11 @@ mod tests {
 
     #[test]
     fn state_larger_than_declared_grows_segment() {
-        let layout = ImageLayout { code: 64, data: 8, stack: 0 };
+        let layout = ImageLayout {
+            code: 64,
+            data: 8,
+            stack: 0,
+        };
         let img = ProcessImage::build("p", &[7u8; 100], layout);
         assert_eq!(&img.load_state().unwrap()[..], &[7u8; 100][..]);
         assert!(img.data.len() >= 104);
@@ -241,7 +270,15 @@ mod tests {
 
     #[test]
     fn flat_roundtrip() {
-        let img = ProcessImage::build("prog", b"abc", ImageLayout { code: 100, data: 50, stack: 25 });
+        let img = ProcessImage::build(
+            "prog",
+            b"abc",
+            ImageLayout {
+                code: 100,
+                data: 50,
+                stack: 25,
+            },
+        );
         let flat = img.to_flat();
         let back = ProcessImage::from_flat(&flat).unwrap();
         assert_eq!(back, img);
@@ -250,7 +287,15 @@ mod tests {
 
     #[test]
     fn flat_rejects_bad_lengths() {
-        let img = ProcessImage::build("prog", b"abc", ImageLayout { code: 64, data: 16, stack: 0 });
+        let img = ProcessImage::build(
+            "prog",
+            b"abc",
+            ImageLayout {
+                code: 64,
+                data: 16,
+                stack: 0,
+            },
+        );
         let mut flat = img.to_flat();
         flat.pop();
         assert!(ProcessImage::from_flat(&flat).is_err());
@@ -258,7 +303,15 @@ mod tests {
 
     #[test]
     fn data_window_access() {
-        let mut img = ProcessImage::build("p", b"", ImageLayout { code: 16, data: 64, stack: 0 });
+        let mut img = ProcessImage::build(
+            "p",
+            b"",
+            ImageLayout {
+                code: 16,
+                data: 64,
+                stack: 0,
+            },
+        );
         assert!(img.write_data(10, b"hello"));
         assert_eq!(img.read_data(10, 5).unwrap(), b"hello");
         assert!(img.read_data(60, 10).is_none(), "out of bounds read");
@@ -267,7 +320,11 @@ mod tests {
 
     #[test]
     fn corrupt_code_segment_is_error() {
-        let img = ProcessImage { code: vec![0xff], data: vec![], stack: vec![] };
+        let img = ProcessImage {
+            code: vec![0xff],
+            data: vec![],
+            stack: vec![],
+        };
         assert!(img.program_name().is_err());
         assert!(img.load_state().is_err());
     }

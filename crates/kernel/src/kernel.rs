@@ -31,7 +31,7 @@ use demos_net::{ChannelConfig, Endpoint, Frame, Phys};
 use demos_types::proto::{AreaSel, KernelOp, LinkMaintMsg, MoveDataMsg};
 use demos_types::wire::Wire;
 use demos_types::{
-    tags, DemosError, Duration, Link, LinkIdx, MachineId, Message, MsgFlags, MsgHeader,
+    tags, CorrId, DemosError, Duration, Link, LinkIdx, MachineId, Message, MsgFlags, MsgHeader,
     ProcessAddress, ProcessId, Result, Time,
 };
 
@@ -249,6 +249,7 @@ pub struct Kernel {
     reserved: BTreeMap<u16, u64>,
     next_slot: u16,
     next_uid: u32,
+    next_corr: u64,
     mem_used: u64,
     stats: KernelStats,
 }
@@ -268,6 +269,7 @@ impl Kernel {
             reserved: BTreeMap::new(),
             next_slot: 1,
             next_uid: 1,
+            next_corr: 1,
             mem_used: 0,
             stats: KernelStats::default(),
         }
@@ -308,6 +310,38 @@ impl Kernel {
         self.run_queue.len()
     }
 
+    /// Total messages queued for *runnable* residents (excludes processes
+    /// frozen for migration, whose held messages are reported by
+    /// [`Kernel::pending_queue_len`]).
+    pub fn msg_queue_len(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| !p.in_migration)
+            .map(|p| p.queue.len())
+            .sum()
+    }
+
+    /// Messages held on in-migration processes' queues (§3.1 step 1):
+    /// the backlog step 6 will forward. Zero outside migrations.
+    pub fn pending_queue_len(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.in_migration)
+            .map(|p| p.queue.len())
+            .sum()
+    }
+
+    /// Total link-table entries across resident processes.
+    pub fn link_table_len(&self) -> usize {
+        self.procs.values().map(|p| p.links.len()).sum()
+    }
+
+    /// Reliable-channel health counters (retransmits, duplicate acks,
+    /// dedup drops), cumulative for this machine's endpoint.
+    pub fn channel_stats(&self) -> demos_net::ChannelStats {
+        self.endpoint.channel_stats()
+    }
+
     /// Iterate over resident process ids.
     pub fn pids(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.procs.keys().copied()
@@ -331,7 +365,14 @@ impl Kernel {
     /// Insert a forwarding entry (crash-recovery path; migrations install
     /// theirs through [`Kernel::finish_source_side`]).
     pub(crate) fn forwarding_insert(&mut self, pid: ProcessId, to: MachineId) {
-        self.forwarding.insert(pid, ForwardEntry { to, prev: None, forwards: 0 });
+        self.forwarding.insert(
+            pid,
+            ForwardEntry {
+                to,
+                prev: None,
+                forwards: 0,
+            },
+        );
     }
 
     /// Reset the reliable channel to `peer` (connection re-establishment
@@ -364,7 +405,10 @@ impl Kernel {
             return Err(DemosError::Capacity(self.machine));
         }
         let program = self.registry.instantiate(name, state)?;
-        let pid = ProcessId { creating_machine: self.machine, local_uid: self.next_uid };
+        let pid = ProcessId {
+            creating_machine: self.machine,
+            local_uid: self.next_uid,
+        };
         self.next_uid += 1;
         let proc = Process::new(pid, name, program, layout, privileged, now);
         let image_len = proc.image.total_len() as u64;
@@ -374,7 +418,10 @@ impl Kernel {
         self.mem_used += image_len;
         self.procs.insert(pid, proc);
         self.stats.spawned += 1;
-        out.trace.push(TraceEvent::Spawned { pid, program: name.to_string() });
+        out.trace.push(TraceEvent::Spawned {
+            pid,
+            program: name.to_string(),
+        });
         self.schedule(pid);
         Ok(pid)
     }
@@ -382,7 +429,10 @@ impl Kernel {
     /// Install a link value into a process's table (bootstrap: handing the
     /// first processes their switchboard links, etc.).
     pub fn install_link(&mut self, pid: ProcessId, link: Link) -> Result<LinkIdx> {
-        let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(DemosError::NoSuchProcess(pid))?;
         Ok(proc.links.insert(link))
     }
 
@@ -434,7 +484,9 @@ impl Kernel {
     ) -> Option<(ProcessId, Duration)> {
         loop {
             let pid = self.run_queue.pop_front()?;
-            let Some(proc) = self.procs.get_mut(&pid) else { continue };
+            let Some(proc) = self.procs.get_mut(&pid) else {
+                continue;
+            };
             proc.in_runq = false;
             if !proc.runnable() {
                 continue;
@@ -460,6 +512,7 @@ impl Kernel {
                 }
                 self.stats.kernel_received += 1;
                 out.trace.push(TraceEvent::KernelReceived {
+                    corr: msg.corr,
                     pid,
                     msg_type: msg.header.msg_type,
                 });
@@ -476,7 +529,10 @@ impl Kernel {
                 let mut ctx = Ctx::new(now, pid, machine, &mut proc.links, &mut effects);
                 program.on_start(&mut ctx);
             } else {
-                let msg = proc.queue.pop_front().expect("runnable implies queued message");
+                let msg = proc
+                    .queue
+                    .pop_front()
+                    .expect("runnable implies queued message");
                 proc.msgs_handled += 1;
                 if msg.header.msg_type == local_tags::TIMER {
                     let token = decode_timer_token(&msg.payload);
@@ -503,11 +559,17 @@ impl Kernel {
             let cost = (self.cfg.base_msg_cpu + effects.cpu).max(Duration::from_micros(1));
             proc.cpu_used += cost;
             for (delay, token) in effects.timers.drain(..) {
-                proc.timers.push(TimerEntry { at: now + delay, token });
+                proc.timers.push(TimerEntry {
+                    at: now + delay,
+                    token,
+                });
             }
             if !effects.exit {
-                proc.status =
-                    if proc.queue.is_empty() { ExecStatus::Waiting } else { ExecStatus::Ready };
+                proc.status = if proc.queue.is_empty() {
+                    ExecStatus::Waiting
+                } else {
+                    ExecStatus::Ready
+                };
             }
             for text in effects.logs.drain(..) {
                 out.trace.push(TraceEvent::Log { pid, text });
@@ -570,6 +632,7 @@ impl Kernel {
             },
             links: vec![],
             payload,
+            corr: CorrId::NONE,
         }
     }
 
@@ -593,9 +656,15 @@ impl Kernel {
         out: &mut Outbox,
     ) {
         let delivered = self.endpoint.on_frame(now, from, frame, phys);
-        for bytes in delivered {
+        for (corr, bytes) in delivered {
             match Message::from_bytes(&bytes) {
-                Ok(msg) => self.submit(now, msg, phys, out),
+                Ok(mut msg) => {
+                    // The correlation id travelled alongside the wire bytes
+                    // (frame metadata, not part of the encoding); re-attach
+                    // it so the journey continues under the same id.
+                    msg.corr = corr;
+                    self.submit(now, msg, phys, out);
+                }
                 Err(e) => {
                     debug_assert!(false, "undecodable message on reliable channel: {e}");
                 }
@@ -624,13 +693,14 @@ impl Kernel {
         // *sending* process for traffic that actually leaves the machine.
         // (A send to a colocated process — even over a stale link — never
         // reaches the transport, so it never counts as remote.)
-        if !msg.header.flags.contains(MsgFlags::FROM_KERNEL) && msg.header.src_machine == self.machine
+        if !msg.header.flags.contains(MsgFlags::FROM_KERNEL)
+            && msg.header.src_machine == self.machine
         {
             if let Some(proc) = self.procs.get_mut(&msg.header.src) {
                 *proc.bytes_sent_to.entry(to).or_insert(0) += msg.wire_size() as u64;
             }
         }
-        self.endpoint.send(now, to, msg.to_bytes(), phys);
+        self.endpoint.send(now, to, msg.to_bytes(), msg.corr, phys);
     }
 
     // ------------------------------------------------------------------
@@ -641,6 +711,19 @@ impl Kernel {
     /// messages originated locally *and* arriving from the network.
     pub fn submit(&mut self, now: Time, mut msg: Message, phys: &mut dyn Phys, out: &mut Outbox) {
         self.stats.submitted += 1;
+        // Causal tracing: the first kernel to see a message stamps it with
+        // a fresh correlation id. Resubmissions (forwarding, pending-queue
+        // flush in step 6) and network arrivals already carry one, so the
+        // id identifies the message's whole journey across machines.
+        if msg.corr.is_none() {
+            msg.corr = CorrId::new(self.machine, self.next_corr);
+            self.next_corr += 1;
+            out.trace.push(TraceEvent::Submitted {
+                corr: msg.corr,
+                dest: msg.header.dest.pid,
+                msg_type: msg.header.msg_type,
+            });
+        }
         let dest = msg.header.dest;
         // 1. Is the destination process resident here (by pid, regardless
         //    of the — possibly stale — location hint)?
@@ -651,6 +734,7 @@ impl Kernel {
                 // the message is received by the kernel" (§2.2).
                 self.stats.kernel_received += 1;
                 out.trace.push(TraceEvent::KernelReceived {
+                    corr: msg.corr,
                     pid: dest.pid,
                     msg_type: msg.header.msg_type,
                 });
@@ -662,6 +746,7 @@ impl Kernel {
                 // queue" (§3.1 step 1).
                 self.stats.delivered_local += 1;
                 out.trace.push(TraceEvent::Enqueued {
+                    corr: msg.corr,
                     pid: dest.pid,
                     msg_type: msg.header.msg_type,
                     forwarded: msg.header.flags.contains(MsgFlags::FORWARDED),
@@ -694,6 +779,7 @@ impl Kernel {
                 let to = entry.to;
                 self.stats.forwarded += 1;
                 out.trace.push(TraceEvent::ForwardedMessage {
+                    corr: msg.corr,
                     pid: dest.pid,
                     to,
                     msg_type: msg.header.msg_type,
@@ -709,17 +795,26 @@ impl Kernel {
                 if !from_kernel && !sender.is_kernel() {
                     self.stats.link_updates_sent += 1;
                     out.trace.push(TraceEvent::LinkUpdateSent {
+                        corr: msg.corr,
                         sender,
                         migrated: dest.pid,
                         new_machine: to,
                     });
-                    let update = self.kernel_msg(
+                    let mut update = self.kernel_msg(
                         ProcessAddress::kernel_of(sender_machine),
                         tags::LINK_MAINT,
-                        LinkMaintMsg::LinkUpdate { sender, migrated: dest.pid, new_machine: to }
-                            .to_bytes(),
+                        LinkMaintMsg::LinkUpdate {
+                            sender,
+                            migrated: dest.pid,
+                            new_machine: to,
+                        }
+                        .to_bytes(),
                         vec![],
                     );
+                    // The §5 by-product inherits the chased message's
+                    // correlation id: cause (forwarded message) and effect
+                    // (link repair) are one traced journey.
+                    update.corr = msg.corr;
                     self.submit(now, update, phys, out);
                 }
                 self.submit(now, msg, phys, out);
@@ -728,7 +823,11 @@ impl Kernel {
         }
         // 5. Non-deliverable (dead process — or the ablation mode, §4).
         self.stats.nondeliverable += 1;
-        out.trace.push(TraceEvent::NonDeliverable { pid: dest.pid, msg_type: msg.header.msg_type });
+        out.trace.push(TraceEvent::NonDeliverable {
+            corr: msg.corr,
+            pid: dest.pid,
+            msg_type: msg.header.msg_type,
+        });
         let sender = msg.header.src;
         if !msg.header.flags.contains(MsgFlags::FROM_KERNEL) && !sender.is_kernel() {
             let reason = if self.cfg.forwarding { 0 } else { 1 };
@@ -748,6 +847,7 @@ impl Kernel {
                     reason,
                 }
                 .to_bytes(),
+                corr: CorrId::NONE,
             };
             self.submit(now, notice, phys, out);
         }
@@ -772,6 +872,7 @@ impl Kernel {
             },
             links,
             payload,
+            corr: CorrId::NONE,
         }
     }
 
@@ -817,6 +918,7 @@ impl Kernel {
             },
             links: vec![],
             payload,
+            corr: CorrId::NONE,
         };
         self.submit(now, msg, phys, out);
     }
@@ -835,7 +937,9 @@ impl Kernel {
     ) {
         match msg.header.msg_type {
             tags::KERNEL_OP => {
-                let Ok(op) = KernelOp::from_bytes(&msg.payload) else { return };
+                let Ok(op) = KernelOp::from_bytes(&msg.payload) else {
+                    return;
+                };
                 match op {
                     KernelOp::Suspend => self.suspend(pid),
                     KernelOp::Resume => self.resume(pid),
@@ -853,12 +957,17 @@ impl Kernel {
                 }
             }
             tags::MOVE_DATA => {
-                let Ok(m) = MoveDataMsg::from_bytes(&msg.payload) else { return };
+                let Ok(m) = MoveDataMsg::from_bytes(&msg.payload) else {
+                    return;
+                };
                 self.handle_user_movedata_request(now, pid, &msg, m, phys, out);
             }
             tags::LINK_MAINT => {
-                if let Ok(LinkMaintMsg::NonDeliverable { dest, msg_type, reason }) =
-                    LinkMaintMsg::from_bytes(&msg.payload)
+                if let Ok(LinkMaintMsg::NonDeliverable {
+                    dest,
+                    msg_type,
+                    reason,
+                }) = LinkMaintMsg::from_bytes(&msg.payload)
                 {
                     // Mark the sender's links dead and tell the program.
                     if let Some(proc) = self.procs.get_mut(&pid) {
@@ -911,8 +1020,11 @@ impl Kernel {
     pub fn resume(&mut self, pid: ProcessId) {
         if let Some(proc) = self.procs.get_mut(&pid) {
             if proc.status == ExecStatus::Suspended {
-                proc.status =
-                    if proc.queue.is_empty() && proc.started { ExecStatus::Waiting } else { ExecStatus::Ready };
+                proc.status = if proc.queue.is_empty() && proc.started {
+                    ExecStatus::Waiting
+                } else {
+                    ExecStatus::Ready
+                };
                 self.schedule(pid);
             }
         }
@@ -922,7 +1034,9 @@ impl Kernel {
     /// operations, and (if enabled) start forwarding-address garbage
     /// collection along the migration path (§4).
     pub fn kill(&mut self, now: Time, pid: ProcessId, phys: &mut dyn Phys, out: &mut Outbox) {
-        let Some(proc) = self.procs.remove(&pid) else { return };
+        let Some(proc) = self.procs.remove(&pid) else {
+            return;
+        };
         self.mem_used = self.mem_used.saturating_sub(proc.image.total_len() as u64);
         self.stats.exited += 1;
         out.trace.push(TraceEvent::Exited { pid });
@@ -955,9 +1069,17 @@ impl Kernel {
         match msg.header.msg_type {
             tags::MIGRATE => out.migration_inbox.push(msg),
             tags::MOVE_DATA => {
-                let Ok(m) = MoveDataMsg::from_bytes(&msg.payload) else { return };
+                let Ok(m) = MoveDataMsg::from_bytes(&msg.payload) else {
+                    return;
+                };
                 match m {
-                    MoveDataMsg::ReadReq { op, target, sel, offset, len } => {
+                    MoveDataMsg::ReadReq {
+                        op,
+                        target,
+                        sel,
+                        offset,
+                        len,
+                    } => {
                         self.serve_kernel_read(now, &msg, op, target, sel, offset, len, phys, out);
                     }
                     MoveDataMsg::WriteReq { op, .. } => {
@@ -973,14 +1095,21 @@ impl Kernel {
                 }
             }
             tags::LINK_MAINT => {
-                let Ok(m) = LinkMaintMsg::from_bytes(&msg.payload) else { return };
+                let Ok(m) = LinkMaintMsg::from_bytes(&msg.payload) else {
+                    return;
+                };
                 match m {
-                    LinkMaintMsg::LinkUpdate { sender, migrated, new_machine } => {
+                    LinkMaintMsg::LinkUpdate {
+                        sender,
+                        migrated,
+                        new_machine,
+                    } => {
                         self.stats.link_updates_applied += 1;
                         if let Some(proc) = self.procs.get_mut(&sender) {
                             let patched = proc.links.rehome_links_to(migrated, new_machine);
                             self.stats.links_patched += patched as u64;
                             out.trace.push(TraceEvent::LinkUpdateApplied {
+                                corr: msg.corr,
                                 sender,
                                 migrated,
                                 patched,
@@ -1017,9 +1146,20 @@ impl Kernel {
 
     fn handle_mgmt(&mut self, now: Time, msg: Message, phys: &mut dyn Phys, out: &mut Outbox) {
         use crate::mgmt::KernelMgmt;
-        let Ok(m) = KernelMgmt::from_bytes(&msg.payload) else { return };
-        if let KernelMgmt::CreateProcess { token, name, state, layout, privileged } = m {
-            let Some(reply) = msg.links.first().copied() else { return };
+        let Ok(m) = KernelMgmt::from_bytes(&msg.payload) else {
+            return;
+        };
+        if let KernelMgmt::CreateProcess {
+            token,
+            name,
+            state,
+            layout,
+            privileged,
+        } = m
+        {
+            let Some(reply) = msg.links.first().copied() else {
+                return;
+            };
             match self.spawn(now, &name, &state, layout, privileged, out) {
                 Ok(pid) => {
                     let link = Link::to(pid.at(self.machine));
@@ -1034,6 +1174,7 @@ impl Kernel {
                         },
                         links: vec![link],
                         payload: KernelMgmt::Created { token, pid }.to_bytes(),
+                        corr: CorrId::NONE,
                     };
                     self.submit(now, reply_msg, phys, out);
                 }
@@ -1054,6 +1195,7 @@ impl Kernel {
                         },
                         links: vec![],
                         payload: KernelMgmt::CreateFailed { token, reason }.to_bytes(),
+                        corr: CorrId::NONE,
                     };
                     self.submit(now, reply_msg, phys, out);
                 }
@@ -1099,23 +1241,32 @@ impl Kernel {
         link: Option<&Link>,
         from_kernel: bool,
     ) -> Result<Bytes> {
-        let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(DemosError::NoSuchProcess(pid))?;
         match sel {
             AreaSel::Resident => {
                 if !from_kernel || !proc.in_migration {
-                    return Err(DemosError::Internal("resident read requires migration authority"));
+                    return Err(DemosError::Internal(
+                        "resident read requires migration authority",
+                    ));
                 }
                 Ok(Bytes::from(proc.serialize_resident()))
             }
             AreaSel::Swappable => {
                 if !from_kernel || !proc.in_migration {
-                    return Err(DemosError::Internal("swappable read requires migration authority"));
+                    return Err(DemosError::Internal(
+                        "swappable read requires migration authority",
+                    ));
                 }
                 Ok(Bytes::from(proc.serialize_swappable()))
             }
             AreaSel::Image => {
                 if !from_kernel || !proc.in_migration {
-                    return Err(DemosError::Internal("image read requires migration authority"));
+                    return Err(DemosError::Internal(
+                        "image read requires migration authority",
+                    ));
                 }
                 Ok(Bytes::from(proc.image.to_flat()))
             }
@@ -1152,16 +1303,29 @@ impl Kernel {
     ) {
         let requester = msg.header.src_machine;
         match m {
-            MoveDataMsg::ReadReq { op, sel: AreaSel::LinkArea, offset, len, .. } => {
+            MoveDataMsg::ReadReq {
+                op,
+                sel: AreaSel::LinkArea,
+                offset,
+                len,
+                ..
+            } => {
                 let link = msg.links.first().copied();
-                let actions = match self.read_area(pid, AreaSel::LinkArea, offset, len, link.as_ref(), false)
-                {
-                    Ok(data) => self.md.begin_serve(op, requester, data),
-                    Err(_) => vec![self.md.abort_reply(op, requester, 2)],
-                };
+                let actions =
+                    match self.read_area(pid, AreaSel::LinkArea, offset, len, link.as_ref(), false)
+                    {
+                        Ok(data) => self.md.begin_serve(op, requester, data),
+                        Err(_) => vec![self.md.abort_reply(op, requester, 2)],
+                    };
                 self.apply_md_actions(now, actions, phys, out);
             }
-            MoveDataMsg::WriteReq { op, sel: AreaSel::LinkArea, offset, len, .. } => {
+            MoveDataMsg::WriteReq {
+                op,
+                sel: AreaSel::LinkArea,
+                offset,
+                len,
+                ..
+            } => {
                 let ok = msg.links.first().is_some_and(|link| {
                     link.target() == pid
                         && link.attrs.contains(demos_types::LinkAttrs::DATA_WRITE)
@@ -1200,7 +1364,9 @@ impl Kernel {
             kernel.enqueue_local_quiet(pid, notice);
             kernel.wake(pid);
         };
-        let Some(proc) = self.procs.get(&pid) else { return };
+        let Some(proc) = self.procs.get(&pid) else {
+            return;
+        };
         let Ok(link) = proc.links.get(req.link) else {
             fail(self, 2);
             return;
@@ -1216,7 +1382,11 @@ impl Kernel {
         }
         if req.read {
             let (_op, readreq) = self.md.start_pull(
-                PullPurpose::ProcessRead { pid, local_off: req.local_off, token: req.token },
+                PullPurpose::ProcessRead {
+                    pid,
+                    local_off: req.local_off,
+                    token: req.token,
+                },
                 link.target(),
                 AreaSel::LinkArea,
                 abs,
@@ -1233,17 +1403,25 @@ impl Kernel {
                 },
                 links: vec![link],
                 payload: readreq.to_bytes(),
+                corr: CorrId::NONE,
             };
             self.submit(now, msg, phys, out);
         } else {
-            let Some(proc) = self.procs.get(&pid) else { return };
+            let Some(proc) = self.procs.get(&pid) else {
+                return;
+            };
             let Some(data) = proc.image.read_data(req.local_off, req.len) else {
                 fail(self, 2);
                 return;
             };
             let data = Bytes::copy_from_slice(data);
-            let (_op, writereq) =
-                self.md.start_push((pid, req.token), data, link.target(), AreaSel::LinkArea, abs);
+            let (_op, writereq) = self.md.start_push(
+                (pid, req.token),
+                data,
+                link.target(),
+                AreaSel::LinkArea,
+                abs,
+            );
             let msg = Message {
                 header: MsgHeader {
                     dest: link.addr,
@@ -1255,6 +1433,7 @@ impl Kernel {
                 },
                 links: vec![link],
                 payload: writereq.to_bytes(),
+                corr: CorrId::NONE,
             };
             self.submit(now, msg, phys, out);
         }
@@ -1288,16 +1467,30 @@ impl Kernel {
                         }
                     }
                 }
-                MdAction::PullDone { purpose, op, data, status } => match purpose {
+                MdAction::PullDone {
+                    purpose,
+                    op,
+                    data,
+                    status,
+                } => match purpose {
                     PullPurpose::Kernel { cookie } => {
                         out.trace.push(TraceEvent::MoveDataDone {
                             op,
                             bytes: data.len() as u64,
                             status,
                         });
-                        out.pull_done.push(KernelPullDone { cookie, op, data, status });
+                        out.pull_done.push(KernelPullDone {
+                            cookie,
+                            op,
+                            data,
+                            status,
+                        });
                     }
-                    PullPurpose::ProcessRead { pid, local_off, token } => {
+                    PullPurpose::ProcessRead {
+                        pid,
+                        local_off,
+                        token,
+                    } => {
                         let mut final_status = status;
                         let len = data.len() as u32;
                         if status == 0 {
@@ -1315,7 +1508,12 @@ impl Kernel {
                         self.wake(pid);
                     }
                 },
-                MdAction::PushDone { pid, token, status, len } => {
+                MdAction::PushDone {
+                    pid,
+                    token,
+                    status,
+                    len,
+                } => {
                     let payload = encode_md_done(token, status, len);
                     let notice = self.synthetic_msg(pid, local_tags::MOVE_DATA_DONE, payload);
                     self.enqueue_local_quiet(pid, notice);
@@ -1339,7 +1537,9 @@ impl Kernel {
         phys: &mut dyn Phys,
         out: &mut Outbox,
     ) -> u16 {
-        let (op, readreq) = self.md.start_pull(PullPurpose::Kernel { cookie }, target, sel, 0, 0);
+        let (op, readreq) = self
+            .md
+            .start_pull(PullPurpose::Kernel { cookie }, target, sel, 0, 0);
         let msg = self.kernel_msg(
             ProcessAddress::kernel_of(source_machine),
             tags::MOVE_DATA,
@@ -1369,7 +1569,10 @@ impl Kernel {
             return Err(DemosError::KernelImmovable(self.machine));
         }
         {
-            let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+            let proc = self
+                .procs
+                .get_mut(&pid)
+                .ok_or(DemosError::NoSuchProcess(pid))?;
             if proc.in_migration {
                 return Err(DemosError::AlreadyMigrating(pid));
             }
@@ -1379,7 +1582,10 @@ impl Kernel {
         let actions = self.md.abort_ops_touching(pid);
         self.apply_md_actions(now, actions, phys, out);
         let proc = self.procs.get(&pid).expect("present");
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Frozen });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Frozen,
+        });
         Ok(MigrationSizes {
             resident: proc.serialize_resident().len() as u32,
             swappable: proc.serialize_swappable().len() as u32,
@@ -1392,7 +1598,10 @@ impl Kernel {
     pub fn unfreeze(&mut self, pid: ProcessId, out: &mut Outbox) {
         if let Some(proc) = self.procs.get_mut(&pid) {
             proc.in_migration = false;
-            out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Aborted });
+            out.trace.push(TraceEvent::Migration {
+                pid,
+                phase: MigrationPhase::Aborted,
+            });
             self.schedule(pid);
         }
     }
@@ -1440,7 +1649,8 @@ impl Kernel {
         out: &mut Outbox,
     ) -> Result<ProcessId> {
         let image = crate::image::ProcessImage::from_flat(image_flat).map_err(DemosError::Wire)?;
-        let mut proc = Process::from_migrated(resident, swappable, image).map_err(DemosError::Wire)?;
+        let mut proc =
+            Process::from_migrated(resident, swappable, image).map_err(DemosError::Wire)?;
         proc.instantiate(&self.registry)?;
         proc.migrated_from = Some(from);
         proc.migrations += 1;
@@ -1455,7 +1665,10 @@ impl Kernel {
         // Hold execution until step 8.
         proc.in_migration = true;
         self.procs.insert(pid, proc);
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::ImageTransferred });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::ImageTransferred,
+        });
         let _ = now;
         Ok(pid)
     }
@@ -1463,9 +1676,15 @@ impl Kernel {
     /// Step 8 (destination): restart the process "in whatever state it was
     /// in before being migrated".
     pub fn restart_migrated(&mut self, pid: ProcessId, out: &mut Outbox) -> Result<()> {
-        let proc = self.procs.get_mut(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(DemosError::NoSuchProcess(pid))?;
         proc.in_migration = false;
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::Restarted });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Restarted,
+        });
         self.schedule(pid);
         Ok(())
     }
@@ -1482,7 +1701,10 @@ impl Kernel {
         phys: &mut dyn Phys,
         out: &mut Outbox,
     ) -> Result<u16> {
-        let mut proc = self.procs.remove(&pid).ok_or(DemosError::NoSuchProcess(pid))?;
+        let mut proc = self
+            .procs
+            .remove(&pid)
+            .ok_or(DemosError::NoSuchProcess(pid))?;
         debug_assert!(proc.in_migration, "finish_source_side on unfrozen process");
         let pending: Vec<Message> = proc.queue.drain(..).collect();
         let forwarded = pending.len() as u16;
@@ -1493,13 +1715,26 @@ impl Kernel {
             m.header.hops = m.header.hops.saturating_add(1);
             self.submit(now, m, phys, out);
         }
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::PendingForwarded });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::PendingForwarded,
+        });
         // Step 7: reclaim, install the forwarding address.
         self.mem_used = self.mem_used.saturating_sub(proc.image.total_len() as u64);
-        self.forwarding
-            .insert(pid, ForwardEntry { to: dest, prev: proc.migrated_from, forwards: 0 });
-        out.trace.push(TraceEvent::ForwardingInstalled { pid, to: dest });
-        out.trace.push(TraceEvent::Migration { pid, phase: MigrationPhase::CleanedUp });
+        self.forwarding.insert(
+            pid,
+            ForwardEntry {
+                to: dest,
+                prev: proc.migrated_from,
+                forwards: 0,
+            },
+        );
+        out.trace
+            .push(TraceEvent::ForwardingInstalled { pid, to: dest });
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::CleanedUp,
+        });
         Ok(forwarded)
     }
 }

@@ -28,7 +28,10 @@ impl LinkTable {
     /// Empty table; indices start at 1 (0 is reserved so an all-zeroes
     /// state never aliases a valid link).
     pub fn new() -> Self {
-        LinkTable { slots: BTreeMap::new(), next: 1 }
+        LinkTable {
+            slots: BTreeMap::new(),
+            next: 1,
+        }
     }
 
     /// Number of links held.
@@ -51,7 +54,10 @@ impl LinkTable {
 
     /// Look up a link.
     pub fn get(&self, idx: LinkIdx) -> Result<Link> {
-        self.slots.get(&idx.0).copied().ok_or(DemosError::BadLink(idx))
+        self.slots
+            .get(&idx.0)
+            .copied()
+            .ok_or(DemosError::BadLink(idx))
     }
 
     /// Duplicate the link at `idx` into a fresh slot ("links may be …
@@ -60,7 +66,10 @@ impl LinkTable {
     pub fn duplicate(&mut self, idx: LinkIdx) -> Result<LinkIdx> {
         let link = self.get(idx)?;
         if link.is_reply() {
-            return Err(DemosError::LinkAccess { link: idx, need: "non-REPLY" });
+            return Err(DemosError::LinkAccess {
+                link: idx,
+                need: "non-REPLY",
+            });
         }
         Ok(self.insert(link))
     }
@@ -75,7 +84,10 @@ impl LinkTable {
     pub fn use_for_send(&mut self, idx: LinkIdx) -> Result<Link> {
         let link = self.get(idx)?;
         if link.attrs.contains(LinkAttrs::DEAD) {
-            return Err(DemosError::LinkAccess { link: idx, need: "live target" });
+            return Err(DemosError::LinkAccess {
+                link: idx,
+                need: "live target",
+            });
         }
         if link.is_reply() {
             self.slots.remove(&idx.0);
@@ -164,7 +176,10 @@ mod tests {
     use demos_types::ProcessAddress;
 
     fn pid(u: u32) -> ProcessId {
-        ProcessId { creating_machine: MachineId(1), local_uid: u }
+        ProcessId {
+            creating_machine: MachineId(1),
+            local_uid: u,
+        }
     }
 
     fn addr(u: u32, m: u16) -> ProcessAddress {
@@ -239,7 +254,10 @@ mod tests {
         let i = t.insert(Link::to(addr(7, 1)));
         assert_eq!(t.mark_dead(pid(7)), 1);
         assert_eq!(t.mark_dead(pid(7)), 0, "marking is idempotent");
-        assert!(matches!(t.use_for_send(i), Err(DemosError::LinkAccess { .. })));
+        assert!(matches!(
+            t.use_for_send(i),
+            Err(DemosError::LinkAccess { .. })
+        ));
     }
 
     #[test]
@@ -265,7 +283,10 @@ mod tests {
         let empty = t.to_bytes().len();
         for k in 1..=10u32 {
             t.insert(Link::to(addr(k, 1)));
-            assert_eq!(t.to_bytes().len(), empty + (k as usize) * (4 + Link::WIRE_LEN));
+            assert_eq!(
+                t.to_bytes().len(),
+                empty + (k as usize) * (4 + Link::WIRE_LEN)
+            );
         }
     }
 }

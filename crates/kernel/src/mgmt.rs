@@ -51,7 +51,13 @@ pub enum KernelMgmt {
 impl Wire for KernelMgmt {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            KernelMgmt::CreateProcess { token, name, state, layout, privileged } => {
+            KernelMgmt::CreateProcess {
+                token,
+                name,
+                state,
+                layout,
+                privileged,
+            } => {
                 buf.put_u8(1);
                 buf.put_u32(*token);
                 wire::put_string(buf, name);
@@ -88,22 +94,37 @@ impl Wire for KernelMgmt {
                 if buf.remaining() < 1 {
                     return Err(WireError::Truncated("CreateProcess.privileged"));
                 }
-                Ok(KernelMgmt::CreateProcess { token, name, state, layout, privileged: buf.get_u8() != 0 })
+                Ok(KernelMgmt::CreateProcess {
+                    token,
+                    name,
+                    state,
+                    layout,
+                    privileged: buf.get_u8() != 0,
+                })
             }
             2 => {
                 if buf.remaining() < 4 {
                     return Err(WireError::Truncated("Created.token"));
                 }
                 let token = buf.get_u32();
-                Ok(KernelMgmt::Created { token, pid: ProcessId::decode(buf)? })
+                Ok(KernelMgmt::Created {
+                    token,
+                    pid: ProcessId::decode(buf)?,
+                })
             }
             3 => {
                 if buf.remaining() < 5 {
                     return Err(WireError::Truncated("CreateFailed"));
                 }
-                Ok(KernelMgmt::CreateFailed { token: buf.get_u32(), reason: buf.get_u8() })
+                Ok(KernelMgmt::CreateFailed {
+                    token: buf.get_u32(),
+                    reason: buf.get_u8(),
+                })
             }
-            t => Err(WireError::BadTag { what: "KernelMgmt", tag: t as u16 }),
+            t => Err(WireError::BadTag {
+                what: "KernelMgmt",
+                tag: t as u16,
+            }),
         }
     }
 }
@@ -126,9 +147,15 @@ mod tests {
             },
             KernelMgmt::Created {
                 token: 8,
-                pid: ProcessId { creating_machine: MachineId(1), local_uid: 9 },
+                pid: ProcessId {
+                    creating_machine: MachineId(1),
+                    local_uid: 9,
+                },
             },
-            KernelMgmt::CreateFailed { token: 9, reason: 1 },
+            KernelMgmt::CreateFailed {
+                token: 9,
+                reason: 1,
+            },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m).unwrap(), m);

@@ -50,7 +50,11 @@ pub struct MoveDataConfig {
 
 impl Default for MoveDataConfig {
     fn default() -> Self {
-        MoveDataConfig { chunk: 1024, window: 16, ack_every: 1 }
+        MoveDataConfig {
+            chunk: 1024,
+            window: 16,
+            ack_every: 1,
+        }
     }
 }
 
@@ -217,9 +221,17 @@ impl MoveData {
     /// reader, writer, or write target). Migration defers freezing while
     /// this holds, then aborts stragglers.
     pub fn has_ops_touching(&self, pid: ProcessId) -> bool {
-        self.pulls.values().any(|ib| ib.purpose.as_ref().and_then(|p| p.pid()) == Some(pid))
-            || self.inbound_pushes.values().any(|ib| ib.sink.is_some_and(|s| s.pid == pid))
-            || self.pushes_out.values().any(|ob| ob.origin.is_some_and(|(p, _)| p == pid))
+        self.pulls
+            .values()
+            .any(|ib| ib.purpose.as_ref().and_then(|p| p.pid()) == Some(pid))
+            || self
+                .inbound_pushes
+                .values()
+                .any(|ib| ib.sink.is_some_and(|s| s.pid == pid))
+            || self
+                .pushes_out
+                .values()
+                .any(|ob| ob.origin.is_some_and(|(p, _)| p == pid))
     }
 
     /// Begin a pull: returns the op id and the `ReadReq` the kernel should
@@ -237,9 +249,24 @@ impl MoveData {
         self.next_pull = self.next_pull.wrapping_add(1) & !PUSH_BIT;
         self.pulls.insert(
             op,
-            Inbound { buf: Vec::new(), next_seq: 0, purpose: Some(purpose), sink: None, received_packets: 0 },
+            Inbound {
+                buf: Vec::new(),
+                next_seq: 0,
+                purpose: Some(purpose),
+                sink: None,
+                received_packets: 0,
+            },
         );
-        (op, MoveDataMsg::ReadReq { op, target, sel, offset, len })
+        (
+            op,
+            MoveDataMsg::ReadReq {
+                op,
+                target,
+                sel,
+                offset,
+                len,
+            },
+        )
     }
 
     /// Begin a push of `data`: returns the op id and the `WriteReq` the
@@ -258,9 +285,25 @@ impl MoveData {
         let len = data.len() as u32;
         self.pushes_out.insert(
             op,
-            Outbound { peer: None, data, next_seq: 0, acked: 0, origin: Some(origin), fully_sent: false },
+            Outbound {
+                peer: None,
+                data,
+                next_seq: 0,
+                acked: 0,
+                origin: Some(origin),
+                fully_sent: false,
+            },
         );
-        (op, MoveDataMsg::WriteReq { op, target, sel, offset, len })
+        (
+            op,
+            MoveDataMsg::WriteReq {
+                op,
+                target,
+                sel,
+                offset,
+                len,
+            },
+        )
     }
 
     /// Serve a validated `ReadReq`: stream `data` back to `requester`.
@@ -299,16 +342,27 @@ impl MoveData {
                 buf: Vec::new(),
                 next_seq: 0,
                 purpose: None,
-                sink: Some(PushSink { pid, base_off, expect, written: 0 }),
+                sink: Some(PushSink {
+                    pid,
+                    base_off,
+                    expect,
+                    written: 0,
+                }),
                 received_packets: 0,
             },
         );
-        MdAction::Send { to: from, msg: MoveDataMsg::Ack { op, seq: GO_SEQ } }
+        MdAction::Send {
+            to: from,
+            msg: MoveDataMsg::Ack { op, seq: GO_SEQ },
+        }
     }
 
     /// Reply to a request that failed validation.
     pub fn abort_reply(&self, op: u16, to: MachineId, reason: u8) -> MdAction {
-        MdAction::Send { to, msg: MoveDataMsg::Abort { op, reason } }
+        MdAction::Send {
+            to,
+            msg: MoveDataMsg::Abort { op, reason },
+        }
     }
 
     /// Abort every active operation touching local process `pid` (it is
@@ -339,7 +393,10 @@ impl MoveData {
             .collect();
         for (peer, op) in dead_in {
             self.inbound_pushes.remove(&(peer, op));
-            actions.push(MdAction::Send { to: peer, msg: MoveDataMsg::Abort { op, reason: 9 } });
+            actions.push(MdAction::Send {
+                to: peer,
+                msg: MoveDataMsg::Abort { op, reason: 9 },
+            });
         }
         let dead_out: Vec<u16> = self
             .pushes_out
@@ -350,10 +407,18 @@ impl MoveData {
         for op in dead_out {
             let ob = self.pushes_out.remove(&op).expect("listed above");
             if let Some(peer) = ob.peer {
-                actions.push(MdAction::Send { to: peer, msg: MoveDataMsg::Abort { op, reason: 9 } });
+                actions.push(MdAction::Send {
+                    to: peer,
+                    msg: MoveDataMsg::Abort { op, reason: 9 },
+                });
             }
             if let Some((p, token)) = ob.origin {
-                actions.push(MdAction::PushDone { pid: p, token, status: 9, len: 0 });
+                actions.push(MdAction::PushDone {
+                    pid: p,
+                    token,
+                    status: 9,
+                    len: 0,
+                });
             }
         }
         actions
@@ -370,7 +435,11 @@ impl MoveData {
             let end = (start + cfg.chunk).min(ob.data.len());
             actions.push(MdAction::Send {
                 to: peer,
-                msg: MoveDataMsg::Data { op, seq: ob.next_seq, bytes: ob.data.slice(start..end) },
+                msg: MoveDataMsg::Data {
+                    op,
+                    seq: ob.next_seq,
+                    bytes: ob.data.slice(start..end),
+                },
             });
             ob.next_seq += 1;
         }
@@ -378,7 +447,11 @@ impl MoveData {
             ob.fully_sent = true;
             actions.push(MdAction::Send {
                 to: peer,
-                msg: MoveDataMsg::Done { op, status: 0, total: ob.data.len() as u32 },
+                msg: MoveDataMsg::Done {
+                    op,
+                    status: 0,
+                    total: ob.data.len() as u32,
+                },
             });
         }
     }
@@ -401,12 +474,19 @@ impl MoveData {
                 ib.next_seq = seq + 1;
                 ib.received_packets += 1;
                 if ib.received_packets % self.cfg.ack_every == 0 {
-                    actions.push(MdAction::Send { to: from, msg: MoveDataMsg::Ack { op, seq } });
+                    actions.push(MdAction::Send {
+                        to: from,
+                        msg: MoveDataMsg::Ack { op, seq },
+                    });
                 }
                 if let Some(sink) = &mut ib.sink {
                     let off = sink.base_off + sink.written;
                     sink.written += bytes.len() as u32;
-                    actions.push(MdAction::WriteProcess { pid: sink.pid, off, bytes });
+                    actions.push(MdAction::WriteProcess {
+                        pid: sink.pid,
+                        off,
+                        bytes,
+                    });
                 } else {
                     ib.buf.extend_from_slice(&bytes);
                 }
@@ -456,7 +536,11 @@ impl MoveData {
                     actions.push(MdAction::Send {
                         to: from,
                         msg: if ok {
-                            MoveDataMsg::Done { op, status: 0, total }
+                            MoveDataMsg::Done {
+                                op,
+                                status: 0,
+                                total,
+                            }
                         } else {
                             MoveDataMsg::Abort { op, reason: 1 }
                         },
@@ -465,7 +549,12 @@ impl MoveData {
                 } else if let Some(ob) = self.pushes_out.remove(&op) {
                     // Receiver's confirmation of our push.
                     if let Some((pid, token)) = ob.origin {
-                        actions.push(MdAction::PushDone { pid, token, status, len: ob.data.len() as u32 });
+                        actions.push(MdAction::PushDone {
+                            pid,
+                            token,
+                            status,
+                            len: ob.data.len() as u32,
+                        });
                     }
                 }
             }
@@ -485,7 +574,12 @@ impl MoveData {
                     self.inbound_pushes.remove(&(from, op));
                     if let Some(ob) = self.pushes_out.remove(&op) {
                         if let Some((pid, token)) = ob.origin {
-                            actions.push(MdAction::PushDone { pid, token, status: reason.max(1), len: 0 });
+                            actions.push(MdAction::PushDone {
+                                pid,
+                                token,
+                                status: reason.max(1),
+                                len: 0,
+                            });
                         }
                     }
                 }
@@ -509,11 +603,18 @@ mod tests {
     }
 
     fn pid(u: u32) -> ProcessId {
-        ProcessId { creating_machine: m(0), local_uid: u }
+        ProcessId {
+            creating_machine: m(0),
+            local_uid: u,
+        }
     }
 
     fn cfg(chunk: usize, window: u32) -> MoveDataConfig {
-        MoveDataConfig { chunk, window, ack_every: 1 }
+        MoveDataConfig {
+            chunk,
+            window,
+            ack_every: 1,
+        }
     }
 
     /// Drive a complete pull between two engines, returning the collected
@@ -521,9 +622,16 @@ mod tests {
     fn run_pull(data: Vec<u8>, chunk: usize, window: u32) -> (Vec<u8>, usize, usize) {
         let mut reader = MoveData::new(cfg(chunk, window));
         let mut server = MoveData::new(cfg(chunk, window));
-        let (op, req) =
-            reader.start_pull(PullPurpose::Kernel { cookie: 7 }, pid(1), AreaSel::Image, 0, 0);
-        let MoveDataMsg::ReadReq { op: rop, .. } = req else { panic!("not a read req") };
+        let (op, req) = reader.start_pull(
+            PullPurpose::Kernel { cookie: 7 },
+            pid(1),
+            AreaSel::Image,
+            0,
+            0,
+        );
+        let MoveDataMsg::ReadReq { op: rop, .. } = req else {
+            panic!("not a read req")
+        };
         assert_eq!(rop, op);
         // The server kernel validates the request and serves the bytes.
         let mut to_reader: Vec<MoveDataMsg> = Vec::new();
@@ -609,14 +717,23 @@ mod tests {
         let mut writer = MoveData::new(cfg(512, 8));
         let mut target = MoveData::new(cfg(512, 8));
         let payload: Vec<u8> = (0..1500u32).map(|i| i as u8).collect();
-        let (op, req) =
-            writer.start_push((pid(5), 77), Bytes::from(payload.clone()), pid(9), AreaSel::LinkArea, 64);
+        let (op, req) = writer.start_push(
+            (pid(5), 77),
+            Bytes::from(payload.clone()),
+            pid(9),
+            AreaSel::LinkArea,
+            64,
+        );
         assert!(op & PUSH_BIT != 0);
-        let MoveDataMsg::WriteReq { len, .. } = req else { panic!("not a write req") };
+        let MoveDataMsg::WriteReq { len, .. } = req else {
+            panic!("not a write req")
+        };
         assert_eq!(len, 1500);
         // Target kernel validates the window, accepts, and sends go-ahead.
         let go = target.accept_push(op, m(0), pid(9), 64, 1500);
-        let MdAction::Send { msg: go_msg, .. } = go else { panic!() };
+        let MdAction::Send { msg: go_msg, .. } = go else {
+            panic!()
+        };
         // Nothing streams before the go-ahead.
         assert_eq!(writer.active_ops(), 1);
         let mut to_target: Vec<MoveDataMsg> = Vec::new();
@@ -629,9 +746,12 @@ mod tests {
                 for a in writer.on_msg(m(1), msg) {
                     match a {
                         MdAction::Send { msg, .. } => to_target.push(msg),
-                        MdAction::PushDone { pid: p, token, status, len } => {
-                            push_done = Some((p, token, status, len))
-                        }
+                        MdAction::PushDone {
+                            pid: p,
+                            token,
+                            status,
+                            len,
+                        } => push_done = Some((p, token, status, len)),
                         other => panic!("unexpected {other:?}"),
                     }
                 }
@@ -651,7 +771,10 @@ mod tests {
         let mut all = Vec::new();
         let mut expect_off = 64;
         for (off, bytes) in writes {
-            assert_eq!(off, expect_off, "writes are contiguous from the window base");
+            assert_eq!(
+                off, expect_off,
+                "writes are contiguous from the window base"
+            );
             expect_off += bytes.len() as u32;
             all.extend_from_slice(&bytes);
         }
@@ -664,7 +787,11 @@ mod tests {
     fn abort_completes_pull_with_error() {
         let mut reader = MoveData::new(cfg(512, 8));
         let (op, _req) = reader.start_pull(
-            PullPurpose::ProcessRead { pid: pid(2), local_off: 0, token: 9 },
+            PullPurpose::ProcessRead {
+                pid: pid(2),
+                local_off: 0,
+                token: 9,
+            },
             pid(1),
             AreaSel::LinkArea,
             0,
@@ -673,7 +800,12 @@ mod tests {
         let acts = reader.on_msg(m(1), MoveDataMsg::Abort { op, reason: 3 });
         assert_eq!(acts.len(), 1);
         match &acts[0] {
-            MdAction::PullDone { status, data, purpose, .. } => {
+            MdAction::PullDone {
+                status,
+                data,
+                purpose,
+                ..
+            } => {
                 assert_eq!(*status, 3);
                 assert!(data.is_empty());
                 assert!(matches!(purpose, PullPurpose::ProcessRead { token: 9, .. }));
@@ -686,24 +818,62 @@ mod tests {
     #[test]
     fn unknown_op_messages_ignored() {
         let mut md = MoveData::new(cfg(512, 8));
-        assert!(md.on_msg(m(1), MoveDataMsg::Ack { op: 5, seq: 0 }).is_empty());
         assert!(md
-            .on_msg(m(1), MoveDataMsg::Data { op: 5, seq: 0, bytes: Bytes::from_static(b"x") })
+            .on_msg(m(1), MoveDataMsg::Ack { op: 5, seq: 0 })
             .is_empty());
-        assert!(md.on_msg(m(1), MoveDataMsg::Done { op: 5, status: 0, total: 0 }).is_empty());
+        assert!(md
+            .on_msg(
+                m(1),
+                MoveDataMsg::Data {
+                    op: 5,
+                    seq: 0,
+                    bytes: Bytes::from_static(b"x")
+                }
+            )
+            .is_empty());
+        assert!(md
+            .on_msg(
+                m(1),
+                MoveDataMsg::Done {
+                    op: 5,
+                    status: 0,
+                    total: 0
+                }
+            )
+            .is_empty());
     }
 
     #[test]
     fn ack_every_n_reduces_acks() {
-        let mut reader = MoveData::new(MoveDataConfig { chunk: 100, window: 64, ack_every: 4 });
-        let (op, _req) =
-            reader.start_pull(PullPurpose::Kernel { cookie: 1 }, pid(1), AreaSel::Image, 0, 0);
+        let mut reader = MoveData::new(MoveDataConfig {
+            chunk: 100,
+            window: 64,
+            ack_every: 4,
+        });
+        let (op, _req) = reader.start_pull(
+            PullPurpose::Kernel { cookie: 1 },
+            pid(1),
+            AreaSel::Image,
+            0,
+            0,
+        );
         let mut acks = 0;
         for seq in 0..8 {
-            for a in
-                reader.on_msg(m(1), MoveDataMsg::Data { op, seq, bytes: Bytes::from_static(&[0; 100]) })
-            {
-                if matches!(a, MdAction::Send { msg: MoveDataMsg::Ack { .. }, .. }) {
+            for a in reader.on_msg(
+                m(1),
+                MoveDataMsg::Data {
+                    op,
+                    seq,
+                    bytes: Bytes::from_static(&[0; 100]),
+                },
+            ) {
+                if matches!(
+                    a,
+                    MdAction::Send {
+                        msg: MoveDataMsg::Ack { .. },
+                        ..
+                    }
+                ) {
                     acks += 1;
                 }
             }
@@ -715,24 +885,58 @@ mod tests {
     fn abort_ops_touching_cleans_all_roles() {
         let mut md = MoveData::new(cfg(512, 8));
         // A user pull by pid 3.
-        md.start_pull(PullPurpose::ProcessRead { pid: pid(3), local_off: 0, token: 1 }, pid(9), AreaSel::LinkArea, 0, 10);
+        md.start_pull(
+            PullPurpose::ProcessRead {
+                pid: pid(3),
+                local_off: 0,
+                token: 1,
+            },
+            pid(9),
+            AreaSel::LinkArea,
+            0,
+            10,
+        );
         // An inbound push into pid 3's window.
         md.accept_push(0x8001, m(2), pid(3), 0, 100);
         // An outbound push originated by pid 3 (go-ahead already received).
-        let (op, _) = md.start_push((pid(3), 2), Bytes::from_static(&[1, 2, 3]), pid(9), AreaSel::LinkArea, 0);
+        let (op, _) = md.start_push(
+            (pid(3), 2),
+            Bytes::from_static(&[1, 2, 3]),
+            pid(9),
+            AreaSel::LinkArea,
+            0,
+        );
         md.on_msg(m(2), MoveDataMsg::Ack { op, seq: GO_SEQ });
         // An unrelated kernel pull survives.
-        md.start_pull(PullPurpose::Kernel { cookie: 5 }, pid(8), AreaSel::Image, 0, 0);
+        md.start_pull(
+            PullPurpose::Kernel { cookie: 5 },
+            pid(8),
+            AreaSel::Image,
+            0,
+            0,
+        );
         assert!(md.has_ops_touching(pid(3)));
         let actions = md.abort_ops_touching(pid(3));
         assert!(!md.has_ops_touching(pid(3)));
         assert_eq!(md.active_ops(), 1, "only the unrelated kernel pull remains");
         let aborts = actions
             .iter()
-            .filter(|a| matches!(a, MdAction::Send { msg: MoveDataMsg::Abort { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    MdAction::Send {
+                        msg: MoveDataMsg::Abort { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(aborts, 2, "peer aborts for inbound and outbound pushes");
-        assert!(actions.iter().any(|a| matches!(a, MdAction::PullDone { status: 9, .. })));
-        assert!(actions.iter().any(|a| matches!(a, MdAction::PushDone { status: 9, .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, MdAction::PullDone { status: 9, .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, MdAction::PushDone { status: 9, .. })));
     }
 }

@@ -56,7 +56,12 @@ impl ExecStatus {
             0 => ExecStatus::Ready,
             1 => ExecStatus::Waiting,
             2 => ExecStatus::Suspended,
-            _ => return Err(WireError::BadTag { what: "ExecStatus", tag: v as u16 }),
+            _ => {
+                return Err(WireError::BadTag {
+                    what: "ExecStatus",
+                    tag: v as u16,
+                })
+            }
         })
     }
 }
@@ -333,8 +338,14 @@ impl Process {
     /// Instantiate the program from the image via the registry — the last
     /// act of migration step 5 / first act of step 8.
     pub fn instantiate(&mut self, registry: &crate::program::Registry) -> demos_types::Result<()> {
-        let name = self.image.program_name().map_err(demos_types::DemosError::Wire)?;
-        let state = self.image.load_state().map_err(demos_types::DemosError::Wire)?;
+        let name = self
+            .image
+            .program_name()
+            .map_err(demos_types::DemosError::Wire)?;
+        let state = self
+            .image
+            .load_state()
+            .map_err(demos_types::DemosError::Wire)?;
         self.program = Some(registry.instantiate(&name, &state)?);
         Ok(())
     }
@@ -389,14 +400,28 @@ mod tests {
     }
 
     fn pid() -> ProcessId {
-        ProcessId { creating_machine: MachineId(0), local_uid: 7 }
+        ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: 7,
+        }
     }
 
     fn proc_with_links(n: usize) -> Process {
-        let mut p = Process::new(pid(), "counter", Box::new(Counter(3)), ImageLayout::default(), false, Time(10));
+        let mut p = Process::new(
+            pid(),
+            "counter",
+            Box::new(Counter(3)),
+            ImageLayout::default(),
+            false,
+            Time(10),
+        );
         for i in 0..n {
             p.links.insert(Link::to(
-                ProcessId { creating_machine: MachineId(1), local_uid: i as u32 }.at(MachineId(1)),
+                ProcessId {
+                    creating_machine: MachineId(1),
+                    local_uid: i as u32,
+                }
+                .at(MachineId(1)),
             ));
         }
         p
@@ -422,7 +447,10 @@ mod tests {
         let typical = proc_with_links(25).serialize_swappable().len();
         let big = proc_with_links(40).serialize_swappable().len();
         assert!(typical > small && big > typical);
-        assert!((500..=700).contains(&typical), "25-link swappable was {typical} bytes");
+        assert!(
+            (500..=700).contains(&typical),
+            "25-link swappable was {typical} bytes"
+        );
         assert_eq!(big - typical, 15 * 22, "each link costs a fixed 22 bytes");
     }
 
@@ -435,7 +463,10 @@ mod tests {
         p.msgs_handled = 9;
         p.migrations = 1;
         p.migrated_from = Some(MachineId(2));
-        p.timers.push(TimerEntry { at: Time(99), token: 4 });
+        p.timers.push(TimerEntry {
+            at: Time(99),
+            token: 4,
+        });
         p.bytes_sent_to.insert(MachineId(1), 1234);
         p.refresh_image();
 
@@ -445,7 +476,11 @@ mod tests {
         let mut q = Process::from_migrated(&resident, &swappable, image).unwrap();
 
         assert_eq!(q.pid, p.pid);
-        assert_eq!(q.status, ExecStatus::Waiting, "status preserved across migration");
+        assert_eq!(
+            q.status,
+            ExecStatus::Waiting,
+            "status preserved across migration"
+        );
         assert!(q.started);
         assert_eq!(q.links, p.links);
         assert_eq!(q.timers, p.timers);
@@ -493,6 +528,7 @@ mod tests {
             },
             links: vec![],
             payload: Bytes::new(),
+            corr: demos_types::CorrId::NONE,
         }
     }
 
@@ -500,10 +536,22 @@ mod tests {
     fn due_timers_extracted_in_order() {
         let mut p = proc_with_links(0);
         p.timers = vec![
-            TimerEntry { at: Time(30), token: 3 },
-            TimerEntry { at: Time(10), token: 1 },
-            TimerEntry { at: Time(20), token: 2 },
-            TimerEntry { at: Time(99), token: 9 },
+            TimerEntry {
+                at: Time(30),
+                token: 3,
+            },
+            TimerEntry {
+                at: Time(10),
+                token: 1,
+            },
+            TimerEntry {
+                at: Time(20),
+                token: 2,
+            },
+            TimerEntry {
+                at: Time(99),
+                token: 9,
+            },
         ];
         let due = p.take_due_timers(Time(25));
         assert_eq!(due.iter().map(|t| t.token).collect::<Vec<_>>(), vec![1, 2]);

@@ -136,7 +136,13 @@ impl<'a> Ctx<'a> {
         links: &'a mut LinkTable,
         effects: &'a mut Effects,
     ) -> Self {
-        Ctx { now, pid, machine, links, effects }
+        Ctx {
+            now,
+            pid,
+            machine,
+            links,
+            effects,
+        }
     }
 
     /// Current virtual time.
@@ -160,13 +166,23 @@ impl<'a> Ctx<'a> {
     /// a link is vested in the process that the link addresses — which is
     /// always the process that created it", §2.1).
     pub fn create_link(&mut self, attrs: LinkAttrs) -> LinkIdx {
-        self.links.insert(Link { addr: self.pid.at(self.machine), attrs, area: None })
+        self.links.insert(Link {
+            addr: self.pid.at(self.machine),
+            attrs,
+            area: None,
+        })
     }
 
     /// Create a link to this process granting a data-area window.
     pub fn create_area_link(&mut self, attrs: LinkAttrs, area: DataArea) -> LinkIdx {
-        self.links
-            .insert(Link { addr: self.pid.at(self.machine), attrs, area: None }.with_area(area, attrs))
+        self.links.insert(
+            Link {
+                addr: self.pid.at(self.machine),
+                attrs,
+                area: None,
+            }
+            .with_area(area, attrs),
+        )
     }
 
     /// Duplicate an existing link into a new slot.
@@ -240,9 +256,17 @@ impl<'a> Ctx<'a> {
             links.push(match c {
                 Carry::Dup(i) => self.links.get(*i)?,
                 Carry::Move(i) => self.links.remove(*i)?,
-                Carry::New(attrs) => Link { addr: self.pid.at(self.machine), attrs: *attrs, area: None },
-                Carry::NewArea(attrs, area) => Link { addr: self.pid.at(self.machine), attrs: *attrs, area: None }
-                    .with_area(*area, *attrs),
+                Carry::New(attrs) => Link {
+                    addr: self.pid.at(self.machine),
+                    attrs: *attrs,
+                    area: None,
+                },
+                Carry::NewArea(attrs, area) => Link {
+                    addr: self.pid.at(self.machine),
+                    attrs: *attrs,
+                    area: None,
+                }
+                .with_area(*area, *attrs),
             });
         }
         let mut flags = MsgFlags::NONE;
@@ -263,6 +287,7 @@ impl<'a> Ctx<'a> {
             },
             links,
             payload,
+            corr: demos_types::CorrId::NONE,
         });
         Ok(())
     }
@@ -277,7 +302,11 @@ impl<'a> Ctx<'a> {
     /// later as a [`local_tags::MOVE_DATA_DONE`] message.
     pub fn move_data(&mut self, req: MoveDataReq) -> Result<()> {
         let link = self.links.get(req.link)?;
-        let need = if req.read { LinkAttrs::DATA_READ } else { LinkAttrs::DATA_WRITE };
+        let need = if req.read {
+            LinkAttrs::DATA_READ
+        } else {
+            LinkAttrs::DATA_WRITE
+        };
         if !link.attrs.contains(need) {
             return Err(DemosError::LinkAccess {
                 link: req.link,
@@ -285,7 +314,10 @@ impl<'a> Ctx<'a> {
             });
         }
         if link.area.is_none() {
-            return Err(DemosError::LinkAccess { link: req.link, need: "data area" });
+            return Err(DemosError::LinkAccess {
+                link: req.link,
+                need: "data area",
+            });
         }
         self.effects.movedata.push(req);
         Ok(())
@@ -365,7 +397,10 @@ impl Registry {
 
     /// Instantiate program `name` from `state`.
     pub fn instantiate(&self, name: &str, state: &[u8]) -> Result<Box<dyn Program>> {
-        let ctor = self.ctors.get(name).ok_or_else(|| DemosError::UnknownProgram(name.into()))?;
+        let ctor = self
+            .ctors
+            .get(name)
+            .ok_or_else(|| DemosError::UnknownProgram(name.into()))?;
         Ok(ctor(state))
     }
 
@@ -382,7 +417,9 @@ impl Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Registry").field("programs", &self.ctors.keys().collect::<Vec<_>>()).finish()
+        f.debug_struct("Registry")
+            .field("programs", &self.ctors.keys().collect::<Vec<_>>())
+            .finish()
     }
 }
 
@@ -392,7 +429,10 @@ mod tests {
     use demos_types::ProcessAddress;
 
     fn pid(u: u32) -> ProcessId {
-        ProcessId { creating_machine: MachineId(0), local_uid: u }
+        ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: u,
+        }
     }
 
     fn remote_addr() -> ProcessAddress {
@@ -408,14 +448,24 @@ mod tests {
         let (mut lt, mut fx) = ctx_parts();
         let via = lt.insert(Link::to(remote_addr()));
         let mut ctx = Ctx::new(Time(5), pid(1), MachineId(0), &mut lt, &mut fx);
-        ctx.send(via, 0x1001, Bytes::from_static(b"hi"), &[Carry::New(LinkAttrs::REPLY)]).unwrap();
+        ctx.send(
+            via,
+            0x1001,
+            Bytes::from_static(b"hi"),
+            &[Carry::New(LinkAttrs::REPLY)],
+        )
+        .unwrap();
         let m = &fx.sends[0];
         assert_eq!(m.header.dest, remote_addr());
         assert_eq!(m.header.src, pid(1));
         assert_eq!(m.header.src_machine, MachineId(0));
         assert_eq!(m.links.len(), 1);
         assert!(m.links[0].is_reply());
-        assert_eq!(m.links[0].target(), pid(1), "reply link points back at sender");
+        assert_eq!(
+            m.links[0].target(),
+            pid(1),
+            "reply link points back at sender"
+        );
     }
 
     #[test]
@@ -424,7 +474,10 @@ mod tests {
         let via = lt.insert(Link::deliver_to_kernel(remote_addr()));
         let mut ctx = Ctx::new(Time(0), pid(1), MachineId(0), &mut lt, &mut fx);
         ctx.send(via, 1, Bytes::new(), &[]).unwrap();
-        assert!(fx.sends[0].header.flags.contains(MsgFlags::DELIVER_TO_KERNEL));
+        assert!(fx.sends[0]
+            .header
+            .flags
+            .contains(MsgFlags::DELIVER_TO_KERNEL));
     }
 
     #[test]
@@ -443,7 +496,8 @@ mod tests {
         let via = lt.insert(Link::to(remote_addr()));
         let carried = lt.insert(Link::to(pid(3).at(MachineId(2))));
         let mut ctx = Ctx::new(Time(0), pid(1), MachineId(0), &mut lt, &mut fx);
-        ctx.send(via, 1, Bytes::new(), &[Carry::Move(carried)]).unwrap();
+        ctx.send(via, 1, Bytes::new(), &[Carry::Move(carried)])
+            .unwrap();
         assert!(lt.get(carried).is_err(), "moved link left the table");
         assert_eq!(fx.sends[0].links[0].target(), pid(3));
     }
@@ -454,7 +508,8 @@ mod tests {
         let via = lt.insert(Link::to(remote_addr()));
         let carried = lt.insert(Link::to(pid(3).at(MachineId(2))));
         let mut ctx = Ctx::new(Time(0), pid(1), MachineId(0), &mut lt, &mut fx);
-        ctx.send(via, 1, Bytes::new(), &[Carry::Dup(carried)]).unwrap();
+        ctx.send(via, 1, Bytes::new(), &[Carry::Dup(carried)])
+            .unwrap();
         assert!(lt.get(carried).is_ok());
     }
 
@@ -466,7 +521,10 @@ mod tests {
         // Carrying a nonexistent link fails before the reply link is consumed.
         let err = ctx.send(via, 1, Bytes::new(), &[Carry::Dup(LinkIdx(99))]);
         assert!(err.is_err());
-        assert!(lt.get(via).is_ok(), "reply link not consumed by failed send");
+        assert!(
+            lt.get(via).is_ok(),
+            "reply link not consumed by failed send"
+        );
         assert!(fx.sends.is_empty());
     }
 
@@ -486,13 +544,27 @@ mod tests {
     fn move_data_requires_rights_and_area() {
         let (mut lt, mut fx) = ctx_parts();
         let no_rights = lt.insert(Link::to(remote_addr()));
-        let no_area = lt.insert(Link { addr: remote_addr(), attrs: LinkAttrs::DATA_READ, area: None });
-        let ok = lt.insert(
-            Link::to(remote_addr())
-                .with_area(DataArea { offset: 0, len: 128 }, LinkAttrs::DATA_READ),
-        );
+        let no_area = lt.insert(Link {
+            addr: remote_addr(),
+            attrs: LinkAttrs::DATA_READ,
+            area: None,
+        });
+        let ok = lt.insert(Link::to(remote_addr()).with_area(
+            DataArea {
+                offset: 0,
+                len: 128,
+            },
+            LinkAttrs::DATA_READ,
+        ));
         let mut ctx = Ctx::new(Time(0), pid(1), MachineId(0), &mut lt, &mut fx);
-        let req = |link| MoveDataReq { link, read: true, remote_off: 0, local_off: 0, len: 16, token: 1 };
+        let req = |link| MoveDataReq {
+            link,
+            read: true,
+            remote_off: 0,
+            local_off: 0,
+            len: 16,
+            token: 1,
+        };
         assert!(ctx.move_data(req(no_rights)).is_err());
         assert!(ctx.move_data(req(no_area)).is_err());
         ctx.move_data(req(ok)).unwrap();

@@ -6,7 +6,7 @@
 //! these events (administrative message counts, forwarding overhead,
 //! link-update convergence, migration step timings).
 
-use demos_types::{MachineId, ProcessId, Time};
+use demos_types::{CorrId, MachineId, ProcessId, Time};
 
 /// One traced kernel event.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,8 +23,21 @@ pub enum TraceEvent {
         /// The process.
         pid: ProcessId,
     },
+    /// A message entered the delivery system: the first kernel to see it
+    /// stamped it with a fresh correlation id. Every later event carrying
+    /// the same id — on any machine — belongs to this message's journey.
+    Submitted {
+        /// Correlation id assigned at send time.
+        corr: CorrId,
+        /// Destination process.
+        dest: ProcessId,
+        /// Message type tag.
+        msg_type: u16,
+    },
     /// A message was placed on a local process's queue.
     Enqueued {
+        /// Correlation id of the message.
+        corr: CorrId,
         /// Receiving process.
         pid: ProcessId,
         /// Message type tag.
@@ -36,6 +49,8 @@ pub enum TraceEvent {
     },
     /// A message was received by the kernel (`DELIVERTOKERNEL`).
     KernelReceived {
+        /// Correlation id of the message.
+        corr: CorrId,
         /// Process the message was addressed to.
         pid: ProcessId,
         /// Message type tag.
@@ -43,6 +58,8 @@ pub enum TraceEvent {
     },
     /// A message hit a forwarding address and was resubmitted (§4).
     ForwardedMessage {
+        /// Correlation id of the chased message.
+        corr: CorrId,
         /// The migrated process the message was chasing.
         pid: ProcessId,
         /// Where the forwarding address pointed.
@@ -52,6 +69,9 @@ pub enum TraceEvent {
     },
     /// A link-update message was sent back to a sender's kernel (§5).
     LinkUpdateSent {
+        /// Correlation id of the chased message that triggered the update
+        /// (the update inherits it, so the whole repair is one journey).
+        corr: CorrId,
         /// Whose links will be patched.
         sender: ProcessId,
         /// The migrated process.
@@ -61,6 +81,8 @@ pub enum TraceEvent {
     },
     /// Links were patched on receipt of a link update (§5).
     LinkUpdateApplied {
+        /// Correlation id inherited from the chased message.
+        corr: CorrId,
         /// Process whose table was patched.
         sender: ProcessId,
         /// The migrated process.
@@ -71,6 +93,8 @@ pub enum TraceEvent {
     /// A message could not be delivered (no process, no forwarding
     /// address — or forwarding disabled in the ablation mode, §4).
     NonDeliverable {
+        /// Correlation id of the undeliverable message.
+        corr: CorrId,
         /// Destination that does not exist here.
         pid: ProcessId,
         /// Message type tag.
@@ -111,6 +135,29 @@ pub enum TraceEvent {
         /// Message text.
         text: String,
     },
+}
+
+impl TraceEvent {
+    /// The correlation id this event carries, if it is part of a message
+    /// journey. Span reconstruction groups events by this key.
+    pub fn corr(&self) -> Option<CorrId> {
+        match *self {
+            TraceEvent::Submitted { corr, .. }
+            | TraceEvent::Enqueued { corr, .. }
+            | TraceEvent::KernelReceived { corr, .. }
+            | TraceEvent::ForwardedMessage { corr, .. }
+            | TraceEvent::LinkUpdateSent { corr, .. }
+            | TraceEvent::LinkUpdateApplied { corr, .. }
+            | TraceEvent::NonDeliverable { corr, .. } => {
+                if corr.is_some() {
+                    Some(corr)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
 }
 
 /// The phases of the eight-step migration procedure (§3.1), as observed at
@@ -156,9 +203,18 @@ mod tests {
 
     #[test]
     fn events_are_comparable() {
-        let pid = ProcessId { creating_machine: MachineId(0), local_uid: 1 };
-        let a = TraceEvent::Migration { pid, phase: MigrationPhase::Frozen };
-        let b = TraceEvent::Migration { pid, phase: MigrationPhase::Frozen };
+        let pid = ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: 1,
+        };
+        let a = TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Frozen,
+        };
+        let b = TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Frozen,
+        };
         assert_eq!(a, b);
         assert_ne!(a, TraceEvent::Exited { pid });
     }

@@ -4,8 +4,7 @@
 
 use bytes::Bytes;
 use demos_kernel::{
-    local_tags, Carry, Ctx, Delivered, ImageLayout, Kernel, KernelConfig, Outbox, Program,
-    Registry,
+    local_tags, Carry, Ctx, Delivered, ImageLayout, Kernel, KernelConfig, Outbox, Program, Registry,
 };
 use demos_net::{Frame, Phys};
 use demos_types::proto::{KernelOp, LinkMaintMsg};
@@ -23,7 +22,9 @@ struct Pump {
 
 impl Pump {
     fn new(n: usize) -> Self {
-        Pump { queues: (0..n).map(|_| Vec::new()).collect() }
+        Pump {
+            queues: (0..n).map(|_| Vec::new()).collect(),
+        }
     }
 }
 
@@ -41,7 +42,8 @@ struct Recorder {
 
 impl Program for Recorder {
     fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Delivered) {
-        self.seen.push((msg.msg_type, msg.payload.first().copied().unwrap_or(0xFF)));
+        self.seen
+            .push((msg.msg_type, msg.payload.first().copied().unwrap_or(0xFF)));
     }
     fn save(&self) -> Vec<u8> {
         let mut v = Vec::new();
@@ -81,7 +83,12 @@ impl Program for Requester {
         const INIT: u16 = tags::USER_BASE;
         if msg.msg_type == INIT {
             if let Some(&server) = msg.links.first() {
-                let _ = ctx.send(server, tags::USER_BASE + 2, Bytes::from_static(&[5]), &[Carry::New(LinkAttrs::REPLY)]);
+                let _ = ctx.send(
+                    server,
+                    tags::USER_BASE + 2,
+                    Bytes::from_static(&[5]),
+                    &[Carry::New(LinkAttrs::REPLY)],
+                );
             }
         } else {
             self.reply_payload = msg.payload.first().copied().unwrap_or(0);
@@ -125,7 +132,13 @@ fn settle(kernels: &mut [Kernel], pump: &mut Pump, out: &mut Outbox) {
     panic!("did not settle");
 }
 
-fn kernel_msg(from: MachineId, dest: Link, msg_type: u16, payload: Bytes, links: Vec<Link>) -> Message {
+fn kernel_msg(
+    from: MachineId,
+    dest: Link,
+    msg_type: u16,
+    payload: Bytes,
+    links: Vec<Link>,
+) -> Message {
     let mut flags = MsgFlags::FROM_KERNEL;
     if dest.is_dtk() {
         flags = flags | MsgFlags::DELIVER_TO_KERNEL;
@@ -141,18 +154,39 @@ fn kernel_msg(from: MachineId, dest: Link, msg_type: u16, payload: Bytes, links:
         },
         links,
         payload,
+        corr: demos_types::CorrId::NONE,
     }
 }
 
 #[test]
 fn request_reply_across_kernels() {
     let reg = registry();
-    let mut kernels =
-        vec![Kernel::new(m(0), KernelConfig::default(), Arc::clone(&reg)), Kernel::new(m(1), KernelConfig::default(), reg)];
+    let mut kernels = vec![
+        Kernel::new(m(0), KernelConfig::default(), Arc::clone(&reg)),
+        Kernel::new(m(1), KernelConfig::default(), reg),
+    ];
     let mut pump = Pump::new(2);
     let mut out = Outbox::default();
-    let server = kernels[1].spawn(Time(0), "responder", &[], ImageLayout::default(), false, &mut out).unwrap();
-    let client = kernels[0].spawn(Time(0), "requester", &[], ImageLayout::default(), false, &mut out).unwrap();
+    let server = kernels[1]
+        .spawn(
+            Time(0),
+            "responder",
+            &[],
+            ImageLayout::default(),
+            false,
+            &mut out,
+        )
+        .unwrap();
+    let client = kernels[0]
+        .spawn(
+            Time(0),
+            "requester",
+            &[],
+            ImageLayout::default(),
+            false,
+            &mut out,
+        )
+        .unwrap();
     let init = kernel_msg(
         m(0),
         Link::to(client.at(m(0))),
@@ -162,8 +196,18 @@ fn request_reply_across_kernels() {
     );
     kernels[0].submit(Time(0), init, &mut pump, &mut out);
     settle(&mut kernels, &mut pump, &mut out);
-    let state = kernels[0].process(client).unwrap().program.as_ref().unwrap().save();
-    assert_eq!(state, vec![6, 1], "reply 5+1 arrived over the one-shot reply link");
+    let state = kernels[0]
+        .process(client)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
+    assert_eq!(
+        state,
+        vec![6, 1],
+        "reply 5+1 arrived over the one-shot reply link"
+    );
 }
 
 #[test]
@@ -172,7 +216,16 @@ fn dtk_message_received_by_kernel_not_program() {
     let mut kernels = [Kernel::new(m(0), KernelConfig::default(), reg)];
     let mut pump = Pump::new(1);
     let mut out = Outbox::default();
-    let pid = kernels[0].spawn(Time(0), "recorder", &[], ImageLayout::default(), false, &mut out).unwrap();
+    let pid = kernels[0]
+        .spawn(
+            Time(0),
+            "recorder",
+            &[],
+            ImageLayout::default(),
+            false,
+            &mut out,
+        )
+        .unwrap();
     // A DTK Suspend: the kernel must act on it; the program never sees it.
     let dtk = kernel_msg(
         m(0),
@@ -185,7 +238,10 @@ fn dtk_message_received_by_kernel_not_program() {
     settle(&mut kernels, &mut pump, &mut out);
     let proc = kernels[0].process(pid).unwrap();
     assert_eq!(proc.status, demos_kernel::ExecStatus::Suspended);
-    assert!(proc.program.as_ref().unwrap().save().is_empty(), "program saw nothing");
+    assert!(
+        proc.program.as_ref().unwrap().save().is_empty(),
+        "program saw nothing"
+    );
     assert_eq!(kernels[0].stats().kernel_received, 1);
 }
 
@@ -198,26 +254,69 @@ fn stale_hint_still_delivers_locally_by_pid() {
     let mut kernels = [Kernel::new(m(0), KernelConfig::default(), reg)];
     let mut pump = Pump::new(1);
     let mut out = Outbox::default();
-    let pid = kernels[0].spawn(Time(0), "recorder", &[], ImageLayout::default(), false, &mut out).unwrap();
+    let pid = kernels[0]
+        .spawn(
+            Time(0),
+            "recorder",
+            &[],
+            ImageLayout::default(),
+            false,
+            &mut out,
+        )
+        .unwrap();
     // Hint says machine 7; process is right here.
-    let msg = kernel_msg(m(0), Link::to(pid.at(MachineId(7))), tags::USER_BASE + 3, Bytes::from_static(&[9]), vec![]);
+    let msg = kernel_msg(
+        m(0),
+        Link::to(pid.at(MachineId(7))),
+        tags::USER_BASE + 3,
+        Bytes::from_static(&[9]),
+        vec![],
+    );
     kernels[0].submit(Time(0), msg, &mut pump, &mut out);
     settle(&mut kernels, &mut pump, &mut out);
-    let state = kernels[0].process(pid).unwrap().program.as_ref().unwrap().save();
-    assert_eq!(state.len(), 3, "one message recorded despite the stale hint");
-    assert_eq!(kernels[0].stats().transmitted, 0, "never touched the network");
+    let state = kernels[0]
+        .process(pid)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
+    assert_eq!(
+        state.len(),
+        3,
+        "one message recorded despite the stale hint"
+    );
+    assert_eq!(
+        kernels[0].stats().transmitted,
+        0,
+        "never touched the network"
+    );
 }
 
 #[test]
 fn nondeliverable_roundtrip_between_kernels() {
     let reg = registry();
-    let mut kernels =
-        vec![Kernel::new(m(0), KernelConfig::default(), Arc::clone(&reg)), Kernel::new(m(1), KernelConfig::default(), reg)];
+    let mut kernels = vec![
+        Kernel::new(m(0), KernelConfig::default(), Arc::clone(&reg)),
+        Kernel::new(m(1), KernelConfig::default(), reg),
+    ];
     let mut pump = Pump::new(2);
     let mut out = Outbox::default();
-    let sender = kernels[0].spawn(Time(0), "requester", &[], ImageLayout::default(), false, &mut out).unwrap();
+    let sender = kernels[0]
+        .spawn(
+            Time(0),
+            "requester",
+            &[],
+            ImageLayout::default(),
+            false,
+            &mut out,
+        )
+        .unwrap();
     // Point the requester at a process that does not exist on m1.
-    let ghost = ProcessId { creating_machine: m(1), local_uid: 42 };
+    let ghost = ProcessId {
+        creating_machine: m(1),
+        local_uid: 42,
+    };
     let init = kernel_msg(
         m(0),
         Link::to(sender.at(m(0))),
@@ -235,7 +334,10 @@ fn nondeliverable_roundtrip_between_kernels() {
         .links
         .iter()
         .filter(|(_, l)| l.target() == ghost)
-        .all(|(_, l)| l.attrs.contains(<LinkAttrs as demos_kernel::LinkAttrsExt>::DEAD));
+        .all(|(_, l)| {
+            l.attrs
+                .contains(<LinkAttrs as demos_kernel::LinkAttrsExt>::DEAD)
+        });
     assert!(dead);
     // The program received the informational notice.
     let state = proc.program.as_ref().unwrap().save();
@@ -248,9 +350,23 @@ fn link_update_applied_to_sender_table() {
     let mut kernels = [Kernel::new(m(0), KernelConfig::default(), reg)];
     let mut pump = Pump::new(1);
     let mut out = Outbox::default();
-    let pid = kernels[0].spawn(Time(0), "recorder", &[], ImageLayout::default(), false, &mut out).unwrap();
-    let target = ProcessId { creating_machine: m(2), local_uid: 9 };
-    kernels[0].install_link(pid, Link::to(target.at(m(2)))).unwrap();
+    let pid = kernels[0]
+        .spawn(
+            Time(0),
+            "recorder",
+            &[],
+            ImageLayout::default(),
+            false,
+            &mut out,
+        )
+        .unwrap();
+    let target = ProcessId {
+        creating_machine: m(2),
+        local_uid: 9,
+    };
+    kernels[0]
+        .install_link(pid, Link::to(target.at(m(2))))
+        .unwrap();
     // A LinkUpdate arrives claiming the target moved to m3.
     let update = Message {
         header: MsgHeader {
@@ -262,8 +378,13 @@ fn link_update_applied_to_sender_table() {
             hops: 0,
         },
         links: vec![],
-        payload: LinkMaintMsg::LinkUpdate { sender: pid, migrated: target, new_machine: m(3) }
-            .to_bytes(),
+        payload: LinkMaintMsg::LinkUpdate {
+            sender: pid,
+            migrated: target,
+            new_machine: m(3),
+        }
+        .to_bytes(),
+        corr: demos_types::CorrId::NONE,
     };
     kernels[0].submit(Time(0), update, &mut pump, &mut out);
     let proc = kernels[0].process(pid).unwrap();
@@ -276,12 +397,23 @@ fn link_update_applied_to_sender_table() {
 #[test]
 fn remote_create_process_via_mgmt() {
     let reg = registry();
-    let mut kernels =
-        vec![Kernel::new(m(0), KernelConfig::default(), Arc::clone(&reg)), Kernel::new(m(1), KernelConfig::default(), reg)];
+    let mut kernels = vec![
+        Kernel::new(m(0), KernelConfig::default(), Arc::clone(&reg)),
+        Kernel::new(m(1), KernelConfig::default(), reg),
+    ];
     let mut pump = Pump::new(2);
     let mut out = Outbox::default();
     // A recorder on m0 acts as the "process manager" reply sink.
-    let pm = kernels[0].spawn(Time(0), "recorder", &[], ImageLayout::default(), true, &mut out).unwrap();
+    let pm = kernels[0]
+        .spawn(
+            Time(0),
+            "recorder",
+            &[],
+            ImageLayout::default(),
+            true,
+            &mut out,
+        )
+        .unwrap();
     let req = demos_kernel::mgmt::KernelMgmt::CreateProcess {
         token: 9,
         name: "recorder".into(),
@@ -300,13 +432,23 @@ fn remote_create_process_via_mgmt() {
         },
         links: vec![Link::to(pm.at(m(0)))],
         payload: req.to_bytes(),
+        corr: demos_types::CorrId::NONE,
     };
     kernels[0].submit(Time(0), msg, &mut pump, &mut out);
     settle(&mut kernels, &mut pump, &mut out);
     assert_eq!(kernels[1].nprocs(), 1, "process created remotely");
     // The reply (with a link to the new process) reached the pm recorder.
-    let state = kernels[0].process(pm).unwrap().program.as_ref().unwrap().save();
+    let state = kernels[0]
+        .process(pm)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
     assert!(!state.is_empty(), "Created reply delivered");
     let proc = kernels[0].process(pm).unwrap();
-    assert!(proc.links.iter().any(|(_, l)| l.addr.last_known_machine == m(1)));
+    assert!(proc
+        .links
+        .iter()
+        .any(|(_, l)| l.addr.last_known_machine == m(1)));
 }

@@ -13,14 +13,20 @@
 //! The sender never stalls waiting for an acknowledgement (§6: "the
 //! sending kernel does not have to wait for the acknowledgement to send
 //! the next packet") until the configurable window fills.
+//!
+//! For causal tracing, each queued message keeps its correlation id next
+//! to (never inside) its wire bytes: the id rides in [`FrameMeta`] on
+//! every transmission — including retransmissions, which are marked as
+//! such — and is handed back with the payload on delivery so the
+//! receiving kernel can re-attach it.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use demos_types::{Duration, MachineId, Time};
+use demos_types::{CorrId, Duration, MachineId, Time};
 
-use crate::frame::Frame;
-use crate::network::Phys;
+use crate::frame::{Frame, FrameMeta};
+use crate::network::{NetEvent, Phys};
 
 /// Tuning knobs for the reliable channel.
 #[derive(Clone, Copy, Debug)]
@@ -35,8 +41,32 @@ impl Default for ChannelConfig {
     fn default() -> Self {
         // RTO of 20 ms against default edge latencies of ~0.5–1 ms leaves
         // ample headroom while still recovering promptly under loss.
-        ChannelConfig { rto: Duration::from_millis(20), window: 64 }
+        ChannelConfig {
+            rto: Duration::from_millis(20),
+            window: 64,
+        }
     }
+}
+
+/// Transport health counters for one endpoint, across all its peers.
+/// Survive [`Endpoint::reset_peer`] (they describe the machine, not the
+/// connection).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Data frames retransmitted after timeout.
+    pub retransmits: u64,
+    /// Acks received that acknowledged nothing new.
+    pub dup_acks: u64,
+    /// Incoming data frames suppressed as duplicates.
+    pub dedup_drops: u64,
+}
+
+/// One message queued in the transport: its correlation id alongside its
+/// encoded bytes.
+#[derive(Debug, Clone)]
+struct Queued {
+    corr: CorrId,
+    bytes: Bytes,
 }
 
 /// Per-peer channel state.
@@ -45,17 +75,15 @@ struct Peer {
     /// Next sequence number to assign (sequences start at 1).
     next_seq: u64,
     /// In-flight frames awaiting acknowledgement, in sequence order.
-    unacked: VecDeque<(u64, Bytes)>,
+    unacked: VecDeque<(u64, Queued)>,
     /// Sends deferred because the window was full.
-    pending: VecDeque<Bytes>,
+    pending: VecDeque<Queued>,
     /// When the oldest unacked frame times out.
     rto_deadline: Option<Time>,
     /// Highest sequence delivered in order to the local kernel.
     recv_cum: u64,
     /// Out-of-order frames buffered for reassembly.
-    reorder: BTreeMap<u64, Bytes>,
-    /// Retransmitted frames (statistics).
-    retransmits: u64,
+    reorder: BTreeMap<u64, (CorrId, Bytes)>,
 }
 
 /// One machine's end of the reliable transport: a set of sequenced channels
@@ -65,12 +93,18 @@ pub struct Endpoint {
     machine: MachineId,
     cfg: ChannelConfig,
     peers: BTreeMap<MachineId, Peer>,
+    stats: ChannelStats,
 }
 
 impl Endpoint {
     /// Create the endpoint for `machine`.
     pub fn new(machine: MachineId, cfg: ChannelConfig) -> Self {
-        Endpoint { machine, cfg, peers: BTreeMap::new() }
+        Endpoint {
+            machine,
+            cfg,
+            peers: BTreeMap::new(),
+            stats: ChannelStats::default(),
+        }
     }
 
     /// The machine this endpoint belongs to.
@@ -78,21 +112,39 @@ impl Endpoint {
         self.machine
     }
 
-    /// Reliably send one encoded message to `dst`.
+    /// Transport health counters.
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Reliably send one encoded message to `dst`, tagged with the
+    /// message's correlation id (pass [`CorrId::NONE`] for untraced
+    /// traffic).
     ///
     /// # Panics
     /// Debug-asserts that `dst` is a remote machine; local delivery is the
     /// kernel's job and never touches the transport.
-    pub fn send(&mut self, now: Time, dst: MachineId, msg_bytes: Bytes, phys: &mut dyn Phys) {
+    pub fn send(
+        &mut self,
+        now: Time,
+        dst: MachineId,
+        msg_bytes: Bytes,
+        corr: CorrId,
+        phys: &mut dyn Phys,
+    ) {
         debug_assert_ne!(dst, self.machine, "local sends must not use the transport");
         let cfg = self.cfg;
         let src = self.machine;
         let peer = self.peers.entry(dst).or_default();
+        let q = Queued {
+            corr,
+            bytes: msg_bytes,
+        };
         if peer.unacked.len() >= cfg.window {
-            peer.pending.push_back(msg_bytes);
+            peer.pending.push_back(q);
             return;
         }
-        Self::transmit_data(src, cfg, peer, now, dst, msg_bytes, phys);
+        Self::transmit_data(src, cfg, peer, now, dst, q, phys);
     }
 
     fn transmit_data(
@@ -101,38 +153,55 @@ impl Endpoint {
         peer: &mut Peer,
         now: Time,
         dst: MachineId,
-        msg_bytes: Bytes,
+        q: Queued,
         phys: &mut dyn Phys,
     ) {
         peer.next_seq += 1;
         let seq = peer.next_seq;
-        peer.unacked.push_back((seq, msg_bytes.clone()));
+        let frame = Frame::Data {
+            seq,
+            payload: q.bytes.clone(),
+            meta: FrameMeta::new(q.corr),
+        };
+        peer.unacked.push_back((seq, q));
         if peer.rto_deadline.is_none() {
             peer.rto_deadline = Some(now + cfg.rto);
         }
-        phys.transmit(now, src, dst, Frame::Data { seq, payload: msg_bytes });
+        phys.transmit(now, src, dst, frame);
     }
 
-    /// Handle an incoming frame from `from`; returns message payloads now
-    /// deliverable to the kernel, in order.
+    /// Handle an incoming frame from `from`; returns `(corr, payload)`
+    /// pairs now deliverable to the kernel, in order.
     pub fn on_frame(
         &mut self,
         now: Time,
         from: MachineId,
         frame: Frame,
         phys: &mut dyn Phys,
-    ) -> Vec<Bytes> {
+    ) -> Vec<(CorrId, Bytes)> {
         let cfg = self.cfg;
         let src = self.machine;
         let peer = self.peers.entry(from).or_default();
         match frame {
-            Frame::Data { seq, payload } => {
+            Frame::Data { seq, payload, meta } => {
                 // Always (re-)acknowledge so lost acks cannot wedge the peer.
                 if seq <= peer.recv_cum {
+                    self.stats.dedup_drops += 1;
+                    phys.note(NetEvent::DedupDrop);
                     phys.transmit(now, src, from, Frame::Ack { cum: peer.recv_cum });
                     return Vec::new();
                 }
-                peer.reorder.insert(seq, payload);
+                match peer.reorder.entry(seq) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert((meta.corr, payload));
+                    }
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        // Retransmission of a frame already buffered out of
+                        // order: suppressed, but still re-acked below.
+                        self.stats.dedup_drops += 1;
+                        phys.note(NetEvent::DedupDrop);
+                    }
+                }
                 let mut delivered = Vec::new();
                 while let Some(p) = peer.reorder.remove(&(peer.recv_cum + 1)) {
                     peer.recv_cum += 1;
@@ -142,16 +211,27 @@ impl Endpoint {
                 delivered
             }
             Frame::Ack { cum } => {
+                let mut popped = 0u64;
                 while peer.unacked.front().is_some_and(|&(s, _)| s <= cum) {
                     peer.unacked.pop_front();
+                    popped += 1;
+                }
+                if popped == 0 {
+                    self.stats.dup_acks += 1;
+                    phys.note(NetEvent::DupAck);
                 }
                 // Window may have opened: flush deferred sends.
                 while peer.unacked.len() < cfg.window {
-                    let Some(msg) = peer.pending.pop_front() else { break };
-                    Self::transmit_data(src, cfg, peer, now, from, msg, phys);
+                    let Some(q) = peer.pending.pop_front() else {
+                        break;
+                    };
+                    Self::transmit_data(src, cfg, peer, now, from, q, phys);
                 }
-                peer.rto_deadline =
-                    if peer.unacked.is_empty() { None } else { Some(now + cfg.rto) };
+                peer.rto_deadline = if peer.unacked.is_empty() {
+                    None
+                } else {
+                    Some(now + cfg.rto)
+                };
                 Vec::new()
             }
         }
@@ -164,17 +244,26 @@ impl Endpoint {
     }
 
     /// Retransmit everything whose deadline has passed (go-back-N).
+    /// Retransmissions keep their original correlation id and are marked
+    /// in the frame metadata.
     pub fn on_timeout(&mut self, now: Time, phys: &mut dyn Phys) {
         let cfg = self.cfg;
         let src = self.machine;
         for (&dst, peer) in self.peers.iter_mut() {
-            let Some(deadline) = peer.rto_deadline else { continue };
+            let Some(deadline) = peer.rto_deadline else {
+                continue;
+            };
             if deadline > now {
                 continue;
             }
-            for (seq, payload) in &peer.unacked {
-                peer.retransmits += 1;
-                phys.transmit(now, src, dst, Frame::Data { seq: *seq, payload: payload.clone() });
+            for (seq, q) in &peer.unacked {
+                self.stats.retransmits += 1;
+                let frame = Frame::Data {
+                    seq: *seq,
+                    payload: q.bytes.clone(),
+                    meta: FrameMeta::new(q.corr).retransmission(),
+                };
+                phys.transmit(now, src, dst, frame);
             }
             peer.rto_deadline = Some(now + cfg.rto);
         }
@@ -187,7 +276,7 @@ impl Endpoint {
 
     /// Total retransmitted frames since creation.
     pub fn retransmits(&self) -> u64 {
-        self.peers.values().map(|p| p.retransmits).sum()
+        self.stats.retransmits
     }
 
     /// Drop all channel state for `peer`: sequence numbers, in-flight and
@@ -202,7 +291,9 @@ impl Endpoint {
 
     /// Whether every send has been acknowledged and nothing is queued.
     pub fn quiescent(&self) -> bool {
-        self.peers.values().all(|p| p.unacked.is_empty() && p.pending.is_empty())
+        self.peers
+            .values()
+            .all(|p| p.unacked.is_empty() && p.pending.is_empty())
     }
 }
 
@@ -228,19 +319,31 @@ mod tests {
         Bytes::from_static(s.as_bytes())
     }
 
+    fn corr(n: u64) -> CorrId {
+        CorrId::new(m(0), n)
+    }
+
+    fn payloads(delivered: Vec<(CorrId, Bytes)>) -> Vec<Bytes> {
+        delivered.into_iter().map(|(_, b)| b).collect()
+    }
+
     #[test]
     fn in_order_delivery_with_acks() {
         let mut a = Endpoint::new(m(0), ChannelConfig::default());
         let mut b = Endpoint::new(m(1), ChannelConfig::default());
         let mut phys = Capture::default();
-        a.send(Time(0), m(1), bytes("one"), &mut phys);
-        a.send(Time(0), m(1), bytes("two"), &mut phys);
+        a.send(Time(0), m(1), bytes("one"), corr(1), &mut phys);
+        a.send(Time(0), m(1), bytes("two"), corr(2), &mut phys);
         let frames: Vec<Frame> = phys.0.drain(..).map(|(_, _, f)| f).collect();
         let mut delivered = Vec::new();
         for f in frames {
             delivered.extend(b.on_frame(Time(1), m(0), f, &mut phys));
         }
-        assert_eq!(delivered, vec![bytes("one"), bytes("two")]);
+        assert_eq!(
+            delivered,
+            vec![(corr(1), bytes("one")), (corr(2), bytes("two"))],
+            "correlation ids arrive with their payloads"
+        );
         // b sent cumulative acks; feed them back to a.
         let acks: Vec<Frame> = phys.0.drain(..).map(|(_, _, f)| f).collect();
         assert!(acks.iter().all(|f| f.is_ack()));
@@ -257,47 +360,82 @@ mod tests {
         let mut b = Endpoint::new(m(1), ChannelConfig::default());
         let mut phys = Capture::default();
         // seq 2 arrives before seq 1.
-        let d =
-            b.on_frame(Time(0), m(0), Frame::Data { seq: 2, payload: bytes("two") }, &mut phys);
+        let d = b.on_frame(Time(0), m(0), Frame::data(2, bytes("two")), &mut phys);
         assert!(d.is_empty());
-        let d =
-            b.on_frame(Time(1), m(0), Frame::Data { seq: 1, payload: bytes("one") }, &mut phys);
-        assert_eq!(d, vec![bytes("one"), bytes("two")]);
+        let d = b.on_frame(Time(1), m(0), Frame::data(1, bytes("one")), &mut phys);
+        assert_eq!(payloads(d), vec![bytes("one"), bytes("two")]);
     }
 
     #[test]
     fn duplicates_suppressed_and_reacked() {
         let mut b = Endpoint::new(m(1), ChannelConfig::default());
         let mut phys = Capture::default();
-        let d1 = b.on_frame(Time(0), m(0), Frame::Data { seq: 1, payload: bytes("x") }, &mut phys);
+        let d1 = b.on_frame(Time(0), m(0), Frame::data(1, bytes("x")), &mut phys);
         assert_eq!(d1.len(), 1);
-        let d2 = b.on_frame(Time(1), m(0), Frame::Data { seq: 1, payload: bytes("x") }, &mut phys);
+        let d2 = b.on_frame(Time(1), m(0), Frame::data(1, bytes("x")), &mut phys);
         assert!(d2.is_empty(), "duplicate must not be delivered twice");
         // Both receipts generated an ack.
         assert_eq!(phys.0.iter().filter(|(_, _, f)| f.is_ack()).count(), 2);
+        assert_eq!(
+            b.channel_stats().dedup_drops,
+            1,
+            "the duplicate was counted"
+        );
+    }
+
+    #[test]
+    fn duplicate_of_buffered_out_of_order_frame_counted() {
+        let mut b = Endpoint::new(m(1), ChannelConfig::default());
+        let mut phys = Capture::default();
+        assert!(b
+            .on_frame(Time(0), m(0), Frame::data(2, bytes("two")), &mut phys)
+            .is_empty());
+        assert!(b
+            .on_frame(Time(1), m(0), Frame::data(2, bytes("two")), &mut phys)
+            .is_empty());
+        assert_eq!(b.channel_stats().dedup_drops, 1);
+        // Delivery still exactly once when the gap fills.
+        let d = b.on_frame(Time(2), m(0), Frame::data(1, bytes("one")), &mut phys);
+        assert_eq!(payloads(d), vec![bytes("one"), bytes("two")]);
     }
 
     #[test]
     fn retransmit_after_timeout() {
-        let cfg = ChannelConfig { rto: Duration::from_millis(5), window: 4 };
+        let cfg = ChannelConfig {
+            rto: Duration::from_millis(5),
+            window: 4,
+        };
         let mut a = Endpoint::new(m(0), cfg);
         let mut phys = Capture::default();
-        a.send(Time(0), m(1), bytes("lost"), &mut phys);
+        a.send(Time(0), m(1), bytes("lost"), corr(7), &mut phys);
         phys.0.clear(); // the frame is "lost"
         assert_eq!(a.next_timeout(), Some(Time(5_000)));
         a.on_timeout(Time(5_000), &mut phys);
         assert_eq!(phys.0.len(), 1, "frame retransmitted");
+        let meta = phys.0[0].2.meta().unwrap();
+        assert!(meta.retx, "retransmission marked in metadata");
+        assert_eq!(meta.corr, corr(7), "correlation id survives retransmission");
         assert_eq!(a.retransmits(), 1);
+        assert_eq!(a.channel_stats().retransmits, 1);
         assert_eq!(a.next_timeout(), Some(Time(10_000)), "deadline re-armed");
     }
 
     #[test]
     fn window_defers_and_flushes() {
-        let cfg = ChannelConfig { rto: Duration::from_millis(5), window: 2 };
+        let cfg = ChannelConfig {
+            rto: Duration::from_millis(5),
+            window: 2,
+        };
         let mut a = Endpoint::new(m(0), cfg);
         let mut phys = Capture::default();
-        for s in ["1", "2", "3", "4"] {
-            a.send(Time(0), m(1), Bytes::from(s.as_bytes().to_vec()), &mut phys);
+        for (i, s) in ["1", "2", "3", "4"].iter().enumerate() {
+            a.send(
+                Time(0),
+                m(1),
+                Bytes::from(s.as_bytes().to_vec()),
+                corr(i as u64 + 1),
+                &mut phys,
+            );
         }
         assert_eq!(phys.0.len(), 2, "window limits in-flight frames");
         assert_eq!(a.in_flight(), 2);
@@ -305,14 +443,18 @@ mod tests {
         a.on_frame(Time(1), m(1), Frame::Ack { cum: 2 }, &mut phys);
         assert_eq!(phys.0.len(), 4);
         assert!(!a.quiescent());
+        // A deferred message keeps its correlation id when it finally
+        // leaves the window.
+        assert_eq!(phys.0[3].2.meta().unwrap().corr, corr(4));
     }
 
     #[test]
-    fn ack_for_old_seq_ignored() {
+    fn ack_for_old_seq_ignored_and_counted() {
         let mut a = Endpoint::new(m(0), ChannelConfig::default());
         let mut phys = Capture::default();
-        a.send(Time(0), m(1), bytes("x"), &mut phys);
+        a.send(Time(0), m(1), bytes("x"), corr(1), &mut phys);
         a.on_frame(Time(1), m(1), Frame::Ack { cum: 0 }, &mut phys);
         assert_eq!(a.in_flight(), 1, "cum=0 acknowledges nothing");
+        assert_eq!(a.channel_stats().dup_acks, 1);
     }
 }

@@ -4,12 +4,40 @@
 //! encoded [`demos_types::Message`]) and `Ack` (cumulative). Frame overhead
 //! is part of the byte counts the network statistics report, so frames have
 //! a byte-exact encoding like everything else.
+//!
+//! `Data` frames additionally carry [`FrameMeta`] — the correlation id of
+//! the message inside and a retransmission marker — *alongside* the wire
+//! image: the metadata is never encoded, never counted in [`Frame::wire_size`],
+//! and never compared, so tracing cannot change any measured byte count.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use demos_types::wire::{self, Wire, WireError};
+use demos_types::CorrId;
+
+/// Out-of-band per-frame metadata for the observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Correlation id of the encoded message ([`CorrId::NONE`] when the
+    /// sender predates tracing, e.g. hand-built test frames).
+    pub corr: CorrId,
+    /// Whether this transmission is a retransmission of an earlier frame.
+    pub retx: bool,
+}
+
+impl FrameMeta {
+    /// Metadata for a first transmission of a message with id `corr`.
+    pub fn new(corr: CorrId) -> FrameMeta {
+        FrameMeta { corr, retx: false }
+    }
+
+    /// The same frame, marked as a retransmission.
+    pub fn retransmission(self) -> FrameMeta {
+        FrameMeta { retx: true, ..self }
+    }
+}
 
 /// A link-level frame between two machines.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Eq, Debug)]
 pub enum Frame {
     /// Sequenced message bytes.
     Data {
@@ -17,6 +45,9 @@ pub enum Frame {
         seq: u64,
         /// One encoded [`demos_types::Message`].
         payload: Bytes,
+        /// Tracing metadata carried alongside the wire image (not
+        /// encoded, not part of equality or [`Frame::wire_size`]).
+        meta: FrameMeta,
     },
     /// Cumulative acknowledgement: every `Data` with `seq <= cum` has been
     /// received.
@@ -26,7 +57,34 @@ pub enum Frame {
     },
 }
 
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Frame::Data {
+                    seq: a, payload: p, ..
+                },
+                Frame::Data {
+                    seq: b, payload: q, ..
+                },
+            ) => a == b && p == q,
+            (Frame::Ack { cum: a }, Frame::Ack { cum: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
 impl Frame {
+    /// A data frame with default (untraced) metadata — test fixtures and
+    /// callers that predate tracing.
+    pub fn data(seq: u64, payload: Bytes) -> Frame {
+        Frame::Data {
+            seq,
+            payload,
+            meta: FrameMeta::default(),
+        }
+    }
+
     /// Size the physical network charges for this frame.
     pub fn wire_size(&self) -> usize {
         match self {
@@ -39,12 +97,20 @@ impl Frame {
     pub fn is_ack(&self) -> bool {
         matches!(self, Frame::Ack { .. })
     }
+
+    /// This frame's tracing metadata (`None` for acks).
+    pub fn meta(&self) -> Option<FrameMeta> {
+        match self {
+            Frame::Data { meta, .. } => Some(*meta),
+            Frame::Ack { .. } => None,
+        }
+    }
 }
 
 impl Wire for Frame {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            Frame::Data { seq, payload } => {
+            Frame::Data { seq, payload, .. } => {
                 buf.put_u8(1);
                 buf.put_u64(*seq);
                 wire::put_bytes(buf, payload);
@@ -65,10 +131,17 @@ impl Wire for Frame {
             1 => {
                 let seq = buf.get_u64();
                 let payload = wire::get_bytes(buf, "Frame.payload", 1 << 20)?;
-                Ok(Frame::Data { seq, payload })
+                Ok(Frame::Data {
+                    seq,
+                    payload,
+                    meta: FrameMeta::default(),
+                })
             }
             2 => Ok(Frame::Ack { cum: buf.get_u64() }),
-            _ => Err(WireError::BadTag { what: "Frame", tag: tag as u16 }),
+            _ => Err(WireError::BadTag {
+                what: "Frame",
+                tag: tag as u16,
+            }),
         }
     }
 
@@ -81,10 +154,11 @@ impl Wire for Frame {
 mod tests {
     use super::*;
     use demos_types::wire::roundtrip;
+    use demos_types::MachineId;
 
     #[test]
     fn data_roundtrip() {
-        let f = Frame::Data { seq: 42, payload: Bytes::from_static(b"msg") };
+        let f = Frame::data(42, Bytes::from_static(b"msg"));
         assert_eq!(roundtrip(&f).unwrap(), f);
         assert_eq!(f.wire_size(), f.to_bytes().len());
         assert!(!f.is_ack());
@@ -102,5 +176,28 @@ mod tests {
     fn bad_tag() {
         let mut b = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(Frame::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn meta_rides_outside_the_wire_image() {
+        let corr = CorrId::new(MachineId(2), 9);
+        let tagged = Frame::Data {
+            seq: 1,
+            payload: Bytes::from_static(b"msg"),
+            meta: FrameMeta::new(corr).retransmission(),
+        };
+        let plain = Frame::data(1, Bytes::from_static(b"msg"));
+        // Same wire bytes, same size, equal — metadata is out of band.
+        assert_eq!(tagged.to_bytes(), plain.to_bytes());
+        assert_eq!(tagged.wire_size(), plain.wire_size());
+        assert_eq!(tagged, plain);
+        assert_eq!(tagged.meta(), Some(FrameMeta { corr, retx: true }));
+        // Decoding yields default metadata: re-attachment is the
+        // receiver's transport's job.
+        assert_eq!(
+            roundtrip(&tagged).unwrap().meta(),
+            Some(FrameMeta::default())
+        );
+        assert_eq!(Frame::Ack { cum: 0 }.meta(), None);
     }
 }

@@ -27,7 +27,7 @@ pub mod frame;
 pub mod network;
 pub mod topology;
 
-pub use channel::{ChannelConfig, Endpoint};
-pub use frame::Frame;
-pub use network::{NetStats, Phys, SimNetwork};
+pub use channel::{ChannelConfig, ChannelStats, Endpoint};
+pub use frame::{Frame, FrameMeta};
+pub use network::{NetEvent, NetStats, Phys, SimNetwork};
 pub use topology::{EdgeParams, Topology};

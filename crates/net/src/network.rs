@@ -22,10 +22,28 @@ use demos_types::{MachineId, Time};
 use crate::frame::Frame;
 use crate::topology::Topology;
 
+/// Receiver-side transport events surfaced to the physical layer's
+/// statistics via [`Phys::note`]. The network cannot observe these
+/// itself — deduplication and ack bookkeeping happen inside
+/// [`crate::channel::Endpoint`] after delivery — so the endpoint
+/// reports them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetEvent {
+    /// An ack arrived that acknowledged nothing new.
+    DupAck,
+    /// An already-delivered (or already-buffered) data frame was dropped
+    /// by the dedup window.
+    DedupDrop,
+}
+
 /// Where the transport hands frames to the physical layer.
 pub trait Phys {
     /// Transmit `frame` from `src` towards `dst`, departing at `now`.
     fn transmit(&mut self, now: Time, src: MachineId, dst: MachineId, frame: Frame);
+
+    /// Record a receiver-side transport event (statistics only; default
+    /// is to ignore it, so test doubles need not care).
+    fn note(&mut self, _ev: NetEvent) {}
 }
 
 /// Traffic statistics, cumulative since construction.
@@ -41,6 +59,13 @@ pub struct NetStats {
     pub data_frames: u64,
     /// Ack frames sent.
     pub ack_frames: u64,
+    /// Data frames that were retransmissions (marked via frame metadata
+    /// by the sending endpoint).
+    pub retransmit_frames: u64,
+    /// Acks received that acknowledged nothing new ([`NetEvent::DupAck`]).
+    pub dup_acks: u64,
+    /// Data frames suppressed by receiver dedup ([`NetEvent::DedupDrop`]).
+    pub dedup_drops: u64,
     /// Total bytes handed to the physical layer.
     pub bytes_sent: u64,
     /// Bytes × route hops, summed over sent frames: total load placed on
@@ -158,6 +183,9 @@ impl Phys for SimNetwork {
             self.stats.ack_frames += 1;
         } else {
             self.stats.data_frames += 1;
+            if frame.meta().is_some_and(|m| m.retx) {
+                self.stats.retransmit_frames += 1;
+            }
         }
         if self.is_down(src) || self.is_down(dst) {
             self.stats.frames_dropped += 1;
@@ -173,7 +201,20 @@ impl Phys for SimNetwork {
             return;
         }
         self.seq += 1;
-        self.heap.push(Reverse(Arrival { at: now + transit, seq: self.seq, src, dst, frame }));
+        self.heap.push(Reverse(Arrival {
+            at: now + transit,
+            seq: self.seq,
+            src,
+            dst,
+            frame,
+        }));
+    }
+
+    fn note(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::DupAck => self.stats.dup_acks += 1,
+            NetEvent::DedupDrop => self.stats.dedup_drops += 1,
+        }
     }
 }
 
@@ -189,12 +230,19 @@ mod tests {
     }
 
     fn data(seq: u64) -> Frame {
-        Frame::Data { seq, payload: Bytes::from_static(b"payload") }
+        Frame::data(seq, Bytes::from_static(b"payload"))
     }
 
     #[test]
     fn frames_arrive_after_transit() {
-        let topo = Topology::full_mesh(2, EdgeParams { latency: Duration::from_micros(100), ns_per_byte: 0, loss: 0.0 });
+        let topo = Topology::full_mesh(
+            2,
+            EdgeParams {
+                latency: Duration::from_micros(100),
+                ns_per_byte: 0,
+                loss: 0.0,
+            },
+        );
         let mut net = SimNetwork::new(topo, 1);
         net.transmit(Time(0), m(0), m(1), data(1));
         assert_eq!(net.next_arrival_at(), Some(Time(100)));
@@ -207,7 +255,14 @@ mod tests {
 
     #[test]
     fn deterministic_ordering_for_simultaneous_arrivals() {
-        let topo = Topology::full_mesh(3, EdgeParams { latency: Duration::from_micros(10), ns_per_byte: 0, loss: 0.0 });
+        let topo = Topology::full_mesh(
+            3,
+            EdgeParams {
+                latency: Duration::from_micros(10),
+                ns_per_byte: 0,
+                loss: 0.0,
+            },
+        );
         let mut net = SimNetwork::new(topo, 1);
         net.transmit(Time(0), m(1), m(0), data(7));
         net.transmit(Time(0), m(2), m(0), data(8));
@@ -219,7 +274,14 @@ mod tests {
 
     #[test]
     fn loss_is_seeded_and_counted() {
-        let topo = Topology::full_mesh(2, EdgeParams { latency: Duration::ZERO, ns_per_byte: 0, loss: 0.5 });
+        let topo = Topology::full_mesh(
+            2,
+            EdgeParams {
+                latency: Duration::ZERO,
+                ns_per_byte: 0,
+                loss: 0.5,
+            },
+        );
         let mut a = SimNetwork::new(topo.clone(), 42);
         let mut b = SimNetwork::new(topo, 42);
         for i in 0..100 {
@@ -256,7 +318,14 @@ mod tests {
 
     #[test]
     fn byte_hops_accounts_route_length() {
-        let topo = Topology::line(3, EdgeParams { latency: Duration::from_micros(1), ns_per_byte: 0, loss: 0.0 });
+        let topo = Topology::line(
+            3,
+            EdgeParams {
+                latency: Duration::from_micros(1),
+                ns_per_byte: 0,
+                loss: 0.0,
+            },
+        );
         let mut net = SimNetwork::new(topo, 1);
         let f = data(1);
         let size = f.wire_size() as u64;

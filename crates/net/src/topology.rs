@@ -24,14 +24,22 @@ impl Default for EdgeParams {
     fn default() -> Self {
         // Roughly a few-Mbit/s local network of early-80s vintage: 500 us
         // switching latency, ~2 MB/s, lossless unless configured otherwise.
-        EdgeParams { latency: Duration::from_micros(500), ns_per_byte: 500, loss: 0.0 }
+        EdgeParams {
+            latency: Duration::from_micros(500),
+            ns_per_byte: 500,
+            loss: 0.0,
+        }
     }
 }
 
 impl EdgeParams {
     /// A fast, lossless LAN edge (useful in unit tests).
     pub fn fast() -> Self {
-        EdgeParams { latency: Duration::from_micros(50), ns_per_byte: 50, loss: 0.0 }
+        EdgeParams {
+            latency: Duration::from_micros(50),
+            ns_per_byte: 50,
+            loss: 0.0,
+        }
     }
 
     /// Time for a frame of `bytes` to traverse this edge.
@@ -65,8 +73,11 @@ pub struct Topology {
 impl Topology {
     /// A topology of `n` machines with no edges.
     pub fn new(n: usize) -> Self {
-        let mut t =
-            Topology { n, edges: vec![None; n * n], routes: vec![Route::default(); n * n] };
+        let mut t = Topology {
+            n,
+            edges: vec![None; n * n],
+            routes: vec![Route::default(); n * n],
+        };
         t.recompute();
         t
     }
@@ -189,7 +200,10 @@ impl Topology {
         }
         for a in 0..n {
             for b in 0..n {
-                let mut route = Route { edges: Vec::new(), reachable: a == b };
+                let mut route = Route {
+                    edges: Vec::new(),
+                    reachable: a == b,
+                };
                 if a != b && next[a * n + b].is_some() {
                     route.reachable = true;
                     let mut cur = a;
@@ -279,8 +293,16 @@ mod tests {
     fn shortest_path_prefers_low_latency() {
         // 0 -1ms- 1 -1ms- 2, plus a 10ms direct 0-2 edge: route must go via 1.
         let mut t = Topology::new(3);
-        let fast = EdgeParams { latency: Duration::from_millis(1), ns_per_byte: 0, loss: 0.0 };
-        let slow = EdgeParams { latency: Duration::from_millis(10), ns_per_byte: 0, loss: 0.0 };
+        let fast = EdgeParams {
+            latency: Duration::from_millis(1),
+            ns_per_byte: 0,
+            loss: 0.0,
+        };
+        let slow = EdgeParams {
+            latency: Duration::from_millis(10),
+            ns_per_byte: 0,
+            loss: 0.0,
+        };
         t.set_edge(m(0), m(1), fast);
         t.set_edge(m(1), m(2), fast);
         t.set_edge(m(0), m(2), slow);
@@ -316,14 +338,25 @@ mod tests {
 
     #[test]
     fn transit_scales_with_bytes() {
-        let t = Topology::full_mesh(2, EdgeParams { latency: Duration::ZERO, ns_per_byte: 1000, loss: 0.0 });
+        let t = Topology::full_mesh(
+            2,
+            EdgeParams {
+                latency: Duration::ZERO,
+                ns_per_byte: 1000,
+                loss: 0.0,
+            },
+        );
         let (d, _) = t.transit(m(0), m(1), 1024).unwrap();
         assert_eq!(d, Duration::from_micros(1024));
     }
 
     #[test]
     fn loss_combines_across_hops() {
-        let e = EdgeParams { latency: Duration::ZERO, ns_per_byte: 0, loss: 0.5 };
+        let e = EdgeParams {
+            latency: Duration::ZERO,
+            ns_per_byte: 0,
+            loss: 0.5,
+        };
         let t = Topology::line(3, e);
         let (_, loss) = t.transit(m(0), m(2), 0).unwrap();
         assert!((loss - 0.75).abs() < 1e-9);

@@ -5,7 +5,7 @@
 
 use bytes::Bytes;
 use demos_net::{ChannelConfig, Endpoint, Frame, Phys};
-use demos_types::{Duration, MachineId, Time};
+use demos_types::{CorrId, Duration, MachineId, Time};
 use proptest::prelude::*;
 
 /// An adversarial physical layer: drops, duplicates and reorders frames
@@ -62,10 +62,12 @@ proptest! {
         let mut phys = Adversary { queues: [Vec::new(), Vec::new()], script, cursor: 0 };
 
         for i in 0..msgs {
-            a.send(Time(0), MachineId(1), Bytes::from(vec![i as u8]), &mut phys);
+            let corr = CorrId::new(MachineId(0), i as u64 + 1);
+            a.send(Time(0), MachineId(1), Bytes::from(vec![i as u8]), corr, &mut phys);
         }
 
         let mut delivered: Vec<u8> = Vec::new();
+        let mut corrs: Vec<CorrId> = Vec::new();
         let mut now = Time(0);
         // Pump until quiescent; time advances so retransmissions fire.
         for _round in 0..10_000 {
@@ -79,8 +81,9 @@ proptest! {
                 q1.reverse();
             }
             for (src, f) in q1 {
-                for p in b.on_frame(now, src, f, &mut phys) {
+                for (corr, p) in b.on_frame(now, src, f, &mut phys) {
                     delivered.push(p[0]);
+                    corrs.push(corr);
                 }
             }
             let q0 = std::mem::take(&mut phys.queues[0]);
@@ -94,6 +97,22 @@ proptest! {
         let expect: Vec<u8> = (0..msgs as u8).collect();
         prop_assert_eq!(delivered, expect, "in order, exactly once");
         prop_assert!(a.quiescent());
+        // Correlation ids survive loss, duplication, reordering and
+        // retransmission, and arrive exactly once, in order.
+        let expect_corrs: Vec<CorrId> =
+            (0..msgs).map(|i| CorrId::new(MachineId(0), i as u64 + 1)).collect();
+        prop_assert_eq!(corrs, expect_corrs, "corr ids delivered with their messages");
+        // Transport health counters are consistent: dedup drops at the
+        // receiver can only happen when frames were duplicated by the
+        // adversary or retransmitted by the sender.
+        let a_stats = a.channel_stats();
+        let b_stats = b.channel_stats();
+        prop_assert_eq!(a_stats.retransmits, a.retransmits());
+        let dup_capable = phys.script.iter().any(|&(d, dup)| d || dup);
+        if !dup_capable {
+            prop_assert_eq!(a_stats.retransmits, 0, "clean network needs no retransmits");
+            prop_assert_eq!(b_stats.dedup_drops, 0, "clean network has no duplicates");
+        }
     }
 
     /// Sequence windows never confuse two independent peers.
@@ -114,10 +133,10 @@ proptest! {
         let mut c = Endpoint::new(MachineId(2), cfg);
         let mut phys = Collect(Vec::new());
         for i in 0..to_b {
-            a.send(Time(0), MachineId(1), Bytes::from(vec![1, i as u8]), &mut phys);
+            a.send(Time(0), MachineId(1), Bytes::from(vec![1, i as u8]), CorrId::NONE, &mut phys);
         }
         for i in 0..to_c {
-            a.send(Time(0), MachineId(2), Bytes::from(vec![2, i as u8]), &mut phys);
+            a.send(Time(0), MachineId(2), Bytes::from(vec![2, i as u8]), CorrId::NONE, &mut phys);
         }
         let mut got_b = 0;
         let mut got_c = 0;

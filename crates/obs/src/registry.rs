@@ -1,0 +1,113 @@
+//! Per-kernel metrics registry.
+//!
+//! A deliberately tiny abstraction: named monotonic **counters** and
+//! instantaneous **gauges**, both `u64`. Names are `&'static str` so
+//! recording a metric is a `BTreeMap` lookup with no allocation; the
+//! ordered map keeps every export deterministic, which the simulator's
+//! replay tests require of anything that can feed a trace.
+
+use std::collections::BTreeMap;
+
+/// Named counters and gauges for one kernel (one machine).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set the counter `name` to `value` — for mirroring an externally
+    /// maintained monotonic total (e.g. a kernel's lifetime stats).
+    pub fn counter_set(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of gauge `name` (zero if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merge another registry into this one: counters and gauges both
+    /// add, so merging per-machine registries yields cluster totals
+    /// (a cluster's "queue depth" gauge is the sum of its machines').
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in other.counters() {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges() {
+            *self.gauges.entry(name).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("msgs", 2);
+        r.counter_add("msgs", 3);
+        r.gauge_set("runq", 7);
+        r.gauge_set("runq", 4);
+        assert_eq!(r.counter("msgs"), 5);
+        assert_eq!(r.gauge("runq"), 4);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("absent"), 0);
+    }
+
+    #[test]
+    fn merge_sums_both_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("msgs", 1);
+        a.gauge_set("runq", 2);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("msgs", 10);
+        b.counter_add("drops", 1);
+        b.gauge_set("runq", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("msgs"), 11);
+        assert_eq!(a.counter("drops"), 1);
+        assert_eq!(a.gauge("runq"), 7);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("zz", 1);
+        r.counter_add("aa", 1);
+        let names: Vec<_> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

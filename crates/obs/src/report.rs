@@ -1,0 +1,141 @@
+//! Human-readable cluster report — the `demos-top` view.
+//!
+//! One aligned table with a row per machine and a TOTAL row: queue
+//! depths, kernel table sizes, memory, and transport retransmit
+//! counters; followed by a cluster-wide traffic-by-class section. The
+//! output is plain text so experiment binaries can print it and golden
+//! tests can pin it.
+
+use crate::snapshot::{ClusterSnapshot, MachineSnapshot};
+use std::fmt::Write as _;
+
+const HEADERS: [&str; 11] = [
+    "machine", "procs", "runq", "msgq", "pend", "links", "fwd", "mem", "retx", "dupack", "dedup",
+];
+
+fn row_of(s: &MachineSnapshot, label: String) -> [String; 11] {
+    [
+        label,
+        s.procs.to_string(),
+        s.runq.to_string(),
+        s.msgq.to_string(),
+        s.pending.to_string(),
+        s.links.to_string(),
+        s.forwarding.to_string(),
+        s.mem_used.to_string(),
+        s.retransmits.to_string(),
+        s.dup_acks.to_string(),
+        s.dedup_drops.to_string(),
+    ]
+}
+
+/// Render the `demos-top`-style cluster report.
+pub fn render(snap: &ClusterSnapshot) -> String {
+    let totals = snap.totals();
+    let mut rows: Vec<[String; 11]> = snap
+        .machines
+        .iter()
+        .map(|m| row_of(m, format!("m{}", m.machine)))
+        .collect();
+    rows.push(row_of(&totals, "TOTAL".to_string()));
+
+    let mut widths: Vec<usize> = HEADERS.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cluster @ {} — {} machines, {} procs",
+        snap.at,
+        snap.machines.len(),
+        totals.procs
+    );
+    let line = |cells: &[String]| -> String {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
+            } else {
+                let _ = write!(s, "{:>w$}  ", c, w = widths[i]);
+            }
+        }
+        s.trim_end().to_string()
+    };
+    let header: Vec<String> = HEADERS.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", line(&header));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        let _ = writeln!(out, "{}", line(&row));
+    }
+
+    if !totals.traffic.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "traffic by class (cluster total):");
+        let wc = totals
+            .traffic
+            .iter()
+            .map(|(c, _, _)| c.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        for (class, msgs, bytes) in &totals.traffic {
+            let _ = writeln!(out, "  {class:<wc$}  {msgs:>8} msgs  {bytes:>10} B");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_types::Time;
+
+    #[test]
+    fn renders_rows_totals_and_traffic() {
+        let snap = ClusterSnapshot {
+            at: Time::from_micros(2_000_000),
+            machines: vec![
+                MachineSnapshot {
+                    machine: 0,
+                    procs: 2,
+                    runq: 1,
+                    msgq: 3,
+                    pending: 0,
+                    links: 8,
+                    forwarding: 1,
+                    mem_used: 2048,
+                    retransmits: 5,
+                    dup_acks: 2,
+                    dedup_drops: 1,
+                    traffic: vec![("user", 10, 1000)],
+                },
+                MachineSnapshot {
+                    machine: 1,
+                    procs: 1,
+                    ..Default::default()
+                },
+            ],
+        };
+        let text = render(&snap);
+        assert!(
+            text.contains("cluster @ 2.000s — 2 machines, 3 procs"),
+            "{text}"
+        );
+        assert!(text.contains("machine"), "{text}");
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("m0") && l.ends_with("1")),
+            "{text}"
+        );
+        assert!(text.lines().any(|l| l.starts_with("TOTAL")), "{text}");
+        assert!(text.contains("user") && text.contains("1000 B"), "{text}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Point-in-time cluster state for reports and exporters.
+//!
+//! A [`MachineSnapshot`] is what `demos-top` shows for one machine: how
+//! many processes, how deep the queues, how big the kernel tables, and
+//! what the reliable transport has been doing. [`ClusterSnapshot`] is
+//! one instant across every machine plus derived totals.
+
+use crate::json::Json;
+use demos_types::{MachineId, Time};
+
+/// One machine's observable state at an instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    /// Which machine.
+    pub machine: u16,
+    /// Resident processes.
+    pub procs: usize,
+    /// Runnable processes queued for CPU.
+    pub runq: usize,
+    /// Messages queued at process message queues.
+    pub msgq: usize,
+    /// Messages held on pending queues of in-migration processes (§3.1
+    /// step 2 — these are forwarded at step 6).
+    pub pending: usize,
+    /// Link-table entries across resident processes.
+    pub links: usize,
+    /// Forwarding-address table entries (§4).
+    pub forwarding: usize,
+    /// Bytes of process memory in use.
+    pub mem_used: u64,
+    /// Data frames retransmitted by this machine's transport.
+    pub retransmits: u64,
+    /// Duplicate (no-progress) acks received.
+    pub dup_acks: u64,
+    /// Already-delivered data frames dropped by the dedup window.
+    pub dedup_drops: u64,
+    /// Remote messages sent, by class: `(class, messages, bytes)`.
+    pub traffic: Vec<(&'static str, u64, u64)>,
+}
+
+impl MachineSnapshot {
+    /// Serialize for the JSON-lines exporter.
+    pub fn to_json(&self, at: Time) -> Json {
+        Json::obj([
+            ("kind", Json::str("machine")),
+            ("at_us", Json::num(at.as_micros())),
+            ("machine", Json::num(self.machine as u64)),
+            ("procs", Json::num(self.procs as u64)),
+            ("runq", Json::num(self.runq as u64)),
+            ("msgq", Json::num(self.msgq as u64)),
+            ("pending", Json::num(self.pending as u64)),
+            ("links", Json::num(self.links as u64)),
+            ("forwarding", Json::num(self.forwarding as u64)),
+            ("mem_used", Json::num(self.mem_used)),
+            ("retransmits", Json::num(self.retransmits)),
+            ("dup_acks", Json::num(self.dup_acks)),
+            ("dedup_drops", Json::num(self.dedup_drops)),
+            (
+                "traffic",
+                Json::Arr(
+                    self.traffic
+                        .iter()
+                        .map(|&(class, msgs, bytes)| {
+                            Json::obj([
+                                ("class", Json::str(class)),
+                                ("msgs", Json::num(msgs)),
+                                ("bytes", Json::num(bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Every machine at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSnapshot {
+    /// Virtual time of the snapshot.
+    pub at: Time,
+    /// Per-machine state, in machine order.
+    pub machines: Vec<MachineSnapshot>,
+}
+
+impl ClusterSnapshot {
+    /// Summed state across machines (the `TOTAL` row of the report).
+    pub fn totals(&self) -> MachineSnapshot {
+        let mut t = MachineSnapshot {
+            machine: u16::MAX,
+            ..Default::default()
+        };
+        let mut classes: Vec<(&'static str, u64, u64)> = Vec::new();
+        for m in &self.machines {
+            t.procs += m.procs;
+            t.runq += m.runq;
+            t.msgq += m.msgq;
+            t.pending += m.pending;
+            t.links += m.links;
+            t.forwarding += m.forwarding;
+            t.mem_used += m.mem_used;
+            t.retransmits += m.retransmits;
+            t.dup_acks += m.dup_acks;
+            t.dedup_drops += m.dedup_drops;
+            for &(class, msgs, bytes) in &m.traffic {
+                match classes.iter_mut().find(|(c, _, _)| *c == class) {
+                    Some(e) => {
+                        e.1 += msgs;
+                        e.2 += bytes;
+                    }
+                    None => classes.push((class, msgs, bytes)),
+                }
+            }
+        }
+        t.traffic = classes;
+        t
+    }
+
+    /// Look up one machine's snapshot.
+    pub fn machine(&self, m: MachineId) -> Option<&MachineSnapshot> {
+        self.machines.iter().find(|s| s.machine == m.0)
+    }
+
+    /// Serialize every machine as one JSON line each.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for m in &self.machines {
+            out.push_str(&m.to_json(self.at).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> ClusterSnapshot {
+        ClusterSnapshot {
+            at: Time::from_micros(1_000),
+            machines: vec![
+                MachineSnapshot {
+                    machine: 0,
+                    procs: 2,
+                    runq: 1,
+                    msgq: 4,
+                    pending: 0,
+                    links: 10,
+                    forwarding: 1,
+                    mem_used: 4096,
+                    retransmits: 3,
+                    dup_acks: 1,
+                    dedup_drops: 2,
+                    traffic: vec![("user", 7, 700), ("migrate", 4, 80)],
+                },
+                MachineSnapshot {
+                    machine: 1,
+                    procs: 1,
+                    runq: 0,
+                    msgq: 0,
+                    pending: 5,
+                    links: 3,
+                    forwarding: 0,
+                    mem_used: 1024,
+                    retransmits: 0,
+                    dup_acks: 0,
+                    dedup_drops: 0,
+                    traffic: vec![("user", 1, 100)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_machines_and_classes() {
+        let t = sample().totals();
+        assert_eq!(t.procs, 3);
+        assert_eq!(t.pending, 5);
+        assert_eq!(t.retransmits, 3);
+        assert_eq!(t.traffic, vec![("user", 8, 800), ("migrate", 4, 80)]);
+    }
+
+    #[test]
+    fn json_lines_roundtrip_via_parser() {
+        let snap = sample();
+        let lines = snap.to_json_lines();
+        let parsed = json::parse_lines(&lines).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].u64_field("machine"), Some(0));
+        assert_eq!(parsed[0].u64_field("retransmits"), Some(3));
+        assert_eq!(parsed[1].u64_field("pending"), Some(5));
+        let traffic = parsed[0].get("traffic").unwrap().as_arr().unwrap();
+        assert_eq!(traffic[0].str_field("class"), Some("user"));
+        assert_eq!(traffic[0].u64_field("bytes"), Some(700));
+    }
+}

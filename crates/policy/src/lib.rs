@@ -121,7 +121,12 @@ pub struct Hysteresis {
 impl Hysteresis {
     /// New hysteresis with the given intervals.
     pub fn new(per_process: Duration, global: Duration) -> Self {
-        Hysteresis { per_process, global, last_global: None, last_per_pid: BTreeMap::new() }
+        Hysteresis {
+            per_process,
+            global,
+            last_global: None,
+            last_per_pid: BTreeMap::new(),
+        }
     }
 
     /// Disabled hysteresis (every decision allowed).
@@ -136,7 +141,9 @@ impl Hysteresis {
 
     /// May `pid` be moved right now?
     pub fn pid_ok(&self, now: Time, pid: ProcessId) -> bool {
-        self.last_per_pid.get(&pid).is_none_or(|&t| now.since(t) >= self.per_process)
+        self.last_per_pid
+            .get(&pid)
+            .is_none_or(|&t| now.since(t) >= self.per_process)
     }
 
     /// Record an issued order.
@@ -163,7 +170,11 @@ pub struct LoadBalance {
 impl LoadBalance {
     /// A balancer acting on a run-queue spread of `imbalance`.
     pub fn new(imbalance: usize, hysteresis: Hysteresis) -> Self {
-        LoadBalance { imbalance: imbalance.max(1), max_moves: 1, hysteresis }
+        LoadBalance {
+            imbalance: imbalance.max(1),
+            max_moves: 1,
+            hysteresis,
+        }
     }
 
     fn load_of(m: &MachineLoad) -> usize {
@@ -178,16 +189,19 @@ impl Policy for LoadBalance {
             return Vec::new();
         }
         let mut orders = Vec::new();
-        let healthy: Vec<&MachineLoad> =
-            view.machines.iter().filter(|m| m.health > 0.5).collect();
+        let healthy: Vec<&MachineLoad> = view.machines.iter().filter(|m| m.health > 0.5).collect();
         if healthy.len() < 2 {
             return orders;
         }
-        let hottest = healthy.iter().max_by_key(|m| (Self::load_of(m), m.machine.0)).expect("nonempty");
-        let coolest = healthy.iter().min_by_key(|m| (Self::load_of(m), m.machine.0)).expect("nonempty");
-        if hottest.machine == coolest.machine
-            || hottest.runq < coolest.runq + self.imbalance
-        {
+        let hottest = healthy
+            .iter()
+            .max_by_key(|m| (Self::load_of(m), m.machine.0))
+            .expect("nonempty");
+        let coolest = healthy
+            .iter()
+            .min_by_key(|m| (Self::load_of(m), m.machine.0))
+            .expect("nonempty");
+        if hottest.machine == coolest.machine || hottest.runq < coolest.runq + self.imbalance {
             return orders;
         }
         // Pick the cheapest eligible process on the hottest machine
@@ -207,7 +221,10 @@ impl Policy for LoadBalance {
                 continue;
             }
             self.hysteresis.note(view.at, p.pid);
-            orders.push(MigrationOrder { pid: p.pid, dest: coolest.machine });
+            orders.push(MigrationOrder {
+                pid: p.pid,
+                dest: coolest.machine,
+            });
         }
         orders
     }
@@ -235,7 +252,12 @@ pub struct CommAffinity {
 impl CommAffinity {
     /// New affinity policy.
     pub fn new(min_bytes: u64, dominance: f64, hysteresis: Hysteresis) -> Self {
-        CommAffinity { min_bytes, dominance, hysteresis, prev: BTreeMap::new() }
+        CommAffinity {
+            min_bytes,
+            dominance,
+            hysteresis,
+            prev: BTreeMap::new(),
+        }
     }
 }
 
@@ -355,7 +377,12 @@ pub struct CostAwareBalance {
 
 impl CostAwareBalance {
     /// New cost-aware balancer.
-    pub fn new(imbalance: usize, hysteresis: Hysteresis, bytes_per_sec: u64, horizon: Duration) -> Self {
+    pub fn new(
+        imbalance: usize,
+        hysteresis: Hysteresis,
+        bytes_per_sec: u64,
+        horizon: Duration,
+    ) -> Self {
         CostAwareBalance {
             inner: LoadBalance::new(imbalance, hysteresis),
             bytes_per_sec: bytes_per_sec.max(1),
@@ -408,11 +435,19 @@ mod tests {
     use super::*;
 
     fn pid(u: u32) -> ProcessId {
-        ProcessId { creating_machine: MachineId(0), local_uid: u }
+        ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: u,
+        }
     }
 
     fn machine(m: u16, runq: usize) -> MachineLoad {
-        MachineLoad { machine: MachineId(m), runq, nprocs: runq, ..Default::default() }
+        MachineLoad {
+            machine: MachineId(m),
+            runq,
+            nprocs: runq,
+            ..Default::default()
+        }
     }
 
     fn process(u: u32, m: u16) -> ProcessInfo {
@@ -474,10 +509,16 @@ mod tests {
         };
         assert_eq!(p.decide(&view).len(), 1);
         // Same process still "hot" moments later: blocked.
-        let view2 = ClusterView { at: Time(1000), ..view.clone() };
+        let view2 = ClusterView {
+            at: Time(1000),
+            ..view.clone()
+        };
         assert!(p.decide(&view2).is_empty());
         // After the interval it may move again.
-        let view3 = ClusterView { at: Time(2_000_000), ..view };
+        let view3 = ClusterView {
+            at: Time(2_000_000),
+            ..view
+        };
         assert_eq!(p.decide(&view3).len(), 1);
     }
 
@@ -493,9 +534,19 @@ mod tests {
             processes: vec![proc.clone()],
         };
         let orders = p.decide(&view);
-        assert_eq!(orders, vec![MigrationOrder { pid: pid(1), dest: MachineId(1) }]);
+        assert_eq!(
+            orders,
+            vec![MigrationOrder {
+                pid: pid(1),
+                dest: MachineId(1)
+            }]
+        );
         // Unchanged counters → zero delta → no repeat order.
-        let view2 = ClusterView { at: Time(10), machines: view.machines.clone(), processes: vec![proc] };
+        let view2 = ClusterView {
+            at: Time(10),
+            machines: view.machines.clone(),
+            processes: vec![proc],
+        };
         assert!(p.decide(&view2).is_empty());
     }
 
@@ -537,8 +588,8 @@ mod tests {
         let mut wise = CostAwareBalance::new(
             2,
             Hysteresis::off(),
-            1_000_000,                     // 1 MB/s transfer
-            Duration::from_millis(10),     // short horizon
+            1_000_000,                 // 1 MB/s transfer
+            Duration::from_millis(10), // short horizon
         );
         let mut huge = process(1, 0);
         huge.image_len = 512 * 1024; // ~0.5 s to move, can't pay off in 10 ms
@@ -556,8 +607,8 @@ mod tests {
         let mut wise = CostAwareBalance::new(
             2,
             Hysteresis::off(),
-            10_000_000,                   // 10 MB/s
-            Duration::from_secs(2),       // long horizon
+            10_000_000,             // 10 MB/s
+            Duration::from_secs(2), // long horizon
         );
         let mut small = process(1, 0);
         small.image_len = 16 * 1024;
@@ -566,7 +617,11 @@ mod tests {
             machines: vec![machine(0, 6), machine(1, 0)],
             processes: vec![small],
         };
-        assert_eq!(wise.decide(&view).len(), 1, "cheap move with big gain proceeds");
+        assert_eq!(
+            wise.decide(&view).len(),
+            1,
+            "cheap move with big gain proceeds"
+        );
     }
 
     #[test]

@@ -109,7 +109,13 @@ fn machine_main(
         // Sleep until the next deadline or an event.
         let wait = node
             .next_timer_at()
-            .map(|d| std::time::Duration::from_micros(d.as_micros().saturating_sub(now(epoch).as_micros()).clamp(50, 5_000)))
+            .map(|d| {
+                std::time::Duration::from_micros(
+                    d.as_micros()
+                        .saturating_sub(now(epoch).as_micros())
+                        .clamp(50, 5_000),
+                )
+            })
             .unwrap_or(std::time::Duration::from_millis(5));
         crossbeam::channel::select! {
             recv(inbox) -> f => {
@@ -182,14 +188,20 @@ impl NativeCluster {
             let (ctx, crx) = unbounded::<Cmd>();
             cmd_txs.push(ctx);
             let node = Node::new(MachineId(i as u16), kcfg, mcfg, Arc::clone(&registry));
-            let phys = ChannelPhys { txs: frame_txs.clone() };
+            let phys = ChannelPhys {
+                txs: frame_txs.clone(),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("demos-m{i}"))
                 .spawn(move || machine_main(node, epoch, inbox, crx, phys))
                 .expect("spawn machine thread");
             threads.push(handle);
         }
-        NativeCluster { cmd_txs, threads, n }
+        NativeCluster {
+            cmd_txs,
+            threads,
+            n,
+        }
     }
 
     /// Number of machines.
@@ -255,6 +267,7 @@ impl NativeCluster {
             },
             links,
             payload: payload.into(),
+            corr: demos_types::CorrId::NONE,
         };
         self.cmd(hint, |reply| Cmd::Post { msg, reply })
     }
@@ -295,6 +308,8 @@ impl NativeCluster {
 
 impl std::fmt::Debug for NativeCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NativeCluster").field("machines", &self.n).finish()
+        f.debug_struct("NativeCluster")
+            .field("machines", &self.n)
+            .finish()
     }
 }

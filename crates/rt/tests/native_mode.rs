@@ -31,7 +31,12 @@ impl demos_kernel::Program for Pinger {
                 self.rallies += 1;
                 ctx.cpu(VDuration::from_micros(10));
                 if self.peer != 0 {
-                    let _ = ctx.send(demos_types::LinkIdx(self.peer), BALL, bytes::Bytes::new(), &[]);
+                    let _ = ctx.send(
+                        demos_types::LinkIdx(self.peer),
+                        BALL,
+                        bytes::Bytes::new(),
+                        &[],
+                    );
                 }
             }
             _ => {}
@@ -54,7 +59,10 @@ fn registry() -> Registry {
             rallies.copy_from_slice(&state[..8]);
             peer.copy_from_slice(&state[8..12]);
         }
-        Box::new(Pinger { rallies: u64::from_be_bytes(rallies), peer: u32::from_be_bytes(peer) })
+        Box::new(Pinger {
+            rallies: u64::from_be_bytes(rallies),
+            peer: u32::from_be_bytes(peer),
+        })
     });
     r
 }
@@ -88,22 +96,41 @@ fn native_pingpong_and_live_migration() {
         KernelConfig::default(),
         demos_core::MigrationConfig::default(),
     );
-    let pa = cluster.spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
-    let pb = cluster.spawn(m(1), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    let pa = cluster
+        .spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default())
+        .unwrap();
+    let pb = cluster
+        .spawn(m(1), "pinger", &[0u8; 12], ImageLayout::default())
+        .unwrap();
     // Wire them with real links, then serve the first ball.
-    let la = demos_types::Link { addr: pa.at(m(0)), attrs: LinkAttrs::NONE, area: None };
-    let lb = demos_types::Link { addr: pb.at(m(1)), attrs: LinkAttrs::NONE, area: None };
+    let la = demos_types::Link {
+        addr: pa.at(m(0)),
+        attrs: LinkAttrs::NONE,
+        area: None,
+    };
+    let lb = demos_types::Link {
+        addr: pb.at(m(1)),
+        attrs: LinkAttrs::NONE,
+        area: None,
+    };
     const INIT: u16 = demos_types::tags::USER_BASE;
     // Bootstrap the passive end first: in native mode the serve's first
     // ball genuinely races the second INIT command (a real race the
     // deterministic simulator cannot produce).
-    cluster.post(m(1), pb, INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
-    cluster.post(m(0), pa, INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+    cluster
+        .post(m(1), pb, INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
+    cluster
+        .post(m(0), pa, INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+        .unwrap();
 
     // The rally runs on real threads.
     assert!(
         wait_until(
-            || cluster.query_state(m(0), pa).unwrap().is_some_and(|s| rallies_of(&s) > 50),
+            || cluster
+                .query_state(m(0), pa)
+                .unwrap()
+                .is_some_and(|s| rallies_of(&s) > 50),
             Duration::from_secs(10),
         ),
         "rally reached 50 on real threads"
@@ -112,7 +139,10 @@ fn native_pingpong_and_live_migration() {
     // Live migration m1 → m2 while balls fly.
     cluster.migrate(m(1), pb, m(2)).unwrap();
     assert!(
-        wait_until(|| cluster.where_is(pb) == Some(m(2)), Duration::from_secs(10)),
+        wait_until(
+            || cluster.where_is(pb) == Some(m(2)),
+            Duration::from_secs(10)
+        ),
         "pb moved to m2"
     );
     // The rally continues after migration.
@@ -131,7 +161,10 @@ fn native_pingpong_and_live_migration() {
     );
     // Forwarding really happened on the old home.
     let (stats_m1, _) = cluster.stats(m(1)).unwrap();
-    assert!(stats_m1.forwarded >= 1, "m1 forwarded at least one stale ball");
+    assert!(
+        stats_m1.forwarded >= 1,
+        "m1 forwarded at least one stale ball"
+    );
     cluster.shutdown();
 }
 
@@ -143,12 +176,17 @@ fn native_migration_chain() {
         KernelConfig::default(),
         demos_core::MigrationConfig::default(),
     );
-    let pid = cluster.spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default())
+        .unwrap();
     let mut here = m(0);
     for dest in [1u16, 2, 3] {
         cluster.migrate(here, pid, m(dest)).unwrap();
         assert!(
-            wait_until(|| cluster.where_is(pid) == Some(m(dest)), Duration::from_secs(10)),
+            wait_until(
+                || cluster.where_is(pid) == Some(m(dest)),
+                Duration::from_secs(10)
+            ),
             "hop to m{dest}"
         );
         here = m(dest);
@@ -164,8 +202,13 @@ fn native_spawn_errors_propagate() {
         KernelConfig::default(),
         demos_core::MigrationConfig::default(),
     );
-    assert!(cluster.spawn(m(0), "no_such_program", &[], ImageLayout::default()).is_err());
-    let ghost = ProcessId { creating_machine: m(0), local_uid: 99 };
+    assert!(cluster
+        .spawn(m(0), "no_such_program", &[], ImageLayout::default())
+        .is_err());
+    let ghost = ProcessId {
+        creating_machine: m(0),
+        local_uid: 99,
+    };
     assert!(cluster.migrate(m(0), ghost, m(0)).is_err());
     cluster.shutdown();
 }

@@ -48,7 +48,11 @@ pub fn snapshot(cluster: &Cluster, prev_busy: &[Duration], window: Duration) -> 
             });
         }
     }
-    ClusterView { at: cluster.now(), machines, processes }
+    ClusterView {
+        at: cluster.now(),
+        machines,
+        processes,
+    }
 }
 
 /// Periodically runs a policy against the cluster.

@@ -56,7 +56,11 @@ impl Default for BootConfig {
             fs_machine: MachineId(0),
             disk_op_us: 2_000,
             cache_blocks: 32,
-            sys_layout: ImageLayout { code: 16 * 1024, data: 8 * 1024, stack: 2 * 1024 },
+            sys_layout: ImageLayout {
+                code: 16 * 1024,
+                data: 8 * 1024,
+                stack: 2 * 1024,
+            },
         }
     }
 }
@@ -84,10 +88,20 @@ pub fn boot_system(cluster: &mut Cluster, cfg: BootConfig) -> Result<SystemHandl
         true,
     )?;
 
-    let fs_disk =
-        cluster.spawn_opt(fm, DiskServer::NAME, &DiskServer::state(cfg.disk_op_us), layout, true)?;
-    let fs_cache =
-        cluster.spawn_opt(fm, BufferCache::NAME, &BufferCache::state(cfg.cache_blocks), layout, true)?;
+    let fs_disk = cluster.spawn_opt(
+        fm,
+        DiskServer::NAME,
+        &DiskServer::state(cfg.disk_op_us),
+        layout,
+        true,
+    )?;
+    let fs_cache = cluster.spawn_opt(
+        fm,
+        BufferCache::NAME,
+        &BufferCache::state(cfg.cache_blocks),
+        layout,
+        true,
+    )?;
     let fs_dir = cluster.spawn_opt(fm, DirServer::NAME, &DirServer::state(), layout, true)?;
     let fs_file = cluster.spawn_opt(fm, FileServer::NAME, &FileServer::state(), layout, true)?;
 
@@ -100,9 +114,11 @@ pub fn boot_system(cluster: &mut Cluster, cfg: BootConfig) -> Result<SystemHandl
 
     // Register the public services with the switchboard (bootstrap form:
     // single carried link, no acknowledgement).
-    for (name, pid) in
-        [("procmgr", procmgr), ("memsched", memsched), ("fs", fs_file)]
-    {
+    for (name, pid) in [
+        ("procmgr", procmgr),
+        ("memsched", memsched),
+        ("fs", fs_file),
+    ] {
         let link = cluster.link_to(pid)?;
         cluster.post(
             switchboard,
@@ -114,7 +130,15 @@ pub fn boot_system(cluster: &mut Cluster, cfg: BootConfig) -> Result<SystemHandl
         )?;
     }
 
-    Ok(SystemHandles { switchboard, procmgr, memsched, fs_dir, fs_file, fs_cache, fs_disk })
+    Ok(SystemHandles {
+        switchboard,
+        procmgr,
+        memsched,
+        fs_dir,
+        fs_file,
+        fs_cache,
+        fs_disk,
+    })
 }
 
 /// Spawn `n` file-system clients on `machine`, wired to the file server.

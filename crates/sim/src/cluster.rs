@@ -20,8 +20,10 @@ use std::sync::Arc;
 use demos_core::{MigrationConfig, Node};
 use demos_kernel::{ImageLayout, KernelConfig, Outbox, Registry};
 use demos_net::{EdgeParams, SimNetwork, Topology};
+use demos_obs::SeriesStore;
 use demos_types::{
-    DemosError, Duration, Link, MachineId, Message, MsgFlags, MsgHeader, ProcessId, Result, Time,
+    CorrId, DemosError, Duration, Link, MachineId, Message, MsgFlags, MsgHeader, ProcessId, Result,
+    Time,
 };
 
 use crate::trace::Trace;
@@ -34,6 +36,7 @@ pub struct ClusterBuilder {
     migration: MigrationConfig,
     registry: Registry,
     trace: bool,
+    sample: Option<Duration>,
 }
 
 impl ClusterBuilder {
@@ -46,6 +49,7 @@ impl ClusterBuilder {
             migration: MigrationConfig::default(),
             registry: crate::programs::registry(),
             trace: true,
+            sample: None,
         }
     }
 
@@ -88,13 +92,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sample every kernel's metrics into time series on this virtual-time
+    /// cadence (see [`Cluster::series`]). Off by default.
+    pub fn sample_every(mut self, cadence: Duration) -> Self {
+        self.sample = Some(cadence);
+        self
+    }
+
     /// Build the cluster.
     pub fn build(self) -> Cluster {
         let n = self.topology.len();
         let registry = self.registry.into_shared();
         let nodes = (0..n)
             .map(|i| {
-                Node::new(MachineId(i as u16), self.kernel, self.migration, Arc::clone(&registry))
+                Node::new(
+                    MachineId(i as u16),
+                    self.kernel,
+                    self.migration,
+                    Arc::clone(&registry),
+                )
             })
             .collect();
         Cluster {
@@ -105,9 +121,14 @@ impl ClusterBuilder {
             cpu_factor: vec![1.0; n],
             cpu_busy_total: vec![Duration::ZERO; n],
             crashed: vec![false; n],
-            trace: if self.trace { Trace::enabled() } else { Trace::disabled() },
+            trace: if self.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
             outbox: Outbox::default(),
             registry,
+            series: self.sample.map(SeriesStore::new),
         }
     }
 }
@@ -124,6 +145,7 @@ pub struct Cluster {
     trace: Trace,
     outbox: Outbox,
     registry: Arc<Registry>,
+    series: Option<SeriesStore>,
 }
 
 impl Cluster {
@@ -187,6 +209,38 @@ impl Cluster {
         self.cpu_busy_total[m.0 as usize]
     }
 
+    /// The sampled metric time series, if the cluster was built with
+    /// [`ClusterBuilder::sample_every`]. Keys are `"m{machine}.{metric}"`
+    /// (`"m0.pending"`, `"m2.retransmits"`, …).
+    pub fn series(&self) -> Option<&SeriesStore> {
+        self.series.as_ref()
+    }
+
+    /// Take a sample now regardless of cadence (e.g. a final sample when
+    /// an experiment ends between grid points). No-op without sampling.
+    pub fn sample_now(&mut self) {
+        let Some(store) = &mut self.series else {
+            return;
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
+            store.record(
+                self.now,
+                MachineId(i as u16),
+                &crate::export::machine_registry(node),
+            );
+        }
+        store.advance(self.now);
+    }
+
+    fn maybe_sample(&mut self) {
+        if self.series.as_ref().is_some_and(|s| s.due(self.now)) {
+            self.sample_now();
+        }
+    }
+
     /// Which machine currently hosts `pid`, if any. Processes on crashed
     /// machines are gone (their state died with the processor).
     pub fn where_is(&self, pid: ProcessId) -> Option<MachineId> {
@@ -232,7 +286,9 @@ impl Cluster {
     ) -> Result<ProcessId> {
         let now = self.now;
         let node = &mut self.nodes[m.0 as usize];
-        let pid = node.kernel.spawn(now, program, state, layout, privileged, &mut self.outbox)?;
+        let pid = node
+            .kernel
+            .spawn(now, program, state, layout, privileged, &mut self.outbox)?;
         self.drain_outbox(m);
         Ok(pid)
     }
@@ -265,6 +321,7 @@ impl Cluster {
             },
             links,
             payload: payload.into(),
+            corr: CorrId::NONE,
         };
         self.nodes[m.0 as usize].submit(now, msg, &mut self.net, &mut self.outbox);
         self.drain_outbox(m);
@@ -295,6 +352,7 @@ impl Cluster {
             },
             links: vec![],
             payload: payload.into(),
+            corr: CorrId::NONE,
         };
         self.nodes[origin].submit(now, msg, &mut self.net, &mut self.outbox);
         self.drain_outbox(MachineId(origin as u16));
@@ -307,7 +365,8 @@ impl Cluster {
     pub fn migrate(&mut self, pid: ProcessId, dest: MachineId) -> Result<()> {
         let m = self.where_is(pid).ok_or(DemosError::NoSuchProcess(pid))?;
         let now = self.now;
-        let r = self.nodes[m.0 as usize].migrate(now, pid, dest, None, &mut self.net, &mut self.outbox);
+        let r =
+            self.nodes[m.0 as usize].migrate(now, pid, dest, None, &mut self.net, &mut self.outbox);
         self.drain_outbox(m);
         r
     }
@@ -343,7 +402,12 @@ impl Cluster {
         let node = &self.nodes[i];
         let kcfg = *node.kernel.config();
         // Build a brand-new node with the same identity and configuration.
-        let fresh = Node::new(m, kcfg, MigrationConfig::default(), Arc::clone(&self.registry));
+        let fresh = Node::new(
+            m,
+            kcfg,
+            MigrationConfig::default(),
+            Arc::clone(&self.registry),
+        );
         self.nodes[i] = fresh;
         self.crashed[i] = false;
         self.cpu_busy_until[i] = self.now;
@@ -399,7 +463,8 @@ impl Cluster {
                 if let Some((_pid, cost)) =
                     self.nodes[i].run_next(self.now, &mut self.net, &mut self.outbox)
                 {
-                    let scaled = Self::scale(cost, self.cpu_factor[i]).max(Duration::from_micros(1));
+                    let scaled =
+                        Self::scale(cost, self.cpu_factor[i]).max(Duration::from_micros(1));
                     self.cpu_busy_until[i] = self.now + scaled;
                     self.cpu_busy_total[i] += scaled;
                     progressed = true;
@@ -454,6 +519,7 @@ impl Cluster {
                 self.drain_outbox(MachineId(i as u16));
             }
         }
+        self.maybe_sample();
         true
     }
 

@@ -1,0 +1,198 @@
+//! Exporters: live cluster state → `demos-obs` structures.
+//!
+//! This is the only place that knows how to read a kernel's observable
+//! state (queue depths, table sizes, transport health, traffic classes)
+//! and spell it as metrics. Everything downstream — time series, the
+//! JSON-lines dump, the `demos-top` report — consumes the
+//! [`MetricsRegistry`] / [`ClusterSnapshot`] this module produces.
+
+use demos_core::Node;
+use demos_kernel::TrafficBreakdown;
+use demos_obs::{report, ClusterSnapshot, MachineSnapshot, MetricsRegistry};
+use demos_types::MachineId;
+
+use crate::cluster::Cluster;
+
+/// Traffic classes in report order, with their per-class counts.
+pub fn traffic_classes(t: &TrafficBreakdown) -> Vec<(&'static str, u64, u64)> {
+    [
+        ("kernel_op", t.kernel_op),
+        ("migrate", t.migrate),
+        ("md_req", t.md_req),
+        ("md_data", t.md_data),
+        ("md_ack", t.md_ack),
+        ("md_done", t.md_done),
+        ("link_maint", t.link_maint),
+        ("mgmt", t.mgmt),
+        ("user", t.user),
+    ]
+    .into_iter()
+    .filter(|(_, c)| c.msgs > 0)
+    .map(|(name, c)| (name, c.msgs, c.bytes))
+    .collect()
+}
+
+/// Read one node's kernel into a metrics registry: gauges for current
+/// depths/sizes, counters for cumulative transport and delivery totals.
+pub fn machine_registry(node: &Node) -> MetricsRegistry {
+    let k = &node.kernel;
+    let mut r = MetricsRegistry::new();
+    r.gauge_set("procs", k.nprocs() as u64);
+    r.gauge_set("runq", k.runq_len() as u64);
+    r.gauge_set("msgq", k.msg_queue_len() as u64);
+    r.gauge_set("pending", k.pending_queue_len() as u64);
+    r.gauge_set("links", k.link_table_len() as u64);
+    r.gauge_set("forwarding", k.forwarding_table().len() as u64);
+    r.gauge_set("mem_used", k.mem_used());
+    let ch = k.channel_stats();
+    r.counter_set("retransmits", ch.retransmits);
+    r.counter_set("dup_acks", ch.dup_acks);
+    r.counter_set("dedup_drops", ch.dedup_drops);
+    let s = k.stats();
+    r.counter_set("submitted", s.submitted);
+    r.counter_set("forwarded", s.forwarded);
+    r.counter_set("link_updates_sent", s.link_updates_sent);
+    r.counter_set("nondeliverable", s.nondeliverable);
+    for (class, msgs, bytes) in traffic_classes(&s.traffic) {
+        match class {
+            "kernel_op" => {
+                r.counter_set("msgs_kernel_op", msgs);
+                r.counter_set("bytes_kernel_op", bytes);
+            }
+            "migrate" => {
+                r.counter_set("msgs_migrate", msgs);
+                r.counter_set("bytes_migrate", bytes);
+            }
+            "md_req" => {
+                r.counter_set("msgs_md_req", msgs);
+                r.counter_set("bytes_md_req", bytes);
+            }
+            "md_data" => {
+                r.counter_set("msgs_md_data", msgs);
+                r.counter_set("bytes_md_data", bytes);
+            }
+            "md_ack" => {
+                r.counter_set("msgs_md_ack", msgs);
+                r.counter_set("bytes_md_ack", bytes);
+            }
+            "md_done" => {
+                r.counter_set("msgs_md_done", msgs);
+                r.counter_set("bytes_md_done", bytes);
+            }
+            "link_maint" => {
+                r.counter_set("msgs_link_maint", msgs);
+                r.counter_set("bytes_link_maint", bytes);
+            }
+            "mgmt" => {
+                r.counter_set("msgs_mgmt", msgs);
+                r.counter_set("bytes_mgmt", bytes);
+            }
+            _ => {
+                r.counter_set("msgs_user", msgs);
+                r.counter_set("bytes_user", bytes);
+            }
+        }
+    }
+    r
+}
+
+fn machine_snapshot(node: &Node) -> MachineSnapshot {
+    let k = &node.kernel;
+    let ch = k.channel_stats();
+    MachineSnapshot {
+        machine: node.machine().0,
+        procs: k.nprocs(),
+        runq: k.runq_len(),
+        msgq: k.msg_queue_len(),
+        pending: k.pending_queue_len(),
+        links: k.link_table_len(),
+        forwarding: k.forwarding_table().len(),
+        mem_used: k.mem_used(),
+        retransmits: ch.retransmits,
+        dup_acks: ch.dup_acks,
+        dedup_drops: ch.dedup_drops,
+        traffic: traffic_classes(&k.stats().traffic),
+    }
+}
+
+impl Cluster {
+    /// Snapshot every live machine's observable state at the current
+    /// instant (crashed machines are omitted — their state died with
+    /// them).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let machines = (0..self.len())
+            .map(|i| MachineId(i as u16))
+            .filter(|&m| !self.is_crashed(m))
+            .map(|m| machine_snapshot(self.node(m)))
+            .collect();
+        ClusterSnapshot {
+            at: self.now(),
+            machines,
+        }
+    }
+
+    /// The `demos-top`-style cluster report for the current instant.
+    pub fn report(&self) -> String {
+        report::render(&self.snapshot())
+    }
+
+    /// The machine-readable JSON-lines dump for the current instant (one
+    /// object per machine; parse with [`demos_obs::json::parse_lines`]).
+    pub fn json_lines(&self) -> String {
+        self.snapshot().to_json_lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_kernel::ImageLayout;
+    use demos_obs::json;
+    use demos_types::Duration;
+
+    #[test]
+    fn snapshot_sees_spawned_processes_and_user_traffic() {
+        use crate::programs::{wl, PingPong};
+        let mut c = Cluster::mesh(2);
+        let st = PingPong::state(0, 50);
+        let pa = c
+            .spawn(MachineId(0), "pingpong", &st, ImageLayout::default())
+            .unwrap();
+        let pb = c
+            .spawn(MachineId(1), "pingpong", &st, ImageLayout::default())
+            .unwrap();
+        let la = c.link_to(pa).unwrap();
+        let lb = c.link_to(pb).unwrap();
+        c.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+            .unwrap();
+        c.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+            .unwrap();
+        c.run_for(Duration::from_millis(50));
+        let snap = c.snapshot();
+        assert_eq!(snap.machines.len(), 2);
+        let m0 = snap.machine(MachineId(0)).unwrap();
+        assert_eq!(m0.procs, 1);
+        assert!(
+            m0.traffic
+                .iter()
+                .any(|&(class, msgs, _)| class == "user" && msgs > 0),
+            "ping-pong crosses machines: {:?}",
+            m0.traffic
+        );
+        // Report and JSON lines render from the same snapshot.
+        let text = c.report();
+        assert!(text.lines().any(|l| l.starts_with("m0")), "{text}");
+        let parsed = json::parse_lines(&c.json_lines()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].u64_field("procs"), Some(1));
+    }
+
+    #[test]
+    fn crashed_machines_drop_out_of_the_snapshot() {
+        let mut c = Cluster::mesh(3);
+        c.crash(MachineId(1));
+        let snap = c.snapshot();
+        assert_eq!(snap.machines.len(), 2);
+        assert!(snap.machine(MachineId(1)).is_none());
+    }
+}

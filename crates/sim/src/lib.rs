@@ -8,6 +8,9 @@
 //! * [`balance`] — drives `demos-policy` decision rules against the live
 //!   cluster, playing the process manager's monitoring role;
 //! * [`trace`] — the event log experiments are reconstructed from;
+//! * [`span`] — per-message journey reconstruction from correlation ids;
+//! * [`export`] — metrics registries, cluster snapshots, the JSON-lines
+//!   exporter and the `demos-top` report (via `demos-obs`);
 //! * [`metrics`] — histograms and summary statistics.
 
 #![forbid(unsafe_code)]
@@ -16,16 +19,20 @@
 pub mod balance;
 pub mod boot;
 pub mod cluster;
+pub mod export;
 pub mod metrics;
 pub mod programs;
 pub mod report;
+pub mod span;
 pub mod trace;
 
 pub use balance::{snapshot, PolicyDriver};
 pub use boot::{boot_system, BootConfig, SystemHandles};
 pub use cluster::{Cluster, ClusterBuilder};
+pub use export::machine_registry;
 pub use metrics::Histogram;
 pub use report::{migrations_of, render, MigrationReport};
+pub use span::{latency_histogram, spans_of, Hop, HopKind, Span};
 pub use trace::Trace;
 
 /// Convenience re-exports for harnesses and examples.
@@ -41,7 +48,5 @@ pub mod prelude {
         ExecStatus, ImageLayout, KernelConfig, MigrationPhase, Registry, TraceEvent,
     };
     pub use demos_net::{EdgeParams, Topology};
-    pub use demos_types::{
-        tags, Duration, Link, LinkAttrs, MachineId, ProcessId, Time,
-    };
+    pub use demos_types::{tags, Duration, Link, LinkAttrs, MachineId, ProcessId, Time};
 }

@@ -19,7 +19,13 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; 40], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: [0; 40],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 }
 
@@ -98,7 +104,11 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
         sum += v;
         n += 1;
     }
-    if n == 0 { 0.0 } else { sum / n as f64 }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
 /// Population standard deviation (0.0 when fewer than 2 samples).
@@ -124,7 +134,10 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.min(), Duration::from_micros(1));
         assert_eq!(h.max(), Duration::from_micros(1000));
-        assert_eq!(h.mean(), Duration::from_micros((1 + 2 + 4 + 8 + 100 + 1000) / 6));
+        assert_eq!(
+            h.mean(),
+            Duration::from_micros((1 + 2 + 4 + 8 + 100 + 1000) / 6)
+        );
         assert!(h.quantile(0.5) <= Duration::from_micros(16));
         assert!(h.quantile(1.0) >= Duration::from_micros(1000));
     }

@@ -243,7 +243,10 @@ impl EchoServer {
 
     fn restore(state: &[u8]) -> Box<dyn Program> {
         let mut b = Bytes::copy_from_slice(state);
-        Box::new(EchoServer { served: get_u64(&mut b), cpu_us: get_u32(&mut b) })
+        Box::new(EchoServer {
+            served: get_u64(&mut b),
+            cpu_us: get_u32(&mut b),
+        })
     }
 }
 
@@ -304,7 +307,12 @@ pub struct Client {
 impl Client {
     /// Initial state.
     pub fn state(limit: u64, period_us: u32, payload: u32) -> Vec<u8> {
-        let c = Client { limit, period_us, payload, ..Client::default() };
+        let c = Client {
+            limit,
+            period_us,
+            payload,
+            ..Client::default()
+        };
         c.save()
     }
 
@@ -347,13 +355,20 @@ impl Program for Client {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-        let Some(server) = opt_link(self.server) else { return };
+        let Some(server) = opt_link(self.server) else {
+            return;
+        };
         if self.limit == 0 || self.sent < self.limit {
             let mut payload = BytesMut::with_capacity(8 + self.payload as usize);
             payload.put_u64(ctx.now().as_micros());
             payload.extend_from_slice(&vec![0u8; self.payload as usize]);
             if ctx
-                .send(server, wl::REQ, payload.freeze(), &[Carry::New(LinkAttrs::REPLY)])
+                .send(
+                    server,
+                    wl::REQ,
+                    payload.freeze(),
+                    &[Carry::New(LinkAttrs::REPLY)],
+                )
                 .is_ok()
             {
                 self.sent += 1;
@@ -433,7 +448,11 @@ impl Stage {
 
     fn restore(state: &[u8]) -> Box<dyn Program> {
         let mut b = Bytes::copy_from_slice(state);
-        Box::new(Stage { processed: get_u64(&mut b), work_us: get_u32(&mut b), next: get_u32(&mut b) })
+        Box::new(Stage {
+            processed: get_u64(&mut b),
+            work_us: get_u32(&mut b),
+            next: get_u32(&mut b),
+        })
     }
 }
 
@@ -500,7 +519,10 @@ impl Cargo {
     fn restore(state: &[u8]) -> Box<dyn Program> {
         let mut b = Bytes::copy_from_slice(state);
         let received = get_u64(&mut b);
-        Box::new(Cargo { received, ballast: b.to_vec() })
+        Box::new(Cargo {
+            received,
+            ballast: b.to_vec(),
+        })
     }
 }
 
@@ -554,7 +576,12 @@ pub struct Nomad {
 impl Nomad {
     /// Initial state.
     pub fn state(machines: u16, period_us: u32) -> Vec<u8> {
-        Nomad { machines, period_us, ..Default::default() }.save()
+        Nomad {
+            machines,
+            period_us,
+            ..Default::default()
+        }
+        .save()
     }
 
     fn restore(state: &[u8]) -> Box<dyn Program> {
@@ -680,7 +707,14 @@ mod tests {
     #[test]
     fn registry_has_all() {
         let r = registry();
-        for name in ["pingpong", "cpu_burner", "echo_server", "client", "stage", "cargo"] {
+        for name in [
+            "pingpong",
+            "cpu_burner",
+            "echo_server",
+            "client",
+            "stage",
+            "cargo",
+        ] {
             assert!(r.contains(name), "{name} missing");
         }
     }

@@ -66,7 +66,9 @@ impl MigrationReport {
 pub fn migrations_of(trace: &Trace, pid: ProcessId) -> Vec<MigrationReport> {
     let mut out: Vec<MigrationReport> = Vec::new();
     for r in trace.records() {
-        let TraceEvent::Migration { pid: p, phase } = &r.event else { continue };
+        let TraceEvent::Migration { pid: p, phase } = &r.event else {
+            continue;
+        };
         if *p != pid {
             continue;
         }
@@ -138,7 +140,12 @@ mod tests {
     fn reconstructs_single_migration() {
         let mut cluster = Cluster::mesh(2);
         let pid = cluster
-            .spawn(MachineId(0), "cargo", &Cargo::state(256), ImageLayout::default())
+            .spawn(
+                MachineId(0),
+                "cargo",
+                &Cargo::state(256),
+                ImageLayout::default(),
+            )
             .unwrap();
         cluster.run_for(demos_types::Duration::from_millis(5));
         cluster.migrate(pid, MachineId(1)).unwrap();
@@ -151,12 +158,121 @@ mod tests {
         // Phases are totally ordered in time.
         let times: Vec<Time> = r.rows().iter().filter_map(|(_, t)| *t).collect();
         assert_eq!(times.len(), 8, "all eight steps observed");
-        assert!(times.windows(2).all(|w| w[0] <= w[1]), "steps in order: {times:?}");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "steps in order: {times:?}"
+        );
         assert!(r.total().unwrap() > demos_types::Duration::ZERO);
         assert!(r.transfer().unwrap() <= r.total().unwrap());
         let text = render(r);
         assert!(text.contains("8 restarted"));
         assert!(text.contains("total freeze→restart"));
+    }
+
+    #[test]
+    fn aborted_migration_interleaved_with_successful_one() {
+        // Hand-built trace: pid's first attempt aborts after the offer;
+        // a second attempt completes. Another process's migration is
+        // interleaved throughout and must not bleed into pid's reports.
+        let pid = ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: 1,
+        };
+        let other = ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: 2,
+        };
+        let ev = |p, ph| TraceEvent::Migration { pid: p, phase: ph };
+        let mut tr = crate::trace::Trace::enabled();
+        tr.extend(Time(10), MachineId(0), [ev(pid, MigrationPhase::Frozen)]);
+        tr.extend(Time(12), MachineId(0), [ev(other, MigrationPhase::Frozen)]);
+        tr.extend(Time(15), MachineId(0), [ev(pid, MigrationPhase::Offered)]);
+        tr.extend(Time(18), MachineId(0), [ev(other, MigrationPhase::Offered)]);
+        tr.extend(Time(20), MachineId(0), [ev(pid, MigrationPhase::Aborted)]);
+        tr.extend(Time(30), MachineId(0), [ev(pid, MigrationPhase::Frozen)]);
+        tr.extend(Time(32), MachineId(0), [ev(pid, MigrationPhase::Offered)]);
+        tr.extend(Time(34), MachineId(1), [ev(pid, MigrationPhase::Allocated)]);
+        tr.extend(
+            Time(40),
+            MachineId(1),
+            [ev(pid, MigrationPhase::StateTransferred)],
+        );
+        tr.extend(
+            Time(55),
+            MachineId(1),
+            [ev(pid, MigrationPhase::ImageTransferred)],
+        );
+        tr.extend(
+            Time(60),
+            MachineId(0),
+            [ev(pid, MigrationPhase::PendingForwarded)],
+        );
+        tr.extend(Time(61), MachineId(0), [ev(pid, MigrationPhase::CleanedUp)]);
+        tr.extend(Time(62), MachineId(0), [ev(other, MigrationPhase::Aborted)]);
+        tr.extend(Time(70), MachineId(1), [ev(pid, MigrationPhase::Restarted)]);
+
+        let reports = migrations_of(&tr, pid);
+        assert_eq!(reports.len(), 2, "two attempts, two reports");
+        assert!(reports[0].failed, "first attempt aborted");
+        assert_eq!(reports[0].offered, Some(Time(15)));
+        assert!(reports[0].restarted.is_none());
+        assert_eq!(reports[0].total(), None);
+        assert!(!reports[1].failed, "second attempt completed");
+        assert_eq!(reports[1].frozen, Time(30));
+        assert_eq!(reports[1].restarted, Some(Time(70)));
+        assert_eq!(reports[1].total(), Some(Duration(40)));
+        // The interleaved process gets its own single (failed) report.
+        let others = migrations_of(&tr, other);
+        assert_eq!(others.len(), 1);
+        assert!(others[0].failed);
+        assert_eq!(others[0].frozen, Time(12));
+    }
+
+    #[test]
+    fn render_golden() {
+        let report = MigrationReport {
+            pid: ProcessId {
+                creating_machine: MachineId(0),
+                local_uid: 1,
+            },
+            frozen: Time(10),
+            offered: Some(Time(15)),
+            allocated: Some(Time(20)),
+            state_transferred: Some(Time(40)),
+            image_transferred: Some(Time(55)),
+            pending_forwarded: Some(Time(60)),
+            cleaned_up: Some(Time(61)),
+            restarted: Some(Time(70)),
+            failed: false,
+        };
+        assert_eq!(
+            render(&report),
+            "migration of p0.1:\n\
+             \x20 1 frozen               10us\n\
+             \x20 2 offered              15us\n\
+             \x20 3 allocated            20us\n\
+             \x20 4 state transferred    40us\n\
+             \x20 5 image transferred    55us\n\
+             \x20 6 pending forwarded    60us\n\
+             \x20 7 cleaned up           61us\n\
+             \x20 8 restarted            70us\n\
+             \x20 total freeze→restart   60us\n"
+        );
+        let aborted = MigrationReport {
+            offered: Some(Time(15)),
+            allocated: None,
+            state_transferred: None,
+            image_transferred: None,
+            pending_forwarded: None,
+            cleaned_up: None,
+            restarted: None,
+            failed: true,
+            ..report
+        };
+        let text = render(&aborted);
+        assert!(text.contains("  3 allocated            -\n"), "{text}");
+        assert!(text.ends_with("  (rejected/aborted)\n"), "{text}");
+        assert!(!text.contains("total freeze→restart"), "{text}");
     }
 
     #[test]
@@ -168,7 +284,12 @@ mod tests {
             })
             .build();
         let pid = cluster
-            .spawn(MachineId(0), "cargo", &Cargo::state(64), ImageLayout::default())
+            .spawn(
+                MachineId(0),
+                "cargo",
+                &Cargo::state(64),
+                ImageLayout::default(),
+            )
             .unwrap();
         cluster.run_for(demos_types::Duration::from_millis(5));
         cluster.migrate(pid, MachineId(1)).unwrap();

@@ -18,12 +18,18 @@ pub struct Trace {
 impl Trace {
     /// A trace that records (enabled).
     pub fn enabled() -> Self {
-        Trace { records: Vec::new(), enabled: true }
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// A trace that drops everything (for long benchmark runs).
     pub fn disabled() -> Self {
-        Trace { records: Vec::new(), enabled: false }
+        Trace {
+            records: Vec::new(),
+            enabled: false,
+        }
     }
 
     /// Whether events are being kept.
@@ -32,9 +38,18 @@ impl Trace {
     }
 
     /// Append events from a kernel outbox.
-    pub fn extend(&mut self, at: Time, machine: MachineId, events: impl IntoIterator<Item = TraceEvent>) {
+    pub fn extend(
+        &mut self,
+        at: Time,
+        machine: MachineId,
+        events: impl IntoIterator<Item = TraceEvent>,
+    ) {
         if self.enabled {
-            self.records.extend(events.into_iter().map(|event| TraceRecord { at, machine, event }));
+            self.records.extend(
+                events
+                    .into_iter()
+                    .map(|event| TraceRecord { at, machine, event }),
+            );
         }
     }
 
@@ -116,7 +131,10 @@ mod tests {
     use super::*;
 
     fn pid(u: u32) -> ProcessId {
-        ProcessId { creating_machine: MachineId(0), local_uid: u }
+        ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: u,
+        }
     }
 
     #[test]
@@ -126,18 +144,35 @@ mod tests {
             Time(5),
             MachineId(0),
             vec![
-                TraceEvent::Migration { pid: pid(1), phase: MigrationPhase::Frozen },
-                TraceEvent::ForwardedMessage { pid: pid(1), to: MachineId(1), msg_type: 7 },
+                TraceEvent::Migration {
+                    pid: pid(1),
+                    phase: MigrationPhase::Frozen,
+                },
+                TraceEvent::ForwardedMessage {
+                    corr: demos_types::CorrId::new(MachineId(0), 1),
+                    pid: pid(1),
+                    to: MachineId(1),
+                    msg_type: 7,
+                },
             ],
         );
         t.extend(
             Time(9),
             MachineId(1),
-            vec![TraceEvent::Migration { pid: pid(1), phase: MigrationPhase::Restarted }],
+            vec![TraceEvent::Migration {
+                pid: pid(1),
+                phase: MigrationPhase::Restarted,
+            }],
         );
         assert_eq!(t.len(), 3);
-        assert_eq!(t.phase_time(pid(1), MigrationPhase::Restarted, Time(0)), Some(Time(9)));
-        assert_eq!(t.phase_time(pid(1), MigrationPhase::Restarted, Time(10)), None);
+        assert_eq!(
+            t.phase_time(pid(1), MigrationPhase::Restarted, Time(0)),
+            Some(Time(9))
+        );
+        assert_eq!(
+            t.phase_time(pid(1), MigrationPhase::Restarted, Time(10)),
+            None
+        );
         assert_eq!(t.forwards_for(pid(1)), 1);
         assert_eq!(t.forwards_for(pid(2)), 0);
     }
@@ -145,7 +180,11 @@ mod tests {
     #[test]
     fn disabled_records_nothing() {
         let mut t = Trace::disabled();
-        t.extend(Time(0), MachineId(0), vec![TraceEvent::Exited { pid: pid(1) }]);
+        t.extend(
+            Time(0),
+            MachineId(0),
+            vec![TraceEvent::Exited { pid: pid(1) }],
+        );
         assert!(t.is_empty());
     }
 

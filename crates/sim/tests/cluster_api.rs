@@ -14,13 +14,25 @@ fn m(i: u16) -> MachineId {
 fn run_quiescent_stops_when_nothing_happens() {
     let mut cluster = Cluster::mesh(2);
     cluster
-        .spawn(m(0), "cpu_burner", &CpuBurner::state(10, 100, 1_000), ImageLayout::default())
+        .spawn(
+            m(0),
+            "cpu_burner",
+            &CpuBurner::state(10, 100, 1_000),
+            ImageLayout::default(),
+        )
         .unwrap();
     let end = cluster.run_quiescent(Duration::from_secs(60));
     // 10 iterations at 1ms period: finishes in ~11ms, nowhere near 60s.
     assert!(end < Time::from_micros(60_000_000));
-    assert!(end >= Time::from_micros(10_000), "ran at least the 10 periods");
-    assert_eq!(cluster.node(m(0)).kernel.nprocs(), 0, "burner exited on completion");
+    assert!(
+        end >= Time::from_micros(10_000),
+        "ran at least the 10 periods"
+    );
+    assert_eq!(
+        cluster.node(m(0)).kernel.nprocs(),
+        0,
+        "burner exited on completion"
+    );
 }
 
 #[test]
@@ -28,7 +40,12 @@ fn degrade_slows_and_restore_heals() {
     let run = |factor: f64| {
         let mut cluster = ClusterBuilder::new(1).seed(1).build();
         let pid = cluster
-            .spawn(m(0), "cpu_burner", &CpuBurner::state(0, 900, 100), ImageLayout::default())
+            .spawn(
+                m(0),
+                "cpu_burner",
+                &CpuBurner::state(0, 900, 100),
+                ImageLayout::default(),
+            )
             .unwrap();
         cluster.degrade(m(0), factor);
         cluster.run_for(Duration::from_millis(500));
@@ -60,7 +77,12 @@ fn health_reflects_state() {
 fn crashed_machine_stops_executing() {
     let mut cluster = Cluster::mesh(2);
     let pid = cluster
-        .spawn(m(0), "cpu_burner", &CpuBurner::state(0, 100, 1_000), ImageLayout::default())
+        .spawn(
+            m(0),
+            "cpu_burner",
+            &CpuBurner::state(0, 100, 1_000),
+            ImageLayout::default(),
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(50));
     let before = {
@@ -74,20 +96,32 @@ fn crashed_machine_stops_executing() {
         burner_done(&p.program.as_ref().unwrap().save())
     };
     assert_eq!(before, after, "no progress on a crashed machine");
-    assert_eq!(cluster.where_is(pid), None, "crashed processes are unreachable");
+    assert_eq!(
+        cluster.where_is(pid),
+        None,
+        "crashed processes are unreachable"
+    );
 }
 
 #[test]
 fn revive_gives_a_fresh_kernel() {
     let mut cluster = Cluster::mesh(2);
-    cluster.spawn(m(0), "cargo", &Cargo::state(64), ImageLayout::default()).unwrap();
+    cluster
+        .spawn(m(0), "cargo", &Cargo::state(64), ImageLayout::default())
+        .unwrap();
     assert_eq!(cluster.node(m(0)).kernel.nprocs(), 1);
     cluster.crash(m(0));
     cluster.revive(m(0));
     assert!(!cluster.is_crashed(m(0)));
-    assert_eq!(cluster.node(m(0)).kernel.nprocs(), 0, "processes died with the crash");
+    assert_eq!(
+        cluster.node(m(0)).kernel.nprocs(),
+        0,
+        "processes died with the crash"
+    );
     // The revived machine works: spawn + run on it.
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(16), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(16), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(10));
     assert_eq!(cluster.where_is(pid), Some(m(0)));
 }
@@ -98,15 +132,31 @@ fn post_dtk_query_status_roundtrip() {
     // reply link — exercised here through the public harness API plus a
     // probe process that records the reply.
     let mut cluster = Cluster::mesh(2);
-    let target = cluster.spawn(m(1), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
+    let target = cluster
+        .spawn(m(1), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(5));
-    cluster.post_dtk(target, m(1), demos_types::tags::KERNEL_OP, KernelOp::Suspend.to_bytes()).unwrap();
+    cluster
+        .post_dtk(
+            target,
+            m(1),
+            demos_types::tags::KERNEL_OP,
+            KernelOp::Suspend.to_bytes(),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_millis(50));
     assert_eq!(
         cluster.node(m(1)).kernel.process(target).unwrap().status,
         ExecStatus::Suspended
     );
-    cluster.post_dtk(target, m(1), demos_types::tags::KERNEL_OP, KernelOp::Resume.to_bytes()).unwrap();
+    cluster
+        .post_dtk(
+            target,
+            m(1),
+            demos_types::tags::KERNEL_OP,
+            KernelOp::Resume.to_bytes(),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_millis(50));
     assert_ne!(
         cluster.node(m(1)).kernel.process(target).unwrap().status,
@@ -120,13 +170,22 @@ fn dtk_follows_forwarding_addresses() {
     // kernel at its new home (§2.2: "without worrying about which
     // processor the process is on — or is moving to").
     let mut cluster = Cluster::mesh(3);
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(5));
     cluster.migrate(pid, m(2)).unwrap();
     cluster.run_for(Duration::from_millis(400));
     assert_eq!(cluster.where_is(pid), Some(m(2)));
     // Address the Suspend to the OLD machine.
-    cluster.post_dtk(pid, m(0), demos_types::tags::KERNEL_OP, KernelOp::Suspend.to_bytes()).unwrap();
+    cluster
+        .post_dtk(
+            pid,
+            m(0),
+            demos_types::tags::KERNEL_OP,
+            KernelOp::Suspend.to_bytes(),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_millis(100));
     assert_eq!(
         cluster.node(m(2)).kernel.process(pid).unwrap().status,
@@ -137,19 +196,35 @@ fn dtk_follows_forwarding_addresses() {
 
 #[test]
 fn capacity_rejection_on_spawn() {
-    let kcfg = KernelConfig { max_processes: 2, ..Default::default() };
+    let kcfg = KernelConfig {
+        max_processes: 2,
+        ..Default::default()
+    };
     let mut cluster = ClusterBuilder::new(1).kernel_config(kcfg).build();
-    cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
-    cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
-    assert!(cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).is_err());
+    cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
+    cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
+    assert!(cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .is_err());
 }
 
 #[test]
 fn capacity_rejection_on_migration() {
-    let kcfg = KernelConfig { max_processes: 1, ..Default::default() };
+    let kcfg = KernelConfig {
+        max_processes: 1,
+        ..Default::default()
+    };
     let mut cluster = ClusterBuilder::new(2).kernel_config(kcfg).build();
-    let a = cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
-    let _b = cluster.spawn(m(1), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
+    let a = cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
+    let _b = cluster
+        .spawn(m(1), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(5));
     // m1 is full: the offer is rejected with Capacity and `a` stays put.
     cluster.migrate(a, m(1)).unwrap();
@@ -163,15 +238,28 @@ fn gc_disabled_keeps_forwarding_addresses() {
     // Paper default: "we have not found it necessary to remove forwarding
     // addresses."
     let mut cluster = Cluster::mesh(3); // gc_forwarding = false by default
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(5));
     cluster.migrate(pid, m(1)).unwrap();
     cluster.run_for(Duration::from_millis(300));
-    cluster.post_dtk(pid, m(1), demos_types::tags::KERNEL_OP, KernelOp::Kill.to_bytes()).unwrap();
+    cluster
+        .post_dtk(
+            pid,
+            m(1),
+            demos_types::tags::KERNEL_OP,
+            KernelOp::Kill.to_bytes(),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_millis(300));
     assert!(cluster.where_is(pid).is_none());
     assert!(
-        cluster.node(m(0)).kernel.forwarding_table().contains_key(&pid),
+        cluster
+            .node(m(0))
+            .kernel
+            .forwarding_table()
+            .contains_key(&pid),
         "entry survives the process (paper default)"
     );
 }

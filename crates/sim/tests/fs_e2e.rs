@@ -1,7 +1,9 @@
 //! File-system tests, culminating in the paper's own hard case: migrating
 //! a file-system process while several user processes perform I/O (§2.3).
 
-use demos_sim::boot::{boot_system, spawn_fs_clients, total_client_errors, total_client_ops, BootConfig};
+use demos_sim::boot::{
+    boot_system, spawn_fs_clients, total_client_errors, total_client_ops, BootConfig,
+};
 use demos_sim::prelude::*;
 
 fn m(i: u16) -> MachineId {
@@ -34,7 +36,11 @@ fn data_written_is_data_read() {
     cluster.run_for(Duration::from_secs(1));
     let ops = total_client_ops(&cluster, &clients);
     assert!(ops > 100);
-    assert_eq!(total_client_errors(&cluster, &clients), 0, "mixed read/write stream is clean");
+    assert_eq!(
+        total_client_errors(&cluster, &clients),
+        0,
+        "mixed read/write stream is clean"
+    );
 }
 
 #[test]
@@ -57,8 +63,15 @@ fn migrate_file_server_under_client_io() {
 
     assert_eq!(cluster.where_is(handles.fs_file), Some(m(3)));
     let after = total_client_ops(&cluster, &all);
-    assert!(after > before + 20, "I/O continued through the migration: {before} → {after}");
-    assert_eq!(total_client_errors(&cluster, &all), 0, "no client observed an error");
+    assert!(
+        after > before + 20,
+        "I/O continued through the migration: {before} → {after}"
+    );
+    assert_eq!(
+        total_client_errors(&cluster, &all),
+        0,
+        "no client observed an error"
+    );
 
     // The server had many stale links pointing at it (the hard case of
     // §2.4/§5); they were forwarded and then updated.
@@ -88,7 +101,10 @@ fn migrate_disk_server_under_io() {
 
     assert_eq!(cluster.where_is(handles.fs_disk), Some(m(2)));
     let after = total_client_ops(&cluster, &clients);
-    assert!(after > before, "I/O resumed after the disk server moved: {before} → {after}");
+    assert!(
+        after > before,
+        "I/O resumed after the disk server moved: {before} → {after}"
+    );
     assert_eq!(total_client_errors(&cluster, &clients), 0);
 }
 
@@ -99,7 +115,12 @@ fn migrate_whole_fs_quartet_sequentially() {
     let clients = spawn_fs_clients(&mut cluster, &handles, m(1), 1, 1, 3_000, 128, 50).unwrap();
     cluster.run_for(Duration::from_millis(300));
 
-    for pid in [handles.fs_dir, handles.fs_cache, handles.fs_file, handles.fs_disk] {
+    for pid in [
+        handles.fs_dir,
+        handles.fs_cache,
+        handles.fs_file,
+        handles.fs_disk,
+    ] {
         cluster.migrate(pid, m(2)).unwrap();
         cluster.run_for(Duration::from_millis(600));
         assert_eq!(cluster.where_is(pid), Some(m(2)), "{pid} moved");
@@ -107,14 +128,17 @@ fn migrate_whole_fs_quartet_sequentially() {
     let before = total_client_ops(&cluster, &clients);
     cluster.run_for(Duration::from_millis(500));
     let after = total_client_ops(&cluster, &clients);
-    assert!(after > before, "file system fully relocated and still serving: {before} → {after}");
+    assert!(
+        after > before,
+        "file system fully relocated and still serving: {before} → {after}"
+    );
     assert_eq!(total_client_errors(&cluster, &clients), 0);
 }
 
 #[test]
 fn switchboard_lookup_roundtrip() {
     // A client process can discover the fs through the switchboard.
-    use demos_sysproc::{SbMsg, sys};
+    use demos_sysproc::{sys, SbMsg};
     use demos_types::wire::Wire;
 
     let mut cluster = Cluster::mesh(2);
@@ -124,7 +148,12 @@ fn switchboard_lookup_roundtrip() {
     // Post a Lookup whose reply goes to a cargo process; the carried link
     // in the reply proves distribution works.
     let probe = cluster
-        .spawn(m(1), "cargo", &demos_sim::programs::Cargo::state(0), ImageLayout::default())
+        .spawn(
+            m(1),
+            "cargo",
+            &demos_sim::programs::Cargo::state(0),
+            ImageLayout::default(),
+        )
         .unwrap();
     let reply = cluster.link_to(probe).unwrap();
     cluster

@@ -16,7 +16,9 @@ fn m(i: u16) -> MachineId {
 }
 
 fn pattern(op: u64, len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((op * 37 + i as u64 * 11) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((op * 37 + i as u64 * 11) % 251) as u8)
+        .collect()
 }
 
 /// Writes `pattern(k)` to file slot `k % files`, then immediately reads it
@@ -39,7 +41,11 @@ const OP_BYTES: usize = 96;
 
 impl Verifier {
     fn state(files: u16) -> Vec<u8> {
-        Verifier { files, ..Default::default() }.save()
+        Verifier {
+            files,
+            ..Default::default()
+        }
+        .save()
     }
 
     fn restore(state: &[u8]) -> Box<dyn Program> {
@@ -80,7 +86,12 @@ impl Verifier {
             bytes: Bytes::from(pattern(self.op, OP_BYTES)),
         };
         self.phase = 1;
-        let _ = ctx.send(LinkIdx(self.server), sys::FS, req.to_bytes(), &[Carry::New(LinkAttrs::REPLY)]);
+        let _ = ctx.send(
+            LinkIdx(self.server),
+            sys::FS,
+            req.to_bytes(),
+            &[Carry::New(LinkAttrs::REPLY)],
+        );
     }
 }
 
@@ -97,7 +108,9 @@ impl Program for Verifier {
             x if x == sys::FS => {}
             _ => return,
         }
-        let Ok(reply) = FsMsg::from_bytes(&msg.payload) else { return };
+        let Ok(reply) = FsMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         match (self.phase, reply) {
             (0, FsMsg::Done { fid, .. }) => {
                 // A create completed.
@@ -111,7 +124,11 @@ impl Program for Verifier {
             }
             (1, FsMsg::Done { .. }) => {
                 // Write acked: read it back.
-                let req = FsMsg::Read { fid: self.fid(), off: self.off(), len: OP_BYTES as u32 };
+                let req = FsMsg::Read {
+                    fid: self.fid(),
+                    off: self.off(),
+                    len: OP_BYTES as u32,
+                };
                 self.phase = 2;
                 let _ = ctx.send(
                     LinkIdx(self.server),
@@ -170,7 +187,15 @@ impl Program for Verifier {
 
 fn stats(cluster: &Cluster, pid: ProcessId) -> (u64, u64, u64) {
     let machine = cluster.where_is(pid).unwrap();
-    let s = cluster.node(machine).kernel.process(pid).unwrap().program.as_ref().unwrap().save();
+    let s = cluster
+        .node(machine)
+        .kernel
+        .process(pid)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
     let mut b = Bytes::copy_from_slice(&s);
     b.advance(4 + 2 + 2 + 8 + 1);
     (b.get_u64(), b.get_u64(), b.get_u64())
@@ -180,10 +205,26 @@ fn build() -> (Cluster, ProcessId) {
     let mut cluster = ClusterBuilder::new(4)
         .register("verifier", Verifier::restore)
         .build();
-    let handles = boot_system(&mut cluster, BootConfig { cache_blocks: 2, ..Default::default() }).unwrap();
-    let v = cluster.spawn(m(1), "verifier", &Verifier::state(3), ImageLayout::default()).unwrap();
+    let handles = boot_system(
+        &mut cluster,
+        BootConfig {
+            cache_blocks: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let v = cluster
+        .spawn(
+            m(1),
+            "verifier",
+            &Verifier::state(3),
+            ImageLayout::default(),
+        )
+        .unwrap();
     let server = cluster.link_to(handles.fs_file).unwrap();
-    cluster.post(v, wl::INIT, Bytes::new(), vec![server]).unwrap();
+    cluster
+        .post(v, wl::INIT, Bytes::new(), vec![server])
+        .unwrap();
     (cluster, v)
 }
 
@@ -206,7 +247,10 @@ fn integrity_holds_across_cache_eviction() {
     cluster.run_for(Duration::from_secs(3));
     let (verified, mismatches, _) = stats(&cluster, v);
     assert!(verified > 50);
-    assert_eq!(mismatches, 0, "write-through + eviction never served stale bytes");
+    assert_eq!(
+        mismatches, 0,
+        "write-through + eviction never served stale bytes"
+    );
 }
 
 #[test]
@@ -214,10 +258,26 @@ fn integrity_holds_while_every_fs_process_migrates() {
     let mut cluster = ClusterBuilder::new(4)
         .register("verifier", Verifier::restore)
         .build();
-    let handles = boot_system(&mut cluster, BootConfig { cache_blocks: 4, ..Default::default() }).unwrap();
-    let v = cluster.spawn(m(1), "verifier", &Verifier::state(2), ImageLayout::default()).unwrap();
+    let handles = boot_system(
+        &mut cluster,
+        BootConfig {
+            cache_blocks: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let v = cluster
+        .spawn(
+            m(1),
+            "verifier",
+            &Verifier::state(2),
+            ImageLayout::default(),
+        )
+        .unwrap();
     let server = cluster.link_to(handles.fs_file).unwrap();
-    cluster.post(v, wl::INIT, Bytes::new(), vec![server]).unwrap();
+    cluster
+        .post(v, wl::INIT, Bytes::new(), vec![server])
+        .unwrap();
     cluster.run_for(Duration::from_millis(500));
 
     for (pid, dest) in [

@@ -90,7 +90,15 @@ impl Program for Introducer {
 
 fn counter(cluster: &Cluster, pid: ProcessId) -> u64 {
     let machine = cluster.where_is(pid).unwrap();
-    let s = cluster.node(machine).kernel.process(pid).unwrap().program.as_ref().unwrap().save();
+    let s = cluster
+        .node(machine)
+        .kernel
+        .process(pid)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
     let mut b = Bytes::copy_from_slice(&s);
     b.get_u64()
 }
@@ -104,12 +112,20 @@ fn carried_link_survives_hold_and_forward() {
         .build();
 
     // A (introducer, m0) will hand B (introducee, m1) a link to C (target, m2).
-    let a = cluster.spawn(m(0), "introducer", &[0u8; 8], ImageLayout::default()).unwrap();
-    let b = cluster.spawn(m(1), "introducee", &[0u8; 8], ImageLayout::default()).unwrap();
-    let c = cluster.spawn(m(2), "target", &[0u8; 8], ImageLayout::default()).unwrap();
+    let a = cluster
+        .spawn(m(0), "introducer", &[0u8; 8], ImageLayout::default())
+        .unwrap();
+    let b = cluster
+        .spawn(m(1), "introducee", &[0u8; 8], ImageLayout::default())
+        .unwrap();
+    let c = cluster
+        .spawn(m(2), "target", &[0u8; 8], ImageLayout::default())
+        .unwrap();
     let lb = cluster.link_to(b).unwrap();
     let lc = cluster.link_to(c).unwrap();
-    cluster.post(a, wl::INIT, Bytes::new(), vec![lb, lc]).unwrap();
+    cluster
+        .post(a, wl::INIT, Bytes::new(), vec![lb, lc])
+        .unwrap();
     cluster.run_for(Duration::from_millis(20));
 
     // Freeze B by starting its migration, then fire the handoff so the
@@ -120,8 +136,16 @@ fn carried_link_survives_hold_and_forward() {
     cluster.run_for(Duration::from_millis(600));
 
     assert_eq!(cluster.where_is(b), Some(m(3)), "B migrated");
-    assert_eq!(counter(&cluster, b), 1, "B received the handoff at its new home and used the link");
-    assert_eq!(counter(&cluster, c), 1, "the carried link worked from the new location");
+    assert_eq!(
+        counter(&cluster, b),
+        1,
+        "B received the handoff at its new home and used the link"
+    );
+    assert_eq!(
+        counter(&cluster, c),
+        1,
+        "the carried link worked from the new location"
+    );
 }
 
 #[test]
@@ -133,12 +157,20 @@ fn carried_link_to_a_migrated_target_still_resolves() {
         .register("target", |_| Box::<Target>::default())
         .register("introducer", |_| Box::<Introducer>::default())
         .build();
-    let a = cluster.spawn(m(0), "introducer", &[0u8; 8], ImageLayout::default()).unwrap();
-    let b = cluster.spawn(m(1), "introducee", &[0u8; 8], ImageLayout::default()).unwrap();
-    let c = cluster.spawn(m(2), "target", &[0u8; 8], ImageLayout::default()).unwrap();
+    let a = cluster
+        .spawn(m(0), "introducer", &[0u8; 8], ImageLayout::default())
+        .unwrap();
+    let b = cluster
+        .spawn(m(1), "introducee", &[0u8; 8], ImageLayout::default())
+        .unwrap();
+    let c = cluster
+        .spawn(m(2), "target", &[0u8; 8], ImageLayout::default())
+        .unwrap();
     let lb = cluster.link_to(b).unwrap();
     let lc = cluster.link_to(c).unwrap();
-    cluster.post(a, wl::INIT, Bytes::new(), vec![lb, lc]).unwrap();
+    cluster
+        .post(a, wl::INIT, Bytes::new(), vec![lb, lc])
+        .unwrap();
     cluster.run_for(Duration::from_millis(20));
 
     // C moves away; A's stored link (and the one it will hand over) is now
@@ -148,7 +180,11 @@ fn carried_link_to_a_migrated_target_still_resolves() {
     cluster.post(a, GO, Bytes::new(), vec![]).unwrap();
     cluster.run_for(Duration::from_millis(300));
 
-    assert_eq!(counter(&cluster, c), 1, "poke reached C at its new home via forwarding");
+    assert_eq!(
+        counter(&cluster, c),
+        1,
+        "poke reached C at its new home via forwarding"
+    );
     assert!(cluster.trace().forwards_for(c) >= 1);
     // And B's copy of the link got patched by the update.
     let bm = cluster.where_is(b).unwrap();

@@ -12,12 +12,40 @@ fn m(i: u16) -> MachineId {
 /// Spawn a pair of ping-pong processes on two machines, linked together,
 /// with the first serving the ball.
 fn pingpong_pair(cluster: &mut Cluster, a: MachineId, b: MachineId) -> (ProcessId, ProcessId) {
-    let pa = cluster.spawn(a, "pingpong", &PingPong::state(0, 50), ImageLayout::default()).unwrap();
-    let pb = cluster.spawn(b, "pingpong", &PingPong::state(0, 50), ImageLayout::default()).unwrap();
+    let pa = cluster
+        .spawn(
+            a,
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
+        .unwrap();
+    let pb = cluster
+        .spawn(
+            b,
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
+        .unwrap();
     let la = cluster.link_to(pa).unwrap();
     let lb = cluster.link_to(pb).unwrap();
-    cluster.post(pa, programs::wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
-    cluster.post(pb, programs::wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster
+        .post(
+            pa,
+            programs::wl::INIT,
+            bytes::Bytes::from_static(&[1]),
+            vec![lb],
+        )
+        .unwrap();
+    cluster
+        .post(
+            pb,
+            programs::wl::INIT,
+            bytes::Bytes::from_static(&[0]),
+            vec![la],
+        )
+        .unwrap();
     (pa, pb)
 }
 
@@ -32,14 +60,20 @@ fn pingpong_runs_across_machines() {
     let mut cluster = Cluster::mesh(2);
     let (pa, pb) = pingpong_pair(&mut cluster, m(0), m(1));
     cluster.run_for(Duration::from_millis(200));
-    assert!(rallies(&cluster, pa) > 10, "rallies: {}", rallies(&cluster, pa));
+    assert!(
+        rallies(&cluster, pa) > 10,
+        "rallies: {}",
+        rallies(&cluster, pa)
+    );
     assert!(rallies(&cluster, pb) > 10);
 }
 
 #[test]
 fn migrate_idle_process_preserves_state() {
     let mut cluster = Cluster::mesh(3);
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(10_000), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(10_000), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(10));
     assert_eq!(cluster.where_is(pid), Some(m(0)));
 
@@ -87,17 +121,29 @@ fn migration_is_transparent_to_peer() {
 
     assert_eq!(cluster.where_is(pb), Some(m(2)));
     let after = rallies(&cluster, pa);
-    assert!(after > before + 10, "rallies continue after migration: {before} → {after}");
+    assert!(
+        after > before + 10,
+        "rallies continue after migration: {before} → {after}"
+    );
 
     // pa's durable link to pb was updated by the §5 mechanism: a message
     // sent on the stale link was forwarded, the forwarding kernel told
     // pa's kernel, and pa's link table got patched.
-    assert!(cluster.trace().forwards_for(pb) >= 1, "at least one message was forwarded");
-    assert!(cluster.trace().link_updates_for(pa) >= 1, "pa's links were updated");
+    assert!(
+        cluster.trace().forwards_for(pb) >= 1,
+        "at least one message was forwarded"
+    );
+    assert!(
+        cluster.trace().link_updates_for(pa) >= 1,
+        "pa's links were updated"
+    );
     let pa_machine = cluster.where_is(pa).unwrap();
     let pa_proc = cluster.node(pa_machine).kernel.process(pa).unwrap();
-    let peer_links: Vec<_> =
-        pa_proc.links.iter().filter(|(_, l)| l.target() == pb).collect();
+    let peer_links: Vec<_> = pa_proc
+        .links
+        .iter()
+        .filter(|(_, l)| l.target() == pb)
+        .collect();
     assert!(!peer_links.is_empty());
     for (_, l) in peer_links {
         assert_eq!(l.addr.last_known_machine, m(2), "stale link was rehomed");
@@ -118,13 +164,20 @@ fn migration_is_transparent_to_peer() {
 #[test]
 fn pending_queue_forwarded_on_migration() {
     let mut cluster = Cluster::mesh(2);
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(100), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(100), ImageLayout::default())
+        .unwrap();
     cluster.run_for(Duration::from_millis(5));
     // Freeze indirectly: suspend so messages pile up, then migrate.
     cluster.node_mut(m(0)).kernel.suspend(pid);
     for i in 0..20u8 {
         cluster
-            .post(pid, tags::USER_BASE + 9, bytes::Bytes::copy_from_slice(&[i]), vec![])
+            .post(
+                pid,
+                tags::USER_BASE + 9,
+                bytes::Bytes::copy_from_slice(&[i]),
+                vec![],
+            )
             .unwrap();
     }
     {
@@ -135,14 +188,25 @@ fn pending_queue_forwarded_on_migration() {
     cluster.run_for(Duration::from_millis(500));
     assert_eq!(cluster.where_is(pid), Some(m(1)));
     let proc = cluster.node(m(1)).kernel.process(pid).unwrap();
-    assert_eq!(proc.queue.len(), 20, "all queued messages forwarded (step 6)");
-    assert_eq!(proc.status, ExecStatus::Suspended, "status preserved (step 1)");
+    assert_eq!(
+        proc.queue.len(),
+        20,
+        "all queued messages forwarded (step 6)"
+    );
+    assert_eq!(
+        proc.status,
+        ExecStatus::Suspended,
+        "status preserved (step 1)"
+    );
     // Resume and let it consume them.
     cluster.node_mut(m(1)).kernel.resume(pid);
     cluster.run_for(Duration::from_millis(50));
     let proc = cluster.node(m(1)).kernel.process(pid).unwrap();
     let received = cargo_received(&proc.program.as_ref().unwrap().save());
-    assert_eq!(received, 20, "every held message was delivered exactly once");
+    assert_eq!(
+        received, 20,
+        "every held message was delivered exactly once"
+    );
 }
 
 #[test]
@@ -186,7 +250,10 @@ fn deterministic_replay() {
 #[test]
 fn rejected_migration_resumes_at_source() {
     let mut cluster = ClusterBuilder::new(2)
-        .migration_config(MigrationConfig { accept: AcceptPolicy::Never, ..Default::default() })
+        .migration_config(MigrationConfig {
+            accept: AcceptPolicy::Never,
+            ..Default::default()
+        })
         .build();
     let (pa, pb) = pingpong_pair(&mut cluster, m(0), m(1));
     cluster.run_for(Duration::from_millis(50));
@@ -195,7 +262,10 @@ fn rejected_migration_resumes_at_source() {
     cluster.run_for(Duration::from_millis(300));
     // Rejected by policy: still at m1, still rallying.
     assert_eq!(cluster.where_is(pb), Some(m(1)));
-    assert!(rallies(&cluster, pb) > before, "process thawed after rejection");
+    assert!(
+        rallies(&cluster, pb) > before,
+        "process thawed after rejection"
+    );
     assert_eq!(cluster.node(m(1)).engine.stats().aborted, 1);
     assert_eq!(cluster.node(m(0)).engine.stats().rejected, 1);
     let _ = pa;
@@ -204,9 +274,14 @@ fn rejected_migration_resumes_at_source() {
 #[test]
 fn migrate_errors() {
     let mut cluster = Cluster::mesh(2);
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(0), ImageLayout::default())
+        .unwrap();
     // Unknown process.
-    let ghost = ProcessId { creating_machine: m(1), local_uid: 999 };
+    let ghost = ProcessId {
+        creating_machine: m(1),
+        local_uid: 999,
+    };
     assert!(cluster.migrate(ghost, m(1)).is_err());
     // Migration to self.
     assert!(cluster.migrate(pid, m(0)).is_err());
@@ -218,7 +293,12 @@ fn timer_survives_migration() {
     // must fire at the destination.
     let mut cluster = Cluster::mesh(2);
     let pid = cluster
-        .spawn(m(0), "cpu_burner", &demos_sim::programs::CpuBurner::state(0, 100, 5_000), ImageLayout::default())
+        .spawn(
+            m(0),
+            "cpu_burner",
+            &demos_sim::programs::CpuBurner::state(0, 100, 5_000),
+            ImageLayout::default(),
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(50));
     let before = {
@@ -233,7 +313,10 @@ fn timer_survives_migration() {
         let p = cluster.node(m(1)).kernel.process(pid).unwrap();
         demos_sim::programs::burner_done(&p.program.as_ref().unwrap().save())
     };
-    assert!(after > before + 10, "burner keeps ticking at destination: {before} → {after}");
+    assert!(
+        after > before + 10,
+        "burner keeps ticking at destination: {before} → {after}"
+    );
 }
 
 #[test]
@@ -259,8 +342,15 @@ fn nondeliverable_after_kill_marks_links_dead() {
         .links
         .iter()
         .filter(|(_, l)| l.target() == pb)
-        .all(|(_, l)| l.attrs.contains(<LinkAttrs as demos_kernel::LinkAttrsExt>::DEAD));
+        .all(|(_, l)| {
+            l.attrs
+                .contains(<LinkAttrs as demos_kernel::LinkAttrsExt>::DEAD)
+        });
     assert!(dead, "links to the dead process are marked DEAD");
-    let idx = pa_proc.links.iter().find(|(_, l)| l.target() == pb).map(|(i, _)| i);
+    let idx = pa_proc
+        .links
+        .iter()
+        .find(|(_, l)| l.target() == pb)
+        .map(|(i, _)| i);
     let _: Option<LinkIdx> = idx;
 }

@@ -28,7 +28,9 @@ impl BufferHost {
         (0..Self::LEN).map(|i| (i % 251) as u8).collect()
     }
     fn restore(state: &[u8]) -> Box<dyn Program> {
-        Box::new(BufferHost { buf: state.to_vec() })
+        Box::new(BufferHost {
+            buf: state.to_vec(),
+        })
     }
 }
 
@@ -44,7 +46,10 @@ impl Program for BufferHost {
                     Bytes::new(),
                     &[Carry::NewArea(
                         LinkAttrs::DATA_READ | LinkAttrs::DATA_WRITE,
-                        DataArea { offset: 4, len: BufferHost::LEN },
+                        DataArea {
+                            offset: 4,
+                            len: BufferHost::LEN,
+                        },
                     )],
                 );
             }
@@ -143,7 +148,15 @@ fn build() -> Cluster {
 
 fn copier_done(cluster: &Cluster, pid: ProcessId) -> Vec<(u16, u8, u32)> {
     let machine = cluster.where_is(pid).unwrap();
-    let state = cluster.node(machine).kernel.process(pid).unwrap().program.as_ref().unwrap().save();
+    let state = cluster
+        .node(machine)
+        .kernel
+        .process(pid)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
     let mut b = Bytes::copy_from_slice(&state[4..]);
     let mut out = Vec::new();
     while b.remaining() >= 7 {
@@ -154,13 +167,22 @@ fn copier_done(cluster: &Cluster, pid: ProcessId) -> Vec<(u16, u8, u32)> {
 
 fn setup(cluster: &mut Cluster) -> (ProcessId, ProcessId) {
     let host = cluster
-        .spawn(m(0), "buffer_host", &BufferHost::state(), ImageLayout::default())
+        .spawn(
+            m(0),
+            "buffer_host",
+            &BufferHost::state(),
+            ImageLayout::default(),
+        )
         .unwrap();
-    let copier = cluster.spawn(m(1), "copier", &[0u8; 4], ImageLayout::default()).unwrap();
+    let copier = cluster
+        .spawn(m(1), "copier", &[0u8; 4], ImageLayout::default())
+        .unwrap();
     // The copier asks for a grant: post a GRANT to the host with the
     // copier as reply target.
     let reply = cluster.link_to(copier).unwrap();
-    cluster.post(host, GRANT, Bytes::new(), vec![reply]).unwrap();
+    cluster
+        .post(host, GRANT, Bytes::new(), vec![reply])
+        .unwrap();
     cluster.run_for(Duration::from_millis(50));
     (host, copier)
 }
@@ -177,7 +199,15 @@ fn remote_read_through_area_link() {
     // The bytes landed in the copier's data segment at offset 100 and
     // match the host's live buffer pattern.
     let cm = cluster.where_is(copier).unwrap();
-    let data = cluster.node(cm).kernel.process(copier).unwrap().image.read_data(100, 600).unwrap().to_vec();
+    let data = cluster
+        .node(cm)
+        .kernel
+        .process(copier)
+        .unwrap()
+        .image
+        .read_data(100, 600)
+        .unwrap()
+        .to_vec();
     let expect: Vec<u8> = (0..600u32).map(|i| (i % 251) as u8).collect();
     assert_eq!(data, expect);
     let _ = host;
@@ -187,18 +217,40 @@ fn remote_read_through_area_link() {
 fn remote_write_through_area_link_reaches_program() {
     let mut cluster = build();
     let (host, copier) = setup(&mut cluster);
-    cluster.post(copier, GO_WRITE, Bytes::new(), vec![]).unwrap();
+    cluster
+        .post(copier, GO_WRITE, Bytes::new(), vec![])
+        .unwrap();
     cluster.run_for(Duration::from_millis(200));
 
     let done = copier_done(&cluster, copier);
-    assert_eq!(done, vec![(2, 0, 64)], "write confirmed end-to-end: {done:?}");
+    assert_eq!(
+        done,
+        vec![(2, 0, 64)],
+        "write confirmed end-to-end: {done:?}"
+    );
     // The host *program* saw the write (on_data_write hook): its saved
     // buffer shows the copier's zero bytes at 512..576.
     let hm = cluster.where_is(host).unwrap();
-    let buf = cluster.node(hm).kernel.process(host).unwrap().program.as_ref().unwrap().save();
+    let buf = cluster
+        .node(hm)
+        .kernel
+        .process(host)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
     assert!(buf[512..576].iter().all(|&b| b == 0), "written region");
-    assert_eq!(buf[511], (511 % 251) as u8, "byte before window edge untouched");
-    assert_eq!(buf[576], (576 % 251) as u8, "byte after written range untouched");
+    assert_eq!(
+        buf[511],
+        (511 % 251) as u8,
+        "byte before window edge untouched"
+    );
+    assert_eq!(
+        buf[576],
+        (576 % 251) as u8,
+        "byte after written range untouched"
+    );
 }
 
 #[test]
@@ -207,13 +259,26 @@ fn write_survives_host_migration_afterwards() {
     // migrates with the process.
     let mut cluster = build();
     let (host, copier) = setup(&mut cluster);
-    cluster.post(copier, GO_WRITE, Bytes::new(), vec![]).unwrap();
+    cluster
+        .post(copier, GO_WRITE, Bytes::new(), vec![])
+        .unwrap();
     cluster.run_for(Duration::from_millis(200));
     cluster.migrate(host, m(2)).unwrap();
     cluster.run_for(Duration::from_millis(400));
     assert_eq!(cluster.where_is(host), Some(m(2)));
-    let buf = cluster.node(m(2)).kernel.process(host).unwrap().program.as_ref().unwrap().save();
-    assert!(buf[512..576].iter().all(|&b| b == 0), "remote write survived migration");
+    let buf = cluster
+        .node(m(2))
+        .kernel
+        .process(host)
+        .unwrap()
+        .program
+        .as_ref()
+        .unwrap()
+        .save();
+    assert!(
+        buf[512..576].iter().all(|&b| b == 0),
+        "remote write survived migration"
+    );
 }
 
 #[test]
@@ -227,8 +292,15 @@ fn read_follows_host_after_migration() {
     cluster.post(copier, GO_READ, Bytes::new(), vec![]).unwrap();
     cluster.run_for(Duration::from_millis(300));
     let done = copier_done(&cluster, copier);
-    assert_eq!(done, vec![(1, 0, 600)], "read served from the new home: {done:?}");
-    assert!(cluster.trace().forwards_for(host) >= 1, "request was forwarded");
+    assert_eq!(
+        done,
+        vec![(1, 0, 600)],
+        "read served from the new home: {done:?}"
+    );
+    assert!(
+        cluster.trace().forwards_for(host) >= 1,
+        "request was forwarded"
+    );
 }
 
 #[test]

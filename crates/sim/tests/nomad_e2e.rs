@@ -11,10 +11,17 @@ fn nomad_hops_the_cluster_by_its_own_request() {
     let mut cluster = Cluster::mesh(n as usize);
     let handles = boot_system(&mut cluster, BootConfig::default()).unwrap();
     let nomad = cluster
-        .spawn(MachineId(1), "nomad", &Nomad::state(n, 20_000), ImageLayout::default())
+        .spawn(
+            MachineId(1),
+            "nomad",
+            &Nomad::state(n, 20_000),
+            ImageLayout::default(),
+        )
         .unwrap();
     let pm = cluster.link_to(handles.procmgr).unwrap();
-    cluster.post(nomad, wl::INIT, bytes::Bytes::new(), vec![pm]).unwrap();
+    cluster
+        .post(nomad, wl::INIT, bytes::Bytes::new(), vec![pm])
+        .unwrap();
 
     cluster.run_for(Duration::from_secs(2));
 
@@ -27,9 +34,18 @@ fn nomad_hops_the_cluster_by_its_own_request() {
     assert_eq!(p.migrations as u64, hops, "kernel agrees on the hop count");
     // It visited several machines: forwarding addresses mark the trail.
     let machines_with_entries = (0..n)
-        .filter(|&i| cluster.node(MachineId(i)).kernel.forwarding_table().contains_key(&nomad))
+        .filter(|&i| {
+            cluster
+                .node(MachineId(i))
+                .kernel
+                .forwarding_table()
+                .contains_key(&nomad)
+        })
         .count();
-    assert!(machines_with_entries >= 2, "trail of forwarding addresses: {machines_with_entries}");
+    assert!(
+        machines_with_entries >= 2,
+        "trail of forwarding addresses: {machines_with_entries}"
+    );
 }
 
 #[test]
@@ -40,10 +56,17 @@ fn nomad_survives_pm_migration() {
     let mut cluster = Cluster::mesh(n as usize);
     let handles = boot_system(&mut cluster, BootConfig::default()).unwrap();
     let nomad = cluster
-        .spawn(MachineId(1), "nomad", &Nomad::state(n, 30_000), ImageLayout::default())
+        .spawn(
+            MachineId(1),
+            "nomad",
+            &Nomad::state(n, 30_000),
+            ImageLayout::default(),
+        )
         .unwrap();
     let pm = cluster.link_to(handles.procmgr).unwrap();
-    cluster.post(nomad, wl::INIT, bytes::Bytes::new(), vec![pm]).unwrap();
+    cluster
+        .post(nomad, wl::INIT, bytes::Bytes::new(), vec![pm])
+        .unwrap();
     cluster.run_for(Duration::from_millis(500));
 
     cluster.migrate(handles.procmgr, MachineId(2)).unwrap();
@@ -52,6 +75,9 @@ fn nomad_survives_pm_migration() {
     let machine = cluster.where_is(nomad).unwrap();
     let p = cluster.node(machine).kernel.process(nomad).unwrap();
     let (hops, failed, _) = nomad_stats(&p.program.as_ref().unwrap().save());
-    assert!(hops >= 5, "hopping continued after the PM itself moved: {hops}");
+    assert!(
+        hops >= 5,
+        "hopping continued after the PM itself moved: {hops}"
+    );
     assert_eq!(failed, 0);
 }

@@ -27,7 +27,9 @@ fn pipeline(cluster: &mut Cluster) -> Vec<ProcessId> {
     // Wire each stage to the next (the last has no successor = sink).
     for w in stages.windows(2) {
         let next = cluster.link_to(w[1]).unwrap();
-        cluster.post(w[0], wl::INIT, bytes::Bytes::new(), vec![next]).unwrap();
+        cluster
+            .post(w[0], wl::INIT, bytes::Bytes::new(), vec![next])
+            .unwrap();
     }
     cluster.run_for(Duration::from_millis(10));
     stages
@@ -98,5 +100,8 @@ fn migrating_every_stage_onto_one_machine() {
         assert_eq!(processed(&cluster, s), 20);
     }
     let net_after = cluster.net().stats().frames_sent;
-    assert_eq!(net_after, net_before, "colocated pipeline sends zero network frames");
+    assert_eq!(
+        net_after, net_before,
+        "colocated pipeline sends zero network frames"
+    );
 }

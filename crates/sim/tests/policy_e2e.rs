@@ -10,11 +10,21 @@ fn m(i: u16) -> MachineId {
     MachineId(i)
 }
 
-fn spawn_burners(cluster: &mut Cluster, machine: MachineId, n: usize, work_us: u32) -> Vec<ProcessId> {
+fn spawn_burners(
+    cluster: &mut Cluster,
+    machine: MachineId,
+    n: usize,
+    work_us: u32,
+) -> Vec<ProcessId> {
     (0..n)
         .map(|_| {
             cluster
-                .spawn(machine, "cpu_burner", &CpuBurner::state(0, work_us, 1_000), ImageLayout::default())
+                .spawn(
+                    machine,
+                    "cpu_burner",
+                    &CpuBurner::state(0, work_us, 1_000),
+                    ImageLayout::default(),
+                )
                 .unwrap()
         })
         .collect()
@@ -35,13 +45,19 @@ fn load_balancer_spreads_burners() {
     // All work starts on m0 of a 4-machine cluster.
     let mut cluster = Cluster::mesh(4);
     let pids = spawn_burners(&mut cluster, m(0), 8, 900);
-    let policy = LoadBalance::new(2, Hysteresis::new(Duration::from_millis(50), Duration::from_millis(10)));
+    let policy = LoadBalance::new(
+        2,
+        Hysteresis::new(Duration::from_millis(50), Duration::from_millis(10)),
+    );
     let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(20));
     driver.run(&mut cluster, Duration::from_secs(3));
 
     // Work spread out across machines.
     let counts: Vec<usize> = (0..4).map(|i| cluster.node(m(i)).kernel.nprocs()).collect();
-    assert!(counts[0] < 8, "some processes left the hot machine: {counts:?}");
+    assert!(
+        counts[0] < 8,
+        "some processes left the hot machine: {counts:?}"
+    );
     let populated = counts.iter().filter(|&&c| c > 0).count();
     assert!(populated >= 3, "work spread over ≥3 machines: {counts:?}");
     assert!(driver.orders_issued >= 3);
@@ -61,7 +77,10 @@ fn balanced_cluster_finishes_work_faster() {
         let mut cluster = ClusterBuilder::new(4).seed(1).no_trace().build();
         let pids = spawn_burners(&mut cluster, m(0), 8, 950);
         if balance {
-            let policy = LoadBalance::new(2, Hysteresis::new(Duration::from_millis(50), Duration::from_millis(10)));
+            let policy = LoadBalance::new(
+                2,
+                Hysteresis::new(Duration::from_millis(50), Duration::from_millis(10)),
+            );
             let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(20));
             driver.run(&mut cluster, Duration::from_secs(4));
         } else {
@@ -85,23 +104,44 @@ fn affinity_moves_client_next_to_server() {
     let topo = Topology::line(3, EdgeParams::default());
     let mut cluster = ClusterBuilder::new(3).topology(topo).build();
     let pa = cluster
-        .spawn(m(0), "pingpong", &demos_sim::programs::PingPong::state(0, 20), ImageLayout::default())
+        .spawn(
+            m(0),
+            "pingpong",
+            &demos_sim::programs::PingPong::state(0, 20),
+            ImageLayout::default(),
+        )
         .unwrap();
     let pb = cluster
-        .spawn(m(2), "pingpong", &demos_sim::programs::PingPong::state(0, 20), ImageLayout::default())
+        .spawn(
+            m(2),
+            "pingpong",
+            &demos_sim::programs::PingPong::state(0, 20),
+            ImageLayout::default(),
+        )
         .unwrap();
     let la = cluster.link_to(pa).unwrap();
     let lb = cluster.link_to(pb).unwrap();
-    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
-    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster
+        .post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+        .unwrap();
+    cluster
+        .post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
 
-    let policy = CommAffinity::new(500, 0.6, Hysteresis::new(Duration::from_secs(1), Duration::ZERO));
+    let policy = CommAffinity::new(
+        500,
+        0.6,
+        Hysteresis::new(Duration::from_secs(1), Duration::ZERO),
+    );
     let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(100));
     driver.run(&mut cluster, Duration::from_secs(2));
 
     // One of the pair moved to the other's machine.
     let (ma, mb) = (cluster.where_is(pa).unwrap(), cluster.where_is(pb).unwrap());
-    assert_eq!(ma, mb, "affinity colocated the communicating pair: {ma} vs {mb}");
+    assert_eq!(
+        ma, mb,
+        "affinity colocated the communicating pair: {ma} vs {mb}"
+    );
 }
 
 #[test]
@@ -146,12 +186,18 @@ fn evacuation_beats_no_evacuation_on_crash() {
         }
         cluster.crash(m(0));
         cluster.run_for(Duration::from_secs(1));
-        let survivors = pids.iter().filter(|&&p| cluster.where_is(p).is_some()).count();
+        let survivors = pids
+            .iter()
+            .filter(|&&p| cluster.where_is(p).is_some())
+            .count();
         (survivors, total_done(&cluster, &pids))
     };
     let (died_survivors, died_work) = run(false);
     let (saved_survivors, saved_work) = run(true);
-    assert_eq!(died_survivors, 0, "without evacuation the crash kills everything");
+    assert_eq!(
+        died_survivors, 0,
+        "without evacuation the crash kills everything"
+    );
     assert_eq!(saved_survivors, 4, "evacuated processes survive the crash");
     assert!(saved_work > died_work, "{saved_work} > {died_work}");
 }

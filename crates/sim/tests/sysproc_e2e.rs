@@ -30,8 +30,14 @@ fn shell_spawns_and_migrates_via_process_manager() {
             },
         },
         // Give the spawn time to complete before referencing it.
-        ScriptEntry { delay_us: 50_000, cmd: Cmd::Migrate { nth: 0, dest: m(2) } },
-        ScriptEntry { delay_us: 200_000, cmd: Cmd::Log("session done".into()) },
+        ScriptEntry {
+            delay_us: 50_000,
+            cmd: Cmd::Migrate { nth: 0, dest: m(2) },
+        },
+        ScriptEntry {
+            delay_us: 200_000,
+            cmd: Cmd::Log("session done".into()),
+        },
     ];
     let shell = spawn_shell(&mut cluster, &handles, m(0), &script).unwrap();
     cluster.run_for(Duration::from_secs(1));
@@ -39,15 +45,21 @@ fn shell_spawns_and_migrates_via_process_manager() {
     let (spawned_ok, spawn_failed, mig_ok, mig_failed) = shell_state(&cluster, shell);
     assert_eq!(spawned_ok, 1, "PM spawned the process");
     assert_eq!(spawn_failed, 0);
-    assert_eq!(mig_ok, 1, "the Done (#9) notification reached the shell over its reply link");
+    assert_eq!(
+        mig_ok, 1,
+        "the Done (#9) notification reached the shell over its reply link"
+    );
     assert_eq!(mig_failed, 0);
 
     // The spawned cargo process really is on m2 now.
-    let cargo_pid = cluster
-        .node(m(2))
-        .kernel
-        .pids()
-        .find(|p| cluster.node(m(2)).kernel.process(*p).map(|q| !q.privileged).unwrap_or(false));
+    let cargo_pid = cluster.node(m(2)).kernel.pids().find(|p| {
+        cluster
+            .node(m(2))
+            .kernel
+            .process(*p)
+            .map(|q| !q.privileged)
+            .unwrap_or(false)
+    });
     assert!(cargo_pid.is_some(), "user process ended up on m2");
     // The script's log line landed in the trace.
     assert!(cluster
@@ -90,11 +102,18 @@ fn shell_kill_removes_process() {
                 layout: ImageLayout::default(),
             },
         },
-        ScriptEntry { delay_us: 50_000, cmd: Cmd::Kill { nth: 0 } },
+        ScriptEntry {
+            delay_us: 50_000,
+            cmd: Cmd::Kill { nth: 0 },
+        },
     ];
     spawn_shell(&mut cluster, &handles, m(0), &script).unwrap();
     cluster.run_for(Duration::from_millis(200));
-    assert_eq!(cluster.node(m(1)).kernel.nprocs(), 0, "cargo was killed via PM → kernel Kill");
+    assert_eq!(
+        cluster.node(m(1)).kernel.nprocs(),
+        0,
+        "cargo was killed via PM → kernel Kill"
+    );
     assert_eq!(cluster.node(m(1)).kernel.stats().exited, 1);
 }
 
@@ -123,14 +142,26 @@ fn migrating_the_process_manager_itself() {
     }];
     // Build the stale link by hand: it claims the PM is still at m0.
     let shell = cluster
-        .spawn_opt(m(0), "shell", &demos_sysproc::Shell::state(&script), ImageLayout::default(), true)
+        .spawn_opt(
+            m(0),
+            "shell",
+            &demos_sysproc::Shell::state(&script),
+            ImageLayout::default(),
+            true,
+        )
         .unwrap();
     let stale_pm_link = demos_types::Link::to(handles.procmgr.at(m(0)));
-    cluster.post(shell, wl::INIT, bytes::Bytes::new(), vec![stale_pm_link]).unwrap();
+    cluster
+        .post(shell, wl::INIT, bytes::Bytes::new(), vec![stale_pm_link])
+        .unwrap();
     cluster.run_for(Duration::from_millis(400));
 
     let (ok, failed, _, _) = shell_state(&cluster, shell);
-    assert_eq!((ok, failed), (1, 0), "stale link to migrated PM still functioned");
+    assert_eq!(
+        (ok, failed),
+        (1, 0),
+        "stale link to migrated PM still functioned"
+    );
     assert!(cluster.trace().forwards_for(handles.procmgr) >= 1);
 }
 
@@ -142,14 +173,23 @@ fn memsched_grants_and_releases() {
     let mut cluster = Cluster::mesh(2);
     let handles = boot_system(&mut cluster, BootConfig::default()).unwrap();
     let probe = cluster
-        .spawn(m(1), "cargo", &demos_sim::programs::Cargo::state(0), ImageLayout::default())
+        .spawn(
+            m(1),
+            "cargo",
+            &demos_sim::programs::Cargo::state(0),
+            ImageLayout::default(),
+        )
         .unwrap();
     let reply = cluster.link_to(probe).unwrap();
     cluster
         .post(
             handles.memsched,
             sys::MEMSCHED,
-            MemMsg::Reserve { machine: m(1), bytes: 4096 }.to_bytes(),
+            MemMsg::Reserve {
+                machine: m(1),
+                bytes: 4096,
+            }
+            .to_bytes(),
             vec![reply],
         )
         .unwrap();

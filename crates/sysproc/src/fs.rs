@@ -56,7 +56,11 @@ impl DirServer {
 
     /// Initial state.
     pub fn state() -> Vec<u8> {
-        DirServer { names: BTreeMap::new(), next_fid: 1 }.save()
+        DirServer {
+            names: BTreeMap::new(),
+            next_fid: 1,
+        }
+        .save()
     }
 
     /// Restore from serialized state.
@@ -67,7 +71,9 @@ impl DirServer {
             d.next_fid = b.get_u32();
             let n = b.get_u16() as usize;
             for _ in 0..n {
-                let Ok(name) = wire::get_string(&mut b, "dir.name", 128) else { break };
+                let Ok(name) = wire::get_string(&mut b, "dir.name", 128) else {
+                    break;
+                };
                 if b.remaining() < 4 {
                     break;
                 }
@@ -86,7 +92,9 @@ impl Program for DirServer {
         if msg.msg_type != sys::FS {
             return;
         }
-        let Ok(m) = FsMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = FsMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         let reply = msg.links.first();
         match m {
             FsMsg::DirCreate { tok, name } => {
@@ -146,7 +154,12 @@ impl DiskServer {
 
     /// Initial state with the given per-op latency.
     pub fn state(op_us: u32) -> Vec<u8> {
-        DiskServer { next_blk: 1, op_us, ..Default::default() }.save()
+        DiskServer {
+            next_blk: 1,
+            op_us,
+            ..Default::default()
+        }
+        .save()
     }
 
     /// Restore from serialized state.
@@ -163,7 +176,9 @@ impl DiskServer {
                     break;
                 }
                 let blk = b.get_u32();
-                let Ok(data) = wire::get_bytes(&mut b, "disk.block", BLOCK as usize) else { break };
+                let Ok(data) = wire::get_bytes(&mut b, "disk.block", BLOCK as usize) else {
+                    break;
+                };
                 d.blocks.insert(blk, data.to_vec());
             }
         }
@@ -179,7 +194,9 @@ impl Program for DiskServer {
         if msg.msg_type != sys::FS {
             return;
         }
-        let Ok(m) = FsMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = FsMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         let reply = msg.links.first();
         self.ops += 1;
         ctx.cpu(Duration::from_micros(self.op_us as u64));
@@ -199,7 +216,12 @@ impl Program for DiskServer {
                     .map(|v| Bytes::copy_from_slice(v))
                     .unwrap_or_else(|| Bytes::from(vec![0u8; BLOCK as usize]));
                 if let Some(r) = reply {
-                    let _ = ctx.send(*r, sys::FS, FsMsg::BData { tok, blk, bytes }.to_bytes(), &[]);
+                    let _ = ctx.send(
+                        *r,
+                        sys::FS,
+                        FsMsg::BData { tok, blk, bytes }.to_bytes(),
+                        &[],
+                    );
                 }
             }
             FsMsg::BWrite { tok, blk, bytes } => {
@@ -257,7 +279,12 @@ impl BufferCache {
 
     /// Initial state with capacity `cap` blocks.
     pub fn state(cap: u16) -> Vec<u8> {
-        BufferCache { cap, next_tok: 1, ..Default::default() }.save()
+        BufferCache {
+            cap,
+            next_tok: 1,
+            ..Default::default()
+        }
+        .save()
     }
 
     /// Restore from serialized state.
@@ -276,7 +303,9 @@ impl BufferCache {
                     break;
                 }
                 let blk = b.get_u32();
-                let Ok(data) = wire::get_bytes(&mut b, "cache.block", BLOCK as usize) else { break };
+                let Ok(data) = wire::get_bytes(&mut b, "cache.block", BLOCK as usize) else {
+                    break;
+                };
                 c.lru.push((blk, data.to_vec()));
             }
             let n_p = if b.remaining() >= 2 { b.get_u16() } else { 0 };
@@ -325,16 +354,25 @@ impl Program for BufferCache {
             sys::FS => {}
             _ => return,
         }
-        let Ok(m) = FsMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = FsMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         match m {
             FsMsg::BRead { tok, blk } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 if let Some(data) = self.get(blk) {
                     self.hits += 1;
                     let _ = ctx.send(
                         reply,
                         sys::FS,
-                        FsMsg::BData { tok, blk, bytes: Bytes::from(data) }.to_bytes(),
+                        FsMsg::BData {
+                            tok,
+                            blk,
+                            bytes: Bytes::from(data),
+                        }
+                        .to_bytes(),
                         &[],
                     );
                     return;
@@ -355,7 +393,9 @@ impl Program for BufferCache {
                 );
             }
             FsMsg::BWrite { tok, blk, bytes } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 // Write-through: update cache, then the disk.
                 self.touch(blk, {
                     let mut v = bytes.to_vec();
@@ -372,12 +412,19 @@ impl Program for BufferCache {
                 let _ = ctx.send(
                     disk,
                     sys::FS,
-                    FsMsg::BWrite { tok: my, blk, bytes }.to_bytes(),
+                    FsMsg::BWrite {
+                        tok: my,
+                        blk,
+                        bytes,
+                    }
+                    .to_bytes(),
                     &[Carry::New(LinkAttrs::REPLY)],
                 );
             }
             FsMsg::BAlloc { tok } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 let Some(disk) = opt_link(self.disk) else {
                     reply_err(ctx, Some(&reply), 4);
                     return;
@@ -400,7 +447,12 @@ impl Program for BufferCache {
                         let _ = ctx.send(
                             r,
                             sys::FS,
-                            FsMsg::BData { tok: ctok, blk, bytes }.to_bytes(),
+                            FsMsg::BData {
+                                tok: ctok,
+                                blk,
+                                bytes,
+                            }
+                            .to_bytes(),
                             &[],
                         );
                     }
@@ -409,8 +461,7 @@ impl Program for BufferCache {
             FsMsg::BOk { tok, blk } => {
                 if let Some((ctok, reply)) = self.pending.remove(&tok) {
                     if let Some(r) = opt_link(reply) {
-                        let _ =
-                            ctx.send(r, sys::FS, FsMsg::BOk { tok: ctok, blk }.to_bytes(), &[]);
+                        let _ = ctx.send(r, sys::FS, FsMsg::BOk { tok: ctok, blk }.to_bytes(), &[]);
                     }
                 }
             }
@@ -461,9 +512,20 @@ enum Pending {
     /// Waiting for a block read to satisfy a client read.
     ReadWait { reply: u32, skip: u32, take: u32 },
     /// Waiting for a block allocation before a write.
-    WriteAlloc { reply: u32, fid: u32, off: u32, data: Vec<u8> },
+    WriteAlloc {
+        reply: u32,
+        fid: u32,
+        off: u32,
+        data: Vec<u8>,
+    },
     /// Waiting for a block read to do read-modify-write.
-    WriteRmw { reply: u32, fid: u32, off: u32, data: Vec<u8>, blk: u32 },
+    WriteRmw {
+        reply: u32,
+        fid: u32,
+        off: u32,
+        data: Vec<u8>,
+        blk: u32,
+    },
     /// Waiting for the final block write.
     WriteFlush { reply: u32, fid: u32, end: u32 },
 }
@@ -488,7 +550,11 @@ impl FileServer {
 
     /// Initial state.
     pub fn state() -> Vec<u8> {
-        FileServer { next_tok: 1, ..Default::default() }.save()
+        FileServer {
+            next_tok: 1,
+            ..Default::default()
+        }
+        .save()
     }
 
     /// Restore from serialized state.
@@ -527,7 +593,11 @@ impl FileServer {
                 let p = match kind {
                     1 => Pending::CreateWait { reply: b.get_u32() },
                     2 => Pending::OpenWait { reply: b.get_u32() },
-                    3 => Pending::ReadWait { reply: b.get_u32(), skip: b.get_u32(), take: b.get_u32() },
+                    3 => Pending::ReadWait {
+                        reply: b.get_u32(),
+                        skip: b.get_u32(),
+                        take: b.get_u32(),
+                    },
                     4 => {
                         let reply = b.get_u32();
                         let fid = b.get_u32();
@@ -535,7 +605,12 @@ impl FileServer {
                         let data = wire::get_bytes(&mut b, "fs.pending", BLOCK as usize)
                             .map(|d| d.to_vec())
                             .unwrap_or_default();
-                        Pending::WriteAlloc { reply, fid, off, data }
+                        Pending::WriteAlloc {
+                            reply,
+                            fid,
+                            off,
+                            data,
+                        }
                     }
                     5 => {
                         let reply = b.get_u32();
@@ -545,9 +620,19 @@ impl FileServer {
                         let data = wire::get_bytes(&mut b, "fs.pending", BLOCK as usize)
                             .map(|d| d.to_vec())
                             .unwrap_or_default();
-                        Pending::WriteRmw { reply, fid, off, data, blk }
+                        Pending::WriteRmw {
+                            reply,
+                            fid,
+                            off,
+                            data,
+                            blk,
+                        }
                     }
-                    _ => Pending::WriteFlush { reply: b.get_u32(), fid: b.get_u32(), end: b.get_u32() },
+                    _ => Pending::WriteFlush {
+                        reply: b.get_u32(),
+                        fid: b.get_u32(),
+                        end: b.get_u32(),
+                    },
                 };
                 f.pending.insert(tok, p);
             }
@@ -567,9 +652,14 @@ impl FileServer {
     #[allow(clippy::wrong_self_convention)]
     fn to_cache(&mut self, ctx: &mut Ctx<'_>, m: FsMsg) -> bool {
         match opt_link(self.cache) {
-            Some(cache) => {
-                ctx.send(cache, sys::FS, m.to_bytes(), &[Carry::New(LinkAttrs::REPLY)]).is_ok()
-            }
+            Some(cache) => ctx
+                .send(
+                    cache,
+                    sys::FS,
+                    m.to_bytes(),
+                    &[Carry::New(LinkAttrs::REPLY)],
+                )
+                .is_ok(),
             None => false,
         }
     }
@@ -598,17 +688,22 @@ impl Program for FileServer {
             sys::FS => {}
             _ => return,
         }
-        let Ok(m) = FsMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = FsMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         match m {
             // ---------------- client requests ----------------
             FsMsg::Create { name } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 let Some(dir) = opt_link(self.dir) else {
                     reply_err(ctx, Some(&reply), 4);
                     return;
                 };
                 let tok = self.tok();
-                self.pending.insert(tok, Pending::CreateWait { reply: reply.0 });
+                self.pending
+                    .insert(tok, Pending::CreateWait { reply: reply.0 });
                 let _ = ctx.send(
                     dir,
                     sys::FS,
@@ -617,13 +712,16 @@ impl Program for FileServer {
                 );
             }
             FsMsg::Open { name } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 let Some(dir) = opt_link(self.dir) else {
                     reply_err(ctx, Some(&reply), 4);
                     return;
                 };
                 let tok = self.tok();
-                self.pending.insert(tok, Pending::OpenWait { reply: reply.0 });
+                self.pending
+                    .insert(tok, Pending::OpenWait { reply: reply.0 });
                 let _ = ctx.send(
                     dir,
                     sys::FS,
@@ -632,13 +730,21 @@ impl Program for FileServer {
                 );
             }
             FsMsg::Read { fid, off, len } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 let Some(meta) = self.files.get(&fid) else {
                     reply_err(ctx, Some(&reply), 1);
                     return;
                 };
                 if off >= meta.len || len == 0 {
-                    self.finish(ctx, reply.0, FsMsg::Data { bytes: Bytes::new() });
+                    self.finish(
+                        ctx,
+                        reply.0,
+                        FsMsg::Data {
+                            bytes: Bytes::new(),
+                        },
+                    );
                     return;
                 }
                 let blk_i = (off / BLOCK) as usize;
@@ -649,14 +755,23 @@ impl Program for FileServer {
                 let in_blk = off % BLOCK;
                 let take = len.min(BLOCK - in_blk).min(meta.len - off);
                 let tok = self.tok();
-                self.pending.insert(tok, Pending::ReadWait { reply: reply.0, skip: in_blk, take });
+                self.pending.insert(
+                    tok,
+                    Pending::ReadWait {
+                        reply: reply.0,
+                        skip: in_blk,
+                        take,
+                    },
+                );
                 if !self.to_cache(ctx, FsMsg::BRead { tok, blk }) {
                     self.pending.remove(&tok);
                     reply_err(ctx, Some(&reply), 4);
                 }
             }
             FsMsg::Write { fid, off, bytes } => {
-                let Some(&reply) = msg.links.first() else { return };
+                let Some(&reply) = msg.links.first() else {
+                    return;
+                };
                 if bytes.is_empty() || bytes.len() as u32 > BLOCK {
                     reply_err(ctx, Some(&reply), 2);
                     return;
@@ -680,7 +795,12 @@ impl Program for FileServer {
                     let tok = self.tok();
                     self.pending.insert(
                         tok,
-                        Pending::WriteAlloc { reply: reply.0, fid, off, data: bytes.to_vec() },
+                        Pending::WriteAlloc {
+                            reply: reply.0,
+                            fid,
+                            off,
+                            data: bytes.to_vec(),
+                        },
                     );
                     if !self.to_cache(ctx, FsMsg::BAlloc { tok }) {
                         self.pending.remove(&tok);
@@ -693,7 +813,9 @@ impl Program for FileServer {
             }
             // ---------------- directory replies ----------------
             FsMsg::DirDone { tok, fid } => {
-                let Some(p) = self.pending.remove(&tok) else { return };
+                let Some(p) = self.pending.remove(&tok) else {
+                    return;
+                };
                 match p {
                     Pending::CreateWait { reply } => {
                         self.files.insert(fid, FileMeta::default());
@@ -709,66 +831,82 @@ impl Program for FileServer {
                 }
             }
             // ---------------- block-layer replies ----------------
-            FsMsg::BData { tok, blk, bytes } => {
-                match self.pending.remove(&tok) {
-                    Some(Pending::ReadWait { reply, skip, take }) => {
-                        let start = (skip as usize).min(bytes.len());
-                        let end = (skip + take) as usize;
-                        let end = end.min(bytes.len());
-                        self.finish(
-                            ctx,
-                            reply,
-                            FsMsg::Data { bytes: bytes.slice(start..end) },
-                        );
-                    }
-                    Some(Pending::WriteRmw { reply, fid, off, data, blk: wblk }) => {
-                        debug_assert_eq!(blk, wblk);
-                        let mut block = bytes.to_vec();
-                        block.resize(BLOCK as usize, 0);
-                        let in_blk = (off % BLOCK) as usize;
-                        block[in_blk..in_blk + data.len()].copy_from_slice(&data);
-                        let end = off + data.len() as u32;
-                        let tok2 = self.tok();
-                        self.pending.insert(tok2, Pending::WriteFlush { reply, fid, end });
-                        if !self.to_cache(
-                            ctx,
-                            FsMsg::BWrite { tok: tok2, blk: wblk, bytes: Bytes::from(block) },
-                        ) {
-                            self.pending.remove(&tok2);
-                        }
-                    }
-                    Some(other) => {
-                        self.pending.insert(tok, other);
-                    }
-                    None => {}
+            FsMsg::BData { tok, blk, bytes } => match self.pending.remove(&tok) {
+                Some(Pending::ReadWait { reply, skip, take }) => {
+                    let start = (skip as usize).min(bytes.len());
+                    let end = (skip + take) as usize;
+                    let end = end.min(bytes.len());
+                    self.finish(
+                        ctx,
+                        reply,
+                        FsMsg::Data {
+                            bytes: bytes.slice(start..end),
+                        },
+                    );
                 }
-            }
-            FsMsg::BOk { tok, blk } => {
-                match self.pending.remove(&tok) {
-                    Some(Pending::WriteAlloc { reply, fid, off, data }) => {
-                        if let Some(meta) = self.files.get_mut(&fid) {
-                            meta.blocks.push(blk);
-                        }
-                        self.start_block_write(ctx, reply, fid, off, data, blk);
+                Some(Pending::WriteRmw {
+                    reply,
+                    fid,
+                    off,
+                    data,
+                    blk: wblk,
+                }) => {
+                    debug_assert_eq!(blk, wblk);
+                    let mut block = bytes.to_vec();
+                    block.resize(BLOCK as usize, 0);
+                    let in_blk = (off % BLOCK) as usize;
+                    block[in_blk..in_blk + data.len()].copy_from_slice(&data);
+                    let end = off + data.len() as u32;
+                    let tok2 = self.tok();
+                    self.pending
+                        .insert(tok2, Pending::WriteFlush { reply, fid, end });
+                    if !self.to_cache(
+                        ctx,
+                        FsMsg::BWrite {
+                            tok: tok2,
+                            blk: wblk,
+                            bytes: Bytes::from(block),
+                        },
+                    ) {
+                        self.pending.remove(&tok2);
                     }
-                    Some(Pending::WriteFlush { reply, fid, end }) => {
-                        let meta = self.files.entry(fid).or_default();
-                        meta.len = meta.len.max(end);
-                        self.finish(ctx, reply, FsMsg::Done { fid, len: end });
-                    }
-                    Some(other) => {
-                        self.pending.insert(tok, other);
-                    }
-                    None => {}
                 }
-            }
+                Some(other) => {
+                    self.pending.insert(tok, other);
+                }
+                None => {}
+            },
+            FsMsg::BOk { tok, blk } => match self.pending.remove(&tok) {
+                Some(Pending::WriteAlloc {
+                    reply,
+                    fid,
+                    off,
+                    data,
+                }) => {
+                    if let Some(meta) = self.files.get_mut(&fid) {
+                        meta.blocks.push(blk);
+                    }
+                    self.start_block_write(ctx, reply, fid, off, data, blk);
+                }
+                Some(Pending::WriteFlush { reply, fid, end }) => {
+                    let meta = self.files.entry(fid).or_default();
+                    meta.len = meta.len.max(end);
+                    self.finish(ctx, reply, FsMsg::Done { fid, len: end });
+                }
+                Some(other) => {
+                    self.pending.insert(tok, other);
+                }
+                None => {}
+            },
             FsMsg::Err { .. } => {
                 // A downstream failure: fail the oldest directory wait (the
                 // only requests that can receive a bare Err from below).
                 let key = self
                     .pending
                     .iter()
-                    .find(|(_, p)| matches!(p, Pending::CreateWait { .. } | Pending::OpenWait { .. }))
+                    .find(|(_, p)| {
+                        matches!(p, Pending::CreateWait { .. } | Pending::OpenWait { .. })
+                    })
                     .map(|(&k, _)| k);
                 if let Some(key) = key {
                     match self.pending.remove(&key).expect("found") {
@@ -816,14 +954,25 @@ impl Program for FileServer {
                     b.put_u32(*skip);
                     b.put_u32(*take);
                 }
-                Pending::WriteAlloc { reply, fid, off, data } => {
+                Pending::WriteAlloc {
+                    reply,
+                    fid,
+                    off,
+                    data,
+                } => {
                     b.put_u8(4);
                     b.put_u32(*reply);
                     b.put_u32(*fid);
                     b.put_u32(*off);
                     wire::put_bytes(&mut b, data);
                 }
-                Pending::WriteRmw { reply, fid, off, data, blk } => {
+                Pending::WriteRmw {
+                    reply,
+                    fid,
+                    off,
+                    data,
+                    blk,
+                } => {
                     b.put_u8(5);
                     b.put_u32(*reply);
                     b.put_u32(*fid);
@@ -857,8 +1006,16 @@ impl FileServer {
         if off.is_multiple_of(BLOCK) && data.len() as u32 == BLOCK {
             // Full-block write: no read needed.
             let tok = self.tok();
-            self.pending.insert(tok, Pending::WriteFlush { reply, fid, end });
-            if !self.to_cache(ctx, FsMsg::BWrite { tok, blk, bytes: Bytes::from(data) }) {
+            self.pending
+                .insert(tok, Pending::WriteFlush { reply, fid, end });
+            if !self.to_cache(
+                ctx,
+                FsMsg::BWrite {
+                    tok,
+                    blk,
+                    bytes: Bytes::from(data),
+                },
+            ) {
                 self.pending.remove(&tok);
                 if let Some(r) = opt_link(reply) {
                     let _ = ctx.send(r, sys::FS, FsMsg::Err { code: 4 }.to_bytes(), &[]);
@@ -867,7 +1024,16 @@ impl FileServer {
         } else {
             // Partial write: read-modify-write.
             let tok = self.tok();
-            self.pending.insert(tok, Pending::WriteRmw { reply, fid, off, data, blk });
+            self.pending.insert(
+                tok,
+                Pending::WriteRmw {
+                    reply,
+                    fid,
+                    off,
+                    data,
+                    blk,
+                },
+            );
             if !self.to_cache(ctx, FsMsg::BRead { tok, blk }) {
                 self.pending.remove(&tok);
                 if let Some(r) = opt_link(reply) {
@@ -884,7 +1050,10 @@ mod tests {
 
     #[test]
     fn dir_state_roundtrip() {
-        let mut d = DirServer { names: BTreeMap::new(), next_fid: 5 };
+        let mut d = DirServer {
+            names: BTreeMap::new(),
+            next_fid: 5,
+        };
         d.names.insert("a".into(), 1);
         d.names.insert("b".into(), 2);
         assert_eq!(DirServer::restore(&d.save()).save(), d.save());
@@ -892,7 +1061,12 @@ mod tests {
 
     #[test]
     fn disk_state_roundtrip() {
-        let mut d = DiskServer { next_blk: 3, op_us: 2000, ops: 7, ..Default::default() };
+        let mut d = DiskServer {
+            next_blk: 3,
+            op_us: 2000,
+            ops: 7,
+            ..Default::default()
+        };
         d.blocks.insert(1, vec![1u8; 512]);
         d.blocks.insert(2, vec![2u8; 512]);
         assert_eq!(DiskServer::restore(&d.save()).save(), d.save());
@@ -900,7 +1074,12 @@ mod tests {
 
     #[test]
     fn cache_state_roundtrip_and_lru() {
-        let mut c = BufferCache { cap: 2, next_tok: 4, disk: 1, ..Default::default() };
+        let mut c = BufferCache {
+            cap: 2,
+            next_tok: 4,
+            disk: 1,
+            ..Default::default()
+        };
         c.touch(1, vec![1; 512]);
         c.touch(2, vec![2; 512]);
         c.touch(3, vec![3; 512]);
@@ -913,11 +1092,38 @@ mod tests {
 
     #[test]
     fn file_server_state_roundtrip() {
-        let mut f = FileServer { dir: 1, cache: 2, next_tok: 9, ops: 3, ..Default::default() };
-        f.files.insert(1, FileMeta { len: 700, blocks: vec![4, 5] });
-        f.pending.insert(7, Pending::ReadWait { reply: 3, skip: 10, take: 100 });
-        f.pending
-            .insert(8, Pending::WriteRmw { reply: 4, fid: 1, off: 600, data: vec![9; 32], blk: 5 });
+        let mut f = FileServer {
+            dir: 1,
+            cache: 2,
+            next_tok: 9,
+            ops: 3,
+            ..Default::default()
+        };
+        f.files.insert(
+            1,
+            FileMeta {
+                len: 700,
+                blocks: vec![4, 5],
+            },
+        );
+        f.pending.insert(
+            7,
+            Pending::ReadWait {
+                reply: 3,
+                skip: 10,
+                take: 100,
+            },
+        );
+        f.pending.insert(
+            8,
+            Pending::WriteRmw {
+                reply: 4,
+                fid: 1,
+                off: 600,
+                data: vec![9; 32],
+                blk: 5,
+            },
+        );
         assert_eq!(FileServer::restore(&f.save()).save(), f.save());
     }
 }

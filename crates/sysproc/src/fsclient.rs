@@ -58,7 +58,14 @@ impl FsClient {
     pub const NAME: &'static str = "fs_client";
 
     /// Initial state.
-    pub fn state(seed: u32, nfiles: u16, limit: u64, period_us: u32, op_bytes: u16, read_pct: u8) -> Vec<u8> {
+    pub fn state(
+        seed: u32,
+        nfiles: u16,
+        limit: u64,
+        period_us: u32,
+        op_bytes: u16,
+        read_pct: u8,
+    ) -> Vec<u8> {
         FsClient {
             nfiles,
             limit,
@@ -130,7 +137,9 @@ impl Program for FsClient {
             sys::FS => {}
             _ => return,
         }
-        let Ok(m) = FsMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = FsMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         match m {
             FsMsg::Done { fid, .. } if (self.created as usize) > self.fids.len() => {
                 // Reply to a Create during the setup phase.
@@ -166,7 +175,9 @@ impl Program for FsClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-        let Some(server) = (self.server != 0).then_some(LinkIdx(self.server)) else { return };
+        let Some(server) = (self.server != 0).then_some(LinkIdx(self.server)) else {
+            return;
+        };
         if (self.created as usize) < self.nfiles as usize {
             // Setup: create the next file.
             let name = format!("c{}f{}", self.seed, self.created);
@@ -193,7 +204,12 @@ impl Program for FsClient {
             let _ = ctx.send(
                 server,
                 sys::FS,
-                FsMsg::Read { fid, off, len: self.op_bytes as u32 }.to_bytes(),
+                FsMsg::Read {
+                    fid,
+                    off,
+                    len: self.op_bytes as u32,
+                }
+                .to_bytes(),
                 &[Carry::New(LinkAttrs::REPLY)],
             );
         } else {
@@ -201,7 +217,12 @@ impl Program for FsClient {
             let _ = ctx.send(
                 server,
                 sys::FS,
-                FsMsg::Write { fid, off, bytes: Bytes::from(pattern) }.to_bytes(),
+                FsMsg::Write {
+                    fid,
+                    off,
+                    bytes: Bytes::from(pattern),
+                }
+                .to_bytes(),
                 &[Carry::New(LinkAttrs::REPLY)],
             );
         }
@@ -254,7 +275,14 @@ pub fn fs_client_stats(state: &[u8]) -> FsClientStats {
     let mut b = Bytes::copy_from_slice(state);
     // server(4) nfiles(2) created(2)
     if b.remaining() < 8 {
-        return FsClientStats { ops: 0, reads: 0, writes: 0, errors: 0, lat_mean_us: 0, lat_max_us: 0 };
+        return FsClientStats {
+            ops: 0,
+            reads: 0,
+            writes: 0,
+            errors: 0,
+            lat_mean_us: 0,
+            lat_max_us: 0,
+        };
     }
     b.advance(8);
     let ops = b.get_u64();

@@ -71,7 +71,9 @@ impl Program for MemSched {
         if msg.msg_type != sys::MEMSCHED {
             return;
         }
-        let Ok(m) = MemMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = MemMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         self.requests += 1;
         match m {
             MemMsg::Reserve { machine, bytes } => {
@@ -84,7 +86,11 @@ impl Program for MemSched {
                     let _ = ctx.send(
                         *reply,
                         sys::MEMSCHED,
-                        MemMsg::Granted { ok, free: self.free(machine) }.to_bytes(),
+                        MemMsg::Granted {
+                            ok,
+                            free: self.free(machine),
+                        }
+                        .to_bytes(),
                         &[],
                     );
                 }
@@ -100,7 +106,11 @@ impl Program for MemSched {
                     let _ = ctx.send(
                         *reply,
                         sys::MEMSCHED,
-                        MemMsg::Granted { ok: true, free: self.free(machine) }.to_bytes(),
+                        MemMsg::Granted {
+                            ok: true,
+                            free: self.free(machine),
+                        }
+                        .to_bytes(),
                         &[],
                     );
                 }
@@ -127,14 +137,22 @@ mod tests {
 
     #[test]
     fn state_roundtrip() {
-        let ms = MemSched { capacity: vec![100, 200], granted: vec![10, 0], requests: 3 };
+        let ms = MemSched {
+            capacity: vec![100, 200],
+            granted: vec![10, 0],
+            requests: 3,
+        };
         let back = MemSched::restore(&ms.save());
         assert_eq!(back.save(), ms.save());
     }
 
     #[test]
     fn free_accounting() {
-        let ms = MemSched { capacity: vec![100], granted: vec![30], requests: 0 };
+        let ms = MemSched {
+            capacity: vec![100],
+            granted: vec![30],
+            requests: 0,
+        };
         assert_eq!(ms.free(MachineId(0)), 70);
         assert_eq!(ms.free(MachineId(9)), 0, "unknown machine has no memory");
     }

@@ -52,7 +52,10 @@ impl ProcMgr {
     /// code must install kernel links for machines 0..n as the *first* n
     /// links in the process's table (indices 1..=n).
     pub fn state(machines: u16) -> Vec<u8> {
-        let pm = ProcMgr { machines, ..ProcMgr::default() };
+        let pm = ProcMgr {
+            machines,
+            ..ProcMgr::default()
+        };
         pm.save()
     }
 
@@ -87,10 +90,20 @@ impl Program for ProcMgr {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivered) {
         match msg.msg_type {
             sys::PROCMGR => {
-                let Ok(m) = PmMsg::from_bytes(&msg.payload) else { return };
+                let Ok(m) = PmMsg::from_bytes(&msg.payload) else {
+                    return;
+                };
                 match m {
-                    PmMsg::Spawn { machine, program, state, layout, privileged } => {
-                        let Some(reply) = msg.links.first().copied() else { return };
+                    PmMsg::Spawn {
+                        machine,
+                        program,
+                        state,
+                        layout,
+                        privileged,
+                    } => {
+                        let Some(reply) = msg.links.first().copied() else {
+                            return;
+                        };
                         let Some(klink) = self.kernel_link(machine) else {
                             let _ = ctx.send(
                                 reply,
@@ -153,7 +166,9 @@ impl Program for ProcMgr {
                 }
             }
             local_tags::KERNEL_MGMT => {
-                let Ok(m) = KernelMgmt::from_bytes(&msg.payload) else { return };
+                let Ok(m) = KernelMgmt::from_bytes(&msg.payload) else {
+                    return;
+                };
                 match m {
                     KernelMgmt::Created { token, pid } => {
                         if let Some(reply_idx) = self.pending.remove(&token) {
@@ -169,12 +184,8 @@ impl Program for ProcMgr {
                             .to_bytes();
                             match carried {
                                 Some(l) => {
-                                    let _ = ctx.send(
-                                        reply,
-                                        sys::PROCMGR,
-                                        payload,
-                                        &[Carry::Move(l)],
-                                    );
+                                    let _ =
+                                        ctx.send(reply, sys::PROCMGR, payload, &[Carry::Move(l)]);
                                 }
                                 None => {
                                     let _ = ctx.send(reply, sys::PROCMGR, payload, &[]);
@@ -221,7 +232,9 @@ impl Program for ProcMgr {
 /// `Kernel::install_link`) immediately after spawning the PM, before it
 /// handles any message.
 pub fn pm_bootstrap_links(machines: u16) -> Vec<Link> {
-    (0..machines).map(|m| Link::to_kernel(MachineId(m))).collect()
+    (0..machines)
+        .map(|m| Link::to_kernel(MachineId(m)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -230,7 +243,12 @@ mod tests {
 
     #[test]
     fn state_roundtrip() {
-        let mut pm = ProcMgr { machines: 4, created: 2, next_token: 7, ..Default::default() };
+        let mut pm = ProcMgr {
+            machines: 4,
+            created: 2,
+            next_token: 7,
+            ..Default::default()
+        };
         pm.pending.insert(5, 10);
         let back = ProcMgr::restore(&pm.save());
         assert_eq!(back.save(), pm.save());
@@ -238,7 +256,10 @@ mod tests {
 
     #[test]
     fn kernel_link_layout() {
-        let pm = ProcMgr { machines: 3, ..Default::default() };
+        let pm = ProcMgr {
+            machines: 3,
+            ..Default::default()
+        };
         assert_eq!(pm.kernel_link(MachineId(0)), Some(LinkIdx(1)));
         assert_eq!(pm.kernel_link(MachineId(2)), Some(LinkIdx(3)));
         assert_eq!(pm.kernel_link(MachineId(3)), None);

@@ -88,17 +88,30 @@ impl Wire for SbMsg {
             return Err(WireError::Truncated("SbMsg"));
         }
         match buf.get_u8() {
-            1 => Ok(SbMsg::Register { name: wire::get_string(buf, "Register.name", MAX_NAME)? }),
-            2 => Ok(SbMsg::Lookup { name: wire::get_string(buf, "Lookup.name", MAX_NAME)? }),
+            1 => Ok(SbMsg::Register {
+                name: wire::get_string(buf, "Register.name", MAX_NAME)?,
+            }),
+            2 => Ok(SbMsg::Lookup {
+                name: wire::get_string(buf, "Lookup.name", MAX_NAME)?,
+            }),
             3 => {
                 if buf.remaining() < 1 {
                     return Err(WireError::Truncated("Registered"));
                 }
-                Ok(SbMsg::Registered { ok: buf.get_u8() != 0 })
+                Ok(SbMsg::Registered {
+                    ok: buf.get_u8() != 0,
+                })
             }
-            4 => Ok(SbMsg::Found { name: wire::get_string(buf, "Found.name", MAX_NAME)? }),
-            5 => Ok(SbMsg::NotFound { name: wire::get_string(buf, "NotFound.name", MAX_NAME)? }),
-            t => Err(WireError::BadTag { what: "SbMsg", tag: t as u16 }),
+            4 => Ok(SbMsg::Found {
+                name: wire::get_string(buf, "Found.name", MAX_NAME)?,
+            }),
+            5 => Ok(SbMsg::NotFound {
+                name: wire::get_string(buf, "NotFound.name", MAX_NAME)?,
+            }),
+            t => Err(WireError::BadTag {
+                what: "SbMsg",
+                tag: t as u16,
+            }),
         }
     }
 }
@@ -144,7 +157,13 @@ pub enum PmMsg {
 impl Wire for PmMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            PmMsg::Spawn { machine, program, state, layout, privileged } => {
+            PmMsg::Spawn {
+                machine,
+                program,
+                state,
+                layout,
+                privileged,
+            } => {
                 buf.put_u8(1);
                 machine.encode(buf);
                 wire::put_string(buf, program);
@@ -152,7 +171,10 @@ impl Wire for PmMsg {
                 layout.encode(buf);
                 buf.put_u8(*privileged as u8);
             }
-            PmMsg::Spawned { creating_machine, local_uid } => {
+            PmMsg::Spawned {
+                creating_machine,
+                local_uid,
+            } => {
                 buf.put_u8(2);
                 creating_machine.encode(buf);
                 buf.put_u32(*local_uid);
@@ -182,24 +204,40 @@ impl Wire for PmMsg {
                 if buf.remaining() < 1 {
                     return Err(WireError::Truncated("Spawn.privileged"));
                 }
-                Ok(PmMsg::Spawn { machine, program, state, layout, privileged: buf.get_u8() != 0 })
+                Ok(PmMsg::Spawn {
+                    machine,
+                    program,
+                    state,
+                    layout,
+                    privileged: buf.get_u8() != 0,
+                })
             }
             2 => {
                 let creating_machine = MachineId::decode(buf)?;
                 if buf.remaining() < 4 {
                     return Err(WireError::Truncated("Spawned"));
                 }
-                Ok(PmMsg::Spawned { creating_machine, local_uid: buf.get_u32() })
+                Ok(PmMsg::Spawned {
+                    creating_machine,
+                    local_uid: buf.get_u32(),
+                })
             }
             3 => {
                 if buf.remaining() < 1 {
                     return Err(WireError::Truncated("SpawnFailed"));
                 }
-                Ok(PmMsg::SpawnFailed { reason: buf.get_u8() })
+                Ok(PmMsg::SpawnFailed {
+                    reason: buf.get_u8(),
+                })
             }
-            4 => Ok(PmMsg::Migrate { dest: MachineId::decode(buf)? }),
+            4 => Ok(PmMsg::Migrate {
+                dest: MachineId::decode(buf)?,
+            }),
             5 => Ok(PmMsg::Kill),
-            t => Err(WireError::BadTag { what: "PmMsg", tag: t as u16 }),
+            t => Err(WireError::BadTag {
+                what: "PmMsg",
+                tag: t as u16,
+            }),
         }
     }
 }
@@ -270,23 +308,37 @@ impl Wire for MemMsg {
                 if buf.remaining() < 8 {
                     return Err(WireError::Truncated("Reserve"));
                 }
-                Ok(MemMsg::Reserve { machine, bytes: buf.get_u64() })
+                Ok(MemMsg::Reserve {
+                    machine,
+                    bytes: buf.get_u64(),
+                })
             }
             2 => {
                 let machine = MachineId::decode(buf)?;
                 if buf.remaining() < 8 {
                     return Err(WireError::Truncated("Release"));
                 }
-                Ok(MemMsg::Release { machine, bytes: buf.get_u64() })
+                Ok(MemMsg::Release {
+                    machine,
+                    bytes: buf.get_u64(),
+                })
             }
-            3 => Ok(MemMsg::Query { machine: MachineId::decode(buf)? }),
+            3 => Ok(MemMsg::Query {
+                machine: MachineId::decode(buf)?,
+            }),
             4 => {
                 if buf.remaining() < 9 {
                     return Err(WireError::Truncated("Granted"));
                 }
-                Ok(MemMsg::Granted { ok: buf.get_u8() != 0, free: buf.get_u64() })
+                Ok(MemMsg::Granted {
+                    ok: buf.get_u8() != 0,
+                    free: buf.get_u64(),
+                })
             }
-            t => Err(WireError::BadTag { what: "MemMsg", tag: t as u16 }),
+            t => Err(WireError::BadTag {
+                what: "MemMsg",
+                tag: t as u16,
+            }),
         }
     }
 }
@@ -489,39 +541,70 @@ impl Wire for FsMsg {
             return Err(WireError::Truncated("FsMsg"));
         }
         let tag = buf.get_u8();
-        let need =
-            |buf: &Bytes, n: usize| if buf.remaining() < n { Err(WireError::Truncated("FsMsg")) } else { Ok(()) };
+        let need = |buf: &Bytes, n: usize| {
+            if buf.remaining() < n {
+                Err(WireError::Truncated("FsMsg"))
+            } else {
+                Ok(())
+            }
+        };
         Ok(match tag {
             1 => {
                 need(buf, 4)?;
                 let tok = buf.get_u32();
-                FsMsg::DirCreate { tok, name: wire::get_string(buf, "DirCreate", MAX_NAME)? }
+                FsMsg::DirCreate {
+                    tok,
+                    name: wire::get_string(buf, "DirCreate", MAX_NAME)?,
+                }
             }
             2 => {
                 need(buf, 4)?;
                 let tok = buf.get_u32();
-                FsMsg::DirLookup { tok, name: wire::get_string(buf, "DirLookup", MAX_NAME)? }
+                FsMsg::DirLookup {
+                    tok,
+                    name: wire::get_string(buf, "DirLookup", MAX_NAME)?,
+                }
             }
             3 => {
                 need(buf, 8)?;
-                FsMsg::DirDone { tok: buf.get_u32(), fid: buf.get_u32() }
+                FsMsg::DirDone {
+                    tok: buf.get_u32(),
+                    fid: buf.get_u32(),
+                }
             }
-            4 => FsMsg::Create { name: wire::get_string(buf, "Create", MAX_NAME)? },
-            5 => FsMsg::Open { name: wire::get_string(buf, "Open", MAX_NAME)? },
+            4 => FsMsg::Create {
+                name: wire::get_string(buf, "Create", MAX_NAME)?,
+            },
+            5 => FsMsg::Open {
+                name: wire::get_string(buf, "Open", MAX_NAME)?,
+            },
             6 => {
                 need(buf, 12)?;
-                FsMsg::Read { fid: buf.get_u32(), off: buf.get_u32(), len: buf.get_u32() }
+                FsMsg::Read {
+                    fid: buf.get_u32(),
+                    off: buf.get_u32(),
+                    len: buf.get_u32(),
+                }
             }
             7 => {
                 need(buf, 8)?;
                 let fid = buf.get_u32();
                 let off = buf.get_u32();
-                FsMsg::Write { fid, off, bytes: wire::get_bytes(buf, "Write.bytes", MAX_DATA)? }
+                FsMsg::Write {
+                    fid,
+                    off,
+                    bytes: wire::get_bytes(buf, "Write.bytes", MAX_DATA)?,
+                }
             }
-            8 => FsMsg::Data { bytes: wire::get_bytes(buf, "Data.bytes", MAX_DATA)? },
+            8 => FsMsg::Data {
+                bytes: wire::get_bytes(buf, "Data.bytes", MAX_DATA)?,
+            },
             9 => {
                 need(buf, 8)?;
-                FsMsg::Done { fid: buf.get_u32(), len: buf.get_u32() }
+                FsMsg::Done {
+                    fid: buf.get_u32(),
+                    len: buf.get_u32(),
+                }
             }
             10 => {
                 need(buf, 1)?;
@@ -529,13 +612,20 @@ impl Wire for FsMsg {
             }
             11 => {
                 need(buf, 8)?;
-                FsMsg::BRead { tok: buf.get_u32(), blk: buf.get_u32() }
+                FsMsg::BRead {
+                    tok: buf.get_u32(),
+                    blk: buf.get_u32(),
+                }
             }
             12 => {
                 need(buf, 8)?;
                 let tok = buf.get_u32();
                 let blk = buf.get_u32();
-                FsMsg::BWrite { tok, blk, bytes: wire::get_bytes(buf, "BWrite.bytes", MAX_DATA)? }
+                FsMsg::BWrite {
+                    tok,
+                    blk,
+                    bytes: wire::get_bytes(buf, "BWrite.bytes", MAX_DATA)?,
+                }
             }
             13 => {
                 need(buf, 4)?;
@@ -545,13 +635,25 @@ impl Wire for FsMsg {
                 need(buf, 8)?;
                 let tok = buf.get_u32();
                 let blk = buf.get_u32();
-                FsMsg::BData { tok, blk, bytes: wire::get_bytes(buf, "BData.bytes", MAX_DATA)? }
+                FsMsg::BData {
+                    tok,
+                    blk,
+                    bytes: wire::get_bytes(buf, "BData.bytes", MAX_DATA)?,
+                }
             }
             15 => {
                 need(buf, 8)?;
-                FsMsg::BOk { tok: buf.get_u32(), blk: buf.get_u32() }
+                FsMsg::BOk {
+                    tok: buf.get_u32(),
+                    blk: buf.get_u32(),
+                }
             }
-            t => return Err(WireError::BadTag { what: "FsMsg", tag: t as u16 }),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "FsMsg",
+                    tag: t as u16,
+                })
+            }
         })
     }
 }
@@ -584,7 +686,10 @@ mod tests {
                 layout: ImageLayout::default(),
                 privileged: false,
             },
-            PmMsg::Spawned { creating_machine: MachineId(2), local_uid: 9 },
+            PmMsg::Spawned {
+                creating_machine: MachineId(2),
+                local_uid: 9,
+            },
             PmMsg::SpawnFailed { reason: 1 },
             PmMsg::Migrate { dest: MachineId(3) },
             PmMsg::Kill,
@@ -596,10 +701,21 @@ mod tests {
     #[test]
     fn mem_roundtrips() {
         for m in [
-            MemMsg::Reserve { machine: MachineId(1), bytes: 4096 },
-            MemMsg::Release { machine: MachineId(1), bytes: 4096 },
-            MemMsg::Query { machine: MachineId(0) },
-            MemMsg::Granted { ok: true, free: 1 << 20 },
+            MemMsg::Reserve {
+                machine: MachineId(1),
+                bytes: 4096,
+            },
+            MemMsg::Release {
+                machine: MachineId(1),
+                bytes: 4096,
+            },
+            MemMsg::Query {
+                machine: MachineId(0),
+            },
+            MemMsg::Granted {
+                ok: true,
+                free: 1 << 20,
+            },
         ] {
             assert_eq!(roundtrip(&m).unwrap(), m);
         }
@@ -608,20 +724,44 @@ mod tests {
     #[test]
     fn fs_roundtrips() {
         for m in [
-            FsMsg::DirCreate { tok: 1, name: "a".into() },
-            FsMsg::DirLookup { tok: 1, name: "a".into() },
+            FsMsg::DirCreate {
+                tok: 1,
+                name: "a".into(),
+            },
+            FsMsg::DirLookup {
+                tok: 1,
+                name: "a".into(),
+            },
             FsMsg::DirDone { tok: 1, fid: 3 },
             FsMsg::Create { name: "a".into() },
             FsMsg::Open { name: "a".into() },
-            FsMsg::Read { fid: 3, off: 0, len: 512 },
-            FsMsg::Write { fid: 3, off: 8, bytes: Bytes::from_static(b"xyz") },
-            FsMsg::Data { bytes: Bytes::from_static(b"xyz") },
+            FsMsg::Read {
+                fid: 3,
+                off: 0,
+                len: 512,
+            },
+            FsMsg::Write {
+                fid: 3,
+                off: 8,
+                bytes: Bytes::from_static(b"xyz"),
+            },
+            FsMsg::Data {
+                bytes: Bytes::from_static(b"xyz"),
+            },
             FsMsg::Done { fid: 3, len: 3 },
             FsMsg::Err { code: 2 },
             FsMsg::BRead { tok: 1, blk: 7 },
-            FsMsg::BWrite { tok: 1, blk: 7, bytes: Bytes::from_static(&[0u8; 512]) },
+            FsMsg::BWrite {
+                tok: 1,
+                blk: 7,
+                bytes: Bytes::from_static(&[0u8; 512]),
+            },
             FsMsg::BAlloc { tok: 2 },
-            FsMsg::BData { tok: 1, blk: 7, bytes: Bytes::from_static(&[0u8; 512]) },
+            FsMsg::BData {
+                tok: 1,
+                blk: 7,
+                bytes: Bytes::from_static(&[0u8; 512]),
+            },
             FsMsg::BOk { tok: 2, blk: 8 },
         ] {
             assert_eq!(roundtrip(&m).unwrap(), m);

@@ -61,7 +61,12 @@ pub fn encode_script(entries: &[ScriptEntry]) -> Vec<u8> {
     for e in entries {
         b.put_u32(e.delay_us);
         match &e.cmd {
-            Cmd::Spawn { machine, program, state, layout } => {
+            Cmd::Spawn {
+                machine,
+                program,
+                state,
+                layout,
+            } => {
                 b.put_u8(1);
                 machine.encode(&mut b);
                 wire::put_string(&mut b, program);
@@ -99,18 +104,33 @@ fn decode_script(b: &mut Bytes) -> Vec<ScriptEntry> {
         let delay_us = b.get_u32();
         let cmd = match b.get_u8() {
             1 => {
-                let Ok(machine) = MachineId::decode(b) else { break };
-                let Ok(program) = wire::get_string(b, "shell.program", 128) else { break };
-                let Ok(state) = wire::get_bytes(b, "shell.state", 1 << 20) else { break };
-                let Ok(layout) = ImageLayout::decode(b) else { break };
-                Cmd::Spawn { machine, program, state: state.to_vec(), layout }
+                let Ok(machine) = MachineId::decode(b) else {
+                    break;
+                };
+                let Ok(program) = wire::get_string(b, "shell.program", 128) else {
+                    break;
+                };
+                let Ok(state) = wire::get_bytes(b, "shell.state", 1 << 20) else {
+                    break;
+                };
+                let Ok(layout) = ImageLayout::decode(b) else {
+                    break;
+                };
+                Cmd::Spawn {
+                    machine,
+                    program,
+                    state: state.to_vec(),
+                    layout,
+                }
             }
             2 => {
                 if b.remaining() < 4 {
                     break;
                 }
                 let nth = b.get_u16();
-                let Ok(dest) = MachineId::decode(b) else { break };
+                let Ok(dest) = MachineId::decode(b) else {
+                    break;
+                };
                 Cmd::Migrate { nth, dest }
             }
             3 => {
@@ -120,7 +140,9 @@ fn decode_script(b: &mut Bytes) -> Vec<ScriptEntry> {
                 Cmd::Kill { nth: b.get_u16() }
             }
             _ => {
-                let Ok(s) = wire::get_string(b, "shell.log", 256) else { break };
+                let Ok(s) = wire::get_string(b, "shell.log", 256) else {
+                    break;
+                };
                 Cmd::Log(s)
             }
         };
@@ -203,7 +225,9 @@ impl Program for Shell {
                 }
             }
             sys::PROCMGR => {
-                let Ok(m) = PmMsg::from_bytes(&msg.payload) else { return };
+                let Ok(m) = PmMsg::from_bytes(&msg.payload) else {
+                    return;
+                };
                 match m {
                     PmMsg::Spawned { .. } => {
                         self.spawned_ok += 1;
@@ -229,11 +253,18 @@ impl Program for Shell {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-        let Some(entry) = self.script.get(self.pc as usize).cloned() else { return };
+        let Some(entry) = self.script.get(self.pc as usize).cloned() else {
+            return;
+        };
         self.pc += 1;
         let pm = (self.pm != 0).then_some(LinkIdx(self.pm));
         match entry.cmd {
-            Cmd::Spawn { machine, program, state, layout } => {
+            Cmd::Spawn {
+                machine,
+                program,
+                state,
+                layout,
+            } => {
                 if let Some(pm) = pm {
                     let req = PmMsg::Spawn {
                         machine,
@@ -320,9 +351,21 @@ mod tests {
                     layout: ImageLayout::default(),
                 },
             },
-            ScriptEntry { delay_us: 50, cmd: Cmd::Migrate { nth: 0, dest: MachineId(2) } },
-            ScriptEntry { delay_us: 10, cmd: Cmd::Log("done".into()) },
-            ScriptEntry { delay_us: 10, cmd: Cmd::Kill { nth: 0 } },
+            ScriptEntry {
+                delay_us: 50,
+                cmd: Cmd::Migrate {
+                    nth: 0,
+                    dest: MachineId(2),
+                },
+            },
+            ScriptEntry {
+                delay_us: 10,
+                cmd: Cmd::Log("done".into()),
+            },
+            ScriptEntry {
+                delay_us: 10,
+                cmd: Cmd::Kill { nth: 0 },
+            },
         ]
     }
 

@@ -41,7 +41,9 @@ impl Switchboard {
             sb.lookups = b.get_u64();
             let n = if b.remaining() >= 2 { b.get_u16() } else { 0 };
             for _ in 0..n {
-                let Ok(name) = demos_types::wire::get_string(&mut b, "sb.name", 128) else { break };
+                let Ok(name) = demos_types::wire::get_string(&mut b, "sb.name", 128) else {
+                    break;
+                };
                 if b.remaining() < 4 {
                     break;
                 }
@@ -57,7 +59,9 @@ impl Program for Switchboard {
         if msg.msg_type != sys::SWITCHBOARD {
             return;
         }
-        let Ok(m) = SbMsg::from_bytes(&msg.payload) else { return };
+        let Ok(m) = SbMsg::from_bytes(&msg.payload) else {
+            return;
+        };
         match m {
             SbMsg::Register { name } => {
                 // Two links: [reply, target]; one link: [target] (no
@@ -84,7 +88,9 @@ impl Program for Switchboard {
                 }
             }
             SbMsg::Lookup { name } => {
-                let Some(reply) = msg.links.first().copied() else { return };
+                let Some(reply) = msg.links.first().copied() else {
+                    return;
+                };
                 match self.names.get(&name).copied() {
                     Some(idx) => {
                         self.lookups += 1;

@@ -73,9 +73,13 @@ impl fmt::Display for DemosError {
             DemosError::ReplyLinkConsumed(l) => write!(f, "reply link {l} already used"),
             DemosError::AreaOutOfBounds => write!(f, "move-data range outside granted window"),
             DemosError::AlreadyMigrating(p) => write!(f, "process {p} is already migrating"),
-            DemosError::MigrationRejected(p) => write!(f, "migration of {p} rejected by destination"),
+            DemosError::MigrationRejected(p) => {
+                write!(f, "migration of {p} rejected by destination")
+            }
             DemosError::MigrationAborted(p) => write!(f, "migration of {p} aborted"),
-            DemosError::MigrationToSelf(p) => write!(f, "process {p} is already on the target machine"),
+            DemosError::MigrationToSelf(p) => {
+                write!(f, "process {p} is already on the target machine")
+            }
             DemosError::KernelImmovable(m) => write!(f, "kernel of {m} cannot be manipulated"),
             DemosError::NonDeliverable(p) => write!(f, "message to {p} was not deliverable"),
             DemosError::TooLarge { what, len, max } => {
@@ -115,7 +119,11 @@ mod tests {
             local_uid: 3,
         });
         assert!(format!("{e}").contains("p1.3"));
-        let e = DemosError::TooLarge { what: "payload", len: 10, max: 5 };
+        let e = DemosError::TooLarge {
+            what: "payload",
+            len: 10,
+            max: 5,
+        };
         assert!(format!("{e}").contains("payload"));
     }
 

@@ -16,6 +16,8 @@
 //! * [`message`] — message headers and messages, including carried links.
 //! * [`proto`] — payloads of kernel control, migration, move-data and
 //!   link-maintenance protocol messages (§3–5).
+//! * [`corr`] — correlation ids for causal tracing; carried alongside
+//!   messages and frames, never inside the wire encoding.
 //! * [`error`] — error types shared across the workspace.
 //!
 //! Nothing in this crate allocates per-message beyond the payload buffer
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corr;
 pub mod error;
 pub mod ids;
 pub mod link;
@@ -32,6 +35,7 @@ pub mod proto;
 pub mod time;
 pub mod wire;
 
+pub use corr::CorrId;
 pub use error::{DemosError, Result};
 pub use ids::{MachineId, ProcessAddress, ProcessId, KERNEL_LOCAL_UID};
 pub use link::{DataArea, Link, LinkAttrs, LinkIdx};

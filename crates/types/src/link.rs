@@ -158,7 +158,11 @@ impl Link {
 
     /// A plain link to `addr`.
     pub const fn to(addr: ProcessAddress) -> Link {
-        Link { addr, attrs: LinkAttrs::NONE, area: None }
+        Link {
+            addr,
+            attrs: LinkAttrs::NONE,
+            area: None,
+        }
     }
 
     /// A link straight to machine `m`'s kernel.
@@ -174,7 +178,11 @@ impl Link {
     /// link to the process but is received by the kernel where the process
     /// lives (§2.2).
     pub const fn deliver_to_kernel(addr: ProcessAddress) -> Link {
-        Link { addr, attrs: LinkAttrs::DELIVER_TO_KERNEL, area: None }
+        Link {
+            addr,
+            attrs: LinkAttrs::DELIVER_TO_KERNEL,
+            area: None,
+        }
     }
 
     /// Attach a data-area window with the given access bits.
@@ -234,7 +242,9 @@ impl Wire for Link {
         let attrs = LinkAttrs(buf.get_u16());
         let offset = buf.get_u32();
         let len = buf.get_u32();
-        let area = attrs.contains(LinkAttrs::HAS_AREA).then_some(DataArea { offset, len });
+        let area = attrs
+            .contains(LinkAttrs::HAS_AREA)
+            .then_some(DataArea { offset, len });
         Ok(Link { addr, attrs, area })
     }
 
@@ -250,7 +260,11 @@ mod tests {
     use crate::wire::roundtrip;
 
     fn addr() -> ProcessAddress {
-        ProcessId { creating_machine: MachineId(1), local_uid: 7 }.at(MachineId(2))
+        ProcessId {
+            creating_machine: MachineId(1),
+            local_uid: 7,
+        }
+        .at(MachineId(2))
     }
 
     #[test]
@@ -258,7 +272,9 @@ mod tests {
         let a = LinkAttrs::DATA_READ | LinkAttrs::DATA_WRITE;
         assert!(a.contains(LinkAttrs::DATA_READ));
         assert!(!a.contains(LinkAttrs::REPLY));
-        assert!(!a.without(LinkAttrs::DATA_READ).contains(LinkAttrs::DATA_READ));
+        assert!(!a
+            .without(LinkAttrs::DATA_READ)
+            .contains(LinkAttrs::DATA_READ));
         assert_eq!(format!("{:?}", a), "RD|WR");
         assert_eq!(format!("{:?}", LinkAttrs::NONE), "NONE");
     }
@@ -280,10 +296,21 @@ mod tests {
 
     #[test]
     fn area_link_roundtrip() {
-        let l = Link::to(addr())
-            .with_area(DataArea { offset: 16, len: 4096 }, LinkAttrs::DATA_READ | LinkAttrs::DATA_WRITE);
+        let l = Link::to(addr()).with_area(
+            DataArea {
+                offset: 16,
+                len: 4096,
+            },
+            LinkAttrs::DATA_READ | LinkAttrs::DATA_WRITE,
+        );
         let back = roundtrip(&l).unwrap();
-        assert_eq!(back.area, Some(DataArea { offset: 16, len: 4096 }));
+        assert_eq!(
+            back.area,
+            Some(DataArea {
+                offset: 16,
+                len: 4096
+            })
+        );
         assert!(back.attrs.contains(LinkAttrs::DATA_READ));
         assert!(back.attrs.contains(LinkAttrs::DATA_WRITE));
     }
@@ -300,13 +327,20 @@ mod tests {
         let mut l = Link::to(addr());
         let pid = l.target();
         l.rehome(MachineId(9));
-        assert_eq!(l.target(), pid, "links are context-independent: pid never changes");
+        assert_eq!(
+            l.target(),
+            pid,
+            "links are context-independent: pid never changes"
+        );
         assert_eq!(l.addr.last_known_machine, MachineId(9));
     }
 
     #[test]
     fn data_area_bounds() {
-        let a = DataArea { offset: 100, len: 50 };
+        let a = DataArea {
+            offset: 100,
+            len: 50,
+        };
         assert!(a.contains_range(100, 50));
         assert!(a.contains_range(120, 10));
         assert!(!a.contains_range(99, 2));

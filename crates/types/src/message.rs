@@ -15,6 +15,7 @@ use core::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::corr::CorrId;
 use crate::ids::{MachineId, ProcessAddress, ProcessId};
 use crate::link::Link;
 use crate::wire::{Wire, WireError};
@@ -145,7 +146,14 @@ impl Wire for MsgHeader {
         let msg_type = buf.get_u16();
         let flags = MsgFlags(buf.get_u16());
         let hops = buf.get_u8();
-        Ok(MsgHeader { dest, src, src_machine, msg_type, flags, hops })
+        Ok(MsgHeader {
+            dest,
+            src,
+            src_machine,
+            msg_type,
+            flags,
+            hops,
+        })
     }
 
     fn wire_len(&self) -> usize {
@@ -161,7 +169,12 @@ pub const MAX_CARRIED_LINKS: usize = 16;
 pub const MAX_PAYLOAD: usize = 8 * 1024;
 
 /// A complete message: header, carried links, payload bytes.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The correlation id rides alongside the wire fields: it is never
+/// encoded (wire sizes stay byte-exact), never compared (a decoded
+/// message equals the original), and is re-attached from frame metadata
+/// by the receiving transport.
+#[derive(Clone, Eq, Debug)]
 pub struct Message {
     /// Fixed header.
     pub header: MsgHeader,
@@ -169,6 +182,16 @@ pub struct Message {
     pub links: Vec<Link>,
     /// Typed payload (see [`crate::proto`] for system payloads).
     pub payload: Bytes,
+    /// Causal-tracing correlation id ([`CorrId::NONE`] until the first
+    /// kernel stamps it). Excluded from the wire encoding and from
+    /// equality.
+    pub corr: CorrId,
+}
+
+impl PartialEq for Message {
+    fn eq(&self, other: &Self) -> bool {
+        self.header == other.header && self.links == other.links && self.payload == other.payload
+    }
 }
 
 impl Message {
@@ -210,10 +233,16 @@ impl Wire for Message {
         let n_links = buf.get_u8() as usize;
         let payload_len = buf.get_u32() as usize;
         if n_links > MAX_CARRIED_LINKS {
-            return Err(WireError::BadLength { what: "Message.links", len: n_links });
+            return Err(WireError::BadLength {
+                what: "Message.links",
+                len: n_links,
+            });
         }
         if payload_len > MAX_PAYLOAD {
-            return Err(WireError::BadLength { what: "Message.payload", len: payload_len });
+            return Err(WireError::BadLength {
+                what: "Message.payload",
+                len: payload_len,
+            });
         }
         let mut links = Vec::with_capacity(n_links);
         for _ in 0..n_links {
@@ -223,7 +252,12 @@ impl Wire for Message {
             return Err(WireError::Truncated("Message.payload"));
         }
         let payload = buf.split_to(payload_len);
-        Ok(Message { header, links, payload })
+        Ok(Message {
+            header,
+            links,
+            payload,
+            corr: CorrId::NONE,
+        })
     }
 }
 
@@ -235,8 +269,15 @@ mod tests {
 
     fn header() -> MsgHeader {
         MsgHeader {
-            dest: ProcessId { creating_machine: MachineId(1), local_uid: 5 }.at(MachineId(2)),
-            src: ProcessId { creating_machine: MachineId(3), local_uid: 9 },
+            dest: ProcessId {
+                creating_machine: MachineId(1),
+                local_uid: 5,
+            }
+            .at(MachineId(2)),
+            src: ProcessId {
+                creating_machine: MachineId(3),
+                local_uid: 9,
+            },
             src_machine: MachineId(3),
             msg_type: tags::USER_BASE + 1,
             flags: MsgFlags::NONE,
@@ -253,11 +294,16 @@ mod tests {
 
     #[test]
     fn message_roundtrip_with_links() {
-        let addr = ProcessId { creating_machine: MachineId(4), local_uid: 2 }.at(MachineId(4));
+        let addr = ProcessId {
+            creating_machine: MachineId(4),
+            local_uid: 2,
+        }
+        .at(MachineId(4));
         let m = Message {
             header: header(),
             links: vec![Link::to(addr).reply(), Link::deliver_to_kernel(addr)],
             payload: Bytes::from_static(b"hello demos"),
+            corr: CorrId::new(MachineId(3), 1),
         };
         let back = roundtrip(&m).unwrap();
         assert_eq!(back, m);
@@ -266,11 +312,16 @@ mod tests {
 
     #[test]
     fn wire_size_matches_encoding() {
-        let addr = ProcessId { creating_machine: MachineId(4), local_uid: 2 }.at(MachineId(4));
+        let addr = ProcessId {
+            creating_machine: MachineId(4),
+            local_uid: 2,
+        }
+        .at(MachineId(4));
         let m = Message {
             header: header(),
             links: vec![Link::to(addr)],
             payload: Bytes::from_static(&[0u8; 100]),
+            corr: CorrId::NONE,
         };
         assert_eq!(m.wire_size(), m.to_bytes().len());
     }

@@ -56,7 +56,12 @@ impl RejectReason {
             1 => RejectReason::Policy,
             2 => RejectReason::DuplicatePid,
             3 => RejectReason::Protocol,
-            _ => return Err(WireError::BadTag { what: "RejectReason", tag: v as u16 }),
+            _ => {
+                return Err(WireError::BadTag {
+                    what: "RejectReason",
+                    tag: v as u16,
+                })
+            }
         })
     }
 }
@@ -114,10 +119,18 @@ impl Wire for KernelOp {
                 if buf.remaining() < 2 {
                     return Err(WireError::Truncated("MigrateRequest.flags"));
                 }
-                KernelOp::MigrateRequest { dest, flags: buf.get_u16() }
+                KernelOp::MigrateRequest {
+                    dest,
+                    flags: buf.get_u16(),
+                }
             }
             5 => KernelOp::QueryStatus,
-            _ => return Err(WireError::BadTag { what: "KernelOp", tag }),
+            _ => {
+                return Err(WireError::BadTag {
+                    what: "KernelOp",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -199,7 +212,13 @@ pub enum MigrateMsg {
 impl Wire for MigrateMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            MigrateMsg::Offer { ctx, pid, resident_len, swappable_len, image_len } => {
+            MigrateMsg::Offer {
+                ctx,
+                pid,
+                resident_len,
+                swappable_len,
+                image_len,
+            } => {
                 buf.put_u8(1);
                 buf.put_u16(*ctx);
                 pid.encode(buf);
@@ -270,7 +289,11 @@ impl Wire for MigrateMsg {
                 if buf.remaining() < 6 {
                     return Err(WireError::Truncated("Accept"));
                 }
-                Ok(MigrateMsg::Accept { ctx: buf.get_u16(), slot: buf.get_u16(), window: buf.get_u16() })
+                Ok(MigrateMsg::Accept {
+                    ctx: buf.get_u16(),
+                    slot: buf.get_u16(),
+                    window: buf.get_u16(),
+                })
             }
             3 => {
                 if buf.remaining() < 2 {
@@ -281,19 +304,29 @@ impl Wire for MigrateMsg {
                 if buf.remaining() < 1 {
                     return Err(WireError::Truncated("Reject.reason"));
                 }
-                Ok(MigrateMsg::Reject { ctx, pid, reason: RejectReason::from_u8(buf.get_u8())? })
+                Ok(MigrateMsg::Reject {
+                    ctx,
+                    pid,
+                    reason: RejectReason::from_u8(buf.get_u8())?,
+                })
             }
             4 => {
                 if buf.remaining() < 6 {
                     return Err(WireError::Truncated("TransferComplete"));
                 }
-                Ok(MigrateMsg::TransferComplete { ctx: buf.get_u16(), received: buf.get_u32() })
+                Ok(MigrateMsg::TransferComplete {
+                    ctx: buf.get_u16(),
+                    received: buf.get_u32(),
+                })
             }
             5 => {
                 if buf.remaining() < 4 {
                     return Err(WireError::Truncated("CleanupDone"));
                 }
-                Ok(MigrateMsg::CleanupDone { ctx: buf.get_u16(), forwarded: buf.get_u16() })
+                Ok(MigrateMsg::CleanupDone {
+                    ctx: buf.get_u16(),
+                    forwarded: buf.get_u16(),
+                })
             }
             6 => {
                 let pid = ProcessId::decode(buf)?;
@@ -301,7 +334,11 @@ impl Wire for MigrateMsg {
                 if buf.remaining() < 1 {
                     return Err(WireError::Truncated("Done.status"));
                 }
-                Ok(MigrateMsg::Done { pid, dest, status: buf.get_u8() })
+                Ok(MigrateMsg::Done {
+                    pid,
+                    dest,
+                    status: buf.get_u8(),
+                })
             }
             7 => {
                 if buf.remaining() < 2 {
@@ -311,7 +348,10 @@ impl Wire for MigrateMsg {
                 let pid = ProcessId::decode(buf)?;
                 Ok(MigrateMsg::Abort { ctx, pid })
             }
-            _ => Err(WireError::BadTag { what: "MigrateMsg", tag: tag as u16 }),
+            _ => Err(WireError::BadTag {
+                what: "MigrateMsg",
+                tag: tag as u16,
+            }),
         }
     }
 }
@@ -346,7 +386,12 @@ impl AreaSel {
             1 => AreaSel::Resident,
             2 => AreaSel::Swappable,
             3 => AreaSel::Image,
-            _ => return Err(WireError::BadTag { what: "AreaSel", tag: v as u16 }),
+            _ => {
+                return Err(WireError::BadTag {
+                    what: "AreaSel",
+                    tag: v as u16,
+                })
+            }
         })
     }
 }
@@ -424,7 +469,13 @@ pub enum MoveDataMsg {
 impl Wire for MoveDataMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            MoveDataMsg::ReadReq { op, target, sel, offset, len } => {
+            MoveDataMsg::ReadReq {
+                op,
+                target,
+                sel,
+                offset,
+                len,
+            } => {
                 buf.put_u8(1);
                 buf.put_u16(*op);
                 target.encode(buf);
@@ -432,7 +483,13 @@ impl Wire for MoveDataMsg {
                 buf.put_u32(*offset);
                 buf.put_u32(*len);
             }
-            MoveDataMsg::WriteReq { op, target, sel, offset, len } => {
+            MoveDataMsg::WriteReq {
+                op,
+                target,
+                sel,
+                offset,
+                len,
+            } => {
                 buf.put_u8(2);
                 buf.put_u16(*op);
                 target.encode(buf);
@@ -484,9 +541,21 @@ impl Wire for MoveDataMsg {
                 let offset = buf.get_u32();
                 let len = buf.get_u32();
                 Ok(if tag == 1 {
-                    MoveDataMsg::ReadReq { op, target, sel, offset, len }
+                    MoveDataMsg::ReadReq {
+                        op,
+                        target,
+                        sel,
+                        offset,
+                        len,
+                    }
                 } else {
-                    MoveDataMsg::WriteReq { op, target, sel, offset, len }
+                    MoveDataMsg::WriteReq {
+                        op,
+                        target,
+                        sel,
+                        offset,
+                        len,
+                    }
                 })
             }
             3 => {
@@ -502,21 +571,34 @@ impl Wire for MoveDataMsg {
                 if buf.remaining() < 6 {
                     return Err(WireError::Truncated("Ack"));
                 }
-                Ok(MoveDataMsg::Ack { op: buf.get_u16(), seq: buf.get_u32() })
+                Ok(MoveDataMsg::Ack {
+                    op: buf.get_u16(),
+                    seq: buf.get_u32(),
+                })
             }
             5 => {
                 if buf.remaining() < 7 {
                     return Err(WireError::Truncated("Done"));
                 }
-                Ok(MoveDataMsg::Done { op: buf.get_u16(), status: buf.get_u8(), total: buf.get_u32() })
+                Ok(MoveDataMsg::Done {
+                    op: buf.get_u16(),
+                    status: buf.get_u8(),
+                    total: buf.get_u32(),
+                })
             }
             6 => {
                 if buf.remaining() < 3 {
                     return Err(WireError::Truncated("Abort"));
                 }
-                Ok(MoveDataMsg::Abort { op: buf.get_u16(), reason: buf.get_u8() })
+                Ok(MoveDataMsg::Abort {
+                    op: buf.get_u16(),
+                    reason: buf.get_u8(),
+                })
             }
-            _ => Err(WireError::BadTag { what: "MoveDataMsg", tag: tag as u16 }),
+            _ => Err(WireError::BadTag {
+                what: "MoveDataMsg",
+                tag: tag as u16,
+            }),
         }
     }
 }
@@ -559,13 +641,21 @@ pub enum LinkMaintMsg {
 impl Wire for LinkMaintMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            LinkMaintMsg::LinkUpdate { sender, migrated, new_machine } => {
+            LinkMaintMsg::LinkUpdate {
+                sender,
+                migrated,
+                new_machine,
+            } => {
                 buf.put_u8(1);
                 sender.encode(buf);
                 migrated.encode(buf);
                 new_machine.encode(buf);
             }
-            LinkMaintMsg::NonDeliverable { dest, msg_type, reason } => {
+            LinkMaintMsg::NonDeliverable {
+                dest,
+                msg_type,
+                reason,
+            } => {
                 buf.put_u8(2);
                 dest.encode(buf);
                 buf.put_u16(*msg_type);
@@ -588,7 +678,11 @@ impl Wire for LinkMaintMsg {
                 let sender = ProcessId::decode(buf)?;
                 let migrated = ProcessId::decode(buf)?;
                 let new_machine = MachineId::decode(buf)?;
-                Ok(LinkMaintMsg::LinkUpdate { sender, migrated, new_machine })
+                Ok(LinkMaintMsg::LinkUpdate {
+                    sender,
+                    migrated,
+                    new_machine,
+                })
             }
             2 => {
                 let dest = ProcessId::decode(buf)?;
@@ -601,8 +695,13 @@ impl Wire for LinkMaintMsg {
                     reason: buf.get_u8(),
                 })
             }
-            3 => Ok(LinkMaintMsg::DeathNotice { pid: ProcessId::decode(buf)? }),
-            _ => Err(WireError::BadTag { what: "LinkMaintMsg", tag: tag as u16 }),
+            3 => Ok(LinkMaintMsg::DeathNotice {
+                pid: ProcessId::decode(buf)?,
+            }),
+            _ => Err(WireError::BadTag {
+                what: "LinkMaintMsg",
+                tag: tag as u16,
+            }),
         }
     }
 }
@@ -613,7 +712,10 @@ mod tests {
     use crate::wire::roundtrip;
 
     fn pid(u: u32) -> ProcessId {
-        ProcessId { creating_machine: MachineId(1), local_uid: u }
+        ProcessId {
+            creating_machine: MachineId(1),
+            local_uid: u,
+        }
     }
 
     #[test]
@@ -622,7 +724,10 @@ mod tests {
             KernelOp::Suspend,
             KernelOp::Resume,
             KernelOp::Kill,
-            KernelOp::MigrateRequest { dest: MachineId(7), flags: 0 },
+            KernelOp::MigrateRequest {
+                dest: MachineId(7),
+                flags: 0,
+            },
             KernelOp::QueryStatus,
         ] {
             assert_eq!(roundtrip(&op).unwrap(), op);
@@ -633,20 +738,50 @@ mod tests {
     fn migrate_request_is_six_bytes() {
         // §6: administrative messages are "in the 6-12 byte range";
         // message #1 is exactly 6 bytes here.
-        let op = KernelOp::MigrateRequest { dest: MachineId(3), flags: 0 };
+        let op = KernelOp::MigrateRequest {
+            dest: MachineId(3),
+            flags: 0,
+        };
         assert_eq!(op.wire_len(), 6);
     }
 
     #[test]
     fn migrate_msg_roundtrips() {
         let msgs = [
-            MigrateMsg::Offer { ctx: 9, pid: pid(4), resident_len: 250, swappable_len: 600, image_len: 65536 },
-            MigrateMsg::Accept { ctx: 9, slot: 3, window: 1024 },
-            MigrateMsg::Reject { ctx: 9, pid: pid(4), reason: RejectReason::Policy },
-            MigrateMsg::TransferComplete { ctx: 9, received: 66386 },
-            MigrateMsg::CleanupDone { ctx: 9, forwarded: 12 },
-            MigrateMsg::Done { pid: pid(4), dest: MachineId(2), status: 0 },
-            MigrateMsg::Abort { ctx: 9, pid: pid(4) },
+            MigrateMsg::Offer {
+                ctx: 9,
+                pid: pid(4),
+                resident_len: 250,
+                swappable_len: 600,
+                image_len: 65536,
+            },
+            MigrateMsg::Accept {
+                ctx: 9,
+                slot: 3,
+                window: 1024,
+            },
+            MigrateMsg::Reject {
+                ctx: 9,
+                pid: pid(4),
+                reason: RejectReason::Policy,
+            },
+            MigrateMsg::TransferComplete {
+                ctx: 9,
+                received: 66386,
+            },
+            MigrateMsg::CleanupDone {
+                ctx: 9,
+                forwarded: 12,
+            },
+            MigrateMsg::Done {
+                pid: pid(4),
+                dest: MachineId(2),
+                status: 0,
+            },
+            MigrateMsg::Abort {
+                ctx: 9,
+                pid: pid(4),
+            },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m).unwrap(), m);
@@ -660,28 +795,89 @@ mod tests {
         // because we carry a full 32-bit image size (the Z8000 original
         // used 16-bit quantities) — EXPERIMENTS.md discusses the delta.
         assert_eq!(
-            MigrateMsg::Offer { ctx: 0, pid: pid(1), resident_len: 0, swappable_len: 0, image_len: 0 }
-                .wire_len(),
+            MigrateMsg::Offer {
+                ctx: 0,
+                pid: pid(1),
+                resident_len: 0,
+                swappable_len: 0,
+                image_len: 0
+            }
+            .wire_len(),
             17
         );
-        assert_eq!(MigrateMsg::Accept { ctx: 0, slot: 0, window: 0 }.wire_len(), 7);
         assert_eq!(
-            MigrateMsg::Reject { ctx: 0, pid: pid(1), reason: RejectReason::Capacity }.wire_len(),
+            MigrateMsg::Accept {
+                ctx: 0,
+                slot: 0,
+                window: 0
+            }
+            .wire_len(),
+            7
+        );
+        assert_eq!(
+            MigrateMsg::Reject {
+                ctx: 0,
+                pid: pid(1),
+                reason: RejectReason::Capacity
+            }
+            .wire_len(),
             10
         );
-        assert_eq!(MigrateMsg::TransferComplete { ctx: 0, received: 0 }.wire_len(), 7);
-        assert_eq!(MigrateMsg::CleanupDone { ctx: 0, forwarded: 0 }.wire_len(), 5);
-        assert_eq!(MigrateMsg::Done { pid: pid(1), dest: MachineId(0), status: 0 }.wire_len(), 10);
+        assert_eq!(
+            MigrateMsg::TransferComplete {
+                ctx: 0,
+                received: 0
+            }
+            .wire_len(),
+            7
+        );
+        assert_eq!(
+            MigrateMsg::CleanupDone {
+                ctx: 0,
+                forwarded: 0
+            }
+            .wire_len(),
+            5
+        );
+        assert_eq!(
+            MigrateMsg::Done {
+                pid: pid(1),
+                dest: MachineId(0),
+                status: 0
+            }
+            .wire_len(),
+            10
+        );
     }
 
     #[test]
     fn move_data_roundtrips() {
         let msgs = [
-            MoveDataMsg::ReadReq { op: 1, target: pid(2), sel: AreaSel::Image, offset: 0, len: 0 },
-            MoveDataMsg::WriteReq { op: 1, target: pid(2), sel: AreaSel::LinkArea, offset: 64, len: 128 },
-            MoveDataMsg::Data { op: 1, seq: 5, bytes: Bytes::from_static(b"abc") },
+            MoveDataMsg::ReadReq {
+                op: 1,
+                target: pid(2),
+                sel: AreaSel::Image,
+                offset: 0,
+                len: 0,
+            },
+            MoveDataMsg::WriteReq {
+                op: 1,
+                target: pid(2),
+                sel: AreaSel::LinkArea,
+                offset: 64,
+                len: 128,
+            },
+            MoveDataMsg::Data {
+                op: 1,
+                seq: 5,
+                bytes: Bytes::from_static(b"abc"),
+            },
             MoveDataMsg::Ack { op: 1, seq: 5 },
-            MoveDataMsg::Done { op: 1, status: 0, total: 4096 },
+            MoveDataMsg::Done {
+                op: 1,
+                status: 0,
+                total: 4096,
+            },
             MoveDataMsg::Abort { op: 1, reason: 2 },
         ];
         for m in msgs {
@@ -692,8 +888,16 @@ mod tests {
     #[test]
     fn link_maint_roundtrips() {
         let msgs = [
-            LinkMaintMsg::LinkUpdate { sender: pid(1), migrated: pid(2), new_machine: MachineId(3) },
-            LinkMaintMsg::NonDeliverable { dest: pid(2), msg_type: 0x1001, reason: 0 },
+            LinkMaintMsg::LinkUpdate {
+                sender: pid(1),
+                migrated: pid(2),
+                new_machine: MachineId(3),
+            },
+            LinkMaintMsg::NonDeliverable {
+                dest: pid(2),
+                msg_type: 0x1001,
+                reason: 0,
+            },
             LinkMaintMsg::DeathNotice { pid: pid(2) },
         ];
         for m in msgs {

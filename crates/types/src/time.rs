@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(t, Time(15));
         assert_eq!(t.since(Time(10)), Duration(5));
         assert_eq!(Time(3).since(Time(10)), Duration::ZERO, "saturating");
-        assert_eq!(Duration::from_millis(2) + Duration::from_micros(1), Duration(2001));
+        assert_eq!(
+            Duration::from_millis(2) + Duration::from_micros(1),
+            Duration(2001)
+        );
         assert_eq!(Duration::from_secs(1).as_millis(), 1000);
     }
 

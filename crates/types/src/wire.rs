@@ -81,7 +81,10 @@ pub trait Wire: Sized {
         let mut b = bytes.clone();
         let v = Self::decode(&mut b)?;
         if b.has_remaining() {
-            return Err(WireError::BadLength { what: "trailing bytes", len: b.remaining() });
+            return Err(WireError::BadLength {
+                what: "trailing bytes",
+                len: b.remaining(),
+            });
         }
         Ok(v)
     }
@@ -115,7 +118,10 @@ pub fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
 /// permitted; invalid bytes are an error).
 pub fn get_string(buf: &mut Bytes, what: &'static str, max: usize) -> Result<String, WireError> {
     let bytes = get_bytes(buf, what, max)?;
-    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadLength { what, len: bytes.len() })
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadLength {
+        what,
+        len: bytes.len(),
+    })
 }
 
 /// Write a length-prefixed UTF-8 string.
@@ -192,7 +198,10 @@ mod tests {
         assert_eq!(roundtrip(&0xabu8).unwrap(), 0xab);
         assert_eq!(roundtrip(&0xabcdu16).unwrap(), 0xabcd);
         assert_eq!(roundtrip(&0xdead_beefu32).unwrap(), 0xdead_beef);
-        assert_eq!(roundtrip(&0x0123_4567_89ab_cdefu64).unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(
+            roundtrip(&0x0123_4567_89ab_cdefu64).unwrap(),
+            0x0123_4567_89ab_cdef
+        );
     }
 
     #[test]
@@ -220,7 +229,10 @@ mod tests {
         let mut buf = BytesMut::new();
         put_bytes(&mut buf, &[0u8; 64]);
         let mut b = buf.freeze();
-        assert!(matches!(get_bytes(&mut b, "t", 32), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            get_bytes(&mut b, "t", 32),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]

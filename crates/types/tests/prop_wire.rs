@@ -14,8 +14,10 @@ fn arb_machine() -> impl Strategy<Value = MachineId> {
 }
 
 fn arb_pid() -> impl Strategy<Value = ProcessId> {
-    (arb_machine(), any::<u32>())
-        .prop_map(|(creating_machine, local_uid)| ProcessId { creating_machine, local_uid })
+    (arb_machine(), any::<u32>()).prop_map(|(creating_machine, local_uid)| ProcessId {
+        creating_machine,
+        local_uid,
+    })
 }
 
 fn arb_addr() -> impl Strategy<Value = ProcessAddress> {
@@ -23,27 +25,42 @@ fn arb_addr() -> impl Strategy<Value = ProcessAddress> {
 }
 
 fn arb_link() -> impl Strategy<Value = Link> {
-    (arb_addr(), any::<u8>(), proptest::option::of((any::<u32>(), any::<u32>()))).prop_map(
-        |(addr, attr_bits, area)| {
+    (
+        arb_addr(),
+        any::<u8>(),
+        proptest::option::of((any::<u32>(), any::<u32>())),
+    )
+        .prop_map(|(addr, attr_bits, area)| {
             // Mask to the defined attribute bits, excluding HAS_AREA which the
             // codec derives from `area`.
             let attrs = LinkAttrs(attr_bits as u16 & 0b1111);
-            Link { addr, attrs, area: area.map(|(offset, len)| DataArea { offset, len }) }
-        },
-    )
+            Link {
+                addr,
+                attrs,
+                area: area.map(|(offset, len)| DataArea { offset, len }),
+            }
+        })
 }
 
 fn arb_header() -> impl Strategy<Value = MsgHeader> {
-    (arb_addr(), arb_pid(), arb_machine(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-        |(dest, src, src_machine, msg_type, flags, hops)| MsgHeader {
-            dest,
-            src,
-            src_machine,
-            msg_type,
-            flags: MsgFlags(flags),
-            hops,
-        },
+    (
+        arb_addr(),
+        arb_pid(),
+        arb_machine(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
     )
+        .prop_map(
+            |(dest, src, src_machine, msg_type, flags, hops)| MsgHeader {
+                dest,
+                src,
+                src_machine,
+                msg_type,
+                flags: MsgFlags(flags),
+                hops,
+            },
+        )
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -51,8 +68,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_header(),
         proptest::collection::vec(arb_link(), 0..8),
         proptest::collection::vec(any::<u8>(), 0..512),
+        any::<u64>(),
     )
-        .prop_map(|(header, links, payload)| Message { header, links, payload: Bytes::from(payload) })
+        .prop_map(|(header, links, payload, corr)| Message {
+            header,
+            links,
+            payload: Bytes::from(payload),
+            corr: demos_types::CorrId(corr),
+        })
 }
 
 proptest! {
@@ -86,7 +109,13 @@ proptest! {
         prop_assert_eq!(back.header, msg.header);
         prop_assert_eq!(back.links.len(), msg.links.len());
         prop_assert_eq!(msg.wire_size(), msg.to_bytes().len());
-        prop_assert_eq!(back.payload, msg.payload);
+        prop_assert_eq!(&back.payload, &msg.payload);
+        // The correlation id never crosses the wire: whatever id the
+        // original carried, the decoded message is unstamped and the
+        // encoding is identical to an unstamped message's.
+        prop_assert!(back.corr.is_none());
+        let unstamped = Message { corr: demos_types::CorrId::NONE, ..msg.clone() };
+        prop_assert_eq!(msg.to_bytes(), unstamped.to_bytes());
     }
 
     #[test]

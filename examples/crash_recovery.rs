@@ -12,31 +12,61 @@
 
 use demos_mp::kernel::Outbox;
 use demos_mp::sim::prelude::*;
-use demos_mp::sim::programs::{client_stats, Client, EchoServer, server_served};
+use demos_mp::sim::programs::{client_stats, server_served, Client, EchoServer};
 use demos_mp::types::wire::Wire;
 
 fn client_recv(cluster: &Cluster, client: ProcessId) -> u64 {
     let m = cluster.where_is(client).unwrap();
-    client_stats(&cluster.node(m).kernel.process(client).unwrap().program.as_ref().unwrap().save())
-        .recv
+    client_stats(
+        &cluster
+            .node(m)
+            .kernel
+            .process(client)
+            .unwrap()
+            .program
+            .as_ref()
+            .unwrap()
+            .save(),
+    )
+    .recv
 }
 
 fn main() {
     println!("DEMOS/MP: migrating a process off a processor that already crashed\n");
     let mut cluster = Cluster::mesh(3);
     let server = cluster
-        .spawn(MachineId(0), "echo_server", &EchoServer::state(50), ImageLayout::default())
+        .spawn(
+            MachineId(0),
+            "echo_server",
+            &EchoServer::state(50),
+            ImageLayout::default(),
+        )
         .unwrap();
     let client = cluster
-        .spawn(MachineId(1), "client", &Client::state(0, 5_000, 32), ImageLayout::default())
+        .spawn(
+            MachineId(1),
+            "client",
+            &Client::state(0, 5_000, 32),
+            ImageLayout::default(),
+        )
         .unwrap();
     let link = cluster.link_to(server).unwrap();
-    cluster.post(client, wl::INIT, bytes::Bytes::new(), vec![link]).unwrap();
+    cluster
+        .post(client, wl::INIT, bytes::Bytes::new(), vec![link])
+        .unwrap();
     cluster.run_for(Duration::from_millis(200));
-    println!("t={}  server on m0 has replied to {} requests", cluster.now(), client_recv(&cluster, client));
+    println!(
+        "t={}  server on m0 has replied to {} requests",
+        cluster.now(),
+        client_recv(&cluster, client)
+    );
 
     let now = cluster.now();
-    let ck = cluster.node_mut(MachineId(0)).kernel.checkpoint(now, server).unwrap();
+    let ck = cluster
+        .node_mut(MachineId(0))
+        .kernel
+        .checkpoint(now, server)
+        .unwrap();
     let stable = ck.to_bytes();
     println!(
         "t={}  checkpoint written to stable storage: {} bytes (resident {} + swappable {} + image {})",
@@ -56,16 +86,27 @@ fn main() {
     cluster.crash(MachineId(0));
     cluster.run_for(Duration::from_millis(100));
     let stalled = client_recv(&cluster, client);
-    println!("t={}  client stalled at {} replies (its link points at a dead machine)", cluster.now(), stalled);
+    println!(
+        "t={}  client stalled at {} replies (its link points at a dead machine)",
+        cluster.now(),
+        stalled
+    );
 
     // Recovery.
     let ck_back: demos_mp::kernel::Checkpoint = Wire::from_bytes(&stable).unwrap();
     let now = cluster.now();
     let mut out = Outbox::default();
-    cluster.node_mut(MachineId(2)).kernel.restore_checkpoint(now, &ck_back, &mut out).unwrap();
+    cluster
+        .node_mut(MachineId(2))
+        .kernel
+        .restore_checkpoint(now, &ck_back, &mut out)
+        .unwrap();
     cluster.revive(MachineId(0));
     let mut out = Outbox::default();
-    cluster.node_mut(MachineId(0)).kernel.install_forwarding(server, MachineId(2), &mut out);
+    cluster
+        .node_mut(MachineId(0))
+        .kernel
+        .install_forwarding(server, MachineId(2), &mut out);
     println!(
         "t={}  checkpoint restored on m2 (rolled back to {} requests served);",
         cluster.now(),

@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run --example file_server_migration`
 
-use demos_mp::sim::boot::{boot_system, spawn_fs_clients, total_client_errors, total_client_ops, BootConfig};
+use demos_mp::sim::boot::{
+    boot_system, spawn_fs_clients, total_client_errors, total_client_ops, BootConfig,
+};
 use demos_mp::sim::prelude::*;
 use demos_mp::sysproc::fs_client_stats;
 
@@ -22,8 +24,11 @@ fn main() {
         handles.switchboard, handles.procmgr, handles.fs_file, handles.fs_disk
     );
 
-    let mut clients = spawn_fs_clients(&mut cluster, &handles, MachineId(1), 2, 2, 2_000, 128, 50).unwrap();
-    clients.extend(spawn_fs_clients(&mut cluster, &handles, MachineId(2), 2, 2, 2_000, 128, 50).unwrap());
+    let mut clients =
+        spawn_fs_clients(&mut cluster, &handles, MachineId(1), 2, 2, 2_000, 128, 50).unwrap();
+    clients.extend(
+        spawn_fs_clients(&mut cluster, &handles, MachineId(2), 2, 2, 2_000, 128, 50).unwrap(),
+    );
     cluster.run_for(Duration::from_millis(300));
     println!(
         "\nt={}  warm-up: {} client ops completed, {} errors",
@@ -55,7 +60,15 @@ fn main() {
     for &c in &clients {
         let m = cluster.where_is(c).unwrap();
         let stats = fs_client_stats(
-            &cluster.node(m).kernel.process(c).unwrap().program.as_ref().unwrap().save(),
+            &cluster
+                .node(m)
+                .kernel
+                .process(c)
+                .unwrap()
+                .program
+                .as_ref()
+                .unwrap()
+                .save(),
         );
         println!(
             "  client {c:?} on {m}: {} ops ({} reads / {} writes), {} errors, mean latency {}us",

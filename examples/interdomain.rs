@@ -48,14 +48,27 @@ fn main() {
 
     // A big process: B refuses it; A's other machine takes it.
     let big = cluster
-        .spawn(m(0), "cargo", &Cargo::state(64), ImageLayout { code: 64 * 1024, data: 4096, stack: 2048 })
+        .spawn(
+            m(0),
+            "cargo",
+            &Cargo::state(64),
+            ImageLayout {
+                code: 64 * 1024,
+                data: 4096,
+                stack: 2048,
+            },
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(5));
     cluster.migrate(big, m(2)).unwrap();
     cluster.run_for(Duration::from_millis(400));
     println!(
         "big process (68 KiB image): asked to enter domain B → {} (rejections at m2: {})",
-        if cluster.where_is(big) == Some(m(0)) { "REFUSED, stayed in A" } else { "accepted?!" },
+        if cluster.where_is(big) == Some(m(0)) {
+            "REFUSED, stayed in A"
+        } else {
+            "accepted?!"
+        },
         cluster.node(m(2)).engine.stats().rejected
     );
     cluster.migrate(big, m(1)).unwrap();
@@ -67,15 +80,37 @@ fn main() {
 
     // A small process crosses into B and keeps talking to its partner in A.
     let pa = cluster
-        .spawn(m(0), "pingpong", &PingPong::state(0, 50), ImageLayout { code: 4096, data: 2048, stack: 1024 })
+        .spawn(
+            m(0),
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout {
+                code: 4096,
+                data: 2048,
+                stack: 1024,
+            },
+        )
         .unwrap();
     let pb = cluster
-        .spawn(m(1), "pingpong", &PingPong::state(0, 50), ImageLayout { code: 4096, data: 2048, stack: 1024 })
+        .spawn(
+            m(1),
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout {
+                code: 4096,
+                data: 2048,
+                stack: 1024,
+            },
+        )
         .unwrap();
     let la = cluster.link_to(pa).unwrap();
     let lb = cluster.link_to(pb).unwrap();
-    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
-    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster
+        .post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+        .unwrap();
+    cluster
+        .post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
     cluster.run_for(Duration::from_millis(100));
 
     cluster.migrate(pb, m(3)).unwrap();

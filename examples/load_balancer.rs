@@ -14,19 +14,28 @@ fn main() {
     let pids: Vec<ProcessId> = (0..12)
         .map(|_| {
             cluster
-                .spawn(MachineId(0), "cpu_burner", &CpuBurner::state(0, 900, 1_000), ImageLayout::default())
+                .spawn(
+                    MachineId(0),
+                    "cpu_burner",
+                    &CpuBurner::state(0, 900, 1_000),
+                    ImageLayout::default(),
+                )
                 .unwrap()
         })
         .collect();
     println!("12 CPU-bound jobs spawned, all on m0.");
 
-    let policy = LoadBalance::new(2, Hysteresis::new(Duration::from_millis(50), Duration::from_millis(10)));
+    let policy = LoadBalance::new(
+        2,
+        Hysteresis::new(Duration::from_millis(50), Duration::from_millis(10)),
+    );
     let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(20));
 
     for step in 1..=8 {
         driver.run(&mut cluster, Duration::from_millis(250));
-        let counts: Vec<usize> =
-            (0..4).map(|i| cluster.node(MachineId(i)).kernel.nprocs()).collect();
+        let counts: Vec<usize> = (0..4)
+            .map(|i| cluster.node(MachineId(i)).kernel.nprocs())
+            .collect();
         let done: u64 = pids
             .iter()
             .filter_map(|&pid| {

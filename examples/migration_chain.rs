@@ -16,10 +16,20 @@ fn main() {
     let n = 6usize;
     let mut cluster = Cluster::mesh(n);
     let server = cluster
-        .spawn(MachineId(0), "echo_server", &EchoServer::state(20), ImageLayout::default())
+        .spawn(
+            MachineId(0),
+            "echo_server",
+            &EchoServer::state(20),
+            ImageLayout::default(),
+        )
         .unwrap();
     let client = cluster
-        .spawn(MachineId(5), "client", &Client::state(3, 100_000, 16), ImageLayout::default())
+        .spawn(
+            MachineId(5),
+            "client",
+            &Client::state(3, 100_000, 16),
+            ImageLayout::default(),
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(10));
 
@@ -31,33 +41,63 @@ fn main() {
 
     println!("\nforwarding chain left behind (8 bytes per entry, §4):");
     for i in 0..n as u16 {
-        if let Some(e) = cluster.node(MachineId(i)).kernel.forwarding_table().get(&server) {
-            println!("  m{i}: {server:?} → {}   (forwards so far: {})", e.to, e.forwards);
+        if let Some(e) = cluster
+            .node(MachineId(i))
+            .kernel
+            .forwarding_table()
+            .get(&server)
+        {
+            println!(
+                "  m{i}: {server:?} → {}   (forwards so far: {})",
+                e.to, e.forwards
+            );
         }
     }
 
     // Hand the client the original, maximally stale link.
     let stale = demos_mp::types::Link::to(server.at(MachineId(0)));
-    cluster.post(client, wl::INIT, bytes::Bytes::new(), vec![stale]).unwrap();
+    cluster
+        .post(client, wl::INIT, bytes::Bytes::new(), vec![stale])
+        .unwrap();
     cluster.run_for(Duration::from_millis(600));
 
     println!("\nrequest hops observed at the server:");
     for r in cluster.trace().records() {
-        if let TraceEvent::Enqueued { pid, msg_type, hops, forwarded } = r.event {
+        if let TraceEvent::Enqueued {
+            pid,
+            msg_type,
+            hops,
+            forwarded,
+            ..
+        } = r.event
+        {
             if pid == server && msg_type == wl::REQ {
                 println!(
                     "  t={:>9}  REQ arrived with {} forwarding hops{}",
                     format!("{}", r.at),
                     hops,
-                    if forwarded { " (chased the chain)" } else { " (direct)" }
+                    if forwarded {
+                        " (chased the chain)"
+                    } else {
+                        " (direct)"
+                    }
                 );
             }
         }
     }
 
     let m = cluster.where_is(client).unwrap();
-    let stats =
-        client_stats(&cluster.node(m).kernel.process(client).unwrap().program.as_ref().unwrap().save());
+    let stats = client_stats(
+        &cluster
+            .node(m)
+            .kernel
+            .process(client)
+            .unwrap()
+            .program
+            .as_ref()
+            .unwrap()
+            .save(),
+    );
     println!(
         "\nclient: {} requests sent, {} replies received — the stale link was",
         stats.sent, stats.recv

@@ -19,7 +19,11 @@ struct Pinger {
 }
 
 impl demos_mp::kernel::Program for Pinger {
-    fn on_message(&mut self, ctx: &mut demos_mp::kernel::Ctx<'_>, msg: demos_mp::kernel::Delivered) {
+    fn on_message(
+        &mut self,
+        ctx: &mut demos_mp::kernel::Ctx<'_>,
+        msg: demos_mp::kernel::Delivered,
+    ) {
         const INIT: u16 = demos_mp::types::tags::USER_BASE;
         const BALL: u16 = demos_mp::types::tags::USER_BASE + 1;
         match msg.msg_type {
@@ -35,7 +39,12 @@ impl demos_mp::kernel::Program for Pinger {
                 self.rallies += 1;
                 ctx.cpu(VDuration::from_micros(10));
                 if self.peer != 0 {
-                    let _ = ctx.send(demos_mp::types::LinkIdx(self.peer), BALL, bytes::Bytes::new(), &[]);
+                    let _ = ctx.send(
+                        demos_mp::types::LinkIdx(self.peer),
+                        BALL,
+                        bytes::Bytes::new(),
+                        &[],
+                    );
                 }
             }
             _ => {}
@@ -65,7 +74,10 @@ fn main() {
             rallies.copy_from_slice(&state[..8]);
             peer.copy_from_slice(&state[8..12]);
         }
-        Box::new(Pinger { rallies: u64::from_be_bytes(rallies), peer: u32::from_be_bytes(peer) })
+        Box::new(Pinger {
+            rallies: u64::from_be_bytes(rallies),
+            peer: u32::from_be_bytes(peer),
+        })
     });
 
     let m = MachineId;
@@ -75,13 +87,29 @@ fn main() {
         KernelConfig::default(),
         demos_mp::core::MigrationConfig::default(),
     );
-    let pa = cluster.spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
-    let pb = cluster.spawn(m(1), "pinger", &[0u8; 12], ImageLayout::default()).unwrap();
-    let la = demos_mp::types::Link { addr: pa.at(m(0)), attrs: LinkAttrs::NONE, area: None };
-    let lb = demos_mp::types::Link { addr: pb.at(m(1)), attrs: LinkAttrs::NONE, area: None };
+    let pa = cluster
+        .spawn(m(0), "pinger", &[0u8; 12], ImageLayout::default())
+        .unwrap();
+    let pb = cluster
+        .spawn(m(1), "pinger", &[0u8; 12], ImageLayout::default())
+        .unwrap();
+    let la = demos_mp::types::Link {
+        addr: pa.at(m(0)),
+        attrs: LinkAttrs::NONE,
+        area: None,
+    };
+    let lb = demos_mp::types::Link {
+        addr: pb.at(m(1)),
+        attrs: LinkAttrs::NONE,
+        area: None,
+    };
     const INIT: u16 = demos_mp::types::tags::USER_BASE;
-    cluster.post(m(1), pb, INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
-    cluster.post(m(0), pa, INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
+    cluster
+        .post(m(1), pb, INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
+    cluster
+        .post(m(0), pa, INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+        .unwrap();
 
     std::thread::sleep(Duration::from_millis(300));
     let r0 = rallies_of(&cluster.query_state(m(0), pa).unwrap().unwrap());
@@ -97,7 +125,10 @@ fn main() {
         rallies_of(&cluster.query_state(m(0), pa).unwrap().unwrap()),
     );
     let (s1, _) = cluster.stats(m(1)).unwrap();
-    println!("m1 forwarded {} stale messages and sent {} link updates", s1.forwarded, s1.link_updates_sent);
+    println!(
+        "m1 forwarded {} stale messages and sent {} link updates",
+        s1.forwarded, s1.link_updates_sent
+    );
     cluster.shutdown();
     println!("\nall machine threads joined cleanly.");
 }

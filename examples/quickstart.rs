@@ -11,7 +11,6 @@
 use demos_mp::sim::prelude::*;
 use demos_mp::sim::programs::{pingpong_rallies, PingPong};
 
-
 fn rallies(cluster: &Cluster, pid: ProcessId) -> u64 {
     let m = cluster.where_is(pid).expect("alive");
     let p = cluster.node(m).kernel.process(pid).unwrap();
@@ -23,15 +22,29 @@ fn main() {
     let mut cluster = Cluster::mesh(3);
 
     let pa = cluster
-        .spawn(MachineId(0), "pingpong", &PingPong::state(0, 50), ImageLayout::default())
+        .spawn(
+            MachineId(0),
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
         .unwrap();
     let pb = cluster
-        .spawn(MachineId(1), "pingpong", &PingPong::state(0, 50), ImageLayout::default())
+        .spawn(
+            MachineId(1),
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
         .unwrap();
     let la = cluster.link_to(pa).unwrap();
     let lb = cluster.link_to(pb).unwrap();
-    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
-    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster
+        .post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+        .unwrap();
+    cluster
+        .post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
 
     cluster.run_for(Duration::from_millis(100));
     println!(

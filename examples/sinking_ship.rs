@@ -37,7 +37,12 @@ fn main() {
     let pids: Vec<ProcessId> = (0..4)
         .map(|_| {
             cluster
-                .spawn(MachineId(0), "cpu_burner", &CpuBurner::state(0, 500, 1_000), ImageLayout::default())
+                .spawn(
+                    MachineId(0),
+                    "cpu_burner",
+                    &CpuBurner::state(0, 500, 1_000),
+                    ImageLayout::default(),
+                )
                 .unwrap()
         })
         .collect();
@@ -56,6 +61,9 @@ fn main() {
     cluster.run_for(Duration::from_secs(1));
     report(&cluster, &pids, "after the crash ");
 
-    let survivors = pids.iter().filter(|&&p| cluster.where_is(p).is_some()).count();
+    let survivors = pids
+        .iter()
+        .filter(|&&p| cluster.where_is(p).is_some())
+        .count();
     println!("\n{survivors}/4 processes survived the processor failure and kept working.");
 }

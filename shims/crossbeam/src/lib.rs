@@ -1,0 +1,190 @@
+//! In-tree, dependency-free replacement for the subset of the
+//! [`crossbeam`] crate this workspace uses: MPSC channels (backed by
+//! `std::sync::mpsc`) and a polling [`select!`] macro.
+//!
+//! Differences from the real crate, acceptable for the native-mode
+//! runtime that is this shim's only consumer:
+//!
+//! * `Receiver` is not `Clone` (no MPMC);
+//! * `select!` polls with a short sleep instead of parking on OS
+//!   primitives, so its wake-up latency is up to ~200 µs.
+//!
+//! [`crossbeam`]: https://docs.rs/crossbeam
+
+#![forbid(unsafe_code)]
+
+/// Channel types and constructors, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    // Re-export so `crossbeam::channel::select!` resolves like the real
+    // crate's path.
+    pub use crate::select;
+
+    /// Sending half of a channel. Clonable (MPSC).
+    pub struct Sender<T>(Kind<T>);
+
+    enum Kind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Kind::Unbounded(tx) => Kind::Unbounded(tx.clone()),
+                Kind::Bounded(tx) => Kind::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking if the channel is bounded and full.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Kind::Unbounded(tx) => tx.send(t),
+                Kind::Bounded(tx) => tx.send(t),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Block up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Kind::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Kind::Bounded(tx)), Receiver(rx))
+    }
+}
+
+/// Wait on several receivers at once, with a timeout arm.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// select! {
+///     recv(rx_a) -> msg => { ... }
+///     recv(rx_b) -> msg => { ... }
+///     default(timeout) => { ... }
+/// }
+/// ```
+///
+/// Each `msg` binds a `Result<T, RecvError>` like the real crate. The
+/// implementation polls `try_recv` on each arm and sleeps briefly
+/// between rounds until the deadline passes.
+#[macro_export]
+macro_rules! select {
+    (
+        $(recv($rx:expr) -> $res:pat => $body:block)+
+        default($timeout:expr) => $def:block
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        loop {
+            $(
+                match $rx.try_recv() {
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                    __r => {
+                        let $res = __r.map_err(|_| $crate::channel::RecvError);
+                        { $body }
+                        break;
+                    }
+                }
+            )+
+            if ::std::time::Instant::now() >= __deadline {
+                { $def }
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bounded_reply_pattern() {
+        let (tx, rx) = bounded(1);
+        std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(42));
+    }
+
+    #[test]
+    fn select_picks_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(7).unwrap();
+        let mut got = None;
+        crate::select! {
+            recv(rx_a) -> v => { got = Some(v); }
+            recv(rx_b) -> v => { got = Some(v); }
+            default(Duration::from_millis(10)) => {}
+        }
+        assert_eq!(got, Some(Ok(7)));
+    }
+
+    #[test]
+    fn select_times_out_and_reports_disconnect() {
+        let (_tx, rx) = unbounded::<u32>();
+        let mut timed_out = false;
+        let mut fired = false;
+        crate::select! {
+            recv(rx) -> _v => { fired = true; }
+            default(Duration::from_millis(5)) => { timed_out = true; }
+        }
+        assert!(timed_out && !fired);
+
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        let mut seen: Option<Result<u32, RecvError>> = None;
+        crate::select! {
+            recv(rx) -> v => { seen = Some(v); }
+            default(Duration::from_millis(5)) => {}
+        }
+        assert_eq!(seen, Some(Err(RecvError)));
+    }
+}

@@ -1,0 +1,111 @@
+//! In-tree, dependency-free replacement for the subset of the [`rand`]
+//! crate this workspace uses: a seedable deterministic generator
+//! ([`rngs::StdRng`]) plus the [`Rng`]/[`SeedableRng`] traits.
+//!
+//! Determinism is a feature here, not an accident: the simulator's
+//! replay tests require that the same seed yields the same frame-loss
+//! decisions on every platform, so the generator is a fixed splitmix64
+//! rather than a platform-dependent source.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+#![forbid(unsafe_code)]
+
+/// Random generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The user-facing sampling interface.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Bernoulli trial: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            // Still consume one draw so the stream position is
+            // independent of `p`, like a real Bernoulli sampler.
+            let _ = self.next_u64();
+            return true;
+        }
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform value in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64).
+    ///
+    /// Not the real crate's ChaCha-based `StdRng` — this shim trades
+    /// cryptographic quality for zero dependencies; statistical quality
+    /// is ample for loss coin-flips and jitter.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): passes BigCrush, one
+            // add + two xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use demos_mp::kernel::Outbox;
 use demos_mp::sim::prelude::*;
-use demos_mp::sim::programs::{client_stats, Client, EchoServer, server_served};
+use demos_mp::sim::programs::{client_stats, server_served, Client, EchoServer};
 
 fn m(i: u16) -> MachineId {
     MachineId(i)
@@ -14,18 +14,34 @@ fn m(i: u16) -> MachineId {
 fn checkpointed_server_survives_processor_crash() {
     let mut cluster = Cluster::mesh(3);
     let server = cluster
-        .spawn(m(0), "echo_server", &EchoServer::state(50), ImageLayout::default())
+        .spawn(
+            m(0),
+            "echo_server",
+            &EchoServer::state(50),
+            ImageLayout::default(),
+        )
         .unwrap();
     let client = cluster
-        .spawn(m(1), "client", &Client::state(0, 5_000, 32), ImageLayout::default())
+        .spawn(
+            m(1),
+            "client",
+            &Client::state(0, 5_000, 32),
+            ImageLayout::default(),
+        )
         .unwrap();
     let link = cluster.link_to(server).unwrap();
-    cluster.post(client, wl::INIT, bytes::Bytes::new(), vec![link]).unwrap();
+    cluster
+        .post(client, wl::INIT, bytes::Bytes::new(), vec![link])
+        .unwrap();
     cluster.run_for(Duration::from_millis(200));
 
     // Periodic checkpoint to "stable storage".
     let now = cluster.now();
-    let ck = cluster.node_mut(m(0)).kernel.checkpoint(now, server).unwrap();
+    let ck = cluster
+        .node_mut(m(0))
+        .kernel
+        .checkpoint(now, server)
+        .unwrap();
     let served_at_ck = {
         let p = cluster.node(m(0)).kernel.process(server).unwrap();
         server_served(&p.program.as_ref().unwrap().save())
@@ -47,12 +63,19 @@ fn checkpointed_server_survives_processor_crash() {
         demos_mp::types::wire::Wire::from_bytes(&stable_bytes).unwrap();
     let now = cluster.now();
     let mut out = Outbox::default();
-    let restored = cluster.node_mut(m(2)).kernel.restore_checkpoint(now, &ck_back, &mut out).unwrap();
+    let restored = cluster
+        .node_mut(m(2))
+        .kernel
+        .restore_checkpoint(now, &ck_back, &mut out)
+        .unwrap();
     assert_eq!(restored, server, "identity survives crash recovery");
     {
         let p = cluster.node(m(2)).kernel.process(server).unwrap();
         let served = server_served(&p.program.as_ref().unwrap().save());
-        assert_eq!(served, served_at_ck, "rolled back to the checkpoint, not beyond");
+        assert_eq!(
+            served, served_at_ck,
+            "rolled back to the checkpoint, not beyond"
+        );
     }
 
     // Revive m0 empty and write the recovery forwarding address so the
@@ -60,7 +83,10 @@ fn checkpointed_server_survives_processor_crash() {
     // process recovery mechanism covers forwarding addresses too).
     cluster.revive(m(0));
     let mut out = Outbox::default();
-    cluster.node_mut(m(0)).kernel.install_forwarding(server, m(2), &mut out);
+    cluster
+        .node_mut(m(0))
+        .kernel
+        .install_forwarding(server, m(2), &mut out);
 
     // The client — whose link still says m0 — resumes getting replies.
     let before = {
@@ -72,7 +98,10 @@ fn checkpointed_server_survives_processor_crash() {
         let p = cluster.node(m(1)).kernel.process(client).unwrap();
         client_stats(&p.program.as_ref().unwrap().save()).recv
     };
-    assert!(after > before + 20, "service resumed transparently: {before} → {after}");
+    assert!(
+        after > before + 20,
+        "service resumed transparently: {before} → {after}"
+    );
     // And the client's link was patched to the new home by the usual §5
     // machinery.
     let p = cluster.node(m(1)).kernel.process(client).unwrap();
@@ -88,13 +117,25 @@ fn revive_without_recovery_reports_nondeliverable() {
     // path), instead of hanging forever.
     let mut cluster = Cluster::mesh(2);
     let server = cluster
-        .spawn(m(0), "echo_server", &EchoServer::state(10), ImageLayout::default())
+        .spawn(
+            m(0),
+            "echo_server",
+            &EchoServer::state(10),
+            ImageLayout::default(),
+        )
         .unwrap();
     let client = cluster
-        .spawn(m(1), "client", &Client::state(0, 5_000, 16), ImageLayout::default())
+        .spawn(
+            m(1),
+            "client",
+            &Client::state(0, 5_000, 16),
+            ImageLayout::default(),
+        )
         .unwrap();
     let link = cluster.link_to(server).unwrap();
-    cluster.post(client, wl::INIT, bytes::Bytes::new(), vec![link]).unwrap();
+    cluster
+        .post(client, wl::INIT, bytes::Bytes::new(), vec![link])
+        .unwrap();
     cluster.run_for(Duration::from_millis(100));
 
     cluster.crash(m(0));
@@ -107,8 +148,14 @@ fn revive_without_recovery_reports_nondeliverable() {
         .links
         .iter()
         .filter(|(_, l)| l.target() == server)
-        .all(|(_, l)| l.attrs.contains(<demos_mp::types::LinkAttrs as demos_mp::kernel::LinkAttrsExt>::DEAD));
-    assert!(dead, "client's links to the unrecovered process are marked dead");
+        .all(|(_, l)| {
+            l.attrs
+                .contains(<demos_mp::types::LinkAttrs as demos_mp::kernel::LinkAttrsExt>::DEAD)
+        });
+    assert!(
+        dead,
+        "client's links to the unrecovered process are marked dead"
+    );
     assert!(cluster.node(m(0)).kernel.stats().nondeliverable > 0);
 }
 
@@ -118,7 +165,12 @@ fn checkpoint_then_migrate_then_crash_uses_latest_location() {
     // machine it was taken on, but restore works anywhere.
     let mut cluster = Cluster::mesh(3);
     let pid = cluster
-        .spawn(m(0), "cargo", &demos_mp::sim::programs::Cargo::state(4096), ImageLayout::default())
+        .spawn(
+            m(0),
+            "cargo",
+            &demos_mp::sim::programs::Cargo::state(4096),
+            ImageLayout::default(),
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(10));
     let now = cluster.now();
@@ -133,11 +185,18 @@ fn checkpoint_then_migrate_then_crash_uses_latest_location() {
 
     let now = cluster.now();
     let mut out = Outbox::default();
-    let restored = cluster.node_mut(m(2)).kernel.restore_checkpoint(now, &ck, &mut out).unwrap();
+    let restored = cluster
+        .node_mut(m(2))
+        .kernel
+        .restore_checkpoint(now, &ck, &mut out)
+        .unwrap();
     assert_eq!(restored, pid);
     assert_eq!(cluster.where_is(pid), Some(m(2)));
     // m0's old forwarding address (→ m1, dead) can be repointed.
     let mut out = Outbox::default();
-    cluster.node_mut(m(0)).kernel.install_forwarding(pid, m(2), &mut out);
+    cluster
+        .node_mut(m(0))
+        .kernel
+        .install_forwarding(pid, m(2), &mut out);
     assert_eq!(cluster.node(m(0)).kernel.forwarding_table()[&pid].to, m(2));
 }

@@ -1,7 +1,7 @@
 //! Fault-injection tests spanning the whole stack: lossy links,
 //! partitions during migration, and crashing processors.
 
-use demos_mp::core::{MigrationConfig, AcceptPolicy};
+use demos_mp::core::{AcceptPolicy, MigrationConfig};
 use demos_mp::sim::prelude::*;
 use demos_mp::sim::programs::{cargo_received, pingpong_rallies, Cargo, PingPong};
 
@@ -16,12 +16,30 @@ fn rallies(cluster: &Cluster, pid: ProcessId) -> u64 {
 }
 
 fn pingpong_pair(cluster: &mut Cluster) -> (ProcessId, ProcessId) {
-    let pa = cluster.spawn(m(0), "pingpong", &PingPong::state(0, 50), ImageLayout::default()).unwrap();
-    let pb = cluster.spawn(m(1), "pingpong", &PingPong::state(0, 50), ImageLayout::default()).unwrap();
+    let pa = cluster
+        .spawn(
+            m(0),
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
+        .unwrap();
+    let pb = cluster
+        .spawn(
+            m(1),
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
+        .unwrap();
     let la = cluster.link_to(pa).unwrap();
     let lb = cluster.link_to(pb).unwrap();
-    cluster.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb]).unwrap();
-    cluster.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la]).unwrap();
+    cluster
+        .post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+        .unwrap();
+    cluster
+        .post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+        .unwrap();
     (pa, pb)
 }
 
@@ -31,7 +49,11 @@ fn migration_survives_packet_loss() {
     // delivery guarantee holds, and migration completes.
     let topo = Topology::full_mesh(
         3,
-        demos_mp::net::EdgeParams { latency: Duration::from_micros(300), ns_per_byte: 200, loss: 0.05 },
+        demos_mp::net::EdgeParams {
+            latency: Duration::from_micros(300),
+            ns_per_byte: 200,
+            loss: 0.05,
+        },
     );
     let mut cluster = ClusterBuilder::new(3).topology(topo).seed(77).build();
     let (pa, pb) = pingpong_pair(&mut cluster);
@@ -43,7 +65,10 @@ fn migration_survives_packet_loss() {
     assert_eq!(cluster.where_is(pb), Some(m(2)));
     let before = rallies(&cluster, pa);
     cluster.run_for(Duration::from_secs(1));
-    assert!(rallies(&cluster, pa) > before, "rally survives loss + migration");
+    assert!(
+        rallies(&cluster, pa) > before,
+        "rally survives loss + migration"
+    );
     // The network really was lossy.
     assert!(cluster.net().stats().frames_dropped > 0);
 }
@@ -52,7 +77,11 @@ fn migration_survives_packet_loss() {
 fn heavy_loss_still_delivers_exactly_once() {
     let topo = Topology::full_mesh(
         2,
-        demos_mp::net::EdgeParams { latency: Duration::from_micros(200), ns_per_byte: 100, loss: 0.25 },
+        demos_mp::net::EdgeParams {
+            latency: Duration::from_micros(200),
+            ns_per_byte: 100,
+            loss: 0.25,
+        },
     );
     let mut cluster = ClusterBuilder::new(2).topology(topo).seed(5).build();
     let (pa, pb) = pingpong_pair(&mut cluster);
@@ -64,7 +93,10 @@ fn heavy_loss_still_delivers_exactly_once() {
     // drops would stall the rally entirely.
     assert!(a > 20, "rally made progress under 25% loss: {a}");
     assert!(a.abs_diff(b) <= 1, "exactly-once: {a} vs {b}");
-    assert!(cluster.net().stats().frames_dropped > 20, "the loss was real");
+    assert!(
+        cluster.net().stats().frames_dropped > 20,
+        "the loss was real"
+    );
 }
 
 #[test]
@@ -85,10 +117,21 @@ fn destination_crash_aborts_migration_and_process_survives() {
     cluster.run_for(Duration::from_secs(2));
 
     // The source timed out, thawed the process, and the rally resumed.
-    assert_eq!(cluster.where_is(pb), Some(m(1)), "process survived at the source");
-    assert!(rallies(&cluster, pb) > before, "rally resumed after the aborted migration");
+    assert_eq!(
+        cluster.where_is(pb),
+        Some(m(1)),
+        "process survived at the source"
+    );
+    assert!(
+        rallies(&cluster, pb) > before,
+        "rally resumed after the aborted migration"
+    );
     assert_eq!(cluster.node(m(1)).engine.stats().aborted, 1);
-    assert_eq!(cluster.node(m(1)).engine.in_flight(), 0, "no leaked migration state");
+    assert_eq!(
+        cluster.node(m(1)).engine.in_flight(),
+        0,
+        "no leaked migration state"
+    );
     let _ = pa;
 }
 
@@ -100,7 +143,14 @@ fn partition_during_migration_heals() {
             timeout: Duration::from_secs(10),
         })
         .build();
-    let pid = cluster.spawn(m(0), "cargo", &Cargo::state(100_000), ImageLayout::default()).unwrap();
+    let pid = cluster
+        .spawn(
+            m(0),
+            "cargo",
+            &Cargo::state(100_000),
+            ImageLayout::default(),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_millis(10));
 
     cluster.migrate(pid, m(1)).unwrap();
@@ -119,10 +169,18 @@ fn partition_during_migration_heals() {
         .topology_mut()
         .set_edge(m(0), m(1), demos_mp::net::EdgeParams::default());
     cluster.run_for(Duration::from_secs(2));
-    assert_eq!(cluster.where_is(pid), Some(m(1)), "migration completed after the heal");
+    assert_eq!(
+        cluster.where_is(pid),
+        Some(m(1)),
+        "migration completed after the heal"
+    );
     let p = cluster.node(m(1)).kernel.process(pid).unwrap();
     assert_eq!(cargo_received(&p.program.as_ref().unwrap().save()), 0);
-    assert_eq!(p.program.as_ref().unwrap().save().len(), 8 + 100_000, "ballast intact");
+    assert_eq!(
+        p.program.as_ref().unwrap().save().len(),
+        8 + 100_000,
+        "ballast intact"
+    );
 }
 
 #[test]
@@ -140,6 +198,9 @@ fn evacuated_machine_forwarding_addresses_lost_with_it() {
     cluster.crash(m(1));
     let before = rallies(&cluster, pa);
     cluster.run_for(Duration::from_millis(500));
-    assert!(rallies(&cluster, pa) > before, "updated links bypass the dead forwarder");
+    assert!(
+        rallies(&cluster, pa) > before,
+        "updated links bypass the dead forwarder"
+    );
     let _ = pb;
 }

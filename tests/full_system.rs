@@ -5,7 +5,9 @@
 //! invariants still hold.
 
 use demos_mp::policy::{Hysteresis, LoadBalance};
-use demos_mp::sim::boot::{boot_system, spawn_fs_clients, spawn_shell, total_client_errors, total_client_ops, BootConfig};
+use demos_mp::sim::boot::{
+    boot_system, spawn_fs_clients, spawn_shell, total_client_errors, total_client_ops, BootConfig,
+};
 use demos_mp::sim::prelude::*;
 use demos_mp::sysproc::{shell_stats, Cmd, ScriptEntry};
 
@@ -18,7 +20,11 @@ fn kitchen_sink() {
     let mut cluster = ClusterBuilder::new(5).seed(99).build();
     let handles = boot_system(
         &mut cluster,
-        BootConfig { control_machine: m(0), fs_machine: m(1), ..Default::default() },
+        BootConfig {
+            control_machine: m(0),
+            fs_machine: m(1),
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -47,13 +53,22 @@ fn kitchen_sink() {
                 layout: ImageLayout::default(),
             },
         },
-        ScriptEntry { delay_us: 100_000, cmd: Cmd::Migrate { nth: 0, dest: m(4) } },
-        ScriptEntry { delay_us: 200_000, cmd: Cmd::Migrate { nth: 1, dest: m(4) } },
+        ScriptEntry {
+            delay_us: 100_000,
+            cmd: Cmd::Migrate { nth: 0, dest: m(4) },
+        },
+        ScriptEntry {
+            delay_us: 200_000,
+            cmd: Cmd::Migrate { nth: 1, dest: m(4) },
+        },
     ];
     let shell = spawn_shell(&mut cluster, &handles, m(0), &script).unwrap();
 
     // A load balancer watching the whole time.
-    let policy = LoadBalance::new(3, Hysteresis::new(Duration::from_millis(100), Duration::from_millis(20)));
+    let policy = LoadBalance::new(
+        3,
+        Hysteresis::new(Duration::from_millis(100), Duration::from_millis(20)),
+    );
     let mut driver = PolicyDriver::new(Box::new(policy), Duration::from_millis(50));
 
     // Phase 1: everything runs together.
@@ -71,10 +86,23 @@ fn kitchen_sink() {
     // --- Invariants ---
     // The operator session succeeded end to end.
     let sm = cluster.where_is(shell).unwrap();
-    let (spawned_ok, spawn_failed, mig_ok, mig_failed) =
-        shell_stats(&cluster.node(sm).kernel.process(shell).unwrap().program.as_ref().unwrap().save());
+    let (spawned_ok, spawn_failed, mig_ok, mig_failed) = shell_stats(
+        &cluster
+            .node(sm)
+            .kernel
+            .process(shell)
+            .unwrap()
+            .program
+            .as_ref()
+            .unwrap()
+            .save(),
+    );
     assert_eq!((spawned_ok, spawn_failed), (2, 0));
-    assert_eq!((mig_ok, mig_failed), (2, 0), "both PM-driven migrations acknowledged");
+    assert_eq!(
+        (mig_ok, mig_failed),
+        (2, 0),
+        "both PM-driven migrations acknowledged"
+    );
 
     // The file system kept serving without a single client-visible error.
     assert!(total_client_ops(&cluster, &all_clients) > 200);
@@ -87,11 +115,21 @@ fn kitchen_sink() {
     use demos_mp::sysproc::{sys, SbMsg};
     use demos_mp::types::wire::Wire;
     let probe = cluster
-        .spawn(m(3), "cargo", &demos_mp::sim::programs::Cargo::state(0), ImageLayout::default())
+        .spawn(
+            m(3),
+            "cargo",
+            &demos_mp::sim::programs::Cargo::state(0),
+            ImageLayout::default(),
+        )
         .unwrap();
     let reply = cluster.link_to(probe).unwrap();
     cluster
-        .post(handles.switchboard, sys::SWITCHBOARD, SbMsg::Lookup { name: "fs".into() }.to_bytes(), vec![reply])
+        .post(
+            handles.switchboard,
+            sys::SWITCHBOARD,
+            SbMsg::Lookup { name: "fs".into() }.to_bytes(),
+            vec![reply],
+        )
         .unwrap();
     cluster.run_for(Duration::from_millis(100));
     let p = cluster.node(m(3)).kernel.process(probe).unwrap();
@@ -102,7 +140,11 @@ fn kitchen_sink() {
 
     // No migration state leaked anywhere.
     for i in 0..5 {
-        assert_eq!(cluster.node(m(i)).engine.in_flight(), 0, "m{i} has no stuck migrations");
+        assert_eq!(
+            cluster.node(m(i)).engine.in_flight(),
+            0,
+            "m{i} has no stuck migrations"
+        );
     }
 }
 
@@ -125,7 +167,11 @@ fn interdomain_refusal_and_retry_elsewhere() {
             m(0),
             "cargo",
             &demos_mp::sim::programs::Cargo::state(64),
-            ImageLayout { code: 64 * 1024, data: 4096, stack: 2048 },
+            ImageLayout {
+                code: 64 * 1024,
+                data: 4096,
+                stack: 2048,
+            },
         )
         .unwrap();
     cluster.run_for(Duration::from_millis(5));
@@ -133,7 +179,11 @@ fn interdomain_refusal_and_retry_elsewhere() {
     // First attempt: m1 refuses (image too big for its admission filter).
     cluster.migrate(big, m(1)).unwrap();
     cluster.run_for(Duration::from_millis(500));
-    assert_eq!(cluster.where_is(big), Some(m(0)), "rebuffed; process resumed at source");
+    assert_eq!(
+        cluster.where_is(big),
+        Some(m(0)),
+        "rebuffed; process resumed at source"
+    );
     assert_eq!(cluster.node(m(1)).engine.stats().rejected, 1);
 
     // "Looking elsewhere": a small process is accepted fine.
@@ -142,11 +192,19 @@ fn interdomain_refusal_and_retry_elsewhere() {
             m(0),
             "cargo",
             &demos_mp::sim::programs::Cargo::state(16),
-            ImageLayout { code: 2048, data: 1024, stack: 512 },
+            ImageLayout {
+                code: 2048,
+                data: 1024,
+                stack: 512,
+            },
         )
         .unwrap();
     cluster.run_for(Duration::from_millis(5));
     cluster.migrate(small, m(1)).unwrap();
     cluster.run_for(Duration::from_millis(500));
-    assert_eq!(cluster.where_is(small), Some(m(1)), "small process admitted");
+    assert_eq!(
+        cluster.where_is(small),
+        Some(m(1)),
+        "small process admitted"
+    );
 }
