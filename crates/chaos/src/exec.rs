@@ -1,0 +1,412 @@
+//! The schedule executor: scenario in, verdict out.
+//!
+//! Builds a cluster from the scenario, spawns the workload mix, then
+//! interleaves the event schedule with quantum-sized simulation slices,
+//! running the continuous invariant checkers between slices. After the
+//! horizon every fault is lifted (edges healed, machines revived, CPUs
+//! restored) and the cluster drains to quiescence, where the final
+//! checks — loss, link convergence, workload counters — run.
+//!
+//! Event guards keep the invariants *unconditional*: a crash is applied
+//! only to a machine that hosts no processes, holds no forwarding
+//! addresses, and has no migration in flight anywhere — so no workload
+//! message can ever be addressed to a machine whose state is about to
+//! vanish. A migration into a currently-crashed machine is skipped for
+//! the same reason (its offer would sit in a retransmit queue that a
+//! later revive resets). Guarded-out events count as *skipped*, and the
+//! shrinker deletes them for free.
+
+use demos_core::{AcceptPolicy, MigrationConfig};
+use demos_kernel::{ImageLayout, KernelConfig};
+use demos_sim::cluster::{Cluster, ClusterBuilder};
+use demos_sim::programs::{wl, Cargo, Client, EchoServer, PingPong};
+use demos_sim::trace::Trace;
+use demos_types::{tags, Duration, MachineId, ProcessId};
+
+use crate::invariants::{Checker, Violation};
+use crate::scenario::{EventKind, Scenario, Workload};
+
+/// Message tag burst events post with (user range, distinct from the
+/// workload protocol tags).
+pub const BURST_TAG: u16 = tags::USER_BASE + 9;
+
+/// Execution knobs orthogonal to the scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Disable forwarding addresses (§4) in every kernel — the paper's
+    /// rejected design, kept as an ablation flag. The harness is expected
+    /// to catch this as a broken kernel.
+    pub disable_forwarding: bool,
+}
+
+/// Outcome of one scenario execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The first invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// Deterministic fingerprint of the full event trace.
+    pub fingerprint: u64,
+    /// Virtual time when the run ended, microseconds.
+    pub end_us: u64,
+    /// Schedule events actually applied.
+    pub events_applied: usize,
+    /// Schedule events skipped by safety guards.
+    pub events_skipped: usize,
+}
+
+impl RunReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Execute `sc` and return the report plus the JSON-lines trace export.
+pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
+    let kcfg = KernelConfig {
+        forwarding: !cfg.disable_forwarding,
+        ..KernelConfig::default()
+    };
+    let mut c = ClusterBuilder::new(sc.topo.n as usize)
+        .topology(sc.topo.build())
+        .seed(sc.seed)
+        .kernel_config(kcfg)
+        .migration_config(MigrationConfig {
+            accept: AcceptPolicy::Always,
+            // Far beyond any partition window (all heal by the horizon),
+            // but short of the drain budget, so a migration stalled by a
+            // guarded-out edge case still aborts and thaws in time.
+            timeout: Duration::from_secs(10),
+        })
+        .build();
+
+    let procs = spawn_workloads(&mut c, &sc.workloads);
+    let mut checker = Checker::new(procs.clone(), sc.workloads.clone());
+    let quantum = Duration::from_micros(sc.quantum_us.max(1));
+
+    let mut events = sc.events.clone();
+    events.sort_by_key(|e| e.at_us);
+
+    let mut violation = None;
+    let mut applied = 0usize;
+    let mut skipped = 0usize;
+    for e in &events {
+        violation = advance(&mut c, &checker, e.at_us, quantum);
+        if violation.is_some() {
+            break;
+        }
+        if apply_event(&mut c, &mut checker, &procs, e.kind) {
+            applied += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    if violation.is_none() {
+        violation = advance(&mut c, &checker, sc.horizon_us, quantum);
+    }
+    if violation.is_none() {
+        // Lift every fault, then drain to quiescence.
+        c.heal_all();
+        for m in 0..sc.topo.n {
+            let m = MachineId(m);
+            if c.is_crashed(m) {
+                c.revive(m);
+            } else {
+                c.degrade(m, 1.0);
+            }
+        }
+        let deadline = c.now().as_micros() + sc.drain_us;
+        violation = advance(&mut c, &checker, deadline, quantum);
+    }
+    if violation.is_none() {
+        violation = checker.final_check(&c);
+    }
+
+    let report = RunReport {
+        violation,
+        fingerprint: c.trace().fingerprint(),
+        end_us: c.now().as_micros(),
+        events_applied: applied,
+        events_skipped: skipped,
+    };
+    let lines = trace_json_lines(c.trace());
+    (report, lines)
+}
+
+/// Execute `sc`, discarding the trace export.
+pub fn run(sc: &Scenario, cfg: &RunConfig) -> RunReport {
+    run_full(sc, cfg).0
+}
+
+/// Advance the cluster to virtual time `until_us`, checking continuous
+/// invariants every `quantum`. Returns the first violation.
+fn advance(
+    c: &mut Cluster,
+    checker: &Checker,
+    until_us: u64,
+    quantum: Duration,
+) -> Option<Violation> {
+    let now_us = c.now().as_micros();
+    if until_us <= now_us {
+        return checker.continuous(c);
+    }
+    let mut v = None;
+    c.run_with_quantum(Duration::from_micros(until_us - now_us), quantum, |cl| {
+        v = checker.continuous(cl);
+        v.is_none()
+    });
+    v
+}
+
+/// Spawn the workload mix; returns the processes in slot order.
+fn spawn_workloads(c: &mut Cluster, workloads: &[Workload]) -> Vec<ProcessId> {
+    let mut procs = Vec::new();
+    for w in workloads {
+        match *w {
+            Workload::PingPong {
+                a,
+                b,
+                limit,
+                cpu_us,
+            } => {
+                let st = PingPong::state(limit, cpu_us);
+                let pa = c
+                    .spawn(MachineId(a), "pingpong", &st, ImageLayout::default())
+                    .expect("spawn pingpong");
+                let pb = c
+                    .spawn(MachineId(b), "pingpong", &st, ImageLayout::default())
+                    .expect("spawn pingpong");
+                let la = c.link_to(pa).expect("link");
+                let lb = c.link_to(pb).expect("link");
+                c.post(pa, wl::INIT, bytes::Bytes::from_static(&[1]), vec![lb])
+                    .expect("init");
+                c.post(pb, wl::INIT, bytes::Bytes::from_static(&[0]), vec![la])
+                    .expect("init");
+                procs.push(pa);
+                procs.push(pb);
+            }
+            Workload::Cargo { m, ballast } => {
+                let pid = c
+                    .spawn(
+                        MachineId(m),
+                        "cargo",
+                        &Cargo::state(ballast as usize),
+                        ImageLayout::default(),
+                    )
+                    .expect("spawn cargo");
+                procs.push(pid);
+            }
+            Workload::ClientServer {
+                client,
+                server,
+                requests,
+                period_us,
+                payload,
+            } => {
+                let ps = c
+                    .spawn(
+                        MachineId(server),
+                        "echo_server",
+                        &EchoServer::state(20),
+                        ImageLayout::default(),
+                    )
+                    .expect("spawn server");
+                let pc = c
+                    .spawn(
+                        MachineId(client),
+                        "client",
+                        &Client::state(requests, period_us, payload),
+                        ImageLayout::default(),
+                    )
+                    .expect("spawn client");
+                let ls = c.link_to(ps).expect("link");
+                c.post(pc, wl::INIT, bytes::Bytes::new(), vec![ls])
+                    .expect("init");
+                procs.push(ps);
+                procs.push(pc);
+            }
+        }
+    }
+    procs
+}
+
+/// Apply one schedule event, enforcing the safety guards. Returns whether
+/// the event was actually applied.
+fn apply_event(
+    c: &mut Cluster,
+    checker: &mut Checker,
+    procs: &[ProcessId],
+    kind: EventKind,
+) -> bool {
+    match kind {
+        EventKind::Migrate { slot, to } => {
+            let pid = procs[slot as usize];
+            let to = MachineId(to);
+            if c.is_crashed(to) || c.where_is(pid) == Some(to) {
+                return false;
+            }
+            c.migrate(pid, to).is_ok()
+        }
+        EventKind::Burst {
+            slot,
+            count,
+            payload,
+        } => {
+            let pid = procs[slot as usize];
+            let body = bytes::Bytes::from(vec![0u8; payload as usize]);
+            let mut any = false;
+            for _ in 0..count {
+                if c.post(pid, BURST_TAG, body.clone(), vec![]).is_ok() {
+                    checker.bursts_posted[slot as usize] += 1;
+                    any = true;
+                }
+            }
+            any
+        }
+        EventKind::Partition { a, b } => c.partition(MachineId(a), MachineId(b)),
+        EventKind::HealEdge { a, b } => c.heal(MachineId(a), MachineId(b)),
+        EventKind::Crash { m } => {
+            let m = MachineId(m);
+            if c.is_crashed(m) {
+                return false;
+            }
+            let kernel = &c.node(m).kernel;
+            let empty = kernel.nprocs() == 0 && kernel.forwarding_table().is_empty();
+            let engines_idle = (0..c.len() as u16)
+                .filter(|&i| !c.is_crashed(MachineId(i)))
+                .all(|i| c.node(MachineId(i)).engine.in_flight() == 0);
+            if empty && engines_idle {
+                c.crash(m);
+                true
+            } else {
+                false
+            }
+        }
+        EventKind::Revive { m } => {
+            let m = MachineId(m);
+            if c.is_crashed(m) {
+                c.revive(m);
+                true
+            } else {
+                false
+            }
+        }
+        EventKind::Degrade { m, factor_pct } => {
+            let m = MachineId(m);
+            if c.is_crashed(m) {
+                return false;
+            }
+            c.degrade(m, factor_pct as f64 / 100.0);
+            true
+        }
+        EventKind::Restore { m } => {
+            let m = MachineId(m);
+            if c.is_crashed(m) {
+                return false;
+            }
+            c.degrade(m, 1.0);
+            true
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export the trace as JSON lines: one object per record, in order. Two
+/// runs of the same scenario must produce byte-identical output (the
+/// determinism test pins this).
+pub fn trace_json_lines(trace: &Trace) -> String {
+    let mut out = String::new();
+    for r in trace.records() {
+        out.push_str(&format!(
+            "{{\"at\":{},\"machine\":{},\"event\":\"{}\"}}\n",
+            r.at.as_micros(),
+            r.machine.0,
+            json_escape(&format!("{:?}", r.event))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn clean_seed_passes_all_invariants() {
+        let sc = Scenario::generate(1);
+        let report = run(&sc, &RunConfig::default());
+        assert!(
+            report.passed(),
+            "seed 1 violated: {:?}",
+            report.violation.map(|v| v.to_string())
+        );
+        assert!(report.events_applied > 0, "schedule did something");
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint_and_trace() {
+        let sc = Scenario::generate(7);
+        let (a, ta) = run_full(&sc, &RunConfig::default());
+        let (b, tb) = run_full(&sc, &RunConfig::default());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(ta, tb, "byte-identical JSON-lines export");
+        assert_eq!(a.violation, b.violation);
+    }
+
+    #[test]
+    fn forwarding_ablation_is_caught() {
+        // A migration of a chattering ping-pong peer with forwarding
+        // disabled bounces the next ball as non-deliverable.
+        let sc = crate::scenario::Scenario {
+            seed: 1,
+            topo: crate::scenario::TopoSpec {
+                kind: crate::scenario::TopoKind::Mesh,
+                n: 3,
+                latency_us: 200,
+                ns_per_byte: 100,
+                loss_pm: 0,
+            },
+            quantum_us: 2_000,
+            horizon_us: 30_000,
+            drain_us: 10_000_000,
+            workloads: vec![crate::scenario::Workload::PingPong {
+                a: 0,
+                b: 1,
+                limit: 100,
+                cpu_us: 50,
+            }],
+            events: vec![crate::scenario::Event {
+                at_us: 5_000,
+                kind: EventKind::Migrate { slot: 1, to: 2 },
+            }],
+        };
+        assert!(run(&sc, &RunConfig::default()).passed(), "healthy kernel");
+        let report = run(
+            &sc,
+            &RunConfig {
+                disable_forwarding: true,
+            },
+        );
+        assert!(report.violation.is_some(), "broken kernel must be caught");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,424 @@
+//! Continuous cluster invariants.
+//!
+//! The harness steps the cluster one virtual-time quantum at a time and
+//! runs these checks between quanta — during the migration window, not
+//! just at quiescence. Two tiers:
+//!
+//! * **continuous** — must hold at *every* instant: forwarding chains are
+//!   acyclic and bounded, no process vanishes or multiplies beyond the
+//!   two-copy migration window, transport counters conserve frames, no
+//!   message is delivered twice, nothing goes non-deliverable;
+//! * **final** — hold only at quiescence, after faults are lifted and
+//!   queues drain: every submitted message was delivered, link hints
+//!   converge (chain-reach the true host), workload-level exactly-once
+//!   counters match, and the transport is idle.
+//!
+//! A note on transport sanity: the obvious "retransmits ≥ dup-acks" is
+//! *unsound* here — data frames of different sizes overtake each other
+//! (transit time is size-dependent), and an overtaken frame produces a
+//! dup-ack with zero retransmissions. The sound counterparts checked
+//! instead: exact frame conservation (`sent = delivered + dropped +
+//! in-flight`), `dedup drops ≤ retransmits` (only retransmission creates
+//! duplicates; the network never does), and class totals summing to the
+//! whole.
+
+use demos_kernel::LinkAttrsExt;
+use demos_sim::cluster::Cluster;
+use demos_sim::programs::{cargo_received, client_stats, pingpong_rallies};
+use demos_sim::span::ledger_of;
+use demos_types::{LinkAttrs, MachineId, ProcessId};
+
+use crate::scenario::Workload;
+
+/// A detected invariant violation. `Display` gives the one-line verdict
+/// the CLI prints; the variant fields carry enough to debug from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Messages submitted but neither delivered nor accounted as failed,
+    /// at quiescence.
+    Lost {
+        /// How many correlation ids were lost.
+        count: usize,
+        /// Debug rendering of the first few.
+        sample: String,
+    },
+    /// A message was delivered more than once without an intervening
+    /// forwarding hop.
+    Duplicated {
+        /// How many correlation ids were duplicated.
+        count: usize,
+        /// Debug rendering of the first few.
+        sample: String,
+    },
+    /// A message was returned non-deliverable even though its destination
+    /// process exists (the forwarding-disabled ablation trips this).
+    NonDeliverable {
+        /// Cluster-wide non-deliverable count.
+        count: u64,
+    },
+    /// A forwarding-address walk revisited a machine.
+    ForwardingCycle {
+        /// The process whose chain cycles.
+        pid: ProcessId,
+        /// The machines visited, in order.
+        chain: Vec<u16>,
+    },
+    /// A watched process is on no live machine.
+    ProcessVanished {
+        /// The missing process.
+        pid: ProcessId,
+    },
+    /// A watched process is resident on more than one machine outside the
+    /// two-copy migration window.
+    ProcessMultiplied {
+        /// The multiplied process.
+        pid: ProcessId,
+        /// How many machines host it.
+        count: usize,
+    },
+    /// A link's location hint does not chain-reach the process's true
+    /// host at quiescence.
+    LinkDiverged {
+        /// Machine holding the stale link.
+        machine: u16,
+        /// The link's target process.
+        pid: ProcessId,
+        /// The hint the chain walk started from.
+        hint: u16,
+    },
+    /// Transport counters fail conservation or ordering laws.
+    TransportCounters {
+        /// Which law broke, with the numbers.
+        detail: String,
+    },
+    /// The cluster failed to drain within the scenario's budget.
+    NotQuiescent {
+        /// Frames still in flight on the wire.
+        in_flight: usize,
+    },
+    /// A workload-level exactly-once counter came out wrong.
+    WorkloadInvariant {
+        /// Which workload expectation broke, with the numbers.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Lost { count, sample } => {
+                write!(f, "{count} message(s) lost (e.g. {sample})")
+            }
+            Violation::Duplicated { count, sample } => {
+                write!(f, "{count} message(s) delivered twice (e.g. {sample})")
+            }
+            Violation::NonDeliverable { count } => {
+                write!(f, "{count} message(s) bounced non-deliverable")
+            }
+            Violation::ForwardingCycle { pid, chain } => {
+                write!(f, "forwarding cycle for {pid:?} via machines {chain:?}")
+            }
+            Violation::ProcessVanished { pid } => write!(f, "process {pid:?} vanished"),
+            Violation::ProcessMultiplied { pid, count } => {
+                write!(f, "process {pid:?} resident on {count} machines")
+            }
+            Violation::LinkDiverged { machine, pid, hint } => write!(
+                f,
+                "link on m{machine} to {pid:?} hints m{hint}, which does not chain to the host"
+            ),
+            Violation::TransportCounters { detail } => write!(f, "transport counters: {detail}"),
+            Violation::NotQuiescent { in_flight } => {
+                write!(f, "cluster failed to drain ({in_flight} frames in flight)")
+            }
+            Violation::WorkloadInvariant { detail } => write!(f, "workload counters: {detail}"),
+        }
+    }
+}
+
+fn sample_corrs(corrs: &[demos_types::CorrId]) -> String {
+    corrs
+        .iter()
+        .take(3)
+        .map(|c| format!("{c:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The checker: knows which processes to watch and which workload-level
+/// counters to reconcile at the end.
+pub struct Checker {
+    /// Processes spawned by the scenario, in slot order.
+    pub watched: Vec<ProcessId>,
+    /// The workload mix (for final counter reconciliation).
+    pub workloads: Vec<Workload>,
+    /// User messages posted per slot by burst events (delivery target for
+    /// cargo counters).
+    pub bursts_posted: Vec<u64>,
+}
+
+impl Checker {
+    /// A checker watching `watched` (slot order) for `workloads`.
+    pub fn new(watched: Vec<ProcessId>, workloads: Vec<Workload>) -> Checker {
+        let slots = watched.len();
+        Checker {
+            watched,
+            workloads,
+            bursts_posted: vec![0; slots],
+        }
+    }
+
+    /// Invariants that must hold at every quantum boundary. Returns the
+    /// first violation found.
+    pub fn continuous(&self, c: &Cluster) -> Option<Violation> {
+        self.check_chains(c)
+            .or_else(|| self.check_conservation(c, false))
+            .or_else(|| check_transport(c))
+            .or_else(|| check_nondeliverable(c))
+            .or_else(|| check_duplicates(c))
+    }
+
+    /// Invariants that additionally must hold once the cluster is
+    /// quiescent and all faults are lifted.
+    pub fn final_check(&self, c: &Cluster) -> Option<Violation> {
+        if let Some(v) = self.continuous(c) {
+            return Some(v);
+        }
+        if !c.transport_quiescent() {
+            return Some(Violation::NotQuiescent {
+                in_flight: c.net().in_flight(),
+            });
+        }
+        self.check_conservation(c, true)
+            .or_else(|| check_loss(c))
+            .or_else(|| self.check_links(c))
+            .or_else(|| self.check_workloads(c))
+    }
+
+    /// Forwarding chains: from every live machine, the walk for every
+    /// watched process must terminate without revisiting a machine. A
+    /// chain longer than the machine count can only mean a revisit.
+    fn check_chains(&self, c: &Cluster) -> Option<Violation> {
+        let n = c.len();
+        for &pid in &self.watched {
+            for m in 0..n as u16 {
+                let m = MachineId(m);
+                if c.is_crashed(m) {
+                    continue;
+                }
+                let chain = c.forwarding_chain(m, pid);
+                if chain.len() > n {
+                    return Some(Violation::ForwardingCycle {
+                        pid,
+                        chain: chain.iter().map(|x| x.0).collect(),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Process-state conservation. Mid-migration the image legitimately
+    /// exists on two machines (source until cleanup, destination from
+    /// install), so two copies are tolerated while any migration engine
+    /// has state in flight; `strict` (quiescence) demands exactly one.
+    fn check_conservation(&self, c: &Cluster, strict: bool) -> Option<Violation> {
+        let migrations_in_flight: usize = (0..c.len() as u16)
+            .filter(|&m| !c.is_crashed(MachineId(m)))
+            .map(|m| c.node(MachineId(m)).engine.in_flight())
+            .sum();
+        for &pid in &self.watched {
+            let count = (0..c.len() as u16)
+                .filter(|&m| {
+                    !c.is_crashed(MachineId(m))
+                        && c.node(MachineId(m)).kernel.process(pid).is_some()
+                })
+                .count();
+            if count == 0 {
+                return Some(Violation::ProcessVanished { pid });
+            }
+            if count > 2 || (count == 2 && (strict || migrations_in_flight == 0)) {
+                return Some(Violation::ProcessMultiplied { pid, count });
+            }
+        }
+        None
+    }
+
+    /// Link convergence at quiescence: every live link addressing a
+    /// watched process must chain-reach (via forwarding addresses) the
+    /// machine actually hosting it. Lazy link updating means hints may be
+    /// stale — §5 only patches links whose traffic got forwarded — but a
+    /// stale hint must still *resolve*.
+    fn check_links(&self, c: &Cluster) -> Option<Violation> {
+        for m in 0..c.len() as u16 {
+            let m = MachineId(m);
+            if c.is_crashed(m) {
+                continue;
+            }
+            let kernel = &c.node(m).kernel;
+            let pids: Vec<ProcessId> = kernel.pids().collect();
+            for holder in pids {
+                let proc_ = kernel.process(holder)?;
+                for (_idx, link) in proc_.links.iter() {
+                    if link.attrs.contains(LinkAttrs::DEAD) {
+                        continue;
+                    }
+                    let target = link.target();
+                    if !self.watched.contains(&target) {
+                        continue;
+                    }
+                    let hint = link.addr.last_known_machine;
+                    if c.is_crashed(hint) {
+                        continue; // hint died; nothing to walk
+                    }
+                    let chain = c.forwarding_chain(hint, target);
+                    let end = *chain.last().expect("chain has the start");
+                    if c.node(end).kernel.process(target).is_none() {
+                        return Some(Violation::LinkDiverged {
+                            machine: m.0,
+                            pid: target,
+                            hint: hint.0,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Workload-level exactly-once counters at quiescence: ping-pong
+    /// rally counts within one of each other, cargo received exactly the
+    /// bursts posted with ballast intact, clients got every reply.
+    fn check_workloads(&self, c: &Cluster) -> Option<Violation> {
+        let state_of = |pid: ProcessId| -> Option<Vec<u8>> {
+            let m = c.where_is(pid)?;
+            Some(c.node(m).kernel.process(pid)?.program.as_ref()?.save())
+        };
+        let mut slot = 0usize;
+        for w in &self.workloads {
+            match *w {
+                Workload::PingPong { limit, .. } => {
+                    let (pa, pb) = (self.watched[slot], self.watched[slot + 1]);
+                    let ra = pingpong_rallies(&state_of(pa)?);
+                    let rb = pingpong_rallies(&state_of(pb)?);
+                    if ra.abs_diff(rb) > 1 {
+                        return Some(Violation::WorkloadInvariant {
+                            detail: format!(
+                                "pingpong rallies diverged: {ra} vs {rb} (limit {limit})"
+                            ),
+                        });
+                    }
+                    if ra.max(rb) > limit {
+                        return Some(Violation::WorkloadInvariant {
+                            detail: format!("pingpong overshot limit {limit}: {ra}/{rb}"),
+                        });
+                    }
+                    slot += 2;
+                }
+                Workload::Cargo { ballast, .. } => {
+                    let pid = self.watched[slot];
+                    let state = state_of(pid)?;
+                    let got = cargo_received(&state);
+                    let posted = self.bursts_posted[slot];
+                    if got != posted {
+                        return Some(Violation::WorkloadInvariant {
+                            detail: format!("cargo received {got} of {posted} posted messages"),
+                        });
+                    }
+                    if state.len() != 8 + ballast as usize {
+                        return Some(Violation::WorkloadInvariant {
+                            detail: format!(
+                                "cargo ballast corrupted: {} bytes, expected {}",
+                                state.len(),
+                                8 + ballast as usize
+                            ),
+                        });
+                    }
+                    slot += 1;
+                }
+                Workload::ClientServer { .. } => {
+                    let client = self.watched[slot + 1];
+                    let s = client_stats(&state_of(client)?);
+                    if s.recv != s.sent {
+                        return Some(Violation::WorkloadInvariant {
+                            detail: format!("client got {} replies to {} requests", s.recv, s.sent),
+                        });
+                    }
+                    slot += 2;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Transport-counter sanity, cluster-wide.
+fn check_transport(c: &Cluster) -> Option<Violation> {
+    let s = c.net().stats();
+    let in_flight = c.net().in_flight() as u64;
+    if s.frames_sent != s.frames_delivered + s.frames_dropped + in_flight {
+        return Some(Violation::TransportCounters {
+            detail: format!(
+                "conservation: sent {} != delivered {} + dropped {} + in-flight {}",
+                s.frames_sent, s.frames_delivered, s.frames_dropped, in_flight
+            ),
+        });
+    }
+    if s.data_frames + s.ack_frames != s.frames_sent {
+        return Some(Violation::TransportCounters {
+            detail: format!(
+                "class split: data {} + ack {} != sent {}",
+                s.data_frames, s.ack_frames, s.frames_sent
+            ),
+        });
+    }
+    if s.retransmit_frames > s.data_frames {
+        return Some(Violation::TransportCounters {
+            detail: format!(
+                "retransmits {} exceed data frames {}",
+                s.retransmit_frames, s.data_frames
+            ),
+        });
+    }
+    // Only retransmission manufactures duplicates: each dedup drop needs
+    // an extra physical copy of some frame, and extra copies only come
+    // from the sender's retransmit path.
+    if s.dedup_drops > s.retransmit_frames {
+        return Some(Violation::TransportCounters {
+            detail: format!(
+                "dedup drops {} exceed retransmitted frames {}",
+                s.dedup_drops, s.retransmit_frames
+            ),
+        });
+    }
+    None
+}
+
+/// No message may bounce non-deliverable: every watched process exists
+/// for the whole run, and crash events are guarded to machines nothing
+/// is addressed to.
+fn check_nondeliverable(c: &Cluster) -> Option<Violation> {
+    let count: u64 = (0..c.len() as u16)
+        .filter(|&m| !c.is_crashed(MachineId(m)))
+        .map(|m| c.node(MachineId(m)).kernel.stats().nondeliverable)
+        .sum();
+    (count > 0).then_some(Violation::NonDeliverable { count })
+}
+
+/// Duplicate-delivery check over the trace so far.
+fn check_duplicates(c: &Cluster) -> Option<Violation> {
+    let dupes = ledger_of(c.trace()).duplicates();
+    (!dupes.is_empty()).then(|| Violation::Duplicated {
+        count: dupes.len(),
+        sample: sample_corrs(&dupes),
+    })
+}
+
+/// Loss check (quiescence only — in-flight messages are legitimately
+/// undelivered mid-run).
+fn check_loss(c: &Cluster) -> Option<Violation> {
+    let lost = ledger_of(c.trace()).undelivered();
+    (!lost.is_empty()).then(|| Violation::Lost {
+        count: lost.len(),
+        sample: sample_corrs(&lost),
+    })
+}

@@ -1,0 +1,39 @@
+//! Deterministic chaos harness for the DEMOS/MP reproduction.
+//!
+//! The paper's central claim is that migration is *transparent*: messages
+//! are delivered exactly once and links converge to the process's true
+//! location no matter when a move happens (§3–§4). This crate checks that
+//! claim adversarially instead of anecdotally:
+//!
+//! * [`scenario`] — a single `u64` seed derives a whole scenario: random
+//!   topology (mesh/line/ring/star with per-edge latency, bandwidth and
+//!   loss), a random workload mix, and a random schedule interleaving
+//!   migrations, partitions, crashes, CPU degradations and message
+//!   bursts — plus a stable text form for corpus files and repros;
+//! * [`invariants`] — continuous checkers run between every virtual-time
+//!   quantum: exactly-once delivery, forwarding-chain acyclicity,
+//!   process-state conservation, transport-counter sanity, and (at
+//!   quiescence) link convergence and workload counter reconciliation;
+//! * [`exec`] — the schedule executor tying the two together;
+//! * [`shrink`] — a greedy ddmin-style reducer that minimizes a violating
+//!   schedule while the violation still reproduces;
+//! * [`repro`] — emits the minimized scenario as corpus text, a
+//!   self-contained Rust test, and the JSON-lines trace.
+//!
+//! The `chaos` binary (`cargo run --release -p demos-chaos`) drives seed
+//! sweeps; see `--help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod invariants;
+pub mod repro;
+pub mod scenario;
+pub mod shrink;
+
+pub use exec::{run, run_full, trace_json_lines, RunConfig, RunReport, BURST_TAG};
+pub use invariants::{Checker, Violation};
+pub use repro::{rust_snippet, write_artifacts, Artifacts};
+pub use scenario::{Event, EventKind, Scenario, TopoKind, TopoSpec, Workload};
+pub use shrink::{shrink, ShrinkResult};

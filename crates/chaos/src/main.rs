@@ -1,0 +1,144 @@
+//! `chaos` — seeded scenario fuzzer for the DEMOS/MP cluster.
+//!
+//! ```text
+//! chaos --seed 42                 # run one seed, print the verdict
+//! chaos --iters 200               # sweep seeds 0..200 (CI smoke run)
+//! chaos --seed 7 --iters 50       # sweep seeds 7..57
+//! chaos --until-failure           # sweep until a violation (or iter cap)
+//! chaos --fault no-forwarding     # run with the broken-kernel ablation
+//! chaos --out target/chaos        # artifact directory for repros
+//! ```
+//!
+//! On a violation the schedule is shrunk and three artifacts are written
+//! (scenario text, Rust test snippet, JSON-lines trace); exit code 1.
+
+use std::path::PathBuf;
+
+use demos_chaos::{run, run_full, shrink, RunConfig, Scenario};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    until_failure: bool,
+    fault: RunConfig,
+    out: PathBuf,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seed N] [--iters N] [--until-failure] \
+         [--fault no-forwarding] [--out DIR] [--quiet]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        iters: 1,
+        until_failure: false,
+        fault: RunConfig::default(),
+        out: PathBuf::from("target/chaos"),
+        quiet: false,
+    };
+    let mut explicit_iters = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                explicit_iters = true;
+            }
+            "--until-failure" => args.until_failure = true,
+            "--fault" => match it.next().as_deref() {
+                Some("no-forwarding") => args.fault.disable_forwarding = true,
+                _ => usage(),
+            },
+            "--out" => args.out = it.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.until_failure && !explicit_iters {
+        args.iters = u64::MAX;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let started = std::time::Instant::now();
+    let mut passed = 0u64;
+    let mut i = 0u64;
+    while i < args.iters {
+        let seed = args.seed.wrapping_add(i);
+        let sc = Scenario::generate(seed);
+        let report = run(&sc, &args.fault);
+        match report.violation {
+            None => {
+                passed += 1;
+                if !args.quiet {
+                    println!(
+                        "seed {seed}: ok ({} events, {} skipped, {} us virtual, fp {:016x})",
+                        report.events_applied,
+                        report.events_skipped,
+                        report.end_us,
+                        report.fingerprint
+                    );
+                }
+            }
+            Some(v) => {
+                println!("seed {seed}: VIOLATION — {v}");
+                println!("shrinking…");
+                let res = shrink(&sc, &args.fault, &v, 200);
+                println!(
+                    "shrunk to {} event(s) / {} workload(s) in {} runs: {}",
+                    res.scenario.events.len(),
+                    res.scenario.workloads.len(),
+                    res.runs,
+                    res.violation
+                );
+                // Re-run the minimized scenario to capture its trace.
+                let (final_report, trace) = run_full(&res.scenario, &args.fault);
+                let violation = final_report.violation.unwrap_or(res.violation);
+                match demos_chaos::write_artifacts(
+                    &args.out,
+                    &res.scenario,
+                    &args.fault,
+                    &violation,
+                    &trace,
+                ) {
+                    Ok(a) => {
+                        println!("repro scenario: {}", a.scenario.display());
+                        println!("repro test:     {}", a.snippet.display());
+                        println!("repro trace:    {}", a.trace.display());
+                        println!("--- minimized repro ---");
+                        print!(
+                            "{}",
+                            demos_chaos::rust_snippet(&res.scenario, &args.fault, &violation)
+                        );
+                    }
+                    Err(e) => eprintln!("failed to write artifacts: {e}"),
+                }
+                std::process::exit(1);
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "{passed}/{} seed(s) passed in {:.1}s",
+        args.iters,
+        started.elapsed().as_secs_f64()
+    );
+}

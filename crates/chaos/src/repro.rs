@@ -1,0 +1,119 @@
+//! Minimal-repro emission.
+//!
+//! When a shrunk scenario survives, the harness writes three artifacts:
+//! the scenario in its stable text form (drop it into `tests/corpus/` to
+//! pin the regression forever), a self-contained Rust test snippet that
+//! replays it, and the JSON-lines trace of the violating run.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::exec::RunConfig;
+use crate::invariants::Violation;
+use crate::scenario::Scenario;
+
+/// Render a self-contained `#[test]` that replays the scenario and
+/// asserts the invariants hold — paste it into the test tree as-is.
+pub fn rust_snippet(sc: &Scenario, cfg: &RunConfig, violation: &Violation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "/// Minimized chaos repro (seed {}): {}.\n",
+        sc.seed, violation
+    ));
+    out.push_str("#[test]\n");
+    out.push_str(&format!("fn chaos_repro_seed_{}() {{\n", sc.seed));
+    out.push_str("    let scenario = demos_chaos::Scenario::parse(\n");
+    out.push_str("        r#\"");
+    out.push_str(&sc.to_text());
+    out.push_str("\"#,\n    )\n    .unwrap();\n");
+    out.push_str(&format!(
+        "    let cfg = demos_chaos::RunConfig {{ disable_forwarding: {} }};\n",
+        cfg.disable_forwarding
+    ));
+    out.push_str("    let report = demos_chaos::run(&scenario, &cfg);\n");
+    out.push_str(
+        "    assert!(report.passed(), \"invariant violated: {}\", report.violation.unwrap());\n",
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Artifact paths written by [`write_artifacts`].
+#[derive(Clone, Debug)]
+pub struct Artifacts {
+    /// The scenario text (corpus-ready).
+    pub scenario: PathBuf,
+    /// The Rust test snippet.
+    pub snippet: PathBuf,
+    /// The JSON-lines trace of the violating run.
+    pub trace: PathBuf,
+}
+
+/// Write the repro artifacts for `sc` into `dir` (created if missing).
+pub fn write_artifacts(
+    dir: &Path,
+    sc: &Scenario,
+    cfg: &RunConfig,
+    violation: &Violation,
+    trace_lines: &str,
+) -> std::io::Result<Artifacts> {
+    std::fs::create_dir_all(dir)?;
+    let base = format!("repro-{}", sc.seed);
+    let paths = Artifacts {
+        scenario: dir.join(format!("{base}.seed")),
+        snippet: dir.join(format!("{base}.rs")),
+        trace: dir.join(format!("{base}.jsonl")),
+    };
+    std::fs::File::create(&paths.scenario)?.write_all(sc.to_text().as_bytes())?;
+    std::fs::File::create(&paths.snippet)?
+        .write_all(rust_snippet(sc, cfg, violation).as_bytes())?;
+    std::fs::File::create(&paths.trace)?.write_all(trace_lines.as_bytes())?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_embeds_parseable_scenario() {
+        let sc = Scenario::generate(11);
+        let snippet = rust_snippet(
+            &sc,
+            &RunConfig {
+                disable_forwarding: true,
+            },
+            &Violation::NonDeliverable { count: 1 },
+        );
+        assert!(snippet.contains("#[test]"));
+        assert!(snippet.contains("disable_forwarding: true"));
+        // The embedded text must round-trip through the parser.
+        let start = snippet.find("demos-chaos v1").unwrap();
+        let end = snippet.find("\"#").unwrap();
+        let embedded = &snippet[start..end];
+        assert_eq!(Scenario::parse(embedded).unwrap(), sc);
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        let dir = std::env::temp_dir().join("demos-chaos-test-artifacts");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sc = Scenario::generate(13);
+        let paths = write_artifacts(
+            &dir,
+            &sc,
+            &RunConfig::default(),
+            &Violation::NonDeliverable { count: 2 },
+            "{\"at\":0}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&paths.scenario).unwrap(),
+            sc.to_text()
+        );
+        assert!(std::fs::read_to_string(&paths.snippet)
+            .unwrap()
+            .contains("chaos_repro_seed_13"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

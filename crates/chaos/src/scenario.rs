@@ -1,0 +1,712 @@
+//! Scenario generation and the round-trippable text format.
+//!
+//! A [`Scenario`] is everything one chaos run needs: topology, workload
+//! mix, and a virtual-time event schedule. [`Scenario::generate`] derives
+//! all of it deterministically from a single `u64` seed, so a seed *is* a
+//! scenario; [`Scenario::to_text`] / [`Scenario::parse`] give scenarios a
+//! stable textual form so shrunk repros and corpus entries survive
+//! generator changes (a corpus file pins the schedule itself, not the
+//! generator version that once produced it).
+//!
+//! Every quantity is an integer (loss is parts-per-thousand, the degrade
+//! factor is a percentage) so the text round-trip is exact and `Eq`
+//! derives cleanly.
+
+use demos_net::{EdgeParams, Topology};
+use demos_types::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Topology family of a generated cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Every pair directly connected.
+    Mesh,
+    /// A chain `0 — 1 — … — n-1`.
+    Line,
+    /// A cycle.
+    Ring,
+    /// Machine 0 is the hub; everyone else is a spoke.
+    Star,
+}
+
+impl TopoKind {
+    fn name(self) -> &'static str {
+        match self {
+            TopoKind::Mesh => "mesh",
+            TopoKind::Line => "line",
+            TopoKind::Ring => "ring",
+            TopoKind::Star => "star",
+        }
+    }
+}
+
+/// Topology parameters: family plus uniform per-edge characteristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Family.
+    pub kind: TopoKind,
+    /// Machine count.
+    pub n: u16,
+    /// Per-edge latency, microseconds.
+    pub latency_us: u64,
+    /// Per-edge bandwidth cost, nanoseconds per byte.
+    pub ns_per_byte: u64,
+    /// Per-edge loss probability, parts per thousand.
+    pub loss_pm: u64,
+}
+
+impl TopoSpec {
+    /// Materialize the [`Topology`].
+    pub fn build(&self) -> Topology {
+        let params = EdgeParams {
+            latency: Duration::from_micros(self.latency_us),
+            ns_per_byte: self.ns_per_byte,
+            loss: self.loss_pm as f64 / 1000.0,
+        };
+        let n = self.n as usize;
+        match self.kind {
+            TopoKind::Mesh => Topology::full_mesh(n, params),
+            TopoKind::Line => Topology::line(n, params),
+            TopoKind::Ring => Topology::ring(n, params),
+            TopoKind::Star => Topology::star(n, params),
+        }
+    }
+
+    /// Direct edges of this topology, as (low, high) machine pairs — the
+    /// candidates a partition event can sever.
+    pub fn edges(&self) -> Vec<(u16, u16)> {
+        let n = self.n;
+        match self.kind {
+            TopoKind::Mesh => (0..n)
+                .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+                .collect(),
+            TopoKind::Line => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            TopoKind::Ring => (0..n)
+                .map(|i| {
+                    let j = (i + 1) % n;
+                    (i.min(j), i.max(j))
+                })
+                .collect(),
+            TopoKind::Star => (1..n).map(|i| (0, i)).collect(),
+        }
+    }
+}
+
+/// One workload of the mix. Each spawns one or two processes; processes
+/// are addressed by *slot* — their index in spawn order across the whole
+/// workload list — so events stay valid under textual editing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// A ping-pong pair: slot `s` on machine `a`, slot `s+1` on `b`,
+    /// rallying `limit` times with `cpu_us` of CPU per ball.
+    PingPong {
+        /// Machine of the first peer.
+        a: u16,
+        /// Machine of the second peer.
+        b: u16,
+        /// Rallies before the pair stops.
+        limit: u64,
+        /// CPU burned per ball, microseconds.
+        cpu_us: u32,
+    },
+    /// An inert cargo process (slot `s`) carrying `ballast` opaque bytes;
+    /// burst events throw messages at it and it counts them.
+    Cargo {
+        /// Hosting machine.
+        m: u16,
+        /// Ballast bytes in the program state.
+        ballast: u32,
+    },
+    /// An echo server (slot `s`) on `server` and a request generator
+    /// (slot `s+1`) on `client` sending `requests` requests of `payload`
+    /// bytes every `period_us`.
+    ClientServer {
+        /// Client machine.
+        client: u16,
+        /// Server machine.
+        server: u16,
+        /// Requests the client sends in total.
+        requests: u64,
+        /// Send period, microseconds.
+        period_us: u32,
+        /// Request payload size, bytes.
+        payload: u32,
+    },
+}
+
+impl Workload {
+    /// Process slots this workload occupies.
+    pub fn slots(&self) -> u16 {
+        match self {
+            Workload::PingPong { .. } | Workload::ClientServer { .. } => 2,
+            Workload::Cargo { .. } => 1,
+        }
+    }
+}
+
+/// One scheduled fault or stimulus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Migrate the process in `slot` to machine `to`.
+    Migrate {
+        /// Process slot.
+        slot: u16,
+        /// Destination machine.
+        to: u16,
+    },
+    /// Post `count` user messages of `payload` bytes to the process in
+    /// `slot`.
+    Burst {
+        /// Process slot.
+        slot: u16,
+        /// Messages to post.
+        count: u16,
+        /// Payload bytes per message.
+        payload: u32,
+    },
+    /// Sever the direct edge `a — b` (generated only on edges the
+    /// topology has; always paired with a later [`EventKind::HealEdge`]).
+    Partition {
+        /// One endpoint.
+        a: u16,
+        /// The other endpoint.
+        b: u16,
+    },
+    /// Restore a severed edge.
+    HealEdge {
+        /// One endpoint.
+        a: u16,
+        /// The other endpoint.
+        b: u16,
+    },
+    /// Crash machine `m` (the executor skips it unless the machine is
+    /// empty — no processes, no forwarding addresses, no migration in
+    /// flight — which keeps exactly-once delivery an unconditional
+    /// invariant; always paired with a later [`EventKind::Revive`]).
+    Crash {
+        /// Target machine.
+        m: u16,
+    },
+    /// Revive a crashed machine.
+    Revive {
+        /// Target machine.
+        m: u16,
+    },
+    /// Multiply machine `m`'s activation costs by `factor_pct`/100 (the
+    /// paper's gradually-sinking processor; paired with a later
+    /// [`EventKind::Restore`]).
+    Degrade {
+        /// Target machine.
+        m: u16,
+        /// Slowdown, percent (100 = nominal).
+        factor_pct: u32,
+    },
+    /// Restore machine `m`'s CPU to nominal speed.
+    Restore {
+        /// Target machine.
+        m: u16,
+    },
+}
+
+/// One schedule entry: what happens and when (virtual time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time of the event, microseconds from the start.
+    pub at_us: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// A complete chaos scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed for the cluster's network randomness (loss coin flips).
+    pub seed: u64,
+    /// Topology.
+    pub topo: TopoSpec,
+    /// Invariant-check cadence, microseconds of virtual time.
+    pub quantum_us: u64,
+    /// Active phase length, microseconds; events all land inside it.
+    pub horizon_us: u64,
+    /// Drain budget after the active phase, microseconds.
+    pub drain_us: u64,
+    /// Workload mix.
+    pub workloads: Vec<Workload>,
+    /// Event schedule, sorted by time (ties keep list order).
+    pub events: Vec<Event>,
+}
+
+impl Scenario {
+    /// Total process slots across the workload mix.
+    pub fn total_slots(&self) -> u16 {
+        self.workloads.iter().map(|w| w.slots()).sum()
+    }
+
+    /// Derive a full scenario from a single seed. Deterministic: the same
+    /// seed always yields the same scenario, on every platform.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00C0_FFEE_D15E_A5E5);
+        let n = (2 + rng.gen_range(0..5)) as u16; // 2..=6 machines
+        let kind = match rng.gen_range(0..4) {
+            0 => TopoKind::Mesh,
+            1 => TopoKind::Line,
+            2 => TopoKind::Ring,
+            _ => TopoKind::Star,
+        };
+        let topo = TopoSpec {
+            kind,
+            n,
+            latency_us: 50 + rng.gen_range(0..750),
+            ns_per_byte: rng.gen_range(0..300),
+            loss_pm: rng.gen_range(0..80), // up to 8% loss
+        };
+        let horizon_us = 30_000 + rng.gen_range(0..50_000);
+        let quantum_us = 2_000 + rng.gen_range(0..6_000);
+
+        let mut workloads = vec![{
+            let a = rng.gen_range(0..n as u64) as u16;
+            let b = (a + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            Workload::PingPong {
+                a,
+                b,
+                limit: 50 + rng.gen_range(0..250),
+                cpu_us: rng.gen_range(0..100) as u32,
+            }
+        }];
+        if rng.gen_bool(0.6) {
+            workloads.push(Workload::Cargo {
+                m: rng.gen_range(0..n as u64) as u16,
+                ballast: rng.gen_range(0..16_384) as u32,
+            });
+        }
+        if rng.gen_bool(0.5) {
+            let server = rng.gen_range(0..n as u64) as u16;
+            let client = (server + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            workloads.push(Workload::ClientServer {
+                client,
+                server,
+                requests: 10 + rng.gen_range(0..50),
+                period_us: 300 + rng.gen_range(0..700) as u32,
+                payload: rng.gen_range(0..256) as u32,
+            });
+        }
+        let slots: u64 = workloads.iter().map(|w| w.slots() as u64).sum();
+        let edges = topo.edges();
+
+        let mut events: Vec<Event> = Vec::new();
+        let singles = 3 + rng.gen_range(0..10);
+        for _ in 0..singles {
+            let at_us = 1_000 + rng.gen_range(0..horizon_us - 3_000);
+            let roll = rng.gen_range(0..100);
+            if roll < 45 {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Migrate {
+                        slot: rng.gen_range(0..slots) as u16,
+                        to: rng.gen_range(0..n as u64) as u16,
+                    },
+                });
+            } else if roll < 65 {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Burst {
+                        slot: rng.gen_range(0..slots) as u16,
+                        count: 1 + rng.gen_range(0..8) as u16,
+                        payload: rng.gen_range(0..256) as u32,
+                    },
+                });
+            } else if roll < 80 {
+                let (a, b) = edges[rng.gen_range(0..edges.len() as u64) as usize];
+                let heal_at = (at_us + 2_000 + rng.gen_range(0..12_000)).min(horizon_us - 1);
+                events.push(Event {
+                    at_us: at_us.min(heal_at.saturating_sub(1)),
+                    kind: EventKind::Partition { a, b },
+                });
+                events.push(Event {
+                    at_us: heal_at,
+                    kind: EventKind::HealEdge { a, b },
+                });
+            } else if roll < 92 {
+                let m = rng.gen_range(0..n as u64) as u16;
+                let restore_at = (at_us + 2_000 + rng.gen_range(0..12_000)).min(horizon_us - 1);
+                events.push(Event {
+                    at_us: at_us.min(restore_at.saturating_sub(1)),
+                    kind: EventKind::Degrade {
+                        m,
+                        factor_pct: 150 + rng.gen_range(0..1_850) as u32,
+                    },
+                });
+                events.push(Event {
+                    at_us: restore_at,
+                    kind: EventKind::Restore { m },
+                });
+            } else {
+                let m = rng.gen_range(0..n as u64) as u16;
+                let revive_at = (at_us + 2_000 + rng.gen_range(0..12_000)).min(horizon_us - 1);
+                events.push(Event {
+                    at_us: at_us.min(revive_at.saturating_sub(1)),
+                    kind: EventKind::Crash { m },
+                });
+                events.push(Event {
+                    at_us: revive_at,
+                    kind: EventKind::Revive { m },
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at_us);
+
+        Scenario {
+            seed,
+            topo,
+            quantum_us,
+            horizon_us,
+            drain_us: 30_000_000,
+            workloads,
+            events,
+        }
+    }
+
+    /// Render the scenario in its stable text form (see [`Scenario::parse`]).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("demos-chaos v1\n");
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!(
+            "topo {} {} {} {} {}\n",
+            self.topo.kind.name(),
+            self.topo.n,
+            self.topo.latency_us,
+            self.topo.ns_per_byte,
+            self.topo.loss_pm
+        ));
+        s.push_str(&format!("quantum {}\n", self.quantum_us));
+        s.push_str(&format!("horizon {}\n", self.horizon_us));
+        s.push_str(&format!("drain {}\n", self.drain_us));
+        for w in &self.workloads {
+            match *w {
+                Workload::PingPong {
+                    a,
+                    b,
+                    limit,
+                    cpu_us,
+                } => {
+                    s.push_str(&format!("wl pingpong {a} {b} {limit} {cpu_us}\n"));
+                }
+                Workload::Cargo { m, ballast } => {
+                    s.push_str(&format!("wl cargo {m} {ballast}\n"));
+                }
+                Workload::ClientServer {
+                    client,
+                    server,
+                    requests,
+                    period_us,
+                    payload,
+                } => {
+                    s.push_str(&format!(
+                        "wl clientserver {client} {server} {requests} {period_us} {payload}\n"
+                    ));
+                }
+            }
+        }
+        for e in &self.events {
+            let at = e.at_us;
+            match e.kind {
+                EventKind::Migrate { slot, to } => {
+                    s.push_str(&format!("ev {at} migrate {slot} {to}\n"));
+                }
+                EventKind::Burst {
+                    slot,
+                    count,
+                    payload,
+                } => s.push_str(&format!("ev {at} burst {slot} {count} {payload}\n")),
+                EventKind::Partition { a, b } => {
+                    s.push_str(&format!("ev {at} partition {a} {b}\n"));
+                }
+                EventKind::HealEdge { a, b } => s.push_str(&format!("ev {at} heal {a} {b}\n")),
+                EventKind::Crash { m } => s.push_str(&format!("ev {at} crash {m}\n")),
+                EventKind::Revive { m } => s.push_str(&format!("ev {at} revive {m}\n")),
+                EventKind::Degrade { m, factor_pct } => {
+                    s.push_str(&format!("ev {at} degrade {m} {factor_pct}\n"));
+                }
+                EventKind::Restore { m } => s.push_str(&format!("ev {at} restore {m}\n")),
+            }
+        }
+        s
+    }
+
+    /// Parse the text form produced by [`Scenario::to_text`]. Lines
+    /// starting with `#` and blank lines are ignored.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+            tok.ok_or_else(|| format!("missing {what}"))?
+                .parse::<T>()
+                .map_err(|_| format!("bad {what}"))
+        }
+        let mut seed = None;
+        let mut topo = None;
+        let mut quantum_us = None;
+        let mut horizon_us = None;
+        let mut drain_us = None;
+        let mut workloads = Vec::new();
+        let mut events = Vec::new();
+        let mut saw_header = false;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !saw_header {
+                if line != "demos-chaos v1" {
+                    return Err(format!("line {}: expected 'demos-chaos v1' header", ln + 1));
+                }
+                saw_header = true;
+                continue;
+            }
+            let mut t = line.split_whitespace();
+            let key = t.next().unwrap_or("");
+            match key {
+                "seed" => seed = Some(num::<u64>(t.next(), "seed")?),
+                "topo" => {
+                    let kind = match t.next() {
+                        Some("mesh") => TopoKind::Mesh,
+                        Some("line") => TopoKind::Line,
+                        Some("ring") => TopoKind::Ring,
+                        Some("star") => TopoKind::Star,
+                        other => return Err(format!("line {}: bad topo kind {other:?}", ln + 1)),
+                    };
+                    topo = Some(TopoSpec {
+                        kind,
+                        n: num(t.next(), "machine count")?,
+                        latency_us: num(t.next(), "latency")?,
+                        ns_per_byte: num(t.next(), "ns_per_byte")?,
+                        loss_pm: num(t.next(), "loss_pm")?,
+                    });
+                }
+                "quantum" => quantum_us = Some(num::<u64>(t.next(), "quantum")?),
+                "horizon" => horizon_us = Some(num::<u64>(t.next(), "horizon")?),
+                "drain" => drain_us = Some(num::<u64>(t.next(), "drain")?),
+                "wl" => {
+                    let w = match t.next() {
+                        Some("pingpong") => Workload::PingPong {
+                            a: num(t.next(), "a")?,
+                            b: num(t.next(), "b")?,
+                            limit: num(t.next(), "limit")?,
+                            cpu_us: num(t.next(), "cpu_us")?,
+                        },
+                        Some("cargo") => Workload::Cargo {
+                            m: num(t.next(), "m")?,
+                            ballast: num(t.next(), "ballast")?,
+                        },
+                        Some("clientserver") => Workload::ClientServer {
+                            client: num(t.next(), "client")?,
+                            server: num(t.next(), "server")?,
+                            requests: num(t.next(), "requests")?,
+                            period_us: num(t.next(), "period_us")?,
+                            payload: num(t.next(), "payload")?,
+                        },
+                        other => return Err(format!("line {}: bad workload {other:?}", ln + 1)),
+                    };
+                    workloads.push(w);
+                }
+                "ev" => {
+                    let at_us = num::<u64>(t.next(), "event time")?;
+                    let kind = match t.next() {
+                        Some("migrate") => EventKind::Migrate {
+                            slot: num(t.next(), "slot")?,
+                            to: num(t.next(), "to")?,
+                        },
+                        Some("burst") => EventKind::Burst {
+                            slot: num(t.next(), "slot")?,
+                            count: num(t.next(), "count")?,
+                            payload: num(t.next(), "payload")?,
+                        },
+                        Some("partition") => EventKind::Partition {
+                            a: num(t.next(), "a")?,
+                            b: num(t.next(), "b")?,
+                        },
+                        Some("heal") => EventKind::HealEdge {
+                            a: num(t.next(), "a")?,
+                            b: num(t.next(), "b")?,
+                        },
+                        Some("crash") => EventKind::Crash {
+                            m: num(t.next(), "m")?,
+                        },
+                        Some("revive") => EventKind::Revive {
+                            m: num(t.next(), "m")?,
+                        },
+                        Some("degrade") => EventKind::Degrade {
+                            m: num(t.next(), "m")?,
+                            factor_pct: num(t.next(), "factor_pct")?,
+                        },
+                        Some("restore") => EventKind::Restore {
+                            m: num(t.next(), "m")?,
+                        },
+                        other => return Err(format!("line {}: bad event {other:?}", ln + 1)),
+                    };
+                    events.push(Event { at_us, kind });
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
+            }
+        }
+        let sc = Scenario {
+            seed: seed.ok_or("missing seed")?,
+            topo: topo.ok_or("missing topo")?,
+            quantum_us: quantum_us.ok_or("missing quantum")?,
+            horizon_us: horizon_us.ok_or("missing horizon")?,
+            drain_us: drain_us.ok_or("missing drain")?,
+            workloads,
+            events,
+        };
+        if sc.workloads.is_empty() {
+            return Err("scenario has no workloads".into());
+        }
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// A corpus entry: either a bare seed number (generate the scenario)
+    /// or full scenario text.
+    pub fn from_corpus(text: &str) -> Result<Scenario, String> {
+        let trimmed = text.trim();
+        if let Ok(seed) = trimmed.parse::<u64>() {
+            return Ok(Scenario::generate(seed));
+        }
+        Scenario::parse(text)
+    }
+
+    /// Structural sanity: machine and slot references in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.topo.n;
+        if n < 2 {
+            return Err("need at least 2 machines".into());
+        }
+        let slots = self.total_slots();
+        let chk_m = |m: u16, what: &str| {
+            if m >= n {
+                Err(format!("{what} machine {m} out of range (n={n})"))
+            } else {
+                Ok(())
+            }
+        };
+        for w in &self.workloads {
+            match *w {
+                Workload::PingPong { a, b, .. } => {
+                    chk_m(a, "pingpong")?;
+                    chk_m(b, "pingpong")?;
+                }
+                Workload::Cargo { m, .. } => chk_m(m, "cargo")?,
+                Workload::ClientServer { client, server, .. } => {
+                    chk_m(client, "client")?;
+                    chk_m(server, "server")?;
+                }
+            }
+        }
+        for e in &self.events {
+            match e.kind {
+                EventKind::Migrate { slot, to } => {
+                    chk_m(to, "migrate")?;
+                    if slot >= slots {
+                        return Err(format!("migrate slot {slot} out of range ({slots})"));
+                    }
+                }
+                EventKind::Burst { slot, .. } => {
+                    if slot >= slots {
+                        return Err(format!("burst slot {slot} out of range ({slots})"));
+                    }
+                }
+                EventKind::Partition { a, b } | EventKind::HealEdge { a, b } => {
+                    chk_m(a, "partition")?;
+                    chk_m(b, "partition")?;
+                }
+                EventKind::Crash { m }
+                | EventKind::Revive { m }
+                | EventKind::Degrade { m, .. }
+                | EventKind::Restore { m } => chk_m(m, "fault")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in 0..50 {
+            let a = Scenario::generate(seed);
+            let b = Scenario::generate(seed);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate().expect("generated scenario valid");
+            assert!(!a.workloads.is_empty());
+            assert!(!a.events.is_empty());
+        }
+        assert_ne!(Scenario::generate(1), Scenario::generate(2));
+    }
+
+    #[test]
+    fn text_round_trips() {
+        for seed in 0..50 {
+            let sc = Scenario::generate(seed);
+            let text = sc.to_text();
+            let back = Scenario::parse(&text).expect("parses");
+            assert_eq!(sc, back, "seed {seed}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn corpus_accepts_bare_seed_or_text() {
+        let by_seed = Scenario::from_corpus(" 42 \n").unwrap();
+        assert_eq!(by_seed, Scenario::generate(42));
+        let by_text = Scenario::from_corpus(&Scenario::generate(42).to_text()).unwrap();
+        assert_eq!(by_text, by_seed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Scenario::parse("nonsense").is_err());
+        assert!(Scenario::parse("demos-chaos v1\nseed 1\n").is_err());
+        let mut sc = Scenario::generate(3);
+        sc.events.push(Event {
+            at_us: 1,
+            kind: EventKind::Migrate { slot: 99, to: 0 },
+        });
+        assert!(Scenario::parse(&sc.to_text()).is_err(), "slot out of range");
+    }
+
+    #[test]
+    fn edges_match_topology_family() {
+        let mesh = TopoSpec {
+            kind: TopoKind::Mesh,
+            n: 4,
+            latency_us: 100,
+            ns_per_byte: 0,
+            loss_pm: 0,
+        };
+        assert_eq!(mesh.edges().len(), 6);
+        let line = TopoSpec {
+            kind: TopoKind::Line,
+            ..mesh
+        };
+        assert_eq!(line.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+        let star = TopoSpec {
+            kind: TopoKind::Star,
+            ..mesh
+        };
+        assert_eq!(star.edges(), vec![(0, 1), (0, 2), (0, 3)]);
+        let ring = TopoSpec {
+            kind: TopoKind::Ring,
+            ..mesh
+        };
+        assert_eq!(ring.edges().len(), 4);
+        for (a, b) in ring.edges() {
+            assert!(a < b);
+            assert!(mesh
+                .build()
+                .edge(demos_types::MachineId(a), demos_types::MachineId(b))
+                .is_some());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Greedy schedule shrinking.
+//!
+//! Once a scenario trips an invariant, the schedule that produced it is
+//! usually mostly noise. The shrinker re-executes candidate reductions
+//! and keeps any that still reproduce the *same kind* of violation
+//! (matching on the enum variant, so the shrink can't drift from a lost
+//! message to an unrelated counter mismatch):
+//!
+//! 1. **ddmin over events** — try deleting chunks of the schedule,
+//!    halving the chunk size down to single events;
+//! 2. **workload pruning** — drop whole workloads (remapping event slot
+//!    references, deleting events that referenced the dropped slots);
+//! 3. repeat until a fixed point or the run budget is exhausted.
+//!
+//! Everything is deterministic, so "still reproduces" is a plain re-run.
+
+use crate::exec::{run, RunConfig};
+use crate::invariants::Violation;
+use crate::scenario::{EventKind, Scenario};
+
+/// Result of a shrink campaign.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest scenario found that still violates.
+    pub scenario: Scenario,
+    /// The violation the shrunk scenario produces.
+    pub violation: Violation,
+    /// Scenario executions spent.
+    pub runs: usize,
+}
+
+fn same_kind(a: &Violation, b: &Violation) -> bool {
+    std::mem::discriminant(a) == std::mem::discriminant(b)
+}
+
+/// Drop workload `wi`, removing events that reference its slots and
+/// shifting higher slot references down. Returns `None` if it was the
+/// only workload.
+fn drop_workload(sc: &Scenario, wi: usize) -> Option<Scenario> {
+    if sc.workloads.len() <= 1 {
+        return None;
+    }
+    let first: u16 = sc.workloads[..wi].iter().map(|w| w.slots()).sum();
+    let width = sc.workloads[wi].slots();
+    let mut out = sc.clone();
+    out.workloads.remove(wi);
+    out.events.retain_mut(|e| match &mut e.kind {
+        EventKind::Migrate { slot, .. } | EventKind::Burst { slot, .. } => {
+            if (first..first + width).contains(slot) {
+                false
+            } else {
+                if *slot >= first + width {
+                    *slot -= width;
+                }
+                true
+            }
+        }
+        _ => true,
+    });
+    Some(out)
+}
+
+/// Shrink `sc` (which must produce `original` under `cfg`) within a
+/// budget of `max_runs` re-executions.
+pub fn shrink(
+    sc: &Scenario,
+    cfg: &RunConfig,
+    original: &Violation,
+    max_runs: usize,
+) -> ShrinkResult {
+    let mut cur = sc.clone();
+    let mut cur_violation = original.clone();
+    let mut runs = 0usize;
+
+    let reproduces = |cand: &Scenario, runs: &mut usize| -> Option<Violation> {
+        *runs += 1;
+        run(cand, cfg).violation.filter(|v| same_kind(v, original))
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: ddmin over the event schedule.
+        let mut chunk = (cur.events.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.events.len() && runs < max_runs {
+                let mut cand = cur.clone();
+                let end = (i + chunk).min(cand.events.len());
+                cand.events.drain(i..end);
+                if let Some(v) = reproduces(&cand, &mut runs) {
+                    cur = cand;
+                    cur_violation = v;
+                    progressed = true;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 || runs >= max_runs {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Pass 2: drop whole workloads.
+        let mut wi = 0;
+        while wi < cur.workloads.len() && runs < max_runs {
+            if let Some(cand) = drop_workload(&cur, wi) {
+                if let Some(v) = reproduces(&cand, &mut runs) {
+                    cur = cand;
+                    cur_violation = v;
+                    progressed = true;
+                    continue; // same index now names the next workload
+                }
+            }
+            wi += 1;
+        }
+
+        if !progressed || runs >= max_runs {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        scenario: cur,
+        violation: cur_violation,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Event, TopoKind, TopoSpec, Workload};
+
+    fn broken_scenario() -> Scenario {
+        // A busy schedule where only the migration matters once
+        // forwarding is disabled.
+        let sc = Scenario {
+            seed: 9,
+            topo: TopoSpec {
+                kind: TopoKind::Mesh,
+                n: 3,
+                latency_us: 200,
+                ns_per_byte: 100,
+                loss_pm: 10,
+            },
+            quantum_us: 3_000,
+            horizon_us: 40_000,
+            drain_us: 10_000_000,
+            workloads: vec![
+                Workload::PingPong {
+                    a: 0,
+                    b: 1,
+                    limit: 150,
+                    cpu_us: 30,
+                },
+                Workload::Cargo { m: 2, ballast: 512 },
+            ],
+            events: vec![
+                Event {
+                    at_us: 2_000,
+                    kind: EventKind::Burst {
+                        slot: 2,
+                        count: 3,
+                        payload: 16,
+                    },
+                },
+                Event {
+                    at_us: 4_000,
+                    kind: EventKind::Degrade {
+                        m: 2,
+                        factor_pct: 300,
+                    },
+                },
+                Event {
+                    at_us: 6_000,
+                    kind: EventKind::Migrate { slot: 1, to: 2 },
+                },
+                Event {
+                    at_us: 9_000,
+                    kind: EventKind::Restore { m: 2 },
+                },
+                Event {
+                    at_us: 12_000,
+                    kind: EventKind::Burst {
+                        slot: 2,
+                        count: 2,
+                        payload: 8,
+                    },
+                },
+            ],
+        };
+        sc.validate().unwrap();
+        sc
+    }
+
+    #[test]
+    fn shrinks_broken_kernel_to_the_migration() {
+        let cfg = RunConfig {
+            disable_forwarding: true,
+        };
+        let sc = broken_scenario();
+        let v = run(&sc, &cfg).violation.expect("must violate");
+        let res = shrink(&sc, &cfg, &v, 100);
+        assert!(
+            res.scenario.events.len() <= 2,
+            "shrunk to {} events: {:?}",
+            res.scenario.events.len(),
+            res.scenario.events
+        );
+        assert!(res
+            .scenario
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Migrate { .. })));
+        // The shrunk scenario still reproduces.
+        let again = run(&res.scenario, &cfg).violation.expect("reproduces");
+        assert_eq!(
+            std::mem::discriminant(&again),
+            std::mem::discriminant(&res.violation)
+        );
+    }
+
+    #[test]
+    fn drop_workload_remaps_slots() {
+        let sc = broken_scenario();
+        let dropped = drop_workload(&sc, 1).unwrap();
+        assert_eq!(dropped.workloads.len(), 1);
+        // Events addressed to the cargo slot (2) are gone; the migration
+        // of slot 1 survives untouched.
+        assert_eq!(dropped.events.len(), 3);
+        assert!(dropped
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::Burst { .. })));
+    }
+}

@@ -362,6 +362,13 @@ impl Kernel {
         &self.forwarding
     }
 
+    /// Where this machine's forwarding table redirects `pid`, if an entry
+    /// exists — one hop of the chain walk used by the chaos acyclicity
+    /// checker.
+    pub fn forwarding_next(&self, pid: ProcessId) -> Option<MachineId> {
+        self.forwarding.get(&pid).map(|e| e.to)
+    }
+
     /// Insert a forwarding entry (crash-recovery path; migrations install
     /// theirs through [`Kernel::finish_source_side`]).
     pub(crate) fn forwarding_insert(&mut self, pid: ProcessId, to: MachineId) {

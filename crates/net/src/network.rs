@@ -104,6 +104,9 @@ pub struct SimNetwork {
     seq: u64,
     stats: NetStats,
     down: Vec<bool>,
+    /// Edges severed by [`SimNetwork::partition`], with the parameters to
+    /// restore on heal. Keyed by the (low, high) machine pair.
+    severed: std::collections::BTreeMap<(u16, u16), crate::topology::EdgeParams>,
 }
 
 impl SimNetwork {
@@ -117,6 +120,7 @@ impl SimNetwork {
             seq: 0,
             stats: NetStats::default(),
             down: vec![false; n],
+            severed: std::collections::BTreeMap::new(),
         }
     }
 
@@ -171,6 +175,72 @@ impl SimNetwork {
     /// Number of frames currently in flight.
     pub fn in_flight(&self) -> usize {
         self.heap.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Partition injection
+    // ------------------------------------------------------------------
+
+    fn pair_key(a: MachineId, b: MachineId) -> (u16, u16) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Sever the direct edge `a — b`, remembering its parameters for
+    /// [`SimNetwork::heal`]. Frames already in flight between machine
+    /// pairs that the cut disconnects are lost (counted as drops) — a
+    /// partition takes the wire with it, it does not hold packets in
+    /// escrow. Returns `false` (and changes nothing) if the machines are
+    /// not directly connected.
+    pub fn partition(&mut self, a: MachineId, b: MachineId) -> bool {
+        let Some(params) = self.topo.edge(a, b) else {
+            return false;
+        };
+        self.severed.insert(Self::pair_key(a, b), params);
+        self.topo.clear_edge(a, b);
+        self.purge_unreachable();
+        true
+    }
+
+    /// Restore an edge severed by [`SimNetwork::partition`] with its
+    /// original parameters. Returns `false` if the pair was not severed.
+    pub fn heal(&mut self, a: MachineId, b: MachineId) -> bool {
+        let Some(params) = self.severed.remove(&Self::pair_key(a, b)) else {
+            return false;
+        };
+        self.topo.set_edge(a, b, params);
+        true
+    }
+
+    /// Restore every severed edge; returns how many were healed.
+    pub fn heal_all(&mut self) -> usize {
+        let severed: Vec<(u16, u16)> = self.severed.keys().copied().collect();
+        for (a, b) in &severed {
+            let params = self.severed.remove(&(*a, *b)).expect("listed");
+            self.topo.set_edge(MachineId(*a), MachineId(*b), params);
+        }
+        severed.len()
+    }
+
+    /// Machine pairs currently partitioned via [`SimNetwork::partition`].
+    pub fn partitions(&self) -> Vec<(MachineId, MachineId)> {
+        self.severed
+            .keys()
+            .map(|&(a, b)| (MachineId(a), MachineId(b)))
+            .collect()
+    }
+
+    /// Drop in-flight frames whose endpoints the topology can no longer
+    /// connect (after a partition disconnected them mid-transit).
+    fn purge_unreachable(&mut self) {
+        let topo = &self.topo;
+        let before = self.heap.len();
+        let kept: Vec<Reverse<Arrival>> = self
+            .heap
+            .drain()
+            .filter(|Reverse(a)| topo.reachable(a.src, a.dst))
+            .collect();
+        self.stats.frames_dropped += (before - kept.len()) as u64;
+        self.heap = kept.into_iter().collect();
     }
 }
 
@@ -339,5 +409,55 @@ mod tests {
         let mut net = SimNetwork::new(topo, 1);
         net.transmit(Time(0), m(0), m(1), data(1));
         assert_eq!(net.stats().frames_dropped, 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let params = EdgeParams {
+            latency: Duration::from_micros(100),
+            ns_per_byte: 7,
+            loss: 0.0,
+        };
+        let mut net = SimNetwork::new(Topology::full_mesh(2, params), 1);
+        assert!(net.partition(m(0), m(1)));
+        assert_eq!(net.partitions(), vec![(m(0), m(1))]);
+        net.transmit(Time(0), m(0), m(1), data(1));
+        assert_eq!(net.stats().frames_dropped, 1);
+
+        assert!(net.heal(m(1), m(0)), "pair key is order-insensitive");
+        assert!(net.partitions().is_empty());
+        assert_eq!(net.topology().edge(m(0), m(1)), Some(params));
+        net.transmit(Time(0), m(0), m(1), data(2));
+        assert!(net.pop_due(Time(1_000_000)).is_some());
+        // Double-heal and partitioning a missing edge are no-ops.
+        assert!(!net.heal(m(0), m(1)));
+        let mut empty = SimNetwork::new(Topology::new(2), 1);
+        assert!(!empty.partition(m(0), m(1)));
+    }
+
+    #[test]
+    fn partition_drops_in_flight_frames() {
+        let mut net = SimNetwork::new(Topology::full_mesh(3, EdgeParams::fast()), 1);
+        net.transmit(Time(0), m(0), m(1), data(1));
+        net.transmit(Time(0), m(1), m(2), data(2));
+        assert_eq!(net.in_flight(), 2);
+        // Cutting 0—1 leaves both pairs reachable via m2 in a mesh; the
+        // in-flight frames survive.
+        assert!(net.partition(m(0), m(1)));
+        assert_eq!(net.in_flight(), 2);
+        // Cutting 0—2 isolates m0 entirely: the 0→1 frame is lost.
+        assert!(net.partition(m(0), m(2)));
+        assert_eq!(net.in_flight(), 1);
+        assert_eq!(net.stats().frames_dropped, 1);
+        let sent = net.stats().frames_sent;
+        let s = net.stats();
+        assert_eq!(
+            sent,
+            s.frames_delivered + s.frames_dropped + net.in_flight() as u64,
+            "frame conservation survives the purge"
+        );
+        assert_eq!(net.heal_all(), 2);
+        net.transmit(Time(100), m(0), m(1), data(3));
+        assert_eq!(net.in_flight(), 2);
     }
 }

@@ -15,12 +15,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrset;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod series;
 pub mod snapshot;
 
+pub use corrset::{DeliveryEvent, DeliveryLedger};
 pub use registry::MetricsRegistry;
 pub use series::{SeriesStore, TimeSeries};
 pub use snapshot::{ClusterSnapshot, MachineSnapshot};

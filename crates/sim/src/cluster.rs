@@ -420,6 +420,25 @@ impl Cluster {
         }
     }
 
+    /// Sever the direct network edge between `a` and `b`, remembering its
+    /// parameters so [`Cluster::heal`] can restore them. Frames in flight
+    /// between machine pairs the cut disconnects are lost. Returns `false`
+    /// if the machines are not directly connected.
+    pub fn partition(&mut self, a: MachineId, b: MachineId) -> bool {
+        self.net.partition(a, b)
+    }
+
+    /// Restore an edge severed by [`Cluster::partition`] with its original
+    /// parameters. Returns `false` if the pair was not partitioned.
+    pub fn heal(&mut self, a: MachineId, b: MachineId) -> bool {
+        self.net.heal(a, b)
+    }
+
+    /// Restore every partitioned edge; returns how many were healed.
+    pub fn heal_all(&mut self) -> usize {
+        self.net.heal_all()
+    }
+
     /// Degrade (or restore) machine `m`'s CPU: activation costs are
     /// multiplied by `factor` (1.0 = healthy). Models the paper's
     /// "gradual degradation of the processor" failure mode (§1).
@@ -549,6 +568,69 @@ impl Cluster {
                 return self.now;
             }
         }
+    }
+
+    /// Run for `d` more virtual time in `quantum`-sized slices, invoking
+    /// `on_quantum` after each slice (and once more if the cluster goes
+    /// quiescent early). The callback returning `false` stops the run —
+    /// this is how the chaos harness interleaves continuous invariant
+    /// checks with execution. Returns the finishing time.
+    pub fn run_with_quantum<F>(&mut self, d: Duration, quantum: Duration, mut on_quantum: F) -> Time
+    where
+        F: FnMut(&Cluster) -> bool,
+    {
+        let deadline = self.now + d;
+        let q = quantum.max(Duration::from_micros(1));
+        while self.now < deadline {
+            let target = (self.now + q).min(deadline);
+            self.run_until(target);
+            if !on_quantum(self) {
+                return self.now;
+            }
+            if self.now < target {
+                // run_until returned early: no pending events anywhere.
+                return self.now;
+            }
+        }
+        self.now
+    }
+
+    /// Whether every surviving machine's reliable channel has drained
+    /// (nothing unacknowledged) and no frames remain in flight — the
+    /// "queues drain" half of the transport-sanity invariant.
+    pub fn transport_quiescent(&self) -> bool {
+        self.net.in_flight() == 0
+            && self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.crashed[*i])
+                .all(|(_, n)| n.kernel.transport_quiescent())
+    }
+
+    /// Follow forwarding addresses for `pid` starting from machine
+    /// `start`, returning every machine visited (`start` included). The
+    /// walk stops at a machine that hosts the process, has no forwarding
+    /// entry, or is crashed — or after `len() + 1` entries, which can only
+    /// happen if the chain revisits a machine (a forwarding cycle; the
+    /// chaos acyclicity checker flags exactly that case).
+    pub fn forwarding_chain(&self, start: MachineId, pid: ProcessId) -> Vec<MachineId> {
+        let mut chain = vec![start];
+        let mut cur = start;
+        while chain.len() <= self.nodes.len() {
+            let i = cur.0 as usize;
+            if self.crashed[i] || self.nodes[i].kernel.process(pid).is_some() {
+                break;
+            }
+            match self.nodes[i].kernel.forwarding_next(pid) {
+                Some(next) => {
+                    chain.push(next);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        chain
     }
 }
 

@@ -174,6 +174,59 @@ pub fn spans_of(trace: &Trace) -> Vec<Span> {
     spans.into_values().collect()
 }
 
+/// Reduce the trace to a [`DeliveryLedger`](demos_obs::DeliveryLedger)
+/// over **user-plane** messages (`msg_type >= tags::USER_BASE`) — the
+/// messages the paper's transparency claim is about. Kernel control
+/// traffic (migration protocol, link maintenance, timers) has hold /
+/// re-deliver semantics of its own and is excluded.
+///
+/// Two subtleties make a naive "one `Enqueued` per journey" rule wrong:
+///
+/// * §4 forwarding re-enqueues the message at the next hop — the trace
+///   carries an explicit [`TraceEvent::ForwardedMessage`] between the
+///   deliveries, which the ledger uses to reset its duplicate counter;
+/// * §3.1 step 6 re-homes messages pending on a frozen process's queue
+///   *silently* (no per-message forward event), but increments the
+///   message's hop count. A second `Enqueued` with strictly greater
+///   `hops` is therefore a legitimate re-home, and a synthetic
+///   `Forwarded` is fed to the ledger; equal hops means the kernel
+///   really delivered the same message twice.
+pub fn ledger_of(trace: &Trace) -> demos_obs::DeliveryLedger {
+    use demos_obs::DeliveryEvent;
+    use demos_types::tags;
+    let mut ledger = demos_obs::DeliveryLedger::new();
+    let mut last_hops: std::collections::BTreeMap<demos_types::CorrId, u8> =
+        std::collections::BTreeMap::new();
+    for r in trace.records() {
+        let Some(corr) = r.event.corr() else { continue };
+        let ev = match r.event {
+            TraceEvent::Submitted { msg_type, .. } if msg_type >= tags::USER_BASE => {
+                DeliveryEvent::Submitted
+            }
+            TraceEvent::Enqueued { msg_type, hops, .. } if msg_type >= tags::USER_BASE => {
+                let rehomed = last_hops.get(&corr).is_some_and(|&h| hops > h);
+                if rehomed {
+                    ledger.record(corr, DeliveryEvent::Forwarded);
+                }
+                last_hops.insert(corr, hops);
+                DeliveryEvent::Delivered
+            }
+            TraceEvent::KernelReceived { msg_type, .. } if msg_type >= tags::USER_BASE => {
+                DeliveryEvent::Delivered
+            }
+            TraceEvent::ForwardedMessage { msg_type, .. } if msg_type >= tags::USER_BASE => {
+                DeliveryEvent::Forwarded
+            }
+            TraceEvent::NonDeliverable { msg_type, .. } if msg_type >= tags::USER_BASE => {
+                DeliveryEvent::Failed
+            }
+            _ => continue,
+        };
+        ledger.record(corr, ev);
+    }
+    ledger
+}
+
 /// Histogram of end-to-end delivery latencies over `spans` (delivered
 /// journeys only).
 pub fn latency_histogram<'a>(spans: impl IntoIterator<Item = &'a Span>) -> Histogram {

@@ -1,0 +1,104 @@
+//! Chaos-harness integration tests:
+//!
+//! * a proptest sweep feeding random seeds through the full scenario
+//!   generator + executor + invariant stack;
+//! * replay of the regression corpus under `tests/corpus/`;
+//! * determinism — the same seed must yield a byte-identical trace;
+//! * the broken-kernel canary — with forwarding addresses disabled (the
+//!   paper's rejected design, §4) the harness must find a violating seed
+//!   quickly and shrink it to a handful of schedule events.
+
+use demos_chaos::{run, run_full, shrink, RunConfig, Scenario};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated scenario upholds every cluster invariant: exactly-once
+    /// delivery, acyclic forwarding chains, process conservation, transport
+    /// counter sanity, link convergence at quiescence, and workload counter
+    /// reconciliation.
+    #[test]
+    fn random_scenarios_uphold_invariants(seed in 0u64..1_000_000) {
+        let sc = Scenario::generate(seed);
+        let report = run(&sc, &RunConfig::default());
+        prop_assert!(
+            report.passed(),
+            "seed {} violated: {}",
+            seed,
+            report.violation.unwrap()
+        );
+    }
+}
+
+/// Every scenario in `tests/corpus/` replays clean. Drop any shrunk repro
+/// (`target/chaos/repro-*.seed`) into that directory to pin a regression.
+#[test]
+fn corpus_replays_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 5, "corpus holds the seed regressions");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let sc = Scenario::from_corpus(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let report = run(&sc, &RunConfig::default());
+        assert!(
+            report.passed(),
+            "{}: {}",
+            path.display(),
+            report.violation.unwrap()
+        );
+    }
+}
+
+/// Two executions of the same seed produce byte-identical JSON-lines
+/// traces — the property that makes every corpus file and every shrunk
+/// repro replayable forever.
+#[test]
+fn same_seed_is_byte_identical() {
+    let sc = Scenario::generate(2026);
+    let (ra, ta) = run_full(&sc, &RunConfig::default());
+    let (rb, tb) = run_full(&sc, &RunConfig::default());
+    assert_eq!(ra.fingerprint, rb.fingerprint, "trace fingerprints match");
+    assert!(ta == tb, "JSON-lines exports are byte-identical");
+    assert!(!ta.is_empty(), "the run produced a trace");
+    assert_eq!(ra.violation, rb.violation);
+}
+
+/// With forwarding disabled the kernel is the paper's rejected design:
+/// messages chasing a migrated process bounce. The sweep must catch it
+/// within 200 seeds and the shrinker must cut the schedule to at most 10
+/// events while the violation still reproduces.
+#[test]
+fn broken_forwarding_caught_and_shrunk() {
+    let cfg = RunConfig {
+        disable_forwarding: true,
+    };
+    let mut caught = None;
+    for seed in 0..200 {
+        let sc = Scenario::generate(seed);
+        if let Some(v) = run(&sc, &cfg).violation {
+            caught = Some((seed, sc, v));
+            break;
+        }
+    }
+    let (seed, sc, v) = caught.expect("broken kernel caught within 200 seeds");
+    let res = shrink(&sc, &cfg, &v, 200);
+    assert!(
+        res.scenario.events.len() <= 10,
+        "seed {seed} shrunk to {} events",
+        res.scenario.events.len()
+    );
+    let again = run(&res.scenario, &cfg).violation;
+    assert!(again.is_some(), "shrunk repro still violates");
+    // And the healthy kernel passes the very same shrunk scenario.
+    assert!(
+        run(&res.scenario, &RunConfig::default()).passed(),
+        "violation is the ablation's fault, not the scenario's"
+    );
+}
