@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e14_recovery_latency`.
+fn main() {
+    demos_bench::experiments::e14_recovery_latency();
+}

@@ -7,6 +7,7 @@
 mod costs;
 mod forwarding;
 mod policy;
+mod recovery;
 
 pub use costs::{e12_pending_queue, e1_state_sizes, e2_admin_cost, e3_cost_vs_size};
 pub use forwarding::{
@@ -14,6 +15,7 @@ pub use forwarding::{
     e8_ablation_nondelivery,
 };
 pub use policy::{e10_affinity, e11_sinking_ship, e6_server_migration, e9_load_balance};
+pub use recovery::e14_recovery_latency;
 
 /// Run every experiment in order.
 pub fn run_all() {
@@ -30,4 +32,5 @@ pub fn run_all() {
     e11_sinking_ship();
     e12_pending_queue();
     e13_dtk_during_migration();
+    e14_recovery_latency();
 }

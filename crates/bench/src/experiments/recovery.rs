@@ -1,0 +1,109 @@
+//! Recovery experiment: E14 — failure-detection and recovery latency as
+//! a function of the heartbeat interval.
+
+use crate::{section, Table};
+use demos_sim::prelude::*;
+use demos_sim::programs::{client_stats, Client, EchoServer};
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+/// E14 — detection and recovery latency vs heartbeat interval (§1, §4).
+///
+/// The paper frames checkpoint/restore as "a migration off a crashed
+/// processor". With silence-based detection the time a service is dark
+/// after a crash decomposes into *detection* (heartbeat interval ×
+/// `dead_after`) plus *re-homing* (restore + forwarding installation),
+/// so the heartbeat interval is the knob that trades steady-state beat
+/// traffic against outage length. Fixed thresholds (`suspect_after` 3,
+/// `dead_after` 10 beats), one crash per run, one protected echo server
+/// under client load.
+pub fn e14_recovery_latency() {
+    section("E14: detection + recovery latency vs heartbeat interval (crash of a serving machine)");
+    let mut t = Table::new([
+        "hb interval",
+        "detect (ms)",
+        "recover (ms)",
+        "beats sent",
+        "replies resumed",
+    ]);
+    for hb_ms in [1u64, 2, 5, 10, 20] {
+        let mut cluster = ClusterBuilder::new(3)
+            .seed(14)
+            .no_trace()
+            .kernel_config(KernelConfig {
+                heartbeat_every: Duration::from_millis(hb_ms),
+                suspect_after: 3,
+                dead_after: 10,
+                ..KernelConfig::default()
+            })
+            .recovery(RecoveryConfig {
+                checkpoint_every: Duration::from_millis(5),
+                protect_all: false,
+            })
+            .build();
+        let server = cluster
+            .spawn(
+                m(1),
+                "echo_server",
+                &EchoServer::state(20),
+                ImageLayout::default(),
+            )
+            .unwrap();
+        let client = cluster
+            .spawn(
+                m(0),
+                "client",
+                &Client::state(2_000, 500, 64),
+                ImageLayout::default(),
+            )
+            .unwrap();
+        let ls = cluster.link_to(server).unwrap();
+        cluster
+            .post(client, wl::INIT, bytes::Bytes::new(), vec![ls])
+            .unwrap();
+        cluster.protect(server);
+        cluster.run_for(Duration::from_millis(50));
+        cluster.crash(m(1));
+        cluster.run_for(Duration::from_millis(600));
+        let mid = {
+            let p = cluster.node(m(0)).kernel.process(client).unwrap();
+            client_stats(&p.program.as_ref().unwrap().save())
+        };
+        cluster.run_for(Duration::from_millis(300));
+        let after = {
+            let p = cluster.node(m(0)).kernel.process(client).unwrap();
+            client_stats(&p.program.as_ref().unwrap().save())
+        };
+        let r = cluster.recovery().expect("recovery attached");
+        let ep = r
+            .episodes()
+            .iter()
+            .find(|e| e.machine == m(1))
+            .expect("death detected");
+        let crashed = ep.crashed_at.expect("ground truth");
+        let beats: u64 = (0..3)
+            .filter(|&i| i != 1)
+            .map(|i| cluster.node(m(i)).kernel.detector_stats().beats_sent)
+            .sum();
+        t.row([
+            format!("{hb_ms} ms"),
+            format!(
+                "{:.1}",
+                ep.detected_at.since(crashed).as_micros() as f64 / 1_000.0
+            ),
+            format!(
+                "{:.1}",
+                ep.recovered_at.since(crashed).as_micros() as f64 / 1_000.0
+            ),
+            beats.to_string(),
+            (after.recv > mid.recv).to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Detection tracks interval x dead_after (10 beats); re-homing adds");
+    println!("well under a millisecond on top, so the outage is detector-bound:");
+    println!("faster heartbeats buy shorter outages at linear beat traffic.");
+}

@@ -7,19 +7,31 @@
 //! restored) and the cluster drains to quiescence, where the final
 //! checks — loss, link convergence, workload counters — run.
 //!
-//! Event guards keep the invariants *unconditional*: a crash is applied
-//! only to a machine that hosts no processes, holds no forwarding
-//! addresses, and has no migration in flight anywhere — so no workload
-//! message can ever be addressed to a machine whose state is about to
-//! vanish. A migration into a currently-crashed machine is skipped for
-//! the same reason (its offer would sit in a retransmit queue that a
-//! later revive resets). Guarded-out events count as *skipped*, and the
-//! shrinker deletes them for free.
+//! Event guards keep the invariants *unconditional*: in a classic
+//! scenario a crash is applied only to a machine that hosts no
+//! processes, holds no forwarding addresses, and has no migration in
+//! flight anywhere — so no workload message can ever be addressed to a
+//! machine whose state is about to vanish. A migration into a
+//! currently-crashed machine is skipped for the same reason (its offer
+//! would sit in a retransmit queue that a later revive resets).
+//! Guarded-out events count as *skipped*, and the shrinker deletes them
+//! for free.
+//!
+//! Recovery scenarios ([`Scenario::recovery`]) change the crash rules:
+//! crashes are *permanent* and may hit populated machines. The executor
+//! then runs every kernel with the heartbeat failure detector and wires
+//! a [`RecoveryConfig`] into the cluster, so confirmed deaths trigger
+//! checkpoint re-homing; the invariant checker switches to its
+//! recovery-aware mode (a process may be gone between the crash and its
+//! re-home, but must be back — exactly once — at quiescence). The
+//! `disable_recovery` ablation runs the same schedule without any of
+//! that machinery and must be caught as a vanished process.
 
 use demos_core::{AcceptPolicy, MigrationConfig};
 use demos_kernel::{ImageLayout, KernelConfig};
 use demos_sim::cluster::{Cluster, ClusterBuilder};
 use demos_sim::programs::{wl, Cargo, Client, EchoServer, PingPong};
+use demos_sim::recovery::RecoveryConfig;
 use demos_sim::trace::Trace;
 use demos_types::{tags, Duration, MachineId, ProcessId};
 
@@ -37,6 +49,12 @@ pub struct RunConfig {
     /// rejected design, kept as an ablation flag. The harness is expected
     /// to catch this as a broken kernel.
     pub disable_forwarding: bool,
+    /// Run a recovery scenario *without* the recovery machinery (no
+    /// heartbeat detector, no checkpoints, no re-homing) — the ablation
+    /// for the failure-recovery stack. Permanent crashes then orphan
+    /// their processes forever, and the harness is expected to catch the
+    /// vanished process. No effect on classic scenarios.
+    pub disable_recovery: bool,
 }
 
 /// Outcome of one scenario execution.
@@ -61,13 +79,27 @@ impl RunReport {
     }
 }
 
+/// Heartbeat cadence the executor runs recovery scenarios with.
+const HB_EVERY: Duration = Duration::from_millis(5);
+/// Checkpoint cadence for recovery scenarios.
+const CK_EVERY: Duration = Duration::from_millis(5);
+
 /// Execute `sc` and return the report plus the JSON-lines trace export.
 pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
+    // Recovery machinery is active only when the scenario asks for it and
+    // the ablation flag doesn't veto it.
+    let recovery = sc.recovery && !cfg.disable_recovery;
     let kcfg = KernelConfig {
         forwarding: !cfg.disable_forwarding,
+        // Dead after 120 ms of silence — far beyond any generated
+        // partition window (≤ ~9 ms), so a partitioned peer is at worst
+        // suspected, never falsely confirmed dead.
+        heartbeat_every: if recovery { HB_EVERY } else { Duration::ZERO },
+        suspect_after: 4,
+        dead_after: 24,
         ..KernelConfig::default()
     };
-    let mut c = ClusterBuilder::new(sc.topo.n as usize)
+    let mut builder = ClusterBuilder::new(sc.topo.n as usize)
         .topology(sc.topo.build())
         .seed(sc.seed)
         .kernel_config(kcfg)
@@ -77,11 +109,18 @@ pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
             // but short of the drain budget, so a migration stalled by a
             // guarded-out edge case still aborts and thaws in time.
             timeout: Duration::from_secs(10),
-        })
-        .build();
+            ..MigrationConfig::default()
+        });
+    if recovery {
+        builder = builder.recovery(RecoveryConfig {
+            checkpoint_every: CK_EVERY,
+            protect_all: true,
+        });
+    }
+    let mut c = builder.build();
 
     let procs = spawn_workloads(&mut c, &sc.workloads);
-    let mut checker = Checker::new(procs.clone(), sc.workloads.clone());
+    let mut checker = Checker::new(procs.clone(), sc.workloads.clone()).with_recovery(recovery);
     let quantum = Duration::from_micros(sc.quantum_us.max(1));
 
     let mut events = sc.events.clone();
@@ -95,7 +134,7 @@ pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
         if violation.is_some() {
             break;
         }
-        if apply_event(&mut c, &mut checker, &procs, e.kind) {
+        if apply_event(&mut c, &mut checker, &procs, e.kind, sc.recovery, recovery) {
             applied += 1;
         } else {
             skipped += 1;
@@ -105,16 +144,28 @@ pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
         violation = advance(&mut c, &checker, sc.horizon_us, quantum);
     }
     if violation.is_none() {
-        // Lift every fault, then drain to quiescence.
+        // Lift every transient fault. Classic scenarios also revive
+        // crashed machines; recovery scenarios leave them dead — that is
+        // the point — and wait for detection plus re-homing to settle.
         c.heal_all();
         for m in 0..sc.topo.n {
             let m = MachineId(m);
             if c.is_crashed(m) {
-                c.revive(m);
+                if !sc.recovery {
+                    c.revive(m);
+                }
             } else {
                 c.degrade(m, 1.0);
             }
         }
+        if recovery {
+            violation = settle_recovery(&mut c, &checker, sc, quantum);
+            // The detector never lets the transport go idle (beats fly
+            // forever); stop it so the drain below reaches quiescence.
+            c.stop_heartbeats();
+        }
+    }
+    if violation.is_none() {
         let deadline = c.now().as_micros() + sc.drain_us;
         violation = advance(&mut c, &checker, deadline, quantum);
     }
@@ -136,6 +187,40 @@ pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
 /// Execute `sc`, discarding the trace export.
 pub fn run(sc: &Scenario, cfg: &RunConfig) -> RunReport {
     run_full(sc, cfg).0
+}
+
+/// Post-horizon settle phase for recovery scenarios: keep the cluster
+/// (and its still-running detector) stepping until every permanently
+/// crashed machine has a completed recovery episode, bounded by a budget
+/// comfortably past the detector's dead window. If detection or
+/// re-homing never happens, the final conservation check reports the
+/// vanished process — this phase only gives it the time it is owed.
+fn settle_recovery(
+    c: &mut Cluster,
+    checker: &Checker,
+    sc: &Scenario,
+    quantum: Duration,
+) -> Option<Violation> {
+    let crashed: Vec<MachineId> = (0..sc.topo.n)
+        .map(MachineId)
+        .filter(|&m| c.is_crashed(m))
+        .collect();
+    let budget_us = c.now().as_micros() + 1_000_000;
+    while c.now().as_micros() < budget_us {
+        let settled = crashed.iter().all(|&m| {
+            c.recovery()
+                .is_some_and(|r| r.episodes().iter().any(|e| e.machine == m))
+        });
+        if settled {
+            return None;
+        }
+        let t = (c.now().as_micros() + 10_000).min(budget_us);
+        let v = advance(c, checker, t, quantum);
+        if v.is_some() {
+            return v;
+        }
+    }
+    None
 }
 
 /// Advance the cluster to virtual time `until_us`, checking continuous
@@ -232,11 +317,20 @@ fn spawn_workloads(c: &mut Cluster, workloads: &[Workload]) -> Vec<ProcessId> {
 
 /// Apply one schedule event, enforcing the safety guards. Returns whether
 /// the event was actually applied.
+///
+/// `scenario_recovery` is the scenario's flag (crashes are permanent and
+/// may hit populated machines); `active_recovery` says the recovery
+/// machinery is actually running (not ablated) — with it active, a crash
+/// additionally waits until stable storage holds a checkpoint for every
+/// resident process, mirroring an operator who only decommissions a
+/// machine the checkpointer has covered.
 fn apply_event(
     c: &mut Cluster,
     checker: &mut Checker,
     procs: &[ProcessId],
     kind: EventKind,
+    scenario_recovery: bool,
+    active_recovery: bool,
 ) -> bool {
     match kind {
         EventKind::Migrate { slot, to } => {
@@ -270,16 +364,38 @@ fn apply_event(
             if c.is_crashed(m) {
                 return false;
             }
-            let kernel = &c.node(m).kernel;
-            let empty = kernel.nprocs() == 0 && kernel.forwarding_table().is_empty();
-            let engines_idle = (0..c.len() as u16)
-                .filter(|&i| !c.is_crashed(MachineId(i)))
-                .all(|i| c.node(MachineId(i)).engine.in_flight() == 0);
-            if empty && engines_idle {
+            if scenario_recovery {
+                // Permanent crash. Keep at least two live survivors so
+                // re-homing has a target and traffic still flows.
+                let live_after = (0..c.len() as u16)
+                    .filter(|&i| i != m.0 && !c.is_crashed(MachineId(i)))
+                    .count();
+                if live_after < 2 {
+                    return false;
+                }
+                if active_recovery {
+                    let pids: Vec<ProcessId> = c.node(m).kernel.pids().collect();
+                    let all_checkpointed = pids
+                        .iter()
+                        .all(|&p| c.recovery().is_some_and(|r| r.checkpoint_of(p).is_some()));
+                    if !all_checkpointed {
+                        return false;
+                    }
+                }
                 c.crash(m);
                 true
             } else {
-                false
+                let kernel = &c.node(m).kernel;
+                let empty = kernel.nprocs() == 0 && kernel.forwarding_table().is_empty();
+                let engines_idle = (0..c.len() as u16)
+                    .filter(|&i| !c.is_crashed(MachineId(i)))
+                    .all(|i| c.node(MachineId(i)).engine.in_flight() == 0);
+                if empty && engines_idle {
+                    c.crash(m);
+                    true
+                } else {
+                    false
+                }
             }
         }
         EventKind::Revive { m } => {
@@ -394,15 +510,73 @@ mod tests {
                 at_us: 5_000,
                 kind: EventKind::Migrate { slot: 1, to: 2 },
             }],
+            recovery: false,
         };
         assert!(run(&sc, &RunConfig::default()).passed(), "healthy kernel");
         let report = run(
             &sc,
             &RunConfig {
                 disable_forwarding: true,
+                ..RunConfig::default()
             },
         );
         assert!(report.violation.is_some(), "broken kernel must be caught");
+    }
+
+    #[test]
+    fn permanent_crash_recovered_and_ablation_caught() {
+        // An echo server's machine dies permanently mid-service. With
+        // the recovery machinery the detector confirms the death, the
+        // server is re-homed from its checkpoint, and every invariant
+        // holds; with the machinery ablated the same schedule must be
+        // caught as a vanished process.
+        let sc = crate::scenario::Scenario {
+            seed: 3,
+            topo: crate::scenario::TopoSpec {
+                kind: crate::scenario::TopoKind::Mesh,
+                n: 3,
+                latency_us: 200,
+                ns_per_byte: 50,
+                loss_pm: 0,
+            },
+            quantum_us: 2_000,
+            horizon_us: 60_000,
+            drain_us: 10_000_000,
+            workloads: vec![crate::scenario::Workload::ClientServer {
+                client: 0,
+                server: 1,
+                requests: 80,
+                period_us: 800,
+                payload: 64,
+            }],
+            events: vec![crate::scenario::Event {
+                at_us: 20_000,
+                kind: EventKind::Crash { m: 1 },
+            }],
+            recovery: true,
+        };
+        let report = run(&sc, &RunConfig::default());
+        assert!(
+            report.passed(),
+            "recovered run violated: {:?}",
+            report.violation.map(|v| v.to_string())
+        );
+        assert_eq!(report.events_applied, 1, "the crash was applied");
+        let ablated = run(
+            &sc,
+            &RunConfig {
+                disable_recovery: true,
+                ..RunConfig::default()
+            },
+        );
+        assert!(
+            matches!(
+                ablated.violation,
+                Some(crate::invariants::Violation::ProcessVanished { .. })
+            ),
+            "ablation must orphan the server: {:?}",
+            ablated.violation.map(|v| v.to_string())
+        );
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! chaos --iters 200               # sweep seeds 0..200 (CI smoke run)
 //! chaos --seed 7 --iters 50       # sweep seeds 7..57
 //! chaos --until-failure           # sweep until a violation (or iter cap)
+//! chaos --recovery                # crash-heavy scenarios: permanent
+//!                                 # crashes + heartbeat detection +
+//!                                 # checkpoint re-homing
 //! chaos --fault no-forwarding     # run with the broken-kernel ablation
+//! chaos --fault no-recovery       # recovery-machinery ablation
 //! chaos --out target/chaos        # artifact directory for repros
 //! ```
 //!
@@ -20,6 +24,7 @@ struct Args {
     seed: u64,
     iters: u64,
     until_failure: bool,
+    recovery: bool,
     fault: RunConfig,
     out: PathBuf,
     quiet: bool,
@@ -27,8 +32,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [--seed N] [--iters N] [--until-failure] \
-         [--fault no-forwarding] [--out DIR] [--quiet]"
+        "usage: chaos [--seed N] [--iters N] [--until-failure] [--recovery] \
+         [--fault no-forwarding|no-recovery] [--out DIR] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
         seed: 0,
         iters: 1,
         until_failure: false,
+        recovery: false,
         fault: RunConfig::default(),
         out: PathBuf::from("target/chaos"),
         quiet: false,
@@ -60,8 +66,14 @@ fn parse_args() -> Args {
                 explicit_iters = true;
             }
             "--until-failure" => args.until_failure = true,
+            "--recovery" => args.recovery = true,
             "--fault" => match it.next().as_deref() {
                 Some("no-forwarding") => args.fault.disable_forwarding = true,
+                Some("no-recovery") => {
+                    // The ablation only bites on recovery scenarios.
+                    args.recovery = true;
+                    args.fault.disable_recovery = true;
+                }
                 _ => usage(),
             },
             "--out" => args.out = it.next().map(PathBuf::from).unwrap_or_else(|| usage()),
@@ -83,7 +95,11 @@ fn main() {
     let mut i = 0u64;
     while i < args.iters {
         let seed = args.seed.wrapping_add(i);
-        let sc = Scenario::generate(seed);
+        let sc = if args.recovery {
+            Scenario::generate_recovery(seed)
+        } else {
+            Scenario::generate(seed)
+        };
         let report = run(&sc, &args.fault);
         match report.violation {
             None => {

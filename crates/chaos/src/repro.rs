@@ -27,8 +27,8 @@ pub fn rust_snippet(sc: &Scenario, cfg: &RunConfig, violation: &Violation) -> St
     out.push_str(&sc.to_text());
     out.push_str("\"#,\n    )\n    .unwrap();\n");
     out.push_str(&format!(
-        "    let cfg = demos_chaos::RunConfig {{ disable_forwarding: {} }};\n",
-        cfg.disable_forwarding
+        "    let cfg = demos_chaos::RunConfig {{ disable_forwarding: {}, disable_recovery: {} }};\n",
+        cfg.disable_forwarding, cfg.disable_recovery
     ));
     out.push_str("    let report = demos_chaos::run(&scenario, &cfg);\n");
     out.push_str(
@@ -82,6 +82,7 @@ mod tests {
             &sc,
             &RunConfig {
                 disable_forwarding: true,
+                ..RunConfig::default()
             },
             &Violation::NonDeliverable { count: 1 },
         );

@@ -180,10 +180,14 @@ pub enum EventKind {
         /// The other endpoint.
         b: u16,
     },
-    /// Crash machine `m` (the executor skips it unless the machine is
-    /// empty — no processes, no forwarding addresses, no migration in
-    /// flight — which keeps exactly-once delivery an unconditional
-    /// invariant; always paired with a later [`EventKind::Revive`]).
+    /// Crash machine `m`. In a classic scenario the executor skips it
+    /// unless the machine is empty — no processes, no forwarding
+    /// addresses, no migration in flight — which keeps exactly-once
+    /// delivery an unconditional invariant, and the generator always
+    /// pairs it with a later [`EventKind::Revive`]. In a recovery
+    /// scenario ([`Scenario::recovery`]) the crash is *permanent* and may
+    /// hit a populated machine: the kernels' failure detector and the
+    /// checkpoint re-homing machinery are expected to absorb it.
     Crash {
         /// Target machine.
         m: u16,
@@ -235,6 +239,12 @@ pub struct Scenario {
     pub workloads: Vec<Workload>,
     /// Event schedule, sorted by time (ties keep list order).
     pub events: Vec<Event>,
+    /// Recovery scenario: crashes are permanent (never revived), may hit
+    /// populated machines, and the executor runs the cluster with
+    /// heartbeat failure detection plus checkpoint re-homing enabled.
+    /// Rendered as a `recovery 1` line only when set, so classic corpus
+    /// files replay byte-identically.
+    pub recovery: bool,
 }
 
 impl Scenario {
@@ -364,6 +374,122 @@ impl Scenario {
             drain_us: 30_000_000,
             workloads,
             events,
+            recovery: false,
+        }
+    }
+
+    /// Derive a *recovery* scenario from a seed: a mesh cluster (so a
+    /// dead machine never disconnects the survivors), longer-lived
+    /// workloads, and one or more **permanent** crashes — machines that
+    /// die mid-run, possibly while hosting processes, and are never
+    /// revived. The executor pairs these scenarios with heartbeat
+    /// detection and checkpoint re-homing; the crash events land late
+    /// enough that the periodic checkpointer has covered every process.
+    pub fn generate_recovery(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00FA_11ED_CAFE_D00D);
+        let n = (3 + rng.gen_range(0..4)) as u16; // 3..=6 machines
+        let topo = TopoSpec {
+            kind: TopoKind::Mesh,
+            n,
+            latency_us: 50 + rng.gen_range(0..450),
+            ns_per_byte: rng.gen_range(0..200),
+            loss_pm: rng.gen_range(0..50), // up to 5% loss
+        };
+        let horizon_us = 40_000 + rng.gen_range(0..40_000);
+        let quantum_us = 2_000 + rng.gen_range(0..6_000);
+
+        let mut workloads = vec![{
+            let a = rng.gen_range(0..n as u64) as u16;
+            let b = (a + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            Workload::PingPong {
+                a,
+                b,
+                limit: 50 + rng.gen_range(0..250),
+                cpu_us: rng.gen_range(0..100) as u32,
+            }
+        }];
+        if rng.gen_bool(0.6) {
+            workloads.push(Workload::Cargo {
+                m: rng.gen_range(0..n as u64) as u16,
+                ballast: rng.gen_range(0..8_192) as u32,
+            });
+        }
+        if rng.gen_bool(0.7) {
+            let server = rng.gen_range(0..n as u64) as u16;
+            let client = (server + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            workloads.push(Workload::ClientServer {
+                client,
+                server,
+                requests: 50 + rng.gen_range(0..150),
+                period_us: 400 + rng.gen_range(0..800) as u32,
+                payload: rng.gen_range(0..256) as u32,
+            });
+        }
+        let slots: u64 = workloads.iter().map(|w| w.slots() as u64).sum();
+        let edges = topo.edges();
+
+        let mut events: Vec<Event> = Vec::new();
+        let singles = 2 + rng.gen_range(0..6);
+        for _ in 0..singles {
+            let at_us = 1_000 + rng.gen_range(0..horizon_us - 3_000);
+            let roll = rng.gen_range(0..100);
+            if roll < 50 {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Migrate {
+                        slot: rng.gen_range(0..slots) as u16,
+                        to: rng.gen_range(0..n as u64) as u16,
+                    },
+                });
+            } else if roll < 80 {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Burst {
+                        slot: rng.gen_range(0..slots) as u16,
+                        count: 1 + rng.gen_range(0..8) as u16,
+                        payload: rng.gen_range(0..256) as u32,
+                    },
+                });
+            } else {
+                // Keep partitions short of the detector's suspicion
+                // window so a partitioned peer is not declared dead.
+                let (a, b) = edges[rng.gen_range(0..edges.len() as u64) as usize];
+                let heal_at = (at_us + 1_000 + rng.gen_range(0..8_000)).min(horizon_us - 1);
+                events.push(Event {
+                    at_us: at_us.min(heal_at.saturating_sub(1)),
+                    kind: EventKind::Partition { a, b },
+                });
+                events.push(Event {
+                    at_us: heal_at,
+                    kind: EventKind::HealEdge { a, b },
+                });
+            }
+        }
+        // Permanent crashes on distinct machines, at least two survivors.
+        let ncrash = 1 + rng.gen_range(0..(n as u64 - 2).max(1));
+        let mut victims: Vec<u16> = (0..n).collect();
+        for _ in 0..ncrash {
+            let i = rng.gen_range(0..victims.len() as u64) as usize;
+            let m = victims.swap_remove(i);
+            // Late enough that the checkpoint cadence (5 ms in the
+            // executor) has covered the machine's processes.
+            let at_us = 15_000 + rng.gen_range(0..horizon_us - 20_000);
+            events.push(Event {
+                at_us,
+                kind: EventKind::Crash { m },
+            });
+        }
+        events.sort_by_key(|e| e.at_us);
+
+        Scenario {
+            seed,
+            topo,
+            quantum_us,
+            horizon_us,
+            drain_us: 30_000_000,
+            workloads,
+            events,
+            recovery: true,
         }
     }
 
@@ -383,6 +509,11 @@ impl Scenario {
         s.push_str(&format!("quantum {}\n", self.quantum_us));
         s.push_str(&format!("horizon {}\n", self.horizon_us));
         s.push_str(&format!("drain {}\n", self.drain_us));
+        if self.recovery {
+            // Only emitted when set: classic corpus files stay
+            // byte-identical under round-trip.
+            s.push_str("recovery 1\n");
+        }
         for w in &self.workloads {
             match *w {
                 Workload::PingPong {
@@ -448,6 +579,7 @@ impl Scenario {
         let mut quantum_us = None;
         let mut horizon_us = None;
         let mut drain_us = None;
+        let mut recovery = false;
         let mut workloads = Vec::new();
         let mut events = Vec::new();
         let mut saw_header = false;
@@ -486,6 +618,7 @@ impl Scenario {
                 "quantum" => quantum_us = Some(num::<u64>(t.next(), "quantum")?),
                 "horizon" => horizon_us = Some(num::<u64>(t.next(), "horizon")?),
                 "drain" => drain_us = Some(num::<u64>(t.next(), "drain")?),
+                "recovery" => recovery = num::<u64>(t.next(), "recovery")? != 0,
                 "wl" => {
                     let w = match t.next() {
                         Some("pingpong") => Workload::PingPong {
@@ -557,6 +690,7 @@ impl Scenario {
             drain_us: drain_us.ok_or("missing drain")?,
             workloads,
             events,
+            recovery,
         };
         if sc.workloads.is_empty() {
             return Err("scenario has no workloads".into());
@@ -580,6 +714,9 @@ impl Scenario {
         let n = self.topo.n;
         if n < 2 {
             return Err("need at least 2 machines".into());
+        }
+        if self.recovery && n < 3 {
+            return Err("recovery scenarios need at least 3 machines".into());
         }
         let slots = self.total_slots();
         let chk_m = |m: u16, what: &str| {
@@ -654,6 +791,65 @@ mod tests {
             let back = Scenario::parse(&text).expect("parses");
             assert_eq!(sc, back, "seed {seed}:\n{text}");
         }
+    }
+
+    #[test]
+    fn recovery_generation_is_deterministic_with_permanent_crashes() {
+        for seed in 0..50 {
+            let a = Scenario::generate_recovery(seed);
+            let b = Scenario::generate_recovery(seed);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate().expect("generated recovery scenario valid");
+            assert!(a.recovery);
+            assert!(a.topo.n >= 3);
+            let crashes: Vec<u16> = a
+                .events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Crash { m } => Some(m),
+                    _ => None,
+                })
+                .collect();
+            assert!(!crashes.is_empty(), "seed {seed} schedules a crash");
+            assert!(
+                crashes.len() <= a.topo.n as usize - 2,
+                "at least two survivors"
+            );
+            let mut uniq = crashes.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), crashes.len(), "crash targets distinct");
+            assert!(
+                !a.events
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::Revive { .. })),
+                "permanent crashes are never revived"
+            );
+            assert!(
+                a.events.iter().all(|e| match e.kind {
+                    EventKind::Crash { .. } => e.at_us >= 15_000,
+                    _ => true,
+                }),
+                "crashes land after the first checkpoint passes"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_flag_round_trips_and_classic_text_is_unchanged() {
+        let sc = Scenario::generate_recovery(9);
+        let text = sc.to_text();
+        assert!(text.contains("recovery 1\n"));
+        assert_eq!(Scenario::parse(&text).unwrap(), sc);
+        // A classic scenario never mentions recovery, and text without
+        // the line parses with the flag off — old corpus files replay
+        // byte-identically.
+        let classic = Scenario::generate(9);
+        let ctext = classic.to_text();
+        assert!(!ctext.contains("recovery"));
+        let back = Scenario::parse(&ctext).unwrap();
+        assert!(!back.recovery);
+        assert_eq!(back.to_text(), ctext);
     }
 
     #[test]

@@ -190,6 +190,7 @@ mod tests {
                     },
                 },
             ],
+            recovery: false,
         };
         sc.validate().unwrap();
         sc
@@ -199,6 +200,7 @@ mod tests {
     fn shrinks_broken_kernel_to_the_migration() {
         let cfg = RunConfig {
             disable_forwarding: true,
+            ..RunConfig::default()
         };
         let sc = broken_scenario();
         let v = run(&sc, &cfg).violation.expect("must violate");

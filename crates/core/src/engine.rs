@@ -64,6 +64,14 @@ pub struct MigrationConfig {
     pub accept: AcceptPolicy,
     /// Abort an in-flight migration after this long without completion.
     pub timeout: Duration,
+    /// After an outgoing migration aborts mid-transfer, re-offer the
+    /// process to an alternate destination at most this many times
+    /// (0 disables retries). Candidates come from
+    /// [`MigrationEngine::set_peers`].
+    pub retries: u32,
+    /// Delay before the first retry; doubles per attempt (bounded
+    /// exponential backoff).
+    pub retry_backoff: Duration,
 }
 
 impl Default for MigrationConfig {
@@ -71,6 +79,8 @@ impl Default for MigrationConfig {
         MigrationConfig {
             accept: AcceptPolicy::Always,
             timeout: Duration::from_secs(30),
+            retries: 0,
+            retry_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -96,6 +106,8 @@ pub struct MigrationStats {
     /// (freeze-to-restart is measured by the harness from traces; this is
     /// offer-to-restart at the destination).
     pub total_in_duration: Duration,
+    /// Aborted outgoing migrations re-offered to an alternate destination.
+    pub retried: u64,
 }
 
 /// Transfer stage of an incoming migration.
@@ -134,6 +146,15 @@ struct DestMig {
     installed: bool,
 }
 
+/// Retry bookkeeping for one process whose outgoing migration aborted.
+#[derive(Debug)]
+struct Retry {
+    /// Retries already launched for this process.
+    attempts: u32,
+    /// A scheduled re-offer: fire time, alternate destination, reply link.
+    pending: Option<(Time, MachineId, Option<Link>)>,
+}
+
 /// The per-machine migration engine.
 #[derive(Debug)]
 pub struct MigrationEngine {
@@ -142,6 +163,10 @@ pub struct MigrationEngine {
     next_ctx: u16,
     outgoing: BTreeMap<u16, SourceMig>,
     incoming: BTreeMap<(MachineId, u16), DestMig>,
+    /// Alternate-destination candidates for retries (set by the harness).
+    peers: Vec<MachineId>,
+    /// Aborted outgoing migrations awaiting (or between) re-offers.
+    retries: BTreeMap<ProcessId, Retry>,
     stats: MigrationStats,
 }
 
@@ -178,13 +203,71 @@ impl MigrationEngine {
             next_ctx: 1,
             outgoing: BTreeMap::new(),
             incoming: BTreeMap::new(),
+            peers: Vec::new(),
+            retries: BTreeMap::new(),
             stats: MigrationStats::default(),
         }
+    }
+
+    /// Provide the set of machines usable as alternate destinations when
+    /// an aborted migration is retried (self and the failed destination
+    /// are skipped automatically).
+    pub fn set_peers(&mut self, peers: Vec<MachineId>) {
+        self.peers = peers;
     }
 
     /// Counters.
     pub fn stats(&self) -> MigrationStats {
         self.stats
+    }
+
+    /// The alternate destination for a retry: the next candidate after
+    /// `failed` in cyclic peer order, never self; falls back to `failed`
+    /// itself when no other candidate exists.
+    fn alternate_dest(&self, failed: MachineId) -> MachineId {
+        let cands: Vec<MachineId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| p != self.machine)
+            .collect();
+        match cands.iter().position(|&p| p == failed) {
+            Some(i) if cands.len() > 1 => cands[(i + 1) % cands.len()],
+            Some(_) => failed,
+            None => cands.first().copied().unwrap_or(failed),
+        }
+    }
+
+    /// An outgoing migration of `pid` to `dest` aborted: schedule a
+    /// bounded backoff re-offer to an alternate destination, if the
+    /// configured retry budget allows. Returns whether a retry was
+    /// scheduled (in which case the requester is not yet notified of
+    /// failure — it will hear `Done` from whichever attempt settles it).
+    fn schedule_retry(
+        &mut self,
+        now: Time,
+        pid: ProcessId,
+        dest: MachineId,
+        reply: Option<Link>,
+    ) -> bool {
+        if self.cfg.retries == 0 {
+            return false;
+        }
+        let attempts = self.retries.get(&pid).map_or(0, |r| r.attempts);
+        if attempts >= self.cfg.retries {
+            self.retries.remove(&pid);
+            return false;
+        }
+        let delay = self.cfg.retry_backoff.saturating_mul(1 << attempts.min(16));
+        let alt = self.alternate_dest(dest);
+        self.retries.insert(
+            pid,
+            Retry {
+                attempts,
+                pending: Some((now + delay, alt, reply)),
+            },
+        );
+        true
     }
 
     /// Migrations currently in flight on either side.
@@ -314,20 +397,28 @@ impl MigrationEngine {
                 );
             }
             MigrateMsg::Accept { ctx, .. } => {
-                if let Some(mig) = self.outgoing.get_mut(&ctx) {
+                // Guard on the sender: contexts are per-source counters, so
+                // a stale Accept from another machine could otherwise hit an
+                // unrelated outgoing migration that reused the number.
+                if let Some(mig) = self.outgoing.get_mut(&ctx).filter(|m| m.dest == from) {
                     mig.accepted = true;
                 }
             }
             MigrateMsg::Reject { ctx, pid, reason } => {
-                if let Some(mig) = self.outgoing.remove(&ctx) {
-                    debug_assert_eq!(mig.pid, pid);
+                let matches = self
+                    .outgoing
+                    .get(&ctx)
+                    .is_some_and(|m| m.dest == from && m.pid == pid);
+                if matches {
+                    let mig = self.outgoing.remove(&ctx).expect("checked");
                     self.stats.aborted += 1;
+                    let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
                     kernel.unfreeze(mig.pid, out);
                     out.trace.push(TraceEvent::Migration {
                         pid: mig.pid,
                         phase: MigrationPhase::Rejected,
                     });
-                    if let Some(r) = mig.reply {
+                    if let Some(r) = mig.reply.filter(|_| !retried) {
                         let done = MigrateMsg::Done {
                             pid: mig.pid,
                             dest: mig.dest,
@@ -345,12 +436,16 @@ impl MigrationEngine {
                 }
             }
             MigrateMsg::TransferComplete { ctx, .. } => {
-                // Steps 6–7 at the source.
-                if let Some(mig) = self.outgoing.remove(&ctx) {
+                // Steps 6–7 at the source. Guarded on the sender so a
+                // context number reused by another machine cannot complete
+                // an unrelated migration.
+                if self.outgoing.get(&ctx).is_some_and(|m| m.dest == from) {
+                    let mig = self.outgoing.remove(&ctx).expect("checked");
                     match kernel.finish_source_side(now, mig.pid, mig.dest, phys, out) {
                         Ok(forwarded) => {
                             self.stats.pending_forwarded += forwarded as u64;
                             self.stats.completed_out += 1;
+                            self.retries.remove(&mig.pid);
                             let cleanup = MigrateMsg::CleanupDone { ctx, forwarded };
                             kernel.send_migrate_msg(
                                 now,
@@ -374,6 +469,7 @@ impl MigrationEngine {
                                 out,
                             );
                             self.stats.aborted += 1;
+                            self.retries.remove(&mig.pid);
                         }
                     }
                 }
@@ -404,8 +500,23 @@ impl MigrationEngine {
             }
             MigrateMsg::Abort { ctx, pid } => {
                 // Source told us (destination) to abandon; or destination
-                // told us (source) it failed mid-transfer.
-                if let Some(mig) = self.incoming.remove(&(from, ctx)) {
+                // told us (source) it failed mid-transfer. Each abort must
+                // hit exactly the migration it names: contexts are per-
+                // source counters, so both branches also match on pid (and
+                // the outgoing branch on the sending machine) — otherwise a
+                // crossing Abort whose own record already timed out locally
+                // would remove an unrelated migration that reused the
+                // context number, double-counting `aborted`.
+                let incoming_match = self
+                    .incoming
+                    .get(&(from, ctx))
+                    .is_some_and(|m| m.pid == pid);
+                let outgoing_match = self
+                    .outgoing
+                    .get(&ctx)
+                    .is_some_and(|m| m.dest == from && m.pid == pid);
+                if incoming_match {
+                    let mig = self.incoming.remove(&(from, ctx)).expect("checked");
                     kernel.release_reservation(mig.slot);
                     if mig.installed {
                         kernel.kill(now, mig.pid, phys, out);
@@ -415,10 +526,12 @@ impl MigrationEngine {
                         pid,
                         phase: MigrationPhase::Aborted,
                     });
-                } else if let Some(mig) = self.outgoing.remove(&ctx) {
+                } else if outgoing_match {
+                    let mig = self.outgoing.remove(&ctx).expect("checked");
                     kernel.unfreeze(mig.pid, out);
                     self.stats.aborted += 1;
-                    if let Some(r) = mig.reply {
+                    let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
+                    if let Some(r) = mig.reply.filter(|_| !retried) {
                         let done = MigrateMsg::Done {
                             pid: mig.pid,
                             dest: mig.dest,
@@ -627,7 +740,102 @@ impl MigrationEngine {
         }
     }
 
-    /// Earliest in-flight migration deadline, for the simulation loop.
+    /// A peer machine was confirmed dead by the failure detector: resolve
+    /// every in-flight migration touching it now instead of letting the
+    /// timeout guess.
+    ///
+    /// An **installed** incoming copy is committed locally — the dead
+    /// source can no longer send `CleanupDone` or `Abort`, and whichever
+    /// point of the handshake it died at, its own copy is gone, so the
+    /// local copy is the only one (§1's "migration off a crashed
+    /// processor"). Killing it on timeout instead would destroy the last
+    /// copy of the process. A **partial** incoming transfer is dropped and
+    /// its reservation released. An **outgoing** migration to the dead
+    /// machine is aborted, the frozen source copy thawed, and the process
+    /// re-offered to an alternate destination when the retry budget
+    /// allows.
+    pub fn on_peer_dead(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        peer: MachineId,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        let incoming: Vec<(MachineId, u16)> = self
+            .incoming
+            .keys()
+            .filter(|&&(src, _)| src == peer)
+            .copied()
+            .collect();
+        for key in incoming {
+            let mig = self.incoming.remove(&key).expect("listed");
+            if mig.installed && kernel.restart_migrated(mig.pid, out).is_ok() {
+                self.stats.completed_in += 1;
+                self.stats.total_in_duration += now.since(mig.started);
+                out.trace.push(TraceEvent::Migration {
+                    pid: mig.pid,
+                    phase: MigrationPhase::Restarted,
+                });
+                if let Some(r) = mig.reply {
+                    let done = MigrateMsg::Done {
+                        pid: mig.pid,
+                        dest: self.machine,
+                        status: 0,
+                    };
+                    kernel.send_kernel_to(
+                        now,
+                        r,
+                        demos_types::tags::MIGRATE,
+                        done.to_bytes(),
+                        phys,
+                        out,
+                    );
+                }
+            } else {
+                kernel.release_reservation(mig.slot);
+                self.stats.aborted += 1;
+                out.trace.push(TraceEvent::Migration {
+                    pid: mig.pid,
+                    phase: MigrationPhase::Aborted,
+                });
+            }
+        }
+        let outgoing: Vec<u16> = self
+            .outgoing
+            .iter()
+            .filter(|(_, m)| m.dest == peer)
+            .map(|(&c, _)| c)
+            .collect();
+        for ctx in outgoing {
+            let mig = self.outgoing.remove(&ctx).expect("listed");
+            self.stats.aborted += 1;
+            kernel.unfreeze(mig.pid, out);
+            let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
+            out.trace.push(TraceEvent::Migration {
+                pid: mig.pid,
+                phase: MigrationPhase::Aborted,
+            });
+            if let Some(r) = mig.reply.filter(|_| !retried) {
+                let done = MigrateMsg::Done {
+                    pid: mig.pid,
+                    dest: mig.dest,
+                    status: 203,
+                };
+                kernel.send_kernel_to(
+                    now,
+                    r,
+                    demos_types::tags::MIGRATE,
+                    done.to_bytes(),
+                    phys,
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Earliest in-flight migration deadline or scheduled retry, for the
+    /// simulation loop.
     pub fn next_timeout(&self) -> Option<Time> {
         let o = self
             .outgoing
@@ -639,10 +847,12 @@ impl MigrationEngine {
             .values()
             .map(|m| m.started + self.cfg.timeout)
             .min();
-        match (o, i) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let r = self
+            .retries
+            .values()
+            .filter_map(|r| r.pending.map(|(t, _, _)| t))
+            .min();
+        [o, i, r].into_iter().flatten().min()
     }
 
     /// Abort migrations that exceeded the timeout (crashed peers).
@@ -663,9 +873,10 @@ impl MigrationEngine {
             let mig = self.outgoing.remove(&ctx).expect("listed");
             self.stats.aborted += 1;
             kernel.unfreeze(mig.pid, out);
+            let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
             let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
             kernel.send_migrate_msg(now, mig.dest, abort.to_bytes(), vec![], phys, out);
-            if let Some(r) = mig.reply {
+            if let Some(r) = mig.reply.filter(|_| !retried) {
                 let done = MigrateMsg::Done {
                     pid: mig.pid,
                     dest: mig.dest,
@@ -703,6 +914,46 @@ impl MigrationEngine {
                 pid: mig.pid,
                 phase: MigrationPhase::Aborted,
             });
+        }
+        // Fire scheduled retries: re-offer each aborted process to its
+        // alternate destination (bounded by `cfg.retries`).
+        let due: Vec<(ProcessId, MachineId, Option<Link>)> = self
+            .retries
+            .iter()
+            .filter_map(|(&pid, r)| {
+                r.pending
+                    .filter(|&(t, _, _)| t <= now)
+                    .map(|(_, dest, reply)| (pid, dest, reply))
+            })
+            .collect();
+        for (pid, dest, reply) in due {
+            let entry = self.retries.get_mut(&pid).expect("listed");
+            entry.pending = None;
+            entry.attempts += 1;
+            self.stats.retried += 1;
+            if self
+                .start_migration(now, kernel, pid, dest, reply, phys, out)
+                .is_err()
+            {
+                // The process is gone (killed) or already moving again:
+                // give up on this retry chain.
+                self.retries.remove(&pid);
+                if let Some(r) = reply {
+                    let done = MigrateMsg::Done {
+                        pid,
+                        dest,
+                        status: 202,
+                    };
+                    kernel.send_kernel_to(
+                        now,
+                        r,
+                        demos_types::tags::MIGRATE,
+                        done.to_bytes(),
+                        phys,
+                        out,
+                    );
+                }
+            }
         }
     }
 }

@@ -10,6 +10,7 @@ use demos_kernel::{Kernel, KernelConfig, Outbox, Registry};
 use demos_net::{Frame, Phys};
 use demos_types::{Duration, Link, MachineId, Message, ProcessId, Result, Time};
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::engine::{MigrationConfig, MigrationEngine};
@@ -20,6 +21,8 @@ pub struct Node {
     pub kernel: Kernel,
     /// The migration engine (protocol).
     pub engine: MigrationEngine,
+    /// Dead-peer verdicts already relayed to the engine.
+    notified_dead: BTreeSet<MachineId>,
 }
 
 impl Node {
@@ -33,6 +36,7 @@ impl Node {
         Node {
             kernel: Kernel::new(machine, kcfg, registry),
             engine: MigrationEngine::new(machine, mcfg),
+            notified_dead: BTreeSet::new(),
         }
     }
 
@@ -109,11 +113,34 @@ impl Node {
         }
     }
 
-    /// Fire due deadlines.
+    /// Fire due deadlines. Newly confirmed-dead peers (the detector
+    /// reaches its verdict inside the kernel's timer path) are relayed to
+    /// the migration engine so in-flight migrations touching a dead
+    /// machine resolve immediately instead of timing out — an installed
+    /// incoming copy would otherwise be killed by the timeout even though
+    /// it is the last copy of the process.
     pub fn on_time(&mut self, now: Time, phys: &mut dyn Phys, out: &mut Outbox) {
         self.kernel.on_time(now, phys, out);
+        let newly: Vec<MachineId> = self
+            .kernel
+            .dead_peers()
+            .filter(|p| !self.notified_dead.contains(p))
+            .collect();
+        for peer in newly {
+            self.notified_dead.insert(peer);
+            self.engine
+                .on_peer_dead(now, &mut self.kernel, peer, phys, out);
+        }
         self.engine.on_time(now, &mut self.kernel, phys, out);
         self.drain(now, phys, out);
+    }
+
+    /// A crashed peer came back: clear the dead verdict (kernel) and the
+    /// relay latch, so a second death of the same machine is reported to
+    /// the engine again.
+    pub fn peer_revived(&mut self, now: Time, peer: MachineId) {
+        self.kernel.peer_revived(now, peer);
+        self.notified_dead.remove(&peer);
     }
 
     /// Convenience for harnesses: migrate `pid` to `dest` directly,

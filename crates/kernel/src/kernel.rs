@@ -23,7 +23,7 @@
 //! protocol live in `demos-core`; this crate provides the mechanisms the
 //! protocol composes (freeze, serve state, install, finish source side).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -63,6 +63,16 @@ pub struct KernelConfig {
     /// backwards along the migration path (§4). The paper left them in
     /// place ("we have not found it necessary"); both modes are supported.
     pub gc_forwarding: bool,
+    /// Inter-kernel heartbeat interval. [`Duration::ZERO`] (the default)
+    /// disables the failure detector entirely — the paper's DEMOS/MP had
+    /// no automatic crash detection, so everything here is opt-in.
+    pub heartbeat_every: Duration,
+    /// Heartbeat intervals of silence before a watched peer is *suspected*
+    /// (may still recover — counted as a false positive if it does).
+    pub suspect_after: u32,
+    /// Heartbeat intervals of silence before a suspected peer is confirmed
+    /// *dead*. Terminal: the channel is purged and queued frames bounce.
+    pub dead_after: u32,
 }
 
 impl Default for KernelConfig {
@@ -75,8 +85,38 @@ impl Default for KernelConfig {
             channel: ChannelConfig::default(),
             forwarding: true,
             gc_forwarding: false,
+            heartbeat_every: Duration::ZERO,
+            suspect_after: 3,
+            dead_after: 8,
         }
     }
+}
+
+/// Failure-detector counters (all zero while heartbeats are disabled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Heartbeats transmitted to watched peers.
+    pub beats_sent: u64,
+    /// Heartbeats received from peers.
+    pub beats_received: u64,
+    /// Peers that crossed the suspicion threshold.
+    pub suspicions: u64,
+    /// Suspected peers later heard from again (premature suspicion).
+    pub false_positives: u64,
+    /// Peers confirmed dead (terminal).
+    pub confirmed_dead: u64,
+    /// Frames returned by the transport instead of being sent to a dead
+    /// peer (queued at confirmation time or submitted afterwards).
+    pub bounced: u64,
+}
+
+/// Liveness bookkeeping for one watched peer.
+#[derive(Clone, Copy, Debug)]
+struct PeerHealth {
+    /// Last virtual time any frame arrived from this peer.
+    last_heard: Time,
+    /// Currently past the suspicion threshold.
+    suspected: bool,
 }
 
 /// A forwarding address: "a degenerate process state, whose only contents
@@ -252,6 +292,12 @@ pub struct Kernel {
     next_corr: u64,
     mem_used: u64,
     stats: KernelStats,
+    hb_peers: BTreeMap<MachineId, PeerHealth>,
+    next_hb_at: Option<Time>,
+    hb_seq: u64,
+    dead: BTreeSet<MachineId>,
+    dead_events: Vec<(MachineId, Time)>,
+    det_stats: DetectorStats,
 }
 
 impl Kernel {
@@ -272,6 +318,12 @@ impl Kernel {
             next_corr: 1,
             mem_used: 0,
             stats: KernelStats::default(),
+            hb_peers: BTreeMap::new(),
+            next_hb_at: None,
+            hb_seq: 0,
+            dead: BTreeSet::new(),
+            dead_events: Vec::new(),
+            det_stats: DetectorStats::default(),
         }
     }
 
@@ -383,9 +435,151 @@ impl Kernel {
     }
 
     /// Reset the reliable channel to `peer` (connection re-establishment
-    /// after the peer is revived with fresh sequence numbers).
+    /// after the peer is revived with fresh sequence numbers). Also clears
+    /// any detector verdict so a revived peer is watched afresh.
     pub fn reset_channel(&mut self, peer: MachineId) {
         self.endpoint.reset_peer(peer);
+        self.dead.remove(&peer);
+        if let Some(ph) = self.hb_peers.get_mut(&peer) {
+            ph.suspected = false;
+        }
+    }
+
+    /// A revived peer is alive by definition: reset its channel and
+    /// restart liveness tracking from `now`.
+    pub fn peer_revived(&mut self, now: Time, peer: MachineId) {
+        self.reset_channel(peer);
+        if let Some(ph) = self.hb_peers.get_mut(&peer) {
+            ph.last_heard = now;
+            ph.suspected = false;
+        }
+    }
+
+    /// Start heartbeating `peers` (typically every other machine in the
+    /// cluster). No-op while [`KernelConfig::heartbeat_every`] is zero.
+    pub fn watch_peers(&mut self, now: Time, peers: impl IntoIterator<Item = MachineId>) {
+        for peer in peers {
+            if peer == self.machine {
+                continue;
+            }
+            self.hb_peers.insert(
+                peer,
+                PeerHealth {
+                    last_heard: now,
+                    suspected: false,
+                },
+            );
+        }
+        if self.cfg.heartbeat_every > Duration::ZERO && !self.hb_peers.is_empty() {
+            self.next_hb_at = Some(now + self.cfg.heartbeat_every);
+        }
+    }
+
+    /// Stop heartbeating and failure detection (harness drain phases: a
+    /// cluster with an active detector never goes fully quiescent).
+    /// Verdicts already reached are kept.
+    pub fn stop_heartbeats(&mut self) {
+        self.next_hb_at = None;
+    }
+
+    /// Failure-detector counters.
+    pub fn detector_stats(&self) -> DetectorStats {
+        self.det_stats
+    }
+
+    /// Whether this kernel has confirmed `peer` dead.
+    pub fn peer_dead(&self, peer: MachineId) -> bool {
+        self.dead.contains(&peer)
+    }
+
+    /// Peers this kernel has confirmed dead, in machine-id order.
+    pub fn dead_peers(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// Drain the (machine, confirmation time) events recorded since the
+    /// last call — the recovery manager's trigger.
+    pub fn take_confirmed_dead(&mut self) -> Vec<(MachineId, Time)> {
+        std::mem::take(&mut self.dead_events)
+    }
+
+    /// A frame arrived from `from`: refresh liveness. A suspected peer
+    /// heard from again was a premature suspicion; a dead verdict is
+    /// terminal and is not revisited here.
+    fn peer_heard(&mut self, now: Time, from: MachineId) {
+        if self.dead.contains(&from) {
+            return;
+        }
+        if let Some(ph) = self.hb_peers.get_mut(&from) {
+            ph.last_heard = now;
+            if ph.suspected {
+                ph.suspected = false;
+                self.det_stats.false_positives += 1;
+            }
+        }
+    }
+
+    /// Confirm `peer` dead: purge its channel (queued frames bounce),
+    /// drop forwarding entries that would route *into* it (a stale chain
+    /// through a dead machine black-holes; better to fall through to
+    /// non-deliverable or a recovery entry), and record the event.
+    fn confirm_dead(&mut self, now: Time, peer: MachineId) {
+        if !self.dead.insert(peer) {
+            return;
+        }
+        self.det_stats.confirmed_dead += 1;
+        self.dead_events.push((peer, now));
+        let bounces = self.endpoint.mark_dead(peer);
+        self.det_stats.bounced += bounces.len() as u64;
+        self.forwarding.retain(|_, e| e.to != peer);
+    }
+
+    /// Send heartbeats and evaluate silence thresholds if the interval
+    /// elapsed.
+    fn heartbeat_tick(&mut self, now: Time, phys: &mut dyn Phys) {
+        let every = self.cfg.heartbeat_every;
+        if every == Duration::ZERO || self.hb_peers.is_empty() {
+            return;
+        }
+        let due = match self.next_hb_at {
+            Some(t) if t <= now => t,
+            _ => return,
+        };
+        self.hb_seq += 1;
+        let seq = self.hb_seq;
+        let suspect_at = every.saturating_mul(self.cfg.suspect_after as u64);
+        let dead_at = every.saturating_mul(self.cfg.dead_after as u64);
+        let peers: Vec<MachineId> = self.hb_peers.keys().copied().collect();
+        for peer in peers {
+            if self.dead.contains(&peer) {
+                continue;
+            }
+            let beat = self.kernel_msg(
+                ProcessAddress::kernel_of(peer),
+                tags::LINK_MAINT,
+                LinkMaintMsg::Heartbeat {
+                    from: self.machine,
+                    seq,
+                }
+                .to_bytes(),
+                vec![],
+            );
+            self.transmit(now, peer, &beat, phys);
+            self.det_stats.beats_sent += 1;
+            let ph = self.hb_peers.get_mut(&peer).expect("listed");
+            let silent = now.since(ph.last_heard);
+            if silent >= dead_at {
+                self.confirm_dead(now, peer);
+            } else if silent >= suspect_at && !ph.suspected {
+                ph.suspected = true;
+                self.det_stats.suspicions += 1;
+            }
+        }
+        let mut next = due + every;
+        while next <= now {
+            next += every;
+        }
+        self.next_hb_at = Some(next);
     }
 
     /// Whether the transport has unacknowledged frames in flight.
@@ -604,15 +798,17 @@ impl Kernel {
     /// and transport retransmissions.
     pub fn next_timer_at(&self) -> Option<Time> {
         let proc_min = self.procs.values().filter_map(|p| p.next_timer()).min();
-        match (proc_min, self.endpoint.next_timeout()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        [proc_min, self.endpoint.next_timeout(), self.next_hb_at]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Fire everything due at or before `now`.
     pub fn on_time(&mut self, now: Time, phys: &mut dyn Phys, _out: &mut Outbox) {
-        self.endpoint.on_timeout(now, phys);
+        let bounces = self.endpoint.on_timeout(now, phys);
+        self.det_stats.bounced += bounces.len() as u64;
+        self.heartbeat_tick(now, phys);
         let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
         for pid in pids {
             let due = {
@@ -662,6 +858,7 @@ impl Kernel {
         phys: &mut dyn Phys,
         out: &mut Outbox,
     ) {
+        self.peer_heard(now, from);
         let delivered = self.endpoint.on_frame(now, from, frame, phys);
         for (corr, bytes) in delivered {
             match Message::from_bytes(&bytes) {
@@ -707,7 +904,15 @@ impl Kernel {
                 *proc.bytes_sent_to.entry(to).or_insert(0) += msg.wire_size() as u64;
             }
         }
-        self.endpoint.send(now, to, msg.to_bytes(), msg.corr, phys);
+        if self
+            .endpoint
+            .send(now, to, msg.to_bytes(), msg.corr, phys)
+            .is_some()
+        {
+            // The channel to a confirmed-dead peer accepts nothing; the
+            // frame comes straight back as a local bounce.
+            self.det_stats.bounced += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -774,10 +979,19 @@ impl Kernel {
             }
             return;
         }
-        // 3. Not local: route towards the location hint.
+        // 3. Not local: route towards the location hint — unless the hint
+        //    names a machine this kernel has confirmed dead *and* recovery
+        //    has installed a local forwarding entry, in which case fall
+        //    through to step 4 so the stale hint is repaired here (a dead
+        //    machine can never run its own forwarding addresses).
         if dest.last_known_machine != self.machine {
-            self.transmit(now, dest.last_known_machine, &msg, phys);
-            return;
+            let reroute = self.cfg.forwarding
+                && self.dead.contains(&dest.last_known_machine)
+                && self.forwarding.contains_key(&dest.pid);
+            if !reroute {
+                self.transmit(now, dest.last_known_machine, &msg, phys);
+                return;
+            }
         }
         // 4. Addressed here but absent: forwarding address? (§4)
         if self.cfg.forwarding {
@@ -1141,6 +1355,12 @@ impl Kernel {
                         // Addressed to a kernel only when the original
                         // sender was a kernel; our kernel protocols carry
                         // their own failure handling. Ignore.
+                    }
+                    LinkMaintMsg::Heartbeat { .. } => {
+                        // Liveness was already refreshed when the frame
+                        // arrived (`peer_heard`); the message itself just
+                        // counts.
+                        self.det_stats.beats_received += 1;
                     }
                 }
             }

@@ -34,8 +34,8 @@ pub mod trace;
 pub use checkpoint::Checkpoint;
 pub use image::{ImageLayout, ProcessImage};
 pub use kernel::{
-    decode_md_done, encode_md_done, ForwardEntry, Kernel, KernelConfig, KernelPullDone,
-    KernelStats, MigrationSizes, MsgCount, Outbox, TrafficBreakdown,
+    decode_md_done, encode_md_done, DetectorStats, ForwardEntry, Kernel, KernelConfig,
+    KernelPullDone, KernelStats, MigrationSizes, MsgCount, Outbox, TrafficBreakdown,
 };
 pub use linktable::{LinkAttrsExt, LinkTable};
 pub use movedata::{MdAction, MoveData, MoveDataConfig, PullPurpose};

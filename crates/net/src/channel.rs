@@ -31,10 +31,21 @@ use crate::network::{NetEvent, Phys};
 /// Tuning knobs for the reliable channel.
 #[derive(Clone, Copy, Debug)]
 pub struct ChannelConfig {
-    /// Retransmission timeout.
+    /// Retransmission timeout for the first retransmission round. Later
+    /// rounds back off exponentially (with deterministic jitter) up to
+    /// `rto << max_backoff_exp`.
     pub rto: Duration,
     /// Maximum unacknowledged data frames per peer before sends queue.
     pub window: usize,
+    /// Ceiling on the backoff exponent: the inter-retransmission gap never
+    /// exceeds `rto * 2^max_backoff_exp` (plus jitter).
+    pub max_backoff_exp: u32,
+    /// Consecutive retransmission rounds without an ack before the peer is
+    /// escalated to [`PeerState::Dead`] and its queued frames are bounced.
+    /// `0` disables the budget: the channel retransmits forever and only
+    /// an explicit [`Endpoint::mark_dead`] (the kernel failure detector)
+    /// can condemn a peer.
+    pub retx_budget: u32,
 }
 
 impl Default for ChannelConfig {
@@ -44,8 +55,42 @@ impl Default for ChannelConfig {
         ChannelConfig {
             rto: Duration::from_millis(20),
             window: 64,
+            max_backoff_exp: 6,
+            retx_budget: 0,
         }
     }
+}
+
+/// Liveness verdict the transport holds about one peer.
+///
+/// Escalation is one-way from the channel's point of view: a peer goes
+/// `Alive → Suspect` after half the retransmit budget is burned,
+/// `Suspect → Dead` when the budget is exhausted (or the kernel's failure
+/// detector calls [`Endpoint::mark_dead`]). An ack de-escalates
+/// `Suspect → Alive`; `Dead` is terminal until [`Endpoint::reset_peer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PeerState {
+    /// Acks are flowing; nothing is overdue.
+    #[default]
+    Alive,
+    /// Retransmissions have gone unacknowledged for half the budget.
+    Suspect,
+    /// The peer is condemned: nothing more will be sent to it, and every
+    /// queued frame has been bounced back to the kernel.
+    Dead,
+}
+
+/// A frame returned to the kernel instead of being (re)transmitted,
+/// because its destination is [`PeerState::Dead`]. Carries everything the
+/// kernel needs to run its local non-deliverable handling.
+#[derive(Debug, Clone)]
+pub struct Bounce {
+    /// The condemned destination machine.
+    pub dst: MachineId,
+    /// Correlation id the message was queued with.
+    pub corr: CorrId,
+    /// The encoded message bytes, exactly as queued.
+    pub bytes: Bytes,
 }
 
 /// Transport health counters for one endpoint, across all its peers.
@@ -59,6 +104,8 @@ pub struct ChannelStats {
     pub dup_acks: u64,
     /// Incoming data frames suppressed as duplicates.
     pub dedup_drops: u64,
+    /// Frames bounced back to the kernel because their peer was Dead.
+    pub bounced: u64,
 }
 
 /// One message queued in the transport: its correlation id alongside its
@@ -84,6 +131,12 @@ struct Peer {
     recv_cum: u64,
     /// Out-of-order frames buffered for reassembly.
     reorder: BTreeMap<u64, (CorrId, Bytes)>,
+    /// Liveness verdict for this peer.
+    state: PeerState,
+    /// Backoff exponent for the next retransmission round (0 ⇒ base RTO).
+    backoff_exp: u32,
+    /// Consecutive retransmission rounds since the last ack.
+    retx_rounds: u32,
 }
 
 /// One machine's end of the reliable transport: a set of sequenced channels
@@ -121,6 +174,10 @@ impl Endpoint {
     /// message's correlation id (pass [`CorrId::NONE`] for untraced
     /// traffic).
     ///
+    /// If `dst` has been condemned ([`PeerState::Dead`]) nothing is
+    /// transmitted: the message comes straight back as a [`Bounce`] for
+    /// the kernel's local non-deliverable handling.
+    ///
     /// # Panics
     /// Debug-asserts that `dst` is a remote machine; local delivery is the
     /// kernel's job and never touches the transport.
@@ -131,20 +188,29 @@ impl Endpoint {
         msg_bytes: Bytes,
         corr: CorrId,
         phys: &mut dyn Phys,
-    ) {
+    ) -> Option<Bounce> {
         debug_assert_ne!(dst, self.machine, "local sends must not use the transport");
         let cfg = self.cfg;
         let src = self.machine;
         let peer = self.peers.entry(dst).or_default();
+        if peer.state == PeerState::Dead {
+            self.stats.bounced += 1;
+            return Some(Bounce {
+                dst,
+                corr,
+                bytes: msg_bytes,
+            });
+        }
         let q = Queued {
             corr,
             bytes: msg_bytes,
         };
         if peer.unacked.len() >= cfg.window {
             peer.pending.push_back(q);
-            return;
+            return None;
         }
         Self::transmit_data(src, cfg, peer, now, dst, q, phys);
+        None
     }
 
     fn transmit_data(
@@ -227,6 +293,16 @@ impl Endpoint {
                     };
                     Self::transmit_data(src, cfg, peer, now, from, q, phys);
                 }
+                // An ack is proof of life: reset the backoff ladder and the
+                // retransmit budget, and clear any suspicion. (Dead stays
+                // dead — the queues were already bounced.)
+                if popped > 0 {
+                    peer.backoff_exp = 0;
+                    peer.retx_rounds = 0;
+                    if peer.state == PeerState::Suspect {
+                        peer.state = PeerState::Alive;
+                    }
+                }
                 peer.rto_deadline = if peer.unacked.is_empty() {
                     None
                 } else {
@@ -243,18 +319,45 @@ impl Endpoint {
         self.peers.values().filter_map(|p| p.rto_deadline).min()
     }
 
-    /// Retransmit everything whose deadline has passed (go-back-N).
-    /// Retransmissions keep their original correlation id and are marked
-    /// in the frame metadata.
-    pub fn on_timeout(&mut self, now: Time, phys: &mut dyn Phys) {
+    /// Deterministic jitter for the retransmission deadline: a fixed
+    /// fraction (up to 1/8) of the backed-off interval, derived
+    /// arithmetically from the endpoint pair and the backoff round so two
+    /// machines that timed out together do not retransmit in lock-step.
+    /// No RNG — the same inputs always yield the same jitter, preserving
+    /// bit-for-bit replay.
+    fn jitter_us(src: MachineId, dst: MachineId, exp: u32, base_us: u64) -> u64 {
+        let mix = ((src.0 as u64) << 24 | (dst.0 as u64) << 8 | exp as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mix >> 48) % (base_us / 8 + 1)
+    }
+
+    /// Retransmit everything whose deadline has passed (go-back-N), with
+    /// exponential backoff between rounds. Retransmissions keep their
+    /// original correlation id and are marked in the frame metadata.
+    ///
+    /// When a peer exhausts the configured retransmit budget it is
+    /// escalated to [`PeerState::Dead`] and everything queued for it is
+    /// returned for the kernel's local non-deliverable handling.
+    pub fn on_timeout(&mut self, now: Time, phys: &mut dyn Phys) -> Vec<Bounce> {
         let cfg = self.cfg;
         let src = self.machine;
+        let mut bounces = Vec::new();
         for (&dst, peer) in self.peers.iter_mut() {
             let Some(deadline) = peer.rto_deadline else {
                 continue;
             };
-            if deadline > now {
+            if deadline > now || peer.state == PeerState::Dead {
                 continue;
+            }
+            peer.retx_rounds += 1;
+            if cfg.retx_budget > 0 {
+                if peer.retx_rounds >= cfg.retx_budget {
+                    bounces.extend(Self::condemn(&mut self.stats, dst, peer));
+                    continue;
+                }
+                if peer.retx_rounds >= cfg.retx_budget.div_ceil(2) {
+                    peer.state = PeerState::Suspect;
+                }
             }
             for (seq, q) in &peer.unacked {
                 self.stats.retransmits += 1;
@@ -265,8 +368,58 @@ impl Endpoint {
                 };
                 phys.transmit(now, src, dst, frame);
             }
-            peer.rto_deadline = Some(now + cfg.rto);
+            // Back off: the first round re-arms at the base RTO (exp 0),
+            // later rounds double up to the ceiling, plus deterministic
+            // jitter once backoff is in effect.
+            let exp = peer.backoff_exp.min(cfg.max_backoff_exp);
+            let base_us = cfg.rto.as_micros() << exp;
+            let jitter = if exp == 0 {
+                0
+            } else {
+                Self::jitter_us(src, dst, exp, base_us)
+            };
+            peer.rto_deadline = Some(now + Duration::from_micros(base_us + jitter));
+            peer.backoff_exp = (peer.backoff_exp + 1).min(cfg.max_backoff_exp);
         }
+        bounces
+    }
+
+    /// Transition `peer` to Dead, draining its queues into bounces.
+    fn condemn(stats: &mut ChannelStats, dst: MachineId, peer: &mut Peer) -> Vec<Bounce> {
+        peer.state = PeerState::Dead;
+        peer.rto_deadline = None;
+        let mut bounces = Vec::new();
+        for (_, q) in peer.unacked.drain(..) {
+            stats.bounced += 1;
+            bounces.push(Bounce {
+                dst,
+                corr: q.corr,
+                bytes: q.bytes,
+            });
+        }
+        for q in peer.pending.drain(..) {
+            stats.bounced += 1;
+            bounces.push(Bounce {
+                dst,
+                corr: q.corr,
+                bytes: q.bytes,
+            });
+        }
+        bounces
+    }
+
+    /// Condemn `peer` on external evidence (the kernel's heartbeat
+    /// failure detector): escalate it to [`PeerState::Dead`] immediately
+    /// and return every queued frame as a bounce. Subsequent sends to the
+    /// peer bounce synchronously until [`Endpoint::reset_peer`].
+    pub fn mark_dead(&mut self, peer: MachineId) -> Vec<Bounce> {
+        let entry = self.peers.entry(peer).or_default();
+        Self::condemn(&mut self.stats, peer, entry)
+    }
+
+    /// The transport's liveness verdict for `peer` (Alive if unknown).
+    pub fn peer_state(&self, peer: MachineId) -> PeerState {
+        self.peers.get(&peer).map_or(PeerState::Alive, |p| p.state)
     }
 
     /// Total frames currently awaiting acknowledgement.
@@ -404,6 +557,7 @@ mod tests {
         let cfg = ChannelConfig {
             rto: Duration::from_millis(5),
             window: 4,
+            ..Default::default()
         };
         let mut a = Endpoint::new(m(0), cfg);
         let mut phys = Capture::default();
@@ -425,6 +579,7 @@ mod tests {
         let cfg = ChannelConfig {
             rto: Duration::from_millis(5),
             window: 2,
+            ..Default::default()
         };
         let mut a = Endpoint::new(m(0), cfg);
         let mut phys = Capture::default();
@@ -446,6 +601,141 @@ mod tests {
         // A deferred message keeps its correlation id when it finally
         // leaves the window.
         assert_eq!(phys.0[3].2.meta().unwrap().corr, corr(4));
+    }
+
+    /// Backoff doubles per unacked retransmission round, caps at the
+    /// configured ceiling, and an ack resets the ladder so the next loss
+    /// starts again from the base RTO.
+    #[test]
+    fn backoff_caps_and_rearms_after_ack() {
+        let cfg = ChannelConfig {
+            rto: Duration::from_millis(5),
+            window: 4,
+            max_backoff_exp: 2,
+            retx_budget: 0,
+        };
+        let mut a = Endpoint::new(m(0), cfg);
+        let mut phys = Capture::default();
+        a.send(Time(0), m(1), bytes("x"), corr(1), &mut phys);
+        phys.0.clear();
+        // Walk the ladder: gap after round n is rto<<min(n-1, cap) + jitter
+        // (jitter only once backoff kicks in). At the cap the gap stops
+        // growing and becomes constant — same exponent, same jitter.
+        let mut now = a.next_timeout().unwrap();
+        let mut gaps = Vec::new();
+        for _ in 0..5 {
+            a.on_timeout(now, &mut phys);
+            let next = a.next_timeout().unwrap();
+            gaps.push(next.since(now).as_micros());
+            now = next;
+        }
+        assert_eq!(gaps[0], 5_000, "first round re-arms at the base RTO");
+        assert!(
+            (10_000..10_000 + 10_000 / 8 + 1).contains(&gaps[1]),
+            "second round doubles (plus bounded jitter): {}",
+            gaps[1]
+        );
+        assert!(
+            (20_000..20_000 + 20_000 / 8 + 1).contains(&gaps[2]),
+            "third round doubles again: {}",
+            gaps[2]
+        );
+        assert_eq!(gaps[2], gaps[3], "ceiling reached: the gap stops growing");
+        assert_eq!(gaps[3], gaps[4]);
+        // An ack clears the ladder; a fresh loss starts from the base RTO.
+        a.on_frame(now, m(1), Frame::Ack { cum: 1 }, &mut phys);
+        assert!(a.next_timeout().is_none());
+        a.send(now, m(1), bytes("y"), corr(2), &mut phys);
+        assert_eq!(
+            a.next_timeout(),
+            Some(now + cfg.rto),
+            "backoff re-armed at base after ack"
+        );
+        a.on_timeout(now + cfg.rto, &mut phys);
+        assert_eq!(
+            a.next_timeout(),
+            Some(now + cfg.rto + cfg.rto),
+            "first retransmission round after an ack uses the base RTO again"
+        );
+    }
+
+    /// Exhausting the retransmit budget condemns the peer: queued frames
+    /// (in-flight and deferred) come back as bounces, the peer reads Dead,
+    /// and later sends bounce synchronously instead of transmitting.
+    #[test]
+    fn budget_exhaustion_bounces_and_condemns() {
+        let cfg = ChannelConfig {
+            rto: Duration::from_millis(5),
+            window: 1,
+            max_backoff_exp: 6,
+            retx_budget: 3,
+        };
+        let mut a = Endpoint::new(m(0), cfg);
+        let mut phys = Capture::default();
+        a.send(Time(0), m(1), bytes("one"), corr(1), &mut phys);
+        a.send(Time(0), m(1), bytes("two"), corr(2), &mut phys); // deferred
+        assert_eq!(a.peer_state(m(1)), PeerState::Alive);
+        let mut now = a.next_timeout().unwrap();
+        // Round 1 retransmits; round 2 (>= ceil(3/2)) suspects.
+        assert!(a.on_timeout(now, &mut phys).is_empty());
+        now = a.next_timeout().unwrap();
+        assert!(a.on_timeout(now, &mut phys).is_empty());
+        assert_eq!(a.peer_state(m(1)), PeerState::Suspect);
+        // Round 3 exhausts the budget: both frames bounce.
+        now = a.next_timeout().unwrap();
+        let bounces = a.on_timeout(now, &mut phys);
+        assert_eq!(bounces.len(), 2, "in-flight and deferred frames bounce");
+        assert_eq!(bounces[0].dst, m(1));
+        assert_eq!(bounces[0].corr, corr(1));
+        assert_eq!(bounces[1].bytes, bytes("two"));
+        assert_eq!(a.peer_state(m(1)), PeerState::Dead);
+        assert_eq!(a.channel_stats().bounced, 2);
+        assert!(a.next_timeout().is_none(), "no deadline for a dead peer");
+        assert!(a.quiescent(), "nothing left queued for the dead peer");
+        // A later send comes straight back.
+        let b = a.send(now, m(1), bytes("three"), corr(3), &mut phys);
+        let b = b.expect("send to a dead peer bounces");
+        assert_eq!(b.corr, corr(3));
+        assert_eq!(a.channel_stats().bounced, 3);
+    }
+
+    /// `mark_dead` (the kernel failure detector's verdict) purges the
+    /// peer immediately, and `reset_peer` afterwards reconciles with the
+    /// transport-conservation ledger: in-flight drops to zero, the bounce
+    /// counter accounts for every purged frame, and delivery/dedup
+    /// counters are untouched.
+    #[test]
+    fn mark_dead_purge_reconciles_with_conservation() {
+        let mut a = Endpoint::new(m(0), ChannelConfig::default());
+        let mut phys = Capture::default();
+        a.send(Time(0), m(1), bytes("one"), corr(1), &mut phys);
+        a.send(Time(0), m(1), bytes("two"), corr(2), &mut phys);
+        a.send(Time(0), m(2), bytes("keep"), corr(3), &mut phys);
+        let before = a.channel_stats();
+        assert_eq!(a.in_flight(), 3);
+        let bounces = a.mark_dead(m(1));
+        assert_eq!(bounces.len(), 2, "only the dead peer's frames bounce");
+        // Conservation: every frame formerly in flight to the dead peer is
+        // now accounted for by the bounce counter, none silently vanish.
+        assert_eq!(a.in_flight(), 1);
+        assert_eq!(a.channel_stats().bounced - before.bounced, 2);
+        assert_eq!(a.channel_stats().retransmits, before.retransmits);
+        assert_eq!(a.channel_stats().dedup_drops, before.dedup_drops);
+        assert_eq!(a.peer_state(m(1)), PeerState::Dead);
+        assert_eq!(a.peer_state(m(2)), PeerState::Alive);
+        assert_eq!(
+            a.next_timeout(),
+            Some(Time(0) + ChannelConfig::default().rto),
+            "the live peer's deadline survives the purge"
+        );
+        // reset_peer forgets the verdict entirely (revival): sequence
+        // space restarts and the peer is sendable again.
+        a.reset_peer(m(1));
+        assert_eq!(a.peer_state(m(1)), PeerState::Alive);
+        assert!(a
+            .send(Time(10), m(1), bytes("fresh"), corr(4), &mut phys)
+            .is_none());
+        assert_eq!(a.in_flight(), 2);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod frame;
 pub mod network;
 pub mod topology;
 
-pub use channel::{ChannelConfig, ChannelStats, Endpoint};
+pub use channel::{Bounce, ChannelConfig, ChannelStats, Endpoint, PeerState};
 pub use frame::{Frame, FrameMeta};
 pub use network::{NetEvent, NetStats, Phys, SimNetwork};
 pub use topology::{EdgeParams, Topology};

@@ -56,7 +56,7 @@ proptest! {
         script in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..64),
         reorder in any::<bool>(),
     ) {
-        let cfg = ChannelConfig { rto: Duration::from_millis(5), window: 8 };
+        let cfg = ChannelConfig { rto: Duration::from_millis(5), window: 8, ..Default::default() };
         let mut a = Endpoint::new(MachineId(0), cfg);
         let mut b = Endpoint::new(MachineId(1), cfg);
         let mut phys = Adversary { queues: [Vec::new(), Vec::new()], script, cursor: 0 };

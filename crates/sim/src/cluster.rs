@@ -15,6 +15,7 @@
 //! the same configuration replays identically — the property the replay
 //! tests pin with trace fingerprints.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use demos_core::{MigrationConfig, Node};
@@ -26,6 +27,7 @@ use demos_types::{
     Time,
 };
 
+use crate::recovery::{RecoveryConfig, RecoveryEpisode, RecoveryManager};
 use crate::trace::Trace;
 
 /// Cluster construction.
@@ -37,6 +39,7 @@ pub struct ClusterBuilder {
     registry: Registry,
     trace: bool,
     sample: Option<Duration>,
+    recovery: Option<RecoveryConfig>,
 }
 
 impl ClusterBuilder {
@@ -50,6 +53,7 @@ impl ClusterBuilder {
             registry: crate::programs::registry(),
             trace: true,
             sample: None,
+            recovery: None,
         }
     }
 
@@ -99,11 +103,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable automatic crash recovery: periodic checkpoints plus
+    /// re-homing when the kernels' failure detector confirms a machine
+    /// dead. Pair with a non-zero
+    /// [`demos_kernel::KernelConfig::heartbeat_every`], or deaths are
+    /// never confirmed and the checkpoints only serve manual restores.
+    pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
+    }
+
     /// Build the cluster.
     pub fn build(self) -> Cluster {
         let n = self.topology.len();
         let registry = self.registry.into_shared();
-        let nodes = (0..n)
+        let machines: Vec<MachineId> = (0..n).map(|i| MachineId(i as u16)).collect();
+        let mut nodes: Vec<Node> = (0..n)
             .map(|i| {
                 Node::new(
                     MachineId(i as u16),
@@ -113,6 +128,13 @@ impl ClusterBuilder {
                 )
             })
             .collect();
+        for node in &mut nodes {
+            node.engine.set_peers(machines.clone());
+            if self.kernel.heartbeat_every > Duration::ZERO {
+                node.kernel
+                    .watch_peers(Time::ZERO, machines.iter().copied());
+            }
+        }
         Cluster {
             now: Time::ZERO,
             nodes,
@@ -129,6 +151,9 @@ impl ClusterBuilder {
             outbox: Outbox::default(),
             registry,
             series: self.sample.map(SeriesStore::new),
+            migration: self.migration,
+            recovery: self.recovery.map(RecoveryManager::new),
+            crash_log: BTreeMap::new(),
         }
     }
 }
@@ -146,6 +171,9 @@ pub struct Cluster {
     outbox: Outbox,
     registry: Arc<Registry>,
     series: Option<SeriesStore>,
+    migration: MigrationConfig,
+    recovery: Option<RecoveryManager>,
+    crash_log: BTreeMap<MachineId, Time>,
 }
 
 impl Cluster {
@@ -379,7 +407,14 @@ impl Cluster {
     /// to or from it is dropped.
     pub fn crash(&mut self, m: MachineId) {
         self.crashed[m.0 as usize] = true;
+        self.crash_log.insert(m, self.now);
         self.net.set_down(m, true);
+    }
+
+    /// Ground-truth crash time of `m` (for latency metrics), if it was
+    /// ever crashed.
+    pub fn crashed_at(&self, m: MachineId) -> Option<Time> {
+        self.crash_log.get(&m).copied()
     }
 
     /// Whether `m` is crashed.
@@ -402,12 +437,12 @@ impl Cluster {
         let node = &self.nodes[i];
         let kcfg = *node.kernel.config();
         // Build a brand-new node with the same identity and configuration.
-        let fresh = Node::new(
-            m,
-            kcfg,
-            MigrationConfig::default(),
-            Arc::clone(&self.registry),
-        );
+        let mut fresh = Node::new(m, kcfg, self.migration, Arc::clone(&self.registry));
+        let machines: Vec<MachineId> = (0..self.nodes.len()).map(|j| MachineId(j as u16)).collect();
+        fresh.engine.set_peers(machines.clone());
+        if kcfg.heartbeat_every > Duration::ZERO {
+            fresh.kernel.watch_peers(self.now, machines);
+        }
         self.nodes[i] = fresh;
         self.crashed[i] = false;
         self.cpu_busy_until[i] = self.now;
@@ -415,7 +450,8 @@ impl Cluster {
         self.net.set_down(m, false);
         for j in 0..self.nodes.len() {
             if j != i {
-                self.nodes[j].kernel.reset_channel(m);
+                let now = self.now;
+                self.nodes[j].peer_revived(now, m);
             }
         }
     }
@@ -538,8 +574,191 @@ impl Cluster {
                 self.drain_outbox(MachineId(i as u16));
             }
         }
+        self.drive_recovery();
         self.maybe_sample();
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Automatic crash recovery
+    // ------------------------------------------------------------------
+
+    /// Register `pid` for checkpoint protection. No-op unless the cluster
+    /// was built with [`ClusterBuilder::recovery`].
+    pub fn protect(&mut self, pid: ProcessId) {
+        if let Some(mgr) = &mut self.recovery {
+            mgr.protected.insert(pid);
+        }
+    }
+
+    /// The recovery manager's state (stats, episodes, stored
+    /// checkpoints), if recovery is enabled.
+    pub fn recovery(&self) -> Option<&RecoveryManager> {
+        self.recovery.as_ref()
+    }
+
+    /// Stop every live kernel's heartbeat detector. A cluster with an
+    /// active detector never goes quiescent (beats fly forever), so
+    /// harnesses call this once recovery has settled and they want to
+    /// drain the transport for final checks.
+    pub fn stop_heartbeats(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.crashed[i] {
+                self.nodes[i].kernel.stop_heartbeats();
+            }
+        }
+    }
+
+    fn drive_recovery(&mut self) {
+        if self.recovery.is_none() {
+            return;
+        }
+        self.checkpoint_pass();
+        self.handle_confirmed_deaths();
+    }
+
+    /// Periodically snapshot every protected, settled (not mid-migration)
+    /// process into stable storage.
+    fn checkpoint_pass(&mut self) {
+        let now = self.now;
+        {
+            let mgr = self.recovery.as_mut().expect("checked");
+            if now < mgr.next_ck_at {
+                return;
+            }
+            let every = mgr.cfg.checkpoint_every;
+            let mut next = mgr.next_ck_at + every;
+            while next <= now {
+                next += every;
+            }
+            mgr.next_ck_at = next;
+        }
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let pids: Vec<ProcessId> = self.nodes[i].kernel.pids().collect();
+            for pid in pids {
+                let mgr = self.recovery.as_ref().expect("checked");
+                if !mgr.cfg.protect_all && !mgr.protected.contains(&pid) {
+                    continue;
+                }
+                if self.nodes[i]
+                    .kernel
+                    .process(pid)
+                    .is_none_or(|p| p.in_migration)
+                {
+                    continue;
+                }
+                if let Ok(ck) = self.nodes[i].kernel.checkpoint(now, pid) {
+                    let mgr = self.recovery.as_mut().expect("checked");
+                    mgr.store.insert(pid, ck);
+                    mgr.stats.checkpoints += 1;
+                }
+            }
+        }
+    }
+
+    /// Act on kernel-level death confirmations: re-home every checkpointed
+    /// process that vanished with the dead machine onto a survivor, and
+    /// install forwarding addresses on the other survivors so stale links
+    /// converge through the ordinary §4/§5 machinery.
+    fn handle_confirmed_deaths(&mut self) {
+        let mut confirmed: Vec<(MachineId, Time)> = Vec::new();
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            confirmed.extend(self.nodes[i].kernel.take_confirmed_dead());
+        }
+        for (dead, detected_at) in confirmed {
+            let fresh = self
+                .recovery
+                .as_mut()
+                .expect("checked")
+                .handled
+                .insert(dead);
+            if fresh {
+                self.rehome_from(dead, detected_at);
+            }
+        }
+    }
+
+    fn rehome_from(&mut self, dead: MachineId, detected_at: Time) {
+        let now = self.now;
+        let crashed_at = self.crash_log.get(&dead).copied();
+        // Guard: only re-home processes that are genuinely gone. A
+        // detector false-confirmation on a live (e.g. long-partitioned)
+        // machine must never duplicate a process.
+        let candidates: Vec<ProcessId> = {
+            let mgr = self.recovery.as_ref().expect("checked");
+            mgr.store
+                .keys()
+                .copied()
+                .filter(|&pid| self.where_is(pid).is_none())
+                .collect()
+        };
+        let survivors: Vec<MachineId> = (0..self.nodes.len())
+            .map(|i| MachineId(i as u16))
+            .filter(|&m| !self.crashed[m.0 as usize] && m != dead)
+            .collect();
+        let mut rehomed = 0u32;
+        for pid in candidates {
+            let ck = self
+                .recovery
+                .as_ref()
+                .expect("checked")
+                .store
+                .get(&pid)
+                .cloned()
+                .expect("listed");
+            let mut new_home = None;
+            for &m in &survivors {
+                let r =
+                    self.nodes[m.0 as usize]
+                        .kernel
+                        .restore_checkpoint(now, &ck, &mut self.outbox);
+                self.drain_outbox(m);
+                if r.is_ok() {
+                    new_home = Some(m);
+                    break;
+                }
+            }
+            match new_home {
+                Some(home) => {
+                    rehomed += 1;
+                    self.recovery.as_mut().expect("checked").stats.rehomed += 1;
+                    // Forwarding on every *other* survivor (never on the
+                    // new home itself — a self-pointing entry would loop).
+                    for &m in &survivors {
+                        if m != home {
+                            self.nodes[m.0 as usize].kernel.install_forwarding(
+                                pid,
+                                home,
+                                &mut self.outbox,
+                            );
+                            self.drain_outbox(m);
+                        }
+                    }
+                }
+                None => {
+                    self.recovery
+                        .as_mut()
+                        .expect("checked")
+                        .stats
+                        .rehome_failures += 1
+                }
+            }
+        }
+        let mgr = self.recovery.as_mut().expect("checked");
+        mgr.stats.deaths_handled += 1;
+        mgr.episodes.push(RecoveryEpisode {
+            machine: dead,
+            crashed_at,
+            detected_at,
+            recovered_at: now,
+            rehomed,
+        });
     }
 
     /// Run until virtual time `t` (or quiescence, whichever first).

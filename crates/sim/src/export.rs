@@ -48,6 +48,14 @@ pub fn machine_registry(node: &Node) -> MetricsRegistry {
     r.counter_set("retransmits", ch.retransmits);
     r.counter_set("dup_acks", ch.dup_acks);
     r.counter_set("dedup_drops", ch.dedup_drops);
+    r.counter_set("bounced_frames", ch.bounced);
+    let d = k.detector_stats();
+    r.counter_set("hb_sent", d.beats_sent);
+    r.counter_set("hb_received", d.beats_received);
+    r.counter_set("suspicions", d.suspicions);
+    r.counter_set("false_positives", d.false_positives);
+    r.counter_set("peers_confirmed_dead", d.confirmed_dead);
+    r.counter_set("bounced_msgs", d.bounced);
     let s = k.stats();
     r.counter_set("submitted", s.submitted);
     r.counter_set("forwarded", s.forwarded);

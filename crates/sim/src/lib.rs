@@ -5,6 +5,8 @@
 //!   (crash, degradation) and deterministic replay;
 //! * [`programs`] — seeded synthetic workload programs (ping-pong pairs,
 //!   CPU burners, echo servers/clients, pipelines, inert cargo);
+//! * [`recovery`] — checkpoint stable storage and automatic re-homing of
+//!   processes from machines the failure detector confirmed dead;
 //! * [`balance`] — drives `demos-policy` decision rules against the live
 //!   cluster, playing the process manager's monitoring role;
 //! * [`trace`] — the event log experiments are reconstructed from;
@@ -22,6 +24,7 @@ pub mod cluster;
 pub mod export;
 pub mod metrics;
 pub mod programs;
+pub mod recovery;
 pub mod report;
 pub mod span;
 pub mod trace;
@@ -31,6 +34,7 @@ pub use boot::{boot_system, BootConfig, SystemHandles};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use export::machine_registry;
 pub use metrics::Histogram;
+pub use recovery::{RecoveryConfig, RecoveryEpisode, RecoveryManager, RecoveryStats};
 pub use report::{migrations_of, render, MigrationReport};
 pub use span::{latency_histogram, spans_of, Hop, HopKind, Span};
 pub use trace::Trace;
@@ -42,6 +46,7 @@ pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterBuilder};
     pub use crate::metrics::Histogram;
     pub use crate::programs::{self, wl};
+    pub use crate::recovery::{RecoveryConfig, RecoveryEpisode, RecoveryStats};
     pub use crate::trace::Trace;
     pub use demos_core::{AcceptPolicy, MigrationConfig, Node};
     pub use demos_kernel::{

@@ -1,0 +1,113 @@
+//! Automatic crash recovery: periodic checkpoints to simulated stable
+//! storage, plus re-homing of processes whose machine was confirmed dead
+//! by the kernels' heartbeat failure detector.
+//!
+//! §1 of the paper: "If the information necessary to transport a process
+//! is saved in stable storage, it may be possible to 'migrate' a process
+//! from a processor that has crashed to a working one." The
+//! [`RecoveryManager`] plays the role of that stable storage plus the
+//! recovery daemon: on a cadence it snapshots protected processes with
+//! [`demos_kernel::Kernel::checkpoint`]; when every record of a process
+//! vanished with a crashed machine, it restores the last checkpoint on a
+//! surviving machine and installs forwarding addresses on the other
+//! survivors, so stale links converge through the ordinary §4/§5
+//! forwarding and link-update machinery.
+//!
+//! The manager never consults the simulator's god's-eye crash flags to
+//! *trigger* recovery — only kernel-level death confirmations do that.
+//! (It does use them as a guard against re-homing a process that is
+//! still alive somewhere, which would be worse than not recovering.)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use demos_kernel::Checkpoint;
+use demos_types::{Duration, MachineId, ProcessId, Time};
+
+/// Recovery tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// Checkpoint cadence for protected processes.
+    pub checkpoint_every: Duration,
+    /// Protect every user process automatically (otherwise only those
+    /// passed to [`crate::cluster::Cluster::protect`]).
+    pub protect_all: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_every: Duration::from_millis(20),
+            protect_all: false,
+        }
+    }
+}
+
+/// One completed detection/recovery episode (for the latency metrics).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryEpisode {
+    /// The machine that died.
+    pub machine: MachineId,
+    /// When the simulator crashed it (ground truth).
+    pub crashed_at: Option<Time>,
+    /// When the first surviving kernel confirmed it dead.
+    pub detected_at: Time,
+    /// When re-homing of its processes finished.
+    pub recovered_at: Time,
+    /// Processes restored from checkpoint.
+    pub rehomed: u32,
+}
+
+/// Counters kept by the recovery manager.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// Checkpoints written to stable storage.
+    pub checkpoints: u64,
+    /// Processes re-homed from a checkpoint.
+    pub rehomed: u64,
+    /// Restore attempts that failed on every survivor.
+    pub rehome_failures: u64,
+    /// Death confirmations acted upon.
+    pub deaths_handled: u64,
+}
+
+/// Stable storage + recovery daemon state, owned by the cluster.
+#[derive(Debug)]
+pub struct RecoveryManager {
+    pub(crate) cfg: RecoveryConfig,
+    pub(crate) protected: BTreeSet<ProcessId>,
+    pub(crate) store: BTreeMap<ProcessId, Checkpoint>,
+    pub(crate) next_ck_at: Time,
+    pub(crate) handled: BTreeSet<MachineId>,
+    pub(crate) stats: RecoveryStats,
+    pub(crate) episodes: Vec<RecoveryEpisode>,
+}
+
+impl RecoveryManager {
+    /// A fresh manager; the first checkpoint pass runs at one cadence in.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        RecoveryManager {
+            cfg,
+            protected: BTreeSet::new(),
+            store: BTreeMap::new(),
+            next_ck_at: Time::ZERO + cfg.checkpoint_every,
+            handled: BTreeSet::new(),
+            stats: RecoveryStats::default(),
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Completed recovery episodes, in confirmation order.
+    pub fn episodes(&self) -> &[RecoveryEpisode] {
+        &self.episodes
+    }
+
+    /// The stored checkpoint for `pid`, if one was taken.
+    pub fn checkpoint_of(&self, pid: ProcessId) -> Option<&Checkpoint> {
+        self.store.get(&pid)
+    }
+}

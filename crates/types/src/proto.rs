@@ -636,6 +636,15 @@ pub enum LinkMaintMsg {
         /// The process that terminated.
         pid: ProcessId,
     },
+    /// Periodic kernel-to-kernel liveness probe over DELIVERTOKERNEL,
+    /// consumed by the receiving kernel's failure detector. Carries a
+    /// monotonic beat number so missed beats are countable end-to-end.
+    Heartbeat {
+        /// The machine whose kernel emitted the beat.
+        from: MachineId,
+        /// Beat number, monotonically increasing per sender.
+        seq: u64,
+    },
 }
 
 impl Wire for LinkMaintMsg {
@@ -664,6 +673,11 @@ impl Wire for LinkMaintMsg {
             LinkMaintMsg::DeathNotice { pid } => {
                 buf.put_u8(3);
                 pid.encode(buf);
+            }
+            LinkMaintMsg::Heartbeat { from, seq } => {
+                buf.put_u8(4);
+                from.encode(buf);
+                buf.put_u64(*seq);
             }
         }
     }
@@ -698,6 +712,16 @@ impl Wire for LinkMaintMsg {
             3 => Ok(LinkMaintMsg::DeathNotice {
                 pid: ProcessId::decode(buf)?,
             }),
+            4 => {
+                let from = MachineId::decode(buf)?;
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated("Heartbeat"));
+                }
+                Ok(LinkMaintMsg::Heartbeat {
+                    from,
+                    seq: buf.get_u64(),
+                })
+            }
             _ => Err(WireError::BadTag {
                 what: "LinkMaintMsg",
                 tag: tag as u16,
@@ -899,6 +923,10 @@ mod tests {
                 reason: 0,
             },
             LinkMaintMsg::DeathNotice { pid: pid(2) },
+            LinkMaintMsg::Heartbeat {
+                from: MachineId(4),
+                seq: 17,
+            },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m).unwrap(), m);

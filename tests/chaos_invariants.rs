@@ -78,6 +78,7 @@ fn same_seed_is_byte_identical() {
 fn broken_forwarding_caught_and_shrunk() {
     let cfg = RunConfig {
         disable_forwarding: true,
+        ..RunConfig::default()
     };
     let mut caught = None;
     for seed in 0..200 {
@@ -100,5 +101,60 @@ fn broken_forwarding_caught_and_shrunk() {
     assert!(
         run(&res.scenario, &RunConfig::default()).passed(),
         "violation is the ablation's fault, not the scenario's"
+    );
+}
+
+/// Crash-heavy recovery scenarios — permanent machine deaths with the
+/// heartbeat detector and checkpoint re-homing active — pass the full
+/// recovery-aware invariant stack deterministically.
+#[test]
+fn recovery_scenarios_uphold_invariants() {
+    for seed in 0..200 {
+        let sc = Scenario::generate_recovery(seed);
+        let report = run(&sc, &RunConfig::default());
+        assert!(
+            report.passed(),
+            "recovery seed {seed} violated: {}",
+            report.violation.unwrap()
+        );
+    }
+}
+
+/// With the recovery machinery ablated (no detector, no checkpoints, no
+/// re-homing) the same crash-heavy scenarios must be caught as a vanished
+/// process within a handful of seeds, and the shrinker must reduce the
+/// schedule while the healthy stack still passes the shrunk scenario.
+#[test]
+fn recovery_disabled_ablation_is_caught_and_shrunk() {
+    let cfg = RunConfig {
+        disable_recovery: true,
+        ..RunConfig::default()
+    };
+    let mut caught = None;
+    for seed in 0..50 {
+        let sc = Scenario::generate_recovery(seed);
+        if let Some(v) = run(&sc, &cfg).violation {
+            caught = Some((seed, sc, v));
+            break;
+        }
+    }
+    let (seed, sc, v) = caught.expect("recovery ablation caught within 50 seeds");
+    assert!(
+        matches!(v, demos_chaos::Violation::ProcessVanished { .. }),
+        "seed {seed}: the orphaned process is the symptom: {v}"
+    );
+    let res = shrink(&sc, &cfg, &v, 200);
+    assert!(
+        res.scenario.events.len() <= 5,
+        "seed {seed} shrunk to {} events",
+        res.scenario.events.len()
+    );
+    assert!(
+        run(&res.scenario, &cfg).violation.is_some(),
+        "shrunk repro still violates"
+    );
+    assert!(
+        run(&res.scenario, &RunConfig::default()).passed(),
+        "the recovery stack survives the very same shrunk scenario"
     );
 }

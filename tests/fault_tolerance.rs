@@ -105,6 +105,7 @@ fn destination_crash_aborts_migration_and_process_survives() {
         .migration_config(MigrationConfig {
             accept: AcceptPolicy::Always,
             timeout: Duration::from_millis(200),
+            ..MigrationConfig::default()
         })
         .build();
     let (pa, pb) = pingpong_pair(&mut cluster);
@@ -141,6 +142,7 @@ fn partition_during_migration_heals() {
         .migration_config(MigrationConfig {
             accept: AcceptPolicy::Always,
             timeout: Duration::from_secs(10),
+            ..MigrationConfig::default()
         })
         .build();
     let pid = cluster
@@ -230,6 +232,123 @@ fn partition_heal_delivers_queued_messages_exactly_once() {
         dedup < delivered,
         "dedup suppressed duplicates without eating deliveries"
     );
+}
+
+#[test]
+fn crossing_aborts_do_not_double_count() {
+    // Two sources migrate into the same destination concurrently, so both
+    // transfers carry the same source-local context number. One of them is
+    // cut by a partition and both of its ends time out, launching Abort
+    // messages that cross on the wire and land after their records are
+    // already gone. Each abort must resolve exactly the migration it
+    // names: the regression was a crossing Abort matching an unrelated
+    // record that reused the context number and double-counting `aborted`.
+    // Slow links: the 150 KB images take tens of milliseconds to move, so
+    // the partition below is guaranteed to land mid-transfer.
+    let topo = Topology::full_mesh(
+        3,
+        demos_mp::net::EdgeParams {
+            latency: Duration::from_micros(300),
+            ns_per_byte: 200,
+            loss: 0.0,
+        },
+    );
+    let mut cluster = ClusterBuilder::new(3)
+        .topology(topo)
+        .migration_config(MigrationConfig {
+            accept: AcceptPolicy::Always,
+            timeout: Duration::from_millis(150),
+            ..MigrationConfig::default()
+        })
+        .build();
+    let pa = cluster
+        .spawn(
+            m(0),
+            "cargo",
+            &Cargo::state(150_000),
+            ImageLayout::default(),
+        )
+        .unwrap();
+    let pb = cluster
+        .spawn(
+            m(1),
+            "cargo",
+            &Cargo::state(150_000),
+            ImageLayout::default(),
+        )
+        .unwrap();
+    cluster.run_for(Duration::from_millis(10));
+
+    cluster.migrate(pa, m(2)).unwrap();
+    cluster.migrate(pb, m(2)).unwrap();
+    cluster.run_for(Duration::from_millis(2));
+    // Isolate m1 entirely (a mesh would otherwise route around a single
+    // severed edge via m0), stranding its outgoing transfer mid-flight.
+    assert!(cluster.partition(m(1), m(2)), "cut the transfer edge");
+    assert!(cluster.partition(m(1), m(0)), "cut the detour");
+    // Both ends of the cut migration time out; the other completes.
+    cluster.run_for(Duration::from_millis(400));
+    assert!(cluster.heal(m(1), m(2)), "edge restored");
+    assert!(cluster.heal(m(1), m(0)), "detour restored");
+    cluster.run_for(Duration::from_secs(1));
+
+    assert_eq!(cluster.where_is(pa), Some(m(2)), "healthy transfer landed");
+    assert_eq!(cluster.where_is(pb), Some(m(1)), "cut transfer thawed home");
+    let s0 = cluster.node(m(0)).engine.stats();
+    assert_eq!((s0.started, s0.completed_out, s0.aborted), (1, 1, 0));
+    let s1 = cluster.node(m(1)).engine.stats();
+    assert_eq!(
+        (s1.started, s1.completed_out, s1.aborted),
+        (1, 0, 1),
+        "the cut source aborted exactly once"
+    );
+    let s2 = cluster.node(m(2)).engine.stats();
+    assert_eq!(s2.completed_in, 1);
+    assert_eq!(
+        s2.aborted, 1,
+        "the destination aborted the cut transfer exactly once"
+    );
+    for i in 0..3 {
+        assert_eq!(
+            cluster.node(m(i)).engine.in_flight(),
+            0,
+            "no leaked migration state on m{i}"
+        );
+    }
+}
+
+#[test]
+fn aborted_migration_retries_to_alternate_destination() {
+    // The destination is dead, so the first attempt times out; with a
+    // retry budget the engine re-offers the frozen process to the next
+    // peer after bounded backoff, and the process lands there.
+    let mut cluster = ClusterBuilder::new(3)
+        .migration_config(MigrationConfig {
+            accept: AcceptPolicy::Always,
+            timeout: Duration::from_millis(100),
+            retries: 2,
+            retry_backoff: Duration::from_millis(10),
+        })
+        .build();
+    let pid = cluster
+        .spawn(m(0), "cargo", &Cargo::state(4_096), ImageLayout::default())
+        .unwrap();
+    cluster.run_for(Duration::from_millis(10));
+    cluster.crash(m(1));
+    cluster.migrate(pid, m(1)).unwrap();
+    cluster.run_for(Duration::from_secs(1));
+
+    assert_eq!(
+        cluster.where_is(pid),
+        Some(m(2)),
+        "re-offered to the surviving alternate"
+    );
+    let s = cluster.node(m(0)).engine.stats();
+    assert_eq!(s.started, 2, "original attempt plus one retry");
+    assert_eq!(s.aborted, 1, "the dead-destination attempt aborted once");
+    assert_eq!(s.retried, 1);
+    assert_eq!(s.completed_out, 1);
+    assert_eq!(cluster.node(m(0)).engine.in_flight(), 0);
 }
 
 #[test]
