@@ -90,6 +90,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // lint:allow(D002 operator progress display only; never feeds the seeded simulation)
     let started = std::time::Instant::now();
     let mut passed = 0u64;
     let mut i = 0u64;

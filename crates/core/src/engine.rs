@@ -410,7 +410,9 @@ impl MigrationEngine {
                     .get(&ctx)
                     .is_some_and(|m| m.dest == from && m.pid == pid);
                 if matches {
-                    let mig = self.outgoing.remove(&ctx).expect("checked");
+                    let Some(mig) = self.outgoing.remove(&ctx) else {
+                        return;
+                    };
                     self.stats.aborted += 1;
                     let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
                     kernel.unfreeze(mig.pid, out);
@@ -440,7 +442,9 @@ impl MigrationEngine {
                 // context number reused by another machine cannot complete
                 // an unrelated migration.
                 if self.outgoing.get(&ctx).is_some_and(|m| m.dest == from) {
-                    let mig = self.outgoing.remove(&ctx).expect("checked");
+                    let Some(mig) = self.outgoing.remove(&ctx) else {
+                        return;
+                    };
                     match kernel.finish_source_side(now, mig.pid, mig.dest, phys, out) {
                         Ok(forwarded) => {
                             self.stats.pending_forwarded += forwarded as u64;
@@ -516,7 +520,9 @@ impl MigrationEngine {
                     .get(&ctx)
                     .is_some_and(|m| m.dest == from && m.pid == pid);
                 if incoming_match {
-                    let mig = self.incoming.remove(&(from, ctx)).expect("checked");
+                    let Some(mig) = self.incoming.remove(&(from, ctx)) else {
+                        return;
+                    };
                     kernel.release_reservation(mig.slot);
                     if mig.installed {
                         kernel.kill(now, mig.pid, phys, out);
@@ -527,7 +533,9 @@ impl MigrationEngine {
                         phase: MigrationPhase::Aborted,
                     });
                 } else if outgoing_match {
-                    let mig = self.outgoing.remove(&ctx).expect("checked");
+                    let Some(mig) = self.outgoing.remove(&ctx) else {
+                        return;
+                    };
                     kernel.unfreeze(mig.pid, out);
                     self.stats.aborted += 1;
                     let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
@@ -657,7 +665,9 @@ impl MigrationEngine {
             return;
         };
         if done.status != 0 {
-            let mig = self.incoming.remove(&(src, ctx)).expect("present");
+            let Some(mig) = self.incoming.remove(&(src, ctx)) else {
+                return;
+            };
             kernel.release_reservation(mig.slot);
             self.stats.aborted += 1;
             let abort = MigrateMsg::Abort { ctx, pid: mig.pid };
@@ -716,8 +726,9 @@ impl MigrationEngine {
                 {
                     Ok(installed_pid) => {
                         debug_assert_eq!(installed_pid, pid);
-                        let mig = self.incoming.get_mut(&(src, ctx)).expect("present");
-                        mig.installed = true;
+                        if let Some(mig) = self.incoming.get_mut(&(src, ctx)) {
+                            mig.installed = true;
+                        }
                         let complete = MigrateMsg::TransferComplete {
                             ctx,
                             received: received as u32,
@@ -725,8 +736,9 @@ impl MigrationEngine {
                         kernel.send_migrate_msg(now, src, complete.to_bytes(), vec![], phys, out);
                     }
                     Err(_) => {
-                        let mig = self.incoming.remove(&(src, ctx)).expect("present");
-                        kernel.release_reservation(mig.slot);
+                        if let Some(mig) = self.incoming.remove(&(src, ctx)) {
+                            kernel.release_reservation(mig.slot);
+                        }
                         self.stats.aborted += 1;
                         let abort = MigrateMsg::Abort { ctx, pid };
                         kernel.send_migrate_msg(now, src, abort.to_bytes(), vec![], phys, out);
@@ -769,7 +781,9 @@ impl MigrationEngine {
             .copied()
             .collect();
         for key in incoming {
-            let mig = self.incoming.remove(&key).expect("listed");
+            let Some(mig) = self.incoming.remove(&key) else {
+                continue;
+            };
             if mig.installed && kernel.restart_migrated(mig.pid, out).is_ok() {
                 self.stats.completed_in += 1;
                 self.stats.total_in_duration += now.since(mig.started);
@@ -808,7 +822,9 @@ impl MigrationEngine {
             .map(|(&c, _)| c)
             .collect();
         for ctx in outgoing {
-            let mig = self.outgoing.remove(&ctx).expect("listed");
+            let Some(mig) = self.outgoing.remove(&ctx) else {
+                continue;
+            };
             self.stats.aborted += 1;
             kernel.unfreeze(mig.pid, out);
             let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
@@ -870,7 +886,9 @@ impl MigrationEngine {
             .map(|(&c, _)| c)
             .collect();
         for ctx in stale_out {
-            let mig = self.outgoing.remove(&ctx).expect("listed");
+            let Some(mig) = self.outgoing.remove(&ctx) else {
+                continue;
+            };
             self.stats.aborted += 1;
             kernel.unfreeze(mig.pid, out);
             let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
@@ -899,7 +917,9 @@ impl MigrationEngine {
             .map(|(&k, _)| k)
             .collect();
         for key in stale_in {
-            let mig = self.incoming.remove(&key).expect("listed");
+            let Some(mig) = self.incoming.remove(&key) else {
+                continue;
+            };
             kernel.release_reservation(mig.slot);
             if mig.installed {
                 kernel.kill(now, mig.pid, phys, out);
@@ -927,7 +947,9 @@ impl MigrationEngine {
             })
             .collect();
         for (pid, dest, reply) in due {
-            let entry = self.retries.get_mut(&pid).expect("listed");
+            let Some(entry) = self.retries.get_mut(&pid) else {
+                continue;
+            };
             entry.pending = None;
             entry.attempts += 1;
             self.stats.retried += 1;
@@ -959,12 +981,26 @@ impl MigrationEngine {
 }
 
 fn reject_status(e: &DemosError) -> u8 {
+    // Exhaustive: a new error variant must consciously pick its status
+    // byte (199 is the generic bucket, chosen per-variant, not by default).
     match e {
         DemosError::MigrationToSelf(_) => 100,
         DemosError::AlreadyMigrating(_) => 101,
         DemosError::NoSuchProcess(_) => 102,
         DemosError::KernelImmovable(_) => 103,
-        _ => 199,
+        DemosError::NoSuchMachine(_)
+        | DemosError::BadLink(_)
+        | DemosError::LinkAccess { .. }
+        | DemosError::ReplyLinkConsumed(_)
+        | DemosError::AreaOutOfBounds
+        | DemosError::MigrationRejected(_)
+        | DemosError::MigrationAborted(_)
+        | DemosError::NonDeliverable(_)
+        | DemosError::TooLarge { .. }
+        | DemosError::Capacity(_)
+        | DemosError::Wire(_)
+        | DemosError::UnknownProgram(_)
+        | DemosError::Internal(_) => 199,
     }
 }
 

@@ -566,7 +566,9 @@ impl Kernel {
             );
             self.transmit(now, peer, &beat, phys);
             self.det_stats.beats_sent += 1;
-            let ph = self.hb_peers.get_mut(&peer).expect("listed");
+            let Some(ph) = self.hb_peers.get_mut(&peer) else {
+                continue;
+            };
             let silent = now.since(ph.last_heard);
             if silent >= dead_at {
                 self.confirm_dead(now, peer);
@@ -702,10 +704,11 @@ impl Kernel {
                     .front()
                     .is_some_and(|m| m.header.flags.contains(MsgFlags::DELIVER_TO_KERNEL))
             {
-                let msg = proc.queue.pop_front().expect("peeked");
+                let Some(msg) = proc.queue.pop_front() else {
+                    continue;
+                };
                 let cost = self.cfg.base_msg_cpu.max(Duration::from_micros(1));
-                {
-                    let proc = self.procs.get_mut(&pid).expect("present");
+                if let Some(proc) = self.procs.get_mut(&pid) {
                     proc.cpu_used += cost;
                     if proc.queue.is_empty() {
                         proc.status = ExecStatus::Waiting;
@@ -723,17 +726,24 @@ impl Kernel {
             }
             self.stats.activations += 1;
             let mut effects = Effects::default();
-            let mut program = proc.program.take().expect("runnable implies program");
+            let Some(mut program) = proc.program.take() else {
+                // Defensive: a runnable process should always hold its
+                // program; park it rather than abort the kernel.
+                proc.status = ExecStatus::Waiting;
+                continue;
+            };
             let machine = self.machine;
             if !proc.started {
                 proc.started = true;
                 let mut ctx = Ctx::new(now, pid, machine, &mut proc.links, &mut effects);
                 program.on_start(&mut ctx);
             } else {
-                let msg = proc
-                    .queue
-                    .pop_front()
-                    .expect("runnable implies queued message");
+                let Some(msg) = proc.queue.pop_front() else {
+                    // Defensive: restore the invariant instead of panicking.
+                    proc.program = Some(program);
+                    proc.status = ExecStatus::Waiting;
+                    continue;
+                };
                 proc.msgs_handled += 1;
                 if msg.header.msg_type == local_tags::TIMER {
                     let token = decode_timer_token(&msg.payload);
@@ -753,7 +763,9 @@ impl Kernel {
                     program.on_message(&mut ctx, delivered);
                 }
             }
-            let proc = self.procs.get_mut(&pid).expect("still present");
+            let Some(proc) = self.procs.get_mut(&pid) else {
+                continue;
+            };
             proc.program = Some(program);
             // Never zero: virtual time must advance per activation or the
             // event loop could livelock on a zero-cost message cycle.
@@ -811,10 +823,10 @@ impl Kernel {
         self.heartbeat_tick(now, phys);
         let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
         for pid in pids {
-            let due = {
-                let proc = self.procs.get_mut(&pid).expect("listed");
-                proc.take_due_timers(now)
+            let Some(proc) = self.procs.get_mut(&pid) else {
+                continue;
             };
+            let due = proc.take_due_timers(now);
             for t in due {
                 let msg = self.synthetic_msg(pid, local_tags::TIMER, encode_timer_token(t.token));
                 self.enqueue_local_quiet(pid, msg);
@@ -964,9 +976,10 @@ impl Kernel {
                     forwarded: msg.header.flags.contains(MsgFlags::FORWARDED),
                     hops: msg.header.hops,
                 });
-                let proc = self.procs.get_mut(&dest.pid).expect("present");
-                proc.queue.push_back(msg);
-                self.wake(dest.pid);
+                if let Some(proc) = self.procs.get_mut(&dest.pid) {
+                    proc.queue.push_back(msg);
+                    self.wake(dest.pid);
+                }
             }
             return;
         }
@@ -1409,7 +1422,23 @@ impl Kernel {
                     let reason = match e {
                         DemosError::Capacity(_) => 0,
                         DemosError::UnknownProgram(_) => 1,
-                        _ => 2,
+                        // Exhaustive: a new error variant must consciously
+                        // pick its CreateFailed reason code.
+                        DemosError::NoSuchMachine(_)
+                        | DemosError::NoSuchProcess(_)
+                        | DemosError::BadLink(_)
+                        | DemosError::LinkAccess { .. }
+                        | DemosError::ReplyLinkConsumed(_)
+                        | DemosError::AreaOutOfBounds
+                        | DemosError::AlreadyMigrating(_)
+                        | DemosError::MigrationRejected(_)
+                        | DemosError::MigrationAborted(_)
+                        | DemosError::MigrationToSelf(_)
+                        | DemosError::KernelImmovable(_)
+                        | DemosError::NonDeliverable(_)
+                        | DemosError::TooLarge { .. }
+                        | DemosError::Wire(_)
+                        | DemosError::Internal(_) => 2,
                     };
                     let reply_msg = Message {
                         header: MsgHeader {
@@ -1808,7 +1837,9 @@ impl Kernel {
         }
         let actions = self.md.abort_ops_touching(pid);
         self.apply_md_actions(now, actions, phys, out);
-        let proc = self.procs.get(&pid).expect("present");
+        let Some(proc) = self.procs.get(&pid) else {
+            return Err(DemosError::NoSuchProcess(pid));
+        };
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Frozen,

@@ -377,9 +377,14 @@ impl MoveData {
             .map(|(&op, _)| op)
             .collect();
         for op in dead_pulls {
-            let ib = self.pulls.remove(&op).expect("listed above");
+            let Some(ib) = self.pulls.remove(&op) else {
+                continue;
+            };
+            let Some(purpose) = ib.purpose else {
+                continue;
+            };
             actions.push(MdAction::PullDone {
-                purpose: ib.purpose.expect("user pull"),
+                purpose,
                 op,
                 data: Vec::new(),
                 status: 9,
@@ -405,7 +410,9 @@ impl MoveData {
             .map(|(&op, _)| op)
             .collect();
         for op in dead_out {
-            let ob = self.pushes_out.remove(&op).expect("listed above");
+            let Some(ob) = self.pushes_out.remove(&op) else {
+                continue;
+            };
             if let Some(peer) = ob.peer {
                 actions.push(MdAction::Send {
                     to: peer,
@@ -519,19 +526,22 @@ impl MoveData {
                 if is_pull {
                     if let Some(ib) = self.pulls.remove(&op) {
                         let ok = status == 0 && ib.buf.len() as u32 == total;
-                        actions.push(MdAction::PullDone {
-                            purpose: ib.purpose.expect("pulls always carry a purpose"),
-                            op,
-                            data: if ok { ib.buf } else { Vec::new() },
-                            status: if ok { 0 } else { 1 },
-                        });
+                        if let Some(purpose) = ib.purpose {
+                            actions.push(MdAction::PullDone {
+                                purpose,
+                                op,
+                                data: if ok { ib.buf } else { Vec::new() },
+                                status: if ok { 0 } else { 1 },
+                            });
+                        }
                     }
                     // (A Done for a serve we ran does not occur: serves end
                     // with our own Done; the reader sends nothing back.)
-                } else if let Some(ib) = self.inbound_pushes.get(&(from, op)) {
+                } else if let Some(sink) =
+                    self.inbound_pushes.get(&(from, op)).and_then(|ib| ib.sink)
+                {
                     // Writer finished streaming; confirm once all bytes are
                     // in (ordered transport ⇒ they are).
-                    let sink = ib.sink.expect("pushes always carry a sink");
                     let ok = status == 0 && sink.written == total && sink.written == sink.expect;
                     actions.push(MdAction::Send {
                         to: from,
@@ -561,9 +571,9 @@ impl MoveData {
             MoveDataMsg::Abort { op, reason } => {
                 let is_pull = op & PUSH_BIT == 0;
                 if is_pull {
-                    if let Some(ib) = self.pulls.remove(&op) {
+                    if let Some(purpose) = self.pulls.remove(&op).and_then(|ib| ib.purpose) {
                         actions.push(MdAction::PullDone {
-                            purpose: ib.purpose.expect("pulls always carry a purpose"),
+                            purpose,
                             op,
                             data: Vec::new(),
                             status: reason.max(1),

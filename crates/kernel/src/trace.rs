@@ -155,7 +155,15 @@ impl TraceEvent {
                     None
                 }
             }
-            _ => None,
+            // Listed explicitly (not `_`) so that a new event that *does*
+            // carry a correlation id cannot silently vanish from spans.
+            TraceEvent::Spawned { .. }
+            | TraceEvent::Exited { .. }
+            | TraceEvent::Migration { .. }
+            | TraceEvent::ForwardingInstalled { .. }
+            | TraceEvent::ForwardingCollected { .. }
+            | TraceEvent::MoveDataDone { .. }
+            | TraceEvent::Log { .. } => None,
         }
     }
 }

@@ -1,0 +1,5 @@
+//! Fixture: D001 negative — ordered map, deterministic iteration.
+
+pub struct ForwardTable {
+    entries: std::collections::BTreeMap<u32, u16>,
+}

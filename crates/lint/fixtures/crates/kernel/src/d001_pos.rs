@@ -1,0 +1,7 @@
+//! Fixture: D001 positive — a hash-randomized map in a sim-visible crate.
+//! Iteration order depends on the process-random hasher seed, so any state
+//! derived from it diverges between identical-seed runs.
+
+pub struct ForwardTable {
+    entries: std::collections::HashMap<u32, u16>,
+}

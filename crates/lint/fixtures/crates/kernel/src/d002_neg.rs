@@ -1,0 +1,6 @@
+//! Fixture: D002 negative — virtual time only; entropy sources appear in
+//! comments (SystemTime, thread_rng) but never as code.
+
+pub fn stamp(now: demos_types::Time) -> u64 {
+    now.as_micros()
+}

@@ -1,0 +1,6 @@
+//! Fixture: D002 positive — wall-clock read inside simulation code.
+
+pub fn stamp() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    t.elapsed()
+}

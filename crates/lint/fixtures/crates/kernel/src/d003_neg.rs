@@ -1,0 +1,17 @@
+//! Fixture: D003 negative — every variant is named; a new one is a
+//! compile error at this match.
+
+pub fn classify(m: &MigrateMsg) -> u8 {
+    match m {
+        MigrateMsg::Offer { .. } => 1,
+        MigrateMsg::Accept { .. } => 2,
+        MigrateMsg::Abort { .. } | MigrateMsg::Reject { .. } => 3,
+    }
+}
+
+pub fn other_enums_may_use_wildcards(c: char) -> bool {
+    match c {
+        'a'..='z' => true,
+        _ => false,
+    }
+}

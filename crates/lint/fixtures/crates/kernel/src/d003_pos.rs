@@ -1,0 +1,9 @@
+//! Fixture: D003 positive — catch-all over a protocol enum swallows any
+//! variant added later.
+
+pub fn classify(m: &MigrateMsg) -> u8 {
+    match m {
+        MigrateMsg::Offer { .. } => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: D004 negative — graceful degradation in handler code;
+//! unwraps confined to `#[cfg(test)]`.
+
+pub fn deliver(queue: &mut Vec<u8>) -> Option<u8> {
+    let Some(byte) = queue.pop() else {
+        return None;
+    };
+    Some(byte)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = Some(3).unwrap();
+        assert_eq!(v, 3);
+    }
+}

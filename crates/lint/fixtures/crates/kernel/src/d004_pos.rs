@@ -1,0 +1,6 @@
+//! Fixture: D004 positive — a panicking unwrap in a message-handling path
+//! turns one malformed packet into a dead kernel.
+
+pub fn deliver(queue: &mut Vec<u8>) -> u8 {
+    queue.pop().expect("queue is never empty")
+}

@@ -1,0 +1,10 @@
+//! Fixture: D005 negative — widening is infallible via `From`; narrowing
+//! must go through `try_from` and surface the failure.
+
+pub fn tag_of(v: u8) -> u16 {
+    u16::from(v)
+}
+
+pub fn narrow(v: u32) -> Result<u16, core::num::TryFromIntError> {
+    u16::try_from(v)
+}

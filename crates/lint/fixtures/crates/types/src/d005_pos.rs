@@ -1,0 +1,6 @@
+//! Fixture: D005 positive — a truncating cast in codec code silently
+//! wraps values above u16::MAX.
+
+pub fn tag_of(v: u32) -> u16 {
+    v as u16
+}

@@ -1,0 +1,158 @@
+//! Diagnostics: stable codes, spans, human and machine renderings.
+
+use std::fmt;
+
+/// The stable rule codes. The numeric part never changes meaning; retired
+/// rules leave holes rather than being reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Code {
+    /// Malformed `lint:allow` directive (missing code or reason).
+    D000,
+    /// Unordered hash collections in sim-visible crates.
+    D001,
+    /// Wall-clock time / ambient randomness outside `bench`.
+    D002,
+    /// Catch-all `_ =>` arm in a match over a protocol/engine enum.
+    D003,
+    /// `unwrap`/`expect`/`panic!` in kernel/net/core handler paths.
+    D004,
+    /// Unchecked `as` integer cast inside the `types` codecs.
+    D005,
+}
+
+impl Code {
+    /// All enforceable rule codes (excludes the directive-error D000).
+    pub const RULES: [Code; 5] = [Code::D001, Code::D002, Code::D003, Code::D004, Code::D005];
+
+    /// Parse `"D001"` → `Code::D001`.
+    pub fn parse(s: &str) -> Option<Code> {
+        match s {
+            "D000" => Some(Code::D000),
+            "D001" => Some(Code::D001),
+            "D002" => Some(Code::D002),
+            "D003" => Some(Code::D003),
+            "D004" => Some(Code::D004),
+            "D005" => Some(Code::D005),
+            _ => None,
+        }
+    }
+
+    /// Short rule synopsis, shown in `--explain`-style listings.
+    pub fn synopsis(self) -> &'static str {
+        match self {
+            Code::D000 => "malformed lint:allow directive",
+            Code::D001 => {
+                "hash collections are iteration-order nondeterministic in sim-visible crates"
+            }
+            Code::D002 => "wall-clock time or ambient randomness breaks seeded replay",
+            Code::D003 => "catch-all `_ =>` hides new protocol/engine enum variants from handlers",
+            Code::D004 => "kernel/net/core handlers must degrade, not die",
+            Code::D005 => "byte-exact codecs must use checked integer conversions, not `as`",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One finding, anchored to a file/line/column.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule code.
+    pub code: Code,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Human one-line rendering: `error[D001]: ... --> file:line:col`.
+    pub fn render(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.code, self.message, self.file, self.line, self.col
+        )
+    }
+
+    /// JSON object rendering (no external deps; keys are fixed).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            self.code,
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// The result of a whole-tree check.
+#[derive(Default)]
+pub struct Report {
+    /// Findings in (file, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files analyzed.
+    pub checked_files: usize,
+    /// Number of findings suppressed by a `lint:allow` directive.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable rendering of the whole report.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"checked_files\":{},\"suppressed\":{},\"diagnostics\":[{}]}}",
+            self.checked_files,
+            self.suppressed,
+            items.join(",")
+        )
+    }
+
+    /// Human rendering: every finding plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "demos-lint: {} file(s) checked, {} finding(s), {} suppressed by lint:allow\n",
+            self.checked_files,
+            self.diagnostics.len(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

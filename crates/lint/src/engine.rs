@@ -1,0 +1,279 @@
+//! The analysis driver: walks the workspace, decides which rules apply to
+//! each file, masks test-only regions, applies `lint:allow` suppressions
+//! and aggregates a [`Report`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules::{self, Scope};
+
+/// Directory names never descended into. `shims/` holds stand-ins for
+/// external crates (criterion's timer is *supposed* to read the wall
+/// clock); `fixtures/` holds this linter's own deliberately-violating
+/// test inputs.
+const SKIP_DIRS: [&str; 7] = [
+    "target",
+    ".git",
+    "shims",
+    "fixtures",
+    "corpus",
+    "node_modules",
+    ".claude",
+];
+
+/// Path prefixes (workspace-relative, `/`-separated) that are test or
+/// example code: no rules apply there.
+const TEST_TREES: [&str; 3] = ["tests/", "examples/", "benches/"];
+
+/// Crates whose state is visible to the simulation — D001's scope.
+const SIM_VISIBLE: [&str; 8] = [
+    "crates/types/",
+    "crates/net/",
+    "crates/kernel/",
+    "crates/core/",
+    "crates/sim/",
+    "crates/chaos/",
+    "crates/rt/",
+    "crates/policy/",
+];
+
+/// Crates whose message-handling paths must not abort — D004's scope.
+const NO_PANIC: [&str; 3] = ["crates/kernel/", "crates/net/", "crates/core/"];
+
+/// Decide the rule scope for one workspace-relative path.
+pub fn scope_for(rel: &str) -> Scope {
+    // Integration tests, examples and benches: out of scope entirely.
+    if TEST_TREES.iter().any(|t| rel.starts_with(t))
+        || rel.contains("/tests/")
+        || rel.contains("/examples/")
+        || rel.contains("/benches/")
+    {
+        return Scope::none();
+    }
+    let mut s = Scope {
+        d001: SIM_VISIBLE.iter().any(|c| rel.starts_with(c)),
+        // The wall clock is the *measurand* in bench; everywhere else it
+        // is nondeterminism. Bench is also exempt from D003: it *queries*
+        // traces (filter-for-one-event matches), it does not handle
+        // protocol, so catch-alls there are idiomatic.
+        d002: !rel.starts_with("crates/bench/"),
+        d003: !rel.starts_with("crates/bench/"),
+        d004: NO_PANIC.iter().any(|c| rel.starts_with(c)),
+        d005: rel.starts_with("crates/types/"),
+    };
+    // The linter does not lint itself for D003 (its rule tables quote the
+    // watched enum names as plain identifiers in const arrays, and its own
+    // match statements are over lexer tokens, not protocol state).
+    if rel.starts_with("crates/lint/") {
+        s = Scope {
+            d001: false,
+            d003: false,
+            d004: false,
+            d005: false,
+            ..s
+        };
+    }
+    s
+}
+
+/// A parsed `lint:allow(Dxxx reason…)` directive.
+struct Allow {
+    code: Code,
+    line: u32,
+}
+
+/// Analyze one file's source text under `scope`, reporting as `rel`.
+/// This is the unit the fixture tests drive directly.
+pub fn analyze_source(rel: &str, src: &str, scope: Scope) -> (Vec<Diagnostic>, usize) {
+    let lexed = lexer::lex(src);
+    let mask = test_mask(&lexed.toks);
+
+    // Collect allow directives (and report malformed ones as D000).
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for c in &lexed.comments {
+        // A directive is a whole-comment marker: the comment must *start*
+        // with `lint:allow` (prose that merely mentions the syntax — docs,
+        // this very file — is ignored).
+        let text = c.text.trim_start();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            diags.push(malformed(rel, c.line, "missing `(Dxxx reason)`"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            diags.push(malformed(rel, c.line, "unclosed `(`"));
+            continue;
+        };
+        let body = &rest[..close];
+        let mut words = body.splitn(2, char::is_whitespace);
+        let code = words.next().unwrap_or("");
+        let reason = words.next().unwrap_or("").trim();
+        match Code::parse(code) {
+            Some(code) if !reason.is_empty() => allows.push(Allow { code, line: c.line }),
+            Some(_) => diags.push(malformed(
+                rel,
+                c.line,
+                "a reason is required: `lint:allow(Dxxx why this is sound)`",
+            )),
+            None => diags.push(malformed(
+                rel,
+                c.line,
+                "unknown rule code (expected D001-D005)",
+            )),
+        }
+    }
+
+    // Run the rules, then apply suppressions. An allow on line N covers
+    // findings on line N (trailing comment) and line N+1 (comment on its
+    // own line above the code).
+    let mut suppressed = 0usize;
+    for d in rules::run(&lexed.toks, &mask, scope, rel) {
+        let hit = allows
+            .iter()
+            .any(|a| a.code == d.code && (a.line == d.line || a.line + 1 == d.line));
+        if hit {
+            suppressed += 1;
+        } else {
+            diags.push(d);
+        }
+    }
+    diags.sort_by_key(|d| (d.line, d.col, d.code));
+    (diags, suppressed)
+}
+
+fn malformed(rel: &str, line: u32, why: &str) -> Diagnostic {
+    Diagnostic {
+        code: Code::D000,
+        file: rel.to_string(),
+        line,
+        col: 1,
+        message: format!("malformed lint:allow directive: {why}"),
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]`-gated items and `#[test]` functions.
+///
+/// Heuristic but robust for this codebase's idioms: after an attribute
+/// whose bracket group mentions `test`, the next brace-balanced block
+/// (with no intervening `;`, which would indicate a braceless item) is
+/// masked.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            // Scan the attribute group for the ident `test`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut has_test = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "test" if toks[j].kind == TokKind::Ident => has_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test {
+                // Find the opening `{` of the annotated item, giving up at
+                // a `;` (attribute on a braceless item like `use`).
+                let mut k = j;
+                let mut pdepth = 0i32;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "[" => pdepth += 1,
+                        ")" | "]" => pdepth -= 1,
+                        ";" if pdepth == 0 => break,
+                        "{" if pdepth == 0 => {
+                            // Mask from the attribute through the matched
+                            // closing brace.
+                            let mut depth = 0i32;
+                            let mut m = k;
+                            while m < toks.len() {
+                                match toks[m].text.as_str() {
+                                    "{" => depth += 1,
+                                    "}" => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                m += 1;
+                            }
+                            for slot in mask.iter_mut().take(m.min(toks.len() - 1) + 1).skip(i) {
+                                *slot = true;
+                            }
+                            i = m;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Check the whole tree rooted at `root` (the workspace directory).
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    let mut report = Report::default();
+    // Group diagnostics per file, files in sorted order.
+    let mut by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let scope = scope_for(&rel);
+        let src = std::fs::read_to_string(path)?;
+        let (diags, suppressed) = analyze_source(&rel, &src, scope);
+        report.checked_files += 1;
+        report.suppressed += suppressed;
+        if !diags.is_empty() {
+            by_file.entry(rel).or_default().extend(diags);
+        }
+    }
+    for (_, diags) in by_file {
+        report.diagnostics.extend(diags);
+    }
+    Ok(report)
+}

@@ -1,0 +1,38 @@
+//! demos-lint — workspace-wide determinism & protocol static analysis.
+//!
+//! Everything the DEMOS/MP reproduction measures (message counts, byte
+//! counts, forwarding hops, chaos seeds, recovery timelines) rests on two
+//! properties nothing in the type system enforces:
+//!
+//! 1. **bit-for-bit determinism** — the same seed must replay the same
+//!    schedule forever (corpus files, shrunk repros, CI smoke seeds);
+//! 2. **byte-exact wire encoding** — §2.1/Fig 2-1 message layouts are
+//!    pinned by tests, but a lossy cast or hasher-ordered iteration can
+//!    corrupt them silently.
+//!
+//! This crate enforces both mechanically. Five rules with stable codes:
+//!
+//! | code | rule |
+//! |------|------|
+//! | D001 | no `HashMap`/`HashSet` (hasher-ordered iteration) in sim-visible crates |
+//! | D002 | no `SystemTime`/`Instant::now`/`thread_rng` outside `crates/bench` |
+//! | D003 | no catch-all `_ =>` in matches over protocol/engine enums |
+//! | D004 | no `unwrap`/`expect`/`panic!` in kernel/net/core handler paths |
+//! | D005 | no `as` integer casts in the `types` codecs (checked conversions only) |
+//!
+//! Suppress a finding with an inline escape hatch that *requires a
+//! reason*: `// lint:allow(D002 native runtime: wall clock IS the time
+//! source)`. The directive covers its own line and the next.
+//!
+//! Run as `cargo run -p demos-lint -- check` (human output) or
+//! `-- check --json` (machine output). Exit code 0 = clean, 1 = findings,
+//! 2 = usage/IO error.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Code, Diagnostic, Report};
+pub use engine::{analyze_source, check_workspace, scope_for};
+pub use rules::Scope;

@@ -1,0 +1,82 @@
+//! CLI: `demos-lint check [--json] [--root PATH]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use demos_lint::{check_workspace, Code};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: demos-lint check [--json] [--root PATH]\n\
+         \n\
+         Statically enforces the determinism & protocol rules (D001-D005)\n\
+         across the workspace. See DESIGN.md §8 for the rule table.\n\
+         \n\
+         subcommands:\n\
+         \x20 check      analyze every .rs file under the workspace root\n\
+         \x20 rules      print the rule table\n\
+         options:\n\
+         \x20 --json     machine-readable report on stdout\n\
+         \x20 --root P   workspace root (default: inferred from the manifest)"
+    );
+    ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p demos-lint`, the manifest dir is
+    // crates/lint; the workspace root is two levels up. Fall back to the
+    // current directory for a standalone binary.
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(md);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut json = false;
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match cmd.as_deref() {
+        Some("rules") => {
+            for c in Code::RULES {
+                println!("{c}  {}", c.synopsis());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => match check_workspace(&root) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render());
+                }
+                if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("demos-lint: io error under {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}

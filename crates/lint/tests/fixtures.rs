@@ -1,0 +1,217 @@
+//! Fixture-driven tests: one positive and one negative input per rule,
+//! laid out as a miniature workspace under `fixtures/` so the path-based
+//! scoping of [`demos_lint::scope_for`] is exercised exactly as in a real
+//! run. The CLI test drives the compiled `demos-lint` binary end to end.
+
+use std::path::{Path, PathBuf};
+
+use demos_lint::{analyze_source, check_workspace, scope_for, Code, Diagnostic};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Analyze one fixture with the scope its path would get in a real
+/// workspace walk.
+fn run_fixture(rel: &str) -> (Vec<Diagnostic>, usize) {
+    let src = std::fs::read_to_string(fixtures_root().join(rel)).expect("fixture exists");
+    analyze_source(rel, &src, scope_for(rel))
+}
+
+fn sole_code(rel: &str) -> Diagnostic {
+    let (diags, _) = run_fixture(rel);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one finding in {rel}: {diags:?}"
+    );
+    diags.into_iter().next().expect("checked len")
+}
+
+fn assert_clean(rel: &str) {
+    let (diags, _) = run_fixture(rel);
+    assert!(diags.is_empty(), "expected no findings in {rel}: {diags:?}");
+}
+
+// ---------------------------------------------------------------- D001
+
+#[test]
+fn d001_flags_hash_collections_in_sim_visible_code() {
+    let d = sole_code("crates/kernel/src/d001_pos.rs");
+    assert_eq!(d.code, Code::D001);
+    assert_eq!(d.line, 6, "span should point at the HashMap field: {d:?}");
+}
+
+#[test]
+fn d001_accepts_ordered_collections() {
+    assert_clean("crates/kernel/src/d001_neg.rs");
+}
+
+// ---------------------------------------------------------------- D002
+
+#[test]
+fn d002_flags_wall_clock_reads() {
+    let d = sole_code("crates/kernel/src/d002_pos.rs");
+    assert_eq!(d.code, Code::D002);
+    assert_eq!(d.line, 4, "span should point at Instant::now(): {d:?}");
+}
+
+#[test]
+fn d002_accepts_virtual_time_and_entropy_in_comments() {
+    assert_clean("crates/kernel/src/d002_neg.rs");
+}
+
+// ---------------------------------------------------------------- D003
+
+#[test]
+fn d003_flags_catch_all_over_protocol_enum() {
+    let d = sole_code("crates/kernel/src/d003_pos.rs");
+    assert_eq!(d.code, Code::D003);
+    assert_eq!(d.line, 7, "span should point at the `_ =>` arm: {d:?}");
+}
+
+#[test]
+fn d003_accepts_exhaustive_matches_and_unwatched_enums() {
+    assert_clean("crates/kernel/src/d003_neg.rs");
+}
+
+// ---------------------------------------------------------------- D004
+
+#[test]
+fn d004_flags_panicking_paths_in_handlers() {
+    let d = sole_code("crates/kernel/src/d004_pos.rs");
+    assert_eq!(d.code, Code::D004);
+    assert_eq!(d.line, 5, "span should point at .expect(): {d:?}");
+}
+
+#[test]
+fn d004_accepts_graceful_degradation_and_test_only_unwraps() {
+    assert_clean("crates/kernel/src/d004_neg.rs");
+}
+
+// ---------------------------------------------------------------- D005
+
+#[test]
+fn d005_flags_truncating_casts_in_codecs() {
+    let d = sole_code("crates/types/src/d005_pos.rs");
+    assert_eq!(d.code, Code::D005);
+    assert_eq!(d.line, 5, "span should point at `as u16`: {d:?}");
+}
+
+#[test]
+fn d005_accepts_checked_conversions() {
+    assert_clean("crates/types/src/d005_neg.rs");
+}
+
+// ---------------------------------------------------- lint:allow escape
+
+#[test]
+fn allow_directive_suppresses_and_is_counted() {
+    let (diags, suppressed) = run_fixture("crates/kernel/src/allow_ok.rs");
+    assert!(
+        diags.is_empty(),
+        "allow should suppress the finding: {diags:?}"
+    );
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn allow_without_reason_is_rejected_as_d000() {
+    let src = "// lint:allow(D002)\nfn f() {}\n";
+    let (diags, suppressed) = analyze_source(
+        "crates/kernel/src/x.rs",
+        src,
+        scope_for("crates/kernel/src/x.rs"),
+    );
+    assert_eq!(suppressed, 0);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::D000);
+}
+
+#[test]
+fn allow_with_unknown_code_is_rejected_as_d000() {
+    let src = "// lint:allow(D099 because)\nfn f() {}\n";
+    let (diags, _) = analyze_source(
+        "crates/kernel/src/x.rs",
+        src,
+        scope_for("crates/kernel/src/x.rs"),
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::D000);
+}
+
+// ----------------------------------------------------------- end to end
+
+/// The real workspace must be lint-clean: this is the same check CI runs.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace is readable");
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report.render()
+    );
+    assert!(report.checked_files > 50, "walk found the workspace");
+}
+
+/// Driving the binary over the fixture tree: nonzero exit, and every
+/// positive fixture is reported with its rule code and file:line span.
+#[test]
+fn cli_reports_each_positive_fixture_with_code_and_span() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_demos-lint"))
+        .args(["check", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "fixture tree must fail the lint: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for (code, span) in [
+        ("D001", "crates/kernel/src/d001_pos.rs:6"),
+        ("D002", "crates/kernel/src/d002_pos.rs:4"),
+        ("D003", "crates/kernel/src/d003_pos.rs:7"),
+        ("D004", "crates/kernel/src/d004_pos.rs:5"),
+        ("D005", "crates/types/src/d005_pos.rs:5"),
+    ] {
+        assert!(
+            text.contains(&format!("error[{code}]")),
+            "missing {code} in CLI output:\n{text}"
+        );
+        assert!(
+            text.contains(span),
+            "missing span {span} in CLI output:\n{text}"
+        );
+    }
+    // Negative fixtures must not be reported.
+    assert!(
+        !text.contains("_neg.rs"),
+        "negative fixture flagged:\n{text}"
+    );
+    // The justified allow in allow_ok.rs is counted as suppressed.
+    assert!(
+        text.contains("1 suppressed"),
+        "missing suppression count:\n{text}"
+    );
+}
+
+/// JSON mode emits one machine-readable object per finding.
+#[test]
+fn cli_json_mode_is_parseable_shape() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_demos-lint"))
+        .args(["check", "--json", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"code\":\"D001\""), "JSON output:\n{text}");
+    assert!(
+        text.contains("\"file\":\"crates/types/src/d005_pos.rs\""),
+        "JSON output:\n{text}"
+    );
+    assert!(text.contains("\"line\":5"), "JSON output:\n{text}");
+}

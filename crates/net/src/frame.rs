@@ -69,7 +69,9 @@ impl PartialEq for Frame {
                 },
             ) => a == b && p == q,
             (Frame::Ack { cum: a }, Frame::Ack { cum: b }) => a == b,
-            _ => false,
+            (Frame::Data { .. }, Frame::Ack { .. }) | (Frame::Ack { .. }, Frame::Data { .. }) => {
+                false
+            }
         }
     }
 }
@@ -140,7 +142,7 @@ impl Wire for Frame {
             2 => Ok(Frame::Ack { cum: buf.get_u64() }),
             _ => Err(WireError::BadTag {
                 what: "Frame",
-                tag: tag as u16,
+                tag: u16::from(tag),
             }),
         }
     }

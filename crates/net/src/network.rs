@@ -159,7 +159,7 @@ impl SimNetwork {
     /// Pop the earliest arrival if it is due at or before `now`.
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, MachineId, MachineId, Frame)> {
         if self.heap.peek().is_some_and(|Reverse(a)| a.at <= now) {
-            let Reverse(a) = self.heap.pop().expect("peeked");
+            let Reverse(a) = self.heap.pop()?;
             // A machine that crashed after the frame departed still loses it.
             if self.is_down(a.dst) || self.is_down(a.src) {
                 self.stats.frames_dropped += 1;
@@ -215,7 +215,9 @@ impl SimNetwork {
     pub fn heal_all(&mut self) -> usize {
         let severed: Vec<(u16, u16)> = self.severed.keys().copied().collect();
         for (a, b) in &severed {
-            let params = self.severed.remove(&(*a, *b)).expect("listed");
+            let Some(params) = self.severed.remove(&(*a, *b)) else {
+                continue;
+            };
             self.topo.set_edge(MachineId(*a), MachineId(*b), params);
         }
         severed.len()

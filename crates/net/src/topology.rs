@@ -249,7 +249,9 @@ impl Topology {
         let mut total = Duration::ZERO;
         let mut survive = 1.0f64;
         for &(x, y) in &route.edges {
-            let e = self.edges[x * self.n + y].expect("route uses existing edge");
+            // A route referencing a missing edge means the routing table is
+            // stale; report the pair unreachable instead of aborting.
+            let e = self.edges[x * self.n + y]?;
             total += e.transit(bytes);
             survive *= 1.0 - e.loss;
         }

@@ -174,6 +174,7 @@ impl NativeCluster {
     /// Spin up `n` machines running on real threads.
     pub fn new(n: usize, registry: Registry, kcfg: KernelConfig, mcfg: MigrationConfig) -> Self {
         let registry = registry.into_shared();
+        // lint:allow(D002 the native runtime's whole purpose is to map virtual time onto the real wall clock; its epoch is the one sanctioned read)
         let epoch = Instant::now();
         let mut frame_txs = Vec::with_capacity(n);
         let mut frame_rxs = Vec::with_capacity(n);

@@ -123,7 +123,17 @@ fn hop_of(event: &TraceEvent) -> Option<HopKind> {
         TraceEvent::KernelReceived { .. } => Some(HopKind::KernelReceived),
         TraceEvent::ForwardedMessage { to, .. } => Some(HopKind::Forwarded { to }),
         TraceEvent::NonDeliverable { .. } => Some(HopKind::NonDeliverable),
-        _ => None,
+        // Listed explicitly (not `_`) so a new event type must decide
+        // whether it is a hop in a message's journey.
+        TraceEvent::Spawned { .. }
+        | TraceEvent::Exited { .. }
+        | TraceEvent::LinkUpdateSent { .. }
+        | TraceEvent::LinkUpdateApplied { .. }
+        | TraceEvent::Migration { .. }
+        | TraceEvent::ForwardingInstalled { .. }
+        | TraceEvent::ForwardingCollected { .. }
+        | TraceEvent::MoveDataDone { .. }
+        | TraceEvent::Log { .. } => None,
     }
 }
 
@@ -161,7 +171,20 @@ pub fn spans_of(trace: &Trace) -> Vec<Span> {
             }
             TraceEvent::LinkUpdateSent { .. } => span.link_updates_sent += 1,
             TraceEvent::LinkUpdateApplied { patched, .. } => span.links_patched += patched,
-            _ => {}
+            // Later hops: dest/msg_type were already fixed by the first one.
+            TraceEvent::Enqueued { .. }
+            | TraceEvent::KernelReceived { .. }
+            | TraceEvent::ForwardedMessage { .. }
+            | TraceEvent::NonDeliverable { .. } => {}
+            // Listed explicitly (not `_`) so a new corr-carrying event
+            // cannot silently contribute nothing to its span.
+            TraceEvent::Spawned { .. }
+            | TraceEvent::Exited { .. }
+            | TraceEvent::Migration { .. }
+            | TraceEvent::ForwardingInstalled { .. }
+            | TraceEvent::ForwardingCollected { .. }
+            | TraceEvent::MoveDataDone { .. }
+            | TraceEvent::Log { .. } => {}
         }
         if let Some(kind) = hop_of(&r.event) {
             span.hops.push(Hop {
@@ -220,7 +243,24 @@ pub fn ledger_of(trace: &Trace) -> demos_obs::DeliveryLedger {
             TraceEvent::NonDeliverable { msg_type, .. } if msg_type >= tags::USER_BASE => {
                 DeliveryEvent::Failed
             }
-            _ => continue,
+            // Kernel-internal message types (guards above failed): not part
+            // of the user-visible delivery ledger.
+            TraceEvent::Submitted { .. }
+            | TraceEvent::Enqueued { .. }
+            | TraceEvent::KernelReceived { .. }
+            | TraceEvent::ForwardedMessage { .. }
+            | TraceEvent::NonDeliverable { .. } => continue,
+            // Listed explicitly (not `_`) so a new corr-carrying event must
+            // decide how it affects delivery accounting.
+            TraceEvent::Spawned { .. }
+            | TraceEvent::Exited { .. }
+            | TraceEvent::LinkUpdateSent { .. }
+            | TraceEvent::LinkUpdateApplied { .. }
+            | TraceEvent::Migration { .. }
+            | TraceEvent::ForwardingInstalled { .. }
+            | TraceEvent::ForwardingCollected { .. }
+            | TraceEvent::MoveDataDone { .. }
+            | TraceEvent::Log { .. } => continue,
         };
         ledger.record(corr, ev);
     }

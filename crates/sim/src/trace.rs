@@ -86,13 +86,13 @@ impl Trace {
     /// Time of the given migration phase for `pid` (first occurrence at or
     /// after `after`).
     pub fn phase_time(&self, pid: ProcessId, phase: MigrationPhase, after: Time) -> Option<Time> {
-        self.records.iter().find_map(|r| match &r.event {
-            TraceEvent::Migration { pid: p, phase: ph }
-                if *p == pid && *ph == phase && r.at >= after =>
-            {
-                Some(r.at)
+        self.records.iter().find_map(|r| {
+            if let TraceEvent::Migration { pid: p, phase: ph } = &r.event {
+                if *p == pid && *ph == phase && r.at >= after {
+                    return Some(r.at);
+                }
             }
-            _ => None,
+            None
         })
     }
 

@@ -27,7 +27,7 @@ impl CorrId {
     /// number (sequence 0 is reserved so no real id equals [`CorrId::NONE`]).
     pub fn new(machine: crate::MachineId, seq: u64) -> CorrId {
         debug_assert!(seq > 0 || machine.0 > 0, "corr id 0 is reserved");
-        CorrId(((machine.0 as u64) << 48) | (seq & 0xFFFF_FFFF_FFFF))
+        CorrId((u64::from(machine.0) << 48) | (seq & 0xFFFF_FFFF_FFFF))
     }
 
     /// Whether this id has not been assigned.
@@ -42,6 +42,7 @@ impl CorrId {
 
     /// Machine that assigned the id.
     pub fn machine(self) -> crate::MachineId {
+        // lint:allow(D005 the 48-bit shift leaves exactly 16 bits, so this cast cannot truncate)
         crate::MachineId((self.0 >> 48) as u16)
     }
 

@@ -97,7 +97,23 @@ impl std::error::Error for DemosError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DemosError::Wire(e) => Some(e),
-            _ => None,
+            // Exhaustive so a future wrapping variant must opt in here.
+            DemosError::NoSuchMachine(_)
+            | DemosError::NoSuchProcess(_)
+            | DemosError::BadLink(_)
+            | DemosError::LinkAccess { .. }
+            | DemosError::ReplyLinkConsumed(_)
+            | DemosError::AreaOutOfBounds
+            | DemosError::AlreadyMigrating(_)
+            | DemosError::MigrationRejected(_)
+            | DemosError::MigrationAborted(_)
+            | DemosError::MigrationToSelf(_)
+            | DemosError::KernelImmovable(_)
+            | DemosError::NonDeliverable(_)
+            | DemosError::TooLarge { .. }
+            | DemosError::Capacity(_)
+            | DemosError::UnknownProgram(_)
+            | DemosError::Internal(_) => None,
         }
     }
 }

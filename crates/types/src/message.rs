@@ -216,9 +216,12 @@ impl Message {
 impl Wire for Message {
     fn encode(&self, buf: &mut BytesMut) {
         self.header.encode(buf);
-        debug_assert!(self.links.len() <= MAX_CARRIED_LINKS);
-        buf.put_u8(self.links.len() as u8);
-        buf.put_u32(self.payload.len() as u32);
+        let n_links =
+            u8::try_from(self.links.len()).expect("Message invariant: links <= MAX_CARRIED_LINKS");
+        let payload_len =
+            u32::try_from(self.payload.len()).expect("Message invariant: payload <= MAX_PAYLOAD");
+        buf.put_u8(n_links);
+        buf.put_u32(payload_len);
         for l in &self.links {
             l.encode(buf);
         }
@@ -230,8 +233,11 @@ impl Wire for Message {
         if buf.remaining() < 5 {
             return Err(WireError::Truncated("Message counts"));
         }
-        let n_links = buf.get_u8() as usize;
-        let payload_len = buf.get_u32() as usize;
+        let n_links = usize::from(buf.get_u8());
+        let payload_len = usize::try_from(buf.get_u32()).map_err(|_| WireError::BadLength {
+            what: "Message.payload",
+            len: usize::MAX,
+        })?;
         if n_links > MAX_CARRIED_LINKS {
             return Err(WireError::BadLength {
                 what: "Message.links",

@@ -59,7 +59,7 @@ impl RejectReason {
             _ => {
                 return Err(WireError::BadTag {
                     what: "RejectReason",
-                    tag: v as u16,
+                    tag: u16::from(v),
                 })
             }
         })
@@ -350,7 +350,7 @@ impl Wire for MigrateMsg {
             }
             _ => Err(WireError::BadTag {
                 what: "MigrateMsg",
-                tag: tag as u16,
+                tag: u16::from(tag),
             }),
         }
     }
@@ -389,7 +389,7 @@ impl AreaSel {
             _ => {
                 return Err(WireError::BadTag {
                     what: "AreaSel",
-                    tag: v as u16,
+                    tag: u16::from(v),
                 })
             }
         })
@@ -597,7 +597,7 @@ impl Wire for MoveDataMsg {
             }
             _ => Err(WireError::BadTag {
                 what: "MoveDataMsg",
-                tag: tag as u16,
+                tag: u16::from(tag),
             }),
         }
     }
@@ -724,7 +724,7 @@ impl Wire for LinkMaintMsg {
             }
             _ => Err(WireError::BadTag {
                 what: "LinkMaintMsg",
-                tag: tag as u16,
+                tag: u16::from(tag),
             }),
         }
     }

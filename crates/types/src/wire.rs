@@ -101,7 +101,10 @@ pub fn get_bytes(buf: &mut Bytes, what: &'static str, max: usize) -> Result<Byte
     if buf.remaining() < 4 {
         return Err(WireError::Truncated(what));
     }
-    let len = buf.get_u32() as usize;
+    let len = usize::try_from(buf.get_u32()).map_err(|_| WireError::BadLength {
+        what,
+        len: usize::MAX,
+    })?;
     if len > max || len > buf.remaining() {
         return Err(WireError::BadLength { what, len });
     }
@@ -110,7 +113,8 @@ pub fn get_bytes(buf: &mut Bytes, what: &'static str, max: usize) -> Result<Byte
 
 /// Write a length-prefixed (`u32`) byte string.
 pub fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
-    buf.put_u32(bytes.len() as u32);
+    let len = u32::try_from(bytes.len()).expect("byte string exceeds the u32 wire length prefix");
+    buf.put_u32(len);
     buf.put_slice(bytes);
 }
 

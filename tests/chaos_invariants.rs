@@ -58,16 +58,21 @@ fn corpus_replays_clean() {
 
 /// Two executions of the same seed produce byte-identical JSON-lines
 /// traces — the property that makes every corpus file and every shrunk
-/// repro replayable forever.
+/// repro replayable forever. This is the runtime half of the D001/D002
+/// lints (`demos-lint`): the static pass bans the nondeterminism sources,
+/// this test catches any that slip through a new code path. Exercised on
+/// both the plain generator and the crash-heavy recovery generator, whose
+/// heartbeat/checkpoint/re-homing machinery is the newest code.
 #[test]
 fn same_seed_is_byte_identical() {
-    let sc = Scenario::generate(2026);
-    let (ra, ta) = run_full(&sc, &RunConfig::default());
-    let (rb, tb) = run_full(&sc, &RunConfig::default());
-    assert_eq!(ra.fingerprint, rb.fingerprint, "trace fingerprints match");
-    assert!(ta == tb, "JSON-lines exports are byte-identical");
-    assert!(!ta.is_empty(), "the run produced a trace");
-    assert_eq!(ra.violation, rb.violation);
+    for sc in [Scenario::generate(2026), Scenario::generate_recovery(2026)] {
+        let (ra, ta) = run_full(&sc, &RunConfig::default());
+        let (rb, tb) = run_full(&sc, &RunConfig::default());
+        assert_eq!(ra.fingerprint, rb.fingerprint, "trace fingerprints match");
+        assert!(ta == tb, "JSON-lines exports are byte-identical");
+        assert!(!ta.is_empty(), "the run produced a trace");
+        assert_eq!(ra.violation, rb.violation);
+    }
 }
 
 /// With forwarding disabled the kernel is the paper's rejected design:
