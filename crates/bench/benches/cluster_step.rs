@@ -1,0 +1,91 @@
+//! Event-loop throughput: wall-clock cost of advancing a mostly-idle
+//! 64-machine cluster through a fixed slice of virtual time. This is the
+//! scheduler-overhead benchmark — only a handful of machines exchange
+//! messages, so the per-step cost of *finding* the next event dominates,
+//! which is exactly what the indexed event core attacks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use demos_sim::prelude::*;
+use demos_sim::programs::{CpuBurner, PingPong};
+
+fn m(i: u16) -> MachineId {
+    MachineId(i)
+}
+
+fn pingpong_pair(cluster: &mut Cluster, a: MachineId, b: MachineId) {
+    let pa = cluster
+        .spawn(
+            a,
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
+        .unwrap();
+    let pb = cluster
+        .spawn(
+            b,
+            "pingpong",
+            &PingPong::state(0, 50),
+            ImageLayout::default(),
+        )
+        .unwrap();
+    let la = cluster.link_to(pa).unwrap();
+    let lb = cluster.link_to(pb).unwrap();
+    cluster
+        .post(
+            pa,
+            programs::wl::INIT,
+            bytes::Bytes::from_static(&[1]),
+            vec![lb],
+        )
+        .unwrap();
+    cluster
+        .post(
+            pb,
+            programs::wl::INIT,
+            bytes::Bytes::from_static(&[0]),
+            vec![la],
+        )
+        .unwrap();
+}
+
+fn warm_cluster(n: usize) -> Cluster {
+    let mut cluster = ClusterBuilder::new(n).seed(7).no_trace().build();
+    pingpong_pair(&mut cluster, m(0), m(1));
+    pingpong_pair(&mut cluster, m((n / 2) as u16), m((n / 2 + 1) as u16));
+    // Timer-driven jobs: cheap, frequent events — the mostly-idle regime
+    // where finding the next event dominates the step cost.
+    for k in 0..2u16 {
+        cluster
+            .spawn(
+                m(k),
+                "cpu_burner",
+                &CpuBurner::state(0, 10, 100),
+                ImageLayout::default(),
+            )
+            .unwrap();
+    }
+    cluster.run_for(Duration::from_millis(5));
+    cluster
+}
+
+fn bench_cluster_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_step");
+    g.sample_size(20);
+    for machines in [16usize, 64, 256] {
+        g.bench_function(format!("advance_50ms_{machines}m"), |b| {
+            b.iter_batched(
+                || warm_cluster(machines),
+                |mut cluster| {
+                    cluster.run_for(Duration::from_millis(50));
+                    cluster
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster_step);
+criterion_main!(benches);

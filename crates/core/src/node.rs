@@ -105,9 +105,21 @@ impl Node {
     }
 
     /// Earliest deadline across kernel timers, transport retransmissions
-    /// and migration timeouts.
+    /// and migration timeouts. Authoritative scan, kept for `&self`
+    /// callers (the native runtime); the simulation hot loop uses
+    /// [`Node::next_deadline`].
     pub fn next_timer_at(&self) -> Option<Time> {
         match (self.kernel.next_timer_at(), self.engine.next_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Indexed equivalent of [`Node::next_timer_at`]: O(log n) peeks over
+    /// the kernel's lazy timer/retransmission heaps, plus the engine's
+    /// scan over its (few) active migrations.
+    pub fn next_deadline(&mut self) -> Option<Time> {
+        match (self.kernel.next_deadline(), self.engine.next_timeout()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }

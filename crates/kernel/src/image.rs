@@ -81,40 +81,53 @@ impl ProcessImage {
         image
     }
 
-    /// Program name recorded in the code segment.
+    /// Program name recorded in the code segment. Parses the header in
+    /// place — only the name bytes themselves are copied out, never the
+    /// whole (padded) segment.
     pub fn program_name(&self) -> Result<String, WireError> {
-        let mut buf = Bytes::copy_from_slice(&self.code);
-        if buf.remaining() < 2 {
+        let Some(hdr) = self.code.get(..2) else {
             return Err(WireError::Truncated("code segment"));
-        }
-        let len = buf.get_u16() as usize;
-        if len > MAX_NAME || len > buf.remaining() {
+        };
+        let len = u16::from_be_bytes([hdr[0], hdr[1]]) as usize;
+        if len > MAX_NAME {
             return Err(WireError::BadLength {
                 what: "program name",
                 len,
             });
         }
-        let name = buf.split_to(len);
+        let Some(name) = self.code.get(2..2 + len) else {
+            return Err(WireError::BadLength {
+                what: "program name",
+                len,
+            });
+        };
         String::from_utf8(name.to_vec()).map_err(|_| WireError::BadLength {
             what: "program name utf8",
             len,
         })
     }
 
-    /// Serialized program state recorded in the data segment.
+    /// Serialized program state recorded in the data segment. Copies only
+    /// the `len` state bytes, not the whole (padded, possibly hundreds of
+    /// KiB) segment it sits in.
     pub fn load_state(&self) -> Result<Bytes, WireError> {
-        let mut buf = Bytes::copy_from_slice(&self.data);
-        if buf.remaining() < 4 {
+        let Some(hdr) = self.data.get(..4) else {
             return Err(WireError::Truncated("data segment"));
-        }
-        let len = buf.get_u32() as usize;
-        if len > MAX_STATE || len > buf.remaining() {
+        };
+        let len = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+        if len > MAX_STATE {
             return Err(WireError::BadLength {
                 what: "program state",
                 len,
             });
         }
-        Ok(buf.split_to(len))
+        let Some(state) = self.data.get(4..4 + len) else {
+            return Err(WireError::BadLength {
+                what: "program state",
+                len,
+            });
+        };
+        Ok(Bytes::copy_from_slice(state))
     }
 
     /// (Re-)store program state into the data segment, preserving at least
@@ -136,6 +149,12 @@ impl ProcessImage {
         self.code.len() + self.data.len() + self.stack.len()
     }
 
+    /// Exact length of [`Self::to_flat`]'s output, without building it —
+    /// sizing a migration offer must not flatten (copy) the image.
+    pub fn flat_len(&self) -> usize {
+        12 + self.total_len()
+    }
+
     /// Concatenate the segments for a whole-image move-data read
     /// (step 5 of §3.1 uses one data move for "code, data, and stack").
     pub fn to_flat(&self) -> Vec<u8> {
@@ -149,25 +168,31 @@ impl ProcessImage {
         out
     }
 
-    /// Rebuild from [`Self::to_flat`] bytes.
+    /// Rebuild from [`Self::to_flat`] bytes. Parses the header in place
+    /// and copies each segment exactly once, straight out of `bytes` —
+    /// the old whole-blob staging copy doubled the install cost of a
+    /// 512 KiB image.
     pub fn from_flat(bytes: &[u8]) -> Result<Self, WireError> {
-        let mut buf = Bytes::copy_from_slice(bytes);
-        if buf.remaining() < 12 {
+        let Some(hdr) = bytes.get(..12) else {
             return Err(WireError::Truncated("image header"));
-        }
-        let code_len = buf.get_u32() as usize;
-        let data_len = buf.get_u32() as usize;
-        let stack_len = buf.get_u32() as usize;
-        if code_len + data_len + stack_len != buf.remaining() {
+        };
+        let code_len = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as u64;
+        let data_len = u32::from_be_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as u64;
+        let stack_len = u32::from_be_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]) as u64;
+        let total = code_len + data_len + stack_len;
+        if total != bytes.len() as u64 - 12 {
             return Err(WireError::BadLength {
                 what: "image segments",
-                len: code_len + data_len + stack_len,
+                len: total as usize,
             });
         }
-        let code = buf.split_to(code_len).to_vec();
-        let data = buf.split_to(data_len).to_vec();
-        let stack = buf.split_to(stack_len).to_vec();
-        Ok(ProcessImage { code, data, stack })
+        let code_end = 12 + code_len as usize;
+        let data_end = code_end + data_len as usize;
+        Ok(ProcessImage {
+            code: bytes[12..code_end].to_vec(),
+            data: bytes[code_end..data_end].to_vec(),
+            stack: bytes[data_end..].to_vec(),
+        })
     }
 
     /// Read `len` bytes at `offset` of the *data segment* — the region
@@ -283,6 +308,11 @@ mod tests {
         let back = ProcessImage::from_flat(&flat).unwrap();
         assert_eq!(back, img);
         assert_eq!(flat.len(), 12 + img.total_len());
+        assert_eq!(
+            img.flat_len(),
+            flat.len(),
+            "arithmetic flat length matches the built blob"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! protocol live in `demos-core`; this crate provides the mechanisms the
 //! protocol composes (freeze, serve state, install, finish source side).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -298,6 +299,15 @@ pub struct Kernel {
     dead: BTreeSet<MachineId>,
     dead_events: Vec<(MachineId, Time)>,
     det_stats: DetectorStats,
+    /// Min-heap over process-timer deadlines, lazily invalidated: an entry
+    /// `(t, pid)` is live iff `procs[pid].next_timer() == Some(t)` when it
+    /// is inspected. Entries are pushed whenever a process's earliest
+    /// timer may have changed (new timers in `run_next`, residual timers
+    /// after `on_time`, migrated-in timers) and never removed eagerly —
+    /// stale ones are discarded on peek/pop. Makes
+    /// [`Kernel::next_deadline`] an O(log n) peek and [`Kernel::on_time`]
+    /// pop-due-only instead of a full process-table scan.
+    timer_heap: BinaryHeap<Reverse<(Time, ProcessId)>>,
 }
 
 impl Kernel {
@@ -324,6 +334,7 @@ impl Kernel {
             dead: BTreeSet::new(),
             dead_events: Vec::new(),
             det_stats: DetectorStats::default(),
+            timer_heap: BinaryHeap::new(),
         }
     }
 
@@ -771,11 +782,20 @@ impl Kernel {
             // event loop could livelock on a zero-cost message cycle.
             let cost = (self.cfg.base_msg_cpu + effects.cpu).max(Duration::from_micros(1));
             proc.cpu_used += cost;
+            let armed_timers = !effects.timers.is_empty();
             for (delay, token) in effects.timers.drain(..) {
                 proc.timers.push(TimerEntry {
                     at: now + delay,
                     token,
                 });
+            }
+            if armed_timers {
+                // Index the (possibly new) earliest deadline. If the old
+                // minimum still stands its heap entry remains live and this
+                // push is a harmless duplicate.
+                if let Some(t) = proc.next_timer() {
+                    self.timer_heap.push(Reverse((t, pid)));
+                }
             }
             if !effects.exit {
                 proc.status = if proc.queue.is_empty() {
@@ -807,7 +827,9 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Earliest future deadline this kernel cares about: process timers
-    /// and transport retransmissions.
+    /// and transport retransmissions. Authoritative O(procs + peers) scan
+    /// kept for callers that only hold `&self` (the native runtime); the
+    /// simulation hot loop uses the indexed [`Kernel::next_deadline`].
     pub fn next_timer_at(&self) -> Option<Time> {
         let proc_min = self.procs.values().filter_map(|p| p.next_timer()).min();
         [proc_min, self.endpoint.next_timeout(), self.next_hb_at]
@@ -816,17 +838,75 @@ impl Kernel {
             .min()
     }
 
+    /// Whether heap entry `(t, pid)` still describes `pid`'s earliest
+    /// timer. Killed or migrated-away processes invalidate their entries
+    /// automatically.
+    fn timer_entry_valid(&self, t: Time, pid: ProcessId) -> bool {
+        self.procs
+            .get(&pid)
+            .is_some_and(|p| p.next_timer() == Some(t))
+    }
+
+    /// Indexed equivalent of [`Kernel::next_timer_at`]: O(log n) peeks
+    /// over the process-timer and retransmission heaps plus the O(1)
+    /// heartbeat field, discarding stale heap entries on the way. Debug
+    /// builds cross-check against the full scan.
+    pub fn next_deadline(&mut self) -> Option<Time> {
+        let proc_min = loop {
+            match self.timer_heap.peek() {
+                Some(&Reverse((t, pid))) => {
+                    if self.timer_entry_valid(t, pid) {
+                        break Some(t);
+                    }
+                    self.timer_heap.pop();
+                }
+                None => break None,
+            }
+        };
+        let r = [
+            proc_min,
+            self.endpoint.next_timeout_indexed(),
+            self.next_hb_at,
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        debug_assert_eq!(r, self.next_timer_at(), "timer index diverged from scan");
+        r
+    }
+
     /// Fire everything due at or before `now`.
     pub fn on_time(&mut self, now: Time, phys: &mut dyn Phys, _out: &mut Outbox) {
         let bounces = self.endpoint.on_timeout(now, phys);
         self.det_stats.bounced += bounces.len() as u64;
         self.heartbeat_tick(now, phys);
-        let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
-        for pid in pids {
+        // Pop due, still-live entries instead of scanning every process.
+        // Sorting restores the pre-index order (ascending pid), keeping
+        // synthetic TIMER message creation — and thus the trace — byte
+        // identical to the scan-everything loop.
+        let mut due_pids: Vec<ProcessId> = Vec::new();
+        while let Some(&Reverse((t, pid))) = self.timer_heap.peek() {
+            if !self.timer_entry_valid(t, pid) {
+                self.timer_heap.pop();
+                continue;
+            }
+            if t > now {
+                break;
+            }
+            self.timer_heap.pop();
+            due_pids.push(pid);
+        }
+        due_pids.sort_unstable();
+        due_pids.dedup();
+        for pid in due_pids {
             let Some(proc) = self.procs.get_mut(&pid) else {
                 continue;
             };
             let due = proc.take_due_timers(now);
+            // Re-index the earliest residual (future) timer, if any.
+            if let Some(t) = proc.next_timer() {
+                self.timer_heap.push(Reverse((t, pid)));
+            }
             for t in due {
                 let msg = self.synthetic_msg(pid, local_tags::TIMER, encode_timer_token(t.token));
                 self.enqueue_local_quiet(pid, msg);
@@ -1847,7 +1927,9 @@ impl Kernel {
         Ok(MigrationSizes {
             resident: proc.serialize_resident().len() as u32,
             swappable: proc.serialize_swappable().len() as u32,
-            image: proc.image.to_flat().len() as u32,
+            // Arithmetic length, not `to_flat().len()`: sizing the offer
+            // must not flatten (copy) the whole image just to measure it.
+            image: proc.image.flat_len() as u32,
             queued: proc.queue.len() as u16,
         })
     }
@@ -1922,6 +2004,10 @@ impl Kernel {
         self.forwarding.remove(&pid);
         // Hold execution until step 8.
         proc.in_migration = true;
+        // A migrated-in process can arrive with live timers; index them.
+        if let Some(t) = proc.next_timer() {
+            self.timer_heap.push(Reverse((t, pid)));
+        }
         self.procs.insert(pid, proc);
         out.trace.push(TraceEvent::Migration {
             pid,

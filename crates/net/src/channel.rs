@@ -20,7 +20,8 @@
 //! such — and is handed back with the payload on delivery so the
 //! receiving kernel can re-attach it.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use bytes::Bytes;
 use demos_types::{CorrId, Duration, MachineId, Time};
@@ -147,6 +148,13 @@ pub struct Endpoint {
     cfg: ChannelConfig,
     peers: BTreeMap<MachineId, Peer>,
     stats: ChannelStats,
+    /// Min-heap over armed retransmission deadlines, lazily invalidated:
+    /// an entry `(t, dst)` is live iff `peers[dst].rto_deadline == Some(t)`
+    /// at the moment it is inspected. Deadlines are never removed from the
+    /// heap when cleared or superseded — stale entries are discarded on
+    /// peek/pop. This makes [`Endpoint::next_timeout_indexed`] an O(log n)
+    /// peek instead of an O(peers) scan.
+    rto_heap: BinaryHeap<Reverse<(Time, MachineId)>>,
 }
 
 impl Endpoint {
@@ -157,6 +165,7 @@ impl Endpoint {
             cfg,
             peers: BTreeMap::new(),
             stats: ChannelStats::default(),
+            rto_heap: BinaryHeap::new(),
         }
     }
 
@@ -209,13 +218,15 @@ impl Endpoint {
             peer.pending.push_back(q);
             return None;
         }
-        Self::transmit_data(src, cfg, peer, now, dst, q, phys);
+        Self::transmit_data(src, cfg, &mut self.rto_heap, peer, now, dst, q, phys);
         None
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn transmit_data(
         src: MachineId,
         cfg: ChannelConfig,
+        rto_heap: &mut BinaryHeap<Reverse<(Time, MachineId)>>,
         peer: &mut Peer,
         now: Time,
         dst: MachineId,
@@ -231,7 +242,9 @@ impl Endpoint {
         };
         peer.unacked.push_back((seq, q));
         if peer.rto_deadline.is_none() {
-            peer.rto_deadline = Some(now + cfg.rto);
+            let deadline = now + cfg.rto;
+            peer.rto_deadline = Some(deadline);
+            rto_heap.push(Reverse((deadline, dst)));
         }
         phys.transmit(now, src, dst, frame);
     }
@@ -291,7 +304,7 @@ impl Endpoint {
                     let Some(q) = peer.pending.pop_front() else {
                         break;
                     };
-                    Self::transmit_data(src, cfg, peer, now, from, q, phys);
+                    Self::transmit_data(src, cfg, &mut self.rto_heap, peer, now, from, q, phys);
                 }
                 // An ack is proof of life: reset the backoff ladder and the
                 // retransmit budget, and clear any suspicion. (Dead stays
@@ -306,7 +319,9 @@ impl Endpoint {
                 peer.rto_deadline = if peer.unacked.is_empty() {
                     None
                 } else {
-                    Some(now + cfg.rto)
+                    let deadline = now + cfg.rto;
+                    self.rto_heap.push(Reverse((deadline, from)));
+                    Some(deadline)
                 };
                 Vec::new()
             }
@@ -314,9 +329,38 @@ impl Endpoint {
     }
 
     /// Earliest retransmission deadline across all peers, if any frame is
-    /// in flight.
+    /// in flight. Authoritative O(peers) scan; the simulation hot loop
+    /// uses [`Endpoint::next_timeout_indexed`] instead.
     pub fn next_timeout(&self) -> Option<Time> {
         self.peers.values().filter_map(|p| p.rto_deadline).min()
+    }
+
+    /// Whether heap entry `(t, dst)` still describes `dst`'s armed
+    /// deadline. A condemned or reset peer clears its deadline, so its
+    /// entries go stale automatically.
+    fn rto_entry_valid(&self, t: Time, dst: MachineId) -> bool {
+        self.peers
+            .get(&dst)
+            .is_some_and(|p| p.rto_deadline == Some(t))
+    }
+
+    /// Indexed equivalent of [`Endpoint::next_timeout`]: an O(log n)
+    /// peek over the deadline heap, discarding stale entries on the way.
+    /// Debug builds cross-check the answer against the full scan.
+    pub fn next_timeout_indexed(&mut self) -> Option<Time> {
+        let r = loop {
+            match self.rto_heap.peek() {
+                Some(&Reverse((t, dst))) => {
+                    if self.rto_entry_valid(t, dst) {
+                        break Some(t);
+                    }
+                    self.rto_heap.pop();
+                }
+                None => break None,
+            }
+        };
+        debug_assert_eq!(r, self.next_timeout(), "rto index diverged from scan");
+        r
     }
 
     /// Deterministic jitter for the retransmission deadline: a fixed
@@ -341,12 +385,32 @@ impl Endpoint {
     pub fn on_timeout(&mut self, now: Time, phys: &mut dyn Phys) -> Vec<Bounce> {
         let cfg = self.cfg;
         let src = self.machine;
+        // Pop every due, still-live deadline from the heap instead of
+        // scanning all peers. Stale entries (acked, superseded, condemned)
+        // are discarded here; duplicates from repeated re-arms at the same
+        // instant are deduped. Sorting restores the pre-index iteration
+        // order — ascending machine id — which fixes the frame-emission
+        // order and therefore the deterministic replay.
+        let mut due: Vec<MachineId> = Vec::new();
+        while let Some(&Reverse((t, dst))) = self.rto_heap.peek() {
+            if !self.rto_entry_valid(t, dst) {
+                self.rto_heap.pop();
+                continue;
+            }
+            if t > now {
+                break;
+            }
+            self.rto_heap.pop();
+            due.push(dst);
+        }
+        due.sort_unstable();
+        due.dedup();
         let mut bounces = Vec::new();
-        for (&dst, peer) in self.peers.iter_mut() {
-            let Some(deadline) = peer.rto_deadline else {
+        for dst in due {
+            let Some(peer) = self.peers.get_mut(&dst) else {
                 continue;
             };
-            if deadline > now || peer.state == PeerState::Dead {
+            if peer.state == PeerState::Dead {
                 continue;
             }
             peer.retx_rounds += 1;
@@ -378,7 +442,9 @@ impl Endpoint {
             } else {
                 Self::jitter_us(src, dst, exp, base_us)
             };
-            peer.rto_deadline = Some(now + Duration::from_micros(base_us + jitter));
+            let deadline = now + Duration::from_micros(base_us + jitter);
+            peer.rto_deadline = Some(deadline);
+            self.rto_heap.push(Reverse((deadline, dst)));
             peer.backoff_exp = (peer.backoff_exp + 1).min(cfg.max_backoff_exp);
         }
         bounces

@@ -83,14 +83,18 @@ impl Topology {
     }
 
     /// Fully connected mesh with identical edges — the common case, like
-    /// the paper's single shared network.
+    /// the paper's single shared network. Edges are installed in bulk
+    /// with a single route recomputation: recomputing per edge (O(n³)
+    /// each) made building an n-machine mesh O(n⁵), which dominated every
+    /// large-cluster benchmark's setup.
     pub fn full_mesh(n: usize, params: EdgeParams) -> Self {
         let mut t = Topology::new(n);
         for a in 0..n {
             for b in (a + 1)..n {
-                t.set_edge(MachineId(a as u16), MachineId(b as u16), params);
+                t.set_edge_raw(MachineId(a as u16), MachineId(b as u16), params);
             }
         }
+        t.recompute();
         t
     }
 
@@ -99,8 +103,9 @@ impl Topology {
     pub fn line(n: usize, params: EdgeParams) -> Self {
         let mut t = Topology::new(n);
         for a in 0..n.saturating_sub(1) {
-            t.set_edge(MachineId(a as u16), MachineId((a + 1) as u16), params);
+            t.set_edge_raw(MachineId(a as u16), MachineId((a + 1) as u16), params);
         }
+        t.recompute();
         t
     }
 
@@ -121,8 +126,9 @@ impl Topology {
     pub fn star(n: usize, params: EdgeParams) -> Self {
         let mut t = Topology::new(n);
         for a in 1..n {
-            t.set_edge(MachineId(0), MachineId(a as u16), params);
+            t.set_edge_raw(MachineId(0), MachineId(a as u16), params);
         }
+        t.recompute();
         t
     }
 
@@ -148,11 +154,17 @@ impl Topology {
     /// Install (or replace) the bidirectional edge `a — b` and recompute
     /// routes.
     pub fn set_edge(&mut self, a: MachineId, b: MachineId, params: EdgeParams) {
+        self.set_edge_raw(a, b, params);
+        self.recompute();
+    }
+
+    /// Install an edge without recomputing routes — bulk construction
+    /// only; the caller must `recompute()` before routing.
+    fn set_edge_raw(&mut self, a: MachineId, b: MachineId, params: EdgeParams) {
         assert!((a.0 as usize) < self.n && (b.0 as usize) < self.n && a != b);
         let (i, j) = (self.idx(a, b), self.idx(b, a));
         self.edges[i] = Some(params);
         self.edges[j] = Some(params);
-        self.recompute();
     }
 
     /// Remove the edge `a — b` (network fault injection) and recompute.

@@ -15,7 +15,8 @@
 //! the same configuration replays identically — the property the replay
 //! tests pin with trace fingerprints.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 use demos_core::{MigrationConfig, Node};
@@ -135,12 +136,12 @@ impl ClusterBuilder {
                     .watch_peers(Time::ZERO, machines.iter().copied());
             }
         }
-        Cluster {
+        let mut c = Cluster {
             now: Time::ZERO,
             nodes,
             net: SimNetwork::new(self.topology, self.seed),
             cpu_busy_until: vec![Time::ZERO; n],
-            cpu_factor: vec![1.0; n],
+            cpu_factor_ppm: vec![1_000_000; n],
             cpu_busy_total: vec![Duration::ZERO; n],
             crashed: vec![false; n],
             trace: if self.trace {
@@ -154,7 +155,50 @@ impl ClusterBuilder {
             migration: self.migration,
             recovery: self.recovery.map(RecoveryManager::new),
             crash_log: BTreeMap::new(),
+            events: BinaryHeap::new(),
+            node_deadline: vec![None; n],
+            runnable: BTreeSet::new(),
+            dirty: Vec::new(),
+            cpu_scratch: Vec::new(),
+            fired_scratch: Vec::new(),
+            step_stats: StepStats::default(),
+        };
+        // Prime the event index with each node's boot state (e.g. the
+        // heartbeat schedules armed by `watch_peers` above).
+        for i in 0..n {
+            c.touch_node(i);
         }
+        c
+    }
+}
+
+/// Event kinds in the cluster's global index. Node deadlines (timers,
+/// retransmissions, heartbeats, migration timeouts) and CPU completions
+/// share one heap; the kind is part of the entry so validity can be
+/// checked per kind.
+const EV_TIMER: u8 = 0;
+const EV_CPU: u8 = 1;
+
+/// Instrumentation for the event loop: how many nodes each phase of
+/// [`Cluster::step`] actually touches. The scheduler-cost regression test
+/// pins a visit budget on a mostly-idle cluster — reintroducing an O(n)
+/// scan blows the budget immediately.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Completed [`Cluster::step`] calls that advanced the simulation.
+    pub steps: u64,
+    /// Nodes examined as CPU candidates by the run-CPUs phase.
+    pub cpu_visits: u64,
+    /// Frames delivered to nodes.
+    pub frame_visits: u64,
+    /// Node deadline firings (`on_time` calls).
+    pub timer_visits: u64,
+}
+
+impl StepStats {
+    /// Total node visits across all phases.
+    pub fn node_visits(&self) -> u64 {
+        self.cpu_visits + self.frame_visits + self.timer_visits
     }
 }
 
@@ -164,7 +208,9 @@ pub struct Cluster {
     nodes: Vec<Node>,
     net: SimNetwork,
     cpu_busy_until: Vec<Time>,
-    cpu_factor: Vec<f64>,
+    /// Per-machine CPU degradation factor in parts-per-million
+    /// (1_000_000 = healthy). Integer so scaled costs are exact.
+    cpu_factor_ppm: Vec<u64>,
     cpu_busy_total: Vec<Duration>,
     crashed: Vec<bool>,
     trace: Trace,
@@ -174,6 +220,25 @@ pub struct Cluster {
     migration: MigrationConfig,
     recovery: Option<RecoveryManager>,
     crash_log: BTreeMap<MachineId, Time>,
+    /// Global event index: min-heap of `(time, kind, node)` entries over
+    /// node deadlines and CPU completions, lazily invalidated (see
+    /// [`Cluster::event_valid`]). Makes finding the next event an
+    /// O(log n) peek instead of a scan over every machine.
+    events: BinaryHeap<Reverse<(Time, u8, usize)>>,
+    /// Authoritative cache of each node's earliest deadline; a TIMER heap
+    /// entry is live iff it matches this cache.
+    node_deadline: Vec<Option<Time>>,
+    /// Nodes whose run queue may hold work, maintained incrementally —
+    /// `run_cpus` walks this set instead of `0..nodes.len()`.
+    runnable: BTreeSet<usize>,
+    /// Nodes handed out via [`Cluster::node_mut`] since the last event-loop
+    /// entry; their cached state is recomputed before it is trusted.
+    dirty: Vec<usize>,
+    /// Reused buffers for the per-step candidate and fired-node lists,
+    /// so the hot loop allocates nothing.
+    cpu_scratch: Vec<usize>,
+    fired_scratch: Vec<usize>,
+    step_stats: StepStats,
 }
 
 impl Cluster {
@@ -209,6 +274,10 @@ impl Cluster {
 
     /// Mutable node access (tests and bootstrap).
     pub fn node_mut(&mut self, m: MachineId) -> &mut Node {
+        // The caller may arm timers or enqueue work behind the event
+        // index's back; re-derive this node's cached state before the
+        // next event-loop pass trusts it.
+        self.dirty.push(m.0 as usize);
         &mut self.nodes[m.0 as usize]
     }
 
@@ -235,6 +304,16 @@ impl Cluster {
     /// CPU time consumed by machine `m` so far.
     pub fn cpu_busy(&self, m: MachineId) -> Duration {
         self.cpu_busy_total[m.0 as usize]
+    }
+
+    /// Cumulative event-loop instrumentation (node visits per phase).
+    pub fn step_stats(&self) -> StepStats {
+        self.step_stats
+    }
+
+    /// Reset the instrumentation counters (e.g. after warm-up).
+    pub fn reset_step_stats(&mut self) {
+        self.step_stats = StepStats::default();
     }
 
     /// The sampled metric time series, if the cluster was built with
@@ -318,6 +397,7 @@ impl Cluster {
             .kernel
             .spawn(now, program, state, layout, privileged, &mut self.outbox)?;
         self.drain_outbox(m);
+        self.touch_node(m.0 as usize);
         Ok(pid)
     }
 
@@ -353,6 +433,7 @@ impl Cluster {
         };
         self.nodes[m.0 as usize].submit(now, msg, &mut self.net, &mut self.outbox);
         self.drain_outbox(m);
+        self.touch_node(m.0 as usize);
         Ok(())
     }
 
@@ -384,6 +465,7 @@ impl Cluster {
         };
         self.nodes[origin].submit(now, msg, &mut self.net, &mut self.outbox);
         self.drain_outbox(MachineId(origin as u16));
+        self.touch_node(origin);
         Ok(())
     }
 
@@ -396,6 +478,7 @@ impl Cluster {
         let r =
             self.nodes[m.0 as usize].migrate(now, pid, dest, None, &mut self.net, &mut self.outbox);
         self.drain_outbox(m);
+        self.touch_node(m.0 as usize);
         r
     }
 
@@ -409,6 +492,9 @@ impl Cluster {
         self.crashed[m.0 as usize] = true;
         self.crash_log.insert(m, self.now);
         self.net.set_down(m, true);
+        // Clears the cached deadline and runnable membership; entries
+        // already in the heap die by validity check.
+        self.touch_node(m.0 as usize);
     }
 
     /// Ground-truth crash time of `m` (for latency metrics), if it was
@@ -446,14 +532,17 @@ impl Cluster {
         self.nodes[i] = fresh;
         self.crashed[i] = false;
         self.cpu_busy_until[i] = self.now;
-        self.cpu_factor[i] = 1.0;
+        self.cpu_factor_ppm[i] = 1_000_000;
         self.net.set_down(m, false);
         for j in 0..self.nodes.len() {
             if j != i {
                 let now = self.now;
                 self.nodes[j].peer_revived(now, m);
+                // Clearing a dead verdict may reschedule the detector.
+                self.touch_node(j);
             }
         }
+        self.touch_node(i);
     }
 
     /// Sever the direct network edge between `a` and `b`, remembering its
@@ -477,9 +566,16 @@ impl Cluster {
 
     /// Degrade (or restore) machine `m`'s CPU: activation costs are
     /// multiplied by `factor` (1.0 = healthy). Models the paper's
-    /// "gradual degradation of the processor" failure mode (§1).
+    /// "gradual degradation of the processor" failure mode (§1). The
+    /// factor is quantised to parts-per-million once, here, so the
+    /// per-activation cost scaling is exact integer arithmetic.
     pub fn degrade(&mut self, m: MachineId, factor: f64) {
-        self.cpu_factor[m.0 as usize] = factor.max(0.0);
+        let ppm = (factor.max(0.0) * 1e6).round();
+        self.cpu_factor_ppm[m.0 as usize] = if ppm >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ppm as u64
+        };
     }
 
     /// Health of machine `m` as policies see it: 1.0 nominal, the inverse
@@ -488,11 +584,11 @@ impl Cluster {
         if self.crashed[m.0 as usize] {
             return 0.0;
         }
-        let f = self.cpu_factor[m.0 as usize];
-        if f <= 1.0 {
+        let ppm = self.cpu_factor_ppm[m.0 as usize];
+        if ppm <= 1_000_000 {
             1.0
         } else {
-            1.0 / f
+            1_000_000.0 / ppm as f64
         }
     }
 
@@ -500,81 +596,176 @@ impl Cluster {
     // The event loop
     // ------------------------------------------------------------------
 
-    fn scale(cost: Duration, factor: f64) -> Duration {
-        Duration::from_micros(((cost.as_micros() as f64) * factor).ceil() as u64)
+    /// Scale an activation cost by a ppm factor, exactly, in integer
+    /// microseconds: round up, saturate at `u64::MAX` µs.
+    fn scale(cost: Duration, ppm: u64) -> Duration {
+        let micros = (cost.as_micros() as u128 * ppm as u128).div_ceil(1_000_000);
+        Duration::from_micros(micros.min(u64::MAX as u128) as u64)
+    }
+
+    /// Re-derive node `i`'s cached deadline and runnable membership after
+    /// a mutation, pushing fresh heap entries on change. Lazy
+    /// invalidation: entries obsoleted here are not removed, they are
+    /// discarded when popped (see [`Cluster::event_valid`]).
+    fn touch_node(&mut self, i: usize) {
+        if self.crashed[i] {
+            self.node_deadline[i] = None;
+            self.runnable.remove(&i);
+            return;
+        }
+        let d = self.nodes[i].next_deadline();
+        if d != self.node_deadline[i] {
+            self.node_deadline[i] = d;
+            if let Some(t) = d {
+                self.events.push(Reverse((t, EV_TIMER, i)));
+            }
+        }
+        if self.nodes[i].has_runnable() {
+            if self.runnable.insert(i) && self.cpu_busy_until[i] > self.now {
+                // Became runnable while the CPU is mid-activation: index
+                // the completion instant so `step` wakes up to run it.
+                self.events
+                    .push(Reverse((self.cpu_busy_until[i], EV_CPU, i)));
+            }
+        } else {
+            self.runnable.remove(&i);
+        }
+    }
+
+    /// Whether a heap entry still reflects reality. A TIMER entry is live
+    /// iff it matches the cached deadline; a CPU entry iff the node is
+    /// still runnable and its CPU really frees at that future instant
+    /// (`t > now` keeps an already-free CPU from masquerading as a
+    /// pending event and shifting sample/recovery times).
+    fn event_valid(&self, t: Time, kind: u8, i: usize) -> bool {
+        if self.crashed[i] {
+            return false;
+        }
+        match kind {
+            EV_TIMER => self.node_deadline[i] == Some(t),
+            _ => t > self.now && self.cpu_busy_until[i] == t && self.runnable.contains(&i),
+        }
+    }
+
+    /// Earliest valid indexed event, discarding stale entries from the
+    /// top. Amortised O(log n): every discarded entry was paid for by the
+    /// push that obsoleted it.
+    fn peek_events(&mut self) -> Option<Time> {
+        while let Some(&Reverse((t, kind, i))) = self.events.peek() {
+            if self.event_valid(t, kind, i) {
+                return Some(t);
+            }
+            self.events.pop();
+        }
+        None
+    }
+
+    /// Pop every node with a valid deadline due at or before `now` into
+    /// `due` — ascending machine order, deduplicated. Only TIMER entries
+    /// qualify: a CPU entry at or before `now` means the CPU is already
+    /// free and `run_cpus` handles it.
+    fn pop_due_nodes(&mut self, due: &mut Vec<usize>) {
+        while let Some(&Reverse((t, kind, i))) = self.events.peek() {
+            if t > self.now {
+                break;
+            }
+            self.events.pop();
+            if kind == EV_TIMER && self.event_valid(t, kind, i) {
+                due.push(i);
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+    }
+
+    /// Re-index every node mutated through [`Cluster::node_mut`] since the
+    /// last event-loop pass.
+    fn flush_dirty(&mut self) {
+        while let Some(i) = self.dirty.pop() {
+            self.touch_node(i);
+        }
     }
 
     /// Run every CPU that is free and has work at the current instant.
+    /// One ascending pass over the runnable set: a node that runs becomes
+    /// busy (scaled cost is at least 1µs), and nothing short of a network
+    /// delivery — which only happens in `step` — can make *another* node
+    /// runnable, so a single pass reaches the same fixpoint the old
+    /// scan-until-no-progress loop did, in the same order.
     fn run_cpus(&mut self) {
-        loop {
-            let mut progressed = false;
-            for i in 0..self.nodes.len() {
-                if self.crashed[i] || self.cpu_busy_until[i] > self.now {
-                    continue;
-                }
-                if !self.nodes[i].has_runnable() {
-                    continue;
-                }
-                if let Some((_pid, cost)) =
-                    self.nodes[i].run_next(self.now, &mut self.net, &mut self.outbox)
-                {
-                    let scaled =
-                        Self::scale(cost, self.cpu_factor[i]).max(Duration::from_micros(1));
-                    self.cpu_busy_until[i] = self.now + scaled;
-                    self.cpu_busy_total[i] += scaled;
-                    progressed = true;
-                }
-                self.drain_outbox(MachineId(i as u16));
+        self.flush_dirty();
+        let mut candidates = std::mem::take(&mut self.cpu_scratch);
+        candidates.clear();
+        candidates.extend(self.runnable.iter().copied());
+        for &i in &candidates {
+            if self.crashed[i] || self.cpu_busy_until[i] > self.now {
+                continue;
             }
-            if !progressed {
-                return;
+            self.step_stats.cpu_visits += 1;
+            if let Some((_pid, cost)) =
+                self.nodes[i].run_next(self.now, &mut self.net, &mut self.outbox)
+            {
+                let scaled =
+                    Self::scale(cost, self.cpu_factor_ppm[i]).max(Duration::from_micros(1));
+                self.cpu_busy_until[i] = self.now + scaled;
+                self.cpu_busy_total[i] += scaled;
+            }
+            self.drain_outbox(MachineId(i as u16));
+            self.touch_node(i);
+            if self.runnable.contains(&i) && self.cpu_busy_until[i] > self.now {
+                // Still has work queued behind the running activation:
+                // index the completion instant.
+                self.events
+                    .push(Reverse((self.cpu_busy_until[i], EV_CPU, i)));
             }
         }
+        self.cpu_scratch = candidates;
     }
 
     /// Advance to the next event. Returns `false` when the simulation is
     /// quiescent (no pending frames, deadlines, or runnable work).
+    ///
+    /// The next-event time is an O(log n) peek over the network's arrival
+    /// queue and the cluster event index — no per-node scan. Tie-breaking
+    /// is unchanged from the scanning loop: frames deliver first (network
+    /// arrival order), then due node deadlines fire in ascending machine
+    /// order, then recovery runs, then sampling.
     pub fn step(&mut self) -> bool {
         self.run_cpus();
         // Find the earliest future event.
-        let mut t_next: Option<Time> = self.net.next_arrival_at();
-        for (i, node) in self.nodes.iter().enumerate() {
-            if self.crashed[i] {
-                continue;
-            }
-            if let Some(t) = node.next_timer_at() {
-                t_next = Some(t_next.map_or(t, |x| x.min(t)));
-            }
-            if node.has_runnable() && self.cpu_busy_until[i] > self.now {
-                let t = self.cpu_busy_until[i];
-                t_next = Some(t_next.map_or(t, |x| x.min(t)));
-            }
-        }
+        let t_next = match (self.net.next_arrival_at(), self.peek_events()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let Some(t) = t_next else { return false };
         if t > self.now {
             self.now = t;
         }
+        self.step_stats.steps += 1;
         // Deliver all frames due at or before the new instant.
         while let Some((_at, src, dst, frame)) = self.net.pop_due(self.now) {
             if self.crashed[dst.0 as usize] {
                 continue;
             }
             let now = self.now;
+            self.step_stats.frame_visits += 1;
             self.nodes[dst.0 as usize].on_frame(now, src, frame, &mut self.net, &mut self.outbox);
             self.drain_outbox(dst);
+            self.touch_node(dst.0 as usize);
         }
         // Fire due deadlines.
-        for i in 0..self.nodes.len() {
-            if self.crashed[i] {
-                continue;
-            }
-            if self.nodes[i].next_timer_at().is_some_and(|t| t <= self.now) {
-                let now = self.now;
-                self.nodes[i].on_time(now, &mut self.net, &mut self.outbox);
-                self.drain_outbox(MachineId(i as u16));
-            }
+        let mut fired = std::mem::take(&mut self.fired_scratch);
+        fired.clear();
+        self.pop_due_nodes(&mut fired);
+        for &i in &fired {
+            let now = self.now;
+            self.step_stats.timer_visits += 1;
+            self.nodes[i].on_time(now, &mut self.net, &mut self.outbox);
+            self.drain_outbox(MachineId(i as u16));
+            self.touch_node(i);
         }
-        self.drive_recovery();
+        self.drive_recovery(&fired);
+        self.fired_scratch = fired;
         self.maybe_sample();
         true
     }
@@ -605,16 +796,17 @@ impl Cluster {
         for i in 0..self.nodes.len() {
             if !self.crashed[i] {
                 self.nodes[i].kernel.stop_heartbeats();
+                self.touch_node(i);
             }
         }
     }
 
-    fn drive_recovery(&mut self) {
+    fn drive_recovery(&mut self, fired: &[usize]) {
         if self.recovery.is_none() {
             return;
         }
         self.checkpoint_pass();
-        self.handle_confirmed_deaths();
+        self.handle_confirmed_deaths(fired);
     }
 
     /// Periodically snapshot every protected, settled (not mid-migration)
@@ -656,6 +848,7 @@ impl Cluster {
                     mgr.stats.checkpoints += 1;
                 }
             }
+            self.touch_node(i);
         }
     }
 
@@ -663,9 +856,13 @@ impl Cluster {
     /// process that vanished with the dead machine onto a survivor, and
     /// install forwarding addresses on the other survivors so stale links
     /// converge through the ordinary §4/§5 machinery.
-    fn handle_confirmed_deaths(&mut self) {
+    fn handle_confirmed_deaths(&mut self, fired: &[usize]) {
+        // Death verdicts are only produced inside `on_time` (the
+        // heartbeat detector's confirmation path), so only nodes whose
+        // deadlines just fired can hold any; `fired` is already in
+        // ascending machine order, matching the old full scan.
         let mut confirmed: Vec<(MachineId, Time)> = Vec::new();
-        for i in 0..self.nodes.len() {
+        for &i in fired {
             if self.crashed[i] {
                 continue;
             }
@@ -719,6 +916,7 @@ impl Cluster {
                         .kernel
                         .restore_checkpoint(now, &ck, &mut self.outbox);
                 self.drain_outbox(m);
+                self.touch_node(m.0 as usize);
                 if r.is_ok() {
                     new_home = Some(m);
                     break;
@@ -738,6 +936,7 @@ impl Cluster {
                                 &mut self.outbox,
                             );
                             self.drain_outbox(m);
+                            self.touch_node(m.0 as usize);
                         }
                     }
                 }
@@ -860,5 +1059,43 @@ impl std::fmt::Debug for Cluster {
             .field("machines", &self.nodes.len())
             .field("in_flight_frames", &self.net.in_flight())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_exact_integer_micros() {
+        let us = Duration::from_micros;
+        // 100µs × 1.1 is exactly 110µs. The old f64 path computed
+        // ceil(110.00000000000001) = 111 because 1.1 is not
+        // representable in binary floating point.
+        assert_eq!(Cluster::scale(us(100), 1_100_000), us(110));
+        // A true remainder still rounds up: 3µs × 1.5 = 4.5 → 5.
+        assert_eq!(Cluster::scale(us(3), 1_500_000), us(5));
+        // Sub-ppm leftovers round up too, never down to a free lunch.
+        assert_eq!(Cluster::scale(us(1), 333_333), us(1));
+        // Degenerate factors.
+        assert_eq!(Cluster::scale(us(100), 0), us(0));
+        assert_eq!(Cluster::scale(us(0), u64::MAX), us(0));
+        // Saturates instead of overflowing.
+        assert_eq!(Cluster::scale(us(u64::MAX), u64::MAX), us(u64::MAX));
+    }
+
+    #[test]
+    fn degrade_quantises_and_health_inverts() {
+        let mut c = Cluster::mesh(2);
+        c.degrade(MachineId(1), 4.0);
+        assert_eq!(c.health(MachineId(1)), 0.25);
+        // Negative factors clamp to zero (healthy-or-better → 1.0).
+        c.degrade(MachineId(1), -3.0);
+        assert_eq!(c.health(MachineId(1)), 1.0);
+        // Absurd factors clamp rather than poisoning the arithmetic.
+        c.degrade(MachineId(1), f64::INFINITY);
+        let h = c.health(MachineId(1));
+        assert!(h > 0.0 && h < 1e-9);
+        assert_eq!(c.health(MachineId(0)), 1.0);
     }
 }

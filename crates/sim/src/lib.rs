@@ -31,7 +31,7 @@ pub mod trace;
 
 pub use balance::{snapshot, PolicyDriver};
 pub use boot::{boot_system, BootConfig, SystemHandles};
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{Cluster, ClusterBuilder, StepStats};
 pub use export::machine_registry;
 pub use metrics::Histogram;
 pub use recovery::{RecoveryConfig, RecoveryEpisode, RecoveryManager, RecoveryStats};
@@ -43,7 +43,7 @@ pub use trace::Trace;
 pub mod prelude {
     pub use crate::balance::{snapshot, PolicyDriver};
     pub use crate::boot::{boot_system, spawn_fs_clients, spawn_shell, BootConfig, SystemHandles};
-    pub use crate::cluster::{Cluster, ClusterBuilder};
+    pub use crate::cluster::{Cluster, ClusterBuilder, StepStats};
     pub use crate::metrics::Histogram;
     pub use crate::programs::{self, wl};
     pub use crate::recovery::{RecoveryConfig, RecoveryEpisode, RecoveryStats};
