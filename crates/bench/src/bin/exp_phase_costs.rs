@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e16_phase_costs`.
+fn main() {
+    demos_bench::experiments::e16_phase_costs();
+}

@@ -28,6 +28,11 @@ const SIZES: [usize; 4] = [2, 16, 64, 256];
 const MIN_RATIO: f64 = 0.7;
 /// Cluster size the `--check` gate applies to.
 const GATE_MACHINES: usize = 64;
+/// Recorder-overhead gate: recorder-on throughput at 64 machines must
+/// stay above this fraction of recorder-off. The target is within 5%
+/// (0.95); the gate sits at 0.90 to absorb runner noise while still
+/// catching any allocation or copy creeping into the record path.
+const RECORDER_MIN_RATIO: f64 = 0.90;
 
 fn m(i: usize) -> MachineId {
     MachineId(i as u16)
@@ -74,9 +79,15 @@ fn pingpong_pair(cluster: &mut Cluster, a: MachineId, b: MachineId) {
 /// pairs plus two timer-driven jobs on a handful of machines, everything
 /// else idle — warmed past bootstrap. Scheduler overhead, not workload,
 /// is the measurand: most events are cheap timer ticks, the regime where
-/// the cost of finding the next event dominates the step.
-fn warm_cluster(n: usize) -> Cluster {
-    let mut cluster = ClusterBuilder::new(n).seed(7).no_trace().build();
+/// the cost of finding the next event dominates the step. The flight
+/// recorder runs at `recorder_capacity` (0 disables it — the baseline
+/// side of the recorder-overhead comparison).
+fn warm_cluster_cap(n: usize, recorder_capacity: usize) -> Cluster {
+    let mut cluster = ClusterBuilder::new(n)
+        .seed(7)
+        .no_trace()
+        .recorder_capacity(recorder_capacity)
+        .build();
     pingpong_pair(&mut cluster, m(0), m(1));
     if n >= 4 {
         pingpong_pair(&mut cluster, m(n / 2), m(n / 2 + 1));
@@ -105,10 +116,15 @@ struct Sample {
 /// Drive fresh clusters through `virt` of virtual time until at least
 /// `min_wall` seconds of wall clock have accumulated.
 fn measure(n: usize, virt: Duration, min_wall: f64) -> Sample {
+    measure_cap(n, demos_sim::DEFAULT_RECORDER_CAPACITY, virt, min_wall)
+}
+
+/// [`measure`] with an explicit recorder capacity.
+fn measure_cap(n: usize, cap: usize, virt: Duration, min_wall: f64) -> Sample {
     let mut steps = 0u64;
     let mut wall = 0.0f64;
     while wall < min_wall {
-        let mut cluster = warm_cluster(n);
+        let mut cluster = warm_cluster_cap(n, cap);
         let target = cluster.now() + virt;
         let t0 = Instant::now();
         while cluster.now() < target {
@@ -127,12 +143,26 @@ fn measure(n: usize, virt: Duration, min_wall: f64) -> Sample {
     }
 }
 
-fn render_json(quick: bool, virt_ms: u64, samples: &[Sample]) -> String {
+fn render_json(
+    quick: bool,
+    virt_ms: u64,
+    samples: &[Sample],
+    recorder: &(Sample, Sample),
+) -> String {
+    let (on, off) = recorder;
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"event_loop\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"virtual_ms_per_run\": {virt_ms},\n"));
+    out.push_str(&format!(
+        "  \"recorder\": {{\"machines\": {}, \"on_events_per_sec\": {:.1}, \
+         \"off_events_per_sec\": {:.1}, \"on_off_ratio\": {:.4}}},\n",
+        on.machines,
+        on.events_per_sec,
+        off.events_per_sec,
+        on.events_per_sec / off.events_per_sec
+    ));
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
@@ -152,8 +182,12 @@ fn render_json(quick: bool, virt_ms: u64, samples: &[Sample]) -> String {
 /// Pull `events_per_sec` for a given machine count out of a baseline
 /// JSON written by this binary (dumb textual scan — no JSON dependency).
 fn baseline_rate(json: &str, machines: usize) -> Option<f64> {
+    // Match only result rows: the "recorder" line also names a machine
+    // count but carries on/off rates under different keys.
     let marker = format!("\"machines\": {machines},");
-    let line = json.lines().find(|l| l.contains(&marker))?;
+    let line = json
+        .lines()
+        .find(|l| l.contains(&marker) && l.contains("\"events_per_sec\": "))?;
     let tail = line.split("\"events_per_sec\": ").nth(1)?;
     let num: String = tail
         .chars()
@@ -197,7 +231,27 @@ fn main() {
         samples.push(s);
     }
 
-    let json = render_json(quick, virt.as_micros() / 1000, &samples);
+    // Recorder overhead at the gate size: same workload with the flight
+    // recorder at its default capacity vs disabled, measured back to
+    // back so machine drift hits both equally.
+    let rec_on = measure_cap(
+        GATE_MACHINES,
+        demos_sim::DEFAULT_RECORDER_CAPACITY,
+        virt,
+        min_wall,
+    );
+    let rec_off = measure_cap(GATE_MACHINES, 0, virt, min_wall);
+    let rec_ratio = rec_on.events_per_sec / rec_off.events_per_sec;
+    eprintln!(
+        "recorder @{GATE_MACHINES} machines: on {:.0} ev/s, off {:.0} ev/s \
+         ({:.1}% overhead)",
+        rec_on.events_per_sec,
+        rec_off.events_per_sec,
+        (1.0 - rec_ratio) * 100.0
+    );
+    let recorder = (rec_on, rec_off);
+
+    let json = render_json(quick, virt.as_micros() / 1000, &samples, &recorder);
     std::fs::write(&out_path, &json).expect("write results");
     eprintln!("wrote {out_path}");
 
@@ -224,6 +278,16 @@ fn main() {
         );
         if ratio < MIN_RATIO {
             eprintln!("FAIL: event-loop throughput regressed more than 30%");
+            std::process::exit(1);
+        }
+        // Recorder row: self-contained (on vs off within this run), so
+        // older baseline files without the row still gate cleanly.
+        eprintln!(
+            "check recorder overhead @{GATE_MACHINES} machines: on/off ratio {rec_ratio:.3} \
+             (gate {RECORDER_MIN_RATIO:.2})",
+        );
+        if rec_ratio < RECORDER_MIN_RATIO {
+            eprintln!("FAIL: flight recorder costs more than 10% of event-loop throughput");
             std::process::exit(1);
         }
         eprintln!("OK");

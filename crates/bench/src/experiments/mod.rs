@@ -6,6 +6,7 @@
 
 mod costs;
 mod forwarding;
+mod phases;
 mod policy;
 mod recovery;
 
@@ -14,6 +15,7 @@ pub use forwarding::{
     e13_dtk_during_migration, e4_forwarding_overhead, e5_link_update, e7_chain,
     e8_ablation_nondelivery,
 };
+pub use phases::{e16_phase_costs, E16_DUMP_PATH};
 pub use policy::{e10_affinity, e11_sinking_ship, e6_server_migration, e9_load_balance};
 pub use recovery::e14_recovery_latency;
 
@@ -33,4 +35,5 @@ pub fn run_all() {
     e12_pending_queue();
     e13_dtk_during_migration();
     e14_recovery_latency();
+    e16_phase_costs();
 }

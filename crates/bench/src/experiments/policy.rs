@@ -51,6 +51,7 @@ pub fn e6_server_migration() {
                 TraceEvent::Migration {
                     pid,
                     phase: MigrationPhase::PendingForwarded,
+                    ..
                 } if pid == victim && r.at >= t0 => {
                     // Count of step-6 messages comes from the source stats.
                     None::<u64>

@@ -84,8 +84,12 @@ const HB_EVERY: Duration = Duration::from_millis(5);
 /// Checkpoint cadence for recovery scenarios.
 const CK_EVERY: Duration = Duration::from_millis(5);
 
-/// Execute `sc` and return the report plus the JSON-lines trace export.
-pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
+/// Execute `sc` and return the report, the JSON-lines trace export, and
+/// the flight-recorder dump (every machine's black box, readable by
+/// `demos-trace`). The dump is the post-mortem artifact: unlike the full
+/// trace it is bounded, so it stays useful on schedules long enough to
+/// make the trace export unwieldy.
+pub fn run_capture(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String, Vec<u8>) {
     // Recovery machinery is active only when the scenario asks for it and
     // the ablation flag doesn't veto it.
     let recovery = sc.recovery && !cfg.disable_recovery;
@@ -181,6 +185,13 @@ pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
         events_skipped: skipped,
     };
     let lines = trace_json_lines(c.trace());
+    let flight = c.recorder_dump();
+    (report, lines, flight)
+}
+
+/// Execute `sc` and return the report plus the JSON-lines trace export.
+pub fn run_full(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String) {
+    let (report, lines, _) = run_capture(sc, cfg);
     (report, lines)
 }
 

@@ -32,7 +32,7 @@ pub mod repro;
 pub mod scenario;
 pub mod shrink;
 
-pub use exec::{run, run_full, trace_json_lines, RunConfig, RunReport, BURST_TAG};
+pub use exec::{run, run_capture, run_full, trace_json_lines, RunConfig, RunReport, BURST_TAG};
 pub use invariants::{Checker, Violation};
 pub use repro::{rust_snippet, write_artifacts, Artifacts};
 pub use scenario::{Event, EventKind, Scenario, TopoKind, TopoSpec, Workload};

@@ -18,7 +18,7 @@
 
 use std::path::PathBuf;
 
-use demos_chaos::{run, run_full, shrink, RunConfig, Scenario};
+use demos_chaos::{run, run_capture, shrink, RunConfig, Scenario};
 
 struct Args {
     seed: u64,
@@ -126,8 +126,9 @@ fn main() {
                     res.runs,
                     res.violation
                 );
-                // Re-run the minimized scenario to capture its trace.
-                let (final_report, trace) = run_full(&res.scenario, &args.fault);
+                // Re-run the minimized scenario to capture its trace and
+                // the machines' flight recorders.
+                let (final_report, trace, flight) = run_capture(&res.scenario, &args.fault);
                 let violation = final_report.violation.unwrap_or(res.violation);
                 match demos_chaos::write_artifacts(
                     &args.out,
@@ -135,11 +136,13 @@ fn main() {
                     &args.fault,
                     &violation,
                     &trace,
+                    &flight,
                 ) {
                     Ok(a) => {
                         println!("repro scenario: {}", a.scenario.display());
                         println!("repro test:     {}", a.snippet.display());
                         println!("repro trace:    {}", a.trace.display());
+                        println!("repro flight:   {}", a.flight.display());
                         println!("--- minimized repro ---");
                         print!(
                             "{}",

@@ -1,9 +1,11 @@
 //! Minimal-repro emission.
 //!
-//! When a shrunk scenario survives, the harness writes three artifacts:
+//! When a shrunk scenario survives, the harness writes four artifacts:
 //! the scenario in its stable text form (drop it into `tests/corpus/` to
 //! pin the regression forever), a self-contained Rust test snippet that
-//! replays it, and the JSON-lines trace of the violating run.
+//! replays it, the JSON-lines trace of the violating run, and the
+//! flight-recorder dump (every machine's black box — query it with
+//! `demos-trace`).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -47,6 +49,8 @@ pub struct Artifacts {
     pub snippet: PathBuf,
     /// The JSON-lines trace of the violating run.
     pub trace: PathBuf,
+    /// The flight-recorder dump (binary; `demos-trace` reads it).
+    pub flight: PathBuf,
 }
 
 /// Write the repro artifacts for `sc` into `dir` (created if missing).
@@ -56,6 +60,7 @@ pub fn write_artifacts(
     cfg: &RunConfig,
     violation: &Violation,
     trace_lines: &str,
+    flight_dump: &[u8],
 ) -> std::io::Result<Artifacts> {
     std::fs::create_dir_all(dir)?;
     let base = format!("repro-{}", sc.seed);
@@ -63,11 +68,13 @@ pub fn write_artifacts(
         scenario: dir.join(format!("{base}.seed")),
         snippet: dir.join(format!("{base}.rs")),
         trace: dir.join(format!("{base}.jsonl")),
+        flight: dir.join(format!("{base}.flight")),
     };
     std::fs::File::create(&paths.scenario)?.write_all(sc.to_text().as_bytes())?;
     std::fs::File::create(&paths.snippet)?
         .write_all(rust_snippet(sc, cfg, violation).as_bytes())?;
     std::fs::File::create(&paths.trace)?.write_all(trace_lines.as_bytes())?;
+    std::fs::File::create(&paths.flight)?.write_all(flight_dump)?;
     Ok(paths)
 }
 
@@ -106,6 +113,7 @@ mod tests {
             &RunConfig::default(),
             &Violation::NonDeliverable { count: 2 },
             "{\"at\":0}\n",
+            b"DMFR1\0\0\0",
         )
         .unwrap();
         assert_eq!(
@@ -115,6 +123,7 @@ mod tests {
         assert!(std::fs::read_to_string(&paths.snippet)
             .unwrap()
             .contains("chaos_repro_seed_13"));
+        assert_eq!(std::fs::read(&paths.flight).unwrap(), b"DMFR1\0\0\0");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

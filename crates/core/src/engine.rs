@@ -323,6 +323,7 @@ impl MigrationEngine {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Offered,
+            bytes: sizes.resident as u64 + sizes.swappable as u64 + sizes.image as u64,
         });
         Ok(())
     }
@@ -419,6 +420,7 @@ impl MigrationEngine {
                     out.trace.push(TraceEvent::Migration {
                         pid: mig.pid,
                         phase: MigrationPhase::Rejected,
+                        bytes: 0,
                     });
                     if let Some(r) = mig.reply.filter(|_| !retried) {
                         let done = MigrateMsg::Done {
@@ -531,6 +533,7 @@ impl MigrationEngine {
                     out.trace.push(TraceEvent::Migration {
                         pid,
                         phase: MigrationPhase::Aborted,
+                        bytes: 0,
                     });
                 } else if outgoing_match {
                     let Some(mig) = self.outgoing.remove(&ctx) else {
@@ -591,6 +594,7 @@ impl MigrationEngine {
             out.trace.push(TraceEvent::Migration {
                 pid: info.pid,
                 phase: MigrationPhase::Rejected,
+                bytes: 0,
             });
             return;
         }
@@ -609,6 +613,7 @@ impl MigrationEngine {
                 out.trace.push(TraceEvent::Migration {
                     pid: info.pid,
                     phase: MigrationPhase::Rejected,
+                    bytes: 0,
                 });
                 return;
             }
@@ -616,6 +621,7 @@ impl MigrationEngine {
         out.trace.push(TraceEvent::Migration {
             pid: info.pid,
             phase: MigrationPhase::Allocated,
+            bytes: 0,
         });
         let accept = MigrateMsg::Accept {
             ctx: src_ctx,
@@ -675,6 +681,7 @@ impl MigrationEngine {
             out.trace.push(TraceEvent::Migration {
                 pid: mig.pid,
                 phase: MigrationPhase::Aborted,
+                bytes: 0,
             });
             return;
         }
@@ -701,6 +708,7 @@ impl MigrationEngine {
                 out.trace.push(TraceEvent::Migration {
                     pid: mig.pid,
                     phase: MigrationPhase::StateTransferred,
+                    bytes: mig.received,
                 });
                 kernel.start_kernel_pull(
                     now,
@@ -745,6 +753,7 @@ impl MigrationEngine {
                         out.trace.push(TraceEvent::Migration {
                             pid,
                             phase: MigrationPhase::Aborted,
+                            bytes: 0,
                         });
                     }
                 }
@@ -790,6 +799,7 @@ impl MigrationEngine {
                 out.trace.push(TraceEvent::Migration {
                     pid: mig.pid,
                     phase: MigrationPhase::Restarted,
+                    bytes: 0,
                 });
                 if let Some(r) = mig.reply {
                     let done = MigrateMsg::Done {
@@ -812,6 +822,7 @@ impl MigrationEngine {
                 out.trace.push(TraceEvent::Migration {
                     pid: mig.pid,
                     phase: MigrationPhase::Aborted,
+                    bytes: 0,
                 });
             }
         }
@@ -831,6 +842,7 @@ impl MigrationEngine {
             out.trace.push(TraceEvent::Migration {
                 pid: mig.pid,
                 phase: MigrationPhase::Aborted,
+                bytes: 0,
             });
             if let Some(r) = mig.reply.filter(|_| !retried) {
                 let done = MigrateMsg::Done {
@@ -933,6 +945,7 @@ impl MigrationEngine {
             out.trace.push(TraceEvent::Migration {
                 pid: mig.pid,
                 phase: MigrationPhase::Aborted,
+                bytes: 0,
             });
         }
         // Fire scheduled retries: re-offer each aborted process to its

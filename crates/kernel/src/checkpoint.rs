@@ -138,6 +138,7 @@ impl Kernel {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Restarted,
+            bytes: 0,
         });
         Ok(pid)
     }

@@ -1923,6 +1923,7 @@ impl Kernel {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Frozen,
+            bytes: 0,
         });
         Ok(MigrationSizes {
             resident: proc.serialize_resident().len() as u32,
@@ -1941,6 +1942,7 @@ impl Kernel {
             out.trace.push(TraceEvent::Migration {
                 pid,
                 phase: MigrationPhase::Aborted,
+                bytes: 0,
             });
             self.schedule(pid);
         }
@@ -2012,6 +2014,7 @@ impl Kernel {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::ImageTransferred,
+            bytes: (resident.len() + swappable.len() + image_flat.len()) as u64,
         });
         let _ = now;
         Ok(pid)
@@ -2028,6 +2031,7 @@ impl Kernel {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Restarted,
+            bytes: 0,
         });
         self.schedule(pid);
         Ok(())
@@ -2062,6 +2066,7 @@ impl Kernel {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::PendingForwarded,
+            bytes: 0,
         });
         // Step 7: reclaim, install the forwarding address.
         self.mem_used = self.mem_used.saturating_sub(proc.image.total_len() as u64);
@@ -2078,6 +2083,7 @@ impl Kernel {
         out.trace.push(TraceEvent::Migration {
             pid,
             phase: MigrationPhase::CleanedUp,
+            bytes: 0,
         });
         Ok(forwarded)
     }

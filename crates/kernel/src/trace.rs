@@ -106,6 +106,11 @@ pub enum TraceEvent {
         pid: ProcessId,
         /// Which step (see [`MigrationPhase`]).
         phase: MigrationPhase,
+        /// Bytes attributable to the step: total offered size on
+        /// `Offered`, state bytes received on `StateTransferred`, the
+        /// full transferred total on `ImageTransferred`; zero elsewhere.
+        /// The phase profiler turns these into §6's cost-vs-size curves.
+        bytes: u64,
     },
     /// A forwarding address was installed (step 7).
     ForwardingInstalled {
@@ -218,10 +223,12 @@ mod tests {
         let a = TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Frozen,
+            bytes: 0,
         };
         let b = TraceEvent::Migration {
             pid,
             phase: MigrationPhase::Frozen,
+            bytes: 0,
         };
         assert_eq!(a, b);
         assert_ne!(a, TraceEvent::Exited { pid });

@@ -1,0 +1,257 @@
+//! `demos-trace` — query and aggregate flight-recorder dumps.
+//!
+//! A dump is one or more per-node sections written by
+//! [`demos_obs::recorder::FlightRecorder::dump_into`] (the simulator's
+//! `Cluster::recorder_dump`, the chaos harness's `repro-*.flight`
+//! artifacts). This tool merges the sections by virtual time, applies
+//! filters, and prints either the matching records or percentile tables
+//! over the migration phases they contain.
+//!
+//! ```text
+//! demos-trace dump.flight                      # merged timeline
+//! demos-trace dump.flight --phases             # §6 phase percentile table
+//! demos-trace dump.flight --machine 3          # one node's records
+//! demos-trace dump.flight --corr m0/17         # one message's journey
+//! demos-trace dump.flight --kind migration --phase frozen
+//! demos-trace dump.flight --tail 50            # newest 50 records
+//! ```
+//!
+//! Exit status: 0 on success (even with zero matches), 1 on usage or
+//! parse errors.
+
+use demos_obs::recorder::{
+    kind_name, merge, parse_dump, phase_by_name, render_record, NodeDump, PhaseTable, Record,
+};
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    machine: Option<u16>,
+    corr: Option<u64>,
+    kind: Option<String>,
+    phase: Option<u8>,
+    phases_table: bool,
+    summary: bool,
+    tail: Option<usize>,
+}
+
+const USAGE: &str = "usage: demos-trace <dump-file> [options]
+  --machine <N>     only records from machine N
+  --corr <M/SEQ>    only records of one correlation id (e.g. 0/17)
+  --kind <NAME>     only records of one kind (e.g. migration, forwarded)
+  --phase <NAME>    only migration records in one phase (e.g. frozen)
+  --phases          print the per-phase percentile table (p50/p90/p99/p999)
+  --summary        print per-node header info and kind counts only
+  --tail <N>        only the newest N records after filtering";
+
+fn parse_corr(s: &str) -> Option<u64> {
+    // Accept "m0/17", "0/17" or a raw u64.
+    let s = s.strip_prefix('m').unwrap_or(s);
+    if let Some((m, seq)) = s.split_once('/') {
+        let m: u64 = m.parse().ok()?;
+        let seq: u64 = seq.parse().ok()?;
+        Some(m << 48 | (seq & 0xFFFF_FFFF_FFFF))
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        machine: None,
+        corr: None,
+        kind: None,
+        phase: None,
+        phases_table: false,
+        summary: false,
+        tail: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--machine" => {
+                args.machine = Some(
+                    val("--machine")?
+                        .parse()
+                        .map_err(|e| format!("--machine: {e}"))?,
+                )
+            }
+            "--corr" => {
+                let raw = val("--corr")?;
+                args.corr = Some(parse_corr(&raw).ok_or(format!("bad corr id: {raw}"))?)
+            }
+            "--kind" => args.kind = Some(val("--kind")?.to_ascii_lowercase()),
+            "--phase" => {
+                let raw = val("--phase")?;
+                args.phase = Some(phase_by_name(&raw).ok_or(format!("unknown phase: {raw}"))?)
+            }
+            "--phases" => args.phases_table = true,
+            "--summary" => args.summary = true,
+            "--tail" => {
+                args.tail = Some(val("--tail")?.parse().map_err(|e| format!("--tail: {e}"))?)
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if args.path.is_empty() && !other.starts_with('-') => {
+                args.path = other.to_string()
+            }
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    if args.path.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn keep(r: &Record, args: &Args) -> bool {
+    if let Some(m) = args.machine {
+        if r.machine != m {
+            return false;
+        }
+    }
+    if let Some(c) = args.corr {
+        if r.a != c || r.kind == demos_obs::recorder::kind::MIGRATION {
+            return false;
+        }
+    }
+    if let Some(k) = &args.kind {
+        if kind_name(r.kind) != k {
+            return false;
+        }
+    }
+    if let Some(p) = args.phase {
+        if r.kind != demos_obs::recorder::kind::MIGRATION || r.arg != p {
+            return false;
+        }
+    }
+    true
+}
+
+fn summarize(dumps: &[NodeDump]) -> String {
+    let mut s = String::new();
+    for d in dumps {
+        s.push_str(&format!(
+            "m{}: {} records held (cap {}, {} recorded, {} dropped)\n",
+            d.machine,
+            d.records.len(),
+            d.capacity,
+            d.total,
+            d.dropped()
+        ));
+    }
+    // Kind counts over the merged timeline, name-ordered.
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for d in dumps {
+        for r in &d.records {
+            *counts.entry(kind_name(r.kind)).or_insert(0) += 1;
+        }
+    }
+    s.push_str("kind counts:\n");
+    for (k, n) in counts {
+        s.push_str(&format!("  {k:<22} {n}\n"));
+    }
+    s
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let bytes = std::fs::read(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let dumps = parse_dump(&bytes)?;
+    if args.summary {
+        print!("{}", summarize(&dumps));
+        return Ok(());
+    }
+    let mut records: Vec<Record> = merge(&dumps)
+        .into_iter()
+        .filter(|r| keep(r, &args))
+        .collect();
+    if let Some(n) = args.tail {
+        let skip = records.len().saturating_sub(n);
+        records.drain(..skip);
+    }
+    if args.phases_table {
+        print!("{}", PhaseTable::from_records(&records).render());
+        return Ok(());
+    }
+    for r in &records {
+        println!("{}", render_record(r));
+    }
+    println!("{} records", records.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_obs::recorder::{kind, pack_pid, phase};
+
+    fn args(extra: &[&str]) -> Args {
+        let mut v = vec!["dump.bin".to_string()];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        parse_args(&v).unwrap()
+    }
+
+    #[test]
+    fn corr_parses_both_forms() {
+        assert_eq!(parse_corr("m2/17"), Some(2u64 << 48 | 17));
+        assert_eq!(parse_corr("2/17"), Some(2u64 << 48 | 17));
+        assert_eq!(parse_corr("42"), Some(42));
+        assert_eq!(parse_corr("m/x"), None);
+    }
+
+    #[test]
+    fn filters_compose() {
+        let mig = Record {
+            at: 5,
+            a: pack_pid(0, 1),
+            b: 0,
+            c: 0,
+            machine: 3,
+            kind: kind::MIGRATION,
+            arg: phase::FROZEN,
+        };
+        let fwd = Record {
+            at: 6,
+            a: 99,
+            b: pack_pid(0, 1),
+            c: 0,
+            machine: 2,
+            kind: kind::FORWARDED,
+            arg: 0,
+        };
+        assert!(keep(&mig, &args(&["--machine", "3"])));
+        assert!(!keep(&fwd, &args(&["--machine", "3"])));
+        assert!(keep(&mig, &args(&["--phase", "frozen"])));
+        assert!(!keep(&fwd, &args(&["--phase", "frozen"])));
+        assert!(keep(&fwd, &args(&["--corr", "99"])));
+        assert!(
+            !keep(&mig, &args(&["--corr", "99"])),
+            "corr never matches pid operands"
+        );
+        assert!(keep(&fwd, &args(&["--kind", "forwarded"])));
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["d".into(), "--phase".into(), "nope".into()]).is_err());
+        assert!(parse_args(&["d".into(), "--bogus".into()]).is_err());
+    }
+}

@@ -16,13 +16,17 @@
 #![warn(missing_docs)]
 
 pub mod corrset;
+pub mod hist;
 pub mod json;
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod series;
 pub mod snapshot;
 
 pub use corrset::{DeliveryEvent, DeliveryLedger};
+pub use hist::Histogram;
+pub use recorder::{FlightRecorder, NodeDump, PhaseTable, Record};
 pub use registry::MetricsRegistry;
 pub use series::{SeriesStore, TimeSeries};
 pub use snapshot::{ClusterSnapshot, MachineSnapshot};

@@ -8,11 +8,14 @@
 
 use std::collections::BTreeMap;
 
-/// Named counters and gauges for one kernel (one machine).
+use crate::hist::Histogram;
+
+/// Named counters, gauges and histograms for one kernel (one machine).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -57,15 +60,35 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Record `value` into the histogram `name` (creating it empty).
+    pub fn hist_record(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if any values were recorded into it.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All histograms, in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
     /// Merge another registry into this one: counters and gauges both
     /// add, so merging per-machine registries yields cluster totals
-    /// (a cluster's "queue depth" gauge is the sum of its machines').
+    /// (a cluster's "queue depth" gauge is the sum of its machines');
+    /// histograms merge bucket-wise, so per-machine latency tails roll
+    /// up into the cluster-wide distribution.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, v) in other.counters() {
             *self.counters.entry(name).or_insert(0) += v;
         }
         for (name, v) in other.gauges() {
             *self.gauges.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in other.hists() {
+            self.hists.entry(name).or_default().merge(h);
         }
     }
 }
@@ -100,6 +123,23 @@ mod tests {
         assert_eq!(a.counter("msgs"), 11);
         assert_eq!(a.counter("drops"), 1);
         assert_eq!(a.gauge("runq"), 7);
+    }
+
+    #[test]
+    fn histograms_record_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.hist_record("lat", 10);
+        a.hist_record("lat", 1000);
+        assert_eq!(a.hist("lat").unwrap().count(), 2);
+        assert!(a.hist("absent").is_none());
+        let mut b = MetricsRegistry::new();
+        b.hist_record("lat", 50);
+        b.hist_record("other", 7);
+        a.merge(&b);
+        assert_eq!(a.hist("lat").unwrap().count(), 3);
+        assert_eq!(a.hist("other").unwrap().count(), 1);
+        let names: Vec<_> = a.hists().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["lat", "other"]);
     }
 
     #[test]

@@ -93,10 +93,132 @@ pub fn render(snap: &ClusterSnapshot) -> String {
     out
 }
 
+/// One migration's row in the phase panel. Times are microsecond
+/// durations (`None` = phase never reached); the producer (`demos-sim`'s
+/// phase profiler) fills them from reconstructed lifecycle spans.
+#[derive(Debug, Clone, Default)]
+pub struct PhasePanelRow {
+    /// Process label (`p0.1`).
+    pub pid: String,
+    /// `src->dest` label (`m0->m2`; `m0->?` if no destination committed).
+    pub route: String,
+    /// `completed`, `rejected`, `aborted` or `in-flight`.
+    pub outcome: String,
+    /// Frozen → allocated (steps 1–3).
+    pub negotiation_us: Option<u64>,
+    /// Allocated → image transferred (steps 4–5).
+    pub transfer_us: Option<u64>,
+    /// Bytes moved during state+image transfer.
+    pub bytes: u64,
+    /// Image transferred → restarted (step 8).
+    pub restart_us: Option<u64>,
+    /// Frozen → restarted: the process's total off-cpu window.
+    pub frozen_us: Option<u64>,
+    /// Cleanup → last forwarded message / collection: how long the
+    /// forwarding address stayed hot (§4).
+    pub residual_us: Option<u64>,
+    /// Messages that chased the forwarding address.
+    pub forwards: u64,
+}
+
+/// Render the `demos-top` migration-phase panel: one aligned row per
+/// migration, §6's cost table shape.
+pub fn render_phase_panel(rows: &[PhasePanelRow]) -> String {
+    const PH: [&str; 10] = [
+        "pid", "route", "outcome", "negot", "xfer", "bytes", "restart", "frozen", "resid", "fwds",
+    ];
+    let opt = |v: Option<u64>| v.map(|u| u.to_string()).unwrap_or_else(|| "-".to_string());
+    let cells: Vec<[String; 10]> = rows
+        .iter()
+        .map(|r| {
+            [
+                r.pid.clone(),
+                r.route.clone(),
+                r.outcome.clone(),
+                opt(r.negotiation_us),
+                opt(r.transfer_us),
+                r.bytes.to_string(),
+                opt(r.restart_us),
+                opt(r.frozen_us),
+                opt(r.residual_us),
+                r.forwards.to_string(),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = PH.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |row: &[String]| -> String {
+        let mut s = String::new();
+        for (i, c) in row.iter().enumerate() {
+            if i < 3 {
+                let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
+            } else {
+                let _ = write!(s, "{:>w$}  ", c, w = widths[i]);
+            }
+        }
+        s.trim_end().to_string()
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "migration phases (durations in us):");
+    let header: Vec<String> = PH.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", line(&header));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in &cells {
+        let _ = writeln!(out, "{}", line(row));
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no migrations)");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use demos_types::Time;
+
+    #[test]
+    fn phase_panel_renders_rows_and_dashes() {
+        let rows = vec![
+            PhasePanelRow {
+                pid: "p0.1".into(),
+                route: "m0->m2".into(),
+                outcome: "completed".into(),
+                negotiation_us: Some(120),
+                transfer_us: Some(800),
+                bytes: 4096,
+                restart_us: Some(60),
+                frozen_us: Some(1000),
+                residual_us: Some(2500),
+                forwards: 3,
+            },
+            PhasePanelRow {
+                pid: "p0.2".into(),
+                route: "m0->?".into(),
+                outcome: "rejected".into(),
+                ..Default::default()
+            },
+        ];
+        let text = render_phase_panel(&rows);
+        assert!(text.contains("migration phases"), "{text}");
+        assert!(text.lines().any(|l| l.starts_with("p0.1")), "{text}");
+        assert!(text.contains("4096"), "{text}");
+        let rejected = text.lines().find(|l| l.starts_with("p0.2")).unwrap();
+        assert!(
+            rejected.contains("rejected") && rejected.contains("-"),
+            "{rejected}"
+        );
+        let empty = render_phase_panel(&[]);
+        assert!(empty.contains("(no migrations)"), "{empty}");
+    }
 
     #[test]
     fn renders_rows_totals_and_traffic() {

@@ -28,6 +28,9 @@ use demos_types::{
     Time,
 };
 
+use demos_obs::FlightRecorder;
+
+use crate::flight::{self, DEFAULT_RECORDER_CAPACITY};
 use crate::recovery::{RecoveryConfig, RecoveryEpisode, RecoveryManager};
 use crate::trace::Trace;
 
@@ -41,6 +44,7 @@ pub struct ClusterBuilder {
     trace: bool,
     sample: Option<Duration>,
     recovery: Option<RecoveryConfig>,
+    recorder_capacity: usize,
 }
 
 impl ClusterBuilder {
@@ -55,6 +59,7 @@ impl ClusterBuilder {
             trace: true,
             sample: None,
             recovery: None,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
         }
     }
 
@@ -104,6 +109,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Per-machine flight-recorder ring capacity, in records. The
+    /// recorder stays on even with [`ClusterBuilder::no_trace`] — it is
+    /// the black box consulted after crashes and invariant violations.
+    /// `0` disables it entirely.
+    pub fn recorder_capacity(mut self, records: usize) -> Self {
+        self.recorder_capacity = records;
+        self
+    }
+
     /// Enable automatic crash recovery: periodic checkpoints plus
     /// re-homing when the kernels' failure detector confirms a machine
     /// dead. Pair with a non-zero
@@ -150,6 +164,9 @@ impl ClusterBuilder {
                 Trace::disabled()
             },
             outbox: Outbox::default(),
+            recorders: (0..n)
+                .map(|i| FlightRecorder::new(i as u16, self.recorder_capacity))
+                .collect(),
             registry,
             series: self.sample.map(SeriesStore::new),
             migration: self.migration,
@@ -215,6 +232,9 @@ pub struct Cluster {
     crashed: Vec<bool>,
     trace: Trace,
     outbox: Outbox,
+    /// Per-machine black boxes: bounded rings of the most recent kernel
+    /// events, kept even when the full [`Trace`] is disabled.
+    recorders: Vec<FlightRecorder>,
     registry: Arc<Registry>,
     series: Option<SeriesStore>,
     migration: MigrationConfig,
@@ -306,6 +326,44 @@ impl Cluster {
         self.cpu_busy_total[m.0 as usize]
     }
 
+    /// Machine `m`'s flight recorder (its bounded event ring).
+    pub fn recorder(&self, m: MachineId) -> &FlightRecorder {
+        &self.recorders[m.0 as usize]
+    }
+
+    /// Render machine `m`'s recent flight-recorder tail as text — the
+    /// post-mortem view used on crash recovery and invariant violations.
+    pub fn render_postmortem(&self, m: MachineId) -> String {
+        let rec = &self.recorders[m.0 as usize];
+        let mut s = format!(
+            "flight recorder m{} ({} recorded, {} dropped):\n",
+            m.0,
+            rec.total_recorded(),
+            rec.total_recorded().saturating_sub(rec.len() as u64),
+        );
+        if rec.capacity() == 0 {
+            s.push_str("  (recorder disabled)\n");
+            return s;
+        }
+        for r in rec.tail(32) {
+            s.push_str("  ");
+            s.push_str(&demos_obs::recorder::render_record(&r));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Serialize every machine's recorder ring — crashed machines
+    /// included (a black box survives its aircraft) — as one dump
+    /// readable by `demos-trace` and [`demos_obs::recorder::parse_dump`].
+    pub fn recorder_dump(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for rec in &self.recorders {
+            rec.dump_into(&mut out);
+        }
+        out
+    }
+
     /// Cumulative event-loop instrumentation (node visits per phase).
     pub fn step_stats(&self) -> StepStats {
         self.step_stats
@@ -360,6 +418,12 @@ impl Cluster {
 
     fn drain_outbox(&mut self, machine: MachineId) {
         let events = std::mem::take(&mut self.outbox.trace);
+        let rec = &mut self.recorders[machine.0 as usize];
+        if rec.capacity() > 0 {
+            for ev in &events {
+                rec.record(flight::encode(self.now, machine, ev));
+            }
+        }
         self.trace.extend(self.now, machine, events);
         debug_assert!(
             self.outbox.migration_inbox.is_empty() && self.outbox.pull_done.is_empty(),
@@ -884,6 +948,14 @@ impl Cluster {
     fn rehome_from(&mut self, dead: MachineId, detected_at: Time) {
         let now = self.now;
         let crashed_at = self.crash_log.get(&dead).copied();
+        // Pull the black box before touching anything else: the dead
+        // kernel's final recorded events, for the operator's post-mortem.
+        let postmortem = self.render_postmortem(dead);
+        self.recovery
+            .as_mut()
+            .expect("checked")
+            .postmortems
+            .push((dead, postmortem));
         // Guard: only re-home processes that are genuinely gone. A
         // detector false-confirmation on a live (e.g. long-partitioned)
         // machine must never duplicate a process.

@@ -8,10 +8,12 @@
 
 use demos_core::Node;
 use demos_kernel::TrafficBreakdown;
-use demos_obs::{report, ClusterSnapshot, MachineSnapshot, MetricsRegistry};
-use demos_types::MachineId;
+use demos_obs::report::PhasePanelRow;
+use demos_obs::{json::Json, report, ClusterSnapshot, MachineSnapshot, MetricsRegistry};
+use demos_types::{Duration, MachineId};
 
 use crate::cluster::Cluster;
+use crate::span::{migration_spans_of, MigrationOutcome, MigrationSpan};
 
 /// Traffic classes in report order, with their per-class counts.
 pub fn traffic_classes(t: &TrafficBreakdown) -> Vec<(&'static str, u64, u64)> {
@@ -149,6 +151,83 @@ impl Cluster {
     pub fn json_lines(&self) -> String {
         self.snapshot().to_json_lines()
     }
+
+    /// The `demos-top` migration-phase panel: every migration lifecycle
+    /// stitched from the trace, one row each, in freeze order.
+    pub fn phase_report(&self) -> String {
+        let spans = migration_spans_of(self.trace());
+        let rows: Vec<PhasePanelRow> = spans.iter().map(phase_panel_row).collect();
+        report::render_phase_panel(&rows)
+    }
+
+    /// Migration lifecycle spans as JSON lines (one object per
+    /// migration; parse with [`demos_obs::json::parse_lines`]).
+    pub fn phase_json_lines(&self) -> String {
+        let mut out = String::new();
+        for s in migration_spans_of(self.trace()) {
+            out.push_str(&span_json(&s).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One migration span as a `demos-top` phase-panel row.
+pub fn phase_panel_row(s: &MigrationSpan) -> PhasePanelRow {
+    let us = |d: Option<Duration>| d.map(|d| d.as_micros());
+    PhasePanelRow {
+        pid: s.pid.to_string(),
+        route: format!(
+            "{}->{}",
+            s.src.map_or_else(|| "?".into(), |m| format!("m{}", m.0)),
+            s.dest.map_or_else(|| "?".into(), |m| format!("m{}", m.0)),
+        ),
+        outcome: outcome_label(s.outcome).to_string(),
+        negotiation_us: us(s.negotiation()),
+        transfer_us: us(s.transfer()),
+        bytes: s.bytes_total.max(s.bytes_offered),
+        restart_us: us(s.restart()),
+        frozen_us: us(s.frozen_total()),
+        residual_us: us(s.residual()),
+        forwards: s.forwards,
+    }
+}
+
+fn outcome_label(o: MigrationOutcome) -> &'static str {
+    match o {
+        MigrationOutcome::Completed => "completed",
+        MigrationOutcome::Rejected => "rejected",
+        MigrationOutcome::Aborted => "aborted",
+        MigrationOutcome::InFlight => "in-flight",
+    }
+}
+
+fn span_json(s: &MigrationSpan) -> Json {
+    let time = |t: Option<demos_types::Time>| t.map_or(Json::Null, |t| Json::num(t.as_micros()));
+    let dur = |d: Option<Duration>| d.map_or(Json::Null, |d| Json::num(d.as_micros()));
+    Json::obj([
+        ("pid", Json::str(s.pid.to_string())),
+        ("src", s.src.map_or(Json::Null, |m| Json::num(m.0 as u64))),
+        ("dest", s.dest.map_or(Json::Null, |m| Json::num(m.0 as u64))),
+        ("outcome", Json::str(outcome_label(s.outcome))),
+        ("frozen", time(s.frozen)),
+        ("offered", time(s.offered)),
+        ("allocated", time(s.allocated)),
+        ("state_transferred", time(s.state_transferred)),
+        ("image_transferred", time(s.image_transferred)),
+        ("pending_forwarded", time(s.pending_forwarded)),
+        ("cleaned_up", time(s.cleaned_up)),
+        ("restarted", time(s.restarted)),
+        ("negotiation_us", dur(s.negotiation())),
+        ("transfer_us", dur(s.transfer())),
+        ("restart_us", dur(s.restart())),
+        ("frozen_us", dur(s.frozen_total())),
+        ("residual_us", dur(s.residual())),
+        ("bytes_offered", Json::num(s.bytes_offered)),
+        ("bytes_state", Json::num(s.bytes_state)),
+        ("bytes_total", Json::num(s.bytes_total)),
+        ("forwards", Json::num(s.forwards)),
+    ])
 }
 
 #[cfg(test)]
@@ -193,6 +272,36 @@ mod tests {
         let parsed = json::parse_lines(&c.json_lines()).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].u64_field("procs"), Some(1));
+    }
+
+    #[test]
+    fn phase_panel_and_json_cover_a_real_migration() {
+        use crate::programs::Cargo;
+        let mut c = Cluster::mesh(2);
+        let pid = c
+            .spawn(
+                MachineId(0),
+                "cargo",
+                &Cargo::state(256),
+                ImageLayout::default(),
+            )
+            .unwrap();
+        c.run_for(Duration::from_millis(5));
+        c.migrate(pid, MachineId(1)).unwrap();
+        c.run_for(Duration::from_millis(400));
+
+        let panel = c.phase_report();
+        assert!(panel.contains("m0->m1"), "{panel}");
+        assert!(panel.contains("completed"), "{panel}");
+
+        let parsed = json::parse_lines(&c.phase_json_lines()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let span = &parsed[0];
+        assert_eq!(span.str_field("outcome"), Some("completed"));
+        assert_eq!(span.u64_field("src"), Some(0));
+        assert_eq!(span.u64_field("dest"), Some(1));
+        assert!(span.u64_field("frozen_us").unwrap() > 0);
+        assert!(span.u64_field("bytes_total").unwrap() > 0);
     }
 
     #[test]

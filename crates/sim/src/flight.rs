@@ -1,0 +1,261 @@
+//! Flight-recorder encoding: [`TraceEvent`] → compact
+//! [`demos_obs::recorder::Record`].
+//!
+//! `demos-obs` owns the record *format* but depends only on
+//! `demos-types`, so it never sees the kernel's event enum; this module
+//! is the one place that maps the two. The encoding drops what the ring
+//! cannot afford (program names, log text, one of the two pids on link
+//! updates) and keeps what post-mortems need: virtual time, machine,
+//! kind, correlation id / pid operands, migration phase and byte counts.
+
+use demos_kernel::{MigrationPhase, TraceEvent};
+use demos_obs::recorder::{kind, pack_pid, phase, Record};
+use demos_types::{MachineId, ProcessId, Time};
+
+/// Default per-node ring capacity. 4096 records × 32 B = 128 KiB per
+/// machine — hours of tail at typical event rates, constant cost.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+fn pid_bits(p: ProcessId) -> u64 {
+    pack_pid(p.creating_machine.0, p.local_uid)
+}
+
+/// The recorder's phase constant for a [`MigrationPhase`].
+pub fn phase_code(p: MigrationPhase) -> u8 {
+    match p {
+        MigrationPhase::Frozen => phase::FROZEN,
+        MigrationPhase::Offered => phase::OFFERED,
+        MigrationPhase::Allocated => phase::ALLOCATED,
+        MigrationPhase::Rejected => phase::REJECTED,
+        MigrationPhase::StateTransferred => phase::STATE_TRANSFERRED,
+        MigrationPhase::ImageTransferred => phase::IMAGE_TRANSFERRED,
+        MigrationPhase::PendingForwarded => phase::PENDING_FORWARDED,
+        MigrationPhase::CleanedUp => phase::CLEANED_UP,
+        MigrationPhase::Restarted => phase::RESTARTED,
+        MigrationPhase::Aborted => phase::ABORTED,
+    }
+}
+
+/// Encode one kernel event as a fixed-size recorder entry.
+pub fn encode(at: Time, machine: MachineId, event: &TraceEvent) -> Record {
+    let mut r = Record {
+        at: at.as_micros(),
+        machine: machine.0,
+        ..Record::default()
+    };
+    match event {
+        TraceEvent::Spawned { pid, program: _ } => {
+            r.kind = kind::SPAWNED;
+            r.a = pid_bits(*pid);
+        }
+        TraceEvent::Exited { pid } => {
+            r.kind = kind::EXITED;
+            r.a = pid_bits(*pid);
+        }
+        TraceEvent::Submitted {
+            corr,
+            dest,
+            msg_type,
+        } => {
+            r.kind = kind::SUBMITTED;
+            r.a = corr.0;
+            r.b = pid_bits(*dest);
+            r.c = u32::from(*msg_type);
+        }
+        TraceEvent::Enqueued {
+            corr,
+            pid,
+            msg_type,
+            forwarded,
+            hops,
+        } => {
+            r.kind = kind::ENQUEUED;
+            r.a = corr.0;
+            // Bit 63 of `b` flags a forwarded delivery; the packed pid
+            // only occupies the low 48 bits.
+            r.b = pid_bits(*pid) | (u64::from(*forwarded) << 63);
+            r.c = u32::from(*msg_type);
+            r.arg = *hops;
+        }
+        TraceEvent::KernelReceived {
+            corr,
+            pid,
+            msg_type,
+        } => {
+            r.kind = kind::KERNEL_RECEIVED;
+            r.a = corr.0;
+            r.b = pid_bits(*pid);
+            r.c = u32::from(*msg_type);
+        }
+        TraceEvent::ForwardedMessage {
+            corr,
+            pid,
+            to,
+            msg_type,
+        } => {
+            r.kind = kind::FORWARDED;
+            r.a = corr.0;
+            r.b = pid_bits(*pid);
+            // High half: where the forwarding address pointed.
+            r.c = u32::from(to.0) << 16 | u32::from(*msg_type);
+        }
+        TraceEvent::LinkUpdateSent {
+            corr,
+            sender: _,
+            migrated,
+            new_machine,
+        } => {
+            r.kind = kind::LINK_UPDATE_SENT;
+            r.a = corr.0;
+            r.b = pid_bits(*migrated);
+            r.c = u32::from(new_machine.0);
+        }
+        TraceEvent::LinkUpdateApplied {
+            corr,
+            sender: _,
+            migrated,
+            patched,
+        } => {
+            r.kind = kind::LINK_UPDATE_APPLIED;
+            r.a = corr.0;
+            r.b = pid_bits(*migrated);
+            r.c = (*patched).min(u32::MAX as usize) as u32;
+        }
+        TraceEvent::NonDeliverable {
+            corr,
+            pid,
+            msg_type,
+        } => {
+            r.kind = kind::NON_DELIVERABLE;
+            r.a = corr.0;
+            r.b = pid_bits(*pid);
+            r.c = u32::from(*msg_type);
+        }
+        TraceEvent::Migration { pid, phase, bytes } => {
+            r.kind = kind::MIGRATION;
+            r.a = pid_bits(*pid);
+            r.b = *bytes;
+            r.arg = phase_code(*phase);
+        }
+        TraceEvent::ForwardingInstalled { pid, to } => {
+            r.kind = kind::FORWARDING_INSTALLED;
+            r.a = pid_bits(*pid);
+            r.c = u32::from(to.0);
+        }
+        TraceEvent::ForwardingCollected { pid } => {
+            r.kind = kind::FORWARDING_COLLECTED;
+            r.a = pid_bits(*pid);
+        }
+        TraceEvent::MoveDataDone { op, bytes, status } => {
+            r.kind = kind::MOVE_DATA_DONE;
+            r.a = u64::from(*op);
+            r.b = *bytes;
+            r.arg = *status;
+        }
+        TraceEvent::Log { pid, text: _ } => {
+            r.kind = kind::LOG;
+            r.a = pid_bits(*pid);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_types::CorrId;
+
+    fn pid(m: u16, u: u32) -> ProcessId {
+        ProcessId {
+            creating_machine: MachineId(m),
+            local_uid: u,
+        }
+    }
+
+    #[test]
+    fn migration_records_carry_phase_and_bytes() {
+        let r = encode(
+            Time(500),
+            MachineId(3),
+            &TraceEvent::Migration {
+                pid: pid(0, 7),
+                phase: MigrationPhase::StateTransferred,
+                bytes: 2048,
+            },
+        );
+        assert_eq!(r.at, 500);
+        assert_eq!(r.machine, 3);
+        assert_eq!(r.kind, kind::MIGRATION);
+        assert_eq!(r.arg, phase::STATE_TRANSFERRED);
+        assert_eq!(r.a, pack_pid(0, 7));
+        assert_eq!(r.b, 2048);
+    }
+
+    #[test]
+    fn message_kinds_put_corr_in_a() {
+        let corr = CorrId::new(MachineId(1), 9);
+        let r = encode(
+            Time(1),
+            MachineId(1),
+            &TraceEvent::Submitted {
+                corr,
+                dest: pid(0, 2),
+                msg_type: 42,
+            },
+        );
+        assert_eq!(r.kind, kind::SUBMITTED);
+        assert_eq!(r.a, corr.0);
+        assert_eq!(r.c, 42);
+    }
+
+    #[test]
+    fn forwarded_packs_target_machine_above_msg_type() {
+        let r = encode(
+            Time(1),
+            MachineId(0),
+            &TraceEvent::ForwardedMessage {
+                corr: CorrId::new(MachineId(0), 1),
+                pid: pid(0, 2),
+                to: MachineId(5),
+                msg_type: 42,
+            },
+        );
+        assert_eq!(r.c >> 16, 5);
+        assert_eq!(r.c & 0xFFFF, 42);
+    }
+
+    #[test]
+    fn enqueued_flags_forwarded_deliveries() {
+        let base = TraceEvent::Enqueued {
+            corr: CorrId::new(MachineId(0), 1),
+            pid: pid(0, 2),
+            msg_type: 7,
+            forwarded: true,
+            hops: 2,
+        };
+        let r = encode(Time(1), MachineId(0), &base);
+        assert_eq!(r.b >> 63, 1);
+        assert_eq!(r.b & 0xFFFF_FFFF_FFFF, pack_pid(0, 2));
+        assert_eq!(r.arg, 2);
+    }
+
+    #[test]
+    fn every_phase_maps_to_a_distinct_code() {
+        let phases = [
+            MigrationPhase::Frozen,
+            MigrationPhase::Offered,
+            MigrationPhase::Allocated,
+            MigrationPhase::Rejected,
+            MigrationPhase::StateTransferred,
+            MigrationPhase::ImageTransferred,
+            MigrationPhase::PendingForwarded,
+            MigrationPhase::CleanedUp,
+            MigrationPhase::Restarted,
+            MigrationPhase::Aborted,
+        ];
+        let mut codes: Vec<u8> = phases.iter().map(|&p| phase_code(p)).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), phases.len());
+    }
+}

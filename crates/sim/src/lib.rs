@@ -10,10 +10,13 @@
 //! * [`balance`] — drives `demos-policy` decision rules against the live
 //!   cluster, playing the process manager's monitoring role;
 //! * [`trace`] — the event log experiments are reconstructed from;
-//! * [`span`] — per-message journey reconstruction from correlation ids;
+//! * [`span`] — per-message journey reconstruction from correlation ids,
+//!   and per-migration lifecycle spans (the §6 phase profiler);
+//! * [`flight`] — [`TraceEvent`](demos_kernel::TraceEvent) → flight
+//!   recorder encoding (the always-on post-mortem ring, `demos-obs`);
 //! * [`export`] — metrics registries, cluster snapshots, the JSON-lines
 //!   exporter and the `demos-top` report (via `demos-obs`);
-//! * [`metrics`] — histograms and summary statistics.
+//! * [`metrics`] — summary statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod balance;
 pub mod boot;
 pub mod cluster;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod programs;
 pub mod recovery;
@@ -32,11 +36,15 @@ pub mod trace;
 pub use balance::{snapshot, PolicyDriver};
 pub use boot::{boot_system, BootConfig, SystemHandles};
 pub use cluster::{Cluster, ClusterBuilder, StepStats};
+pub use demos_obs::Histogram;
 pub use export::machine_registry;
-pub use metrics::Histogram;
+pub use flight::DEFAULT_RECORDER_CAPACITY;
 pub use recovery::{RecoveryConfig, RecoveryEpisode, RecoveryManager, RecoveryStats};
 pub use report::{migrations_of, render, MigrationReport};
-pub use span::{latency_histogram, spans_of, Hop, HopKind, Span};
+pub use span::{
+    latency_histogram, migration_spans_of, phase_histograms, spans_of, Hop, HopKind,
+    MigrationOutcome, MigrationSpan, PhaseHistograms, Span,
+};
 pub use trace::Trace;
 
 /// Convenience re-exports for harnesses and examples.
@@ -44,7 +52,6 @@ pub mod prelude {
     pub use crate::balance::{snapshot, PolicyDriver};
     pub use crate::boot::{boot_system, spawn_fs_clients, spawn_shell, BootConfig, SystemHandles};
     pub use crate::cluster::{Cluster, ClusterBuilder, StepStats};
-    pub use crate::metrics::Histogram;
     pub use crate::programs::{self, wl};
     pub use crate::recovery::{RecoveryConfig, RecoveryEpisode, RecoveryStats};
     pub use crate::trace::Trace;
@@ -53,5 +60,6 @@ pub mod prelude {
         ExecStatus, ImageLayout, KernelConfig, MigrationPhase, Registry, TraceEvent,
     };
     pub use demos_net::{EdgeParams, Topology};
+    pub use demos_obs::Histogram;
     pub use demos_types::{tags, Duration, Link, LinkAttrs, MachineId, ProcessId, Time};
 }

@@ -1,100 +1,8 @@
-//! Measurement utilities: histograms and summary statistics.
+//! Summary statistics for experiment harnesses.
 //!
-//! Dependency-free (no external stats crates): a simple log-bucketed
-//! histogram for latencies and an exact reservoir for small samples.
-
-use demos_types::Duration;
-
-/// A log₂-bucketed histogram of microsecond durations.
-///
-/// Bucket `i` covers `[2^i, 2^(i+1))` microseconds (bucket 0 covers 0–1).
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: [u64; 40],
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: [0; 40],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-}
-
-impl Histogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one duration.
-    pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros();
-        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(39);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(us);
-        self.min = self.min.min(us);
-        self.max = self.max.max(us);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean, or zero when empty.
-    pub fn mean(&self) -> Duration {
-        Duration::from_micros(self.sum.checked_div(self.count).unwrap_or(0))
-    }
-
-    /// Minimum sample (zero when empty).
-    pub fn min(&self) -> Duration {
-        Duration::from_micros(if self.count == 0 { 0 } else { self.min })
-    }
-
-    /// Maximum sample.
-    pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max)
-    }
-
-    /// Approximate quantile (bucket upper bound), `q` in [0, 1].
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((self.count as f64) * q).ceil() as u64;
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Duration::from_micros(1u64 << (i + 1));
-            }
-        }
-        self.max()
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
-    }
-}
+//! Latency histograms live in `demos-obs` ([`demos_obs::Histogram`], a
+//! log-bucketed HDR-style engine with p50/p90/p99/p999); what remains
+//! here are the dependency-free scalar helpers.
 
 /// Mean of an iterator of f64 (0.0 when empty).
 pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
@@ -124,43 +32,6 @@ pub fn stddev(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_basics() {
-        let mut h = Histogram::new();
-        for us in [1u64, 2, 4, 8, 100, 1000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.min(), Duration::from_micros(1));
-        assert_eq!(h.max(), Duration::from_micros(1000));
-        assert_eq!(
-            h.mean(),
-            Duration::from_micros((1 + 2 + 4 + 8 + 100 + 1000) / 6)
-        );
-        assert!(h.quantile(0.5) <= Duration::from_micros(16));
-        assert!(h.quantile(1.0) >= Duration::from_micros(1000));
-    }
-
-    #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert_eq!(h.min(), Duration::ZERO);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(Duration::from_micros(10));
-        b.record(Duration::from_micros(1000));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), Duration::from_micros(1000));
-        assert_eq!(a.min(), Duration::from_micros(10));
-    }
 
     #[test]
     fn stats_helpers() {

@@ -80,6 +80,7 @@ pub struct RecoveryManager {
     pub(crate) handled: BTreeSet<MachineId>,
     pub(crate) stats: RecoveryStats,
     pub(crate) episodes: Vec<RecoveryEpisode>,
+    pub(crate) postmortems: Vec<(MachineId, String)>,
 }
 
 impl RecoveryManager {
@@ -93,6 +94,7 @@ impl RecoveryManager {
             handled: BTreeSet::new(),
             stats: RecoveryStats::default(),
             episodes: Vec::new(),
+            postmortems: Vec::new(),
         }
     }
 
@@ -109,5 +111,12 @@ impl RecoveryManager {
     /// The stored checkpoint for `pid`, if one was taken.
     pub fn checkpoint_of(&self, pid: ProcessId) -> Option<&Checkpoint> {
         self.store.get(&pid)
+    }
+
+    /// Post-mortem flight-recorder renderings, one per machine whose
+    /// death was handled: the dead kernel's last recorded events, dumped
+    /// at the moment recovery acted on the confirmation.
+    pub fn postmortems(&self) -> &[(MachineId, String)] {
+        &self.postmortems
     }
 }

@@ -2,9 +2,9 @@
 //! from the event trace, with per-phase durations — the view an operator
 //! (or the process manager's accounting) would want of each migration.
 
-use demos_kernel::{MigrationPhase, TraceEvent};
 use demos_types::{Duration, ProcessId, Time};
 
+use crate::span::{migration_spans_of, MigrationOutcome};
 use crate::trace::Trace;
 
 /// One reconstructed migration of one process.
@@ -63,51 +63,29 @@ impl MigrationReport {
 }
 
 /// Extract every migration of `pid` recorded in the trace, in order.
+///
+/// A thin per-process view over [`migration_spans_of`], which does the
+/// actual lifecycle stitching for the whole trace.
 pub fn migrations_of(trace: &Trace, pid: ProcessId) -> Vec<MigrationReport> {
-    let mut out: Vec<MigrationReport> = Vec::new();
-    for r in trace.records() {
-        let TraceEvent::Migration { pid: p, phase } = &r.event else {
-            continue;
-        };
-        if *p != pid {
-            continue;
-        }
-        match phase {
-            MigrationPhase::Frozen => out.push(MigrationReport {
-                pid,
-                frozen: r.at,
-                offered: None,
-                allocated: None,
-                state_transferred: None,
-                image_transferred: None,
-                pending_forwarded: None,
-                cleaned_up: None,
-                restarted: None,
-                failed: false,
-            }),
-            other => {
-                let Some(cur) = out.last_mut() else { continue };
-                match other {
-                    MigrationPhase::Offered => cur.offered = cur.offered.or(Some(r.at)),
-                    MigrationPhase::Allocated => cur.allocated = cur.allocated.or(Some(r.at)),
-                    MigrationPhase::StateTransferred => {
-                        cur.state_transferred = cur.state_transferred.or(Some(r.at))
-                    }
-                    MigrationPhase::ImageTransferred => {
-                        cur.image_transferred = cur.image_transferred.or(Some(r.at))
-                    }
-                    MigrationPhase::PendingForwarded => {
-                        cur.pending_forwarded = cur.pending_forwarded.or(Some(r.at))
-                    }
-                    MigrationPhase::CleanedUp => cur.cleaned_up = cur.cleaned_up.or(Some(r.at)),
-                    MigrationPhase::Restarted => cur.restarted = cur.restarted.or(Some(r.at)),
-                    MigrationPhase::Rejected | MigrationPhase::Aborted => cur.failed = true,
-                    MigrationPhase::Frozen => unreachable!("handled above"),
-                }
-            }
-        }
-    }
-    out
+    migration_spans_of(trace)
+        .into_iter()
+        .filter(|s| s.pid == pid)
+        .map(|s| MigrationReport {
+            pid,
+            frozen: s.frozen.expect("stitched spans always have a freeze time"),
+            offered: s.offered,
+            allocated: s.allocated,
+            state_transferred: s.state_transferred,
+            image_transferred: s.image_transferred,
+            pending_forwarded: s.pending_forwarded,
+            cleaned_up: s.cleaned_up,
+            restarted: s.restarted,
+            failed: matches!(
+                s.outcome,
+                MigrationOutcome::Rejected | MigrationOutcome::Aborted
+            ),
+        })
+        .collect()
 }
 
 /// Render one report as an indented text timeline.
@@ -133,7 +111,7 @@ mod tests {
     use super::*;
     use crate::cluster::Cluster;
     use crate::programs::Cargo;
-    use demos_kernel::ImageLayout;
+    use demos_kernel::{ImageLayout, MigrationPhase, TraceEvent};
     use demos_types::MachineId;
 
     #[test]
@@ -182,7 +160,11 @@ mod tests {
             creating_machine: MachineId(0),
             local_uid: 2,
         };
-        let ev = |p, ph| TraceEvent::Migration { pid: p, phase: ph };
+        let ev = |p, ph| TraceEvent::Migration {
+            pid: p,
+            phase: ph,
+            bytes: 0,
+        };
         let mut tr = crate::trace::Trace::enabled();
         tr.extend(Time(10), MachineId(0), [ev(pid, MigrationPhase::Frozen)]);
         tr.extend(Time(12), MachineId(0), [ev(other, MigrationPhase::Frozen)]);

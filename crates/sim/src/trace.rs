@@ -87,7 +87,10 @@ impl Trace {
     /// after `after`).
     pub fn phase_time(&self, pid: ProcessId, phase: MigrationPhase, after: Time) -> Option<Time> {
         self.records.iter().find_map(|r| {
-            if let TraceEvent::Migration { pid: p, phase: ph } = &r.event {
+            if let TraceEvent::Migration {
+                pid: p, phase: ph, ..
+            } = &r.event
+            {
                 if *p == pid && *ph == phase && r.at >= after {
                     return Some(r.at);
                 }
@@ -147,6 +150,7 @@ mod tests {
                 TraceEvent::Migration {
                     pid: pid(1),
                     phase: MigrationPhase::Frozen,
+                    bytes: 0,
                 },
                 TraceEvent::ForwardedMessage {
                     corr: demos_types::CorrId::new(MachineId(0), 1),
@@ -162,6 +166,7 @@ mod tests {
             vec![TraceEvent::Migration {
                 pid: pid(1),
                 phase: MigrationPhase::Restarted,
+                bytes: 0,
             }],
         );
         assert_eq!(t.len(), 3);

@@ -143,3 +143,58 @@ fn spans_and_pending_gauge_track_a_live_migration() {
     );
     let _ = pa;
 }
+
+/// Run the live-migration scenario on a fresh cluster and return the
+/// serialized flight-recorder dump.
+fn scenario_dump(recorder_capacity: usize) -> Vec<u8> {
+    let mut cluster = ClusterBuilder::new(3)
+        .seed(99)
+        .recorder_capacity(recorder_capacity)
+        .build();
+    let (_pa, pb) = pingpong_pair(&mut cluster, m(0), m(1));
+    cluster.run_for(Duration::from_millis(50));
+    cluster.migrate(pb, m(2)).unwrap();
+    cluster.run_for(Duration::from_millis(300));
+    cluster.recorder_dump()
+}
+
+#[test]
+fn recorder_dump_is_byte_deterministic() {
+    // Same seed, same capacity, two independent clusters: the black box
+    // must be byte-identical — the property that makes repro-*.flight
+    // artifacts and E16's phase-cost table trustworthy.
+    let a = scenario_dump(demos_sim::DEFAULT_RECORDER_CAPACITY);
+    let b = scenario_dump(demos_sim::DEFAULT_RECORDER_CAPACITY);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "recorder dumps diverged across identical runs");
+}
+
+#[test]
+fn recorder_ring_wraps_at_tiny_capacity() {
+    let dump = scenario_dump(8);
+    let nodes = demos_obs::recorder::parse_dump(&dump).expect("dump parses");
+    assert_eq!(nodes.len(), 3, "one section per machine");
+    for d in &nodes {
+        assert_eq!(d.capacity, 8);
+        assert!(
+            d.records.len() <= 8,
+            "m{} holds {} records, over capacity",
+            d.machine,
+            d.records.len()
+        );
+        // Held records are the newest ones, still in time order.
+        assert!(
+            d.records.windows(2).all(|w| w[0].at <= w[1].at),
+            "m{} records out of order after wrap",
+            d.machine
+        );
+    }
+    // The busy machines ran far past 8 events: the ring wrapped and
+    // counted what it shed rather than growing.
+    let wrapped: Vec<_> = nodes.iter().filter(|d| d.dropped() > 0).collect();
+    assert!(!wrapped.is_empty(), "no ring ever wrapped at capacity 8");
+    for d in &wrapped {
+        assert_eq!(d.records.len(), 8, "a wrapped ring is exactly full");
+        assert_eq!(d.total, d.dropped() + 8, "drop accounting consistent");
+    }
+}

@@ -1,20 +1,24 @@
-//! The observability layer end to end: causal message spans, sampled
+//! The observability layer end to end: causal message spans, the
+//! migration-phase profiler, the always-on flight recorder, sampled
 //! gauges, and the `demos-top` cluster report.
 //!
 //! A ping-pong pair rallies across machines while one end is migrated.
 //! Every message was stamped with a correlation id at its first kernel,
 //! so the flat trace decomposes into per-message journeys: the balls
 //! that chased the forwarding address show an extra hop (§4) and the
-//! link update that repaired the sender's table (§5). Meanwhile the
-//! simulator sampled every kernel's gauges on a virtual-time cadence —
-//! the pending-queue gauge catches the messages held during migration
-//! (§3.1 step 6) in the act.
+//! link update that repaired the sender's table (§5). The same trace
+//! stitches into one migration lifecycle span — the §6 phase table with
+//! per-step durations and byte counts. And independent of the trace,
+//! every machine's flight recorder kept a bounded ring of compact
+//! records: the black box a post-mortem (or the `demos-trace` CLI)
+//! reads after a crash.
 //!
 //! Run: `cargo run --example observability`
 
+use demos_mp::obs::recorder::{merge, parse_dump, PhaseTable};
 use demos_mp::sim::prelude::*;
 use demos_mp::sim::programs::PingPong;
-use demos_mp::sim::{latency_histogram, spans_of};
+use demos_mp::sim::{latency_histogram, migration_spans_of, spans_of};
 
 fn main() {
     println!("DEMOS/MP: watching a live migration through the observability layer\n");
@@ -75,13 +79,32 @@ fn main() {
         );
     }
 
+    // Log-bucketed HDR-style histogram: p50/p90/p99/p999 in microseconds.
     let h = latency_histogram(spans.iter().filter(|s| s.forward_hops() == 0));
+    println!("\ndirect delivery latency: {}", h.summary());
+
+    // The same trace stitched as one migration lifecycle — §6's table.
+    println!("\nmigration lifecycle (the §6 phase table):");
+    print!("{}", cluster.phase_report());
+    for m in migration_spans_of(cluster.trace()) {
+        println!(
+            "  residual forwarding: {} message(s) chased pb after cleanup",
+            m.forwards
+        );
+    }
+
+    // The flight recorder's view: serialize every machine's black box,
+    // parse it back as demos-trace would, and rebuild the phase costs
+    // from the 32-byte records alone.
+    let dump = cluster.recorder_dump();
+    let nodes = parse_dump(&dump).expect("own dump parses");
     println!(
-        "\ndirect deliveries: {} messages, mean latency {}, p99 {}",
-        h.count(),
-        h.mean(),
-        h.quantile(0.99),
+        "\nflight recorder: {} bytes across {} machine rings",
+        dump.len(),
+        nodes.len()
     );
+    let table = PhaseTable::from_records(&merge(&nodes));
+    print!("{}", table.render());
 
     // The sampled pending-queue gauge caught step 6 in the act.
     let series = cluster.series().expect("sampling enabled");

@@ -18,6 +18,7 @@
 //! | [`sysproc`] | switchboard, process manager, memory scheduler, fs ×4, shell |
 //! | [`policy`] | decision rules: load balance, affinity, evacuation |
 //! | [`sim`] | deterministic discrete-event harness, workloads, metrics |
+//! | [`obs`] | observability: HDR histograms, flight recorder, phase tables |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 pub use demos_core as core;
 pub use demos_kernel as kernel;
 pub use demos_net as net;
+pub use demos_obs as obs;
 pub use demos_policy as policy;
 pub use demos_rt as rt;
 pub use demos_sim as sim;

@@ -84,6 +84,18 @@ fn crashed_server_is_detected_rehomed_and_service_resumes() {
     let home = cluster.where_is(server).expect("server is back");
     assert_ne!(home, m(1), "re-homed onto a survivor");
 
+    // The recovery pass pulled the dead machine's black box.
+    let (pm_machine, pm_text) = r
+        .postmortems()
+        .iter()
+        .find(|(machine, _)| *machine == m(1))
+        .expect("post-mortem captured for the dead machine");
+    assert_eq!(*pm_machine, m(1));
+    assert!(
+        pm_text.contains("flight recorder m1"),
+        "post-mortem names the machine: {pm_text}"
+    );
+
     // The client keeps getting answers from the re-homed server.
     let mid = {
         let p = cluster.node(m(0)).kernel.process(client).unwrap();
