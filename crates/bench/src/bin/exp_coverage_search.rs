@@ -1,0 +1,4 @@
+//! Experiment binary: see `demos_bench::experiments::e17_coverage_search`.
+fn main() {
+    demos_bench::experiments::e17_coverage_search();
+}

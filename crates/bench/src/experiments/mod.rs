@@ -9,6 +9,7 @@ mod forwarding;
 mod phases;
 mod policy;
 mod recovery;
+mod search;
 
 pub use costs::{e12_pending_queue, e1_state_sizes, e2_admin_cost, e3_cost_vs_size};
 pub use forwarding::{
@@ -18,6 +19,7 @@ pub use forwarding::{
 pub use phases::{e16_phase_costs, E16_DUMP_PATH};
 pub use policy::{e10_affinity, e11_sinking_ship, e6_server_migration, e9_load_balance};
 pub use recovery::e14_recovery_latency;
+pub use search::e17_coverage_search;
 
 /// Run every experiment in order.
 pub fn run_all() {
@@ -36,4 +38,5 @@ pub fn run_all() {
     e13_dtk_during_migration();
     e14_recovery_latency();
     e16_phase_costs();
+    e17_coverage_search();
 }

@@ -29,12 +29,14 @@
 
 use demos_core::{AcceptPolicy, MigrationConfig};
 use demos_kernel::{ImageLayout, KernelConfig};
+use demos_obs::features::FeatureSet;
 use demos_sim::cluster::{Cluster, ClusterBuilder};
 use demos_sim::programs::{wl, Cargo, Client, EchoServer, PingPong};
 use demos_sim::recovery::RecoveryConfig;
 use demos_sim::trace::Trace;
 use demos_types::{tags, Duration, MachineId, ProcessId};
 
+use crate::coverage::{fault_phase_features, violation_feature};
 use crate::invariants::{Checker, Violation};
 use crate::scenario::{EventKind, Scenario, Workload};
 
@@ -84,12 +86,47 @@ const HB_EVERY: Duration = Duration::from_millis(5);
 /// Checkpoint cadence for recovery scenarios.
 const CK_EVERY: Duration = Duration::from_millis(5);
 
+/// A finished execution with the cluster still alive: the report plus
+/// everything derived artifacts need (trace export, flight dump,
+/// coverage extraction, applied-fault log).
+pub(crate) struct Executed {
+    /// The verdict.
+    pub report: RunReport,
+    /// The cluster at the end of the run, trace and recorder intact.
+    pub cluster: Cluster,
+    /// Events actually applied, with the virtual time each landed at —
+    /// the context `fault × phase` coverage needs.
+    pub faults: Vec<(u64, EventKind)>,
+}
+
 /// Execute `sc` and return the report, the JSON-lines trace export, and
 /// the flight-recorder dump (every machine's black box, readable by
 /// `demos-trace`). The dump is the post-mortem artifact: unlike the full
 /// trace it is bounded, so it stays useful on schedules long enough to
 /// make the trace export unwieldy.
 pub fn run_capture(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String, Vec<u8>) {
+    let done = execute(sc, cfg);
+    let lines = trace_json_lines(done.cluster.trace());
+    let flight = done.cluster.recorder_dump();
+    (done.report, lines, flight)
+}
+
+/// Execute `sc` and return the report plus the run's schedule-coverage
+/// feature set: trace-derived classes and recovery-episode overlap (from
+/// `demos-sim`), `fault × phase` pairs (from the applied-fault log), and
+/// the violation variant if the run failed. This is the fuzzer's
+/// feedback path.
+pub fn run_with_coverage(sc: &Scenario, cfg: &RunConfig) -> (RunReport, FeatureSet) {
+    let done = execute(sc, cfg);
+    let mut set = demos_sim::coverage_of(&done.cluster);
+    fault_phase_features(done.cluster.trace().records(), &done.faults, &mut set);
+    if let Some(v) = &done.report.violation {
+        set.insert(violation_feature(v));
+    }
+    (done.report, set)
+}
+
+pub(crate) fn execute(sc: &Scenario, cfg: &RunConfig) -> Executed {
     // Recovery machinery is active only when the scenario asks for it and
     // the ablation flag doesn't veto it.
     let recovery = sc.recovery && !cfg.disable_recovery;
@@ -131,7 +168,7 @@ pub fn run_capture(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String, Vec<u8
     events.sort_by_key(|e| e.at_us);
 
     let mut violation = None;
-    let mut applied = 0usize;
+    let mut faults: Vec<(u64, EventKind)> = Vec::new();
     let mut skipped = 0usize;
     for e in &events {
         violation = advance(&mut c, &checker, e.at_us, quantum);
@@ -139,7 +176,7 @@ pub fn run_capture(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String, Vec<u8
             break;
         }
         if apply_event(&mut c, &mut checker, &procs, e.kind, sc.recovery, recovery) {
-            applied += 1;
+            faults.push((c.now().as_micros(), e.kind));
         } else {
             skipped += 1;
         }
@@ -181,12 +218,14 @@ pub fn run_capture(sc: &Scenario, cfg: &RunConfig) -> (RunReport, String, Vec<u8
         violation,
         fingerprint: c.trace().fingerprint(),
         end_us: c.now().as_micros(),
-        events_applied: applied,
+        events_applied: faults.len(),
         events_skipped: skipped,
     };
-    let lines = trace_json_lines(c.trace());
-    let flight = c.recorder_dump();
-    (report, lines, flight)
+    Executed {
+        report,
+        cluster: c,
+        faults,
+    }
 }
 
 /// Execute `sc` and return the report plus the JSON-lines trace export.
@@ -218,9 +257,21 @@ fn settle_recovery(
         .collect();
     let budget_us = c.now().as_micros() + 1_000_000;
     while c.now().as_micros() < budget_us {
+        // Settled = the re-home happened AND every live machine's own
+        // failure detector has confirmed every casualty dead. The second
+        // half matters: confirmation purges the survivor's channel to
+        // the corpse, and the executor stops heartbeats right after this
+        // loop — settling on the *first* verdict would freeze the other
+        // detectors mid-decision and leave their channels retransmitting
+        // at a dead machine forever (found by the guided fuzzer as a
+        // failure to drain).
         let settled = crashed.iter().all(|&m| {
             c.recovery()
                 .is_some_and(|r| r.episodes().iter().any(|e| e.machine == m))
+                && (0..sc.topo.n)
+                    .map(MachineId)
+                    .filter(|&o| o != m && !c.is_crashed(o))
+                    .all(|o| c.node(o).kernel.peer_dead(m))
         });
         if settled {
             return None;
@@ -593,5 +644,63 @@ mod tests {
     #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn coverage_is_deterministic_and_nonempty() {
+        let sc = Scenario::generate(7);
+        let (ra, ca) = run_with_coverage(&sc, &RunConfig::default());
+        let (rb, cb) = run_with_coverage(&sc, &RunConfig::default());
+        assert_eq!(ra.fingerprint, rb.fingerprint);
+        assert_eq!(ca, cb, "same seed, same feature set");
+        assert!(!ca.is_empty(), "a real run exhibits features");
+        // A run with applied events exhibits at least one fault-phase
+        // pairing.
+        if ra.events_applied > 0 {
+            use demos_obs::features::{class, unpack};
+            assert!(
+                ca.iter().any(|f| unpack(f).0 == class::FAULT_PHASE),
+                "applied events produce fault-phase features"
+            );
+        }
+    }
+
+    #[test]
+    fn violation_feature_reaches_the_set() {
+        // The forwarding-ablation scenario from above, through the
+        // coverage path: the violation variant must be a feature.
+        let sc = crate::scenario::Scenario {
+            seed: 1,
+            topo: crate::scenario::TopoSpec {
+                kind: crate::scenario::TopoKind::Mesh,
+                n: 3,
+                latency_us: 200,
+                ns_per_byte: 100,
+                loss_pm: 0,
+            },
+            quantum_us: 2_000,
+            horizon_us: 30_000,
+            drain_us: 10_000_000,
+            workloads: vec![crate::scenario::Workload::PingPong {
+                a: 0,
+                b: 1,
+                limit: 100,
+                cpu_us: 50,
+            }],
+            events: vec![crate::scenario::Event {
+                at_us: 5_000,
+                kind: EventKind::Migrate { slot: 1, to: 2 },
+            }],
+            recovery: false,
+        };
+        let (report, cov) = run_with_coverage(
+            &sc,
+            &RunConfig {
+                disable_forwarding: true,
+                ..RunConfig::default()
+            },
+        );
+        let v = report.violation.expect("ablation caught");
+        assert!(cov.contains(crate::coverage::violation_feature(&v)));
     }
 }

@@ -103,6 +103,43 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Filename-safe variant slug: repro artifacts of different variants
+    /// must never overwrite each other, so the variant is part of the
+    /// artifact name when a seed produces more than one.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Violation::Lost { .. } => "lost",
+            Violation::Duplicated { .. } => "duplicated",
+            Violation::NonDeliverable { .. } => "nondeliverable",
+            Violation::ForwardingCycle { .. } => "fwdcycle",
+            Violation::ProcessVanished { .. } => "vanished",
+            Violation::ProcessMultiplied { .. } => "multiplied",
+            Violation::LinkDiverged { .. } => "linkdiverged",
+            Violation::TransportCounters { .. } => "transport",
+            Violation::NotQuiescent { .. } => "notquiescent",
+            Violation::WorkloadInvariant { .. } => "workload",
+        }
+    }
+
+    /// Stable small code for the variant (the coverage map's
+    /// `VIOLATION` feature operand). Append-only, like wire constants.
+    pub fn code(&self) -> u32 {
+        match self {
+            Violation::Lost { .. } => 0,
+            Violation::Duplicated { .. } => 1,
+            Violation::NonDeliverable { .. } => 2,
+            Violation::ForwardingCycle { .. } => 3,
+            Violation::ProcessVanished { .. } => 4,
+            Violation::ProcessMultiplied { .. } => 5,
+            Violation::LinkDiverged { .. } => 6,
+            Violation::TransportCounters { .. } => 7,
+            Violation::NotQuiescent { .. } => 8,
+            Violation::WorkloadInvariant { .. } => 9,
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -346,10 +383,14 @@ impl Checker {
             Some(c.node(m).kernel.process(pid)?.program.as_ref()?.save())
         };
         // Counter relaxations apply only when a rollback could actually
-        // have happened: recovery mode *and* a machine really died. A
-        // recovery run whose crashes were all guarded out must satisfy
+        // have happened: recovery mode *and* a machine really died — it
+        // is still down, or a recovery episode re-homed its processes
+        // (the machine may have rebooted since, erasing the crash flag).
+        // A recovery run whose crashes were all guarded out must satisfy
         // the classic exactly-once equalities.
-        let rollback = self.recovery && (0..c.len() as u16).any(|i| c.is_crashed(MachineId(i)));
+        let rollback = self.recovery
+            && ((0..c.len() as u16).any(|i| c.is_crashed(MachineId(i)))
+                || c.recovery().is_some_and(|r| !r.episodes().is_empty()));
         let mut slot = 0usize;
         for w in &self.workloads {
             match *w {

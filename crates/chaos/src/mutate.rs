@@ -1,0 +1,322 @@
+//! Mutation operators over the stable scenario form.
+//!
+//! Coverage-guided search doesn't draw every candidate fresh from the
+//! seed generator: it *edits* scenarios that already earned their place
+//! in the corpus pool. All operators work on the parsed [`Scenario`]
+//! value (the same structure the text form round-trips), keep the event
+//! schedule sorted, and never produce a scenario that fails
+//! [`Scenario::validate`] — a mutant is always runnable.
+//!
+//! Operators (picked by the campaign's deterministic RNG):
+//!
+//! * **retime** — move one event to a fresh instant (fault *timing* is
+//!   most of the search space in a phase-interleaving bug);
+//! * **swap** — exchange the times of two events (reorder);
+//! * **quantum jitter** — change the invariant-check cadence, which
+//!   shifts every checker-visible interleaving;
+//! * **reseed** — new network-loss coin flips, same schedule;
+//! * **duplicate / delete / insert** — grow or shrink the schedule,
+//!   inserting from the full fault alphabet;
+//! * **retarget** — point a migrate at a different destination;
+//! * **splice** — transplant a window of a *donor* scenario's events,
+//!   remapping slots and machines into the base's ranges.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::scenario::{Event, EventKind, Scenario};
+
+/// Number of distinct single-scenario operators `mutate` can pick from
+/// (splice additionally needs a donor).
+const OPS: u64 = 8;
+
+/// Produce one mutant of `base`. `donor` (another pool entry) enables
+/// the splice operator; without it the splice roll falls back to an
+/// insert. Deterministic given the RNG state.
+pub fn mutate(base: &Scenario, donor: Option<&Scenario>, rng: &mut StdRng) -> Scenario {
+    let mut sc = base.clone();
+    let rounds = 1 + rng.gen_range(0..3);
+    for _ in 0..rounds {
+        let roll = if donor.is_some() {
+            rng.gen_range(0..OPS + 1)
+        } else {
+            rng.gen_range(0..OPS)
+        };
+        match roll {
+            0 => retime(&mut sc, rng),
+            1 => swap(&mut sc, rng),
+            2 => sc.quantum_us = 1_000 + rng.gen_range(0..8_000),
+            3 => sc.seed = rng.next_u64(),
+            4 => duplicate(&mut sc, rng),
+            5 => delete(&mut sc, rng),
+            6 => insert(&mut sc, rng),
+            7 => retarget(&mut sc, rng),
+            _ => {
+                if let Some(d) = donor {
+                    splice(&mut sc, d, rng);
+                }
+            }
+        }
+    }
+    finish(&mut sc);
+    debug_assert!(sc.validate().is_ok(), "mutant invalid: {}", sc.to_text());
+    sc
+}
+
+/// A fresh event drawn from the full fault alphabet, valid for `sc`.
+/// Unpaired partitions/crashes/degrades are fine: the executor heals,
+/// revives and restores everything at the horizon before the drain.
+/// Recovery scenarios weight the draw toward crashes — permanent deaths
+/// are the fault that regime exists to exercise, and the detector /
+/// re-homing code paths are unreachable without one.
+pub fn random_event(sc: &Scenario, rng: &mut StdRng) -> Event {
+    let n = sc.topo.n;
+    let slots = sc.total_slots().max(1);
+    let at_us = event_time(sc, rng);
+    let edges = sc.topo.edges();
+    let roll = rng.gen_range(0..100);
+    // (migrate, burst, partition, heal, crash, revive, degrade) upper
+    // bounds; the remainder is restore.
+    let cut: [u64; 7] = if sc.recovery {
+        [25, 40, 50, 56, 80, 85, 93]
+    } else {
+        [30, 50, 65, 73, 83, 88, 95]
+    };
+    let kind = if roll < cut[0] {
+        EventKind::Migrate {
+            slot: rng.gen_range(0..slots as u64) as u16,
+            to: rng.gen_range(0..n as u64) as u16,
+        }
+    } else if roll < cut[1] {
+        EventKind::Burst {
+            slot: rng.gen_range(0..slots as u64) as u16,
+            count: 1 + rng.gen_range(0..8) as u16,
+            payload: rng.gen_range(0..256) as u32,
+        }
+    } else if roll < cut[2] {
+        let (a, b) = edges[rng.gen_range(0..edges.len() as u64) as usize];
+        EventKind::Partition { a, b }
+    } else if roll < cut[3] {
+        let (a, b) = edges[rng.gen_range(0..edges.len() as u64) as usize];
+        EventKind::HealEdge { a, b }
+    } else if roll < cut[4] {
+        EventKind::Crash {
+            m: rng.gen_range(0..n as u64) as u16,
+        }
+    } else if roll < cut[5] {
+        EventKind::Revive {
+            m: rng.gen_range(0..n as u64) as u16,
+        }
+    } else if roll < cut[6] {
+        EventKind::Degrade {
+            m: rng.gen_range(0..n as u64) as u16,
+            factor_pct: 150 + rng.gen_range(0..1_850) as u32,
+        }
+    } else {
+        EventKind::Restore {
+            m: rng.gen_range(0..n as u64) as u16,
+        }
+    };
+    Event { at_us, kind }
+}
+
+fn event_time(sc: &Scenario, rng: &mut StdRng) -> u64 {
+    let span = sc.horizon_us.saturating_sub(2_000).max(1);
+    1_000 + rng.gen_range(0..span)
+}
+
+fn retime(sc: &mut Scenario, rng: &mut StdRng) {
+    if sc.events.is_empty() {
+        return;
+    }
+    let i = rng.gen_range(0..sc.events.len() as u64) as usize;
+    sc.events[i].at_us = event_time(sc, rng);
+}
+
+fn swap(sc: &mut Scenario, rng: &mut StdRng) {
+    if sc.events.len() < 2 {
+        return;
+    }
+    let i = rng.gen_range(0..sc.events.len() as u64) as usize;
+    let j = rng.gen_range(0..sc.events.len() as u64) as usize;
+    let (ti, tj) = (sc.events[i].at_us, sc.events[j].at_us);
+    sc.events[i].at_us = tj;
+    sc.events[j].at_us = ti;
+}
+
+fn duplicate(sc: &mut Scenario, rng: &mut StdRng) {
+    if sc.events.is_empty() {
+        return;
+    }
+    let i = rng.gen_range(0..sc.events.len() as u64) as usize;
+    let mut e = sc.events[i];
+    e.at_us = event_time(sc, rng);
+    sc.events.push(e);
+}
+
+fn delete(sc: &mut Scenario, rng: &mut StdRng) {
+    if sc.events.len() < 2 {
+        return;
+    }
+    let i = rng.gen_range(0..sc.events.len() as u64) as usize;
+    sc.events.remove(i);
+}
+
+fn insert(sc: &mut Scenario, rng: &mut StdRng) {
+    let e = random_event(sc, rng);
+    sc.events.push(e);
+}
+
+fn retarget(sc: &mut Scenario, rng: &mut StdRng) {
+    let n = sc.topo.n;
+    let migrates: Vec<usize> = sc
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, EventKind::Migrate { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if migrates.is_empty() {
+        return insert(sc, rng);
+    }
+    let i = migrates[rng.gen_range(0..migrates.len() as u64) as usize];
+    if let EventKind::Migrate { slot, .. } = sc.events[i].kind {
+        sc.events[i].kind = EventKind::Migrate {
+            slot,
+            to: rng.gen_range(0..n as u64) as u16,
+        };
+    }
+}
+
+/// Transplant a window of the donor's events into the base, remapping
+/// every reference into the base's slot/machine/edge ranges and scaling
+/// times into the base's horizon.
+fn splice(sc: &mut Scenario, donor: &Scenario, rng: &mut StdRng) {
+    if donor.events.is_empty() {
+        return;
+    }
+    let n = sc.topo.n;
+    let slots = sc.total_slots().max(1);
+    let edges = sc.topo.edges();
+    let start = rng.gen_range(0..donor.events.len() as u64) as usize;
+    let len = 1 + rng.gen_range(0..(donor.events.len() - start).min(4) as u64) as usize;
+    for de in &donor.events[start..start + len] {
+        let at_us = {
+            // Scale the donor instant into the base's active window.
+            let span = sc.horizon_us.saturating_sub(2_000).max(1);
+            1_000 + (de.at_us.saturating_mul(span) / donor.horizon_us.max(1)) % span
+        };
+        let map_edge = |a: u16, b: u16| edges[(a as usize * 31 + b as usize) % edges.len()];
+        let kind = match de.kind {
+            EventKind::Migrate { slot, to } => EventKind::Migrate {
+                slot: slot % slots,
+                to: to % n,
+            },
+            EventKind::Burst {
+                slot,
+                count,
+                payload,
+            } => EventKind::Burst {
+                slot: slot % slots,
+                count,
+                payload,
+            },
+            EventKind::Partition { a, b } => {
+                let (a, b) = map_edge(a, b);
+                EventKind::Partition { a, b }
+            }
+            EventKind::HealEdge { a, b } => {
+                let (a, b) = map_edge(a, b);
+                EventKind::HealEdge { a, b }
+            }
+            EventKind::Crash { m } => EventKind::Crash { m: m % n },
+            EventKind::Revive { m } => EventKind::Revive { m: m % n },
+            EventKind::Degrade { m, factor_pct } => EventKind::Degrade {
+                m: m % n,
+                factor_pct,
+            },
+            EventKind::Restore { m } => EventKind::Restore { m: m % n },
+        };
+        sc.events.push(Event { at_us, kind });
+    }
+}
+
+/// Clamp times into the active window, restore schedule order, cap the
+/// schedule length so repeated duplication can't balloon a scenario.
+fn finish(sc: &mut Scenario) {
+    for e in &mut sc.events {
+        e.at_us = e.at_us.clamp(1, sc.horizon_us.saturating_sub(1));
+    }
+    sc.events.truncate(64);
+    sc.events.sort_by_key(|e| e.at_us);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutants_are_valid_and_deterministic() {
+        for seed in 0..40u64 {
+            let base = Scenario::generate(seed);
+            let donor = Scenario::generate(seed.wrapping_add(1));
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let ma = mutate(&base, Some(&donor), &mut a);
+            let mb = mutate(&base, Some(&donor), &mut b);
+            assert_eq!(ma, mb, "same rng state, same mutant (seed {seed})");
+            ma.validate().expect("mutant valid");
+            assert!(ma.events.len() <= 64);
+            for w in ma.events.windows(2) {
+                assert!(w[0].at_us <= w[1].at_us, "schedule stays sorted");
+            }
+            // Mutant text round-trips like any scenario.
+            assert_eq!(Scenario::parse(&ma.to_text()).unwrap(), ma);
+        }
+    }
+
+    #[test]
+    fn mutation_eventually_reaches_every_operator() {
+        let base = Scenario::generate(7);
+        let donor = Scenario::generate_recovery(8);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut changed_schedule = false;
+        let mut changed_seed = false;
+        let mut changed_quantum = false;
+        for _ in 0..200 {
+            let m = mutate(&base, Some(&donor), &mut rng);
+            changed_schedule |= m.events != base.events;
+            changed_seed |= m.seed != base.seed;
+            changed_quantum |= m.quantum_us != base.quantum_us;
+        }
+        assert!(changed_schedule && changed_seed && changed_quantum);
+    }
+
+    #[test]
+    fn rare_base_can_gain_a_migration() {
+        // The E17 mechanism: a rare-regime scenario without any migrate
+        // event acquires one through insertion pressure.
+        let base = Scenario::generate_rare(11);
+        let mut rng = StdRng::seed_from_u64(3);
+        let gained = (0..100).any(|_| {
+            mutate(&base, None, &mut rng)
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Migrate { .. }))
+        });
+        assert!(gained);
+    }
+
+    #[test]
+    fn random_events_are_in_range() {
+        let sc = Scenario::generate(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let e = random_event(&sc, &mut rng);
+            let mut probe = sc.clone();
+            probe.events.push(e);
+            probe.validate().expect("alphabet event valid");
+        }
+    }
+}

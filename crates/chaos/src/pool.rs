@@ -1,0 +1,212 @@
+//! The corpus pool: scenarios worth mutating, and its distiller.
+//!
+//! A scenario enters the pool only if it ran **clean** (no violation —
+//! violating schedules become repro artifacts, not corpus, so the
+//! checked-in corpus always replays green) and exhibited at least one
+//! feature the pool had not seen. Selection for mutation is weighted by
+//! each entry's *gain* — how many features were novel when it was
+//! admitted — so the schedules that opened new territory get mutated
+//! most.
+//!
+//! [`Pool::distill`] computes a greedy minimal covering subset: the
+//! smallest set of entries (greedy approximation, deterministic
+//! tie-breaking) whose united features equal the whole pool's coverage.
+//! That subset is what gets checked into `tests/corpus/distilled/`.
+
+use demos_obs::features::FeatureSet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::scenario::Scenario;
+
+/// One admitted corpus entry.
+#[derive(Clone, Debug)]
+pub struct PoolEntry {
+    /// The scenario itself (stable text form is `scenario.to_text()`).
+    pub scenario: Scenario,
+    /// Features this entry's run exhibited.
+    pub features: FeatureSet,
+    /// Run fingerprint (for artifact naming and dedup).
+    pub fingerprint: u64,
+    /// Features that were novel at admission time.
+    pub gain: usize,
+    /// Where the entry came from (`corpus`, `fresh`, `mutant r<N>`).
+    pub origin: String,
+}
+
+/// The corpus pool.
+#[derive(Clone, Debug, Default)]
+pub struct Pool {
+    entries: Vec<PoolEntry>,
+    coverage: FeatureSet,
+    fingerprints: std::collections::BTreeSet<u64>,
+}
+
+impl Pool {
+    /// Empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    /// Entries admitted so far, in admission order.
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// Union of all admitted entries' features.
+    pub fn coverage(&self) -> &FeatureSet {
+        &self.coverage
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Admit a clean run if it covers new ground. Returns the number of
+    /// novel features (0 means rejected). Runs whose fingerprint exactly
+    /// matches an admitted entry are rejected outright — a byte-identical
+    /// execution cannot contribute anything new.
+    pub fn offer(
+        &mut self,
+        scenario: Scenario,
+        features: FeatureSet,
+        fingerprint: u64,
+        origin: &str,
+    ) -> usize {
+        if self.fingerprints.contains(&fingerprint) {
+            return 0;
+        }
+        let gain = features.novel_vs(&self.coverage).len();
+        if gain == 0 {
+            return 0;
+        }
+        self.coverage.merge(&features);
+        self.fingerprints.insert(fingerprint);
+        self.entries.push(PoolEntry {
+            scenario,
+            features,
+            fingerprint,
+            gain,
+            origin: origin.to_string(),
+        });
+        gain
+    }
+
+    /// Pick an entry to mutate, weighted by gain. Deterministic given
+    /// the RNG state. Panics on an empty pool — callers draw fresh
+    /// scenarios instead when the pool is empty.
+    pub fn select<'a>(&'a self, rng: &mut StdRng) -> &'a PoolEntry {
+        assert!(!self.entries.is_empty(), "select on empty pool");
+        let total: u64 = self.entries.iter().map(|e| e.gain as u64 + 1).sum();
+        let mut roll = rng.gen_range(0..total);
+        for e in &self.entries {
+            let w = e.gain as u64 + 1;
+            if roll < w {
+                return e;
+            }
+            roll -= w;
+        }
+        // Unreachable: the weights sum to `total`.
+        &self.entries[self.entries.len() - 1]
+    }
+
+    /// Greedy minimal covering subset: repeatedly take the entry
+    /// covering the most still-uncovered features (ties: earliest
+    /// admission), until the subset's union equals the pool coverage.
+    pub fn distill(&self) -> Vec<&PoolEntry> {
+        let mut uncovered = self.coverage.clone();
+        let mut picked: Vec<&PoolEntry> = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        while !uncovered.is_empty() {
+            let mut best: Option<(usize, usize)> = None; // (covers, index)
+            for (i, e) in self.entries.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let covers = e.features.iter().filter(|f| uncovered.contains(*f)).count();
+                if covers > 0 && best.map(|(c, _)| covers > c).unwrap_or(true) {
+                    best = Some((covers, i));
+                }
+            }
+            let Some((_, i)) = best else { break };
+            used[i] = true;
+            for f in self.entries[i].features.iter() {
+                uncovered.remove(f);
+            }
+            picked.push(&self.entries[i]);
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_obs::features::{class, feature};
+    use rand::SeedableRng;
+
+    fn set(ids: &[u64]) -> FeatureSet {
+        ids.iter()
+            .map(|&i| feature(class::KIND_EDGE, i as u32, 0))
+            .collect()
+    }
+
+    #[test]
+    fn offer_admits_only_novelty() {
+        let mut p = Pool::new();
+        let sc = Scenario::generate(1);
+        assert_eq!(p.offer(sc.clone(), set(&[1, 2]), 10, "fresh"), 2);
+        // Subset of existing coverage: rejected.
+        assert_eq!(p.offer(sc.clone(), set(&[2]), 11, "fresh"), 0);
+        // One new feature: admitted with gain 1.
+        assert_eq!(p.offer(sc.clone(), set(&[2, 3]), 12, "mutant"), 1);
+        // Duplicate fingerprint: rejected even with novel features.
+        assert_eq!(p.offer(sc, set(&[9]), 10, "fresh"), 0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.coverage().len(), 3);
+    }
+
+    #[test]
+    fn select_is_deterministic_and_biased_to_gain() {
+        let mut p = Pool::new();
+        p.offer(Scenario::generate(1), set(&[1, 2, 3, 4, 5, 6, 7]), 1, "a");
+        p.offer(Scenario::generate(2), set(&[8]), 2, "b");
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut hits = [0usize; 2];
+        for _ in 0..200 {
+            let ea = p.select(&mut a);
+            let eb = p.select(&mut b);
+            assert_eq!(ea.fingerprint, eb.fingerprint);
+            hits[if ea.fingerprint == 1 { 0 } else { 1 }] += 1;
+        }
+        assert!(hits[0] > hits[1], "high-gain entry picked more: {hits:?}");
+        assert!(hits[1] > 0, "low-gain entry still reachable: {hits:?}");
+    }
+
+    #[test]
+    fn distill_covers_everything_with_fewer_entries() {
+        let mut p = Pool::new();
+        p.offer(Scenario::generate(1), set(&[1, 2, 3]), 1, "a");
+        p.offer(Scenario::generate(2), set(&[3, 4]), 2, "b");
+        p.offer(Scenario::generate(3), set(&[4, 5]), 3, "c");
+        p.offer(Scenario::generate(4), set(&[1, 5, 6]), 4, "d");
+        let picked = p.distill();
+        let mut union = FeatureSet::new();
+        for e in &picked {
+            union.merge(&e.features);
+        }
+        assert_eq!(union, *p.coverage(), "distilled set covers the pool");
+        assert!(picked.len() < p.len(), "{} < {}", picked.len(), p.len());
+        // Deterministic.
+        let again: Vec<u64> = p.distill().iter().map(|e| e.fingerprint).collect();
+        let first: Vec<u64> = picked.iter().map(|e| e.fingerprint).collect();
+        assert_eq!(first, again);
+    }
+}

@@ -54,6 +54,15 @@ pub struct Artifacts {
 }
 
 /// Write the repro artifacts for `sc` into `dir` (created if missing).
+///
+/// Artifacts are named `repro-<seed>.*`. Two different violations can
+/// share a seed — the same scenario under different ablation flags, or
+/// two mutants that kept the base's seed field — so an existing
+/// `repro-<seed>.seed` holding *different* scenario text is never
+/// silently overwritten: the new artifacts get a `-<violation-slug>`
+/// suffix (then `-2`, `-3`, … if that base is taken too). Re-writing
+/// identical scenario text reuses the name — replaying a known repro is
+/// idempotent.
 pub fn write_artifacts(
     dir: &Path,
     sc: &Scenario,
@@ -63,7 +72,7 @@ pub fn write_artifacts(
     flight_dump: &[u8],
 ) -> std::io::Result<Artifacts> {
     std::fs::create_dir_all(dir)?;
-    let base = format!("repro-{}", sc.seed);
+    let base = pick_base(dir, sc, violation);
     let paths = Artifacts {
         scenario: dir.join(format!("{base}.seed")),
         snippet: dir.join(format!("{base}.rs")),
@@ -76,6 +85,36 @@ pub fn write_artifacts(
     std::fs::File::create(&paths.trace)?.write_all(trace_lines.as_bytes())?;
     std::fs::File::create(&paths.flight)?.write_all(flight_dump)?;
     Ok(paths)
+}
+
+/// First free artifact base name for this (scenario, violation): the
+/// plain `repro-<seed>` when it is unused or already holds this exact
+/// scenario text, else suffixed by the violation slug, else numbered.
+fn pick_base(dir: &Path, sc: &Scenario, violation: &Violation) -> String {
+    let text = sc.to_text();
+    let available = |base: &str| {
+        let existing = dir.join(format!("{base}.seed"));
+        match std::fs::read_to_string(&existing) {
+            Ok(held) => held == text,
+            Err(_) => !existing.exists(),
+        }
+    };
+    let plain = format!("repro-{}", sc.seed);
+    if available(&plain) {
+        return plain;
+    }
+    let slugged = format!("{plain}-{}", violation.slug());
+    if available(&slugged) {
+        return slugged;
+    }
+    let mut i = 2u32;
+    loop {
+        let numbered = format!("{slugged}-{i}");
+        if available(&numbered) {
+            return numbered;
+        }
+        i += 1;
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +163,80 @@ mod tests {
             .unwrap()
             .contains("chaos_repro_seed_13"));
         assert_eq!(std::fs::read(&paths.flight).unwrap(), b"DMFR1\0\0\0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_variant_same_seed_never_overwrites() {
+        let dir = std::env::temp_dir().join("demos-chaos-test-artifact-collisions");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sc = Scenario::generate(21);
+        let mut other = sc.clone();
+        other.quantum_us += 1; // same seed field, different scenario
+        let cfg = RunConfig::default();
+
+        let first = write_artifacts(
+            &dir,
+            &sc,
+            &cfg,
+            &Violation::NonDeliverable { count: 1 },
+            "t1\n",
+            b"F1",
+        )
+        .unwrap();
+        // Same scenario again: idempotent, same paths, content intact.
+        let again = write_artifacts(
+            &dir,
+            &sc,
+            &cfg,
+            &Violation::NonDeliverable { count: 1 },
+            "t1\n",
+            b"F1",
+        )
+        .unwrap();
+        assert_eq!(first.scenario, again.scenario);
+
+        // Different scenario text with the same seed: new slugged base,
+        // first artifacts untouched.
+        let second = write_artifacts(
+            &dir,
+            &other,
+            &cfg,
+            &Violation::NotQuiescent { in_flight: 3 },
+            "t2\n",
+            b"F2",
+        )
+        .unwrap();
+        assert_ne!(first.scenario, second.scenario);
+        assert!(second
+            .scenario
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains("notquiescent"));
+        assert_eq!(std::fs::read(&first.flight).unwrap(), b"F1");
+        assert_eq!(std::fs::read(&second.flight).unwrap(), b"F2");
+
+        // A third distinct scenario under the same seed and slug gets a
+        // numbered base.
+        let mut third_sc = sc.clone();
+        third_sc.quantum_us += 2;
+        let third = write_artifacts(
+            &dir,
+            &third_sc,
+            &cfg,
+            &Violation::NotQuiescent { in_flight: 9 },
+            "t3\n",
+            b"F3",
+        )
+        .unwrap();
+        assert!(third
+            .scenario
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains("notquiescent-2"));
+        assert_eq!(std::fs::read(&second.flight).unwrap(), b"F2");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

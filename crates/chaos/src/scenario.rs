@@ -326,7 +326,7 @@ impl Scenario {
                         payload: rng.gen_range(0..256) as u32,
                     },
                 });
-            } else if roll < 80 {
+            } else if roll < 800 {
                 let (a, b) = edges[rng.gen_range(0..edges.len() as u64) as usize];
                 let heal_at = (at_us + 2_000 + rng.gen_range(0..12_000)).min(horizon_us - 1);
                 events.push(Event {
@@ -478,6 +478,204 @@ impl Scenario {
                 at_us,
                 kind: EventKind::Crash { m },
             });
+        }
+        events.sort_by_key(|e| e.at_us);
+
+        Scenario {
+            seed,
+            topo,
+            quantum_us,
+            horizon_us,
+            drain_us: 30_000_000,
+            workloads,
+            events,
+            recovery: true,
+        }
+    }
+
+    /// Derive a classic scenario in the **rare-interleaving regime**:
+    /// identical shape to [`Scenario::generate`], but migrations occupy
+    /// only ~2% of the event-roll space instead of 45%. Under the
+    /// `no-forwarding` ablation the bug needs a migration with traffic
+    /// behind it, so blind sampling over this generator has to wait for
+    /// the rare roll — the regime experiment E17 uses to measure how
+    /// much faster coverage-guided search reaches the same bug.
+    pub fn generate_rare(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00AB_5EED_0DD5_0101);
+        let n = (2 + rng.gen_range(0..5)) as u16; // 2..=6 machines
+        let kind = match rng.gen_range(0..4) {
+            0 => TopoKind::Mesh,
+            1 => TopoKind::Line,
+            2 => TopoKind::Ring,
+            _ => TopoKind::Star,
+        };
+        let topo = TopoSpec {
+            kind,
+            n,
+            latency_us: 50 + rng.gen_range(0..750),
+            ns_per_byte: rng.gen_range(0..300),
+            loss_pm: rng.gen_range(0..80),
+        };
+        let horizon_us = 30_000 + rng.gen_range(0..50_000);
+        let quantum_us = 2_000 + rng.gen_range(0..6_000);
+
+        let mut workloads = vec![{
+            let a = rng.gen_range(0..n as u64) as u16;
+            let b = (a + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            Workload::PingPong {
+                a,
+                b,
+                limit: 50 + rng.gen_range(0..250),
+                cpu_us: rng.gen_range(0..100) as u32,
+            }
+        }];
+        if rng.gen_bool(0.6) {
+            workloads.push(Workload::Cargo {
+                m: rng.gen_range(0..n as u64) as u16,
+                ballast: rng.gen_range(0..16_384) as u32,
+            });
+        }
+        let slots: u64 = workloads.iter().map(|w| w.slots() as u64).sum();
+        let edges = topo.edges();
+
+        let mut events: Vec<Event> = Vec::new();
+        let singles = 3 + rng.gen_range(0..10);
+        for _ in 0..singles {
+            let at_us = 1_000 + rng.gen_range(0..horizon_us - 3_000);
+            let roll = rng.gen_range(0..1000);
+            if roll < 3 {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Migrate {
+                        slot: rng.gen_range(0..slots) as u16,
+                        to: rng.gen_range(0..n as u64) as u16,
+                    },
+                });
+            } else if roll < 550 {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Burst {
+                        slot: rng.gen_range(0..slots) as u16,
+                        count: 1 + rng.gen_range(0..8) as u16,
+                        payload: rng.gen_range(0..256) as u32,
+                    },
+                });
+            } else if roll < 80 {
+                let (a, b) = edges[rng.gen_range(0..edges.len() as u64) as usize];
+                let heal_at = (at_us + 2_000 + rng.gen_range(0..12_000)).min(horizon_us - 1);
+                events.push(Event {
+                    at_us: at_us.min(heal_at.saturating_sub(1)),
+                    kind: EventKind::Partition { a, b },
+                });
+                events.push(Event {
+                    at_us: heal_at,
+                    kind: EventKind::HealEdge { a, b },
+                });
+            } else {
+                let m = rng.gen_range(0..n as u64) as u16;
+                let restore_at = (at_us + 2_000 + rng.gen_range(0..12_000)).min(horizon_us - 1);
+                events.push(Event {
+                    at_us: at_us.min(restore_at.saturating_sub(1)),
+                    kind: EventKind::Degrade {
+                        m,
+                        factor_pct: 150 + rng.gen_range(0..1_850) as u32,
+                    },
+                });
+                events.push(Event {
+                    at_us: restore_at,
+                    kind: EventKind::Restore { m },
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at_us);
+
+        Scenario {
+            seed,
+            topo,
+            quantum_us,
+            horizon_us,
+            drain_us: 30_000_000,
+            workloads,
+            events,
+            recovery: false,
+        }
+    }
+
+    /// Derive a recovery scenario in the **rare-interleaving regime**:
+    /// identical shape to [`Scenario::generate_recovery`], but the
+    /// permanent crash is no longer guaranteed — each candidate victim
+    /// dies with only ~3% probability. Under the `no-recovery` ablation
+    /// the bug needs a permanent crash on a populated machine, so blind
+    /// sampling has to wait for the rare draw.
+    pub fn generate_rare_recovery(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00AB_5EED_0DD5_0202);
+        let n = (3 + rng.gen_range(0..4)) as u16; // 3..=6 machines
+        let topo = TopoSpec {
+            kind: TopoKind::Mesh,
+            n,
+            latency_us: 50 + rng.gen_range(0..450),
+            ns_per_byte: rng.gen_range(0..200),
+            loss_pm: rng.gen_range(0..50),
+        };
+        let horizon_us = 40_000 + rng.gen_range(0..40_000);
+        let quantum_us = 2_000 + rng.gen_range(0..6_000);
+
+        let mut workloads = vec![{
+            let a = rng.gen_range(0..n as u64) as u16;
+            let b = (a + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            Workload::PingPong {
+                a,
+                b,
+                limit: 50 + rng.gen_range(0..250),
+                cpu_us: rng.gen_range(0..100) as u32,
+            }
+        }];
+        if rng.gen_bool(0.7) {
+            let server = rng.gen_range(0..n as u64) as u16;
+            let client = (server + 1 + rng.gen_range(0..(n as u64 - 1)) as u16) % n;
+            workloads.push(Workload::ClientServer {
+                client,
+                server,
+                requests: 50 + rng.gen_range(0..150),
+                period_us: 400 + rng.gen_range(0..800) as u32,
+                payload: rng.gen_range(0..256) as u32,
+            });
+        }
+        let slots: u64 = workloads.iter().map(|w| w.slots() as u64).sum();
+
+        let mut events: Vec<Event> = Vec::new();
+        let singles = 2 + rng.gen_range(0..6);
+        for _ in 0..singles {
+            let at_us = 1_000 + rng.gen_range(0..horizon_us - 3_000);
+            if rng.gen_bool(0.5) {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Migrate {
+                        slot: rng.gen_range(0..slots) as u16,
+                        to: rng.gen_range(0..n as u64) as u16,
+                    },
+                });
+            } else {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Burst {
+                        slot: rng.gen_range(0..slots) as u16,
+                        count: 1 + rng.gen_range(0..8) as u16,
+                        payload: rng.gen_range(0..256) as u32,
+                    },
+                });
+            }
+        }
+        // Rare permanent crashes: each machine except two guaranteed
+        // survivors rolls a 1% death. Almost every seed schedules none.
+        for m in 0..n.saturating_sub(2) {
+            if rng.gen_bool(0.01) {
+                let at_us = 15_000 + rng.gen_range(0..horizon_us - 20_000);
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::Crash { m },
+                });
+            }
         }
         events.sort_by_key(|e| e.at_us);
 
@@ -833,6 +1031,45 @@ mod tests {
                 "crashes land after the first checkpoint passes"
             );
         }
+    }
+
+    #[test]
+    fn rare_regime_generators_are_deterministic_and_sparse() {
+        let mut with_migration = 0usize;
+        let mut with_crash = 0usize;
+        for seed in 0..500u64 {
+            let a = Scenario::generate_rare(seed);
+            assert_eq!(a, Scenario::generate_rare(seed), "seed {seed}");
+            a.validate().expect("rare scenario valid");
+            assert!(!a.recovery);
+            if a.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Migrate { .. }))
+            {
+                with_migration += 1;
+            }
+            let r = Scenario::generate_rare_recovery(seed);
+            assert_eq!(r, Scenario::generate_rare_recovery(seed), "seed {seed}");
+            r.validate().expect("rare recovery scenario valid");
+            assert!(r.recovery);
+            if r.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Crash { .. }))
+            {
+                with_crash += 1;
+            }
+        }
+        // The point of the regime: the triggering fault is rare under
+        // blind sampling. Loose bounds so distribution tweaks don't
+        // flake, but both must stay genuinely sparse.
+        assert!(
+            (1..50).contains(&with_migration),
+            "rare migrations: {with_migration}/500"
+        );
+        assert!(
+            (1..50).contains(&with_crash),
+            "rare crashes: {with_crash}/500"
+        );
     }
 
     #[test]

@@ -150,9 +150,29 @@ impl Node {
     /// A crashed peer came back: clear the dead verdict (kernel) and the
     /// relay latch, so a second death of the same machine is reported to
     /// the engine again.
-    pub fn peer_revived(&mut self, now: Time, peer: MachineId) {
-        self.kernel.peer_revived(now, peer);
+    ///
+    /// The reboot is also this node's death certificate for the *old*
+    /// incarnation: the fresh kernel remembers none of its migration
+    /// contexts, so any in-flight migration with that peer is resolved
+    /// exactly as a confirmed death would — an installed incoming copy
+    /// is the last copy of its process and restarts here (the 10 s
+    /// timeout would kill it), a partial transfer is dropped, an
+    /// outgoing migration thaws and may re-offer. Without this, a peer
+    /// that crashes and reboots *inside* the failure-detection window
+    /// leaves the migration to the timeout's worst-case guess.
+    pub fn peer_revived(
+        &mut self,
+        now: Time,
+        peer: MachineId,
+        epoch: u32,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        self.kernel.peer_revived(now, peer, epoch);
         self.notified_dead.remove(&peer);
+        self.engine
+            .on_peer_dead(now, &mut self.kernel, peer, phys, out);
+        self.drain(now, phys, out);
     }
 
     /// Convenience for harnesses: migrate `pid` to `dest` directly,

@@ -343,6 +343,24 @@ impl Kernel {
         self.machine
     }
 
+    /// Monotone identifier watermarks — next process uid, next message
+    /// correlation serial. This is the boot record a processor keeps in
+    /// stable storage: a fresh incarnation must mint *above* these, or
+    /// its ids collide with the previous incarnation's still-circulating
+    /// ones (a re-minted correlation id makes two distinct messages look
+    /// like a duplicate; a re-minted uid collides with a re-homed
+    /// process).
+    pub fn id_watermarks(&self) -> (u32, u64) {
+        (self.next_uid, self.next_corr)
+    }
+
+    /// Resume identifier minting above a previous incarnation's
+    /// watermarks (reboot path; see [`Kernel::id_watermarks`]).
+    pub fn resume_id_watermarks(&mut self, uid: u32, corr: u64) {
+        self.next_uid = self.next_uid.max(uid);
+        self.next_corr = self.next_corr.max(corr);
+    }
+
     /// This kernel's process identity (local uid 0).
     pub fn kernel_pid(&self) -> ProcessId {
         ProcessId::kernel_of(self.machine)
@@ -446,20 +464,30 @@ impl Kernel {
     }
 
     /// Reset the reliable channel to `peer` (connection re-establishment
-    /// after the peer is revived with fresh sequence numbers). Also clears
-    /// any detector verdict so a revived peer is watched afresh.
-    pub fn reset_channel(&mut self, peer: MachineId) {
-        self.endpoint.reset_peer(peer);
+    /// after the peer is revived with fresh sequence numbers), starting
+    /// connection incarnation `epoch` — both ends of the pair must be
+    /// handed the same value, strictly above anything the pair used
+    /// before, so stragglers of the old incarnation are recognizably
+    /// stale. Also clears any detector verdict so a revived peer is
+    /// watched afresh.
+    pub fn reset_channel(&mut self, peer: MachineId, epoch: u32) {
+        self.endpoint.reset_peer(peer, epoch);
         self.dead.remove(&peer);
         if let Some(ph) = self.hb_peers.get_mut(&peer) {
             ph.suspected = false;
         }
     }
 
-    /// A revived peer is alive by definition: reset its channel and
-    /// restart liveness tracking from `now`.
-    pub fn peer_revived(&mut self, now: Time, peer: MachineId) {
-        self.reset_channel(peer);
+    /// Current connection incarnation of the channel to `peer`.
+    pub fn channel_epoch(&self, peer: MachineId) -> u32 {
+        self.endpoint.peer_epoch(peer)
+    }
+
+    /// A revived peer is alive by definition: reset its channel (onto the
+    /// new connection incarnation `epoch`) and restart liveness tracking
+    /// from `now`.
+    pub fn peer_revived(&mut self, now: Time, peer: MachineId, epoch: u32) {
+        self.reset_channel(peer, epoch);
         if let Some(ph) = self.hb_peers.get_mut(&peer) {
             ph.last_heard = now;
             ph.suspected = false;
@@ -598,6 +626,12 @@ impl Kernel {
     /// Whether the transport has unacknowledged frames in flight.
     pub fn transport_quiescent(&self) -> bool {
         self.endpoint.quiescent()
+    }
+
+    /// Per-peer transmit backlog (`(peer, unacked, pending, state)`),
+    /// for diagnosing a non-quiescent endpoint.
+    pub fn transport_backlog(&self) -> Vec<(MachineId, usize, usize, demos_net::PeerState)> {
+        self.endpoint.backlog()
     }
 
     // ------------------------------------------------------------------

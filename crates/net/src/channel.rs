@@ -105,6 +105,12 @@ pub struct ChannelStats {
     pub dup_acks: u64,
     /// Incoming data frames suppressed as duplicates.
     pub dedup_drops: u64,
+    /// Frames discarded because they carried a connection epoch different
+    /// from the current one: stragglers transmitted by (or to) a previous
+    /// incarnation of the channel, still in flight across a reset. Their
+    /// sequence numbers belong to a dead sequence space and must not be
+    /// woven into the current one.
+    pub stale_drops: u64,
     /// Frames bounced back to the kernel because their peer was Dead.
     pub bounced: u64,
 }
@@ -120,6 +126,12 @@ struct Queued {
 /// Per-peer channel state.
 #[derive(Debug, Default)]
 struct Peer {
+    /// Connection incarnation. Every frame in both directions carries it;
+    /// a frame whose epoch differs from ours is a straggler from a dead
+    /// incarnation and is discarded. Bumped by [`Endpoint::reset_peer`]
+    /// on every reboot of either end — the cluster reset protocol hands
+    /// both ends the same new value, so live traffic always agrees.
+    epoch: u32,
     /// Next sequence number to assign (sequences start at 1).
     next_seq: u64,
     /// In-flight frames awaiting acknowledgement, in sequence order.
@@ -236,6 +248,7 @@ impl Endpoint {
         peer.next_seq += 1;
         let seq = peer.next_seq;
         let frame = Frame::Data {
+            epoch: peer.epoch,
             seq,
             payload: q.bytes.clone(),
             meta: FrameMeta::new(q.corr),
@@ -261,13 +274,36 @@ impl Endpoint {
         let cfg = self.cfg;
         let src = self.machine;
         let peer = self.peers.entry(from).or_default();
+        // Connection-incarnation gate: a reboot of either end resets the
+        // channel and bumps the epoch on both sides, but frames from the
+        // old incarnation may still be in flight. Their sequence numbers
+        // are meaningless in the fresh sequence space (an old seq 2 would
+        // sit in the reorder buffer and later masquerade as the new seq 2),
+        // so anything not from the current epoch is discarded unanswered —
+        // acking it would equally confuse the sender's new send state.
+        if frame.epoch() != peer.epoch {
+            self.stats.stale_drops += 1;
+            phys.note(NetEvent::StaleEpochDrop);
+            return Vec::new();
+        }
+        let epoch = peer.epoch;
         match frame {
-            Frame::Data { seq, payload, meta } => {
+            Frame::Data {
+                seq, payload, meta, ..
+            } => {
                 // Always (re-)acknowledge so lost acks cannot wedge the peer.
                 if seq <= peer.recv_cum {
                     self.stats.dedup_drops += 1;
                     phys.note(NetEvent::DedupDrop);
-                    phys.transmit(now, src, from, Frame::Ack { cum: peer.recv_cum });
+                    phys.transmit(
+                        now,
+                        src,
+                        from,
+                        Frame::Ack {
+                            epoch,
+                            cum: peer.recv_cum,
+                        },
+                    );
                     return Vec::new();
                 }
                 match peer.reorder.entry(seq) {
@@ -286,10 +322,18 @@ impl Endpoint {
                     peer.recv_cum += 1;
                     delivered.push(p);
                 }
-                phys.transmit(now, src, from, Frame::Ack { cum: peer.recv_cum });
+                phys.transmit(
+                    now,
+                    src,
+                    from,
+                    Frame::Ack {
+                        epoch,
+                        cum: peer.recv_cum,
+                    },
+                );
                 delivered
             }
-            Frame::Ack { cum } => {
+            Frame::Ack { cum, .. } => {
                 let mut popped = 0u64;
                 while peer.unacked.front().is_some_and(|&(s, _)| s <= cum) {
                     peer.unacked.pop_front();
@@ -426,6 +470,7 @@ impl Endpoint {
             for (seq, q) in &peer.unacked {
                 self.stats.retransmits += 1;
                 let frame = Frame::Data {
+                    epoch: peer.epoch,
                     seq: *seq,
                     payload: q.bytes.clone(),
                     meta: FrameMeta::new(q.corr).retransmission(),
@@ -498,14 +543,47 @@ impl Endpoint {
         self.stats.retransmits
     }
 
-    /// Drop all channel state for `peer`: sequence numbers, in-flight and
-    /// deferred frames. Used when a crashed peer is revived with a fresh
-    /// endpoint — both sides must restart their sequence spaces, or the
-    /// survivor's high sequence numbers would sit in the revived peer's
-    /// reorder buffer forever. Any unacknowledged messages to the dead
-    /// peer are lost, like everything else on it.
-    pub fn reset_peer(&mut self, peer: MachineId) {
-        self.peers.remove(&peer);
+    /// Per-peer transmit backlog: `(peer, unacked, pending, state)` for
+    /// every peer with channel state. Diagnostic — the chaos harness uses
+    /// it to name the peer a non-quiescent endpoint is still waiting on.
+    pub fn backlog(&self) -> Vec<(MachineId, usize, usize, PeerState)> {
+        self.peers
+            .iter()
+            .map(|(&m, p)| (m, p.unacked.len(), p.pending.len(), p.state))
+            .collect()
+    }
+
+    /// Drop all channel state for `peer` — sequence numbers, in-flight and
+    /// deferred frames — and start connection incarnation `epoch`. Used
+    /// when a crashed peer is revived with a fresh endpoint: both sides
+    /// must restart their sequence spaces, or the survivor's high sequence
+    /// numbers would sit in the revived peer's reorder buffer forever. Any
+    /// unacknowledged messages to the dead peer are lost, like everything
+    /// else on it.
+    ///
+    /// `epoch` must be strictly greater than every incarnation this
+    /// channel has used before (the cluster reset protocol derives it from
+    /// the max of both ends' current epochs), so that frames of the old
+    /// incarnation still in flight across the reset are recognizably stale
+    /// instead of being woven into the fresh sequence space.
+    pub fn reset_peer(&mut self, peer: MachineId, epoch: u32) {
+        debug_assert!(
+            self.peers.get(&peer).is_none_or(|p| epoch > p.epoch),
+            "channel epoch must move forward on reset"
+        );
+        self.peers.insert(
+            peer,
+            Peer {
+                epoch,
+                ..Peer::default()
+            },
+        );
+    }
+
+    /// Current connection incarnation of the channel to `peer` (0 if the
+    /// pair has never communicated or been reset).
+    pub fn peer_epoch(&self, peer: MachineId) -> u32 {
+        self.peers.get(&peer).map_or(0, |p| p.epoch)
     }
 
     /// Whether every send has been acknowledged and nothing is queued.
@@ -661,7 +739,7 @@ mod tests {
         assert_eq!(phys.0.len(), 2, "window limits in-flight frames");
         assert_eq!(a.in_flight(), 2);
         // Ack the first two: the remaining two go out.
-        a.on_frame(Time(1), m(1), Frame::Ack { cum: 2 }, &mut phys);
+        a.on_frame(Time(1), m(1), Frame::Ack { epoch: 0, cum: 2 }, &mut phys);
         assert_eq!(phys.0.len(), 4);
         assert!(!a.quiescent());
         // A deferred message keeps its correlation id when it finally
@@ -709,7 +787,7 @@ mod tests {
         assert_eq!(gaps[2], gaps[3], "ceiling reached: the gap stops growing");
         assert_eq!(gaps[3], gaps[4]);
         // An ack clears the ladder; a fresh loss starts from the base RTO.
-        a.on_frame(now, m(1), Frame::Ack { cum: 1 }, &mut phys);
+        a.on_frame(now, m(1), Frame::Ack { epoch: 0, cum: 1 }, &mut phys);
         assert!(a.next_timeout().is_none());
         a.send(now, m(1), bytes("y"), corr(2), &mut phys);
         assert_eq!(
@@ -796,7 +874,7 @@ mod tests {
         );
         // reset_peer forgets the verdict entirely (revival): sequence
         // space restarts and the peer is sendable again.
-        a.reset_peer(m(1));
+        a.reset_peer(m(1), 1);
         assert_eq!(a.peer_state(m(1)), PeerState::Alive);
         assert!(a
             .send(Time(10), m(1), bytes("fresh"), corr(4), &mut phys)
@@ -809,8 +887,52 @@ mod tests {
         let mut a = Endpoint::new(m(0), ChannelConfig::default());
         let mut phys = Capture::default();
         a.send(Time(0), m(1), bytes("x"), corr(1), &mut phys);
-        a.on_frame(Time(1), m(1), Frame::Ack { cum: 0 }, &mut phys);
+        a.on_frame(Time(1), m(1), Frame::Ack { epoch: 0, cum: 0 }, &mut phys);
         assert_eq!(a.in_flight(), 1, "cum=0 acknowledges nothing");
         assert_eq!(a.channel_stats().dup_acks, 1);
+    }
+
+    /// Frames of a previous connection incarnation that were still in
+    /// flight across a reset are discarded — not acked, not buffered —
+    /// instead of entering the fresh sequence space. Regression for a
+    /// fuzzer-found trace where an old seq-2 heartbeat frame crossed a
+    /// crash+revive, sat in the revived channel's reorder buffer until the
+    /// new seq 1 released it, and then made the *new* seq 2 look like a
+    /// duplicate (dedup drops with zero retransmissions).
+    #[test]
+    fn stale_epoch_frames_dropped_across_reset() {
+        let mut b = Endpoint::new(m(1), ChannelConfig::default());
+        let mut phys = Capture::default();
+        // Old incarnation delivered seq 1; its seq 2 is still in flight.
+        let d = b.on_frame(Time(0), m(0), Frame::data(1, bytes("old1")), &mut phys);
+        assert_eq!(d.len(), 1);
+        // The peer reboots: both ends reset to incarnation 1.
+        b.reset_peer(m(0), 1);
+        phys.0.clear();
+        // The old incarnation's straggler arrives after the reset.
+        let d = b.on_frame(Time(2), m(0), Frame::data(2, bytes("old2")), &mut phys);
+        assert!(d.is_empty(), "stale frame must not be delivered");
+        assert!(phys.0.is_empty(), "stale frame must not be acked");
+        assert_eq!(b.channel_stats().stale_drops, 1);
+        assert_eq!(b.channel_stats().dedup_drops, 0);
+        // The new incarnation reuses the same sequence numbers cleanly.
+        let fresh = |seq, s| Frame::Data {
+            epoch: 1,
+            seq,
+            payload: bytes(s),
+            meta: FrameMeta::default(),
+        };
+        let mut d = b.on_frame(Time(3), m(0), fresh(1, "new1"), &mut phys);
+        d.extend(b.on_frame(Time(4), m(0), fresh(2, "new2"), &mut phys));
+        assert_eq!(payloads(d), vec![bytes("new1"), bytes("new2")]);
+        // A stale ack is equally ignored: it must not acknowledge frames
+        // of the new incarnation that happen to share sequence numbers.
+        let mut a = Endpoint::new(m(0), ChannelConfig::default());
+        a.send(Time(5), m(1), bytes("x"), corr(1), &mut phys);
+        a.reset_peer(m(1), 1);
+        a.send(Time(6), m(1), bytes("y"), corr(2), &mut phys);
+        a.on_frame(Time(7), m(1), Frame::Ack { epoch: 0, cum: 1 }, &mut phys);
+        assert_eq!(a.in_flight(), 1, "old-incarnation ack ignored");
+        assert_eq!(a.channel_stats().stale_drops, 1);
     }
 }

@@ -41,6 +41,12 @@ impl FrameMeta {
 pub enum Frame {
     /// Sequenced message bytes.
     Data {
+        /// Connection incarnation of the sender's channel to the
+        /// destination. Bumped each time the channel is reset (peer
+        /// reboot); a frame whose epoch differs from the receiver's is a
+        /// straggler from a dead incarnation and must not enter the
+        /// current sequence space.
+        epoch: u32,
         /// Channel sequence number (per source-destination pair).
         seq: u64,
         /// One encoded [`demos_types::Message`].
@@ -52,6 +58,9 @@ pub enum Frame {
     /// Cumulative acknowledgement: every `Data` with `seq <= cum` has been
     /// received.
     Ack {
+        /// Connection incarnation this ack belongs to (see
+        /// [`Frame::Data::epoch`]).
+        epoch: u32,
         /// Highest in-order sequence received.
         cum: u64,
     },
@@ -62,13 +71,21 @@ impl PartialEq for Frame {
         match (self, other) {
             (
                 Frame::Data {
-                    seq: a, payload: p, ..
+                    epoch: ea,
+                    seq: a,
+                    payload: p,
+                    ..
                 },
                 Frame::Data {
-                    seq: b, payload: q, ..
+                    epoch: eb,
+                    seq: b,
+                    payload: q,
+                    ..
                 },
-            ) => a == b && p == q,
-            (Frame::Ack { cum: a }, Frame::Ack { cum: b }) => a == b,
+            ) => ea == eb && a == b && p == q,
+            (Frame::Ack { epoch: ea, cum: a }, Frame::Ack { epoch: eb, cum: b }) => {
+                ea == eb && a == b
+            }
             (Frame::Data { .. }, Frame::Ack { .. }) | (Frame::Ack { .. }, Frame::Data { .. }) => {
                 false
             }
@@ -77,10 +94,12 @@ impl PartialEq for Frame {
 }
 
 impl Frame {
-    /// A data frame with default (untraced) metadata — test fixtures and
-    /// callers that predate tracing.
+    /// A data frame on the first connection incarnation with default
+    /// (untraced) metadata — test fixtures and callers that predate
+    /// tracing.
     pub fn data(seq: u64, payload: Bytes) -> Frame {
         Frame::Data {
+            epoch: 0,
             seq,
             payload,
             meta: FrameMeta::default(),
@@ -90,14 +109,21 @@ impl Frame {
     /// Size the physical network charges for this frame.
     pub fn wire_size(&self) -> usize {
         match self {
-            Frame::Data { payload, .. } => 1 + 8 + 4 + payload.len(),
-            Frame::Ack { .. } => 1 + 8,
+            Frame::Data { payload, .. } => 1 + 4 + 8 + 4 + payload.len(),
+            Frame::Ack { .. } => 1 + 4 + 8,
         }
     }
 
     /// Whether this is an `Ack`.
     pub fn is_ack(&self) -> bool {
         matches!(self, Frame::Ack { .. })
+    }
+
+    /// The connection incarnation this frame was sent on.
+    pub fn epoch(&self) -> u32 {
+        match self {
+            Frame::Data { epoch, .. } | Frame::Ack { epoch, .. } => *epoch,
+        }
     }
 
     /// This frame's tracing metadata (`None` for acks).
@@ -112,34 +138,46 @@ impl Frame {
 impl Wire for Frame {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            Frame::Data { seq, payload, .. } => {
+            Frame::Data {
+                epoch,
+                seq,
+                payload,
+                ..
+            } => {
                 buf.put_u8(1);
+                buf.put_u32(*epoch);
                 buf.put_u64(*seq);
                 wire::put_bytes(buf, payload);
             }
-            Frame::Ack { cum } => {
+            Frame::Ack { epoch, cum } => {
                 buf.put_u8(2);
+                buf.put_u32(*epoch);
                 buf.put_u64(*cum);
             }
         }
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
-        if buf.remaining() < 9 {
+        if buf.remaining() < 13 {
             return Err(WireError::Truncated("Frame"));
         }
         let tag = buf.get_u8();
         match tag {
             1 => {
+                let epoch = buf.get_u32();
                 let seq = buf.get_u64();
                 let payload = wire::get_bytes(buf, "Frame.payload", 1 << 20)?;
                 Ok(Frame::Data {
+                    epoch,
                     seq,
                     payload,
                     meta: FrameMeta::default(),
                 })
             }
-            2 => Ok(Frame::Ack { cum: buf.get_u64() }),
+            2 => Ok(Frame::Ack {
+                epoch: buf.get_u32(),
+                cum: buf.get_u64(),
+            }),
             _ => Err(WireError::BadTag {
                 what: "Frame",
                 tag: u16::from(tag),
@@ -168,22 +206,37 @@ mod tests {
 
     #[test]
     fn ack_roundtrip() {
-        let f = Frame::Ack { cum: 7 };
+        let f = Frame::Ack { epoch: 3, cum: 7 };
         assert_eq!(roundtrip(&f).unwrap(), f);
-        assert_eq!(f.wire_size(), 9);
+        assert_eq!(f.wire_size(), 13);
         assert!(f.is_ack());
     }
 
     #[test]
     fn bad_tag() {
-        let mut b = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut b = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(Frame::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_wire_image() {
+        let old = Frame::data(1, Bytes::from_static(b"msg"));
+        let new = Frame::Data {
+            epoch: 1,
+            seq: 1,
+            payload: Bytes::from_static(b"msg"),
+            meta: FrameMeta::default(),
+        };
+        assert_ne!(old, new, "same seq on different incarnations differs");
+        assert_ne!(old.to_bytes(), new.to_bytes());
+        assert_eq!(roundtrip(&new).unwrap(), new);
     }
 
     #[test]
     fn meta_rides_outside_the_wire_image() {
         let corr = CorrId::new(MachineId(2), 9);
         let tagged = Frame::Data {
+            epoch: 0,
             seq: 1,
             payload: Bytes::from_static(b"msg"),
             meta: FrameMeta::new(corr).retransmission(),
@@ -200,6 +253,6 @@ mod tests {
             roundtrip(&tagged).unwrap().meta(),
             Some(FrameMeta::default())
         );
-        assert_eq!(Frame::Ack { cum: 0 }.meta(), None);
+        assert_eq!(Frame::Ack { epoch: 0, cum: 0 }.meta(), None);
     }
 }

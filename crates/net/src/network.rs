@@ -34,6 +34,11 @@ pub enum NetEvent {
     /// An already-delivered (or already-buffered) data frame was dropped
     /// by the dedup window.
     DedupDrop,
+    /// A frame from a previous connection incarnation arrived after the
+    /// channel was reset (its sender or receiver rebooted while it was in
+    /// flight) and was discarded before it could pollute the fresh
+    /// sequence space.
+    StaleEpochDrop,
 }
 
 /// Where the transport hands frames to the physical layer.
@@ -66,6 +71,9 @@ pub struct NetStats {
     pub dup_acks: u64,
     /// Data frames suppressed by receiver dedup ([`NetEvent::DedupDrop`]).
     pub dedup_drops: u64,
+    /// Frames discarded as stragglers from a dead connection incarnation
+    /// ([`NetEvent::StaleEpochDrop`]).
+    pub stale_epoch_drops: u64,
     /// Total bytes handed to the physical layer.
     pub bytes_sent: u64,
     /// Bytes × route hops, summed over sent frames: total load placed on
@@ -286,6 +294,7 @@ impl Phys for SimNetwork {
         match ev {
             NetEvent::DupAck => self.stats.dup_acks += 1,
             NetEvent::DedupDrop => self.stats.dedup_drops += 1,
+            NetEvent::StaleEpochDrop => self.stats.stale_epoch_drops += 1,
         }
     }
 }

@@ -32,6 +32,7 @@ struct Args {
     phase: Option<u8>,
     phases_table: bool,
     summary: bool,
+    coverage: bool,
     tail: Option<usize>,
 }
 
@@ -42,6 +43,7 @@ const USAGE: &str = "usage: demos-trace <dump-file> [options]
   --phase <NAME>    only migration records in one phase (e.g. frozen)
   --phases          print the per-phase percentile table (p50/p90/p99/p999)
   --summary        print per-node header info and kind counts only
+  --coverage        print the schedule-coverage features the dump exhibits
   --tail <N>        only the newest N records after filtering";
 
 fn parse_corr(s: &str) -> Option<u64> {
@@ -65,6 +67,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         phase: None,
         phases_table: false,
         summary: false,
+        coverage: false,
         tail: None,
     };
     let mut it = argv.iter();
@@ -93,6 +96,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--phases" => args.phases_table = true,
             "--summary" => args.summary = true,
+            "--coverage" => args.coverage = true,
             "--tail" => {
                 args.tail = Some(val("--tail")?.parse().map_err(|e| format!("--tail: {e}"))?)
             }
@@ -166,6 +170,13 @@ fn run() -> Result<(), String> {
     let dumps = parse_dump(&bytes)?;
     if args.summary {
         print!("{}", summarize(&dumps));
+        return Ok(());
+    }
+    if args.coverage {
+        // Record-visible coverage only: fault×phase and recovery-overlap
+        // features need the schedule / episode context the ring drops.
+        let set = demos_obs::features::extract_records(&dumps);
+        print!("{}", demos_obs::features::render(&set));
         return Ok(());
     }
     let mut records: Vec<Record> = merge(&dumps)

@@ -1,0 +1,397 @@
+//! Schedule-coverage features decoded from flight-recorder streams.
+//!
+//! A *feature* is one element of the deterministic coverage map the
+//! chaos fuzzer steers by: a protocol-state edge a kernel traversed, a
+//! migration-phase transition, a forwarding-chain depth reached. Each is
+//! a packed `u64` — `class << 56 | a << 28 | b` — so a whole run's
+//! coverage is a small ordered integer set that merges, diffs and
+//! serializes bytewise-deterministically ([`FeatureSet`]).
+//!
+//! This module owns the *encoding* (the id namespace every layer agrees
+//! on) and the record-level *decoding*: [`extract_records`] derives the
+//! record-visible classes from any flight-recorder dump, so
+//! `demos-trace --coverage` can report coverage for a dump post-hoc
+//! without the simulator in the loop. Classes that need more context
+//! than the ring keeps — fault×phase pairs (the fault schedule lives in
+//! the chaos scenario) and recovery-episode overlap (episodes live in
+//! the sim's recovery manager) — are encoded here but extracted by the
+//! layers that see that context (`demos-sim::coverage`, `demos-chaos`).
+
+use crate::recorder::{kind, kind_name, phase_name, NodeDump, Record};
+use std::collections::BTreeSet;
+
+/// Feature-class namespace. Values are part of the corpus text format —
+/// append, never renumber.
+pub mod class {
+    /// Protocol-state edge: consecutive record kinds on one machine,
+    /// `a` = predecessor kind, `b` = successor kind.
+    pub const KIND_EDGE: u8 = 1;
+    /// Migration-phase edge for one migration: `a` = predecessor phase
+    /// + 1 (0 = lifecycle start), `b` = phase.
+    pub const PHASE_EDGE: u8 = 2;
+    /// Forwarding-chain depth a delivery reached: `a` = hop bucket
+    /// (0, 1, 2, 3, 4 = "4 or more").
+    pub const FWD_DEPTH: u8 = 3;
+    /// Fault kind × migration phase it landed in: `a` = fault kind
+    /// (chaos event alphabet), `b` = phase + 1 (0 = no migration in
+    /// flight). Extracted by `demos-chaos`, which sees the schedule.
+    pub const FAULT_PHASE: u8 = 4;
+    /// Concurrent recovery-episode count: `a` = overlap depth (capped
+    /// at 3). Extracted by `demos-sim`, which sees the episodes.
+    pub const RECOVERY_OVERLAP: u8 = 5;
+    /// Invariant-violation variant observed: `a` = variant code.
+    /// Extracted by `demos-chaos`.
+    pub const VIOLATION: u8 = 6;
+}
+
+/// Pack a feature id. `a` and `b` must fit in 28 bits each.
+pub fn feature(class: u8, a: u32, b: u32) -> u64 {
+    debug_assert!(a < 1 << 28 && b < 1 << 28, "feature operand overflow");
+    (class as u64) << 56 | ((a as u64) & 0x0FFF_FFFF) << 28 | (b as u64) & 0x0FFF_FFFF
+}
+
+/// Unpack [`feature`]'s encoding into `(class, a, b)`.
+pub fn unpack(f: u64) -> (u8, u32, u32) {
+    (
+        (f >> 56) as u8,
+        (f >> 28) as u32 & 0x0FFF_FFFF,
+        f as u32 & 0x0FFF_FFFF,
+    )
+}
+
+/// The forwarding-depth bucket for a hop count.
+pub fn depth_bucket(hops: u32) -> u32 {
+    hops.min(4)
+}
+
+/// Human rendering of a feature id. Classes whose operand names live in
+/// other crates (`FAULT_PHASE`'s fault alphabet) get a generic form that
+/// `demos-chaos` refines.
+pub fn describe(f: u64) -> String {
+    let (cl, a, b) = unpack(f);
+    match cl {
+        class::KIND_EDGE => format!("kind-edge {} -> {}", kind_name(a as u8), kind_name(b as u8)),
+        class::PHASE_EDGE => {
+            let from = if a == 0 {
+                "start".to_string()
+            } else {
+                phase_name((a - 1) as u8).to_string()
+            };
+            format!("phase-edge {} -> {}", from, phase_name(b as u8))
+        }
+        class::FWD_DEPTH => {
+            if a >= 4 {
+                "forwarding-depth 4+".to_string()
+            } else {
+                format!("forwarding-depth {a}")
+            }
+        }
+        class::FAULT_PHASE => {
+            let ph = if b == 0 {
+                "idle".to_string()
+            } else {
+                phase_name((b - 1) as u8).to_string()
+            };
+            format!("fault#{a} x {ph}")
+        }
+        class::RECOVERY_OVERLAP => format!("recovery-overlap {a}"),
+        class::VIOLATION => format!("violation#{a}"),
+        _ => format!("feature {f:#018x}"),
+    }
+}
+
+/// Human name of a feature class.
+pub fn class_name(cl: u8) -> &'static str {
+    match cl {
+        class::KIND_EDGE => "kind-edge",
+        class::PHASE_EDGE => "phase-edge",
+        class::FWD_DEPTH => "fwd-depth",
+        class::FAULT_PHASE => "fault-phase",
+        class::RECOVERY_OVERLAP => "recovery-overlap",
+        class::VIOLATION => "violation",
+        _ => "unknown",
+    }
+}
+
+/// An ordered, deduplicated set of feature ids: one run's (or one
+/// campaign's) schedule coverage. Ordering makes every derived artifact
+/// — the serialized form, the distilled-corpus selection, the coverage
+/// report — bytewise deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FeatureSet(BTreeSet<u64>);
+
+impl FeatureSet {
+    /// An empty set.
+    pub fn new() -> FeatureSet {
+        FeatureSet::default()
+    }
+
+    /// Insert one feature; returns whether it was new.
+    pub fn insert(&mut self, f: u64) -> bool {
+        self.0.insert(f)
+    }
+
+    /// Whether the set holds `f`.
+    pub fn contains(&self, f: u64) -> bool {
+        self.0.contains(&f)
+    }
+
+    /// Remove one feature; returns whether it was present.
+    pub fn remove(&mut self, f: u64) -> bool {
+        self.0.remove(&f)
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Merge `other` in; returns how many features were new.
+    pub fn merge(&mut self, other: &FeatureSet) -> usize {
+        let before = self.0.len();
+        self.0.extend(other.iter());
+        self.0.len() - before
+    }
+
+    /// Features of `self` absent from `base`.
+    pub fn novel_vs(&self, base: &FeatureSet) -> FeatureSet {
+        FeatureSet(self.0.difference(&base.0).copied().collect())
+    }
+
+    /// Whether every feature of `self` is in `other`.
+    pub fn is_subset(&self, other: &FeatureSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Per-class feature counts, ascending by class id.
+    pub fn class_counts(&self) -> Vec<(u8, usize)> {
+        let mut out: Vec<(u8, usize)> = Vec::new();
+        for f in self.iter() {
+            let cl = (f >> 56) as u8;
+            match out.last_mut() {
+                Some((c, n)) if *c == cl => *n += 1,
+                _ => out.push((cl, 1)),
+            }
+        }
+        out
+    }
+
+    /// Serialize: one lowercase hex id per line (stable; `parse_text`
+    /// round-trips it).
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.0.len() * 17);
+        for f in self.iter() {
+            s.push_str(&format!("{f:016x}\n"));
+        }
+        s
+    }
+
+    /// Parse [`to_text`](Self::to_text)'s form; `#` comments and blank
+    /// lines are ignored.
+    pub fn parse_text(text: &str) -> Result<FeatureSet, String> {
+        let mut out = FeatureSet::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let f = u64::from_str_radix(line, 16)
+                .map_err(|_| format!("line {}: bad feature id {line:?}", ln + 1))?;
+            out.insert(f);
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<u64> for FeatureSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> FeatureSet {
+        FeatureSet(iter.into_iter().collect())
+    }
+}
+
+/// Extract the record-visible feature classes from one machine's
+/// chronological record stream: kind edges between consecutive records,
+/// phase edges per migration, and forwarding-depth buckets.
+pub fn extract_node_records(records: &[Record], out: &mut FeatureSet) {
+    let mut prev_kind: Option<u8> = None;
+    // Last phase seen per migrating pid (packed), for phase edges.
+    let mut last_phase: std::collections::BTreeMap<u64, u8> = std::collections::BTreeMap::new();
+    for r in records {
+        if let Some(pk) = prev_kind {
+            out.insert(feature(class::KIND_EDGE, pk as u32, r.kind as u32));
+        }
+        prev_kind = Some(r.kind);
+        match r.kind {
+            kind::MIGRATION => {
+                let from = match last_phase.get(&r.a) {
+                    Some(&p) => p as u32 + 1,
+                    None => 0,
+                };
+                out.insert(feature(class::PHASE_EDGE, from, r.arg as u32));
+                last_phase.insert(r.a, r.arg);
+            }
+            kind::ENQUEUED => {
+                out.insert(feature(class::FWD_DEPTH, depth_bucket(r.arg as u32), 0));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extract record-visible features from a parsed multi-node dump: each
+/// node's stream contributes independently (kind edges are a per-kernel
+/// notion), so the result is invariant under dump-section order.
+pub fn extract_records(dumps: &[NodeDump]) -> FeatureSet {
+    let mut out = FeatureSet::new();
+    for d in dumps {
+        extract_node_records(&d.records, &mut out);
+    }
+    out
+}
+
+/// Render a short coverage report for a feature set (the
+/// `demos-trace --coverage` output).
+pub fn render(set: &FeatureSet) -> String {
+    let mut s = format!("{} feature(s)\n", set.len());
+    for (cl, n) in set.class_counts() {
+        s.push_str(&format!("  {:<18} {}\n", class_name(cl), n));
+    }
+    for f in set.iter() {
+        s.push_str(&format!("  {f:016x}  {}\n", describe(f)));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::phase;
+
+    fn rec(at: u64, machine: u16, k: u8, a: u64, arg: u8) -> Record {
+        Record {
+            at,
+            a,
+            b: 0,
+            c: 0,
+            machine,
+            kind: k,
+            arg,
+        }
+    }
+
+    #[test]
+    fn feature_packs_and_unpacks() {
+        let f = feature(class::FAULT_PHASE, 7, 3);
+        assert_eq!(unpack(f), (class::FAULT_PHASE, 7, 3));
+        assert_eq!(unpack(feature(class::KIND_EDGE, 0, 0)).0, class::KIND_EDGE);
+    }
+
+    #[test]
+    fn kind_edges_are_per_machine() {
+        let d0 = NodeDump {
+            machine: 0,
+            capacity: 8,
+            total: 2,
+            records: vec![
+                rec(1, 0, kind::SUBMITTED, 1, 0),
+                rec(2, 0, kind::ENQUEUED, 1, 0),
+            ],
+        };
+        let d1 = NodeDump {
+            machine: 1,
+            capacity: 8,
+            total: 1,
+            records: vec![rec(3, 1, kind::SPAWNED, 9, 0)],
+        };
+        let set = extract_records(&[d0, d1]);
+        assert!(set.contains(feature(
+            class::KIND_EDGE,
+            kind::SUBMITTED as u32,
+            kind::ENQUEUED as u32
+        )));
+        // No cross-machine edge enqueued -> spawned.
+        assert!(!set.contains(feature(
+            class::KIND_EDGE,
+            kind::ENQUEUED as u32,
+            kind::SPAWNED as u32
+        )));
+        assert!(set.contains(feature(class::FWD_DEPTH, 0, 0)));
+    }
+
+    #[test]
+    fn phase_edges_track_each_migration() {
+        let recs = vec![
+            rec(1, 0, kind::MIGRATION, 7, phase::FROZEN),
+            rec(2, 0, kind::MIGRATION, 7, phase::OFFERED),
+            rec(3, 0, kind::MIGRATION, 8, phase::FROZEN),
+        ];
+        let mut set = FeatureSet::new();
+        extract_node_records(&recs, &mut set);
+        assert!(set.contains(feature(class::PHASE_EDGE, 0, phase::FROZEN as u32)));
+        assert!(set.contains(feature(
+            class::PHASE_EDGE,
+            phase::FROZEN as u32 + 1,
+            phase::OFFERED as u32
+        )));
+        // The second migration contributes the start edge only once
+        // (dedup), not a frozen -> frozen edge.
+        assert!(!set.contains(feature(
+            class::PHASE_EDGE,
+            phase::FROZEN as u32 + 1,
+            phase::FROZEN as u32
+        )));
+    }
+
+    #[test]
+    fn depth_buckets_saturate() {
+        assert_eq!(depth_bucket(0), 0);
+        assert_eq!(depth_bucket(3), 3);
+        assert_eq!(depth_bucket(17), 4);
+    }
+
+    #[test]
+    fn set_text_round_trips_and_merges() {
+        let mut a: FeatureSet = [feature(class::FWD_DEPTH, 1, 0)].into_iter().collect();
+        let b: FeatureSet = [
+            feature(class::FWD_DEPTH, 1, 0),
+            feature(class::RECOVERY_OVERLAP, 2, 0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+        let back = FeatureSet::parse_text(&a.to_text()).unwrap();
+        assert_eq!(back, a);
+        assert!(b.is_subset(&a));
+        assert_eq!(a.novel_vs(&b).len(), 0);
+        assert!(FeatureSet::parse_text("zz\n").is_err());
+    }
+
+    #[test]
+    fn descriptions_name_every_class() {
+        for (cl, text) in [
+            (class::KIND_EDGE, "kind-edge"),
+            (class::PHASE_EDGE, "phase-edge"),
+            (class::FWD_DEPTH, "forwarding-depth"),
+            (class::FAULT_PHASE, "fault#"),
+            (class::RECOVERY_OVERLAP, "recovery-overlap"),
+            (class::VIOLATION, "violation#"),
+        ] {
+            assert!(
+                describe(feature(cl, 1, 1)).contains(text),
+                "class {cl}: {}",
+                describe(feature(cl, 1, 1))
+            );
+        }
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod corrset;
+pub mod features;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -25,6 +26,7 @@ pub mod series;
 pub mod snapshot;
 
 pub use corrset::{DeliveryEvent, DeliveryLedger};
+pub use features::FeatureSet;
 pub use hist::Histogram;
 pub use recorder::{FlightRecorder, NodeDump, PhaseTable, Record};
 pub use registry::MetricsRegistry;

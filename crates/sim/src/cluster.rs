@@ -584,14 +584,49 @@ impl Cluster {
         if !self.crashed[i] {
             return;
         }
+        // A reboot is its own death certificate. If the machine comes
+        // back *before* any peer's failure detector confirmed the death
+        // (silence shorter than the detection window), no verdict will
+        // ever fire for the old incarnation — yet its processes are just
+        // as gone: the fresh kernel boots empty. Capture the black box
+        // now and re-home the casualties right after the swap below.
+        let reboot_rehome = self
+            .recovery
+            .as_ref()
+            .is_some_and(|mgr| !mgr.handled.contains(&m))
+            .then(|| self.render_postmortem(m));
         let node = &self.nodes[i];
         let kcfg = *node.kernel.config();
+        // The boot record survives the crash: the fresh incarnation must
+        // mint process uids and correlation ids above the old one's, or
+        // they collide with the old incarnation's still-live remnants.
+        let (uid_wm, corr_wm) = node.kernel.id_watermarks();
+        // Connection incarnations also survive the crash: each channel the
+        // pair will re-establish starts one above whatever either end used
+        // before, so frames of the old incarnation still in flight (the
+        // machine may reboot faster than the network delivers) are
+        // recognizably stale instead of corrupting fresh sequence spaces.
+        // Taking the max of both ends covers a peer that rebooted while
+        // *we* were down and could not follow its bump.
+        let epochs: Vec<(MachineId, u32)> = (0..self.nodes.len())
+            .filter(|&j| j != i)
+            .map(|j| {
+                let peer = MachineId(j as u16);
+                let ours = node.kernel.channel_epoch(peer);
+                let theirs = self.nodes[j].kernel.channel_epoch(m);
+                (peer, ours.max(theirs) + 1)
+            })
+            .collect();
         // Build a brand-new node with the same identity and configuration.
         let mut fresh = Node::new(m, kcfg, self.migration, Arc::clone(&self.registry));
+        fresh.kernel.resume_id_watermarks(uid_wm, corr_wm);
         let machines: Vec<MachineId> = (0..self.nodes.len()).map(|j| MachineId(j as u16)).collect();
         fresh.engine.set_peers(machines.clone());
         if kcfg.heartbeat_every > Duration::ZERO {
             fresh.kernel.watch_peers(self.now, machines);
+        }
+        for &(peer, epoch) in &epochs {
+            fresh.kernel.reset_channel(peer, epoch);
         }
         self.nodes[i] = fresh;
         self.crashed[i] = false;
@@ -599,14 +634,38 @@ impl Cluster {
         self.cpu_factor_ppm[i] = 1_000_000;
         self.net.set_down(m, false);
         for j in 0..self.nodes.len() {
-            if j != i {
+            // Crashed peers are skipped: a corpse can neither reset its
+            // channels nor resolve migrations (and must not transmit);
+            // its own revive builds a fresh kernel with clean state.
+            if j != i && !self.crashed[j] {
                 let now = self.now;
-                self.nodes[j].peer_revived(now, m);
-                // Clearing a dead verdict may reschedule the detector.
+                let epoch = self.nodes[i].kernel.channel_epoch(MachineId(j as u16));
+                self.nodes[j].peer_revived(now, m, epoch, &mut self.net, &mut self.outbox);
+                self.drain_outbox(MachineId(j as u16));
+                // Clearing a dead verdict may reschedule the detector —
+                // and resolving in-flight migrations may queue sends.
                 self.touch_node(j);
             }
         }
         self.touch_node(i);
+        if let Some(postmortem) = reboot_rehome {
+            let now = self.now;
+            self.rehome_from(m, now, postmortem);
+        }
+        // The fresh kernel's forwarding table is empty, but stale links
+        // minted against the old incarnation still hint this machine:
+        // any process that ever lived here and now lives elsewhere must
+        // stay chain-reachable *through* us, or those links diverge.
+        // Re-seed the gaps from current residency — the §4 recovery
+        // action a revived processor takes, driven by the process map.
+        if self.recovery.is_some() {
+            self.sync_forwarding_residency();
+        }
+        // Either way the old incarnation's death is settled; a future
+        // crash of the fresh incarnation must be handled afresh.
+        if let Some(mgr) = self.recovery.as_mut() {
+            mgr.handled.remove(&m);
+        }
     }
 
     /// Sever the direct network edge between `a` and `b`, remembering its
@@ -933,6 +992,12 @@ impl Cluster {
             confirmed.extend(self.nodes[i].kernel.take_confirmed_dead());
         }
         for (dead, detected_at) in confirmed {
+            // A verdict about a machine that is no longer crashed is
+            // stale: the machine rebooted, and the reboot path already
+            // re-homed its casualties.
+            if !self.crashed[dead.0 as usize] {
+                continue;
+            }
             let fresh = self
                 .recovery
                 .as_mut()
@@ -940,17 +1005,59 @@ impl Cluster {
                 .handled
                 .insert(dead);
             if fresh {
-                self.rehome_from(dead, detected_at);
+                // Pull the black box before touching anything else: the
+                // dead kernel's final recorded events.
+                let postmortem = self.render_postmortem(dead);
+                self.rehome_from(dead, detected_at, postmortem);
             }
         }
     }
 
-    fn rehome_from(&mut self, dead: MachineId, detected_at: Time) {
+    /// Repair pass over every live machine's forwarding table: any
+    /// process alive on some other machine that this machine neither
+    /// hosts nor has an entry for gets a direct entry to its current
+    /// host. Existing entries are never overwritten (lazy link updating
+    /// keeps working); the pass only fills holes recovery tears open —
+    /// a detector purging entries into a confirmed-dead machine, or a
+    /// reboot wiping the table of a machine stale links still hint at.
+    fn sync_forwarding_residency(&mut self) {
+        let residency: Vec<(ProcessId, MachineId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| !self.crashed[j])
+            .flat_map(|(_, n)| {
+                let host = n.machine();
+                n.kernel.pids().map(move |p| (p, host)).collect::<Vec<_>>()
+            })
+            .collect();
+        for j in 0..self.nodes.len() {
+            if self.crashed[j] {
+                continue;
+            }
+            let mut touched = false;
+            for &(pid, host) in &residency {
+                let k = &self.nodes[j].kernel;
+                if host == k.machine() || k.process(pid).is_some() {
+                    continue;
+                }
+                if k.forwarding_next(pid).is_none() {
+                    self.nodes[j]
+                        .kernel
+                        .install_forwarding(pid, host, &mut self.outbox);
+                    touched = true;
+                }
+            }
+            if touched {
+                self.drain_outbox(MachineId(j as u16));
+                self.touch_node(j);
+            }
+        }
+    }
+
+    fn rehome_from(&mut self, dead: MachineId, detected_at: Time, postmortem: String) {
         let now = self.now;
         let crashed_at = self.crash_log.get(&dead).copied();
-        // Pull the black box before touching anything else: the dead
-        // kernel's final recorded events, for the operator's post-mortem.
-        let postmortem = self.render_postmortem(dead);
         self.recovery
             .as_mut()
             .expect("checked")
@@ -970,6 +1077,15 @@ impl Cluster {
         let survivors: Vec<MachineId> = (0..self.nodes.len())
             .map(|i| MachineId(i as u16))
             .filter(|&m| !self.crashed[m.0 as usize] && m != dead)
+            .collect();
+        // Forwarding is installed on every live machine. On the
+        // detection path this equals `survivors` (the dead machine is
+        // still down); on the reboot path it additionally covers the
+        // revived machine itself, whose peers still hold links naming it
+        // as the casualties' home.
+        let hosts: Vec<MachineId> = (0..self.nodes.len())
+            .map(|i| MachineId(i as u16))
+            .filter(|&m| !self.crashed[m.0 as usize])
             .collect();
         let mut rehomed = 0u32;
         for pid in candidates {
@@ -998,9 +1114,10 @@ impl Cluster {
                 Some(home) => {
                     rehomed += 1;
                     self.recovery.as_mut().expect("checked").stats.rehomed += 1;
-                    // Forwarding on every *other* survivor (never on the
-                    // new home itself — a self-pointing entry would loop).
-                    for &m in &survivors {
+                    // Forwarding on every *other* live machine (never on
+                    // the new home itself — a self-pointing entry would
+                    // loop).
+                    for &m in &hosts {
                         if m != home {
                             self.nodes[m.0 as usize].kernel.install_forwarding(
                                 pid,
@@ -1021,6 +1138,15 @@ impl Cluster {
                 }
             }
         }
+        // Chains routed *through* the corpse are broken too: each
+        // survivor's detector purged its forwarding entries into the
+        // dead machine on confirmation (a chain through a corpse
+        // black-holes), counting on recovery to leave something
+        // resolvable behind. Leave it: re-seed the gaps from current
+        // residency — §4's observation that forwarding addresses are
+        // (degenerate) processes means the same recovery that re-homes
+        // processes must also re-home the addresses.
+        self.sync_forwarding_residency();
         let mgr = self.recovery.as_mut().expect("checked");
         mgr.stats.deaths_handled += 1;
         mgr.episodes.push(RecoveryEpisode {

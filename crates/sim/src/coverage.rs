@@ -1,0 +1,156 @@
+//! Schedule-coverage extraction from a live cluster.
+//!
+//! The feature *namespace* lives in `demos_obs::features` (packed `u64`
+//! ids, record-level decoding); this module is the simulator-side
+//! extractor, sitting beside [`crate::flight`] for the same reason the
+//! encoder does: it sees both the kernel's [`TraceEvent`] stream and the
+//! obs-level record format. [`features_of_trace`] routes every trace
+//! event through the flight encoding and the obs extractor, so a feature
+//! derived from the live trace and the same feature decoded later from a
+//! `repro-*.flight` dump agree bit-for-bit (modulo ring eviction — the
+//! trace sees everything, a full ring only the tail).
+//!
+//! [`coverage_of`] adds the one class the record stream cannot carry:
+//! recovery-episode overlap, computed from the recovery manager's
+//! episode intervals (crash → re-home). "Recovery during recovery" —
+//! a second machine dying while the first casualty's re-home is still
+//! pending — is exactly an overlap depth ≥ 2.
+//!
+//! [`TraceEvent`]: demos_kernel::TraceEvent
+
+use demos_obs::features::{class, extract_node_records, feature, FeatureSet};
+use demos_obs::recorder::Record;
+
+use crate::cluster::Cluster;
+use crate::flight;
+use crate::trace::Trace;
+
+/// Extract the record-visible feature classes (kind edges, phase edges,
+/// forwarding depth) from a full trace. Per-machine streams are
+/// extracted independently, matching the per-node rings.
+pub fn features_of_trace(trace: &Trace) -> FeatureSet {
+    let mut out = FeatureSet::new();
+    let records = trace.records();
+    // Machines present, in id order; each machine's subsequence keeps
+    // global trace order, which is the order its ring would have seen.
+    let mut machines: Vec<u16> = records.iter().map(|r| r.machine.0).collect();
+    machines.sort_unstable();
+    machines.dedup();
+    let mut stream: Vec<Record> = Vec::new();
+    for m in machines {
+        stream.clear();
+        stream.extend(
+            records
+                .iter()
+                .filter(|r| r.machine.0 == m)
+                .map(|r| flight::encode(r.at, r.machine, &r.event)),
+        );
+        extract_node_records(&stream, &mut out);
+    }
+    out
+}
+
+/// Maximum number of simultaneously "open" recovery episodes, where an
+/// episode spans from the machine's crash (ground truth when known,
+/// detection otherwise) to the completion of its re-homing.
+pub fn recovery_overlap_depth(c: &Cluster) -> u32 {
+    let Some(r) = c.recovery() else { return 0 };
+    let intervals: Vec<(u64, u64)> = r
+        .episodes()
+        .iter()
+        .map(|e| {
+            let start = e.crashed_at.unwrap_or(e.detected_at).as_micros();
+            (start, e.recovered_at.as_micros())
+        })
+        .collect();
+    let mut depth = 0u32;
+    for (i, &(s, e)) in intervals.iter().enumerate() {
+        let overlapping = intervals
+            .iter()
+            .enumerate()
+            .filter(|&(j, &(s2, e2))| j != i && s2 <= e && s <= e2)
+            .count() as u32;
+        depth = depth.max(overlapping + 1);
+    }
+    depth
+}
+
+/// Full simulator-side coverage of a finished run: trace-derived
+/// features plus recovery-episode overlap.
+pub fn coverage_of(c: &Cluster) -> FeatureSet {
+    let mut set = features_of_trace(c.trace());
+    let depth = recovery_overlap_depth(c);
+    if depth > 0 {
+        set.insert(feature(class::RECOVERY_OVERLAP, depth.min(3), 0));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_kernel::{MigrationPhase, TraceEvent};
+    use demos_obs::features::unpack;
+    use demos_obs::recorder::{kind, phase};
+    use demos_types::{MachineId, ProcessId, Time};
+
+    fn pid(u: u32) -> ProcessId {
+        ProcessId {
+            creating_machine: MachineId(0),
+            local_uid: u,
+        }
+    }
+
+    #[test]
+    fn trace_features_match_record_decoding() {
+        let mut t = Trace::enabled();
+        t.extend(
+            Time(5),
+            MachineId(0),
+            vec![
+                TraceEvent::Migration {
+                    pid: pid(1),
+                    phase: MigrationPhase::Frozen,
+                    bytes: 0,
+                },
+                TraceEvent::Migration {
+                    pid: pid(1),
+                    phase: MigrationPhase::Offered,
+                    bytes: 0,
+                },
+            ],
+        );
+        // Interleave a second machine: its stream must not create a
+        // cross-machine kind edge.
+        t.extend(
+            Time(6),
+            MachineId(1),
+            vec![TraceEvent::Exited { pid: pid(9) }],
+        );
+        let set = features_of_trace(&t);
+        assert!(set.contains(feature(class::PHASE_EDGE, 0, phase::FROZEN as u32)));
+        assert!(set.contains(feature(
+            class::PHASE_EDGE,
+            phase::FROZEN as u32 + 1,
+            phase::OFFERED as u32
+        )));
+        assert!(set.contains(feature(
+            class::KIND_EDGE,
+            kind::MIGRATION as u32,
+            kind::MIGRATION as u32
+        )));
+        assert!(!set.contains(feature(
+            class::KIND_EDGE,
+            kind::MIGRATION as u32,
+            kind::EXITED as u32
+        )));
+        // Everything extracted is one of the record-visible classes.
+        for f in set.iter() {
+            let (cl, _, _) = unpack(f);
+            assert!(
+                cl == class::KIND_EDGE || cl == class::PHASE_EDGE || cl == class::FWD_DEPTH,
+                "unexpected class {cl}"
+            );
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   and per-migration lifecycle spans (the §6 phase profiler);
 //! * [`flight`] — [`TraceEvent`](demos_kernel::TraceEvent) → flight
 //!   recorder encoding (the always-on post-mortem ring, `demos-obs`);
+//! * [`coverage`] — schedule-coverage feature extraction from the trace
+//!   and recovery episodes (the chaos fuzzer's feedback signal);
 //! * [`export`] — metrics registries, cluster snapshots, the JSON-lines
 //!   exporter and the `demos-top` report (via `demos-obs`);
 //! * [`metrics`] — summary statistics.
@@ -24,6 +26,7 @@
 pub mod balance;
 pub mod boot;
 pub mod cluster;
+pub mod coverage;
 pub mod export;
 pub mod flight;
 pub mod metrics;
@@ -36,6 +39,7 @@ pub mod trace;
 pub use balance::{snapshot, PolicyDriver};
 pub use boot::{boot_system, BootConfig, SystemHandles};
 pub use cluster::{Cluster, ClusterBuilder, StepStats};
+pub use coverage::{coverage_of, features_of_trace};
 pub use demos_obs::Histogram;
 pub use export::machine_registry;
 pub use flight::DEFAULT_RECORDER_CAPACITY;

@@ -8,7 +8,11 @@
 //!   paper's rejected design, §4) the harness must find a violating seed
 //!   quickly and shrink it to a handful of schedule events.
 
-use demos_chaos::{run, run_full, shrink, RunConfig, Scenario};
+use demos_chaos::{
+    campaign, run, run_full, run_with_coverage, shrink, CampaignConfig, Generator, RunConfig,
+    Scenario,
+};
+use demos_obs::features::{class, feature, unpack, FeatureSet};
 use proptest::prelude::*;
 
 proptest! {
@@ -106,6 +110,161 @@ fn broken_forwarding_caught_and_shrunk() {
     assert!(
         run(&res.scenario, &RunConfig::default()).passed(),
         "violation is the ablation's fault, not the scenario's"
+    );
+}
+
+/// The two handwritten corpus seeds don't just replay clean — each hits
+/// the rare interleaving it was written for, visible in its schedule
+/// coverage. `crossing-migrations-during-partition` must forward
+/// messages for migrated processes (forwarding-depth features), and
+/// `recovery-during-recovery` must overlap two recovery episodes
+/// (overlap depth 2).
+#[test]
+fn handwritten_corpus_seeds_hit_their_target_coverage() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let load = |name: &str| {
+        let text = std::fs::read_to_string(format!("{dir}/{name}")).expect("corpus seed exists");
+        Scenario::from_corpus(&text).expect("corpus seed parses")
+    };
+
+    let crossing = load("crossing-migrations-during-partition.seed");
+    let (report, cov) = run_with_coverage(&crossing, &RunConfig::default());
+    assert!(
+        report.passed(),
+        "crossing migrations violated: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        cov.iter().any(|f| unpack(f).0 == class::FWD_DEPTH),
+        "crossing migrations must exercise forwarded delivery"
+    );
+
+    let nested = load("recovery-during-recovery.seed");
+    let (report, cov) = run_with_coverage(&nested, &RunConfig::default());
+    assert!(
+        report.passed(),
+        "recovery-during-recovery violated: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        cov.contains(feature(class::RECOVERY_OVERLAP, 2, 0)),
+        "the two crashes must produce overlapping recovery episodes"
+    );
+}
+
+/// The acceptance criterion for the parallel fuzzer: the same campaign
+/// seed produces a byte-identical outcome — report fingerprint AND the
+/// repro artifacts written for the bugs it finds — whether it runs on
+/// one worker or four. Workers only execute; candidate derivation and
+/// result folding are sequential, so thread scheduling cannot leak in.
+#[test]
+fn campaign_artifacts_are_byte_identical_across_jobs() {
+    let run_campaign = |jobs: usize| {
+        let cfg = CampaignConfig {
+            seed: 7,
+            generator: Generator::Classic,
+            fault: RunConfig {
+                disable_forwarding: true,
+                ..RunConfig::default()
+            },
+            jobs,
+            batch: 8,
+            max_execs: Some(64),
+            stop_on_violation: true,
+            ..CampaignConfig::default()
+        };
+        campaign(&cfg, &|| true)
+    };
+    let a = run_campaign(1);
+    let b = run_campaign(4);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "campaign digests match");
+    assert_eq!(a.execs, b.execs);
+    assert!(!a.bugs.is_empty(), "the forwarding ablation is found");
+
+    // Shrink + emit artifacts from each run into separate directories;
+    // every file must be byte-identical.
+    let emit = |report: &demos_chaos::CampaignReport, tag: &str| {
+        let bug = &report.bugs[0];
+        let fault = RunConfig {
+            disable_forwarding: true,
+            ..RunConfig::default()
+        };
+        let res = shrink(&bug.scenario, &fault, &bug.violation, 200);
+        let (_, trace, flight) = demos_chaos::run_capture(&res.scenario, &fault);
+        let dir = std::env::temp_dir().join(format!("demos-chaos-jobs-invariance-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = demos_chaos::write_artifacts(
+            &dir,
+            &res.scenario,
+            &fault,
+            &res.violation,
+            &trace,
+            &flight,
+        )
+        .expect("artifacts written");
+        (dir, paths)
+    };
+    let (dir_a, paths_a) = emit(&a, "j1");
+    let (dir_b, paths_b) = emit(&b, "j4");
+    for (pa, pb) in [
+        (&paths_a.scenario, &paths_b.scenario),
+        (&paths_a.snippet, &paths_b.snippet),
+        (&paths_a.trace, &paths_b.trace),
+        (&paths_a.flight, &paths_b.flight),
+    ] {
+        assert_eq!(
+            pa.file_name(),
+            pb.file_name(),
+            "artifact names match across jobs"
+        );
+        assert_eq!(
+            std::fs::read(pa).unwrap(),
+            std::fs::read(pb).unwrap(),
+            "{} is byte-identical across jobs",
+            pa.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// The distilled corpus is the campaign's executable summary: replaying
+/// `tests/corpus/distilled/` must pass every invariant and re-cover
+/// every feature recorded in its `FEATURES.txt` manifest.
+#[test]
+fn distilled_corpus_recovers_its_manifest() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/distilled");
+    let manifest =
+        std::fs::read_to_string(format!("{dir}/FEATURES.txt")).expect("FEATURES.txt exists");
+    let want = FeatureSet::parse_text(&manifest).expect("manifest parses");
+    assert!(!want.is_empty(), "manifest records campaign coverage");
+
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus/distilled exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "distilled corpus is non-empty");
+
+    let mut got = FeatureSet::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable distilled seed");
+        let sc = Scenario::from_corpus(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (report, cov) = run_with_coverage(&sc, &RunConfig::default());
+        assert!(
+            report.passed(),
+            "{}: {}",
+            path.display(),
+            report.violation.unwrap()
+        );
+        got.merge(&cov);
+    }
+    assert!(
+        want.is_subset(&got),
+        "distilled corpus re-covers its manifest ({} of {} features hit)",
+        want.iter().filter(|f| got.contains(*f)).count(),
+        want.len()
     );
 }
 
