@@ -349,7 +349,6 @@ fn guided(args: &Args) -> ! {
     let started = std::time::Instant::now();
     let budget = args.time_budget;
     let keep_going = move || match budget {
-        // lint:allow(D002 same wall-clock budget check)
         Some(b) => started.elapsed() < b,
         None => true,
     };

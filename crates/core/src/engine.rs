@@ -98,6 +98,9 @@ pub struct MigrationStats {
     pub rejected: u64,
     /// Migrations aborted (timeout or failure), either side.
     pub aborted: u64,
+    /// Outgoing offers rejected by the peer, by reason:
+    /// `[Capacity, Policy, DuplicatePid, Protocol]` in wire-tag order.
+    pub rejected_by_reason: [u64; 4],
     /// Pending messages forwarded during step 6 here.
     pub pending_forwarded: u64,
     /// Total state+image bytes received by this machine as destination.
@@ -415,6 +418,12 @@ impl MigrationEngine {
                         return;
                     };
                     self.stats.aborted += 1;
+                    self.stats.rejected_by_reason[match reason {
+                        RejectReason::Capacity => 0,
+                        RejectReason::Policy => 1,
+                        RejectReason::DuplicatePid => 2,
+                        RejectReason::Protocol => 3,
+                    }] += 1;
                     let retried = self.schedule_retry(now, mig.pid, mig.dest, mig.reply);
                     kernel.unfreeze(mig.pid, out);
                     out.trace.push(TraceEvent::Migration {
@@ -584,37 +593,62 @@ impl MigrationEngine {
             AcceptPolicy::Custom(f) => f(&info),
         };
         if !policy_ok {
-            self.stats.rejected += 1;
-            let reject = MigrateMsg::Reject {
-                ctx: src_ctx,
-                pid: info.pid,
-                reason: RejectReason::Policy,
-            };
-            kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
-            out.trace.push(TraceEvent::Migration {
-                pid: info.pid,
-                phase: MigrationPhase::Rejected,
-                bytes: 0,
-            });
+            self.reject_offer(
+                now,
+                kernel,
+                from,
+                src_ctx,
+                info.pid,
+                RejectReason::Policy,
+                phys,
+                out,
+            );
+            return;
+        }
+        // A re-used (source, context) pair while that context's migration
+        // is still in flight is a protocol violation: accepting it would
+        // overwrite the in-progress entry and leak its reservation.
+        if self.incoming.contains_key(&(from, src_ctx)) {
+            self.reject_offer(
+                now,
+                kernel,
+                from,
+                src_ctx,
+                info.pid,
+                RejectReason::Protocol,
+                phys,
+                out,
+            );
             return;
         }
         // Step 3: allocate an (empty) process state — here, a capacity
         // reservation under the same process identifier.
         let slot = match kernel.reserve_incoming(info.pid, info.image_len as u64) {
             Ok(slot) => slot,
-            Err(_) => {
-                self.stats.rejected += 1;
-                let reject = MigrateMsg::Reject {
-                    ctx: src_ctx,
-                    pid: info.pid,
-                    reason: RejectReason::Capacity,
+            Err(e) => {
+                // Exhaustive: a new error variant must consciously pick
+                // its reject reason (Capacity is the §5 step-3 bucket —
+                // "allocate process state" failed — not a default).
+                let reason = match e {
+                    DemosError::AlreadyMigrating(_) => RejectReason::DuplicatePid,
+                    DemosError::NoSuchMachine(_)
+                    | DemosError::NoSuchProcess(_)
+                    | DemosError::BadLink(_)
+                    | DemosError::LinkAccess { .. }
+                    | DemosError::ReplyLinkConsumed(_)
+                    | DemosError::AreaOutOfBounds
+                    | DemosError::MigrationRejected(_)
+                    | DemosError::MigrationAborted(_)
+                    | DemosError::MigrationToSelf(_)
+                    | DemosError::KernelImmovable(_)
+                    | DemosError::NonDeliverable(_)
+                    | DemosError::TooLarge { .. }
+                    | DemosError::Capacity(_)
+                    | DemosError::Wire(_)
+                    | DemosError::UnknownProgram(_)
+                    | DemosError::Internal(_) => RejectReason::Capacity,
                 };
-                kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
-                out.trace.push(TraceEvent::Migration {
-                    pid: info.pid,
-                    phase: MigrationPhase::Rejected,
-                    bytes: 0,
-                });
+                self.reject_offer(now, kernel, from, src_ctx, info.pid, reason, phys, out);
                 return;
             }
         };
@@ -655,6 +689,33 @@ impl MigrationEngine {
             phys,
             out,
         );
+    }
+
+    /// Refuse an offer: count it, notify the source, trace the rejection.
+    #[allow(clippy::too_many_arguments)]
+    fn reject_offer(
+        &mut self,
+        now: Time,
+        kernel: &mut Kernel,
+        from: MachineId,
+        src_ctx: u16,
+        pid: ProcessId,
+        reason: RejectReason,
+        phys: &mut dyn Phys,
+        out: &mut Outbox,
+    ) {
+        self.stats.rejected += 1;
+        let reject = MigrateMsg::Reject {
+            ctx: src_ctx,
+            pid,
+            reason,
+        };
+        kernel.send_migrate_msg(now, from, reject.to_bytes(), vec![], phys, out);
+        out.trace.push(TraceEvent::Migration {
+            pid,
+            phase: MigrationPhase::Rejected,
+            bytes: 0,
+        });
     }
 
     /// Feed a completed kernel pull (from [`Outbox::pull_done`]).

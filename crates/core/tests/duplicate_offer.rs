@@ -1,0 +1,122 @@
+//! The duplicate-offer reservation leak, pinned at the engine level.
+//!
+//! Found by `demos-lint` D007 (protocol-flow completeness): wiring the
+//! never-constructed `RejectReason::Protocol` variant exposed that
+//! `on_offer` accepted a second offer reusing a live `(source, context)`
+//! pair. The engine overwrote its in-flight incoming entry, orphaning the
+//! first offer's kernel reservation — `mem_used` grew by a full image and
+//! could never be released, and the paired slot id leaked until machine
+//! reboot. Contexts are 16-bit per-source counters, so a long-lived
+//! cluster wraps them, and a buggy or byzantine peer can replay one at
+//! will — the destination must defend itself.
+
+use std::sync::Arc;
+
+use demos_core::{MigrationConfig, MigrationEngine};
+use demos_kernel::{Kernel, KernelConfig, Outbox, Registry};
+use demos_net::{Frame, Phys};
+use demos_types::proto::MigrateMsg;
+use demos_types::wire::Wire;
+use demos_types::{
+    tags, CorrId, MachineId, Message, MsgFlags, MsgHeader, ProcessAddress, ProcessId, Time,
+};
+
+/// Physical layer that swallows frames (the reject path is asserted via
+/// engine/kernel state, not the wire).
+#[derive(Default)]
+struct Sink;
+
+impl Phys for Sink {
+    fn transmit(&mut self, _now: Time, _src: MachineId, _dst: MachineId, _frame: Frame) {}
+}
+
+fn offer_msg(src: MachineId, dest: MachineId, ctx: u16, pid: ProcessId, image_len: u32) -> Message {
+    let payload = MigrateMsg::Offer {
+        ctx,
+        pid,
+        resident_len: 250,
+        swappable_len: 600,
+        image_len,
+    }
+    .to_bytes();
+    Message {
+        header: MsgHeader {
+            dest: ProcessAddress::kernel_of(dest),
+            src: ProcessId::kernel_of(src),
+            src_machine: src,
+            msg_type: tags::MIGRATE,
+            flags: MsgFlags::FROM_KERNEL,
+            hops: 0,
+        },
+        links: vec![],
+        payload,
+        corr: CorrId::NONE,
+    }
+}
+
+#[test]
+fn duplicate_context_offer_is_rejected_and_leaks_nothing() {
+    let src = MachineId(0);
+    let dest = MachineId(1);
+    let mut kernel = Kernel::new(dest, KernelConfig::default(), Arc::new(Registry::new()));
+    let mut engine = MigrationEngine::new(dest, MigrationConfig::default());
+    let mut phys = Sink;
+    let mut out = Outbox::default();
+    let now = Time::ZERO;
+
+    let pid_a = ProcessId {
+        creating_machine: src,
+        local_uid: 7,
+    };
+    let pid_b = ProcessId {
+        creating_machine: src,
+        local_uid: 8,
+    };
+
+    // First offer on (src, ctx=1): accepted, capacity reserved.
+    engine.handle(
+        now,
+        &mut kernel,
+        offer_msg(src, dest, 1, pid_a, 4096),
+        &mut phys,
+        &mut out,
+    );
+    assert_eq!(engine.in_flight(), 1, "first offer must reserve");
+    let reserved = kernel.mem_used();
+    assert_eq!(reserved, 4096, "reservation counts against memory");
+
+    // A second offer reusing the live (src, ctx=1) pair — different pid,
+    // as a wrapped counter or replaying peer would produce. The engine
+    // used to overwrite the in-flight entry and strand the first
+    // reservation; it must reject with RejectReason::Protocol instead.
+    engine.handle(
+        now,
+        &mut kernel,
+        offer_msg(src, dest, 1, pid_b, 4096),
+        &mut phys,
+        &mut out,
+    );
+    assert_eq!(engine.stats().rejected, 1, "duplicate must be rejected");
+    assert_eq!(
+        engine.in_flight(),
+        1,
+        "the original in-flight migration must survive the duplicate"
+    );
+    assert_eq!(
+        kernel.mem_used(),
+        reserved,
+        "the duplicate must not reserve (or leak) any capacity"
+    );
+
+    // A *fresh* context from the same source is normal protocol traffic.
+    engine.handle(
+        now,
+        &mut kernel,
+        offer_msg(src, dest, 2, pid_b, 4096),
+        &mut phys,
+        &mut out,
+    );
+    assert_eq!(engine.in_flight(), 2, "fresh context must be accepted");
+    assert_eq!(kernel.mem_used(), 2 * 4096);
+    assert_eq!(engine.stats().rejected, 1, "no spurious rejects");
+}

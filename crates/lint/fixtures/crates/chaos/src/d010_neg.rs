@@ -1,0 +1,41 @@
+//! D010 negatives: a consistent lock order across functions, a channel
+//! send only after the guard's scope closes, and `try_send` (non-blocking)
+//! under a guard.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pool {
+    pub queue: Mutex<Vec<u32>>,
+    pub trace: Mutex<Vec<u32>>,
+}
+
+impl Pool {
+    pub fn enqueue(&self, v: u32) {
+        let mut q = self.queue.lock().unwrap();
+        let mut t = self.trace.lock().unwrap();
+        q.push(v);
+        t.push(v);
+    }
+
+    pub fn audit(&self) -> usize {
+        let q = self.queue.lock().unwrap();
+        let t = self.trace.lock().unwrap();
+        q.len() + t.len()
+    }
+
+    pub fn offer(&self, tx: &Sender<u32>) {
+        let depth = {
+            let q = self.queue.lock().unwrap();
+            q.len()
+        };
+        if depth > 0 {
+            tx.send(1).ok();
+        }
+    }
+
+    pub fn nudge(&self, tx: &Sender<u32>) {
+        let _guard = self.queue.lock().unwrap();
+        tx.try_send(1).ok();
+    }
+}

@@ -1,0 +1,38 @@
+//! D010 positives: a lock-order inversion between `forward` and
+//! `backward`, a blocking channel send under a held guard, and a nested
+//! re-acquisition of the same mutex.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Driver {
+    pub slots: Mutex<Vec<u32>>,
+    pub log: Mutex<Vec<u32>>,
+}
+
+impl Driver {
+    pub fn forward(&self, v: u32) {
+        let mut s = self.slots.lock().unwrap();
+        let mut l = self.log.lock().unwrap();
+        s.push(v);
+        l.push(v);
+    }
+
+    pub fn backward(&self, v: u32) {
+        let mut l = self.log.lock().unwrap();
+        let mut s = self.slots.lock().unwrap();
+        l.push(v);
+        s.push(v);
+    }
+
+    pub fn publish(&self, tx: &Sender<u32>) {
+        let _guard = self.slots.lock().unwrap();
+        tx.send(1).ok();
+    }
+
+    pub fn double_count(&self) -> usize {
+        let a = self.slots.lock().unwrap();
+        let b = self.slots.lock().unwrap();
+        a.len() + b.len()
+    }
+}

@@ -1,0 +1,7 @@
+//! A `lint:allow` whose finding no longer exists: the engine must report
+//! it as stale instead of silently keeping the suppression alive.
+
+pub fn stamp(now: u64) -> u64 {
+    // lint:allow(D002 fixture: stale — the wall-clock read was removed)
+    now.wrapping_mul(2)
+}

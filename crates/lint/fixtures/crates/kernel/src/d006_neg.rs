@@ -1,0 +1,13 @@
+//! D006 negative: the handler uses the graceful helper; no panic is
+//! reachable.
+
+pub struct Gate {
+    pub seen: u64,
+}
+
+impl Gate {
+    pub fn on_update(&mut self, raw: &[u8]) {
+        let v = helper::decode_lenient(raw);
+        self.seen = self.seen.wrapping_add(u64::from(v));
+    }
+}

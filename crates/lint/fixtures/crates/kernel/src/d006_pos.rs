@@ -1,0 +1,14 @@
+//! D006 positive: the handler itself is clean lexically (D004 sees
+//! nothing here), but it calls across the crate boundary into a helper
+//! that unwraps — the panic is reachable from the handler.
+
+pub struct Router {
+    pub seen: u64,
+}
+
+impl Router {
+    pub fn on_control(&mut self, raw: &[u8]) {
+        let v = helper::decode_strict(raw);
+        self.seen = self.seen.wrapping_add(u64::from(v));
+    }
+}

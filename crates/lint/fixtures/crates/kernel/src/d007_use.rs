@@ -1,0 +1,14 @@
+//! D007 consumer: wires `AreaSel::Resident` end to end (constructed and
+//! matched outside the codec); never touches `Orphan`.
+
+pub fn default_sel() -> AreaSel {
+    AreaSel::Resident
+}
+
+pub fn cost(s: AreaSel) -> u32 {
+    if let AreaSel::Resident = s {
+        1
+    } else {
+        4
+    }
+}

@@ -1,0 +1,15 @@
+//! A justified `lint:allow` on a semantic rule: the D009 finding below
+//! is suppressed (and the allow is counted as used, not stale).
+
+pub struct Tap {
+    pub frames: u64,
+}
+
+impl Tap {
+    pub fn count(&mut self, f: &Frame) {
+        // lint:allow(D009 fixture: counting taps never touches the payload)
+        if let Frame::Data { .. } = f {
+            self.frames += 1;
+        }
+    }
+}

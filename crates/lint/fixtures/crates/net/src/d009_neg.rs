@@ -1,0 +1,17 @@
+//! D009 negative: the same destructuring, but gated on the connection
+//! epoch — stale incarnations are filtered before the payload is used.
+
+pub struct Gate {
+    pub epoch: u16,
+    pub last_seq: u64,
+}
+
+impl Gate {
+    pub fn absorb(&mut self, f: &Frame, frame_epoch: u16) {
+        if let Frame::Data { seq } = f {
+            if frame_epoch == self.epoch {
+                self.last_seq = *seq;
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! D009 positive: destructures a payload-bearing frame without ever
+//! consulting the connection epoch — a straggler from a dead incarnation
+//! would land in the live sequence space.
+
+pub struct Sink {
+    pub last_seq: u64,
+}
+
+impl Sink {
+    pub fn absorb(&mut self, f: &Frame) {
+        if let Frame::Data { seq } = f {
+            self.last_seq = *seq;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Helpers outside the D004 crates: the lexical rule cannot see them,
+//! the reachability rule (D006) must.
+
+/// D006 positive target: panics on short input, and `Router::on_control`
+/// (crates/kernel) reaches it.
+pub fn decode_strict(raw: &[u8]) -> u32 {
+    u32::from_le_bytes(raw[..4].try_into().unwrap())
+}
+
+/// D006 negative: same shape, degrades gracefully. No finding here.
+pub fn decode_lenient(raw: &[u8]) -> u32 {
+    match raw.get(..4).and_then(|b| b.try_into().ok()) {
+        Some(b) => u32::from_le_bytes(b),
+        None => 0,
+    }
+}

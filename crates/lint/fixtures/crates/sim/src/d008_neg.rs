@@ -1,0 +1,10 @@
+//! D008 negative: the same cross-crate shape, but the callee is
+//! deterministic.
+
+pub struct Scheduler;
+
+impl Scheduler {
+    pub fn tick(&mut self, keys: &[u32]) -> u32 {
+        tainted::ordered_sum(keys)
+    }
+}

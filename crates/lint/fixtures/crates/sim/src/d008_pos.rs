@@ -1,0 +1,12 @@
+//! D008 positive: sim-visible code (crates/sim) calls into a
+//! non-sim-visible crate whose function is iteration-order
+//! nondeterministic. No lexical rule fires anywhere — only the
+//! taint-propagation rule can see it.
+
+pub struct Balancer;
+
+impl Balancer {
+    pub fn tick(&mut self, keys: &[u32]) -> u32 {
+        tainted::order_sensitive_sum(keys)
+    }
+}

@@ -1,0 +1,32 @@
+//! A non-sim-visible crate: D001/D002 do not apply here lexically, so
+//! these functions are invisible to the per-file rules — D008 must track
+//! the taint through the call graph instead.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// D008 positive taint source: hasher-ordered iteration.
+pub fn order_sensitive_sum(keys: &[u32]) -> u32 {
+    let mut m = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        m.insert(*k, i);
+    }
+    let mut total = 0u32;
+    for v in m.values() {
+        total = total.wrapping_add(*v as u32);
+    }
+    total
+}
+
+/// D008 negative: ordered iteration, no taint.
+pub fn ordered_sum(keys: &[u32]) -> u32 {
+    let mut m = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        m.insert(*k, i);
+    }
+    let mut total = 0u32;
+    for v in m.values() {
+        total = total.wrapping_add(*v as u32);
+    }
+    total
+}

@@ -1,0 +1,25 @@
+//! D007 fixture: a wire enum whose codec (this file) covers every
+//! variant — which must NOT count as wiring. `Resident` is constructed
+//! and matched by the kernel consumer; `Orphan` is neither.
+
+pub enum AreaSel {
+    Resident,
+    Orphan,
+}
+
+impl AreaSel {
+    pub fn to_u8(&self) -> u8 {
+        match *self {
+            AreaSel::Resident => 0,
+            AreaSel::Orphan => 1,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> AreaSel {
+        if v == 1 {
+            AreaSel::Orphan
+        } else {
+            AreaSel::Resident
+        }
+    }
+}

@@ -1,9 +1,12 @@
-//! Diagnostics: stable codes, spans, human and machine renderings.
+//! Diagnostics: stable codes, spans, human, JSON and SARIF renderings,
+//! and stale-`lint:allow` warnings.
 
 use std::fmt;
 
 /// The stable rule codes. The numeric part never changes meaning; retired
-/// rules leave holes rather than being reused.
+/// rules leave holes rather than being reused. D001–D005 are lexical
+/// (token-stream, per-file); D006–D010 are semantic (AST + workspace
+/// call graph).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Code {
     /// Malformed `lint:allow` directive (missing code or reason).
@@ -18,11 +21,40 @@ pub enum Code {
     D004,
     /// Unchecked `as` integer cast inside the `types` codecs.
     D005,
+    /// Panic reachable *transitively* from a kernel/net/engine handler.
+    D006,
+    /// Wire-enum variant never constructed or never matched by a
+    /// consumer outside its codec (dead / half-wired protocol surface).
+    D007,
+    /// Determinism taint: sim-visible code calls a function that
+    /// (transitively) reads wall-clock/entropy or iterates a hash map.
+    D008,
+    /// `Frame::Data`/`Frame::Ack` payloads touched without flowing
+    /// through the connection-epoch check.
+    D009,
+    /// Lock-order inversion, nested same-mutex acquisition, or a
+    /// blocking channel op while holding a mutex.
+    D010,
 }
 
 impl Code {
     /// All enforceable rule codes (excludes the directive-error D000).
-    pub const RULES: [Code; 5] = [Code::D001, Code::D002, Code::D003, Code::D004, Code::D005];
+    pub const RULES: [Code; 10] = [
+        Code::D001,
+        Code::D002,
+        Code::D003,
+        Code::D004,
+        Code::D005,
+        Code::D006,
+        Code::D007,
+        Code::D008,
+        Code::D009,
+        Code::D010,
+    ];
+
+    /// The semantic (workspace-pass) codes: a `lint:allow` for these
+    /// always requires a justification string.
+    pub const SEMANTIC: [Code; 5] = [Code::D006, Code::D007, Code::D008, Code::D009, Code::D010];
 
     /// Parse `"D001"` → `Code::D001`.
     pub fn parse(s: &str) -> Option<Code> {
@@ -33,11 +65,17 @@ impl Code {
             "D003" => Some(Code::D003),
             "D004" => Some(Code::D004),
             "D005" => Some(Code::D005),
+            "D006" => Some(Code::D006),
+            "D007" => Some(Code::D007),
+            "D008" => Some(Code::D008),
+            "D009" => Some(Code::D009),
+            "D010" => Some(Code::D010),
             _ => None,
         }
     }
 
-    /// Short rule synopsis, shown in `--explain`-style listings.
+    /// Short rule synopsis, shown in `--explain`-style listings and as
+    /// the SARIF rule description.
     pub fn synopsis(self) -> &'static str {
         match self {
             Code::D000 => "malformed lint:allow directive",
@@ -48,6 +86,13 @@ impl Code {
             Code::D003 => "catch-all `_ =>` hides new protocol/engine enum variants from handlers",
             Code::D004 => "kernel/net/core handlers must degrade, not die",
             Code::D005 => "byte-exact codecs must use checked integer conversions, not `as`",
+            Code::D006 => "no panic may be reachable (transitively) from a protocol handler",
+            Code::D007 => "every wire-enum variant must be constructed and consumed somewhere",
+            Code::D008 => "determinism taint must not flow into sim-visible code through calls",
+            Code::D009 => "frame payload handling must flow through the connection-epoch check",
+            Code::D010 => {
+                "mutexes need a stable acquisition order; never block on a channel under a lock"
+            }
         }
     }
 }
@@ -95,11 +140,35 @@ impl Diagnostic {
     }
 }
 
+/// A `lint:allow` directive that suppressed nothing: almost always a
+/// leftover from fixed code, and itself a finding (CI requires zero).
+#[derive(Clone, Debug)]
+pub struct StaleAllow {
+    /// File containing the directive.
+    pub file: String,
+    /// Line of the directive comment.
+    pub line: u32,
+    /// The code it names.
+    pub code: Code,
+}
+
+impl StaleAllow {
+    /// Human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "warning[stale-allow]: lint:allow({}) suppresses nothing — remove it (or run --fix)\n  --> {}:{}",
+            self.code, self.file, self.line
+        )
+    }
+}
+
 /// The result of a whole-tree check.
 #[derive(Default)]
 pub struct Report {
     /// Findings in (file, line, col) order.
     pub diagnostics: Vec<Diagnostic>,
+    /// `lint:allow` directives that matched no finding.
+    pub stale_allows: Vec<StaleAllow>,
     /// Number of `.rs` files analyzed.
     pub checked_files: usize,
     /// Number of findings suppressed by a `lint:allow` directive.
@@ -107,19 +176,92 @@ pub struct Report {
 }
 
 impl Report {
-    /// True when the tree is clean.
+    /// True when the tree is clean: no findings *and* no stale allows.
     pub fn clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics.is_empty() && self.stale_allows.is_empty()
     }
 
     /// Machine-readable rendering of the whole report.
     pub fn to_json(&self) -> String {
         let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        let stale: Vec<String> = self
+            .stale_allows
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"code\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                    s.code,
+                    json_escape(&s.file),
+                    s.line
+                )
+            })
+            .collect();
         format!(
-            "{{\"checked_files\":{},\"suppressed\":{},\"diagnostics\":[{}]}}",
+            "{{\"checked_files\":{},\"suppressed\":{},\"diagnostics\":[{}],\"stale_allows\":[{}]}}",
             self.checked_files,
             self.suppressed,
-            items.join(",")
+            items.join(","),
+            stale.join(",")
+        )
+    }
+
+    /// SARIF 2.1.0 rendering for GitHub code scanning. Stale allows are
+    /// emitted as `warning`-level results under the synthetic rule id
+    /// `stale-allow`; rule findings are `error`-level.
+    pub fn to_sarif(&self) -> String {
+        let mut rules = String::new();
+        for (i, c) in Code::RULES.iter().enumerate() {
+            if i > 0 {
+                rules.push(',');
+            }
+            rules.push_str(&format!(
+                "{{\"id\":\"{c}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                json_escape(c.synopsis())
+            ));
+        }
+        rules.push_str(
+            ",{\"id\":\"stale-allow\",\"shortDescription\":{\"text\":\
+             \"lint:allow directive that suppresses nothing\"}}",
+        );
+        let mut results = String::new();
+        let mut first = true;
+        for d in &self.diagnostics {
+            if !first {
+                results.push(',');
+            }
+            first = false;
+            results.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+                d.code,
+                json_escape(&d.message),
+                json_escape(&d.file),
+                d.line,
+                d.col
+            ));
+        }
+        for s in &self.stale_allows {
+            if !first {
+                results.push(',');
+            }
+            first = false;
+            results.push_str(&format!(
+                "{{\"ruleId\":\"stale-allow\",\"level\":\"warning\",\"message\":{{\"text\":\
+                 \"lint:allow({}) suppresses nothing; remove it\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+                s.code,
+                json_escape(&s.file),
+                s.line
+            ));
+        }
+        format!(
+            "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+             Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":\
+             {{\"driver\":{{\"name\":\"demos-lint\",\"informationUri\":\
+             \"https://github.com/demos-mp/demos-mp\",\"version\":\"2.0.0\",\"rules\":[{rules}]}}}},\
+             \"results\":[{results}]}}]}}"
         )
     }
 
@@ -130,10 +272,15 @@ impl Report {
             out.push_str(&d.render());
             out.push('\n');
         }
+        for s in &self.stale_allows {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
         out.push_str(&format!(
-            "demos-lint: {} file(s) checked, {} finding(s), {} suppressed by lint:allow\n",
+            "demos-lint: {} file(s) checked, {} finding(s), {} stale allow(s), {} suppressed by lint:allow\n",
             self.checked_files,
             self.diagnostics.len(),
+            self.stale_allows.len(),
             self.suppressed
         ));
         out

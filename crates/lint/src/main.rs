@@ -1,23 +1,31 @@
-//! CLI: `demos-lint check [--json] [--root PATH]`.
+//! CLI: `demos-lint check [--format human|json|sarif] [--output PATH]
+//! [--fix] [--root PATH]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use demos_lint::{check_workspace, Code};
+use demos_lint::{check_workspace, fix_workspace, Code, Report};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: demos-lint check [--json] [--root PATH]\n\
+        "usage: demos-lint check [--format F] [--output PATH] [--fix] [--root PATH]\n\
          \n\
-         Statically enforces the determinism & protocol rules (D001-D005)\n\
-         across the workspace. See DESIGN.md §8 for the rule table.\n\
+         Statically enforces the determinism & protocol rules: lexical\n\
+         (D001-D005, per token stream) and semantic (D006-D010, over the\n\
+         workspace call graph). See DESIGN.md §8 and §12.\n\
          \n\
          subcommands:\n\
-         \x20 check      analyze every .rs file under the workspace root\n\
-         \x20 rules      print the rule table\n\
+         \x20 check        analyze every .rs file under the workspace root\n\
+         \x20 rules        print the rule table\n\
          options:\n\
-         \x20 --json     machine-readable report on stdout\n\
-         \x20 --root P   workspace root (default: inferred from the manifest)"
+         \x20 --format F   human (default), json, or sarif (for code scanning)\n\
+         \x20 --output P   write the report to P instead of stdout\n\
+         \x20 --json       shorthand for --format json\n\
+         \x20 --fix        apply mechanical fixes (stale allows, D001 renames)\n\
+         \x20 --root P     workspace root (default: inferred from the manifest)\n\
+         \n\
+         exit codes: 0 clean (no findings, no stale allows), 1 findings,\n\
+         2 usage/io error"
     );
     ExitCode::from(2)
 }
@@ -35,16 +43,42 @@ fn default_root() -> PathBuf {
     PathBuf::from(".")
 }
 
+fn emit(report: &Report, format: &str, output: Option<&PathBuf>) -> std::io::Result<()> {
+    let text = match format {
+        "json" => format!("{}\n", report.to_json()),
+        "sarif" => format!("{}\n", report.to_sarif()),
+        _ => report.render(),
+    };
+    match output {
+        Some(path) => std::fs::write(path, text),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
-    let mut json = false;
+    let mut format = "human".to_string();
+    let mut output: Option<PathBuf> = None;
+    let mut fix = false;
     let mut root = default_root();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "check" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
-            "--json" => json = true,
+            "--json" => format = "json".to_string(),
+            "--fix" => fix = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("human" | "json" | "sarif")) => format = f.to_string(),
+                _ => return usage(),
+            },
+            "--output" => match it.next() {
+                Some(p) => output = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             "--root" => match it.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage(),
@@ -59,24 +93,35 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("check") => match check_workspace(&root) {
-            Ok(report) => {
-                if json {
-                    println!("{}", report.to_json());
-                } else {
-                    print!("{}", report.render());
+        Some("check") => {
+            let result = if fix {
+                fix_workspace(&root).map(|(report, applied)| {
+                    if applied > 0 {
+                        eprintln!("demos-lint: applied {applied} mechanical fix(es)");
+                    }
+                    report
+                })
+            } else {
+                check_workspace(&root)
+            };
+            match result {
+                Ok(report) => {
+                    if let Err(e) = emit(&report, &format, output.as_ref()) {
+                        eprintln!("demos-lint: cannot write report: {e}");
+                        return ExitCode::from(2);
+                    }
+                    if report.clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
-                if report.clean() {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::FAILURE
+                Err(e) => {
+                    eprintln!("demos-lint: io error under {}: {e}", root.display());
+                    ExitCode::from(2)
                 }
             }
-            Err(e) => {
-                eprintln!("demos-lint: io error under {}: {e}", root.display());
-                ExitCode::from(2)
-            }
-        },
+        }
         _ => usage(),
     }
 }

@@ -10,7 +10,7 @@ use crate::lexer::{Tok, TokKind};
 
 /// Which rules apply to the file being analyzed (decided from its path by
 /// the engine; fixture tests force everything on).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Scope {
     /// D001: ordered collections only.
     pub d001: bool,

@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-use demos_lint::{analyze_source, check_workspace, scope_for, Code, Diagnostic};
+use demos_lint::{analyze_source, check_workspace, fix_workspace, scope_for, Code, Diagnostic};
 
 fn fixtures_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -191,10 +191,193 @@ fn cli_reports_each_positive_fixture_with_code_and_span() {
         !text.contains("_neg.rs"),
         "negative fixture flagged:\n{text}"
     );
-    // The justified allow in allow_ok.rs is counted as suppressed.
+    // The justified allows (allow_ok.rs D002, d009_allowed.rs D009) are
+    // counted as suppressed, and the stale one is called out.
     assert!(
-        text.contains("1 suppressed"),
+        text.contains("2 suppressed"),
         "missing suppression count:\n{text}"
+    );
+    assert!(
+        text.contains("crates/kernel/src/allow_stale.rs:5"),
+        "missing stale-allow warning:\n{text}"
+    );
+}
+
+// ------------------------------------------- semantic rules (D006–D010)
+
+/// The golden snapshot: the two-phase analyzer over the whole fixture
+/// workspace must produce exactly this finding set — every positive
+/// fixture once (with its code and line), no negative fixture, the two
+/// justified allows suppressed, and the stale allow called out.
+#[test]
+fn fixture_workspace_golden_findings() {
+    let report = check_workspace(&fixtures_root()).expect("fixture tree is readable");
+    let got: Vec<(String, String, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (format!("{:?}", d.code), d.file.clone(), d.line))
+        .collect();
+    let want: Vec<(String, String, u32)> = [
+        ("D010", "crates/chaos/src/d010_pos.rs", 23), // lock-order inversion vs :16
+        ("D010", "crates/chaos/src/d010_pos.rs", 30), // send while holding `slots`
+        ("D010", "crates/chaos/src/d010_pos.rs", 35), // re-lock of `slots`
+        ("D001", "crates/kernel/src/d001_pos.rs", 6),
+        ("D002", "crates/kernel/src/d002_pos.rs", 4),
+        ("D003", "crates/kernel/src/d003_pos.rs", 7),
+        ("D004", "crates/kernel/src/d004_pos.rs", 5),
+        ("D009", "crates/net/src/d009_pos.rs", 11), // Frame::Data without epoch
+        ("D006", "crates/policy/src/helper.rs", 7), // unwrap reachable from on_control
+        ("D008", "crates/sim/src/d008_pos.rs", 10), // taint via tainted::order_sensitive_sum
+        ("D005", "crates/types/src/d005_pos.rs", 5),
+        ("D007", "crates/types/src/d007_wire.rs", 7), // Orphan never constructed
+        ("D007", "crates/types/src/d007_wire.rs", 7), // Orphan never matched
+    ]
+    .into_iter()
+    .map(|(c, f, l)| (c.to_string(), f.to_string(), l))
+    .collect();
+    assert_eq!(got, want, "full report:\n{}", report.render());
+    assert_eq!(report.suppressed, 2, "allow_ok D002 + d009_allowed D009");
+    let stale: Vec<(String, u32)> = report
+        .stale_allows
+        .iter()
+        .map(|s| (s.file.clone(), s.line))
+        .collect();
+    assert_eq!(stale, [("crates/kernel/src/allow_stale.rs".to_string(), 5)]);
+}
+
+/// D006's message carries the cross-crate evidence: the handler root and
+/// the call path that reaches the panic site.
+#[test]
+fn d006_message_names_the_handler_and_call_path() {
+    let report = check_workspace(&fixtures_root()).expect("fixture tree is readable");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::D006)
+        .expect("D006 present");
+    assert!(d.message.contains("Router::on_control"), "{}", d.message);
+    assert!(d.message.contains("decode_strict"), "{}", d.message);
+}
+
+/// D007 judges each variant separately: the wired variant (`Resident`,
+/// constructed in `default_sel` and matched in `cost`) is never reported.
+#[test]
+fn d007_wired_variant_is_not_reported() {
+    let report = check_workspace(&fixtures_root()).expect("fixture tree is readable");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::D007)
+            .all(|d| d.message.contains("Orphan")),
+        "only the unwired variant may be reported:\n{}",
+        report.render()
+    );
+}
+
+// ------------------------------------------------ lint:allow v2 scoping
+
+/// An allow on the line that opens a block covers the whole block.
+#[test]
+fn allow_extends_over_the_block_it_opens() {
+    let src = "pub fn stage() {\n\
+               \x20   // lint:allow(D001 the staging map is drained in sorted order)\n\
+               \x20   {\n\
+               \x20       let mut m = std::collections::HashMap::new();\n\
+               \x20       m.insert(1u32, 2u32);\n\
+               \x20   }\n\
+               }\n";
+    let (diags, suppressed) = analyze_source(
+        "crates/kernel/src/x.rs",
+        src,
+        scope_for("crates/kernel/src/x.rs"),
+    );
+    assert!(diags.is_empty(), "block-scoped allow must cover: {diags:?}");
+    assert_eq!(suppressed, 1);
+}
+
+/// Without a block, coverage stops after the next line: a finding two
+/// lines down is NOT suppressed.
+#[test]
+fn allow_does_not_leak_past_its_line_pair() {
+    let src = "// lint:allow(D001 covers only the next line)\n\
+               pub fn a() {}\n\
+               pub fn b(m: std::collections::HashMap<u32, u32>) -> usize { m.len() }\n";
+    let (diags, suppressed) = analyze_source(
+        "crates/kernel/src/x.rs",
+        src,
+        scope_for("crates/kernel/src/x.rs"),
+    );
+    assert_eq!(suppressed, 0);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::D001);
+    assert_eq!(diags[0].line, 3);
+}
+
+/// Semantic codes take allows too, but a bare one is still malformed.
+#[test]
+fn allow_on_semantic_code_still_requires_justification() {
+    let src = "// lint:allow(D009)\nfn f() {}\n";
+    let (diags, _) = analyze_source("crates/net/src/x.rs", src, scope_for("crates/net/src/x.rs"));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::D000);
+}
+
+// ------------------------------------------------------------- --fix
+
+/// `fix_workspace` removes stale allows and rewrites flagged hash
+/// collections to their ordered counterparts, leaving the tree clean.
+#[test]
+fn fix_workspace_applies_mechanical_edits() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fixws");
+    let src_dir = root.join("crates/kernel/src");
+    std::fs::create_dir_all(&src_dir).expect("tmp tree");
+    std::fs::write(
+        src_dir.join("table.rs"),
+        "pub struct T {\n    pub map: std::collections::HashMap<u32, u32>,\n}\n",
+    )
+    .expect("write");
+    std::fs::write(
+        src_dir.join("stale.rs"),
+        "pub fn f(x: u64) -> u64 {\n    // lint:allow(D002 stale: wall-clock read removed)\n    x + 1\n}\n",
+    )
+    .expect("write");
+    let (report, applied) = fix_workspace(&root).expect("fix runs");
+    assert_eq!(applied, 2, "one HashMap rewrite + one stale-allow removal");
+    assert!(report.clean(), "post-fix report:\n{}", report.render());
+    let table = std::fs::read_to_string(src_dir.join("table.rs")).expect("read back");
+    assert!(
+        table.contains("BTreeMap") && !table.contains("HashMap"),
+        "{table}"
+    );
+    let stale = std::fs::read_to_string(src_dir.join("stale.rs")).expect("read back");
+    assert!(!stale.contains("lint:allow"), "{stale}");
+}
+
+// --------------------------------------------------------------- SARIF
+
+/// SARIF mode emits a 2.1.0 log with rule metadata and one result per
+/// finding, consumable by code-scanning uploads.
+#[test]
+fn cli_sarif_mode_has_rules_and_results() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_demos-lint"))
+        .args(["check", "--format", "sarif", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\":\"2.1.0\""), "{text}");
+    assert!(text.contains("\"name\":\"demos-lint\""), "{text}");
+    for code in ["D001", "D005", "D006", "D007", "D008", "D009", "D010"] {
+        assert!(
+            text.contains(&format!("\"ruleId\":\"{code}\"")),
+            "missing {code} result in SARIF:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("crates/net/src/d009_pos.rs"),
+        "SARIF result must carry the file URI:\n{text}"
     );
 }
 

@@ -23,9 +23,10 @@ use demos_core::{MigrationConfig, Node};
 use demos_kernel::{ImageLayout, KernelConfig, Outbox, Registry};
 use demos_net::{EdgeParams, SimNetwork, Topology};
 use demos_obs::SeriesStore;
+use demos_types::proto::KernelOp;
 use demos_types::{
-    CorrId, DemosError, Duration, Link, MachineId, Message, MsgFlags, MsgHeader, ProcessId, Result,
-    Time,
+    tags, CorrId, DemosError, Duration, Link, MachineId, Message, MsgFlags, MsgHeader, ProcessId,
+    Result, Time, Wire,
 };
 
 use demos_obs::FlightRecorder;
@@ -531,6 +532,24 @@ impl Cluster {
         self.drain_outbox(MachineId(origin as u16));
         self.touch_node(origin);
         Ok(())
+    }
+
+    /// Suspend `pid`: posts a [`KernelOp::Suspend`] control op, which
+    /// follows forwarding addresses to wherever the process lives now.
+    pub fn suspend(&mut self, pid: ProcessId, hint: MachineId) -> Result<()> {
+        self.post_dtk(pid, hint, tags::KERNEL_OP, KernelOp::Suspend.to_bytes())
+    }
+
+    /// Resume a suspended `pid` (the [`KernelOp::Resume`] control op).
+    pub fn resume(&mut self, pid: ProcessId, hint: MachineId) -> Result<()> {
+        self.post_dtk(pid, hint, tags::KERNEL_OP, KernelOp::Resume.to_bytes())
+    }
+
+    /// Ask `pid`'s kernel for a status report (the
+    /// [`KernelOp::QueryStatus`] control op); the answer arrives as a
+    /// message, like every other kernel interaction.
+    pub fn query_status(&mut self, pid: ProcessId, hint: MachineId) -> Result<()> {
+        self.post_dtk(pid, hint, tags::KERNEL_OP, KernelOp::QueryStatus.to_bytes())
     }
 
     /// Migrate `pid` to `dest` (harness-driven, like the paper's arbitrary

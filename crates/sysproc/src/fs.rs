@@ -908,13 +908,10 @@ impl Program for FileServer {
                         matches!(p, Pending::CreateWait { .. } | Pending::OpenWait { .. })
                     })
                     .map(|(&k, _)| k);
-                if let Some(key) = key {
-                    match self.pending.remove(&key).expect("found") {
-                        Pending::CreateWait { reply } | Pending::OpenWait { reply } => {
-                            self.finish(ctx, reply, FsMsg::Err { code: 1 });
-                        }
-                        _ => unreachable!(),
-                    }
+                if let Some(Pending::CreateWait { reply } | Pending::OpenWait { reply }) =
+                    key.and_then(|k| self.pending.remove(&k))
+                {
+                    self.finish(ctx, reply, FsMsg::Err { code: 1 });
                 }
             }
             _ => {}

@@ -216,16 +216,27 @@ impl Message {
 impl Wire for Message {
     fn encode(&self, buf: &mut BytesMut) {
         self.header.encode(buf);
-        let n_links =
-            u8::try_from(self.links.len()).expect("Message invariant: links <= MAX_CARRIED_LINKS");
-        let payload_len =
-            u32::try_from(self.payload.len()).expect("Message invariant: payload <= MAX_PAYLOAD");
+        // Out-of-invariant messages (links > u8, payload > u32 — both
+        // impossible via the constructors) are clamped to keep the frame
+        // wire-consistent, and counted, instead of aborting a kernel
+        // mid-protocol.
+        let n_links = u8::try_from(self.links.len()).unwrap_or_else(|_| {
+            crate::wire::codec_stats::note_clamp();
+            u8::MAX
+        });
+        let payload_len = u32::try_from(self.payload.len()).unwrap_or_else(|_| {
+            crate::wire::codec_stats::note_clamp();
+            u32::MAX
+        });
         buf.put_u8(n_links);
         buf.put_u32(payload_len);
-        for l in &self.links {
+        for l in self.links.iter().take(usize::from(n_links)) {
             l.encode(buf);
         }
-        buf.put_slice(&self.payload);
+        let take = usize::try_from(payload_len)
+            .unwrap_or(usize::MAX)
+            .min(self.payload.len());
+        buf.put_slice(&self.payload[..take]);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {

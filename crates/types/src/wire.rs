@@ -111,11 +111,41 @@ pub fn get_bytes(buf: &mut Bytes, what: &'static str, max: usize) -> Result<Byte
     Ok(buf.split_to(len))
 }
 
-/// Write a length-prefixed (`u32`) byte string.
+/// Write a length-prefixed (`u32`) byte string. Inputs longer than the
+/// prefix can express are truncated (and counted in [`codec_stats`])
+/// rather than aborting: encode sits on every kernel handler path, and a
+/// handler must degrade, not die. Honest senders never hit the clamp —
+/// every protocol payload is bounded far below 4 GiB.
 pub fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
-    let len = u32::try_from(bytes.len()).expect("byte string exceeds the u32 wire length prefix");
+    let max = usize::try_from(u32::MAX).unwrap_or(usize::MAX);
+    let bytes = if bytes.len() > max {
+        codec_stats::note_clamp();
+        &bytes[..max]
+    } else {
+        bytes
+    };
+    let len = u32::try_from(bytes.len()).unwrap_or(u32::MAX);
     buf.put_u32(len);
     buf.put_slice(bytes);
+}
+
+/// Encode-side degradation counters. A nonzero value means some encode
+/// clamped an out-of-invariant field instead of panicking — always a bug
+/// upstream, but one that drops data instead of a kernel.
+pub mod codec_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CLAMPED: AtomicU64 = AtomicU64::new(0);
+
+    /// Record one clamped encode.
+    pub(crate) fn note_clamp() {
+        CLAMPED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total clamped encodes since process start.
+    pub fn clamped() -> u64 {
+        CLAMPED.load(Ordering::Relaxed)
+    }
 }
 
 /// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8 is *not*
