@@ -81,23 +81,98 @@ pub struct NetStats {
     pub byte_hops: u64,
 }
 
-/// One scheduled frame arrival.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Arrival {
-    at: Time,
-    seq: u64,
-    src: MachineId,
-    dst: MachineId,
-    frame: Frame,
-}
-
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl NetStats {
+    /// Field-wise sum: folds one shard's traffic counters into the total.
+    /// Every field is a cumulative count, so merging across disjoint
+    /// shards never double-counts.
+    pub fn merge(&mut self, o: &NetStats) {
+        self.frames_sent += o.frames_sent;
+        self.frames_dropped += o.frames_dropped;
+        self.frames_delivered += o.frames_delivered;
+        self.data_frames += o.data_frames;
+        self.ack_frames += o.ack_frames;
+        self.retransmit_frames += o.retransmit_frames;
+        self.dup_acks += o.dup_acks;
+        self.dedup_drops += o.dedup_drops;
+        self.stale_epoch_drops += o.stale_epoch_drops;
+        self.bytes_sent += o.bytes_sent;
+        self.byte_hops += o.byte_hops;
     }
 }
 
-impl PartialOrd for Arrival {
+/// Total-order tie-break key for frames arriving at the same instant.
+///
+/// Sequentially executed clusters key every send `{era, 0, 0, 0, n}` with a
+/// single global counter `n` — byte-identical to the original scalar
+/// sequence number. The sharded executor cannot reproduce a global counter
+/// without serializing, so inside a parallel run segment it keys sends
+/// *canonically*: `{era, send-time, phase, sender, per-sender index}`,
+/// which every shard can compute locally and which reproduces the
+/// sequential transmission order (sends from distinct machines at the same
+/// instant happen in ascending machine order within a scheduler phase).
+/// The `era` field — bumped around every parallel segment — makes the two
+/// key styles comparable: later eras sort later, matching real time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SendKey {
+    /// Coarse epoch: bumped entering and leaving every parallel segment.
+    pub era: u32,
+    /// Send instant in microseconds (0 in sequential style).
+    pub at_us: u64,
+    /// Scheduler phase of the send: frame delivery < timers < cpu.
+    pub phase: u8,
+    /// Transmitting machine (0 in sequential style).
+    pub sender: u16,
+    /// Per-sender (canonical) or global (sequential) send index.
+    pub idx: u64,
+}
+
+impl SendKey {
+    /// Sequential-style key: ordered purely by the global counter `idx`.
+    pub fn sequential(era: u32, idx: u64) -> Self {
+        SendKey {
+            era,
+            at_us: 0,
+            phase: 0,
+            sender: 0,
+            idx,
+        }
+    }
+
+    /// Canonical shard-computable key.
+    pub fn canonical(era: u32, at_us: u64, phase: u8, sender: u16, idx: u64) -> Self {
+        SendKey {
+            era,
+            at_us,
+            phase,
+            sender,
+            idx,
+        }
+    }
+}
+
+/// One scheduled frame arrival. Public so the sharded executor can drain
+/// the in-flight set, partition it across shards, and restore leftovers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InFlight {
+    /// Arrival instant.
+    pub at: Time,
+    /// Tie-break key among same-instant arrivals.
+    pub key: SendKey,
+    /// Transmitting machine.
+    pub src: MachineId,
+    /// Destination machine.
+    pub dst: MachineId,
+    /// The frame itself.
+    pub frame: Frame,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.key).cmp(&(other.at, other.key))
+    }
+}
+
+impl PartialOrd for InFlight {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -108,8 +183,9 @@ impl PartialOrd for Arrival {
 pub struct SimNetwork {
     topo: Topology,
     rng: StdRng,
-    heap: BinaryHeap<Reverse<Arrival>>,
+    heap: BinaryHeap<Reverse<InFlight>>,
     seq: u64,
+    era: u32,
     stats: NetStats,
     down: Vec<bool>,
     /// Edges severed by [`SimNetwork::partition`], with the parameters to
@@ -126,6 +202,7 @@ impl SimNetwork {
             rng: StdRng::seed_from_u64(seed),
             heap: BinaryHeap::new(),
             seq: 0,
+            era: 0,
             stats: NetStats::default(),
             down: vec![false; n],
             severed: std::collections::BTreeMap::new(),
@@ -183,6 +260,44 @@ impl SimNetwork {
     /// Number of frames currently in flight.
     pub fn in_flight(&self) -> usize {
         self.heap.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-executor hooks
+    // ------------------------------------------------------------------
+
+    /// Current send-key era.
+    pub fn era(&self) -> u32 {
+        self.era
+    }
+
+    /// Advance to a fresh era and return it. The sharded executor bumps
+    /// the era entering *and* leaving every parallel segment so that
+    /// sequential-style keys issued between segments order after the
+    /// canonical keys issued inside them.
+    pub fn bump_era(&mut self) -> u32 {
+        self.era += 1;
+        self.era
+    }
+
+    /// Remove and return every in-flight frame (used to hand the pending
+    /// set to per-shard heaps). Order is unspecified; the `(at, key)`
+    /// ordering is total, so re-heaping reproduces delivery order.
+    pub fn drain_in_flight(&mut self) -> Vec<InFlight> {
+        self.heap.drain().map(|Reverse(a)| a).collect()
+    }
+
+    /// Return frames (typically shard-segment leftovers) to the in-flight
+    /// heap.
+    pub fn restore_in_flight(&mut self, items: impl IntoIterator<Item = InFlight>) {
+        for a in items {
+            self.heap.push(Reverse(a));
+        }
+    }
+
+    /// Fold per-shard traffic statistics into the cumulative totals.
+    pub fn absorb_stats(&mut self, shard: NetStats) {
+        self.stats.merge(&shard);
     }
 
     // ------------------------------------------------------------------
@@ -244,7 +359,7 @@ impl SimNetwork {
     fn purge_unreachable(&mut self) {
         let topo = &self.topo;
         let before = self.heap.len();
-        let kept: Vec<Reverse<Arrival>> = self
+        let kept: Vec<Reverse<InFlight>> = self
             .heap
             .drain()
             .filter(|Reverse(a)| topo.reachable(a.src, a.dst))
@@ -281,9 +396,9 @@ impl Phys for SimNetwork {
             return;
         }
         self.seq += 1;
-        self.heap.push(Reverse(Arrival {
+        self.heap.push(Reverse(InFlight {
             at: now + transit,
-            seq: self.seq,
+            key: SendKey::sequential(self.era, self.seq),
             src,
             dst,
             frame,

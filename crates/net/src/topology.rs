@@ -6,6 +6,18 @@
 //! through intermediate processors" (§1) — which is exactly what makes
 //! moving a process closer to a resource reduce system-wide traffic
 //! (experiment E10).
+//!
+//! Two representations back the same routing API:
+//!
+//! * **Uniform** — a complete mesh where every edge carries identical
+//!   parameters (the paper's single shared network). Routes are trivially
+//!   the direct edge, so construction and every query are O(1) regardless
+//!   of cluster size. This is what makes 4096-machine clusters buildable:
+//!   the dense matrix would need O(n²) memory and O(n³) route recompute.
+//! * **Dense** — an explicit adjacency matrix with Floyd–Warshall
+//!   all-pairs routes, used for lines, rings, stars and any topology that
+//!   has been edited (fault injection severs edges). A uniform topology
+//!   silently materializes to dense on its first edge edit.
 
 use demos_types::{Duration, MachineId};
 
@@ -58,16 +70,32 @@ struct Route {
     reachable: bool,
 }
 
+/// Storage behind [`Topology`]: uniform complete mesh or explicit matrix.
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Complete mesh, every edge identical. No per-pair storage at all.
+    Uniform { params: EdgeParams },
+    /// Adjacency matrix plus all-pairs routes, recomputed on change.
+    Dense {
+        edges: Vec<Option<EdgeParams>>,
+        routes: Vec<Route>,
+    },
+}
+
 /// The cluster graph with all-pairs shortest routes.
 ///
 /// Machines are identified by dense [`MachineId`]s `0..n`.
 #[derive(Clone, Debug)]
 pub struct Topology {
     n: usize,
-    /// Adjacency matrix of edges (`None` = no direct edge). Symmetric.
-    edges: Vec<Option<EdgeParams>>,
-    /// All-pairs routes, recomputed on change.
-    routes: Vec<Route>,
+    repr: Repr,
+    /// Bumped on every mutation; lets callers cache derived structures
+    /// (e.g. shard partition plans) and cheaply detect staleness.
+    version: u64,
+    /// Minimum latency over all installed edges (`None` when edgeless).
+    min_latency: Option<Duration>,
+    /// Maximum loss probability over all installed edges.
+    max_loss: f64,
 }
 
 impl Topology {
@@ -75,26 +103,32 @@ impl Topology {
     pub fn new(n: usize) -> Self {
         let mut t = Topology {
             n,
-            edges: vec![None; n * n],
-            routes: vec![Route::default(); n * n],
+            repr: Repr::Dense {
+                edges: vec![None; n * n],
+                routes: vec![Route::default(); n * n],
+            },
+            version: 0,
+            min_latency: None,
+            max_loss: 0.0,
         };
         t.recompute();
         t
     }
 
     /// Fully connected mesh with identical edges — the common case, like
-    /// the paper's single shared network. Edges are installed in bulk
-    /// with a single route recomputation: recomputing per edge (O(n³)
-    /// each) made building an n-machine mesh O(n⁵), which dominated every
-    /// large-cluster benchmark's setup.
+    /// the paper's single shared network. Stored uniformly: O(1) build
+    /// and O(1) routing queries at any `n`, so clusters of thousands of
+    /// machines cost nothing to wire up. Editing an edge afterwards
+    /// (fault injection) materializes the explicit matrix.
     pub fn full_mesh(n: usize, params: EdgeParams) -> Self {
-        let mut t = Topology::new(n);
-        for a in 0..n {
-            for b in (a + 1)..n {
-                t.set_edge_raw(MachineId(a as u16), MachineId(b as u16), params);
-            }
-        }
-        t.recompute();
+        let mut t = Topology {
+            n,
+            repr: Repr::Uniform { params },
+            version: 0,
+            min_latency: None,
+            max_loss: 0.0,
+        };
+        t.refresh_summary();
         t
     }
 
@@ -147,13 +181,65 @@ impl Topology {
         (0..self.n as u16).map(MachineId)
     }
 
+    /// Mutation counter: changes iff routing behavior may have changed.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Minimum fixed latency over all installed edges, `None` when the
+    /// topology has no edges. The conservative parallel executor derives
+    /// its lookahead from this.
+    pub fn min_edge_latency(&self) -> Option<Duration> {
+        self.min_latency
+    }
+
+    /// Maximum loss probability over all installed edges. Loss draws come
+    /// from one global RNG whose draw order is execution-order dependent,
+    /// so any lossy edge pins the cluster to the sequential path.
+    pub fn max_edge_loss(&self) -> f64 {
+        self.max_loss
+    }
+
+    /// The shared edge parameters when this topology is still a uniform
+    /// complete mesh (never edited); `None` once materialized to dense.
+    pub fn uniform(&self) -> Option<EdgeParams> {
+        match &self.repr {
+            Repr::Uniform { params } if self.n >= 2 => Some(*params),
+            _ => None,
+        }
+    }
+
     fn idx(&self, a: MachineId, b: MachineId) -> usize {
         a.0 as usize * self.n + b.0 as usize
+    }
+
+    /// Convert a uniform mesh into the explicit matrix form so individual
+    /// edges can be edited. O(n²) memory + O(n³) route recompute — only
+    /// fault-injection paths (small clusters) take this.
+    fn materialize(&mut self) {
+        let Repr::Uniform { params } = self.repr else {
+            return;
+        };
+        let n = self.n;
+        let mut edges = vec![None; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    edges[a * n + b] = Some(params);
+                }
+            }
+        }
+        self.repr = Repr::Dense {
+            edges,
+            routes: vec![Route::default(); n * n],
+        };
+        self.recompute();
     }
 
     /// Install (or replace) the bidirectional edge `a — b` and recompute
     /// routes.
     pub fn set_edge(&mut self, a: MachineId, b: MachineId, params: EdgeParams) {
+        self.materialize();
         self.set_edge_raw(a, b, params);
         self.recompute();
     }
@@ -163,34 +249,79 @@ impl Topology {
     fn set_edge_raw(&mut self, a: MachineId, b: MachineId, params: EdgeParams) {
         assert!((a.0 as usize) < self.n && (b.0 as usize) < self.n && a != b);
         let (i, j) = (self.idx(a, b), self.idx(b, a));
-        self.edges[i] = Some(params);
-        self.edges[j] = Some(params);
+        let Repr::Dense { edges, .. } = &mut self.repr else {
+            // lint:allow(D004 host-side construction invariant, not a kernel handler: every caller materializes the dense repr first)
+            unreachable!("set_edge_raw on uniform repr");
+        };
+        edges[i] = Some(params);
+        edges[j] = Some(params);
     }
 
     /// Remove the edge `a — b` (network fault injection) and recompute.
     pub fn clear_edge(&mut self, a: MachineId, b: MachineId) {
+        self.materialize();
         let (i, j) = (self.idx(a, b), self.idx(b, a));
-        self.edges[i] = None;
-        self.edges[j] = None;
+        let Repr::Dense { edges, .. } = &mut self.repr else {
+            // lint:allow(D004 host-side construction invariant, not a kernel handler: materialize() above just installed the dense repr)
+            unreachable!("materialize left uniform repr");
+        };
+        edges[i] = None;
+        edges[j] = None;
         self.recompute();
     }
 
     /// Direct edge parameters between `a` and `b`, if adjacent.
     pub fn edge(&self, a: MachineId, b: MachineId) -> Option<EdgeParams> {
-        self.edges[self.idx(a, b)]
+        match &self.repr {
+            Repr::Uniform { params } => (a != b).then_some(*params),
+            Repr::Dense { edges, .. } => edges[self.idx(a, b)],
+        }
+    }
+
+    /// Recompute routes (dense) and refresh the edge summary + version.
+    fn recompute(&mut self) {
+        if let Repr::Dense { edges, routes } = &mut self.repr {
+            Self::recompute_dense(self.n, edges, routes);
+        }
+        self.refresh_summary();
+    }
+
+    fn refresh_summary(&mut self) {
+        self.version += 1;
+        match &self.repr {
+            Repr::Uniform { params } => {
+                self.min_latency = (self.n >= 2).then_some(params.latency);
+                self.max_loss = if self.n >= 2 { params.loss } else { 0.0 };
+            }
+            Repr::Dense { edges, .. } => {
+                let mut min = None;
+                let mut loss = 0.0f64;
+                for e in edges.iter().flatten() {
+                    min = Some(match min {
+                        None => e.latency,
+                        Some(m) if e.latency < m => e.latency,
+                        Some(m) => m,
+                    });
+                    if e.loss > loss {
+                        loss = e.loss;
+                    }
+                }
+                self.min_latency = min;
+                self.max_loss = loss;
+            }
+        }
     }
 
     /// Floyd–Warshall over fixed latency; ties broken towards fewer hops
     /// then lower intermediate index, keeping routes deterministic.
-    fn recompute(&mut self) {
-        let n = self.n;
+    fn recompute_dense(n: usize, edges: &[Option<EdgeParams>], routes: &mut [Route]) {
         const INF: u64 = u64::MAX / 4;
         let mut dist = vec![INF; n * n];
         let mut next: Vec<Option<usize>> = vec![None; n * n];
         for a in 0..n {
             dist[a * n + a] = 0;
             for b in 0..n {
-                if let Some(e) = self.edges[a * n + b] {
+                if let Some(e) = edges[a * n + b] {
                     dist[a * n + b] = e.latency.as_micros();
                     next[a * n + b] = Some(b);
                 }
@@ -236,38 +367,59 @@ impl Topology {
                         route.edges.clear();
                     }
                 }
-                self.routes[a * n + b] = route;
+                routes[a * n + b] = route;
             }
         }
     }
 
     /// Whether `b` is reachable from `a`.
     pub fn reachable(&self, a: MachineId, b: MachineId) -> bool {
-        self.routes[self.idx(a, b)].reachable
+        match &self.repr {
+            Repr::Uniform { .. } => (a.0 as usize) < self.n && (b.0 as usize) < self.n,
+            Repr::Dense { routes, .. } => routes[self.idx(a, b)].reachable,
+        }
     }
 
     /// Number of edges on the route `a → b` (0 for `a == b`).
     pub fn hops(&self, a: MachineId, b: MachineId) -> usize {
-        self.routes[self.idx(a, b)].edges.len()
+        match &self.repr {
+            Repr::Uniform { .. } => usize::from(a != b),
+            Repr::Dense { routes, .. } => routes[self.idx(a, b)].edges.len(),
+        }
     }
 
     /// Total transit time and combined loss probability for a frame of
     /// `bytes` on the route `a → b`, or `None` if unreachable.
     pub fn transit(&self, a: MachineId, b: MachineId, bytes: usize) -> Option<(Duration, f64)> {
-        let route = &self.routes[self.idx(a, b)];
-        if !route.reachable {
-            return None;
+        match &self.repr {
+            Repr::Uniform { params } => {
+                if (a.0 as usize) >= self.n || (b.0 as usize) >= self.n {
+                    return None;
+                }
+                if a == b {
+                    // Matches the dense self-route: empty edge list.
+                    return Some((Duration::ZERO, 0.0));
+                }
+                Some((params.transit(bytes), params.loss))
+            }
+            Repr::Dense { edges, routes } => {
+                let route = &routes[self.idx(a, b)];
+                if !route.reachable {
+                    return None;
+                }
+                let mut total = Duration::ZERO;
+                let mut survive = 1.0f64;
+                for &(x, y) in &route.edges {
+                    // A route referencing a missing edge means the routing
+                    // table is stale; report the pair unreachable instead of
+                    // aborting.
+                    let e = edges[x * self.n + y]?;
+                    total += e.transit(bytes);
+                    survive *= 1.0 - e.loss;
+                }
+                Some((total, 1.0 - survive))
+            }
         }
-        let mut total = Duration::ZERO;
-        let mut survive = 1.0f64;
-        for &(x, y) in &route.edges {
-            // A route referencing a missing edge means the routing table is
-            // stale; report the pair unreachable instead of aborting.
-            let e = self.edges[x * self.n + y]?;
-            total += e.transit(bytes);
-            survive *= 1.0 - e.loss;
-        }
-        Some((total, 1.0 - survive))
     }
 }
 
@@ -383,5 +535,71 @@ mod tests {
         let (d, l) = t.transit(m(0), m(0), 100).unwrap();
         assert_eq!(d, Duration::ZERO);
         assert_eq!(l, 0.0);
+    }
+
+    /// The uniform representation must answer every routing query exactly
+    /// like a dense mesh built edge-by-edge.
+    #[test]
+    fn uniform_matches_materialized_mesh() {
+        let params = EdgeParams {
+            latency: Duration::from_micros(120),
+            ns_per_byte: 300,
+            loss: 0.25,
+        };
+        let uni = Topology::full_mesh(6, params);
+        assert!(uni.uniform().is_some());
+        let mut dense = Topology::full_mesh(6, params);
+        // Editing any edge (even rewriting it identically) materializes.
+        dense.set_edge(m(0), m(1), params);
+        assert!(dense.uniform().is_none());
+        for a in 0..6u16 {
+            for b in 0..6u16 {
+                assert_eq!(uni.reachable(m(a), m(b)), dense.reachable(m(a), m(b)));
+                assert_eq!(uni.hops(m(a), m(b)), dense.hops(m(a), m(b)));
+                let (du, lu) = uni.transit(m(a), m(b), 64).unwrap();
+                let (dd, ld) = dense.transit(m(a), m(b), 64).unwrap();
+                assert_eq!(du, dd);
+                assert!((lu - ld).abs() < 1e-12);
+            }
+        }
+        assert_eq!(uni.min_edge_latency(), dense.min_edge_latency());
+        assert!((uni.max_edge_loss() - dense.max_edge_loss()).abs() < 1e-12);
+    }
+
+    /// Clearing an edge on a uniform mesh materializes and reroutes.
+    #[test]
+    fn uniform_materializes_on_clear() {
+        let mut t = Topology::full_mesh(4, EdgeParams::default());
+        let v0 = t.version();
+        t.clear_edge(m(0), m(1));
+        assert!(t.version() > v0, "edits bump the version");
+        assert!(t.uniform().is_none());
+        assert_eq!(t.hops(m(0), m(1)), 2, "reroutes around the severed edge");
+        assert!(t.reachable(m(0), m(1)));
+    }
+
+    /// Edge summaries track the extremes over installed edges.
+    #[test]
+    fn edge_summaries() {
+        assert_eq!(Topology::new(3).min_edge_latency(), None);
+        let mut t = Topology::line(3, EdgeParams::default());
+        assert_eq!(t.min_edge_latency(), Some(Duration::from_micros(500)));
+        assert_eq!(t.max_edge_loss(), 0.0);
+        t.set_edge(
+            m(0),
+            m(2),
+            EdgeParams {
+                latency: Duration::from_micros(40),
+                ns_per_byte: 0,
+                loss: 0.125,
+            },
+        );
+        assert_eq!(t.min_edge_latency(), Some(Duration::from_micros(40)));
+        assert!((t.max_edge_loss() - 0.125).abs() < 1e-12);
+        // A single-machine "mesh" has no edges at all.
+        assert_eq!(
+            Topology::full_mesh(1, EdgeParams::default()).min_edge_latency(),
+            None
+        );
     }
 }

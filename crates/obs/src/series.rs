@@ -79,6 +79,14 @@ impl SeriesStore {
         now >= self.next_due
     }
 
+    /// The next instant at which a sample becomes due. The sharded
+    /// executor clips its parallel windows here so samples are taken at
+    /// the same virtual instants, in the same machine order, as the
+    /// sequential loop.
+    pub fn next_due(&self) -> Time {
+        self.next_due
+    }
+
     /// Record one machine's registry at `now`. The caller samples every
     /// machine at the same instant, then calls [`SeriesStore::advance`].
     pub fn record(&mut self, now: Time, machine: MachineId, registry: &MetricsRegistry) {

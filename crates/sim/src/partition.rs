@@ -1,0 +1,169 @@
+//! Shard partitioning for the parallel executor.
+//!
+//! The cluster's machines are split into `S` contiguous, balanced index
+//! ranges — one per worker thread. Contiguity keeps every per-machine
+//! array (`nodes`, `cpu_busy_until`, recorders, …) splittable with
+//! `split_at_mut`, so the workers borrow disjoint slices of the *same*
+//! storage the sequential loop uses: no copying in, no copying out.
+//!
+//! The plan also derives the **lookahead** — the minimum latency over
+//! edges whose endpoints live in different shards. Any frame that crosses
+//! a shard boundary must traverse at least one cross-shard edge (routes
+//! are edge paths; a path between machines in different shards changes
+//! shard somewhere), so a frame sent at time `T` arrives no earlier than
+//! `T + lookahead`. That bound is what lets a shard safely execute the
+//! whole window `[W, W + lookahead)` without hearing from its neighbours.
+
+use demos_net::Topology;
+use demos_types::{Duration, MachineId};
+
+/// How a cluster is split across worker threads, plus the synchronization
+/// bound the split admits. Derived from (machine count, shard count,
+/// topology) and cached against [`Topology::version`].
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Number of shards (worker threads). Always ≥ 1 and ≤ machine count.
+    pub shards: usize,
+    /// Half-open machine-index range `[start, end)` owned by each shard.
+    pub ranges: Vec<(usize, usize)>,
+    /// Machine index → owning shard.
+    pub shard_of: Vec<u16>,
+    /// Minimum latency over cross-shard edges: how far a shard may run
+    /// past the global horizon without missing a cross-shard arrival.
+    /// `None` means no edge crosses a shard boundary — shards are fully
+    /// independent and windows are bounded only by the caller's deadline.
+    pub lookahead: Option<Duration>,
+    /// [`Topology::version`] this plan was computed against.
+    pub topo_version: u64,
+}
+
+impl ShardPlan {
+    /// Partition `n` machines over (at most) `shards` threads against
+    /// `topo`. Shard counts above `n` are clamped; ranges are balanced to
+    /// within one machine, earlier shards taking the remainder.
+    pub fn new(n: usize, shards: usize, topo: &Topology) -> ShardPlan {
+        let s = shards.clamp(1, n.max(1));
+        let base = n / s;
+        let rem = n % s;
+        let mut ranges = Vec::with_capacity(s);
+        let mut shard_of = vec![0u16; n];
+        let mut start = 0usize;
+        for i in 0..s {
+            let len = base + usize::from(i < rem);
+            let end = start + len;
+            ranges.push((start, end));
+            for slot in &mut shard_of[start..end] {
+                *slot = i as u16;
+            }
+            start = end;
+        }
+        let lookahead = Self::cross_lookahead(topo, &shard_of, s);
+        ShardPlan {
+            shards: s,
+            ranges,
+            shard_of,
+            lookahead,
+            topo_version: topo.version(),
+        }
+    }
+
+    /// Minimum latency over edges whose endpoints are in different shards.
+    fn cross_lookahead(topo: &Topology, shard_of: &[u16], s: usize) -> Option<Duration> {
+        if s <= 1 {
+            return None;
+        }
+        // Uniform complete mesh: every cross-shard edge carries the same
+        // parameters, O(1).
+        if let Some(params) = topo.uniform() {
+            return Some(params.latency);
+        }
+        // Dense: scan the (small — only edited topologies are dense)
+        // matrix once per plan.
+        let n = shard_of.len();
+        let mut min: Option<Duration> = None;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if shard_of[a] == shard_of[b] {
+                    continue;
+                }
+                if let Some(e) = topo.edge(MachineId(a as u16), MachineId(b as u16)) {
+                    min = Some(match min {
+                        None => e.latency,
+                        Some(m) if e.latency < m => e.latency,
+                        Some(m) => m,
+                    });
+                }
+            }
+        }
+        min
+    }
+
+    /// The shard owning machine index `i`.
+    pub fn shard_of(&self, i: usize) -> usize {
+        self.shard_of[i] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demos_net::EdgeParams;
+
+    #[test]
+    fn ranges_are_balanced_and_contiguous() {
+        let topo = Topology::full_mesh(10, EdgeParams::default());
+        let plan = ShardPlan::new(10, 4, &topo);
+        assert_eq!(plan.shards, 4);
+        assert_eq!(plan.ranges, vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        for (s, &(start, end)) in plan.ranges.iter().enumerate() {
+            for i in start..end {
+                assert_eq!(plan.shard_of(i), s);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_machines() {
+        let topo = Topology::full_mesh(3, EdgeParams::default());
+        let plan = ShardPlan::new(3, 8, &topo);
+        assert_eq!(plan.shards, 3);
+        assert_eq!(plan.ranges, vec![(0, 1), (1, 2), (2, 3)]);
+        let solo = ShardPlan::new(3, 1, &topo);
+        assert_eq!(solo.shards, 1);
+        assert_eq!(solo.lookahead, None, "one shard needs no lookahead");
+    }
+
+    #[test]
+    fn uniform_mesh_lookahead_is_edge_latency() {
+        let topo = Topology::full_mesh(8, EdgeParams::fast());
+        let plan = ShardPlan::new(8, 2, &topo);
+        assert_eq!(plan.lookahead, Some(Duration::from_micros(50)));
+    }
+
+    #[test]
+    fn dense_lookahead_is_min_cross_edge() {
+        // Line 0-1-2-3 split in two: the only cross-shard edge is 1—2.
+        let mut topo = Topology::line(4, EdgeParams::default());
+        topo.set_edge(
+            MachineId(1),
+            MachineId(2),
+            EdgeParams {
+                latency: Duration::from_micros(75),
+                ns_per_byte: 0,
+                loss: 0.0,
+            },
+        );
+        let plan = ShardPlan::new(4, 2, &topo);
+        assert_eq!(plan.lookahead, Some(Duration::from_micros(75)));
+    }
+
+    #[test]
+    fn disconnected_shards_have_unbounded_lookahead() {
+        // Two disjoint pairs: 0-1 and 2-3, split exactly at the gap.
+        let mut topo = Topology::new(4);
+        topo.set_edge(MachineId(0), MachineId(1), EdgeParams::default());
+        topo.set_edge(MachineId(2), MachineId(3), EdgeParams::default());
+        let plan = ShardPlan::new(4, 2, &topo);
+        assert_eq!(plan.lookahead, None);
+    }
+}

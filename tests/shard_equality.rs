@@ -1,0 +1,139 @@
+//! Shard-count equality over the committed chaos corpus.
+//!
+//! The sharded executor (`demos_sim::shard`) promises bit-determinism:
+//! for any shard count, a replay produces the same invariant verdict,
+//! the same trace fingerprint, the same JSON-lines trace export, and the
+//! same flight-recorder dump as the sequential loop. These tests replay
+//! every committed corpus seed — the classic/recovery set and the
+//! distilled covering corpus — at S ∈ {2, 4} (and the distilled set at
+//! S = 8) against the S = 1 baseline.
+//!
+//! Lossy scenarios exercise the executor's sequential *fallback* (the
+//! loss RNG is global, so they cannot shard); that path must also be
+//! byte-identical, and is — trivially — because it is the same code. To
+//! make sure the corpus genuinely drives the parallel path too, the
+//! suite asserts that a replay at S = 2 executes a non-zero number of
+//! parallel segments somewhere in the corpus, and replays the lossy
+//! seeds again with loss stripped (`lossless`) so even those schedules
+//! cover the parallel machinery.
+
+use std::path::{Path, PathBuf};
+
+use demos_chaos::{run_capture, RunConfig, Scenario};
+
+fn corpus_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Load every `*.seed` under `dir` (non-recursive), path-sorted.
+fn load(dir: &Path) -> Vec<(String, Scenario)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "empty corpus dir {}", dir.display());
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("read seed");
+            let sc =
+                Scenario::from_corpus(&text).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (name, sc)
+        })
+        .collect()
+}
+
+fn cfg(shards: usize, lossless: bool) -> RunConfig {
+    RunConfig {
+        shards,
+        lossless,
+        ..RunConfig::default()
+    }
+}
+
+/// Replay every seed in `dir` at each shard count in `counts`, asserting
+/// byte-identical results against the S = 1 baseline. Returns the total
+/// parallel segments executed across all replays (baseline excluded).
+fn assert_corpus_equal(dir: &Path, counts: &[usize], lossless: bool) -> u64 {
+    let mut parallel = 0u64;
+    for (name, sc) in load(dir) {
+        let (base, base_trace, base_flight) = run_capture(&sc, &cfg(1, lossless));
+        assert_eq!(
+            base.parallel_segments, 0,
+            "{name}: S=1 must use the sequential loop"
+        );
+        for &s in counts {
+            let (rep, trace, flight) = run_capture(&sc, &cfg(s, lossless));
+            assert_eq!(
+                rep.violation.as_ref().map(|v| v.to_string()),
+                base.violation.as_ref().map(|v| v.to_string()),
+                "{name}: verdict diverged at S={s}"
+            );
+            assert_eq!(
+                rep.fingerprint, base.fingerprint,
+                "{name}: trace fingerprint diverged at S={s}"
+            );
+            assert_eq!(
+                rep.end_us, base.end_us,
+                "{name}: end time diverged at S={s}"
+            );
+            assert_eq!(
+                trace, base_trace,
+                "{name}: JSON-lines trace diverged at S={s}"
+            );
+            assert_eq!(
+                flight, base_flight,
+                "{name}: flight-recorder dump diverged at S={s}"
+            );
+            parallel += rep.parallel_segments;
+        }
+    }
+    parallel
+}
+
+/// The classic + recovery corpus at S ∈ {2, 4}. Recovery and lossy
+/// scenarios take the sequential fallback inside the sharded executor;
+/// loss-free classic ones run genuinely parallel.
+#[test]
+fn corpus_replays_identically_at_2_and_4_shards() {
+    assert_corpus_equal(&corpus_root(), &[2, 4], false);
+}
+
+/// The distilled covering corpus at S ∈ {2, 4, 8}.
+#[test]
+fn distilled_corpus_replays_identically_up_to_8_shards() {
+    assert_corpus_equal(&corpus_root().join("distilled"), &[2, 4, 8], false);
+}
+
+/// Loss stripped from every scenario: all non-recovery seeds must now
+/// take the parallel path, and the parallel replays must still agree
+/// with the (equally lossless) sequential baseline.
+#[test]
+fn lossless_corpus_drives_the_parallel_path() {
+    let parallel = assert_corpus_equal(&corpus_root(), &[2, 4], true);
+    assert!(
+        parallel > 0,
+        "stripping loss must engage the parallel executor"
+    );
+}
+
+/// The committed corpus as-is must also exercise the parallel path at
+/// S = 2 — if every seed fell back to sequential, the equality above
+/// would be vacuous.
+#[test]
+fn committed_corpus_exercises_parallel_segments() {
+    let mut parallel = 0u64;
+    for dir in [corpus_root(), corpus_root().join("distilled")] {
+        for (_, sc) in load(&dir) {
+            let (rep, _, _) = run_capture(&sc, &cfg(2, false));
+            parallel += rep.parallel_segments;
+        }
+    }
+    assert!(
+        parallel > 0,
+        "no corpus seed engaged the parallel executor; the equality suite is vacuous"
+    );
+}
